@@ -1,0 +1,77 @@
+//! Criterion microbenchmarks of the message-passing substrate itself:
+//! host-side overhead of the SPMD runtime and collectives (the modelled
+//! virtual times are benchmarked by the repro experiments instead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdp_core::cluster::{collectives, run_spmd, Communicator, Machine};
+use std::hint::black_box;
+
+fn bench_spawn_teardown(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spmd_spawn");
+    g.sample_size(10);
+    for p in [2usize, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                let r = run_spmd(p, Machine::ideal(), |comm| comm.rank()).unwrap();
+                black_box(r.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_pingpong(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pingpong_1000x");
+    g.sample_size(10);
+    for len in [1usize, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
+            b.iter(|| {
+                let r = run_spmd(2, Machine::ideal(), move |comm| {
+                    let data = vec![1.0; len];
+                    for _ in 0..1000 {
+                        if comm.rank() == 0 {
+                            comm.send(1, 1, &data);
+                            let _ = comm.recv(1, 2);
+                        } else {
+                            let v = comm.recv(0, 1);
+                            comm.send(0, 2, &v);
+                        }
+                    }
+                })
+                .unwrap();
+                black_box(r.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_allreduce_host(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allreduce_host_100x");
+    g.sample_size(10);
+    for p in [4usize, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                let r = run_spmd(p, Machine::ideal(), |comm| {
+                    let data = vec![comm.rank() as f64; 64];
+                    let mut acc = 0.0;
+                    for _ in 0..100 {
+                        acc += collectives::allreduce_sum(comm, &data)[0];
+                    }
+                    acc
+                })
+                .unwrap();
+                black_box(r[0].value)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_spawn_teardown,
+    bench_pingpong,
+    bench_allreduce_host
+);
+criterion_main!(benches);

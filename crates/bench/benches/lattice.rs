@@ -1,0 +1,58 @@
+//! Criterion microbenchmarks of the lattice engines (wall-clock
+//! counterpart of table T1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdp_bench::workloads::*;
+use mdp_core::prelude::*;
+
+fn bench_binomial(c: &mut Criterion) {
+    let m = market(1);
+    let p = vanilla_call();
+    let mut g = c.benchmark_group("binomial_1d");
+    g.sample_size(10);
+    for n in [128usize, 512] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let lat = BinomialLattice::crr(n);
+            b.iter(|| lat.price(&m, &p).unwrap().price)
+        });
+    }
+    g.finish();
+}
+
+fn bench_multilattice_dims(c: &mut Criterion) {
+    let mut g = c.benchmark_group("beg_lattice_by_dim");
+    g.sample_size(10);
+    // Near-constant node budgets across d.
+    for (d, n) in [(1usize, 512usize), (2, 64), (3, 16)] {
+        let m = market(d);
+        let p = max_call();
+        g.bench_with_input(BenchmarkId::new("dim", d), &n, |b, &n| {
+            let lat = MultiLattice::new(n);
+            b.iter(|| lat.price(&m, &p).unwrap().price)
+        });
+    }
+    g.finish();
+}
+
+fn bench_rayon_vs_seq(c: &mut Criterion) {
+    let m = market(2);
+    let p = max_call();
+    let lat = MultiLattice::new(96);
+    let mut g = c.benchmark_group("beg_lattice_backends");
+    g.sample_size(10);
+    g.bench_function("sequential", |b| {
+        b.iter(|| lat.price(&m, &p).unwrap().price)
+    });
+    g.bench_function("rayon", |b| {
+        b.iter(|| lat.price_rayon(&m, &p).unwrap().price)
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_binomial,
+    bench_multilattice_dims,
+    bench_rayon_vs_seq
+);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Criterion microbenchmarks of the Monte Carlo engines (wall-clock
+//! counterpart of table T3 and ablation A3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mdp_bench::workloads::*;
+use mdp_core::prelude::*;
+
+fn bench_paths_by_dim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mc_paths_by_dim");
+    g.sample_size(10);
+    let paths = 20_000u64;
+    for d in [3usize, 5, 10] {
+        let m = market_vol(d, 0.3);
+        let p = basket_call(d);
+        g.throughput(Throughput::Elements(paths));
+        g.bench_with_input(BenchmarkId::new("dim", d), &d, |b, _| {
+            let eng = McEngine::new(McConfig {
+                paths,
+                ..Default::default()
+            });
+            b.iter(|| eng.price(&m, &p).unwrap().price)
+        });
+    }
+    g.finish();
+}
+
+fn bench_variance_reduction(c: &mut Criterion) {
+    let m = market_vol(5, 0.3);
+    let p = basket_call(5);
+    let mut g = c.benchmark_group("mc_variance_reduction");
+    g.sample_size(10);
+    for (vr, name) in [
+        (VarianceReduction::None, "plain"),
+        (VarianceReduction::Antithetic, "antithetic"),
+        (VarianceReduction::GeometricCv, "geometric_cv"),
+    ] {
+        g.bench_function(name, |b| {
+            let eng = McEngine::new(McConfig {
+                paths: 20_000,
+                variance_reduction: vr,
+                ..Default::default()
+            });
+            b.iter(|| eng.price(&m, &p).unwrap().price)
+        });
+    }
+    g.finish();
+}
+
+fn bench_qmc(c: &mut Criterion) {
+    let m = market(5);
+    let p = geometric_call();
+    let mut g = c.benchmark_group("qmc");
+    g.sample_size(10);
+    g.bench_function("sobol_8192x2", |b| {
+        b.iter(|| {
+            mdp_core::mc::qmc::price_qmc(
+                &m,
+                &p,
+                QmcConfig {
+                    points: 8192,
+                    replicates: 2,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .price
+        })
+    });
+    g.finish();
+}
+
+fn bench_lsmc(c: &mut Criterion) {
+    let m = market(2);
+    let p = american_min_put();
+    let mut g = c.benchmark_group("lsmc");
+    g.sample_size(10);
+    g.bench_function("10k_paths_25_dates", |b| {
+        b.iter(|| {
+            mdp_core::mc::lsmc::price_lsmc(
+                &m,
+                &p,
+                LsmcConfig {
+                    paths: 10_000,
+                    steps: 25,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .price
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_paths_by_dim,
+    bench_variance_reduction,
+    bench_qmc,
+    bench_lsmc
+);
+criterion_main!(benches);

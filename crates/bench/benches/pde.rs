@@ -1,0 +1,75 @@
+//! Criterion microbenchmarks of the PDE engines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdp_bench::workloads::*;
+use mdp_core::prelude::*;
+
+fn bench_fd1d(c: &mut Criterion) {
+    let m = market(1);
+    let p = vanilla_call();
+    let mut g = c.benchmark_group("fd1d");
+    g.sample_size(10);
+    g.bench_function("cn_401x400", |b| {
+        let cfg = Fd1d::default();
+        b.iter(|| cfg.price(&m, &p).unwrap().price)
+    });
+    g.bench_function("explicit_201x8000", |b| {
+        let cfg = Fd1d {
+            space_points: 201,
+            time_steps: 8000,
+            scheme: mdp_core::pde::Scheme::Explicit,
+            ..Default::default()
+        };
+        b.iter(|| cfg.price(&m, &p).unwrap().price)
+    });
+    g.finish();
+}
+
+fn bench_adi(c: &mut Criterion) {
+    let m = market(2);
+    let p = max_call();
+    let mut g = c.benchmark_group("adi2d");
+    g.sample_size(10);
+    for (name, parallel) in [("seq_101x101x100", false), ("rayon_101x101x100", true)] {
+        g.bench_function(name, |b| {
+            let cfg = Adi2d {
+                parallel,
+                ..Default::default()
+            };
+            b.iter(|| cfg.price(&m, &p).unwrap().price)
+        });
+    }
+    g.finish();
+}
+
+fn bench_psor_american(c: &mut Criterion) {
+    let m = market(1);
+    let p = Product::american(
+        Payoff::BasketPut {
+            weights: vec![1.0],
+            strike: 110.0,
+        },
+        1.0,
+    );
+    let mut g = c.benchmark_group("fd1d_american");
+    g.sample_size(10);
+    g.bench_function("projection", |b| {
+        let cfg = Fd1d::default();
+        b.iter(|| cfg.price(&m, &p).unwrap().price)
+    });
+    g.bench_function("psor", |b| {
+        let cfg = Fd1d {
+            american: mdp_core::pde::AmericanMethod::Psor {
+                omega: 1.5,
+                tol: 1e-8,
+                max_iter: 10_000,
+            },
+            ..Default::default()
+        };
+        b.iter(|| cfg.price(&m, &p).unwrap().price)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fd1d, bench_adi, bench_psor_american);
+criterion_main!(benches);

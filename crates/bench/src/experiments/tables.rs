@@ -1,0 +1,646 @@
+//! Tables T1–T9 of the reconstructed evaluation.
+
+use crate::workloads::*;
+use crate::{save, Effort};
+use mdp_core::cluster::Machine;
+use mdp_core::lattice::cluster::{price_cluster, Decomposition};
+use mdp_core::mc::cluster_driver::{price_lsmc_cluster, price_mc_cluster};
+use mdp_core::prelude::*;
+use mdp_perf::report::fmt_sig;
+use mdp_perf::timing::measure;
+use mdp_perf::Table;
+
+/// T1 — sequential lattice cost growth with dimension and steps.
+pub fn t1_sequential_lattice_cost(effort: Effort) {
+    let mut t = Table::new(
+        "T1: sequential BEG lattice — cost growth with dimension (European max-call)",
+        &["d", "N", "nodes", "wall [s]", "ns/node", "price"],
+    );
+    let plans: &[(usize, &[usize])] = match effort {
+        Effort::Quick => &[(1, &[64, 256]), (2, &[16, 64]), (3, &[8, 16]), (4, &[4, 8])],
+        Effort::Full => &[
+            (1, &[64, 256, 1024]),
+            (2, &[16, 64, 256]),
+            (3, &[8, 16, 64]),
+            (4, &[4, 8, 16]),
+        ],
+    };
+    for &(d, steps_list) in plans {
+        let m = market(d);
+        let p = max_call();
+        for &n in steps_list {
+            let lat = MultiLattice::new(n);
+            let (res, secs) = measure(|| lat.price(&m, &p).expect("lattice"));
+            t.push(&[
+                d.to_string(),
+                n.to_string(),
+                res.nodes_processed.to_string(),
+                fmt_sig(secs, 3),
+                fmt_sig(secs * 1e9 / res.nodes_processed as f64, 3),
+                format!("{:.4}", res.price),
+            ]);
+        }
+    }
+    save("t1_sequential_lattice", &t);
+}
+
+/// T2 — parallel lattice: modelled time and speedup vs ranks.
+pub fn t2_parallel_lattice(effort: Effort) {
+    let mut t = Table::new(
+        "T2: distributed BEG lattice on the modelled 2002 cluster (block decomposition)",
+        &[
+            "d",
+            "N",
+            "p",
+            "T_model [ms]",
+            "speedup",
+            "efficiency",
+            "msgs",
+        ],
+    );
+    let cases: &[(usize, usize)] = match effort {
+        Effort::Quick => &[(2, 128), (3, 32)],
+        Effort::Full => &[(2, 512), (3, 64)],
+    };
+    let procs = [1usize, 2, 4, 8, 16, 32];
+    for &(d, n) in cases {
+        let m = market(d);
+        let p = max_call();
+        let mut t1 = 0.0;
+        for &ranks in &procs {
+            let out = price_cluster(
+                &m,
+                &p,
+                n,
+                ranks,
+                Machine::cluster2002(),
+                Decomposition::Block,
+            )
+            .expect("cluster lattice");
+            if ranks == 1 {
+                t1 = out.time.makespan;
+            }
+            t.push(&[
+                d.to_string(),
+                n.to_string(),
+                ranks.to_string(),
+                fmt_sig(out.time.makespan * 1e3, 4),
+                format!("{:.2}", t1 / out.time.makespan),
+                format!("{:.2}", t1 / out.time.makespan / ranks as f64),
+                out.time.total_msgs.to_string(),
+            ]);
+        }
+    }
+    save("t2_parallel_lattice", &t);
+}
+
+/// T3 — sequential Monte Carlo cost vs paths and dimension.
+pub fn t3_sequential_mc_cost(effort: Effort) {
+    let mut t = Table::new(
+        "T3: sequential Monte Carlo — cost vs paths and dimension (basket call)",
+        &["d", "paths", "wall [s]", "µs/path", "price", "std err"],
+    );
+    let path_counts: &[u64] = match effort {
+        Effort::Quick => &[10_000, 100_000],
+        Effort::Full => &[10_000, 100_000, 1_000_000],
+    };
+    for &d in &[3usize, 5, 10] {
+        let m = market_vol(d, 0.3);
+        let p = basket_call(d);
+        for &paths in path_counts {
+            let eng = McEngine::new(McConfig {
+                paths,
+                ..Default::default()
+            });
+            let (res, secs) = measure(|| eng.price(&m, &p).expect("mc"));
+            t.push(&[
+                d.to_string(),
+                paths.to_string(),
+                fmt_sig(secs, 3),
+                fmt_sig(secs * 1e6 / paths as f64, 3),
+                format!("{:.4}", res.price),
+                format!("{:.4}", res.std_error),
+            ]);
+        }
+    }
+    save("t3_sequential_mc", &t);
+}
+
+/// T4 — accuracy of every engine against the closed forms.
+pub fn t4_accuracy_vs_closed_forms(effort: Effort) {
+    let mut t = Table::new(
+        "T4: engine accuracy against closed forms",
+        &["product", "engine", "price", "exact", "abs err"],
+    );
+    let push = |t: &mut Table, prod: &str, engine: &str, price: f64, exact: f64| {
+        t.push(&[
+            prod.to_string(),
+            engine.to_string(),
+            format!("{price:.5}"),
+            format!("{exact:.5}"),
+            fmt_sig((price - exact).abs(), 2),
+        ]);
+    };
+
+    // Vanilla call, 1-D: all four deterministic engines + MC.
+    {
+        let m = market(1);
+        let p = vanilla_call();
+        let exact = analytic::black_scholes_call(100.0, 100.0, 0.05, 0.0, 0.2, 1.0);
+        let n = effort.scale(256, 2000);
+        push(
+            &mut t,
+            "vanilla call",
+            "binomial",
+            BinomialLattice::crr(n).price(&m, &p).unwrap().price,
+            exact,
+        );
+        push(
+            &mut t,
+            "vanilla call",
+            "trinomial",
+            TrinomialLattice::new(n / 2).price(&m, &p).unwrap().price,
+            exact,
+        );
+        push(
+            &mut t,
+            "vanilla call",
+            "fd-1d CN",
+            Fd1d::default().price(&m, &p).unwrap().price,
+            exact,
+        );
+        let mc = McEngine::new(McConfig {
+            paths: effort.scale64(50_000, 500_000),
+            ..Default::default()
+        })
+        .price(&m, &p)
+        .unwrap();
+        push(&mut t, "vanilla call", "monte-carlo", mc.price, exact);
+    }
+
+    // Margrabe exchange, 2-D.
+    {
+        let m = market(2);
+        let p = Product::european(Payoff::Exchange, 1.0);
+        let exact = analytic::margrabe_exchange(100.0, 0.0, 0.2, 100.0, 0.0, 0.2, 0.3, 1.0);
+        push(
+            &mut t,
+            "exchange",
+            "beg-lattice",
+            MultiLattice::new(effort.scale(64, 256))
+                .price(&m, &p)
+                .unwrap()
+                .price,
+            exact,
+        );
+        push(
+            &mut t,
+            "exchange",
+            "adi-2d",
+            Adi2d {
+                space_points: effort.scale(101, 201),
+                time_steps: effort.scale(100, 200),
+                ..Default::default()
+            }
+            .price(&m, &p)
+            .unwrap()
+            .price,
+            exact,
+        );
+    }
+
+    // Stulz max-call, 2-D.
+    {
+        let m = market(2);
+        let p = max_call();
+        let exact =
+            analytic::max_call_two_assets(100.0, 0.0, 0.2, 100.0, 0.0, 0.2, 0.3, 0.05, 100.0, 1.0);
+        push(
+            &mut t,
+            "max call",
+            "beg-lattice",
+            MultiLattice::new(effort.scale(64, 256))
+                .price(&m, &p)
+                .unwrap()
+                .price,
+            exact,
+        );
+        push(
+            &mut t,
+            "max call",
+            "monte-carlo",
+            McEngine::new(McConfig {
+                paths: effort.scale64(50_000, 500_000),
+                ..Default::default()
+            })
+            .price(&m, &p)
+            .unwrap()
+            .price,
+            exact,
+        );
+    }
+
+    // Geometric basket across dimensions: lattice (low d), MC, QMC.
+    for d in [2usize, 5, 10] {
+        let m = market(d);
+        let p = geometric_call();
+        let exact = geometric_exact(d);
+        if d <= 3 {
+            push(
+                &mut t,
+                "geometric basket",
+                &format!("beg-lattice d={d}"),
+                MultiLattice::new(effort.scale(32, 128))
+                    .price(&m, &p)
+                    .unwrap()
+                    .price,
+                exact,
+            );
+        }
+        push(
+            &mut t,
+            "geometric basket",
+            &format!("monte-carlo d={d}"),
+            McEngine::new(McConfig {
+                paths: effort.scale64(50_000, 500_000),
+                ..Default::default()
+            })
+            .price(&m, &p)
+            .unwrap()
+            .price,
+            exact,
+        );
+        push(
+            &mut t,
+            "geometric basket",
+            &format!("qmc d={d}"),
+            mdp_core::mc::qmc::price_qmc(
+                &m,
+                &p,
+                QmcConfig {
+                    points: effort.scale64(4096, 32_768),
+                    replicates: 4,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .price,
+            exact,
+        );
+    }
+    save("t4_accuracy", &t);
+}
+
+/// T5 — the method-comparison / curse-of-dimensionality table.
+pub fn t5_method_comparison(effort: Effort) {
+    let mut t = Table::new(
+        "T5: lattice vs Monte Carlo vs PDE across dimension (geometric basket call, error vs closed form)",
+        &["d", "engine", "price", "abs err", "wall [s]"],
+    );
+    for d in 1..=5usize {
+        let m = market(d);
+        let p = geometric_call();
+        let exact = geometric_exact(d);
+        // Lattice with dimension-adapted steps (constant-ish node budget).
+        if d <= 4 {
+            let n = match d {
+                1 => effort.scale(512, 2048),
+                2 => effort.scale(90, 256),
+                3 => effort.scale(24, 64),
+                _ => effort.scale(10, 24),
+            };
+            let (res, secs) = measure(|| MultiLattice::new(n).price(&m, &p).unwrap());
+            t.push(&[
+                d.to_string(),
+                format!("lattice N={n}"),
+                format!("{:.4}", res.price),
+                fmt_sig((res.price - exact).abs(), 2),
+                fmt_sig(secs, 3),
+            ]);
+        } else {
+            t.push(&[
+                d.to_string(),
+                "lattice".into(),
+                "—".into(),
+                "intractable".into(),
+                "—".into(),
+            ]);
+        }
+        if d == 1 {
+            let (res, secs) = measure(|| Fd1d::default().price(&m, &p).unwrap());
+            t.push(&[
+                d.to_string(),
+                "fd-1d".into(),
+                format!("{:.4}", res.price),
+                fmt_sig((res.price - exact).abs(), 2),
+                fmt_sig(secs, 3),
+            ]);
+        } else if d == 2 {
+            let (res, secs) = measure(|| Adi2d::default().price(&m, &p).unwrap());
+            t.push(&[
+                d.to_string(),
+                "adi-2d".into(),
+                format!("{:.4}", res.price),
+                fmt_sig((res.price - exact).abs(), 2),
+                fmt_sig(secs, 3),
+            ]);
+        }
+        let paths = effort.scale64(50_000, 200_000);
+        let (res, secs) = measure(|| {
+            McEngine::new(McConfig {
+                paths,
+                ..Default::default()
+            })
+            .price(&m, &p)
+            .unwrap()
+        });
+        t.push(&[
+            d.to_string(),
+            format!("mc {paths}"),
+            format!("{:.4}", res.price),
+            fmt_sig((res.price - exact).abs(), 2),
+            fmt_sig(secs, 3),
+        ]);
+    }
+    save("t5_method_comparison", &t);
+}
+
+/// T6 — communication-overhead fraction vs ranks, lattice vs MC.
+pub fn t6_communication_overhead(effort: Effort) {
+    let mut t = Table::new(
+        "T6: communication share of modelled busy time (2002 cluster)",
+        &[
+            "engine",
+            "p",
+            "comm fraction",
+            "mean comm [ms]",
+            "mean compute [ms]",
+        ],
+    );
+    let procs = [2usize, 4, 8, 16, 32];
+    let m2 = market(2);
+    let n = effort.scale(128, 512);
+    for &ranks in &procs {
+        let out = price_cluster(
+            &m2,
+            &max_call(),
+            n,
+            ranks,
+            Machine::cluster2002(),
+            Decomposition::Block,
+        )
+        .unwrap();
+        t.push(&[
+            format!("lattice d=2 N={n}"),
+            ranks.to_string(),
+            format!("{:.3}", out.time.comm_fraction()),
+            fmt_sig(out.time.mean_comm * 1e3, 3),
+            fmt_sig(out.time.mean_compute * 1e3, 3),
+        ]);
+    }
+    let m5 = market_vol(5, 0.3);
+    let paths = effort.scale64(20_000, 200_000);
+    for &ranks in &procs {
+        let out = price_mc_cluster(
+            &m5,
+            &basket_call(5),
+            McConfig {
+                paths,
+                block_size: (paths / 64).max(1),
+                ..Default::default()
+            },
+            ranks,
+            Machine::cluster2002(),
+        )
+        .unwrap();
+        t.push(&[
+            format!("mc d=5 {paths} paths"),
+            ranks.to_string(),
+            format!("{:.3}", out.time.comm_fraction()),
+            fmt_sig(out.time.mean_comm * 1e3, 3),
+            fmt_sig(out.time.mean_compute * 1e3, 3),
+        ]);
+    }
+    save("t6_comm_overhead", &t);
+}
+
+/// T7 — LSMC American pricing: accuracy and parallel scaling.
+pub fn t7_lsmc_american(effort: Effort) {
+    let mut t = Table::new(
+        "T7: Longstaff–Schwartz American min-put (d=2) — accuracy and modelled scaling",
+        &["metric", "value"],
+    );
+    let m = market(2);
+    let p = american_min_put();
+    let lattice_ref = MultiLattice::new(effort.scale(64, 150))
+        .price(&m, &p)
+        .unwrap()
+        .price;
+    let cfg = LsmcConfig {
+        paths: effort.scale64(10_000, 50_000),
+        steps: effort.scale(10, 25),
+        degree: 3,
+        block_size: 500,
+        ..Default::default()
+    };
+    let seq = mdp_core::mc::lsmc::price_lsmc(&m, &p, cfg).unwrap();
+    t.push(&["lattice reference".to_string(), format!("{lattice_ref:.4}")]);
+    t.push(&[
+        "lsmc price ± se".to_string(),
+        format!("{:.4} ± {:.4}", seq.price, seq.std_error),
+    ]);
+    t.push(&[
+        "lsmc − lattice".to_string(),
+        format!("{:+.4}", seq.price - lattice_ref),
+    ]);
+
+    let mut scaling = Table::new(
+        "T7b: distributed LSMC modelled scaling (per-date allreduce regression)",
+        &[
+            "p",
+            "T_model [ms]",
+            "speedup",
+            "efficiency",
+            "comm fraction",
+        ],
+    );
+    let mut t1 = 0.0;
+    for ranks in [1usize, 2, 4, 8, 16] {
+        let out = price_lsmc_cluster(&m, &p, cfg, ranks, Machine::cluster2002()).unwrap();
+        if ranks == 1 {
+            t1 = out.time.makespan;
+        }
+        scaling.push(&[
+            ranks.to_string(),
+            fmt_sig(out.time.makespan * 1e3, 4),
+            format!("{:.2}", t1 / out.time.makespan),
+            format!("{:.2}", t1 / out.time.makespan / ranks as f64),
+            format!("{:.3}", out.time.comm_fraction()),
+        ]);
+    }
+    save("t7_lsmc_american", &t);
+    save("t7b_lsmc_scaling", &scaling);
+}
+
+/// T8 — Greeks: bump-and-reprice and pathwise estimators vs closed forms.
+pub fn t8_greeks(effort: Effort) {
+    use mdp_core::greeks::BumpConfig;
+    use mdp_core::mc::pathwise::pathwise_delta;
+    use mdp_core::model::greeks::black_scholes_call_greeks;
+
+    let mut t = Table::new(
+        "T8: sensitivity estimators vs Black–Scholes Greeks (ATM call)",
+        &[
+            "greek",
+            "exact",
+            "bump(analytic)",
+            "bump(lattice)",
+            "bump(mc)",
+            "pathwise(mc)",
+        ],
+    );
+    let m = market(1);
+    let p = vanilla_call();
+    let exact = black_scholes_call_greeks(100.0, 100.0, 0.05, 0.0, 0.2, 1.0);
+    let bumps = BumpConfig::default();
+    let g_an = Pricer::new(Method::Analytic).greeks(&m, &p, bumps).unwrap();
+    let g_lat = Pricer::new(Method::lattice(effort.scale(400, 1500)))
+        .greeks(&m, &p, bumps)
+        .unwrap();
+    let g_mc = Pricer::new(Method::monte_carlo(effort.scale64(50_000, 400_000)))
+        .greeks(&m, &p, bumps)
+        .unwrap();
+    let pw = pathwise_delta(
+        &m,
+        &p,
+        McConfig {
+            paths: effort.scale64(50_000, 400_000),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let row = |name: &str, e: f64, a: f64, l: f64, mc: f64, pwv: Option<f64>| {
+        vec![
+            name.to_string(),
+            format!("{e:.5}"),
+            format!("{a:.5}"),
+            format!("{l:.5}"),
+            format!("{mc:.5}"),
+            pwv.map(|v| format!("{v:.5}")).unwrap_or_else(|| "—".into()),
+        ]
+    };
+    t.push_row(row(
+        "delta",
+        exact.delta[0],
+        g_an.delta[0],
+        g_lat.delta[0],
+        g_mc.delta[0],
+        Some(pw.delta[0]),
+    ));
+    t.push_row(row(
+        "gamma",
+        exact.gamma[0],
+        g_an.gamma[0],
+        g_lat.gamma[0],
+        g_mc.gamma[0],
+        None,
+    ));
+    t.push_row(row(
+        "vega",
+        exact.vega[0],
+        g_an.vega[0],
+        g_lat.vega[0],
+        g_mc.vega[0],
+        None,
+    ));
+    t.push_row(row(
+        "theta",
+        exact.theta,
+        g_an.theta,
+        g_lat.theta,
+        g_mc.theta,
+        None,
+    ));
+    t.push_row(row("rho", exact.rho, g_an.rho, g_lat.rho, g_mc.rho, None));
+    save("t8_greeks", &t);
+}
+
+/// T9 — barrier options and the PDE latency-bound negative result.
+pub fn t9_barriers_and_pde_scaling(effort: Effort) {
+    use mdp_core::pde::ClusterFd1d;
+
+    let mut t = Table::new(
+        "T9a: up-and-out call — closed form vs barrier PDE vs discretely monitored MC",
+        &["engine", "monitoring", "price"],
+    );
+    let m = GbmMarket::single(100.0, 0.25, 0.0, 0.05).unwrap();
+    let p = Product::european(
+        Payoff::UpOutCall {
+            strike: 100.0,
+            barrier: 130.0,
+        },
+        1.0,
+    );
+    let exact = analytic::up_and_out_call(100.0, 100.0, 130.0, 0.05, 0.0, 0.25, 1.0);
+    t.push(&[
+        "closed form".to_string(),
+        "continuous".to_string(),
+        format!("{exact:.4}"),
+    ]);
+    let pde = Pricer::new(Method::BarrierFd(Fd1dBarrier {
+        space_points: effort.scale(401, 801),
+        time_steps: effort.scale(400, 800),
+        ..Default::default()
+    }))
+    .price(&m, &p)
+    .unwrap();
+    t.push(&[
+        "barrier PDE".to_string(),
+        "continuous".to_string(),
+        format!("{:.4}", pde.price),
+    ]);
+    for steps in [12usize, 50, 250] {
+        let mc = Pricer::new(Method::MonteCarlo(McConfig {
+            paths: effort.scale64(50_000, 200_000),
+            steps,
+            ..Default::default()
+        }))
+        .price(&m, &p)
+        .unwrap();
+        t.push(&[
+            "monte carlo".to_string(),
+            format!("{steps} dates"),
+            format!("{:.4} ± {:.4}", mc.price, mc.std_error.unwrap()),
+        ]);
+    }
+    save("t9a_barriers", &t);
+
+    let mut t2 = Table::new(
+        "T9b: distributed explicit FD — a latency-bound kernel (negative result)",
+        &["machine", "p", "T_model [ms]", "speedup"],
+    );
+    let vanilla = vanilla_call();
+    let m1 = market(1);
+    // CFL: σ²Δt/Δx² ≤ ½ pins steps to the square of the resolution.
+    let cfg = ClusterFd1d {
+        space_points: effort.scale(201, 401),
+        time_steps: effort.scale(1000, 4000),
+        ..Default::default()
+    };
+    for machine in [Machine::cluster2002(), Machine::smp()] {
+        let mut t1v = 0.0;
+        for ranks in [1usize, 2, 4, 8] {
+            let out = cfg.price(&m1, &vanilla, ranks, machine).unwrap();
+            if ranks == 1 {
+                t1v = out.time.makespan;
+            }
+            t2.push(&[
+                machine.name.to_string(),
+                ranks.to_string(),
+                fmt_sig(out.time.makespan * 1e3, 4),
+                format!("{:.2}", t1v / out.time.makespan),
+            ]);
+        }
+    }
+    save("t9b_pde_scaling", &t2);
+}

@@ -1,0 +1,780 @@
+//! Collective operations built from point-to-point messages.
+//!
+//! Each collective exists in the algorithmic variants the 2002-era MPI
+//! implementations actually used, because the evaluation's ablation A1
+//! compares them under the machine model:
+//!
+//! | collective | variants | modelled cost (p ranks, n doubles) |
+//! |---|---|---|
+//! | broadcast | binomial tree, linear | ⌈log₂p⌉(α+βn) vs (p−1)(α+βn) |
+//! | reduce | binomial tree, linear | ⌈log₂p⌉(α+βn) vs (p−1)(α+βn) |
+//! | allreduce | recursive doubling, ring, reduce+bcast | log₂p(α+βn) vs 2(p−1)(α+βn/p) |
+//! | barrier | dissemination | ⌈log₂p⌉ α |
+//! | gather/scatter | linear rooted | (p−1)(α+βn) |
+//! | alltoall | pairwise rounds | (p−1)(α+βn) |
+//!
+//! The default aliases ([`broadcast`], [`reduce_sum`], [`allreduce_sum`])
+//! pick the tree/doubling variants, which is what MPICH did at the time.
+//!
+//! All functions must be called by **every** rank of the communicator
+//! (standard collective semantics); tags are drawn from the reserved
+//! collective range so they never collide with user traffic, and FIFO
+//! matching per `(src, tag)` keeps back-to-back collectives separate.
+
+use crate::comm::Communicator;
+use crate::message::{Tag, COLL_TAG_BASE};
+
+const T_BCAST: Tag = COLL_TAG_BASE;
+const T_REDUCE: Tag = COLL_TAG_BASE + 1;
+const T_BARRIER: Tag = COLL_TAG_BASE + 2;
+const T_GATHER: Tag = COLL_TAG_BASE + 3;
+const T_SCATTER: Tag = COLL_TAG_BASE + 4;
+const T_ALLTOALL: Tag = COLL_TAG_BASE + 5;
+const T_RING: Tag = COLL_TAG_BASE + 6;
+const T_FOLD: Tag = COLL_TAG_BASE + 7;
+const T_SCAN: Tag = COLL_TAG_BASE + 8;
+
+/// Element-wise binary operations for reductions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise maximum.
+    Max,
+    /// Element-wise minimum.
+    Min,
+}
+
+impl ReduceOp {
+    #[inline]
+    pub(crate) fn apply(self, acc: &mut [f64], other: &[f64]) {
+        debug_assert_eq!(acc.len(), other.len());
+        match self {
+            ReduceOp::Sum => {
+                for (a, b) in acc.iter_mut().zip(other) {
+                    *a += b;
+                }
+            }
+            ReduceOp::Max => {
+                for (a, b) in acc.iter_mut().zip(other) {
+                    *a = a.max(*b);
+                }
+            }
+            ReduceOp::Min => {
+                for (a, b) in acc.iter_mut().zip(other) {
+                    *a = a.min(*b);
+                }
+            }
+        }
+    }
+}
+
+/// Dissemination barrier: ⌈log₂ p⌉ rounds, each rank sends to
+/// `rank + 2^k` and receives from `rank − 2^k` (mod p).
+pub fn barrier<C: Communicator + ?Sized>(comm: &mut C) {
+    let p = comm.size();
+    let rank = comm.rank();
+    let mut k = 1usize;
+    let mut round: Tag = 0;
+    while k < p {
+        let dest = (rank + k) % p;
+        let src = (rank + p - k) % p;
+        comm.send(dest, T_BARRIER + round * 16, &[]);
+        let _ = comm.recv(src, T_BARRIER + round * 16);
+        k <<= 1;
+        round += 1;
+    }
+}
+
+/// Binomial-tree broadcast from `root`; on non-root ranks `data` is
+/// overwritten with the root's buffer (lengths must match on all ranks).
+pub fn broadcast_tree<C: Communicator + ?Sized>(comm: &mut C, root: usize, data: &mut [f64]) {
+    let p = comm.size();
+    let rank = comm.rank();
+    assert!(root < p);
+    if p == 1 {
+        return;
+    }
+    let vr = (rank + p - root) % p; // virtual rank: root ↦ 0
+    let mut mask = 1usize;
+    // Receive once (if not root), then forward to higher virtual ranks.
+    while mask < p {
+        if vr < mask {
+            let vdest = vr + mask;
+            if vdest < p {
+                let dest = (vdest + root) % p;
+                comm.send(dest, T_BCAST, data);
+            }
+        } else if vr < 2 * mask {
+            let vsrc = vr - mask;
+            let src = (vsrc + root) % p;
+            let recvd = comm.recv(src, T_BCAST);
+            data.copy_from_slice(&recvd);
+        }
+        mask <<= 1;
+    }
+}
+
+/// Linear broadcast: root sends to every rank individually.
+pub fn broadcast_linear<C: Communicator + ?Sized>(comm: &mut C, root: usize, data: &mut [f64]) {
+    let p = comm.size();
+    let rank = comm.rank();
+    assert!(root < p);
+    if rank == root {
+        for d in 0..p {
+            if d != root {
+                comm.send(d, T_BCAST, data);
+            }
+        }
+    } else {
+        let recvd = comm.recv(root, T_BCAST);
+        data.copy_from_slice(&recvd);
+    }
+}
+
+/// Binomial-tree reduction to `root`. Returns `Some(result)` on the root,
+/// `None` elsewhere.
+pub fn reduce_tree<C: Communicator + ?Sized>(
+    comm: &mut C,
+    root: usize,
+    data: &[f64],
+    op: ReduceOp,
+) -> Option<Vec<f64>> {
+    let p = comm.size();
+    let rank = comm.rank();
+    assert!(root < p);
+    let vr = (rank + p - root) % p;
+    let mut acc = data.to_vec();
+    let mut mask = 1usize;
+    while mask < p {
+        if vr & mask != 0 {
+            let vdest = vr - mask;
+            let dest = (vdest + root) % p;
+            comm.send(dest, T_REDUCE, &acc);
+            return None;
+        }
+        let vsrc = vr + mask;
+        if vsrc < p {
+            let src = (vsrc + root) % p;
+            let part = comm.recv(src, T_REDUCE);
+            op.apply(&mut acc, &part);
+        }
+        mask <<= 1;
+    }
+    Some(acc)
+}
+
+/// Linear reduction to `root` (root receives from everyone in rank order).
+pub fn reduce_linear<C: Communicator + ?Sized>(
+    comm: &mut C,
+    root: usize,
+    data: &[f64],
+    op: ReduceOp,
+) -> Option<Vec<f64>> {
+    let p = comm.size();
+    let rank = comm.rank();
+    assert!(root < p);
+    if rank == root {
+        let mut acc = data.to_vec();
+        for src in 0..p {
+            if src != root {
+                let part = comm.recv(src, T_REDUCE);
+                op.apply(&mut acc, &part);
+            }
+        }
+        Some(acc)
+    } else {
+        comm.send(root, T_REDUCE, data);
+        None
+    }
+}
+
+/// Recursive-doubling allreduce. Handles non-power-of-two sizes by
+/// folding the excess ranks into the power-of-two core first (the
+/// classic MPICH approach).
+pub fn allreduce_doubling<C: Communicator + ?Sized>(
+    comm: &mut C,
+    data: &[f64],
+    op: ReduceOp,
+) -> Vec<f64> {
+    let p = comm.size();
+    let rank = comm.rank();
+    let mut acc = data.to_vec();
+    if p == 1 {
+        return acc;
+    }
+    // Largest power of two ≤ p.
+    let p2 = 1usize << (usize::BITS - 1 - p.leading_zeros());
+    let rem = p - p2;
+    // Phase 1: ranks ≥ p2 fold into rank − p2.
+    if rank >= p2 {
+        comm.send(rank - p2, T_FOLD, &acc);
+        // Wait for the final result in phase 3.
+        acc = comm.recv(rank - p2, T_FOLD);
+        return acc;
+    }
+    if rank < rem {
+        let part = comm.recv(rank + p2, T_FOLD);
+        op.apply(&mut acc, &part);
+    }
+    // Phase 2: recursive doubling among the p2 core ranks.
+    let mut mask = 1usize;
+    while mask < p2 {
+        let partner = rank ^ mask;
+        comm.send(partner, T_REDUCE + mask as Tag * 16, &acc);
+        let part = comm.recv(partner, T_REDUCE + mask as Tag * 16);
+        op.apply(&mut acc, &part);
+        mask <<= 1;
+    }
+    // Phase 3: return results to the folded ranks.
+    if rank < rem {
+        comm.send(rank + p2, T_FOLD, &acc);
+    }
+    acc
+}
+
+/// Ring allreduce: reduce-scatter pass followed by allgather pass,
+/// 2(p−1) steps each moving ~n/p elements — bandwidth-optimal for large
+/// payloads, latency-heavy for small ones.
+pub fn allreduce_ring<C: Communicator + ?Sized>(
+    comm: &mut C,
+    data: &[f64],
+    op: ReduceOp,
+) -> Vec<f64> {
+    let p = comm.size();
+    let rank = comm.rank();
+    let n = data.len();
+    let mut acc = data.to_vec();
+    if p == 1 || n == 0 {
+        return acc;
+    }
+    let chunk = |i: usize| crate::partition::block_range(n, p, i % p);
+    let next = (rank + 1) % p;
+    let prev = (rank + p - 1) % p;
+    // Reduce-scatter: after p−1 steps, rank r owns the full reduction of
+    // chunk (r+1) mod p.
+    for step in 0..p - 1 {
+        let (slo, shi) = chunk(rank + p - step);
+        let (rlo, rhi) = chunk(rank + p - step - 1);
+        comm.send(next, T_RING + step as Tag, &acc[slo..shi]);
+        let part = comm.recv(prev, T_RING + step as Tag);
+        op.apply(&mut acc[rlo..rhi], &part);
+    }
+    // Allgather: circulate the finished chunks.
+    for step in 0..p - 1 {
+        let (slo, shi) = chunk(rank + 1 + p - step);
+        let (rlo, rhi) = chunk(rank + p - step);
+        comm.send(next, T_RING + (p + step) as Tag, &acc[slo..shi]);
+        let part = comm.recv(prev, T_RING + (p + step) as Tag);
+        acc[rlo..rhi].copy_from_slice(&part);
+    }
+    acc
+}
+
+/// Allreduce as tree-reduce to rank 0 followed by tree-broadcast —
+/// the "linear" baseline of ablation A1 in its rooted form.
+pub fn allreduce_reduce_bcast<C: Communicator + ?Sized>(
+    comm: &mut C,
+    data: &[f64],
+    op: ReduceOp,
+) -> Vec<f64> {
+    let mut buf = match reduce_linear(comm, 0, data, op) {
+        Some(v) => v,
+        None => vec![0.0; data.len()],
+    };
+    broadcast_linear(comm, 0, &mut buf);
+    buf
+}
+
+/// Gather equal-length buffers to `root` in rank order. Returns
+/// `Some(concatenated)` on root, `None` elsewhere.
+pub fn gather<C: Communicator + ?Sized>(
+    comm: &mut C,
+    root: usize,
+    data: &[f64],
+) -> Option<Vec<f64>> {
+    let p = comm.size();
+    let rank = comm.rank();
+    assert!(root < p);
+    if rank == root {
+        let mut out = Vec::with_capacity(p * data.len());
+        for src in 0..p {
+            if src == root {
+                out.extend_from_slice(data);
+            } else {
+                out.extend(comm.recv(src, T_GATHER));
+            }
+        }
+        Some(out)
+    } else {
+        comm.send(root, T_GATHER, data);
+        None
+    }
+}
+
+/// Gather variable-length buffers to `root` in rank order, returning the
+/// per-rank vectors.
+pub fn gather_varied<C: Communicator + ?Sized>(
+    comm: &mut C,
+    root: usize,
+    data: &[f64],
+) -> Option<Vec<Vec<f64>>> {
+    let p = comm.size();
+    let rank = comm.rank();
+    assert!(root < p);
+    if rank == root {
+        let mut out = Vec::with_capacity(p);
+        for src in 0..p {
+            if src == root {
+                out.push(data.to_vec());
+            } else {
+                out.push(comm.recv(src, T_GATHER));
+            }
+        }
+        Some(out)
+    } else {
+        comm.send(root, T_GATHER, data);
+        None
+    }
+}
+
+/// Scatter: root supplies one buffer per rank; every rank receives its
+/// own. Non-root ranks pass `None`.
+///
+/// # Panics
+/// Panics if the root does not supply exactly `p` chunks, or a non-root
+/// rank supplies chunks.
+pub fn scatter<C: Communicator + ?Sized>(
+    comm: &mut C,
+    root: usize,
+    chunks: Option<&[Vec<f64>]>,
+) -> Vec<f64> {
+    let p = comm.size();
+    let rank = comm.rank();
+    assert!(root < p);
+    if rank == root {
+        let chunks = chunks.expect("root must supply chunks");
+        assert_eq!(chunks.len(), p, "need one chunk per rank");
+        for (d, c) in chunks.iter().enumerate() {
+            if d != root {
+                comm.send(d, T_SCATTER, c);
+            }
+        }
+        chunks[root].clone()
+    } else {
+        assert!(chunks.is_none(), "non-root ranks must pass None");
+        comm.recv(root, T_SCATTER)
+    }
+}
+
+/// All-to-all personalised exchange: `chunks[d]` goes to rank `d`;
+/// returns the received vector per source rank.
+///
+/// # Panics
+/// Panics if `chunks.len() != p`.
+pub fn alltoall<C: Communicator + ?Sized>(comm: &mut C, chunks: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let p = comm.size();
+    let rank = comm.rank();
+    assert_eq!(chunks.len(), p, "need one chunk per rank");
+    let mut out: Vec<Vec<f64>> = vec![Vec::new(); p];
+    out[rank] = chunks[rank].clone();
+    // p−1 rounds: in round k exchange with (rank+k) / (rank−k).
+    for k in 1..p {
+        let dest = (rank + k) % p;
+        let src = (rank + p - k) % p;
+        comm.send(dest, T_ALLTOALL + k as Tag, &chunks[dest]);
+        out[src] = comm.recv(src, T_ALLTOALL + k as Tag);
+    }
+    out
+}
+
+/// Default broadcast (binomial tree).
+pub fn broadcast<C: Communicator + ?Sized>(comm: &mut C, root: usize, data: &mut [f64]) {
+    broadcast_tree(comm, root, data);
+}
+
+/// Default sum-reduction to root (binomial tree).
+pub fn reduce_sum<C: Communicator + ?Sized>(
+    comm: &mut C,
+    root: usize,
+    data: &[f64],
+) -> Option<Vec<f64>> {
+    reduce_tree(comm, root, data, ReduceOp::Sum)
+}
+
+/// Default sum-allreduce (recursive doubling).
+pub fn allreduce_sum<C: Communicator + ?Sized>(comm: &mut C, data: &[f64]) -> Vec<f64> {
+    allreduce_doubling(comm, data, ReduceOp::Sum)
+}
+
+/// Default max-allreduce (recursive doubling). Used to agree on the
+/// global virtual makespan and for convergence tests.
+pub fn allreduce_max<C: Communicator + ?Sized>(comm: &mut C, data: &[f64]) -> Vec<f64> {
+    allreduce_doubling(comm, data, ReduceOp::Max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use crate::thread_comm::run_spmd;
+
+    /// Every interesting rank count: powers of two, odds, primes.
+    const SIZES: &[usize] = &[1, 2, 3, 4, 5, 7, 8, 13, 16];
+
+    #[test]
+    fn broadcast_tree_delivers_to_all_roots() {
+        for &p in SIZES {
+            for root in [0, p - 1, p / 2] {
+                let r = run_spmd(p, Machine::ideal(), move |comm| {
+                    let mut data = if comm.rank() == root {
+                        vec![3.25, -1.5, 42.0]
+                    } else {
+                        vec![0.0; 3]
+                    };
+                    broadcast_tree(comm, root, &mut data);
+                    data
+                })
+                .unwrap();
+                for res in &r {
+                    assert_eq!(res.value, vec![3.25, -1.5, 42.0], "p={p} root={root}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_linear_matches_tree() {
+        let r = run_spmd(5, Machine::ideal(), |comm| {
+            let mut data = if comm.rank() == 2 {
+                vec![7.0]
+            } else {
+                vec![0.0]
+            };
+            broadcast_linear(comm, 2, &mut data);
+            data[0]
+        })
+        .unwrap();
+        assert!(r.iter().all(|res| res.value == 7.0));
+    }
+
+    #[test]
+    fn reduce_tree_sums_rank_values() {
+        for &p in SIZES {
+            let expected = (0..p).map(|r| r as f64).sum::<f64>();
+            let r = run_spmd(p, Machine::ideal(), move |comm| {
+                reduce_tree(comm, 0, &[comm.rank() as f64, 1.0], ReduceOp::Sum)
+            })
+            .unwrap();
+            let root_val = r[0].value.clone().expect("root gets the result");
+            assert_eq!(root_val, vec![expected, p as f64], "p={p}");
+            for res in &r[1..] {
+                assert!(res.value.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_linear_matches_tree() {
+        let r = run_spmd(6, Machine::ideal(), |comm| {
+            reduce_linear(
+                comm,
+                3,
+                &[(comm.rank() * comm.rank()) as f64],
+                ReduceOp::Sum,
+            )
+        })
+        .unwrap();
+        assert_eq!(r[3].value.as_ref().unwrap()[0], 55.0);
+    }
+
+    #[test]
+    fn allreduce_doubling_all_sizes() {
+        for &p in SIZES {
+            let expected = (0..p).map(|r| r as f64).sum::<f64>();
+            let r = run_spmd(p, Machine::ideal(), |comm| {
+                allreduce_sum(comm, &[comm.rank() as f64])[0]
+            })
+            .unwrap();
+            for res in &r {
+                assert_eq!(res.value, expected, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_ring_all_sizes_and_lengths() {
+        for &p in SIZES {
+            for n in [0usize, 1, 3, p, 4 * p + 1] {
+                let r = run_spmd(p, Machine::ideal(), move |comm| {
+                    let data: Vec<f64> = (0..n).map(|i| (comm.rank() + i) as f64).collect();
+                    allreduce_ring(comm, &data, ReduceOp::Sum)
+                })
+                .unwrap();
+                let expect: Vec<f64> = (0..n)
+                    .map(|i| (0..p).map(|r| (r + i) as f64).sum())
+                    .collect();
+                for res in &r {
+                    assert_eq!(res.value, expect, "p={p} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_variants_agree() {
+        let p = 7;
+        let r = run_spmd(p, Machine::ideal(), |comm| {
+            let data = vec![comm.rank() as f64; 11];
+            let a = allreduce_doubling(comm, &data, ReduceOp::Sum);
+            let b = allreduce_ring(comm, &data, ReduceOp::Sum);
+            let c = allreduce_reduce_bcast(comm, &data, ReduceOp::Sum);
+            (a, b, c)
+        })
+        .unwrap();
+        for res in &r {
+            let (a, b, c) = &res.value;
+            assert_eq!(a, b);
+            assert_eq!(a, c);
+        }
+    }
+
+    #[test]
+    fn allreduce_max_and_min() {
+        let r = run_spmd(5, Machine::ideal(), |comm| {
+            let v = comm.rank() as f64;
+            let mx = allreduce_doubling(comm, &[v], ReduceOp::Max)[0];
+            let mn = allreduce_doubling(comm, &[v], ReduceOp::Min)[0];
+            (mx, mn)
+        })
+        .unwrap();
+        for res in &r {
+            assert_eq!(res.value, (4.0, 0.0));
+        }
+    }
+
+    #[test]
+    fn gather_preserves_rank_order() {
+        let r = run_spmd(4, Machine::ideal(), |comm| {
+            gather(comm, 0, &[comm.rank() as f64, -(comm.rank() as f64)])
+        })
+        .unwrap();
+        assert_eq!(
+            r[0].value.as_ref().unwrap(),
+            &vec![0.0, 0.0, 1.0, -1.0, 2.0, -2.0, 3.0, -3.0]
+        );
+    }
+
+    #[test]
+    fn gather_varied_lengths() {
+        let r = run_spmd(3, Machine::ideal(), |comm| {
+            let data = vec![comm.rank() as f64; comm.rank()];
+            gather_varied(comm, 1, &data)
+        })
+        .unwrap();
+        let v = r[1].value.as_ref().unwrap();
+        assert_eq!(v[0], Vec::<f64>::new());
+        assert_eq!(v[1], vec![1.0]);
+        assert_eq!(v[2], vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn scatter_routes_chunks() {
+        let r = run_spmd(3, Machine::ideal(), |comm| {
+            let chunks = if comm.rank() == 0 {
+                Some(vec![vec![0.0], vec![10.0], vec![20.0]])
+            } else {
+                None
+            };
+            scatter(comm, 0, chunks.as_deref())
+        })
+        .unwrap();
+        for (i, res) in r.iter().enumerate() {
+            assert_eq!(res.value, vec![10.0 * i as f64]);
+        }
+    }
+
+    #[test]
+    fn alltoall_transpose() {
+        let p = 4;
+        let r = run_spmd(p, Machine::ideal(), move |comm| {
+            // chunks[d] = [rank*10 + d]
+            let chunks: Vec<Vec<f64>> = (0..p)
+                .map(|d| vec![(comm.rank() * 10 + d) as f64])
+                .collect();
+            alltoall(comm, &chunks)
+        })
+        .unwrap();
+        for (rank, res) in r.iter().enumerate() {
+            for (src, v) in res.value.iter().enumerate() {
+                assert_eq!(v, &vec![(src * 10 + rank) as f64], "rank={rank} src={src}");
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_completes_for_awkward_sizes() {
+        for &p in SIZES {
+            run_spmd(p, Machine::ideal(), |comm| {
+                barrier(comm);
+                barrier(comm);
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn tree_broadcast_cheaper_than_linear_in_model() {
+        // Modelled time: binomial log₂p rounds vs p−1 sends at the root.
+        let p = 16;
+        let payload = vec![0.0; 1000];
+        let t_tree = {
+            let payload = payload.clone();
+            let r = run_spmd(p, Machine::cluster2002(), move |comm| {
+                let mut d = payload.clone();
+                broadcast_tree(comm, 0, &mut d);
+            })
+            .unwrap();
+            crate::stats::TimeModel::from_results(&r).makespan
+        };
+        let t_linear = {
+            let r = run_spmd(p, Machine::cluster2002(), move |comm| {
+                let mut d = payload.clone();
+                broadcast_linear(comm, 0, &mut d);
+            })
+            .unwrap();
+            crate::stats::TimeModel::from_results(&r).makespan
+        };
+        assert!(
+            t_tree < t_linear,
+            "tree {t_tree} should beat linear {t_linear}"
+        );
+    }
+
+    #[test]
+    fn ring_beats_doubling_for_large_payloads() {
+        // Bandwidth-dominated regime: ring moves n/p per step.
+        let p = 8;
+        let n = 100_000;
+        let t_ring = {
+            let r = run_spmd(p, Machine::cluster2002(), move |comm| {
+                let data = vec![1.0; n];
+                let _ = allreduce_ring(comm, &data, ReduceOp::Sum);
+            })
+            .unwrap();
+            crate::stats::TimeModel::from_results(&r).makespan
+        };
+        let t_dbl = {
+            let r = run_spmd(p, Machine::cluster2002(), move |comm| {
+                let data = vec![1.0; n];
+                let _ = allreduce_doubling(comm, &data, ReduceOp::Sum);
+            })
+            .unwrap();
+            crate::stats::TimeModel::from_results(&r).makespan
+        };
+        assert!(
+            t_ring < t_dbl,
+            "ring {t_ring} should beat doubling {t_dbl} at n={n}"
+        );
+    }
+
+    #[test]
+    fn doubling_beats_ring_for_tiny_payloads() {
+        // Latency-dominated regime.
+        let p = 8;
+        let t_ring = {
+            let r = run_spmd(p, Machine::cluster2002(), |comm| {
+                let _ = allreduce_ring(comm, &[1.0], ReduceOp::Sum);
+            })
+            .unwrap();
+            crate::stats::TimeModel::from_results(&r).makespan
+        };
+        let t_dbl = {
+            let r = run_spmd(p, Machine::cluster2002(), |comm| {
+                let _ = allreduce_doubling(comm, &[1.0], ReduceOp::Sum);
+            })
+            .unwrap();
+            crate::stats::TimeModel::from_results(&r).makespan
+        };
+        assert!(
+            t_dbl < t_ring,
+            "doubling {t_dbl} should beat ring {t_ring} at n=1"
+        );
+    }
+}
+
+/// Inclusive prefix-sum scan: rank r receives the element-wise sum of
+/// the buffers of ranks `0..=r` (Hillis–Steele doubling: ⌈log₂p⌉ rounds).
+pub fn scan_sum<C: Communicator + ?Sized>(comm: &mut C, data: &[f64]) -> Vec<f64> {
+    let p = comm.size();
+    let rank = comm.rank();
+    let mut acc = data.to_vec();
+    let mut dist = 1usize;
+    let mut round: Tag = 0;
+    while dist < p {
+        // Send my running prefix to rank + dist; receive from rank − dist.
+        if rank + dist < p {
+            comm.send(rank + dist, T_SCAN + round * 16, &acc);
+        }
+        if rank >= dist {
+            let part = comm.recv(rank - dist, T_SCAN + round * 16);
+            ReduceOp::Sum.apply(&mut acc, &part);
+        }
+        dist <<= 1;
+        round += 1;
+    }
+    acc
+}
+
+/// Allgather of equal-length buffers: every rank receives the
+/// concatenation in rank order (tree-gather to rank 0 + broadcast).
+pub fn allgather<C: Communicator + ?Sized>(comm: &mut C, data: &[f64]) -> Vec<f64> {
+    let p = comm.size();
+    let len = data.len();
+    let mut buf = match gather(comm, 0, data) {
+        Some(v) => v,
+        None => vec![0.0; p * len],
+    };
+    broadcast(comm, 0, &mut buf);
+    buf
+}
+
+#[cfg(test)]
+mod scan_tests {
+    use super::*;
+    use crate::machine::Machine;
+    use crate::thread_comm::run_spmd;
+
+    #[test]
+    fn scan_sum_matches_prefix_fold() {
+        for p in [1usize, 2, 3, 5, 8, 13] {
+            let r = run_spmd(p, Machine::ideal(), |comm| {
+                let mine = vec![comm.rank() as f64 + 1.0, 1.0];
+                scan_sum(comm, &mine)
+            })
+            .unwrap();
+            for (rank, res) in r.iter().enumerate() {
+                let expect0: f64 = (0..=rank).map(|k| k as f64 + 1.0).sum();
+                assert_eq!(
+                    res.value,
+                    vec![expect0, rank as f64 + 1.0],
+                    "p={p} rank={rank}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_concatenates_in_rank_order() {
+        for p in [1usize, 3, 6] {
+            let r = run_spmd(p, Machine::ideal(), |comm| {
+                allgather(comm, &[comm.rank() as f64, -(comm.rank() as f64)])
+            })
+            .unwrap();
+            let expect: Vec<f64> = (0..p).flat_map(|k| vec![k as f64, -(k as f64)]).collect();
+            for res in &r {
+                assert_eq!(res.value, expect, "p={p}");
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! The communicator abstraction every parallel engine programs against.
+
+use crate::machine::Machine;
+use crate::message::Tag;
+use crate::stats::CommStats;
+
+/// An SPMD communicator: identity, point-to-point messaging and the
+/// virtual-time hooks. Collective operations live in
+/// [`crate::collectives`] as free functions so that multiple algorithmic
+/// variants can coexist (they are what the ablation experiments compare).
+///
+/// The contract mirrors a minimal MPI:
+///
+/// * `send` is asynchronous and never blocks (unbounded buffering);
+/// * `recv` blocks until a matching `(src, tag)` message arrives, with
+///   out-of-order arrivals buffered — i.e. MPI's non-overtaking envelope
+///   matching;
+/// * each call also advances the rank's **virtual clock** by the machine
+///   model's cost for the operation, and tallies [`CommStats`].
+///
+/// # Panics
+///
+/// `recv` panics when a poison message from a failed peer arrives; the
+/// SPMD driver converts that unwinding into a [`crate::ClusterError`].
+pub trait Communicator {
+    /// This rank's id in `0..size()`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks.
+    fn size(&self) -> usize;
+
+    /// The machine model this run executes under.
+    fn machine(&self) -> &Machine;
+
+    /// Asynchronously send `data` to `dest` with `tag`.
+    ///
+    /// Virtual cost (charged to the sender): `α + β·wire_bytes`.
+    fn send(&mut self, dest: usize, tag: Tag, data: &[f64]);
+
+    /// Block until a message with envelope `(src, tag)` arrives and
+    /// return its payload.
+    ///
+    /// Virtual cost: the receiver's clock becomes
+    /// `max(own clock, sender delivery time)` — waiting is free, arrival
+    /// cannot precede the modelled delivery.
+    fn recv(&mut self, src: usize, tag: Tag) -> Vec<f64>;
+
+    /// Advance this rank's virtual clock by `seconds` of computation.
+    fn compute(&mut self, seconds: f64);
+
+    /// Advance the clock by `units` abstract work units priced by the
+    /// machine model.
+    fn compute_units(&mut self, units: f64) {
+        let t = self.machine().work_time(units);
+        self.compute(t);
+    }
+
+    /// Current virtual time of this rank.
+    fn now(&self) -> f64;
+
+    /// Snapshot of the communication counters.
+    fn stats(&self) -> CommStats;
+}
+
+#[cfg(test)]
+mod tests {
+    // Communicator is exercised end-to-end in thread_comm and collectives
+    // tests; here we only pin trait-object safety.
+    use super::*;
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes_dyn(_c: &mut dyn Communicator) {}
+    }
+}

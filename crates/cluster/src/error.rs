@@ -1,0 +1,47 @@
+//! Errors surfaced by the SPMD runtime.
+
+use std::fmt;
+
+/// Failure of an SPMD run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// One or more ranks panicked; the payload lists `(rank, message)`.
+    RanksFailed(Vec<(usize, String)>),
+    /// `run_spmd` was asked for zero ranks.
+    ZeroRanks,
+    /// A rank index was out of range for the communicator size.
+    InvalidRank { rank: usize, size: usize },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::RanksFailed(rs) => {
+                write!(f, "{} rank(s) failed:", rs.len())?;
+                for (r, m) in rs {
+                    write!(f, " [rank {r}: {m}]")?;
+                }
+                Ok(())
+            }
+            ClusterError::ZeroRanks => write!(f, "an SPMD run needs at least one rank"),
+            ClusterError::InvalidRank { rank, size } => {
+                write!(f, "rank {rank} out of range for size {size}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_lists_failed_ranks() {
+        let e = ClusterError::RanksFailed(vec![(2, "boom".into())]);
+        let s = e.to_string();
+        assert!(s.contains("rank 2"));
+        assert!(s.contains("boom"));
+    }
+}

@@ -1,0 +1,63 @@
+//! # mdp-cluster — a message-passing substrate with a virtual-time model
+//!
+//! The ICPP 2002 evaluation this workspace reproduces ran MPI programs on
+//! a distributed-memory multiprocessor. This crate recreates that
+//! programming model from scratch:
+//!
+//! * **SPMD execution** — [`run_spmd`] launches `p` ranks as OS threads,
+//!   each holding a [`ThreadComm`]; the same closure runs on every rank
+//!   exactly as an MPI program would (`rank()`, `size()`, `send`, `recv`,
+//!   collectives).
+//! * **Typed point-to-point messages** over lock-free channels with
+//!   selective receive by `(source, tag)` — the MPI envelope discipline.
+//! * **Collectives** ([`collectives`]) — barrier, broadcast, reduce,
+//!   allreduce, gather, scatter and all-to-all, each built from
+//!   point-to-point sends with the classic binomial-tree / recursive
+//!   doubling / ring algorithms (several variants, for the ablation
+//!   experiments).
+//! * **A virtual-time execution model** — the substitution for real
+//!   hardware (see DESIGN.md). Each rank owns a virtual clock; computation
+//!   advances it explicitly via [`Communicator::compute`], and every
+//!   message advances it by the Hockney cost `α + β·bytes` of the chosen
+//!   [`Machine`]. Message timestamps travel with the payload, so the
+//!   virtual time of a run is **deterministic** — independent of how the
+//!   host OS schedules the worker threads, and therefore reproducible on
+//!   any machine, including this single-core build host.
+//!
+//! The modelled execution time of a run is the `max` over ranks of each
+//! rank's clock at finish; parallel speedup reported by the benches is
+//! `T_model(1) / T_model(p)`, exactly the quantity the paper measures,
+//! with communication structure — not host core count — determining the
+//! curve.
+//!
+//! ```
+//! use mdp_cluster::{run_spmd, Machine, Communicator};
+//!
+//! // Sum 0..400 split over 4 ranks, with a modelled 2002-era cluster.
+//! let results = run_spmd(4, Machine::cluster2002(), |comm| {
+//!     let (lo, hi) = mdp_cluster::partition::block_range(400, comm.size(), comm.rank());
+//!     let local: f64 = (lo..hi).map(|i| i as f64).sum();
+//!     comm.compute(1e-9 * (hi - lo) as f64);
+//!     mdp_cluster::collectives::allreduce_sum(comm, &[local])[0]
+//! })
+//! .unwrap();
+//! assert!(results.iter().all(|r| r.value == 79800.0));
+//! ```
+
+pub mod collectives;
+pub mod comm;
+pub mod error;
+pub mod machine;
+pub mod message;
+pub mod partition;
+pub mod stats;
+pub mod thread_comm;
+pub mod topology;
+pub mod trace;
+
+pub use comm::Communicator;
+pub use error::ClusterError;
+pub use machine::Machine;
+pub use message::Tag;
+pub use stats::{CommStats, SpmdResult, TimeModel};
+pub use thread_comm::{run_spmd, run_spmd_traced, ThreadComm};

@@ -1,0 +1,125 @@
+//! Machine models: the parameters of the virtual-time execution model.
+//!
+//! The Hockney model prices a point-to-point message of `n` bytes at
+//! `α + β·n` seconds (`α` latency, `β` inverse bandwidth). These two
+//! numbers plus a floating-point throughput describe a machine well
+//! enough to reproduce the *shape* of speedup curves; the presets span
+//! the design space the evaluation sweeps (ablation A4).
+
+/// Parameters of a modelled parallel machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Machine {
+    /// Human-readable preset name.
+    pub name: &'static str,
+    /// Message latency α in seconds.
+    pub latency: f64,
+    /// Inverse bandwidth β in seconds per byte.
+    pub inv_bandwidth: f64,
+    /// Seconds per abstract "work unit" (calibrated flop-equivalents);
+    /// engines use [`Machine::work_time`] to convert counted work into
+    /// virtual seconds.
+    pub sec_per_unit: f64,
+}
+
+impl Machine {
+    /// A 2002-era Beowulf-class cluster: 50 µs MPI latency, 100 MB/s
+    /// effective bandwidth, ~100 Mflop/s effective per-node throughput
+    /// on pricing kernels.
+    pub fn cluster2002() -> Self {
+        Machine {
+            name: "cluster2002",
+            latency: 50e-6,
+            inv_bandwidth: 10e-9,
+            sec_per_unit: 10e-9,
+        }
+    }
+
+    /// A shared-memory SMP node: 2 µs latency, 2 GB/s.
+    pub fn smp() -> Self {
+        Machine {
+            name: "smp",
+            latency: 2e-6,
+            inv_bandwidth: 0.5e-9,
+            sec_per_unit: 10e-9,
+        }
+    }
+
+    /// An idealised PRAM-like machine: communication is free.
+    /// Speedup measured on it isolates load imbalance from comm cost.
+    pub fn ideal() -> Self {
+        Machine {
+            name: "ideal",
+            latency: 0.0,
+            inv_bandwidth: 0.0,
+            sec_per_unit: 10e-9,
+        }
+    }
+
+    /// Copy of `self` with latency scaled by `f` (ablation A4).
+    pub fn with_latency_factor(mut self, f: f64) -> Self {
+        self.latency *= f;
+        self.name = "custom";
+        self
+    }
+
+    /// Copy of `self` with bandwidth scaled by `f` (β divided by `f`).
+    pub fn with_bandwidth_factor(mut self, f: f64) -> Self {
+        self.inv_bandwidth /= f;
+        self.name = "custom";
+        self
+    }
+
+    /// Virtual seconds for a message of `bytes` bytes.
+    #[inline]
+    pub fn message_time(&self, bytes: usize) -> f64 {
+        self.latency + self.inv_bandwidth * bytes as f64
+    }
+
+    /// Virtual seconds for `units` abstract work units.
+    #[inline]
+    pub fn work_time(&self, units: f64) -> f64 {
+        self.sec_per_unit * units
+    }
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Machine::cluster2002()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_time_is_affine() {
+        let m = Machine::cluster2002();
+        let t0 = m.message_time(0);
+        let t1k = m.message_time(1000);
+        assert_eq!(t0, 50e-6);
+        assert!((t1k - t0 - 1000.0 * 10e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn ideal_machine_communicates_for_free() {
+        let m = Machine::ideal();
+        assert_eq!(m.message_time(1 << 20), 0.0);
+        assert!(m.work_time(100.0) > 0.0);
+    }
+
+    #[test]
+    fn factors_scale_the_right_knob() {
+        let m = Machine::cluster2002().with_latency_factor(10.0);
+        assert_eq!(m.latency, 500e-6);
+        assert_eq!(m.inv_bandwidth, 10e-9);
+        let m2 = Machine::cluster2002().with_bandwidth_factor(10.0);
+        assert_eq!(m2.inv_bandwidth, 1e-9);
+    }
+
+    #[test]
+    fn presets_ordered_by_latency() {
+        assert!(Machine::ideal().latency < Machine::smp().latency);
+        assert!(Machine::smp().latency < Machine::cluster2002().latency);
+    }
+}

@@ -1,0 +1,148 @@
+//! Per-rank counters and run-level time aggregation.
+
+/// Communication/computation counters for one rank.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CommStats {
+    /// Point-to-point messages sent.
+    pub msgs_sent: u64,
+    /// Modelled wire bytes sent (payload + envelope).
+    pub bytes_sent: u64,
+    /// Virtual seconds spent injecting messages (α + β·bytes each).
+    pub send_time: f64,
+    /// Virtual seconds spent blocked waiting for arrivals.
+    pub wait_time: f64,
+    /// Virtual seconds of modelled computation.
+    pub compute_time: f64,
+}
+
+impl CommStats {
+    /// Total virtual communication time (send + wait).
+    pub fn comm_time(&self) -> f64 {
+        self.send_time + self.wait_time
+    }
+
+    /// Fraction of this rank's busy time spent communicating.
+    pub fn comm_fraction(&self) -> f64 {
+        let total = self.comm_time() + self.compute_time;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.comm_time() / total
+        }
+    }
+}
+
+/// Result of one rank of an SPMD run.
+#[derive(Debug, Clone)]
+pub struct SpmdResult<T> {
+    /// Rank id.
+    pub rank: usize,
+    /// The closure's return value on this rank.
+    pub value: T,
+    /// The rank's virtual clock at completion.
+    pub time: f64,
+    /// The rank's counters.
+    pub stats: CommStats,
+}
+
+/// Aggregated timing view of a whole SPMD run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeModel {
+    /// Modelled parallel execution time: max over ranks of the final
+    /// virtual clock (the makespan — what a stopwatch would measure).
+    pub makespan: f64,
+    /// Mean per-rank communication time.
+    pub mean_comm: f64,
+    /// Mean per-rank computation time.
+    pub mean_compute: f64,
+    /// Max over ranks of communication time.
+    pub max_comm: f64,
+    /// Total messages across ranks.
+    pub total_msgs: u64,
+    /// Total modelled bytes across ranks.
+    pub total_bytes: u64,
+    /// Number of ranks.
+    pub ranks: usize,
+}
+
+impl TimeModel {
+    /// Summarise a run.
+    pub fn from_results<T>(results: &[SpmdResult<T>]) -> Self {
+        let ranks = results.len();
+        let makespan = results.iter().map(|r| r.time).fold(0.0, f64::max);
+        let mean_comm =
+            results.iter().map(|r| r.stats.comm_time()).sum::<f64>() / ranks.max(1) as f64;
+        let mean_compute =
+            results.iter().map(|r| r.stats.compute_time).sum::<f64>() / ranks.max(1) as f64;
+        let max_comm = results
+            .iter()
+            .map(|r| r.stats.comm_time())
+            .fold(0.0, f64::max);
+        let total_msgs = results.iter().map(|r| r.stats.msgs_sent).sum();
+        let total_bytes = results.iter().map(|r| r.stats.bytes_sent).sum();
+        TimeModel {
+            makespan,
+            mean_comm,
+            mean_compute,
+            max_comm,
+            total_msgs,
+            total_bytes,
+            ranks,
+        }
+    }
+
+    /// Communication share of the makespan-weighted busy time:
+    /// `mean_comm / (mean_comm + mean_compute)`.
+    pub fn comm_fraction(&self) -> f64 {
+        let busy = self.mean_comm + self.mean_compute;
+        if busy == 0.0 {
+            0.0
+        } else {
+            self.mean_comm / busy
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn res(rank: usize, time: f64, comm: f64, compute: f64) -> SpmdResult<()> {
+        SpmdResult {
+            rank,
+            value: (),
+            time,
+            stats: CommStats {
+                msgs_sent: 2,
+                bytes_sent: 100,
+                send_time: comm / 2.0,
+                wait_time: comm / 2.0,
+                compute_time: compute,
+            },
+        }
+    }
+
+    #[test]
+    fn makespan_is_max_rank_time() {
+        let rs = vec![res(0, 1.0, 0.1, 0.9), res(1, 2.0, 0.5, 1.5)];
+        let tm = TimeModel::from_results(&rs);
+        assert_eq!(tm.makespan, 2.0);
+        assert_eq!(tm.ranks, 2);
+        assert_eq!(tm.total_msgs, 4);
+        assert_eq!(tm.total_bytes, 200);
+        assert!((tm.mean_comm - 0.3).abs() < 1e-15);
+        assert!((tm.max_comm - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn comm_fraction_bounds() {
+        let s = CommStats {
+            send_time: 1.0,
+            wait_time: 1.0,
+            compute_time: 2.0,
+            ..Default::default()
+        };
+        assert!((s.comm_fraction() - 0.5).abs() < 1e-15);
+        assert_eq!(CommStats::default().comm_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,574 @@
+//! Thread-backed SPMD runtime.
+//!
+//! [`run_spmd`] launches one OS thread per rank. Ranks exchange
+//! [`Message`]s over unbounded crossbeam channels (one inbox per rank,
+//! one sender handle per source so per-source FIFO order holds — the MPI
+//! non-overtaking guarantee). Oversubscription is fine: on the single-core
+//! build host 64 ranks simply time-slice, and because all *reported*
+//! times come from the deterministic virtual clock, results are identical
+//! to a run on a 64-core machine.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::comm::Communicator;
+use crate::error::ClusterError;
+use crate::machine::Machine;
+use crate::message::{Message, Tag, POISON_TAG};
+use crate::stats::{CommStats, SpmdResult};
+use crate::trace::TraceEvent;
+
+/// How long a `recv` may block before declaring the run wedged. Generous:
+/// only reached on a genuine deadlock (mismatched send/recv program) or
+/// if a peer died without poisoning us.
+const RECV_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Per-rank communicator handle (see [`Communicator`] for semantics).
+pub struct ThreadComm {
+    rank: usize,
+    size: usize,
+    machine: Machine,
+    clock: f64,
+    stats: CommStats,
+    /// senders[d] feeds rank d's inbox.
+    senders: Vec<Sender<Message>>,
+    inbox: Receiver<Message>,
+    /// Out-of-order arrivals, keyed by envelope, FIFO within a key.
+    pending: HashMap<(usize, Tag), VecDeque<Message>>,
+    /// Virtual-time event log, when tracing is enabled.
+    trace: Option<Vec<TraceEvent>>,
+}
+
+impl ThreadComm {
+    fn new(
+        rank: usize,
+        size: usize,
+        machine: Machine,
+        senders: Vec<Sender<Message>>,
+        inbox: Receiver<Message>,
+    ) -> Self {
+        ThreadComm {
+            rank,
+            size,
+            machine,
+            clock: 0.0,
+            stats: CommStats::default(),
+            senders,
+            inbox,
+            pending: HashMap::new(),
+            trace: None,
+        }
+    }
+
+    /// Enable event tracing for this rank.
+    fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    fn handle_poison(&self, msg: &Message) -> ! {
+        panic!(
+            "rank {}: peer rank {} failed, aborting SPMD section",
+            self.rank, msg.src
+        );
+    }
+
+    /// Take the oldest buffered message matching the envelope, if any.
+    fn take_pending(&mut self, src: usize, tag: Tag) -> Option<Message> {
+        let queue = self.pending.get_mut(&(src, tag))?;
+        let msg = queue.pop_front();
+        if queue.is_empty() {
+            self.pending.remove(&(src, tag));
+        }
+        msg
+    }
+}
+
+impl Communicator for ThreadComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    fn send(&mut self, dest: usize, tag: Tag, data: &[f64]) {
+        assert!(dest < self.size, "send to rank {dest} of {}", self.size);
+        let bytes = Message::wire_bytes(data.len());
+        let cost = self.machine.message_time(bytes);
+        let start = self.clock;
+        self.clock += cost;
+        self.stats.send_time += cost;
+        if let Some(tr) = &mut self.trace {
+            tr.push(TraceEvent::Send {
+                start,
+                end: self.clock,
+                dest,
+                bytes,
+            });
+        }
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += bytes as u64;
+        let msg = Message {
+            src: self.rank,
+            tag,
+            data: data.into(),
+            sent_at: self.clock,
+            poison: false,
+        };
+        // Unbounded channel: never blocks; a send to a finished rank is
+        // silently dropped on the floor when its inbox is gone.
+        let _ = self.senders[dest].send(msg);
+    }
+
+    fn recv(&mut self, src: usize, tag: Tag) -> Vec<f64> {
+        assert!(src < self.size, "recv from rank {src} of {}", self.size);
+        let msg = if let Some(m) = self.take_pending(src, tag) {
+            m
+        } else {
+            loop {
+                match self.inbox.recv_timeout(RECV_TIMEOUT) {
+                    Ok(m) if m.poison => self.handle_poison(&m),
+                    Ok(m) if m.src == src && m.tag == tag => break m,
+                    Ok(m) => {
+                        self.pending.entry((m.src, m.tag)).or_default().push_back(m);
+                    }
+                    Err(_) => panic!(
+                        "rank {}: recv(src={src}, tag={tag}) timed out — deadlock?",
+                        self.rank
+                    ),
+                }
+            }
+        };
+        // Clock: arrival cannot precede the modelled delivery time.
+        if msg.sent_at > self.clock {
+            self.stats.wait_time += msg.sent_at - self.clock;
+            if let Some(tr) = &mut self.trace {
+                tr.push(TraceEvent::Wait {
+                    start: self.clock,
+                    end: msg.sent_at,
+                    src,
+                });
+            }
+            self.clock = msg.sent_at;
+        }
+        msg.data.into_vec()
+    }
+
+    fn compute(&mut self, seconds: f64) {
+        debug_assert!(seconds >= 0.0, "negative compute time");
+        let start = self.clock;
+        self.clock += seconds;
+        self.stats.compute_time += seconds;
+        if let Some(tr) = &mut self.trace {
+            // Coalesce back-to-back compute so traces stay compact.
+            if let Some(TraceEvent::Compute { end, .. }) = tr.last_mut() {
+                if (*end - start).abs() < 1e-15 {
+                    *end = self.clock;
+                    return;
+                }
+            }
+            tr.push(TraceEvent::Compute {
+                start,
+                end: self.clock,
+            });
+        }
+    }
+
+    fn now(&self) -> f64 {
+        self.clock
+    }
+
+    fn stats(&self) -> CommStats {
+        self.stats
+    }
+}
+
+/// Run `f` on `p` ranks under the given machine model and collect every
+/// rank's result, virtual completion time and counters (ordered by rank).
+///
+/// If any rank panics, the panic is caught, poison is propagated so peers
+/// blocked in `recv` unwind too, and the whole run returns
+/// [`ClusterError::RanksFailed`] listing the *originally* failing ranks
+/// (cascade victims are reported only if no originator is identifiable).
+pub fn run_spmd<T, F>(p: usize, machine: Machine, f: F) -> Result<Vec<SpmdResult<T>>, ClusterError>
+where
+    T: Send,
+    F: Fn(&mut ThreadComm) -> T + Sync,
+{
+    run_spmd_inner(p, machine, f, false).map(|(r, _)| r)
+}
+
+/// Results plus per-rank event traces from a traced run.
+pub type TracedRun<T> = (Vec<SpmdResult<T>>, Vec<Vec<TraceEvent>>);
+
+/// [`run_spmd`] with per-rank virtual-time event traces
+/// (see [`crate::trace`]) for timeline analysis.
+pub fn run_spmd_traced<T, F>(p: usize, machine: Machine, f: F) -> Result<TracedRun<T>, ClusterError>
+where
+    T: Send,
+    F: Fn(&mut ThreadComm) -> T + Sync,
+{
+    run_spmd_inner(p, machine, f, true).map(|(r, t)| (r, t.expect("tracing was requested")))
+}
+
+#[allow(clippy::type_complexity)]
+fn run_spmd_inner<T, F>(
+    p: usize,
+    machine: Machine,
+    f: F,
+    traced: bool,
+) -> Result<(Vec<SpmdResult<T>>, Option<Vec<Vec<TraceEvent>>>), ClusterError>
+where
+    T: Send,
+    F: Fn(&mut ThreadComm) -> T + Sync,
+{
+    if p == 0 {
+        return Err(ClusterError::ZeroRanks);
+    }
+    // Build the mesh of channels: one inbox per rank, everyone holds a
+    // sender clone for every inbox.
+    let mut senders = Vec::with_capacity(p);
+    let mut inboxes = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (tx, rx) = unbounded::<Message>();
+        senders.push(tx);
+        inboxes.push(rx);
+    }
+
+    let f = &f;
+    let results: Vec<Result<(SpmdResult<T>, Vec<TraceEvent>), (usize, String, bool)>> =
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for (rank, inbox) in inboxes.into_iter().enumerate() {
+                let senders = senders.clone();
+                handles.push(scope.spawn(move || {
+                    let mut comm = ThreadComm::new(rank, p, machine, senders, inbox);
+                    if traced {
+                        comm.enable_trace();
+                    }
+                    let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut comm)));
+                    match outcome {
+                        Ok(value) => Ok((
+                            SpmdResult {
+                                rank,
+                                value,
+                                time: comm.clock,
+                                stats: comm.stats,
+                            },
+                            comm.trace.take().unwrap_or_default(),
+                        )),
+                        Err(payload) => {
+                            let msg = panic_message(payload.as_ref());
+                            let cascade = msg.contains("aborting SPMD section");
+                            // Poison everyone else so blocked recvs unwind.
+                            for (d, tx) in comm.senders.iter().enumerate() {
+                                if d != rank {
+                                    let _ = tx.send(Message {
+                                        src: rank,
+                                        tag: POISON_TAG,
+                                        data: Box::new([]),
+                                        sent_at: comm.clock,
+                                        poison: true,
+                                    });
+                                }
+                            }
+                            Err((rank, msg, cascade))
+                        }
+                    }
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread itself must not die"))
+                .collect()
+        });
+
+    let mut ok = Vec::with_capacity(p);
+    let mut originators = Vec::new();
+    let mut cascades = Vec::new();
+    for r in results {
+        match r {
+            Ok(v) => ok.push(v),
+            Err((rank, msg, cascade)) => {
+                if cascade {
+                    cascades.push((rank, msg));
+                } else {
+                    originators.push((rank, msg));
+                }
+            }
+        }
+    }
+    if originators.is_empty() && cascades.is_empty() {
+        ok.sort_by_key(|(r, _)| r.rank);
+        let (res, traces): (Vec<_>, Vec<_>) = ok.into_iter().unzip();
+        Ok((res, if traced { Some(traces) } else { None }))
+    } else if !originators.is_empty() {
+        Err(ClusterError::RanksFailed(originators))
+    } else {
+        Err(ClusterError::RanksFailed(cascades))
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_runs_sequentially() {
+        let r = run_spmd(1, Machine::ideal(), |comm| {
+            comm.compute(1.5);
+            comm.rank() * 10 + comm.size()
+        })
+        .unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].value, 1);
+        assert_eq!(r[0].time, 1.5);
+    }
+
+    #[test]
+    fn zero_ranks_rejected() {
+        assert_eq!(
+            run_spmd(0, Machine::ideal(), |_| ()).unwrap_err(),
+            ClusterError::ZeroRanks
+        );
+    }
+
+    #[test]
+    fn ping_pong_transfers_payload() {
+        let r = run_spmd(2, Machine::cluster2002(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, &[1.0, 2.0, 3.0]);
+                comm.recv(1, 8)
+            } else {
+                let v = comm.recv(0, 7);
+                let doubled: Vec<f64> = v.iter().map(|x| x * 2.0).collect();
+                comm.send(0, 8, &doubled);
+                doubled
+            }
+        })
+        .unwrap();
+        assert_eq!(r[0].value, vec![2.0, 4.0, 6.0]);
+        assert_eq!(r[1].value, vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn virtual_clock_is_deterministic_across_runs() {
+        let times = |_: ()| {
+            run_spmd(4, Machine::cluster2002(), |comm| {
+                // Ring shift: each rank sends to the next, receives from prev.
+                let next = (comm.rank() + 1) % comm.size();
+                let prev = (comm.rank() + comm.size() - 1) % comm.size();
+                comm.compute(1e-3 * (comm.rank() + 1) as f64);
+                comm.send(next, 1, &[comm.rank() as f64]);
+                let v = comm.recv(prev, 1);
+                v[0]
+            })
+            .unwrap()
+            .into_iter()
+            .map(|r| r.time)
+            .collect::<Vec<f64>>()
+        };
+        let a = times(());
+        let b = times(());
+        assert_eq!(a, b, "virtual times must not depend on scheduling");
+    }
+
+    #[test]
+    fn clock_respects_message_delivery_time() {
+        let r = run_spmd(2, Machine::cluster2002(), |comm| {
+            if comm.rank() == 0 {
+                comm.compute(1.0); // sender is busy 1s before sending
+                comm.send(1, 1, &[0.0]);
+            } else {
+                // Receiver idles; its clock must jump to ≥ 1s + msg cost.
+                let _ = comm.recv(0, 1);
+            }
+            comm.now()
+        })
+        .unwrap();
+        let msg_cost = Machine::cluster2002().message_time(Message::wire_bytes(1));
+        assert!(
+            (r[1].value - (1.0 + msg_cost)).abs() < 1e-12,
+            "{}",
+            r[1].value
+        );
+        assert!(r[1].stats.wait_time > 0.9);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let r = run_spmd(2, Machine::ideal(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 10, &[10.0]);
+                comm.send(1, 20, &[20.0]);
+                0.0
+            } else {
+                // Receive in the opposite order.
+                let b = comm.recv(0, 20);
+                let a = comm.recv(0, 10);
+                a[0] + b[0]
+            }
+        })
+        .unwrap();
+        assert_eq!(r[1].value, 30.0);
+    }
+
+    #[test]
+    fn same_envelope_preserves_fifo() {
+        let r = run_spmd(2, Machine::ideal(), |comm| {
+            if comm.rank() == 0 {
+                for k in 0..5 {
+                    comm.send(1, 3, &[k as f64]);
+                }
+                vec![]
+            } else {
+                (0..5).map(|_| comm.recv(0, 3)[0]).collect::<Vec<f64>>()
+            }
+        })
+        .unwrap();
+        assert_eq!(r[1].value, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn rank_panic_reports_originator() {
+        let err = run_spmd(3, Machine::ideal(), |comm| {
+            if comm.rank() == 1 {
+                panic!("injected failure");
+            }
+            // Other ranks block on rank 1 and must be unwound by poison.
+            let _ = comm.recv(1, 99);
+        })
+        .unwrap_err();
+        match err {
+            ClusterError::RanksFailed(rs) => {
+                assert_eq!(rs.len(), 1, "{rs:?}");
+                assert_eq!(rs[0].0, 1);
+                assert!(rs[0].1.contains("injected"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let r = run_spmd(2, Machine::cluster2002(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, &[0.0; 10]);
+            } else {
+                let _ = comm.recv(0, 1);
+            }
+        })
+        .unwrap();
+        assert_eq!(r[0].stats.msgs_sent, 1);
+        assert_eq!(r[0].stats.bytes_sent, Message::wire_bytes(10) as u64);
+        assert_eq!(r[1].stats.msgs_sent, 0);
+    }
+
+    #[test]
+    fn many_ranks_oversubscribed() {
+        // 32 ranks on however few cores: must still complete and agree.
+        let r = run_spmd(32, Machine::ideal(), |comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(next, 1, &[comm.rank() as f64]);
+            comm.recv(prev, 1)[0] as usize
+        })
+        .unwrap();
+        for (i, res) in r.iter().enumerate() {
+            assert_eq!(res.value, (i + 32 - 1) % 32);
+        }
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::collectives;
+    use crate::trace::{render_gantt, summarize, TraceEvent};
+
+    #[test]
+    fn traced_run_records_all_event_kinds() {
+        let (results, traces) = run_spmd_traced(2, Machine::cluster2002(), |comm| {
+            comm.compute(1e-3);
+            if comm.rank() == 0 {
+                comm.send(1, 5, &[1.0, 2.0]);
+            } else {
+                let _ = comm.recv(0, 5);
+            }
+            comm.compute(5e-4);
+        })
+        .unwrap();
+        assert_eq!(traces.len(), 2);
+        // Rank 0: compute, send, compute.
+        let kinds0: Vec<&str> = traces[0]
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Compute { .. } => "c",
+                TraceEvent::Send { .. } => "s",
+                TraceEvent::Wait { .. } => "w",
+            })
+            .collect();
+        assert_eq!(kinds0, vec!["c", "s", "c"]);
+        // Rank 1 waited: its first compute ends at 1e-3 but the message
+        // arrives later (sender computed 1e-3 then paid the transfer).
+        assert!(traces[1]
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Wait { .. })));
+        // Summaries reconcile with the stats counters.
+        for (r, tr) in results.iter().zip(&traces) {
+            let s = summarize(r.rank, tr);
+            assert!((s.compute - r.stats.compute_time).abs() < 1e-12);
+            assert!((s.send - r.stats.send_time).abs() < 1e-12);
+            assert!((s.wait - r.stats.wait_time).abs() < 1e-12);
+            assert!((s.finish - r.time).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn back_to_back_compute_coalesces() {
+        let (_, traces) = run_spmd_traced(1, Machine::ideal(), |comm| {
+            for _ in 0..10 {
+                comm.compute(1e-4);
+            }
+        })
+        .unwrap();
+        assert_eq!(traces[0].len(), 1, "{:?}", traces[0]);
+        assert!((traces[0][0].duration() - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn untraced_run_unchanged_and_trace_render_smoke() {
+        // Virtual times must be identical with tracing on or off.
+        let body = |comm: &mut ThreadComm| {
+            comm.compute(1e-3 * (comm.rank() + 1) as f64);
+            collectives::allreduce_sum(comm, &[comm.rank() as f64])[0]
+        };
+        let plain = run_spmd(3, Machine::cluster2002(), body).unwrap();
+        let (traced, traces) = run_spmd_traced(3, Machine::cluster2002(), body).unwrap();
+        for (a, b) in plain.iter().zip(&traced) {
+            assert_eq!(a.time.to_bits(), b.time.to_bits());
+            assert_eq!(a.value, b.value);
+        }
+        let gantt = render_gantt(&traces, 60);
+        assert!(gantt.lines().count() == 4, "{gantt}");
+    }
+}

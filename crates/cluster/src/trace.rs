@@ -1,0 +1,207 @@
+//! Execution traces: per-rank event logs in virtual time.
+//!
+//! The performance-evaluation papers of the era read their numbers off
+//! per-rank timelines (compute/communicate Gantt charts from tools like
+//! Upshot/Jumpshot). [`crate::run_spmd_traced`] records the same events
+//! against the virtual clock; this module summarises and renders them.
+
+/// One virtual-time event on a rank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// Modelled computation from `start` to `end`.
+    Compute {
+        /// Start (virtual seconds).
+        start: f64,
+        /// End (virtual seconds).
+        end: f64,
+    },
+    /// A send injected at `start`, occupying the rank until `end`.
+    Send {
+        /// Injection time.
+        start: f64,
+        /// Completion of the modelled transfer.
+        end: f64,
+        /// Destination rank.
+        dest: usize,
+        /// Wire bytes.
+        bytes: usize,
+    },
+    /// A blocking receive that waited from `start` until the message's
+    /// modelled arrival at `end`.
+    Wait {
+        /// When the rank started waiting.
+        start: f64,
+        /// Message arrival.
+        end: f64,
+        /// Source rank.
+        src: usize,
+    },
+}
+
+impl TraceEvent {
+    /// Event duration.
+    pub fn duration(&self) -> f64 {
+        match *self {
+            TraceEvent::Compute { start, end }
+            | TraceEvent::Send { start, end, .. }
+            | TraceEvent::Wait { start, end, .. } => end - start,
+        }
+    }
+
+    /// Event end time.
+    pub fn end(&self) -> f64 {
+        match *self {
+            TraceEvent::Compute { end, .. }
+            | TraceEvent::Send { end, .. }
+            | TraceEvent::Wait { end, .. } => end,
+        }
+    }
+}
+
+/// Aggregate view of one rank's trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankSummary {
+    /// Rank id.
+    pub rank: usize,
+    /// Total compute seconds.
+    pub compute: f64,
+    /// Total send seconds.
+    pub send: f64,
+    /// Total blocked-waiting seconds.
+    pub wait: f64,
+    /// Completion time (end of the last event).
+    pub finish: f64,
+}
+
+impl RankSummary {
+    /// Fraction of the rank's lifetime spent computing.
+    pub fn utilization(&self) -> f64 {
+        if self.finish == 0.0 {
+            0.0
+        } else {
+            self.compute / self.finish
+        }
+    }
+}
+
+/// Summarise one rank's events.
+pub fn summarize(rank: usize, events: &[TraceEvent]) -> RankSummary {
+    let mut s = RankSummary {
+        rank,
+        compute: 0.0,
+        send: 0.0,
+        wait: 0.0,
+        finish: 0.0,
+    };
+    for e in events {
+        match e {
+            TraceEvent::Compute { .. } => s.compute += e.duration(),
+            TraceEvent::Send { .. } => s.send += e.duration(),
+            TraceEvent::Wait { .. } => s.wait += e.duration(),
+        }
+        s.finish = s.finish.max(e.end());
+    }
+    s
+}
+
+/// Render per-rank ASCII timelines: `#` compute, `s` send, `.` wait,
+/// space idle-at-end. `width` columns span the global makespan.
+pub fn render_gantt(traces: &[Vec<TraceEvent>], width: usize) -> String {
+    assert!(width >= 10, "need a sensible width");
+    let makespan = traces
+        .iter()
+        .flat_map(|t| t.iter().map(TraceEvent::end))
+        .fold(0.0f64, f64::max);
+    let mut out = String::new();
+    if makespan == 0.0 {
+        return out;
+    }
+    let scale = width as f64 / makespan;
+    for (rank, events) in traces.iter().enumerate() {
+        let mut row = vec![' '; width];
+        for e in events {
+            let (start, ch) = match e {
+                TraceEvent::Compute { start, .. } => (*start, '#'),
+                TraceEvent::Send { start, .. } => (*start, 's'),
+                TraceEvent::Wait { start, .. } => (*start, '.'),
+            };
+            let from = ((start * scale) as usize).min(width - 1);
+            let to = ((e.end() * scale).ceil() as usize).clamp(from + 1, width);
+            for cell in &mut row[from..to] {
+                // Compute wins ties so short sends don't hide work.
+                if *cell == ' ' || (*cell != '#' && ch == '#') {
+                    *cell = ch;
+                }
+            }
+        }
+        let line: String = row.into_iter().collect();
+        out.push_str(&format!("r{rank:<3}|{line}|\n"));
+    }
+    out.push_str(&format!(
+        "     makespan {:.3} ms   (# compute, s send, . wait)\n",
+        makespan * 1e3
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Compute {
+                start: 0.0,
+                end: 0.4,
+            },
+            TraceEvent::Send {
+                start: 0.4,
+                end: 0.5,
+                dest: 1,
+                bytes: 80,
+            },
+            TraceEvent::Wait {
+                start: 0.5,
+                end: 0.9,
+                src: 1,
+            },
+            TraceEvent::Compute {
+                start: 0.9,
+                end: 1.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn summary_accumulates_by_kind() {
+        let s = summarize(3, &sample());
+        assert_eq!(s.rank, 3);
+        assert!((s.compute - 0.5).abs() < 1e-12);
+        assert!((s.send - 0.1).abs() < 1e-12);
+        assert!((s.wait - 0.4).abs() < 1e-12);
+        assert_eq!(s.finish, 1.0);
+        assert!((s.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gantt_renders_all_phases() {
+        let g = render_gantt(&[sample()], 40);
+        assert!(g.contains('#'));
+        assert!(g.contains('s'));
+        assert!(g.contains('.'));
+        assert!(g.contains("makespan"));
+        assert!(g.starts_with("r0  |"));
+    }
+
+    #[test]
+    fn empty_trace_renders_empty() {
+        assert!(render_gantt(&[vec![]], 20).is_empty());
+    }
+
+    #[test]
+    fn summary_of_empty_is_zero() {
+        let s = summarize(0, &[]);
+        assert_eq!(s.finish, 0.0);
+        assert_eq!(s.utilization(), 0.0);
+    }
+}

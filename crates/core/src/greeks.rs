@@ -1,0 +1,204 @@
+//! Bump-and-reprice sensitivities through the unified [`Pricer`].
+//!
+//! Works with **every** engine/backend combination because it only
+//! re-prices under perturbed inputs. All engines in this workspace are
+//! deterministic given their configuration (seeded Monte Carlo
+//! included), so bumped runs share their random numbers — the
+//! common-random-numbers variance killer comes for free and the finite
+//! differences are clean even for MC engines.
+
+use crate::{PriceError, Pricer};
+use mdp_model::{GbmMarket, Greeks, Product};
+
+/// Bump sizes for the finite differences.
+#[derive(Debug, Clone, Copy)]
+pub struct BumpConfig {
+    /// Relative spot bump for delta/gamma (central).
+    pub rel_spot: f64,
+    /// Absolute volatility bump for vega (central).
+    pub abs_vol: f64,
+    /// Absolute rate bump for rho (central).
+    pub abs_rate: f64,
+    /// Absolute maturity bump for theta (backward: T − h keeps T > 0).
+    pub abs_time: f64,
+}
+
+impl Default for BumpConfig {
+    fn default() -> Self {
+        BumpConfig {
+            rel_spot: 1e-2,
+            abs_vol: 1e-3,
+            abs_rate: 1e-4,
+            abs_time: 1.0 / 365.0,
+        }
+    }
+}
+
+impl Pricer {
+    /// Full bump-and-reprice Greeks: per-asset delta/gamma/vega plus
+    /// theta and rho. Costs `3 + 4d` pricings.
+    pub fn greeks(
+        &self,
+        market: &GbmMarket,
+        product: &Product,
+        bumps: BumpConfig,
+    ) -> Result<Greeks, PriceError> {
+        let d = market.dim();
+        let base = self.price(market, product)?.price;
+        let mut g = Greeks::zeros(d);
+        g.price = base;
+
+        for i in 0..d {
+            let s0 = market.spots()[i];
+            let h = bumps.rel_spot * s0;
+            let up = self.price(&market.with_spot(i, s0 + h)?, product)?.price;
+            let dn = self.price(&market.with_spot(i, s0 - h)?, product)?.price;
+            g.delta[i] = (up - dn) / (2.0 * h);
+            g.gamma[i] = (up - 2.0 * base + dn) / (h * h);
+
+            let v0 = market.vols()[i];
+            let hv = bumps.abs_vol;
+            let vup = self.price(&market.with_vol(i, v0 + hv)?, product)?.price;
+            let vdn = self
+                .price(&market.with_vol(i, (v0 - hv).max(1e-6))?, product)?
+                .price;
+            g.vega[i] = (vup - vdn) / (v0 + hv - (v0 - hv).max(1e-6));
+        }
+
+        let hr = bumps.abs_rate;
+        let rup = self
+            .price(&market.with_rate(market.rate() + hr)?, product)?
+            .price;
+        let rdn = self
+            .price(&market.with_rate(market.rate() - hr)?, product)?
+            .price;
+        g.rho = (rup - rdn) / (2.0 * hr);
+
+        let ht = bumps.abs_time.min(product.maturity * 0.5);
+        let mut shorter = product.clone();
+        shorter.maturity -= ht;
+        let tshort = self.price(market, &shorter)?.price;
+        // θ = −∂V/∂T ≈ (V(T−h) − V(T))/h.
+        g.theta = (tshort - base) / ht;
+
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Method;
+    use mdp_model::greeks::black_scholes_call_greeks;
+    use mdp_model::Payoff;
+
+    fn setup() -> (GbmMarket, Product) {
+        (
+            GbmMarket::single(100.0, 0.2, 0.0, 0.05).unwrap(),
+            Product::european(
+                Payoff::BasketCall {
+                    weights: vec![1.0],
+                    strike: 100.0,
+                },
+                1.0,
+            ),
+        )
+    }
+
+    #[test]
+    fn analytic_engine_bump_matches_closed_form_greeks() {
+        let (m, p) = setup();
+        let exact = black_scholes_call_greeks(100.0, 100.0, 0.05, 0.0, 0.2, 1.0);
+        let g = Pricer::new(Method::Analytic)
+            .greeks(&m, &p, BumpConfig::default())
+            .unwrap();
+        assert!((g.delta[0] - exact.delta[0]).abs() < 1e-4, "{:?}", g.delta);
+        assert!((g.gamma[0] - exact.gamma[0]).abs() < 1e-4, "{:?}", g.gamma);
+        assert!((g.vega[0] - exact.vega[0]).abs() < 1e-3, "{:?}", g.vega);
+        assert!((g.rho - exact.rho).abs() < 1e-3, "{}", g.rho);
+        assert!(
+            (g.theta - exact.theta).abs() < 2e-2,
+            "{} vs {}",
+            g.theta,
+            exact.theta
+        );
+    }
+
+    #[test]
+    fn lattice_bump_greeks_close_to_analytic() {
+        let (m, p) = setup();
+        let exact = black_scholes_call_greeks(100.0, 100.0, 0.05, 0.0, 0.2, 1.0);
+        let g = Pricer::new(Method::lattice(800))
+            .greeks(&m, &p, BumpConfig::default())
+            .unwrap();
+        assert!((g.delta[0] - exact.delta[0]).abs() < 5e-3, "{:?}", g.delta);
+        assert!((g.vega[0] - exact.vega[0]).abs() < 0.5, "{:?}", g.vega);
+    }
+
+    #[test]
+    fn mc_bump_greeks_benefit_from_common_random_numbers() {
+        // With shared seeds the MC delta finite difference is tight even
+        // at modest path counts.
+        let (m, p) = setup();
+        let exact = black_scholes_call_greeks(100.0, 100.0, 0.05, 0.0, 0.2, 1.0);
+        let g = Pricer::new(Method::monte_carlo(100_000))
+            .greeks(&m, &p, BumpConfig::default())
+            .unwrap();
+        assert!(
+            (g.delta[0] - exact.delta[0]).abs() < 2e-2,
+            "{} vs {}",
+            g.delta[0],
+            exact.delta[0]
+        );
+        assert!(
+            g.gamma[0] > 0.0,
+            "CRN gamma should not be noise: {}",
+            g.gamma[0]
+        );
+    }
+
+    #[test]
+    fn multi_asset_deltas_sum_sensibly() {
+        // Symmetric market & symmetric basket payoff ⇒ equal per-asset
+        // deltas; total basket delta in (0, 1) for an ATM call.
+        let m = GbmMarket::symmetric(3, 100.0, 0.2, 0.0, 0.05, 0.4).unwrap();
+        let p = Product::european(
+            Payoff::BasketCall {
+                weights: Product::equal_weights(3),
+                strike: 100.0,
+            },
+            1.0,
+        );
+        let g = Pricer::new(Method::monte_carlo(60_000))
+            .greeks(&m, &p, BumpConfig::default())
+            .unwrap();
+        let total: f64 = g.delta.iter().sum();
+        assert!(total > 0.3 && total < 1.0, "total delta {total}");
+        assert!(
+            (g.delta[0] - g.delta[1]).abs() < 0.03 && (g.delta[1] - g.delta[2]).abs() < 0.03,
+            "{:?}",
+            g.delta
+        );
+    }
+
+    #[test]
+    fn american_put_theta_negative_delta_negative() {
+        let m = GbmMarket::single(100.0, 0.2, 0.0, 0.05).unwrap();
+        let p = Product::american(
+            Payoff::BasketPut {
+                weights: vec![1.0],
+                strike: 110.0,
+            },
+            1.0,
+        );
+        let g = Pricer::new(Method::Binomial {
+            steps: 600,
+            kind: crate::prelude::BinomialKind::CoxRossRubinstein,
+        })
+        .greeks(&m, &p, BumpConfig::default())
+        .unwrap();
+        assert!(g.delta[0] < 0.0, "{}", g.delta[0]);
+        assert!(g.gamma[0] > 0.0, "{}", g.gamma[0]);
+        assert!(g.vega[0] > 0.0, "{}", g.vega[0]);
+    }
+}

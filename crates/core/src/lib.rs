@@ -1,0 +1,65 @@
+//! # mdp-core — parallel pricing of multidimensional financial derivatives
+//!
+//! The public facade of the `mdp` workspace: one [`Pricer`] type that
+//! prices any [`mdp_model::Product`] on any [`mdp_model::GbmMarket`]
+//! with any engine/backend combination, plus re-exports of the whole
+//! stack.
+//!
+//! ```
+//! use mdp_core::prelude::*;
+//!
+//! // A 3-asset European basket call.
+//! let market = GbmMarket::symmetric(3, 100.0, 0.2, 0.0, 0.05, 0.4).unwrap();
+//! let product = Product::european(
+//!     Payoff::BasketCall { weights: Product::equal_weights(3), strike: 100.0 },
+//!     1.0,
+//! );
+//!
+//! // Price by Monte Carlo, sequentially…
+//! let seq = Pricer::new(Method::monte_carlo(50_000)).price(&market, &product).unwrap();
+//! // …and on a modelled 8-node cluster: identical estimate, plus a
+//! // virtual-time execution model.
+//! let par = Pricer::new(Method::monte_carlo(50_000))
+//!     .backend(Backend::Cluster { ranks: 8, machine: Machine::cluster2002() })
+//!     .price(&market, &product)
+//!     .unwrap();
+//! assert_eq!(seq.price, par.price);
+//! assert!(par.time.is_some());
+//! ```
+//!
+//! | engine | dims | exercise | backends |
+//! |---|---|---|---|
+//! | [`Method::Analytic`] | payoff-specific | European | sequential |
+//! | [`Method::Binomial`]/[`Method::Trinomial`] | 1 | both | sequential |
+//! | [`Method::MultiLattice`] | 1–5 (practically) | both | sequential, rayon, cluster |
+//! | [`Method::MonteCarlo`] | any | European | sequential, rayon, cluster |
+//! | [`Method::Qmc`] | steps·d ≤ 64 | European | sequential |
+//! | [`Method::Lsmc`] | any | American | sequential, cluster |
+//! | [`Method::Fd1d`] | 1 | both | sequential |
+//! | [`Method::Adi2d`] | 2 | both | sequential, rayon |
+
+pub mod greeks;
+pub mod pricer;
+
+pub use greeks::BumpConfig;
+pub use pricer::{Backend, Method, PriceError, PriceReport, Pricer};
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use crate::{Backend, BumpConfig, Method, PriceError, PriceReport, Pricer};
+    pub use mdp_cluster::{Machine, TimeModel};
+    pub use mdp_lattice::{BinomialKind, BinomialLattice, MultiLattice, TrinomialLattice};
+    pub use mdp_mc::{LsmcConfig, McConfig, McEngine, QmcConfig, VarianceReduction};
+    pub use mdp_model::{analytic, ExerciseStyle, GbmMarket, Greeks, Payoff, Product};
+    pub use mdp_pde::{Adi2d, Fd1d, Fd1dBarrier};
+    pub use mdp_perf::{ScalingCurve, Table};
+}
+
+// Re-export the component crates for direct access.
+pub use mdp_cluster as cluster;
+pub use mdp_lattice as lattice;
+pub use mdp_math as math;
+pub use mdp_mc as mc;
+pub use mdp_model as model;
+pub use mdp_pde as pde;
+pub use mdp_perf as perf;

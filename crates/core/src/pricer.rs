@@ -1,0 +1,505 @@
+//! The unified pricing entry point.
+
+use mdp_cluster::{Machine, TimeModel};
+use mdp_lattice::{
+    cluster::{price_cluster, Decomposition},
+    BinomialKind, BinomialLattice, LatticeError, MultiLattice, TrinomialLattice,
+};
+use mdp_mc::{
+    cluster_driver::{price_lsmc_cluster, price_mc_cluster},
+    lsmc::{price_lsmc, price_lsmc_rayon},
+    qmc::price_qmc,
+    LsmcConfig, McConfig, McEngine, McError, QmcConfig,
+};
+use mdp_model::{GbmMarket, ModelError, Product};
+use mdp_pde::{Adi2d, Fd1d, Fd1dBarrier, PdeError};
+use std::fmt;
+
+/// The pricing method (engine + its configuration).
+#[derive(Debug, Clone)]
+pub enum Method {
+    /// Closed form, when one exists.
+    Analytic,
+    /// 1-D binomial lattice.
+    Binomial {
+        /// Time steps.
+        steps: usize,
+        /// Parameterisation.
+        kind: BinomialKind,
+    },
+    /// 1-D trinomial lattice.
+    Trinomial {
+        /// Time steps.
+        steps: usize,
+    },
+    /// d-dimensional BEG lattice.
+    MultiLattice {
+        /// Time steps.
+        steps: usize,
+    },
+    /// European Monte Carlo.
+    MonteCarlo(McConfig),
+    /// Randomised quasi-Monte Carlo.
+    Qmc(QmcConfig),
+    /// Longstaff–Schwartz for American products.
+    Lsmc(LsmcConfig),
+    /// 1-D finite differences.
+    Fd1d(Fd1d),
+    /// 2-D ADI finite differences.
+    Adi2d(Adi2d),
+    /// 1-D knock-out barrier finite differences (continuous barrier).
+    BarrierFd(Fd1dBarrier),
+}
+
+impl Method {
+    /// Monte Carlo with default settings and the given path count.
+    pub fn monte_carlo(paths: u64) -> Self {
+        Method::MonteCarlo(McConfig {
+            paths,
+            ..Default::default()
+        })
+    }
+
+    /// BEG lattice shortcut.
+    pub fn lattice(steps: usize) -> Self {
+        Method::MultiLattice { steps }
+    }
+
+    /// Human-readable engine name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Analytic => "analytic",
+            Method::Binomial { .. } => "binomial",
+            Method::Trinomial { .. } => "trinomial",
+            Method::MultiLattice { .. } => "beg-lattice",
+            Method::MonteCarlo(_) => "monte-carlo",
+            Method::Qmc(_) => "qmc",
+            Method::Lsmc(_) => "lsmc",
+            Method::Fd1d(_) => "fd-1d",
+            Method::Adi2d(_) => "adi-2d",
+            Method::BarrierFd(_) => "barrier-fd",
+        }
+    }
+}
+
+/// Where the work runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Backend {
+    /// Single thread.
+    Sequential,
+    /// Shared-memory parallel (rayon's global pool).
+    Rayon,
+    /// The message-passing substrate with its virtual-time model.
+    Cluster {
+        /// Rank count.
+        ranks: usize,
+        /// Machine model.
+        machine: Machine,
+    },
+}
+
+/// Unified pricing outcome.
+#[derive(Debug, Clone)]
+pub struct PriceReport {
+    /// Present value.
+    pub price: f64,
+    /// Statistical standard error (Monte Carlo engines only).
+    pub std_error: Option<f64>,
+    /// Virtual-time model (cluster backend only).
+    pub time: Option<TimeModel>,
+    /// Host wall-clock seconds spent pricing.
+    pub wall_seconds: f64,
+    /// Engine name.
+    pub engine: &'static str,
+}
+
+/// Unified error type of the facade.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PriceError {
+    /// Engine/backend/product combination not supported.
+    Unsupported(String),
+    /// Model validation failed.
+    Model(ModelError),
+    /// Lattice engine failed.
+    Lattice(LatticeError),
+    /// Monte Carlo engine failed.
+    Mc(McError),
+    /// PDE engine failed.
+    Pde(PdeError),
+}
+
+impl fmt::Display for PriceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PriceError::Unsupported(s) => write!(f, "unsupported: {s}"),
+            PriceError::Model(e) => write!(f, "{e}"),
+            PriceError::Lattice(e) => write!(f, "{e}"),
+            PriceError::Mc(e) => write!(f, "{e}"),
+            PriceError::Pde(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PriceError {}
+
+impl From<ModelError> for PriceError {
+    fn from(e: ModelError) -> Self {
+        PriceError::Model(e)
+    }
+}
+impl From<LatticeError> for PriceError {
+    fn from(e: LatticeError) -> Self {
+        PriceError::Lattice(e)
+    }
+}
+impl From<McError> for PriceError {
+    fn from(e: McError) -> Self {
+        PriceError::Mc(e)
+    }
+}
+impl From<PdeError> for PriceError {
+    fn from(e: PdeError) -> Self {
+        PriceError::Pde(e)
+    }
+}
+
+/// The unified pricer: a method plus an execution backend.
+#[derive(Debug, Clone)]
+pub struct Pricer {
+    method: Method,
+    backend: Backend,
+}
+
+impl Pricer {
+    /// Pricer with the given method on the sequential backend.
+    pub fn new(method: Method) -> Self {
+        Pricer {
+            method,
+            backend: Backend::Sequential,
+        }
+    }
+
+    /// Select the execution backend.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// A sensible default method for a product/market pair:
+    /// closed form when available, CN finite differences in 1-D,
+    /// the BEG lattice in 2–3 dimensions, (LS)MC beyond.
+    pub fn auto(market: &GbmMarket, product: &Product) -> Self {
+        use mdp_model::ExerciseStyle;
+        if mdp_model::analytic::price_product(market, product).is_some() {
+            return Pricer::new(Method::Analytic);
+        }
+        let d = market.dim();
+        let method = match (d, product.exercise, product.payoff.is_path_dependent()) {
+            (_, _, true) => Method::MonteCarlo(McConfig {
+                paths: 200_000,
+                steps: 50,
+                ..Default::default()
+            }),
+            (1, _, _) => Method::Fd1d(Fd1d::default()),
+            (2..=3, _, _) => Method::MultiLattice { steps: 100 },
+            (_, ExerciseStyle::European, _) => Method::monte_carlo(200_000),
+            (_, ExerciseStyle::American, _) => Method::Lsmc(LsmcConfig::default()),
+        };
+        Pricer::new(method)
+    }
+
+    /// Price the product.
+    pub fn price(&self, market: &GbmMarket, product: &Product) -> Result<PriceReport, PriceError> {
+        let start = std::time::Instant::now();
+        let engine = self.method.name();
+        let unsupported_backend = || {
+            Err(PriceError::Unsupported(format!(
+                "{engine} does not support backend {:?}",
+                self.backend
+            )))
+        };
+        let (price, std_error, time) = match (&self.method, self.backend) {
+            (Method::Analytic, Backend::Sequential) => {
+                let p = mdp_model::analytic::price_product(market, product).ok_or_else(|| {
+                    PriceError::Unsupported(format!("no closed form for {:?}", product.payoff))
+                })?;
+                (p, None, None)
+            }
+            (Method::Analytic, _) => return unsupported_backend(),
+
+            (Method::Binomial { steps, kind }, Backend::Sequential) => {
+                let lat = BinomialLattice {
+                    kind: *kind,
+                    steps: *steps,
+                };
+                (lat.price(market, product)?.price, None, None)
+            }
+            (Method::Binomial { .. }, _) => return unsupported_backend(),
+
+            (Method::Trinomial { steps }, Backend::Sequential) => (
+                TrinomialLattice::new(*steps).price(market, product)?.price,
+                None,
+                None,
+            ),
+            (Method::Trinomial { .. }, _) => return unsupported_backend(),
+
+            (Method::MultiLattice { steps }, Backend::Sequential) => (
+                MultiLattice::new(*steps).price(market, product)?.price,
+                None,
+                None,
+            ),
+            (Method::MultiLattice { steps }, Backend::Rayon) => (
+                MultiLattice::new(*steps)
+                    .price_rayon(market, product)?
+                    .price,
+                None,
+                None,
+            ),
+            (Method::MultiLattice { steps }, Backend::Cluster { ranks, machine }) => {
+                let out = price_cluster(
+                    market,
+                    product,
+                    *steps,
+                    ranks,
+                    machine,
+                    Decomposition::Block,
+                )?;
+                (out.price, None, Some(out.time))
+            }
+
+            (Method::MonteCarlo(cfg), Backend::Sequential) => {
+                let r = McEngine::new(*cfg).price(market, product)?;
+                (r.price, Some(r.std_error), None)
+            }
+            (Method::MonteCarlo(cfg), Backend::Rayon) => {
+                let r = McEngine::new(*cfg).price_rayon(market, product)?;
+                (r.price, Some(r.std_error), None)
+            }
+            (Method::MonteCarlo(cfg), Backend::Cluster { ranks, machine }) => {
+                let out = price_mc_cluster(market, product, *cfg, ranks, machine)?;
+                (out.result.price, Some(out.result.std_error), Some(out.time))
+            }
+
+            (Method::Qmc(cfg), Backend::Sequential) => {
+                let r = price_qmc(market, product, *cfg)?;
+                (r.price, Some(r.std_error), None)
+            }
+            (Method::Qmc(_), _) => return unsupported_backend(),
+
+            (Method::Lsmc(cfg), Backend::Sequential) => {
+                let r = price_lsmc(market, product, *cfg)?;
+                (r.price, Some(r.std_error), None)
+            }
+            (Method::Lsmc(cfg), Backend::Rayon) => {
+                let r = price_lsmc_rayon(market, product, *cfg)?;
+                (r.price, Some(r.std_error), None)
+            }
+            (Method::Lsmc(cfg), Backend::Cluster { ranks, machine }) => {
+                let out = price_lsmc_cluster(market, product, *cfg, ranks, machine)?;
+                (out.result.price, Some(out.result.std_error), Some(out.time))
+            }
+
+            (Method::Fd1d(cfg), Backend::Sequential) => {
+                (cfg.price(market, product)?.price, None, None)
+            }
+            (Method::Fd1d(_), _) => return unsupported_backend(),
+
+            (Method::Adi2d(cfg), Backend::Sequential) => {
+                (cfg.price(market, product)?.price, None, None)
+            }
+            (Method::Adi2d(cfg), Backend::Rayon) => {
+                let mut c = *cfg;
+                c.parallel = true;
+                (c.price(market, product)?.price, None, None)
+            }
+            (Method::Adi2d(_), _) => return unsupported_backend(),
+
+            (Method::BarrierFd(cfg), Backend::Sequential) => {
+                (cfg.price(market, product)?.price, None, None)
+            }
+            (Method::BarrierFd(_), _) => return unsupported_backend(),
+        };
+        Ok(PriceReport {
+            price,
+            std_error,
+            time,
+            wall_seconds: start.elapsed().as_secs_f64(),
+            engine,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdp_math::approx_eq;
+    use mdp_model::{Payoff, Product};
+
+    fn call1() -> (GbmMarket, Product) {
+        (
+            GbmMarket::single(100.0, 0.2, 0.0, 0.05).unwrap(),
+            Product::european(
+                Payoff::BasketCall {
+                    weights: vec![1.0],
+                    strike: 100.0,
+                },
+                1.0,
+            ),
+        )
+    }
+
+    #[test]
+    fn every_engine_agrees_on_the_vanilla_call() {
+        let (m, p) = call1();
+        let exact = Pricer::new(Method::Analytic).price(&m, &p).unwrap().price;
+        let candidates: Vec<(f64, &str)> = vec![
+            (
+                Pricer::new(Method::Binomial {
+                    steps: 2000,
+                    kind: BinomialKind::CoxRossRubinstein,
+                })
+                .price(&m, &p)
+                .unwrap()
+                .price,
+                "binomial",
+            ),
+            (
+                Pricer::new(Method::Trinomial { steps: 800 })
+                    .price(&m, &p)
+                    .unwrap()
+                    .price,
+                "trinomial",
+            ),
+            (
+                Pricer::new(Method::MultiLattice { steps: 1500 })
+                    .price(&m, &p)
+                    .unwrap()
+                    .price,
+                "beg",
+            ),
+            (
+                Pricer::new(Method::Fd1d(Fd1d::default()))
+                    .price(&m, &p)
+                    .unwrap()
+                    .price,
+                "fd1d",
+            ),
+        ];
+        for (price, name) in candidates {
+            assert!(approx_eq(price, exact, 5e-3), "{name}: {price} vs {exact}");
+        }
+        let mc = Pricer::new(Method::monte_carlo(100_000))
+            .price(&m, &p)
+            .unwrap();
+        assert!((mc.price - exact).abs() < 3.5 * mc.std_error.unwrap());
+    }
+
+    #[test]
+    fn cluster_backend_returns_time_model_and_same_price() {
+        let (m, p) = call1();
+        let seq = Pricer::new(Method::monte_carlo(20_000))
+            .price(&m, &p)
+            .unwrap();
+        let par = Pricer::new(Method::monte_carlo(20_000))
+            .backend(Backend::Cluster {
+                ranks: 4,
+                machine: Machine::cluster2002(),
+            })
+            .price(&m, &p)
+            .unwrap();
+        assert_eq!(seq.price.to_bits(), par.price.to_bits());
+        assert!(seq.time.is_none());
+        let tm = par.time.unwrap();
+        assert_eq!(tm.ranks, 4);
+        assert!(tm.makespan > 0.0);
+    }
+
+    #[test]
+    fn auto_selects_reasonably() {
+        let (m1, p1) = call1();
+        assert_eq!(Pricer::auto(&m1, &p1).method.name(), "analytic");
+        let m3 = GbmMarket::symmetric(3, 100.0, 0.2, 0.0, 0.05, 0.3).unwrap();
+        let basket = Product::european(
+            Payoff::BasketCall {
+                weights: Product::equal_weights(3),
+                strike: 100.0,
+            },
+            1.0,
+        );
+        assert_eq!(Pricer::auto(&m3, &basket).method.name(), "beg-lattice");
+        let m8 = GbmMarket::symmetric(8, 100.0, 0.2, 0.0, 0.05, 0.3).unwrap();
+        let basket8 = Product::european(
+            Payoff::BasketCall {
+                weights: Product::equal_weights(8),
+                strike: 100.0,
+            },
+            1.0,
+        );
+        assert_eq!(Pricer::auto(&m8, &basket8).method.name(), "monte-carlo");
+        let am8 = Product::american(
+            Payoff::BasketPut {
+                weights: Product::equal_weights(8),
+                strike: 100.0,
+            },
+            1.0,
+        );
+        assert_eq!(Pricer::auto(&m8, &am8).method.name(), "lsmc");
+        let asian = Product::european(Payoff::AsianCall { strike: 100.0 }, 1.0);
+        assert_eq!(Pricer::auto(&m1, &asian).method.name(), "monte-carlo");
+    }
+
+    #[test]
+    fn unsupported_combinations_error_cleanly() {
+        let (m, p) = call1();
+        let e = Pricer::new(Method::Analytic)
+            .backend(Backend::Rayon)
+            .price(&m, &p)
+            .unwrap_err();
+        assert!(matches!(e, PriceError::Unsupported(_)));
+        let e2 = Pricer::new(Method::Qmc(QmcConfig::default()))
+            .backend(Backend::Cluster {
+                ranks: 2,
+                machine: Machine::ideal(),
+            })
+            .price(&m, &p)
+            .unwrap_err();
+        assert!(matches!(e2, PriceError::Unsupported(_)));
+    }
+
+    #[test]
+    fn analytic_without_closed_form_errors() {
+        let m = GbmMarket::symmetric(2, 100.0, 0.2, 0.0, 0.05, 0.3).unwrap();
+        let p = Product::european(
+            Payoff::BasketCall {
+                weights: Product::equal_weights(2),
+                strike: 100.0,
+            },
+            1.0,
+        );
+        assert!(matches!(
+            Pricer::new(Method::Analytic).price(&m, &p),
+            Err(PriceError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn report_carries_metadata() {
+        let (m, p) = call1();
+        let r = Pricer::new(Method::monte_carlo(5_000))
+            .price(&m, &p)
+            .unwrap();
+        assert_eq!(r.engine, "monte-carlo");
+        assert!(r.wall_seconds > 0.0);
+        assert!(r.std_error.is_some());
+    }
+
+    #[test]
+    fn error_conversions_display() {
+        let e: PriceError = ModelError::InvalidParameter {
+            what: "spot",
+            value: -1.0,
+        }
+        .into();
+        assert!(e.to_string().contains("spot"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Lattice-engine errors.
+
+use mdp_model::ModelError;
+use std::fmt;
+
+/// Failures specific to lattice construction and pricing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LatticeError {
+    /// A branch probability left `[0, 1]` — the time step is too coarse
+    /// for the given volatilities/correlations (a known limitation of the
+    /// BEG construction). Refine `steps` or reduce `|ρ|`.
+    NegativeProbability {
+        /// The offending probability.
+        prob: f64,
+        /// Branch index (bitmask of per-asset up-moves).
+        branch: usize,
+    },
+    /// Zero time steps requested.
+    ZeroSteps,
+    /// The grid would exceed the node budget (guards against `(N+1)^d`
+    /// blow-ups that would OOM rather than price).
+    TooManyNodes {
+        /// Nodes the request implies at the final step.
+        nodes: u128,
+        /// The configured budget.
+        budget: u128,
+    },
+    /// Model-layer validation failed.
+    Model(ModelError),
+}
+
+impl fmt::Display for LatticeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LatticeError::NegativeProbability { prob, branch } => write!(
+                f,
+                "branch {branch} probability {prob:.4} outside [0,1]; refine the time grid"
+            ),
+            LatticeError::ZeroSteps => write!(f, "lattice needs at least one time step"),
+            LatticeError::TooManyNodes { nodes, budget } => {
+                write!(
+                    f,
+                    "final-step grid of {nodes} nodes exceeds budget {budget}"
+                )
+            }
+            LatticeError::Model(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LatticeError {}
+
+impl From<ModelError> for LatticeError {
+    fn from(e: ModelError) -> Self {
+        LatticeError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_from() {
+        let e = LatticeError::NegativeProbability {
+            prob: -0.01,
+            branch: 3,
+        };
+        assert!(e.to_string().contains("branch 3"));
+        let m: LatticeError = ModelError::InvalidParameter {
+            what: "maturity",
+            value: -1.0,
+        }
+        .into();
+        assert!(matches!(m, LatticeError::Model(_)));
+    }
+}

@@ -1,0 +1,541 @@
+//! The Boyle–Evnine–Gibbs (BEG, 1989) multidimensional recombining
+//! lattice.
+//!
+//! Every asset moves up or down by `uᵢ = e^{σᵢ√Δt}` each step, giving
+//! `2^d` joint branches with probabilities
+//!
+//! ```text
+//! p_δ = 2^{−d} ( 1 + Σ_{i<j} δᵢδⱼ ρᵢⱼ + √Δt · Σᵢ δᵢ μᵢ/σᵢ ),
+//! μᵢ = r − qᵢ − σᵢ²/2,   δᵢ ∈ {−1, +1}
+//! ```
+//!
+//! which match the first two joint moments of the log-returns. The grid
+//! at step `n` has `(n+1)^d` nodes (asset `i`'s state is its up-move count
+//! `jᵢ ∈ 0..=n`), laid out row-major with **axis 0 outermost** — that is
+//! the axis the parallel engines decompose.
+//!
+//! A single slab kernel ([`StepCtx::compute_slab`]) computes one axis-0
+//! row of step `n` from two consecutive axis-0 rows of step `n+1`. The
+//! sequential driver, the rayon driver and the message-passing driver
+//! (in [`crate::cluster`]) all call exactly this kernel, so the parallel
+//! engines are bit-identical to the sequential baseline by construction.
+
+// The slab kernels walk several strided arrays in lockstep; index loops
+// are the clear form here.
+#![allow(clippy::needless_range_loop)]
+
+use crate::LatticeError;
+use mdp_model::{ExerciseStyle, GbmMarket, Product};
+use rayon::prelude::*;
+
+/// Default cap on the final-step grid size.
+pub const DEFAULT_NODE_BUDGET: u128 = 200_000_000;
+
+/// A configured BEG multidimensional lattice pricer.
+///
+/// ```
+/// use mdp_lattice::MultiLattice;
+/// use mdp_model::{GbmMarket, Payoff, Product};
+///
+/// let market = GbmMarket::symmetric(2, 100.0, 0.2, 0.0, 0.05, 0.5).unwrap();
+/// let product = Product::american(Payoff::MinPut { strike: 110.0 }, 1.0);
+/// let r = MultiLattice::new(64).price(&market, &product).unwrap();
+/// assert!(r.price >= 10.0); // at least intrinsic
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiLattice {
+    /// Number of time steps N.
+    pub steps: usize,
+    /// Refuse grids whose final step exceeds this many nodes.
+    pub node_budget: u128,
+}
+
+/// Outcome of a multidimensional lattice pricing run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiLatticeResult {
+    /// Present value.
+    pub price: f64,
+    /// Node updates performed across all steps (terminal evaluation
+    /// counts as one update per node).
+    pub nodes_processed: u64,
+    /// Branch evaluations (`2^d` per interior node update) — the unit of
+    /// compute-work the virtual-time model is calibrated in.
+    pub branch_evals: u64,
+}
+
+/// Per-step context shared by all drivers: probabilities, strides,
+/// discounting and spot tables.
+pub struct StepCtx<'a> {
+    /// Current step n (grid has `(n+1)^d` nodes).
+    pub step: usize,
+    dim: usize,
+    disc: f64,
+    probs: Vec<f64>,
+    /// Child offset within the *inner* (axes ≥ 1) index space of the
+    /// next grid, and whether the branch moves axis 0 up.
+    branch_offsets: Vec<(usize, usize)>,
+    /// Row sizes: nodes per axis-0 row in the current and next grids.
+    row_cur: usize,
+    /// Nodes per axis-0 row of the next grid.
+    pub row_next: usize,
+    /// Per-axis spot ladders at this step: `spots[i][jᵢ]`.
+    spot_tables: Vec<Vec<f64>>,
+    product: &'a Product,
+    american: bool,
+}
+
+impl<'a> StepCtx<'a> {
+    /// Build the context for step `n` of an N-step, d-asset lattice.
+    pub fn new(
+        market: &GbmMarket,
+        product: &'a Product,
+        steps: usize,
+        step: usize,
+        probs: &[f64],
+        disc: f64,
+    ) -> Self {
+        let d = market.dim();
+        let dt = product.maturity / steps as f64;
+        let sqdt = dt.sqrt();
+        // Strides of the next grid (step+2 points per axis), axis 0
+        // outermost; inner strides exclude axis 0.
+        let next_pts = step + 2;
+        let mut strides = vec![1usize; d];
+        for i in (0..d - 1).rev() {
+            strides[i] = strides[i + 1] * next_pts;
+        }
+        let row_next = strides[0];
+        let row_cur = (step + 1).pow((d - 1) as u32);
+        let branch_offsets = (0..1usize << d)
+            .map(|m| {
+                let up0 = (m >> (d - 1)) & 1; // axis 0 uses the top bit
+                let mut off = 0usize;
+                for i in 1..d {
+                    let bit = (m >> (d - 1 - i)) & 1;
+                    off += bit * strides[i];
+                }
+                (up0, off)
+            })
+            .collect();
+        let spot_tables = (0..d)
+            .map(|i| {
+                let s0 = market.spots()[i];
+                let sig = market.vols()[i];
+                (0..=step)
+                    .map(|j| s0 * (sig * sqdt * (2.0 * j as f64 - step as f64)).exp())
+                    .collect()
+            })
+            .collect();
+        StepCtx {
+            step,
+            dim: d,
+            disc,
+            probs: probs.to_vec(),
+            branch_offsets,
+            row_cur,
+            row_next,
+            spot_tables,
+            product,
+            american: product.exercise == ExerciseStyle::American,
+        }
+    }
+
+    /// Nodes per axis-0 row of the current grid.
+    pub fn row_cur(&self) -> usize {
+        self.row_cur
+    }
+
+    /// Compute one axis-0 row `j0` of the current grid.
+    ///
+    /// `next_two_rows` must hold rows `j0` and `j0+1` of the next grid
+    /// concatenated (`2·row_next` values); `out` receives `row_cur`
+    /// values.
+    pub fn compute_slab(&self, j0: usize, next_two_rows: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(next_two_rows.len(), 2 * self.row_next);
+        debug_assert_eq!(out.len(), self.row_cur);
+        let d = self.dim;
+        let pts = self.step + 1; // points per inner axis in current grid
+        let next_pts = self.step + 2;
+        // Odometer over the inner axes; `base` tracks the flat index of
+        // the (j1..j_{d-1}) corner in the next grid's inner space.
+        let mut idx = vec![0usize; d.saturating_sub(1)];
+        let mut spot = vec![0.0; d];
+        spot[0] = self.spot_tables[0][j0];
+        for s in 1..d {
+            spot[s] = self.spot_tables[s][0];
+        }
+        // Inner strides of the next grid (axis k≥1 has stride next_pts^{d-1-k}).
+        let mut inner_strides = vec![1usize; d.saturating_sub(1)];
+        if d >= 2 {
+            for k in (0..d - 2).rev() {
+                inner_strides[k] = inner_strides[k + 1] * next_pts;
+            }
+        }
+        for o in out.iter_mut() {
+            let base: usize = idx.iter().zip(&inner_strides).map(|(j, s)| j * s).sum();
+            let mut acc = 0.0;
+            for (p, (up0, off)) in self.probs.iter().zip(&self.branch_offsets) {
+                acc += p * next_two_rows[up0 * self.row_next + base + off];
+            }
+            let mut v = self.disc * acc;
+            if self.american {
+                v = v.max(self.product.payoff.eval(&spot));
+            }
+            *o = v;
+            // Advance the odometer (innermost axis fastest).
+            for k in (0..idx.len()).rev() {
+                idx[k] += 1;
+                if idx[k] < pts {
+                    spot[k + 1] = self.spot_tables[k + 1][idx[k]];
+                    break;
+                }
+                idx[k] = 0;
+                spot[k + 1] = self.spot_tables[k + 1][0];
+            }
+        }
+    }
+
+    /// Evaluate the terminal payoff layer for axis-0 row `j0` (used at
+    /// step N where there is no continuation value).
+    pub fn eval_terminal_slab(&self, j0: usize, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.row_cur);
+        let d = self.dim;
+        let pts = self.step + 1;
+        let mut idx = vec![0usize; d.saturating_sub(1)];
+        let mut spot = vec![0.0; d];
+        spot[0] = self.spot_tables[0][j0];
+        for s in 1..d {
+            spot[s] = self.spot_tables[s][0];
+        }
+        for o in out.iter_mut() {
+            *o = self.product.payoff.eval(&spot);
+            for k in (0..idx.len()).rev() {
+                idx[k] += 1;
+                if idx[k] < pts {
+                    spot[k + 1] = self.spot_tables[k + 1][idx[k]];
+                    break;
+                }
+                idx[k] = 0;
+                spot[k + 1] = self.spot_tables[k + 1][0];
+            }
+        }
+    }
+}
+
+/// BEG branch probabilities for a market and time step; validated to lie
+/// in `[0, 1]`.
+pub fn branch_probabilities(market: &GbmMarket, dt: f64) -> Result<Vec<f64>, LatticeError> {
+    let d = market.dim();
+    let sqdt = dt.sqrt();
+    let corr = market.correlation();
+    let mut probs = Vec::with_capacity(1 << d);
+    for m in 0..1usize << d {
+        // δᵢ from bit (d-1-i): axis 0 is the top bit, matching StepCtx.
+        let delta = |i: usize| -> f64 {
+            if (m >> (d - 1 - i)) & 1 == 1 {
+                1.0
+            } else {
+                -1.0
+            }
+        };
+        let mut s = 1.0;
+        for i in 0..d {
+            for j in (i + 1)..d {
+                s += delta(i) * delta(j) * corr[(i, j)];
+            }
+            s += sqdt * delta(i) * market.log_drift(i) / market.vols()[i];
+        }
+        let p = s / (1 << d) as f64;
+        if !(0.0..=1.0).contains(&p) {
+            return Err(LatticeError::NegativeProbability { prob: p, branch: m });
+        }
+        probs.push(p);
+    }
+    Ok(probs)
+}
+
+impl MultiLattice {
+    /// Lattice with `steps` steps and the default node budget.
+    pub fn new(steps: usize) -> Self {
+        MultiLattice {
+            steps,
+            node_budget: DEFAULT_NODE_BUDGET,
+        }
+    }
+
+    /// Total node count of an N-step, d-asset lattice:
+    /// `Σ_{n=0}^{N} (n+1)^d`.
+    pub fn total_nodes(steps: usize, dim: usize) -> u128 {
+        (0..=steps as u128).map(|n| (n + 1).pow(dim as u32)).sum()
+    }
+
+    fn validate(
+        &self,
+        market: &GbmMarket,
+        product: &Product,
+    ) -> Result<(Vec<f64>, f64), LatticeError> {
+        product.validate_for(market)?;
+        if product.payoff.is_path_dependent() {
+            return Err(LatticeError::Model(mdp_model::ModelError::Unsupported {
+                engine: "BEG lattice",
+                why: "path-dependent payoff".into(),
+            }));
+        }
+        if self.steps == 0 {
+            return Err(LatticeError::ZeroSteps);
+        }
+        let final_nodes = ((self.steps + 1) as u128).pow(market.dim() as u32);
+        if final_nodes > self.node_budget {
+            return Err(LatticeError::TooManyNodes {
+                nodes: final_nodes,
+                budget: self.node_budget,
+            });
+        }
+        let dt = product.maturity / self.steps as f64;
+        let probs = branch_probabilities(market, dt)?;
+        let disc = (-market.rate() * dt).exp();
+        Ok((probs, disc))
+    }
+
+    /// Sequential backward induction.
+    pub fn price(
+        &self,
+        market: &GbmMarket,
+        product: &Product,
+    ) -> Result<MultiLatticeResult, LatticeError> {
+        self.run(market, product, false)
+    }
+
+    /// Shared-memory parallel backward induction (rayon), parallelising
+    /// over axis-0 slabs within each time step. Bit-identical to
+    /// [`MultiLattice::price`].
+    pub fn price_rayon(
+        &self,
+        market: &GbmMarket,
+        product: &Product,
+    ) -> Result<MultiLatticeResult, LatticeError> {
+        self.run(market, product, true)
+    }
+
+    fn run(
+        &self,
+        market: &GbmMarket,
+        product: &Product,
+        parallel: bool,
+    ) -> Result<MultiLatticeResult, LatticeError> {
+        let (probs, disc) = self.validate(market, product)?;
+        let d = market.dim();
+        let n = self.steps;
+
+        // Terminal layer.
+        let term_ctx = StepCtx::new(market, product, n, n, &probs, disc);
+        let term_row = term_ctx.row_cur();
+        let mut values = vec![0.0; (n + 1) * term_row];
+        if parallel {
+            values
+                .par_chunks_mut(term_row)
+                .enumerate()
+                .for_each(|(j0, out)| term_ctx.eval_terminal_slab(j0, out));
+        } else {
+            for (j0, out) in values.chunks_mut(term_row).enumerate() {
+                term_ctx.eval_terminal_slab(j0, out);
+            }
+        }
+        let mut nodes = (values.len()) as u64;
+        let mut branches = 0u64;
+
+        for step in (0..n).rev() {
+            let ctx = StepCtx::new(market, product, n, step, &probs, disc);
+            let row_cur = ctx.row_cur();
+            let row_next = ctx.row_next;
+            let mut new_values = vec![0.0; (step + 1) * row_cur];
+            if parallel {
+                let values_ref = &values;
+                new_values
+                    .par_chunks_mut(row_cur)
+                    .enumerate()
+                    .for_each(|(j0, out)| {
+                        let next = &values_ref[j0 * row_next..(j0 + 2) * row_next];
+                        ctx.compute_slab(j0, next, out);
+                    });
+            } else {
+                for (j0, out) in new_values.chunks_mut(row_cur).enumerate() {
+                    let next = &values[j0 * row_next..(j0 + 2) * row_next];
+                    ctx.compute_slab(j0, next, out);
+                }
+            }
+            nodes += new_values.len() as u64;
+            branches += new_values.len() as u64 * (1u64 << d);
+            values = new_values;
+        }
+        Ok(MultiLatticeResult {
+            price: values[0],
+            nodes_processed: nodes,
+            branch_evals: branches,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdp_math::approx_eq;
+    use mdp_model::analytic;
+    use mdp_model::Payoff;
+
+    fn call1(strike: f64) -> Product {
+        Product::european(
+            Payoff::BasketCall {
+                weights: vec![1.0],
+                strike,
+            },
+            1.0,
+        )
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        for d in 1..=4 {
+            let m = GbmMarket::symmetric(d, 100.0, 0.2, 0.0, 0.05, 0.3).unwrap();
+            let probs = branch_probabilities(&m, 0.01).unwrap();
+            assert_eq!(probs.len(), 1 << d);
+            let s: f64 = probs.iter().sum();
+            assert!(approx_eq(s, 1.0, 1e-12), "d={d}: {s}");
+        }
+    }
+
+    #[test]
+    fn one_dimension_matches_crr_shape() {
+        // BEG with d=1 is a drift-in-probability binomial lattice; it must
+        // converge to the same Black–Scholes limit.
+        let m = GbmMarket::single(100.0, 0.2, 0.0, 0.05).unwrap();
+        let exact = analytic::black_scholes_call(100.0, 100.0, 0.05, 0.0, 0.2, 1.0);
+        let r = MultiLattice::new(1000).price(&m, &call1(100.0)).unwrap();
+        assert!(approx_eq(r.price, exact, 2e-3), "{} vs {exact}", r.price);
+    }
+
+    #[test]
+    fn two_assets_geometric_converges_to_closed_form() {
+        let m = GbmMarket::symmetric(2, 100.0, 0.2, 0.0, 0.05, 0.5).unwrap();
+        let p = Product::european(Payoff::GeometricCall { strike: 100.0 }, 1.0);
+        let exact = analytic::geometric_basket_call(&m, &[0.5, 0.5], 100.0, 1.0);
+        let mut prev = f64::INFINITY;
+        for n in [25usize, 50, 100, 200] {
+            let r = MultiLattice::new(n).price(&m, &p).unwrap();
+            let err = (r.price - exact).abs();
+            assert!(err < prev * 1.05, "n={n}: {err} vs prev {prev}");
+            prev = err;
+        }
+        assert!(prev < 0.02, "error at n=200: {prev}");
+    }
+
+    #[test]
+    fn two_assets_max_call_converges_to_stulz() {
+        let m = GbmMarket::symmetric(2, 100.0, 0.2, 0.0, 0.05, 0.5).unwrap();
+        let p = Product::european(Payoff::MaxCall { strike: 100.0 }, 1.0);
+        let exact =
+            analytic::max_call_two_assets(100.0, 0.0, 0.2, 100.0, 0.0, 0.2, 0.5, 0.05, 100.0, 1.0);
+        let r = MultiLattice::new(150).price(&m, &p).unwrap();
+        assert!(approx_eq(r.price, exact, 5e-3), "{} vs {exact}", r.price);
+    }
+
+    #[test]
+    fn two_assets_exchange_converges_to_margrabe() {
+        let m = GbmMarket::symmetric(2, 100.0, 0.25, 0.0, 0.05, 0.3).unwrap();
+        let p = Product::european(Payoff::Exchange, 1.0);
+        let exact = analytic::margrabe_exchange(100.0, 0.0, 0.25, 100.0, 0.0, 0.25, 0.3, 1.0);
+        let r = MultiLattice::new(128).price(&m, &p).unwrap();
+        assert!(approx_eq(r.price, exact, 5e-3), "{} vs {exact}", r.price);
+    }
+
+    #[test]
+    fn three_assets_geometric_converges() {
+        let m = GbmMarket::symmetric(3, 100.0, 0.3, 0.0, 0.05, 0.25).unwrap();
+        let p = Product::european(Payoff::GeometricCall { strike: 95.0 }, 1.0);
+        let exact = analytic::geometric_basket_call(&m, &Product::equal_weights(3), 95.0, 1.0);
+        let r = MultiLattice::new(60).price(&m, &p).unwrap();
+        assert!(approx_eq(r.price, exact, 1e-2), "{} vs {exact}", r.price);
+    }
+
+    #[test]
+    fn american_at_least_european() {
+        let m = GbmMarket::symmetric(2, 100.0, 0.2, 0.0, 0.05, 0.3).unwrap();
+        let pay = Payoff::MinPut { strike: 110.0 };
+        let lat = MultiLattice::new(64);
+        let eu = lat
+            .price(&m, &Product::european(pay.clone(), 1.0))
+            .unwrap()
+            .price;
+        let am = lat.price(&m, &Product::american(pay, 1.0)).unwrap().price;
+        assert!(am >= eu - 1e-12, "{am} vs {eu}");
+        assert!(am >= 10.0 - 1e-12, "at least intrinsic");
+    }
+
+    #[test]
+    fn rayon_matches_sequential_bitwise() {
+        let m = GbmMarket::symmetric(3, 100.0, 0.25, 0.01, 0.04, 0.3).unwrap();
+        let p = Product::american(Payoff::MaxCall { strike: 100.0 }, 1.0);
+        let lat = MultiLattice::new(24);
+        let a = lat.price(&m, &p).unwrap();
+        let b = lat.price_rayon(&m, &p).unwrap();
+        assert_eq!(a.price.to_bits(), b.price.to_bits());
+        assert_eq!(a.nodes_processed, b.nodes_processed);
+    }
+
+    #[test]
+    fn node_counting() {
+        // d=2, N=2: 1 + 4 + 9 = 14 nodes.
+        assert_eq!(MultiLattice::total_nodes(2, 2), 14);
+        let m = GbmMarket::symmetric(2, 100.0, 0.2, 0.0, 0.05, 0.3).unwrap();
+        let p = Product::european(Payoff::MaxCall { strike: 100.0 }, 1.0);
+        let r = MultiLattice::new(2).price(&m, &p).unwrap();
+        assert_eq!(r.nodes_processed, 14);
+        assert_eq!(r.branch_evals, (1 + 4) * 4);
+    }
+
+    #[test]
+    fn negative_probability_detected() {
+        // Alternating-sign branches make Σδδρ = −2ρ for d=4; ρ=0.6 ⇒ −1.2.
+        let m = GbmMarket::symmetric(4, 100.0, 0.2, 0.0, 0.05, 0.6).unwrap();
+        let e = MultiLattice::new(16).price(
+            &m,
+            &Product::european(Payoff::MaxCall { strike: 100.0 }, 1.0),
+        );
+        assert!(matches!(e, Err(LatticeError::NegativeProbability { .. })));
+    }
+
+    #[test]
+    fn node_budget_enforced() {
+        let m = GbmMarket::symmetric(4, 100.0, 0.2, 0.0, 0.05, 0.2).unwrap();
+        let mut lat = MultiLattice::new(400);
+        lat.node_budget = 1_000_000;
+        let e = lat.price(
+            &m,
+            &Product::european(Payoff::MaxCall { strike: 100.0 }, 1.0),
+        );
+        assert!(matches!(e, Err(LatticeError::TooManyNodes { .. })));
+    }
+
+    #[test]
+    fn asian_rejected() {
+        let m = GbmMarket::symmetric(2, 100.0, 0.2, 0.0, 0.05, 0.3).unwrap();
+        let e = MultiLattice::new(8).price(
+            &m,
+            &Product::european(Payoff::AsianCall { strike: 100.0 }, 1.0),
+        );
+        assert!(matches!(e, Err(LatticeError::Model(_))));
+    }
+
+    #[test]
+    fn price_decreases_in_strike() {
+        let m = GbmMarket::symmetric(2, 100.0, 0.2, 0.0, 0.05, 0.5).unwrap();
+        let lat = MultiLattice::new(40);
+        let mut prev = f64::INFINITY;
+        for k in [90.0, 100.0, 110.0, 120.0] {
+            let p = Product::european(Payoff::MaxCall { strike: k }, 1.0);
+            let v = lat.price(&m, &p).unwrap().price;
+            assert!(v < prev, "k={k}: {v} !< {prev}");
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Boyle's (1986) one-dimensional trinomial lattice.
+//!
+//! Three branches per step (up/middle/down) with a stretch parameter
+//! `λ ≥ 1`: `u = e^{λσ√Δt}`. The extra degree of freedom buys smoother
+//! convergence than the binomial lattice at ~1.5× the node count — the
+//! classic accuracy-per-work trade-off the method-comparison experiment
+//! (T5) includes.
+
+use crate::LatticeError;
+use mdp_model::{ExerciseStyle, GbmMarket, Product};
+
+/// A configured 1-D trinomial lattice pricer.
+#[derive(Debug, Clone)]
+pub struct TrinomialLattice {
+    /// Number of time steps.
+    pub steps: usize,
+    /// Stretch parameter λ (√2 is Boyle's recommendation; must be > 1 for
+    /// positive probabilities at moderate drifts).
+    pub lambda: f64,
+}
+
+/// Outcome of a trinomial pricing run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrinomialResult {
+    /// Present value.
+    pub price: f64,
+    /// Node updates performed.
+    pub nodes_processed: u64,
+}
+
+impl TrinomialLattice {
+    /// Lattice with Boyle's λ = √2.
+    pub fn new(steps: usize) -> Self {
+        TrinomialLattice {
+            steps,
+            lambda: std::f64::consts::SQRT_2,
+        }
+    }
+
+    /// Price a single-asset, non-path-dependent product.
+    pub fn price(
+        &self,
+        market: &GbmMarket,
+        product: &Product,
+    ) -> Result<TrinomialResult, LatticeError> {
+        product.validate_for(market)?;
+        if market.dim() != 1 {
+            return Err(LatticeError::Model(
+                mdp_model::ModelError::DimensionMismatch {
+                    product: 1,
+                    market: market.dim(),
+                },
+            ));
+        }
+        if product.payoff.is_path_dependent() {
+            return Err(LatticeError::Model(mdp_model::ModelError::Unsupported {
+                engine: "trinomial lattice",
+                why: "path-dependent payoff".into(),
+            }));
+        }
+        let n = self.steps;
+        if n == 0 {
+            return Err(LatticeError::ZeroSteps);
+        }
+        let t = product.maturity;
+        let dt = t / n as f64;
+        let sigma = market.vols()[0];
+        let b = market.rate() - market.dividends()[0];
+        let nu = b - 0.5 * sigma * sigma;
+        let dx = self.lambda * sigma * dt.sqrt();
+        // Kamrad–Ritchken probabilities.
+        let l2 = self.lambda * self.lambda;
+        let pu = 1.0 / (2.0 * l2) + nu * dt.sqrt() / (2.0 * self.lambda * sigma);
+        let pd = 1.0 / (2.0 * l2) - nu * dt.sqrt() / (2.0 * self.lambda * sigma);
+        let pm = 1.0 - pu - pd;
+        for (i, p) in [pu, pm, pd].iter().enumerate() {
+            if !(0.0..=1.0).contains(p) {
+                return Err(LatticeError::NegativeProbability {
+                    prob: *p,
+                    branch: i,
+                });
+            }
+        }
+        let disc = (-market.rate() * dt).exp();
+        let s0 = market.spots()[0];
+        let american = product.exercise == ExerciseStyle::American;
+
+        // Terminal layer: 2n+1 nodes, S = s0·e^{j·dx}, j ∈ [−n, n].
+        let width = 2 * n + 1;
+        let mut values = vec![0.0; width];
+        let mut spot = [0.0; 1];
+        for (idx, v) in values.iter_mut().enumerate() {
+            let j = idx as i64 - n as i64;
+            spot[0] = s0 * (j as f64 * dx).exp();
+            *v = product.payoff.eval(&spot);
+        }
+        let mut nodes = width as u64;
+
+        for step in (0..n).rev() {
+            let w = 2 * step + 1;
+            for idx in 0..w {
+                let j = idx as i64 - step as i64;
+                // Children in the step+1 layer are centred: idx+0,1,2.
+                let cont = disc * (pd * values[idx] + pm * values[idx + 1] + pu * values[idx + 2]);
+                values[idx] = if american {
+                    spot[0] = s0 * (j as f64 * dx).exp();
+                    cont.max(product.payoff.eval(&spot))
+                } else {
+                    cont
+                };
+            }
+            nodes += w as u64;
+        }
+        Ok(TrinomialResult {
+            price: values[0],
+            nodes_processed: nodes,
+        })
+    }
+
+    /// Total nodes: Σ (2k+1) = (N+1)².
+    pub fn node_count(&self) -> u64 {
+        let n = self.steps as u64;
+        (n + 1) * (n + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdp_math::approx_eq;
+    use mdp_model::analytic::black_scholes_call;
+    use mdp_model::Payoff;
+
+    fn market() -> GbmMarket {
+        GbmMarket::single(100.0, 0.2, 0.0, 0.05).unwrap()
+    }
+
+    fn call(strike: f64) -> Product {
+        Product::european(
+            Payoff::BasketCall {
+                weights: vec![1.0],
+                strike,
+            },
+            1.0,
+        )
+    }
+
+    #[test]
+    fn converges_to_black_scholes() {
+        let m = market();
+        let exact = black_scholes_call(100.0, 100.0, 0.05, 0.0, 0.2, 1.0);
+        let r = TrinomialLattice::new(800).price(&m, &call(100.0)).unwrap();
+        assert!(approx_eq(r.price, exact, 2e-3), "{} vs {exact}", r.price);
+    }
+
+    #[test]
+    fn more_accurate_than_binomial_at_equal_steps() {
+        use crate::binomial::BinomialLattice;
+        let m = market();
+        let exact = black_scholes_call(100.0, 95.0, 0.05, 0.0, 0.2, 1.0);
+        let n = 101; // odd step counts avoid the binomial's oscillation sweet spot
+        let tri = TrinomialLattice::new(n).price(&m, &call(95.0)).unwrap();
+        let bin = BinomialLattice::crr(n).price(&m, &call(95.0)).unwrap();
+        let err_tri = (tri.price - exact).abs();
+        let err_bin = (bin.price - exact).abs();
+        assert!(
+            err_tri < err_bin,
+            "trinomial {err_tri} should beat binomial {err_bin}"
+        );
+    }
+
+    #[test]
+    fn american_put_above_intrinsic_and_european() {
+        let m = market();
+        let put = Payoff::BasketPut {
+            weights: vec![1.0],
+            strike: 120.0,
+        };
+        let lat = TrinomialLattice::new(400);
+        let eu = lat
+            .price(&m, &Product::european(put.clone(), 1.0))
+            .unwrap()
+            .price;
+        let am = lat.price(&m, &Product::american(put, 1.0)).unwrap().price;
+        assert!(am >= 20.0 - 1e-12, "at least intrinsic: {am}");
+        assert!(am > eu);
+    }
+
+    #[test]
+    fn node_count_formula() {
+        assert_eq!(TrinomialLattice::new(3).node_count(), 16);
+    }
+
+    #[test]
+    fn extreme_drift_yields_probability_error() {
+        // Huge rate with tiny vol and λ=√2 pushes pu above 1.
+        let m = GbmMarket::single(100.0, 0.01, 0.0, 2.0).unwrap();
+        let e = TrinomialLattice::new(4).price(&m, &call(100.0));
+        assert!(matches!(e, Err(LatticeError::NegativeProbability { .. })));
+    }
+
+    #[test]
+    fn zero_steps_rejected() {
+        assert!(matches!(
+            TrinomialLattice::new(0).price(&market(), &call(1.0)),
+            Err(LatticeError::ZeroSteps)
+        ));
+    }
+}

@@ -1,0 +1,301 @@
+//! Brownian path construction: incremental and Brownian-bridge orderings.
+//!
+//! A discretised Brownian motion W(t₁),…,W(t_N) can be built from N i.i.d.
+//! normals in any order. For pseudo-random Monte Carlo the order is
+//! irrelevant; for quasi-Monte Carlo it is decisive: the Brownian bridge
+//! assigns the *earliest* Sobol' dimensions (which are the best
+//! distributed) to the *largest-variance* features of the path (terminal
+//! value first, then midpoints recursively), concentrating the integrand's
+//! effective dimension in the well-covered coordinates.
+
+/// Precomputed Brownian-bridge construction for a fixed time grid.
+#[derive(Debug, Clone)]
+pub struct BrownianBridge {
+    /// Times of the grid (strictly increasing, positive).
+    times: Vec<f64>,
+    /// For construction step k (k ≥ 1): index being fixed.
+    bridge_index: Vec<usize>,
+    /// Left anchor index + 1 (0 means "time 0 anchor" i.e. W=0).
+    left_index: Vec<usize>,
+    /// Right anchor index + 1 (0 means "no right anchor").
+    right_index: Vec<usize>,
+    /// Interpolation weight toward the left anchor.
+    left_weight: Vec<f64>,
+    /// Interpolation weight toward the right anchor.
+    right_weight: Vec<f64>,
+    /// Conditional standard deviation at each step.
+    std_dev: Vec<f64>,
+}
+
+impl BrownianBridge {
+    /// Build a bridge over `times` (strictly increasing, all > 0).
+    ///
+    /// # Panics
+    /// Panics on an empty or non-increasing grid, or t ≤ 0.
+    pub fn new(times: &[f64]) -> Self {
+        assert!(!times.is_empty(), "empty time grid");
+        assert!(times[0] > 0.0, "times must be positive");
+        for w in times.windows(2) {
+            assert!(w[0] < w[1], "times must be strictly increasing");
+        }
+        let n = times.len();
+        let mut bridge_index = vec![0usize; n];
+        let mut left_index = vec![0usize; n];
+        let mut right_index = vec![0usize; n];
+        let mut left_weight = vec![0.0; n];
+        let mut right_weight = vec![0.0; n];
+        let mut std_dev = vec![0.0; n];
+        // map[i] = construction step at which point i is set (usize::MAX = unset).
+        let mut map = vec![usize::MAX; n];
+
+        // Step 0: terminal point, unconditional N(0, t_{n-1}).
+        bridge_index[0] = n - 1;
+        std_dev[0] = times[n - 1].sqrt();
+        left_weight[0] = 0.0;
+        right_weight[0] = 0.0;
+        left_index[0] = 0;
+        right_index[0] = 0;
+        map[n - 1] = 0;
+
+        // Subsequent steps: repeatedly bisect the largest unset gap —
+        // realised with the classic J niffy loop from Glasserman (2004).
+        let mut j = 0usize;
+        for step in 1..n {
+            // Find the first unset index at or after j.
+            while map[j] != usize::MAX {
+                j += 1;
+            }
+            // Find the next set index after j (right anchor).
+            let mut k = j;
+            while k < n && map[k] == usize::MAX {
+                k += 1;
+            }
+            // Midpoint of [j-1, k].
+            let l = j + (k - 1 - j) / 2;
+            map[l] = step;
+            bridge_index[step] = l;
+            left_index[step] = j; // j == 0 means anchor at time 0
+            right_index[step] = k + 1; // store k+1; k == n would mean none, but k < n here
+            let t_left = if j == 0 { 0.0 } else { times[j - 1] };
+            let t_right = times[k];
+            let t_mid = times[l];
+            left_weight[step] = (t_right - t_mid) / (t_right - t_left);
+            right_weight[step] = (t_mid - t_left) / (t_right - t_left);
+            std_dev[step] = ((t_mid - t_left) * (t_right - t_mid) / (t_right - t_left)).sqrt();
+            j = k + 1;
+            if j >= n {
+                j = 0;
+            }
+        }
+        BrownianBridge {
+            times: times.to_vec(),
+            bridge_index,
+            left_index,
+            right_index,
+            left_weight,
+            right_weight,
+            std_dev,
+        }
+    }
+
+    /// Uniform grid `T/n, 2T/n, …, T`.
+    pub fn uniform(maturity: f64, steps: usize) -> Self {
+        assert!(steps > 0 && maturity > 0.0);
+        let dt = maturity / steps as f64;
+        let times: Vec<f64> = (1..=steps).map(|i| i as f64 * dt).collect();
+        Self::new(&times)
+    }
+
+    /// Number of time points.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True when the grid is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The time grid.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Transform i.i.d. standard normals `z[0..n]` into a Brownian path
+    /// `w[0..n]` at the grid times (W(0)=0 implicit).
+    ///
+    /// `z[0]` drives the terminal value; later z's fill midpoints.
+    ///
+    /// # Panics
+    /// Panics if slice lengths differ from the grid length.
+    pub fn build_path(&self, z: &[f64], w: &mut [f64]) {
+        let n = self.len();
+        assert_eq!(z.len(), n);
+        assert_eq!(w.len(), n);
+        w[self.bridge_index[0]] = self.std_dev[0] * z[0];
+        for step in 1..n {
+            let l = self.bridge_index[step];
+            let left = if self.left_index[step] == 0 {
+                0.0
+            } else {
+                w[self.left_index[step] - 1]
+            };
+            let right = w[self.right_index[step] - 1];
+            w[l] = self.left_weight[step] * left
+                + self.right_weight[step] * right
+                + self.std_dev[step] * z[step];
+        }
+    }
+
+    /// Convert a path of W values into increments ΔW over the grid.
+    pub fn increments(&self, w: &[f64], dw: &mut [f64]) {
+        let n = self.len();
+        assert_eq!(w.len(), n);
+        assert_eq!(dw.len(), n);
+        let mut prev = 0.0;
+        for i in 0..n {
+            dw[i] = w[i] - prev;
+            prev = w[i];
+        }
+    }
+}
+
+/// Build a Brownian path by simple forward increments:
+/// `w[i] = w[i-1] + √Δtᵢ · z[i]`. The pseudo-random default.
+pub fn incremental_path(times: &[f64], z: &[f64], w: &mut [f64]) {
+    assert_eq!(times.len(), z.len());
+    assert_eq!(times.len(), w.len());
+    let mut prev_t = 0.0;
+    let mut prev_w = 0.0;
+    for i in 0..times.len() {
+        let dt = times[i] - prev_t;
+        debug_assert!(dt > 0.0);
+        prev_w += dt.sqrt() * z[i];
+        w[i] = prev_w;
+        prev_t = times[i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{NormalPolar, NormalSampler, Xoshiro256StarStar};
+
+    #[test]
+    fn single_point_bridge_is_scaled_normal() {
+        let b = BrownianBridge::new(&[4.0]);
+        let mut w = [0.0];
+        b.build_path(&[1.5], &mut w);
+        assert_eq!(w[0], 2.0 * 1.5);
+    }
+
+    #[test]
+    fn bridge_terminal_uses_first_normal() {
+        let b = BrownianBridge::uniform(1.0, 8);
+        let mut z = vec![0.0; 8];
+        z[0] = 2.0;
+        let mut w = vec![0.0; 8];
+        b.build_path(&z, &mut w);
+        // With only z[0] nonzero, terminal = √T·z0 and interior points are
+        // linear interpolations of it.
+        assert!((w[7] - 2.0).abs() < 1e-14);
+        for i in 0..7 {
+            let expected = (i + 1) as f64 / 8.0 * 2.0;
+            assert!((w[i] - expected).abs() < 1e-12, "i={i}: {}", w[i]);
+        }
+    }
+
+    #[test]
+    fn bridge_distribution_matches_brownian_motion() {
+        // Var(W(t_i)) = t_i and Cov(W(s), W(t)) = min(s,t).
+        let steps = 4;
+        let b = BrownianBridge::uniform(1.0, steps);
+        let mut rng = Xoshiro256StarStar::seed_from(11);
+        let mut ns = NormalPolar::new();
+        let n = 200_000;
+        let mut sum = vec![0.0; steps];
+        let mut sumsq = vec![0.0; steps];
+        let mut cov03 = 0.0;
+        let mut z = vec![0.0; steps];
+        let mut w = vec![0.0; steps];
+        for _ in 0..n {
+            for zi in z.iter_mut() {
+                *zi = ns.sample(&mut rng);
+            }
+            b.build_path(&z, &mut w);
+            for i in 0..steps {
+                sum[i] += w[i];
+                sumsq[i] += w[i] * w[i];
+            }
+            cov03 += w[0] * w[3];
+        }
+        for i in 0..steps {
+            let mean = sum[i] / n as f64;
+            let var = sumsq[i] / n as f64 - mean * mean;
+            let t = (i + 1) as f64 / steps as f64;
+            assert!(mean.abs() < 0.01, "mean[{i}] {mean}");
+            assert!((var - t).abs() < 0.01, "var[{i}] {var} vs {t}");
+        }
+        let c = cov03 / n as f64;
+        assert!((c - 0.25).abs() < 0.01, "cov(W(0.25), W(1)) {c}");
+    }
+
+    #[test]
+    fn incremental_matches_bridge_in_distribution_mean() {
+        // Not pathwise equal, but terminal variance must agree.
+        let times: Vec<f64> = (1..=16).map(|i| i as f64 / 16.0).collect();
+        let mut rng = Xoshiro256StarStar::seed_from(3);
+        let mut ns = NormalPolar::new();
+        let n = 100_000;
+        let mut var_term = 0.0;
+        let mut z = vec![0.0; 16];
+        let mut w = vec![0.0; 16];
+        for _ in 0..n {
+            for zi in z.iter_mut() {
+                *zi = ns.sample(&mut rng);
+            }
+            incremental_path(&times, &z, &mut w);
+            var_term += w[15] * w[15];
+        }
+        let v = var_term / n as f64;
+        assert!((v - 1.0).abs() < 0.02, "terminal var {v}");
+    }
+
+    #[test]
+    fn increments_reconstruct_path() {
+        let b = BrownianBridge::uniform(2.0, 5);
+        let z = [0.3, -0.7, 1.1, 0.0, -0.2];
+        let mut w = [0.0; 5];
+        b.build_path(&z, &mut w);
+        let mut dw = [0.0; 5];
+        b.increments(&w, &mut dw);
+        let mut acc = 0.0;
+        for i in 0..5 {
+            acc += dw[i];
+            assert!((acc - w[i]).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_grid_is_complete() {
+        for n in [3usize, 5, 7, 11, 100] {
+            let b = BrownianBridge::uniform(1.0, n);
+            let z = vec![1.0; n];
+            let mut w = vec![f64::NAN; n];
+            b.build_path(&z, &mut w);
+            assert!(w.iter().all(|x| x.is_finite()), "n={n}: {w:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_times() {
+        let _ = BrownianBridge::new(&[1.0, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_time() {
+        let _ = BrownianBridge::new(&[0.0, 1.0]);
+    }
+}

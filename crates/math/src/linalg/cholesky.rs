@@ -1,0 +1,225 @@
+//! Cholesky factorisation `A = L·Lᵀ` for symmetric positive-definite
+//! matrices.
+//!
+//! The single most important factorisation in multi-asset pricing: the
+//! correlation matrix of the d driving Brownian motions is factored once,
+//! and every path step maps i.i.d. normals z to correlated normals L·z.
+
+use super::Matrix;
+use crate::MathError;
+
+/// Lower-triangular Cholesky factor of an SPD matrix.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factor a symmetric positive-definite matrix.
+    ///
+    /// Returns [`MathError::NotSquare`] for non-square input,
+    /// [`MathError::NotPositiveDefinite`] when a pivot is ≤ 0 (up to a
+    /// small tolerance scaled by the matrix norm).
+    pub fn factor(a: &Matrix) -> Result<Self, MathError> {
+        if !a.is_square() {
+            return Err(MathError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        let tol = 1e-12 * a.max_abs().max(1.0);
+        for j in 0..n {
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if d <= tol {
+                return Err(MathError::NotPositiveDefinite { pivot: d, index: j });
+            }
+            let dj = d.sqrt();
+            l[(j, j)] = dj;
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / dj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The lower-triangular factor L.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Dimension n.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Map i.i.d. standard normals `z` to correlated normals `L·z`,
+    /// writing into `out`. Exploits the triangular structure (n²/2 flops).
+    ///
+    /// # Panics
+    /// Panics if `z.len() != n` or `out.len() != n`.
+    pub fn correlate(&self, z: &[f64], out: &mut [f64]) {
+        let n = self.dim();
+        assert_eq!(z.len(), n);
+        assert_eq!(out.len(), n);
+        for i in 0..n {
+            let row = self.l.row(i);
+            let mut acc = 0.0;
+            for (lik, zk) in row[..=i].iter().zip(z) {
+                acc += lik * zk;
+            }
+            out[i] = acc;
+        }
+    }
+
+    /// Solve `A x = b` via forward and back substitution.
+    ///
+    /// # Panics
+    /// Panics if `b.len() != n`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n);
+        // Forward: L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= self.l[(i, k)] * y[k];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        // Back: Lᵀ x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * x[k];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Determinant of A (product of squared diagonal of L).
+    pub fn det(&self) -> f64 {
+        let mut d = 1.0;
+        for i in 0..self.dim() {
+            let lii = self.l[(i, i)];
+            d *= lii * lii;
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn spd3() -> Matrix {
+        Matrix::from_rows(&[
+            vec![4.0, 2.0, 0.6],
+            vec![2.0, 5.0, 1.0],
+            vec![0.6, 1.0, 3.0],
+        ])
+    }
+
+    #[test]
+    fn reconstructs_input() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let back = ch.l().mul_checked(&ch.l().transpose()).unwrap();
+        assert!((&back - &a).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn factor_is_lower_triangular() {
+        let ch = Cholesky::factor(&spd3()).unwrap();
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                assert_eq!(ch.l()[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let b = vec![1.0, -2.0, 0.5];
+        let x = ch.solve(&b);
+        let back = a.mul_vec(&x);
+        for (bb, rb) in b.iter().zip(&back) {
+            assert!(approx_eq(*bb, *rb, 1e-12));
+        }
+    }
+
+    #[test]
+    fn det_positive_for_spd() {
+        let ch = Cholesky::factor(&spd3()).unwrap();
+        // det(spd3) computed by cofactor expansion: 4(15-1) - 2(6-0.6) + 0.6(2-3)
+        let exact = 4.0 * (5.0 * 3.0 - 1.0) - 2.0 * (2.0 * 3.0 - 0.6) + 0.6 * (2.0 - 3.0);
+        assert!(approx_eq(ch.det(), exact, 1e-12), "{}", ch.det());
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]);
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(MathError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(MathError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn correlate_reproduces_correlation() {
+        // Empirical correlation of L·z over many draws ≈ target.
+        use crate::rng::{NormalPolar, NormalSampler, Rng64, Xoshiro256StarStar};
+        let rho = 0.65;
+        let a = Matrix::from_rows(&[vec![1.0, rho], vec![rho, 1.0]]);
+        let ch = Cholesky::factor(&a).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from(77);
+        let mut ns = NormalPolar::new();
+        let n = 200_000;
+        let (mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0);
+        let mut z = [0.0; 2];
+        let mut w = [0.0; 2];
+        let _ = rng.next_u64();
+        for _ in 0..n {
+            z[0] = ns.sample(&mut rng);
+            z[1] = ns.sample(&mut rng);
+            ch.correlate(&z, &mut w);
+            sxy += w[0] * w[1];
+            sxx += w[0] * w[0];
+            syy += w[1] * w[1];
+        }
+        let corr = sxy / (sxx.sqrt() * syy.sqrt());
+        assert!((corr - rho).abs() < 0.01, "corr {corr}");
+    }
+
+    #[test]
+    fn identity_correlation_is_identity_map() {
+        let ch = Cholesky::factor(&Matrix::identity(4)).unwrap();
+        let z = [0.3, -1.2, 0.8, 2.0];
+        let mut out = [0.0; 4];
+        ch.correlate(&z, &mut out);
+        assert_eq!(out, z);
+    }
+}

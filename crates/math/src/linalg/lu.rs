@@ -1,0 +1,197 @@
+//! LU factorisation with partial pivoting.
+
+use super::Matrix;
+use crate::MathError;
+
+/// Compact LU factorisation `P·A = L·U` with partial pivoting.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// L (unit diagonal, implicit) and U packed in one matrix.
+    lu: Matrix,
+    /// Row permutation: row i of the factor corresponds to row `perm[i]`
+    /// of the original matrix.
+    perm: Vec<usize>,
+    /// Sign of the permutation (±1), for the determinant.
+    sign: f64,
+}
+
+impl Lu {
+    /// Factor a square matrix. Fails with [`MathError::Singular`] when a
+    /// pivot underflows working precision.
+    pub fn factor(a: &Matrix) -> Result<Self, MathError> {
+        if !a.is_square() {
+            return Err(MathError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Partial pivot: largest |entry| in column k at or below row k.
+            let mut p = k;
+            let mut max = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            if max < 1e-300 {
+                return Err(MathError::Singular { index: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                for j in (k + 1)..n {
+                    let ukj = lu[(k, j)];
+                    lu[(i, j)] -= m * ukj;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Dimension n.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solve `A x = b`.
+    ///
+    /// # Panics
+    /// Panics if `b.len() != n`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n);
+        // Apply permutation, then forward-substitute L y = P b.
+        let mut y: Vec<f64> = self.perm.iter().map(|&pi| b[pi]).collect();
+        for i in 1..n {
+            let mut s = y[i];
+            for k in 0..i {
+                s -= self.lu[(i, k)] * y[k];
+            }
+            y[i] = s;
+        }
+        // Back-substitute U x = y.
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.lu[(i, k)] * y[k];
+            }
+            y[i] = s / self.lu[(i, i)];
+        }
+        y
+    }
+
+    /// Determinant of A.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Inverse of A (column-by-column solves). Intended for small matrices.
+    pub fn inverse(&self) -> Matrix {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e);
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+            e[j] = 0.0;
+        }
+        inv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn a3() -> Matrix {
+        Matrix::from_rows(&[
+            vec![2.0, 1.0, 1.0],
+            vec![4.0, -6.0, 0.0],
+            vec![-2.0, 7.0, 2.0],
+        ])
+    }
+
+    #[test]
+    fn solve_known_system() {
+        let a = a3();
+        let x = Lu::factor(&a).unwrap().solve(&[5.0, -2.0, 9.0]);
+        let back = a.mul_vec(&x);
+        for (l, r) in back.iter().zip(&[5.0, -2.0, 9.0]) {
+            assert!(approx_eq(*l, *r, 1e-12));
+        }
+    }
+
+    #[test]
+    fn determinant_known() {
+        // det = 2(-12-0) -1(8-0) +1(28-12) = -24 - 8 + 16 = -16.
+        let d = Lu::factor(&a3()).unwrap().det();
+        assert!(approx_eq(d, -16.0, 1e-12), "{d}");
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let a = a3();
+        let inv = Lu::factor(&a).unwrap().inverse();
+        let prod = a.mul_checked(&inv).unwrap();
+        assert!((&prod - &Matrix::identity(3)).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = Lu::factor(&a).unwrap().solve(&[3.0, 4.0]);
+        assert!(approx_eq(x[0], 4.0, 1e-14));
+        assert!(approx_eq(x[1], 3.0, 1e-14));
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(matches!(Lu::factor(&a), Err(MathError::Singular { .. })));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(matches!(
+            Lu::factor(&Matrix::zeros(3, 2)),
+            Err(MathError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn permutation_sign_in_det() {
+        // A permutation matrix has det ±1.
+        let p = Matrix::from_rows(&[
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+            vec![1.0, 0.0, 0.0],
+        ]);
+        let d = Lu::factor(&p).unwrap().det();
+        assert!(approx_eq(d, 1.0, 1e-14), "cyclic permutation is even: {d}");
+    }
+}

@@ -1,0 +1,218 @@
+//! Householder QR factorisation and least squares.
+//!
+//! The Longstaff–Schwartz regression solves `min ‖X β − y‖₂` where X is a
+//! tall basis matrix whose columns (powers of moneyness etc.) can be highly
+//! collinear. QR is backward stable where the normal equations square the
+//! condition number, so this is the solver the LSMC engine uses.
+
+use super::Matrix;
+use crate::MathError;
+
+/// Householder QR of an `m × n` matrix with `m ≥ n`.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Householder vectors below the diagonal; R on and above it.
+    qr: Matrix,
+    /// Diagonal of R (the packed diagonal holds the v's leading entry).
+    rdiag: Vec<f64>,
+}
+
+impl Qr {
+    /// Factor an `m × n` matrix (`m ≥ n`).
+    ///
+    /// Returns [`MathError::DimensionMismatch`] for underdetermined shapes
+    /// and [`MathError::Singular`] when a column is (numerically) linearly
+    /// dependent — the caller should shrink the basis.
+    pub fn factor(a: &Matrix) -> Result<Self, MathError> {
+        let (m, n) = (a.rows(), a.cols());
+        if m < n {
+            return Err(MathError::DimensionMismatch {
+                op: "QR (need rows >= cols)",
+                left: (m, n),
+                right: (n, n),
+            });
+        }
+        let mut qr = a.clone();
+        let mut rdiag = vec![0.0; n];
+        let scale = a.max_abs().max(1.0);
+        for k in 0..n {
+            // Norm of the k-th column below the diagonal.
+            let mut nrm = 0.0f64;
+            for i in k..m {
+                nrm = nrm.hypot(qr[(i, k)]);
+            }
+            if nrm < 1e-14 * scale {
+                return Err(MathError::Singular { index: k });
+            }
+            // Choose sign to avoid cancellation.
+            if qr[(k, k)] < 0.0 {
+                nrm = -nrm;
+            }
+            for i in k..m {
+                qr[(i, k)] /= nrm;
+            }
+            qr[(k, k)] += 1.0;
+            // Apply the reflector to the remaining columns.
+            for j in (k + 1)..n {
+                let mut s = 0.0;
+                for i in k..m {
+                    s += qr[(i, k)] * qr[(i, j)];
+                }
+                s = -s / qr[(k, k)];
+                for i in k..m {
+                    let vik = qr[(i, k)];
+                    qr[(i, j)] += s * vik;
+                }
+            }
+            rdiag[k] = -nrm;
+        }
+        Ok(Qr { qr, rdiag })
+    }
+
+    /// Number of columns n (size of the solution vector).
+    pub fn n(&self) -> usize {
+        self.qr.cols()
+    }
+
+    /// Number of rows m.
+    pub fn m(&self) -> usize {
+        self.qr.rows()
+    }
+
+    /// Least-squares solve `min ‖A x − b‖₂`.
+    ///
+    /// # Panics
+    /// Panics if `b.len() != m`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let (m, n) = (self.m(), self.n());
+        assert_eq!(b.len(), m);
+        let mut y = b.to_vec();
+        // Apply Qᵀ to b.
+        for k in 0..n {
+            let mut s = 0.0;
+            for i in k..m {
+                s += self.qr[(i, k)] * y[i];
+            }
+            s = -s / self.qr[(k, k)];
+            for i in k..m {
+                y[i] += s * self.qr[(i, k)];
+            }
+        }
+        // Back-substitute R x = (Qᵀ b)[..n].
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.qr[(i, j)] * x[j];
+            }
+            x[i] = s / self.rdiag[i];
+        }
+        x
+    }
+
+    /// Residual 2-norm ‖A x − b‖₂ for a given solution (diagnostic).
+    pub fn residual_norm(&self, a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+        let ax = a.mul_vec(x);
+        ax.iter()
+            .zip(b)
+            .map(|(l, r)| (l - r) * (l - r))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn square_solve_matches_lu() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, 1.0, 1.0],
+            vec![4.0, -6.0, 0.0],
+            vec![-2.0, 7.0, 2.0],
+        ]);
+        let b = [5.0, -2.0, 9.0];
+        let x = Qr::factor(&a).unwrap().solve(&b);
+        let lu = crate::linalg::Lu::factor(&a).unwrap().solve(&b);
+        for (q, l) in x.iter().zip(&lu) {
+            assert!(approx_eq(*q, *l, 1e-12), "{q} vs {l}");
+        }
+    }
+
+    #[test]
+    fn overdetermined_recovers_exact_fit() {
+        // y = 2 + 3 t sampled without noise: LS must recover [2, 3].
+        let ts: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let rows: Vec<Vec<f64>> = ts.iter().map(|&t| vec![1.0, t]).collect();
+        let a = Matrix::from_rows(&rows);
+        let b: Vec<f64> = ts.iter().map(|&t| 2.0 + 3.0 * t).collect();
+        let x = Qr::factor(&a).unwrap().solve(&b);
+        assert!(approx_eq(x[0], 2.0, 1e-12));
+        assert!(approx_eq(x[1], 3.0, 1e-12));
+    }
+
+    #[test]
+    fn least_squares_residual_orthogonal() {
+        // For LS solution, residual must be orthogonal to column space.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![1.0, 2.0],
+            vec![1.0, 3.0],
+        ]);
+        let b = [1.0, 0.0, 2.0, 1.5];
+        let x = Qr::factor(&a).unwrap().solve(&b);
+        let ax = a.mul_vec(&x);
+        let r: Vec<f64> = ax.iter().zip(&b).map(|(l, rr)| rr - l).collect();
+        let at = a.transpose();
+        let atr = at.mul_vec(&r);
+        for v in atr {
+            assert!(v.abs() < 1e-12, "normal-equation residual {v}");
+        }
+    }
+
+    #[test]
+    fn rank_deficient_detected() {
+        // Second column is 2× the first.
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]);
+        assert!(matches!(Qr::factor(&a), Err(MathError::Singular { .. })));
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Qr::factor(&a),
+            Err(MathError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn handles_ill_conditioned_vandermonde() {
+        // Degree-5 Vandermonde on [0,1] — condition ~1e5; QR should still
+        // fit a quintic exactly to ~1e-8.
+        let ts: Vec<f64> = (0..20).map(|i| i as f64 / 19.0).collect();
+        let rows: Vec<Vec<f64>> = ts
+            .iter()
+            .map(|&t| (0..6).map(|p| t.powi(p)).collect())
+            .collect();
+        let a = Matrix::from_rows(&rows);
+        let coeffs = [1.0, -2.0, 0.5, 3.0, -1.5, 0.25];
+        let b: Vec<f64> = ts
+            .iter()
+            .map(|&t| {
+                coeffs
+                    .iter()
+                    .enumerate()
+                    .map(|(p, c)| c * t.powi(p as i32))
+                    .sum()
+            })
+            .collect();
+        let x = Qr::factor(&a).unwrap().solve(&b);
+        for (got, want) in x.iter().zip(&coeffs) {
+            assert!(approx_eq(*got, *want, 1e-8), "{got} vs {want}");
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Tridiagonal solvers: sequential Thomas algorithm and parallel cyclic
+//! reduction.
+//!
+//! Crank–Nicolson and ADI time stepping reduce each line of the PDE grid
+//! to a tridiagonal system. The Thomas algorithm is O(n) but inherently
+//! sequential; cyclic reduction is O(n log n) work with O(log n) span and
+//! is the classic way the 2002-era literature parallelised implicit
+//! sweeps, so both are provided (and the ablation bench compares them).
+
+use crate::MathError;
+
+/// A tridiagonal system `a_i x_{i-1} + b_i x_i + c_i x_{i+1} = d_i`.
+///
+/// `a[0]` and `c[n-1]` are ignored (conventionally zero).
+#[derive(Debug, Clone)]
+pub struct Tridiag {
+    /// Sub-diagonal (length n; `a[0]` unused).
+    pub a: Vec<f64>,
+    /// Diagonal (length n).
+    pub b: Vec<f64>,
+    /// Super-diagonal (length n; `c[n-1]` unused).
+    pub c: Vec<f64>,
+}
+
+impl Tridiag {
+    /// Construct and validate band lengths.
+    ///
+    /// # Panics
+    /// Panics when the three bands disagree in length.
+    pub fn new(a: Vec<f64>, b: Vec<f64>, c: Vec<f64>) -> Self {
+        assert_eq!(a.len(), b.len(), "band length mismatch");
+        assert_eq!(b.len(), c.len(), "band length mismatch");
+        Tridiag { a, b, c }
+    }
+
+    /// System size.
+    pub fn n(&self) -> usize {
+        self.b.len()
+    }
+
+    /// Multiply `T·x` (for residual checks and explicit stepping).
+    ///
+    /// # Panics
+    /// Panics if `x.len() != n`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        let n = self.n();
+        assert_eq!(x.len(), n);
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = self.b[i] * x[i];
+            if i > 0 {
+                s += self.a[i] * x[i - 1];
+            }
+            if i + 1 < n {
+                s += self.c[i] * x[i + 1];
+            }
+            y[i] = s;
+        }
+        y
+    }
+
+    /// Solve with the Thomas algorithm (O(n), sequential).
+    ///
+    /// Numerically safe for diagonally dominant systems, which all the
+    /// PDE discretisations in this workspace produce.
+    pub fn solve_thomas(&self, d: &[f64]) -> Result<Vec<f64>, MathError> {
+        let n = self.n();
+        assert_eq!(d.len(), n);
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let mut cp = vec![0.0; n];
+        let mut dp = vec![0.0; n];
+        if self.b[0].abs() < 1e-300 {
+            return Err(MathError::Singular { index: 0 });
+        }
+        cp[0] = self.c[0] / self.b[0];
+        dp[0] = d[0] / self.b[0];
+        for i in 1..n {
+            let m = self.b[i] - self.a[i] * cp[i - 1];
+            if m.abs() < 1e-300 {
+                return Err(MathError::Singular { index: i });
+            }
+            cp[i] = self.c[i] / m;
+            dp[i] = (d[i] - self.a[i] * dp[i - 1]) / m;
+        }
+        let mut x = vec![0.0; n];
+        x[n - 1] = dp[n - 1];
+        for i in (0..n - 1).rev() {
+            x[i] = dp[i] - cp[i] * x[i + 1];
+        }
+        Ok(x)
+    }
+
+    /// Solve with cyclic (odd–even) reduction — O(n log n) work,
+    /// O(log n) parallel span.
+    ///
+    /// Each level eliminates the odd-indexed unknowns in terms of their
+    /// even neighbours; after log₂ n levels a single unknown remains and
+    /// the recursion unwinds. Every level's eliminations are independent,
+    /// which is what a parallel PDE sweep exploits.
+    pub fn solve_cyclic_reduction(&self, d: &[f64]) -> Result<Vec<f64>, MathError> {
+        let n = self.n();
+        assert_eq!(d.len(), n);
+        cr_solve(&self.a, &self.b, &self.c, d)
+    }
+}
+
+/// One recursive level of odd–even reduction.
+///
+/// Keeps the even-indexed unknowns: row 2j is combined with rows 2j±1 to
+/// eliminate the odd unknowns, producing a tridiagonal system of size
+/// ⌈n/2⌉; the odd unknowns are recovered afterwards from their even
+/// neighbours. All eliminations within a level are independent.
+fn cr_solve(a: &[f64], b: &[f64], c: &[f64], d: &[f64]) -> Result<Vec<f64>, MathError> {
+    let n = b.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    if n == 1 {
+        if b[0].abs() < 1e-300 {
+            return Err(MathError::Singular { index: 0 });
+        }
+        return Ok(vec![d[0] / b[0]]);
+    }
+    let m = n.div_ceil(2);
+    let mut ra = vec![0.0; m];
+    let mut rb = vec![0.0; m];
+    let mut rc = vec![0.0; m];
+    let mut rd = vec![0.0; m];
+    for j in 0..m {
+        let i = 2 * j;
+        let mut nb = b[i];
+        let mut nd = d[i];
+        let mut na = 0.0;
+        let mut nc = 0.0;
+        if i > 0 {
+            if b[i - 1].abs() < 1e-300 {
+                return Err(MathError::Singular { index: i - 1 });
+            }
+            let alpha = -a[i] / b[i - 1];
+            na = alpha * a[i - 1];
+            nb += alpha * c[i - 1];
+            nd += alpha * d[i - 1];
+        }
+        if i + 1 < n {
+            if b[i + 1].abs() < 1e-300 {
+                return Err(MathError::Singular { index: i + 1 });
+            }
+            let beta = -c[i] / b[i + 1];
+            nb += beta * a[i + 1];
+            nc = beta * c[i + 1];
+            nd += beta * d[i + 1];
+        }
+        ra[j] = na;
+        rb[j] = nb;
+        rc[j] = nc;
+        rd[j] = nd;
+    }
+    let xe = cr_solve(&ra, &rb, &rc, &rd)?;
+    let mut x = vec![0.0; n];
+    for (j, &v) in xe.iter().enumerate() {
+        x[2 * j] = v;
+    }
+    for i in (1..n).step_by(2) {
+        let mut v = d[i] - a[i] * x[i - 1];
+        if i + 1 < n {
+            v -= c[i] * x[i + 1];
+        }
+        if b[i].abs() < 1e-300 {
+            return Err(MathError::Singular { index: i });
+        }
+        x[i] = v / b[i];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn laplacian(n: usize) -> Tridiag {
+        Tridiag::new(vec![-1.0; n], vec![2.5; n], vec![-1.0; n])
+    }
+
+    #[test]
+    fn thomas_solves_laplacian() {
+        let t = laplacian(50);
+        let d: Vec<f64> = (0..50).map(|i| (i as f64 * 0.1).sin()).collect();
+        let x = t.solve_thomas(&d).unwrap();
+        let back = t.mul_vec(&x);
+        for (l, r) in back.iter().zip(&d) {
+            assert!(approx_eq(*l, *r, 1e-12));
+        }
+    }
+
+    #[test]
+    fn thomas_matches_exact_small_system() {
+        // [2 1; 1 2] x = [3; 3] → x = [1; 1].
+        let t = Tridiag::new(vec![0.0, 1.0], vec![2.0, 2.0], vec![1.0, 0.0]);
+        let x = t.solve_thomas(&[3.0, 3.0]).unwrap();
+        assert!(approx_eq(x[0], 1.0, 1e-14));
+        assert!(approx_eq(x[1], 1.0, 1e-14));
+    }
+
+    #[test]
+    fn thomas_single_equation() {
+        let t = Tridiag::new(vec![0.0], vec![4.0], vec![0.0]);
+        assert_eq!(t.solve_thomas(&[8.0]).unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    fn thomas_empty_system() {
+        let t = Tridiag::new(vec![], vec![], vec![]);
+        assert!(t.solve_thomas(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn cyclic_reduction_matches_thomas_power_of_two() {
+        for n in [2usize, 4, 8, 16, 64, 128] {
+            let t = laplacian(n);
+            let d: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.37).cos()).collect();
+            let xt = t.solve_thomas(&d).unwrap();
+            let xc = t.solve_cyclic_reduction(&d).unwrap();
+            for (a, b) in xt.iter().zip(&xc) {
+                assert!(approx_eq(*a, *b, 1e-9), "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_reduction_matches_thomas_odd_sizes() {
+        for n in [1usize, 3, 5, 7, 13, 100, 101] {
+            let t = laplacian(n);
+            let d: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin() - 0.2).collect();
+            let xt = t.solve_thomas(&d).unwrap();
+            let xc = t.solve_cyclic_reduction(&d).unwrap();
+            for (i, (a, b)) in xt.iter().zip(&xc).enumerate() {
+                assert!(approx_eq(*a, *b, 1e-8), "n={n} i={i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn singular_diagonal_detected() {
+        let t = Tridiag::new(vec![0.0, 0.0], vec![0.0, 1.0], vec![0.0, 0.0]);
+        assert!(t.solve_thomas(&[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn mul_vec_tridiagonal_structure() {
+        let t = Tridiag::new(
+            vec![0.0, 1.0, 1.0],
+            vec![2.0, 2.0, 2.0],
+            vec![1.0, 1.0, 0.0],
+        );
+        let y = t.mul_vec(&[1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![3.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "band length")]
+    fn band_length_mismatch_panics() {
+        let _ = Tridiag::new(vec![0.0], vec![1.0, 2.0], vec![0.0, 0.0]);
+    }
+}

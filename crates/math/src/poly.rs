@@ -1,0 +1,200 @@
+//! Polynomial bases for the Longstaff–Schwartz conditional-expectation
+//! regression.
+//!
+//! The continuation value E[V_{t+1} | S_t] is approximated by a linear
+//! combination of basis functions of the (normalised) asset prices.
+//! Longstaff & Schwartz used weighted Laguerre polynomials; plain
+//! monomials and Hermite polynomials are common too, and for multi-asset
+//! products a cross-product basis is required. All three families plus a
+//! multidimensional tensor basis are provided.
+
+/// Basis family for scalar regressors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BasisKind {
+    /// 1, x, x², …
+    Monomial,
+    /// Laguerre polynomials L₀, L₁, … (orthogonal on [0,∞) w.r.t. e^{-x}).
+    Laguerre,
+    /// Probabilists' Hermite polynomials He₀, He₁, …
+    Hermite,
+}
+
+/// Evaluate the first `count` basis functions of `kind` at `x` into `out`.
+///
+/// # Panics
+/// Panics if `out.len() < count`.
+pub fn eval_basis(kind: BasisKind, x: f64, count: usize, out: &mut [f64]) {
+    assert!(out.len() >= count);
+    if count == 0 {
+        return;
+    }
+    out[0] = 1.0;
+    if count == 1 {
+        return;
+    }
+    match kind {
+        BasisKind::Monomial => {
+            for k in 1..count {
+                out[k] = out[k - 1] * x;
+            }
+        }
+        BasisKind::Laguerre => {
+            out[1] = 1.0 - x;
+            for k in 1..count - 1 {
+                // (k+1) L_{k+1} = (2k+1-x) L_k − k L_{k-1}
+                out[k + 1] =
+                    (((2 * k + 1) as f64 - x) * out[k] - k as f64 * out[k - 1]) / (k + 1) as f64;
+            }
+        }
+        BasisKind::Hermite => {
+            out[1] = x;
+            for k in 1..count - 1 {
+                // He_{k+1} = x He_k − k He_{k-1}
+                out[k + 1] = x * out[k] - k as f64 * out[k - 1];
+            }
+        }
+    }
+}
+
+/// A multidimensional regression basis: per-asset scalar bases up to
+/// `degree`, all pairwise cross terms `x_i·x_j`, and a constant.
+///
+/// This is the standard LSMC basis for baskets: rich enough to capture
+/// the exercise boundary of 2–5 asset products without exploding in size.
+#[derive(Debug, Clone)]
+pub struct TensorBasis {
+    /// Number of assets d.
+    pub dim: usize,
+    /// Scalar degree per asset (≥ 1).
+    pub degree: usize,
+    /// Scalar family.
+    pub kind: BasisKind,
+    /// Include pairwise cross terms.
+    pub cross_terms: bool,
+}
+
+impl TensorBasis {
+    /// Standard LSMC basis: given d assets and scalar degree `degree`.
+    pub fn new(dim: usize, degree: usize, kind: BasisKind) -> Self {
+        assert!(dim > 0 && degree >= 1);
+        TensorBasis {
+            dim,
+            degree,
+            kind,
+            cross_terms: dim > 1,
+        }
+    }
+
+    /// Total number of basis functions.
+    pub fn size(&self) -> usize {
+        // 1 constant + d·degree scalar terms + C(d,2) cross terms.
+        let cross = if self.cross_terms {
+            self.dim * (self.dim - 1) / 2
+        } else {
+            0
+        };
+        1 + self.dim * self.degree + cross
+    }
+
+    /// Evaluate at the asset vector `x`, writing `self.size()` values.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != dim` or `out.len() != size()`.
+    pub fn eval(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.dim);
+        assert_eq!(out.len(), self.size());
+        out[0] = 1.0;
+        let mut pos = 1;
+        // scratch: scalar basis includes the constant at index 0.
+        let mut scratch = vec![0.0; self.degree + 1];
+        for &xi in x {
+            eval_basis(self.kind, xi, self.degree + 1, &mut scratch);
+            out[pos..pos + self.degree].copy_from_slice(&scratch[1..=self.degree]);
+            pos += self.degree;
+        }
+        if self.cross_terms {
+            for i in 0..self.dim {
+                for j in (i + 1)..self.dim {
+                    out[pos] = x[i] * x[j];
+                    pos += 1;
+                }
+            }
+        }
+        debug_assert_eq!(pos, self.size());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn monomials() {
+        let mut out = [0.0; 4];
+        eval_basis(BasisKind::Monomial, 2.0, 4, &mut out);
+        assert_eq!(out, [1.0, 2.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn laguerre_known_values() {
+        // L2(x) = (x² − 4x + 2)/2 at x=1 → −0.5; L3(1) = (−1³+9−18+6)/6 = −4/6.
+        let mut out = [0.0; 4];
+        eval_basis(BasisKind::Laguerre, 1.0, 4, &mut out);
+        assert!(approx_eq(out[0], 1.0, 1e-15));
+        assert!(approx_eq(out[1], 0.0, 1e-15));
+        assert!(approx_eq(out[2], -0.5, 1e-14));
+        assert!(approx_eq(out[3], -2.0 / 3.0, 1e-14));
+    }
+
+    #[test]
+    fn hermite_known_values() {
+        // He2(x) = x²−1, He3(x) = x³−3x at x=2 → 3, 2.
+        let mut out = [0.0; 4];
+        eval_basis(BasisKind::Hermite, 2.0, 4, &mut out);
+        assert_eq!(out, [1.0, 2.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn zero_and_one_counts() {
+        let mut out = [9.0; 2];
+        eval_basis(BasisKind::Monomial, 5.0, 0, &mut out);
+        assert_eq!(out, [9.0, 9.0]);
+        eval_basis(BasisKind::Monomial, 5.0, 1, &mut out);
+        assert_eq!(out[0], 1.0);
+    }
+
+    #[test]
+    fn tensor_basis_size_and_layout() {
+        let b = TensorBasis::new(3, 2, BasisKind::Monomial);
+        // 1 + 3*2 + 3 cross = 10.
+        assert_eq!(b.size(), 10);
+        let x = [2.0, 3.0, 5.0];
+        let mut out = vec![0.0; 10];
+        b.eval(&x, &mut out);
+        assert_eq!(out[0], 1.0);
+        assert_eq!(&out[1..3], &[2.0, 4.0]); // x1, x1²
+        assert_eq!(&out[3..5], &[3.0, 9.0]);
+        assert_eq!(&out[5..7], &[5.0, 25.0]);
+        assert_eq!(&out[7..10], &[6.0, 10.0, 15.0]); // cross terms
+    }
+
+    #[test]
+    fn tensor_basis_single_asset_has_no_cross() {
+        let b = TensorBasis::new(1, 3, BasisKind::Laguerre);
+        assert_eq!(b.size(), 4);
+        let mut out = vec![0.0; 4];
+        b.eval(&[1.0], &mut out);
+        // Layout: [1, L1(1), L2(1), L3(1)] with L1(1) = 0, L2(1) = −0.5.
+        assert!(approx_eq(out[1], 0.0, 1e-15));
+        assert!(approx_eq(out[2], -0.5, 1e-14));
+    }
+
+    #[test]
+    #[should_panic]
+    fn tensor_basis_wrong_input_length_panics() {
+        let b = TensorBasis::new(2, 2, BasisKind::Monomial);
+        let mut out = vec![0.0; b.size()];
+        b.eval(&[1.0], &mut out);
+    }
+}

@@ -1,0 +1,286 @@
+//! Online statistics with mergeable state.
+//!
+//! Every parallel Monte Carlo driver reduces per-worker statistics into a
+//! global estimate. [`OnlineStats`] implements Welford/Chan's numerically
+//! stable single-pass moments with an O(1) `merge`, so the reduction tree
+//! of the cluster substrate can combine partial results without ever
+//! shipping raw samples.
+
+/// Numerically stable online mean/variance (Welford), mergeable (Chan).
+///
+/// ```
+/// use mdp_math::stats::OnlineStats;
+/// let mut a = OnlineStats::new();
+/// let mut b = OnlineStats::new();
+/// a.extend(&[1.0, 2.0]);
+/// b.extend(&[3.0, 4.0]);
+/// a.merge(&b); // exactly as if all four samples were pushed into one
+/// assert_eq!(a.mean(), 2.5);
+/// assert_eq!(a.count(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    /// Sum of squared deviations from the current mean.
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Add a whole slice.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Merge another accumulator into this one (Chan et al. pairwise
+    /// update). Exact in the same sense as pushing all samples.
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 when n < 2).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Minimum observation (+∞ when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (−∞ when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Symmetric confidence half-width at the given z quantile
+    /// (e.g. 1.96 for 95%).
+    pub fn confidence_half_width(&self, z: f64) -> f64 {
+        z * self.std_error()
+    }
+
+    /// Serialise to a fixed-size array for message passing:
+    /// `[n, mean, m2, min, max]`.
+    pub fn to_raw(&self) -> [f64; 5] {
+        [self.n as f64, self.mean, self.m2, self.min, self.max]
+    }
+
+    /// Inverse of [`to_raw`](Self::to_raw).
+    pub fn from_raw(raw: &[f64; 5]) -> Self {
+        OnlineStats {
+            n: raw[0] as u64,
+            mean: raw[1],
+            m2: raw[2],
+            min: raw[3],
+            max: raw[4],
+        }
+    }
+}
+
+/// Sample skewness and excess kurtosis from raw data (two-pass).
+/// Diagnostic only — not used in the hot paths.
+pub fn higher_moments(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    if xs.len() < 3 {
+        return (0.0, 0.0);
+    }
+    let mean = xs.iter().sum::<f64>() / n;
+    let (mut m2, mut m3, mut m4) = (0.0, 0.0, 0.0);
+    for &x in xs {
+        let d = x - mean;
+        m2 += d * d;
+        m3 += d * d * d;
+        m4 += d * d * d * d;
+    }
+    m2 /= n;
+    m3 /= n;
+    m4 /= n;
+    let skew = m3 / m2.powf(1.5);
+    let kurt = m4 / (m2 * m2) - 3.0;
+    (skew, kurt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn matches_two_pass_formulas() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = OnlineStats::new();
+        s.extend(&xs);
+        assert_eq!(s.count(), 8);
+        assert!(approx_eq(s.mean(), 5.0, 1e-14));
+        // Unbiased variance = 32/7.
+        assert!(approx_eq(s.variance(), 32.0 / 7.0, 1e-13));
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.71).sin() * 3.0).collect();
+        let mut whole = OnlineStats::new();
+        whole.extend(&xs);
+        for split in [1usize, 13, 50, 99] {
+            let mut a = OnlineStats::new();
+            let mut b = OnlineStats::new();
+            a.extend(&xs[..split]);
+            b.extend(&xs[split..]);
+            a.merge(&b);
+            assert_eq!(a.count(), whole.count());
+            assert!(approx_eq(a.mean(), whole.mean(), 1e-12));
+            assert!(approx_eq(a.variance(), whole.variance(), 1e-12));
+            assert_eq!(a.min(), whole.min());
+            assert_eq!(a.max(), whole.max());
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.extend(&[1.0, 2.0, 3.0]);
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+        let mut e = OnlineStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn raw_round_trip() {
+        let mut a = OnlineStats::new();
+        a.extend(&[1.0, -1.0, 5.0]);
+        let b = OnlineStats::from_raw(&a.to_raw());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_error(), 0.0);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut s = OnlineStats::new();
+        s.push(42.0);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 42.0);
+        assert_eq!(s.max(), 42.0);
+    }
+
+    #[test]
+    fn confidence_interval_width() {
+        let mut s = OnlineStats::new();
+        // 100 points with std dev 1 around 0 (alternating ±1).
+        for i in 0..100 {
+            s.push(if i % 2 == 0 { 1.0 } else { -1.0 });
+        }
+        let hw = s.confidence_half_width(1.96);
+        // sd ≈ 1.005, se ≈ 0.1005, hw ≈ 0.197.
+        assert!((hw - 0.197).abs() < 0.01, "{hw}");
+    }
+
+    #[test]
+    fn numerical_stability_large_offset() {
+        // Classic catastrophic-cancellation case for naive sum-of-squares.
+        let mut s = OnlineStats::new();
+        for i in 0..1000 {
+            s.push(1e9 + (i % 2) as f64);
+        }
+        assert!(approx_eq(s.variance(), 0.25025, 1e-3), "{}", s.variance());
+    }
+
+    #[test]
+    fn higher_moments_gaussianish() {
+        use crate::rng::{NormalPolar, NormalSampler, Xoshiro256StarStar};
+        let mut rng = Xoshiro256StarStar::seed_from(5);
+        let mut ns = NormalPolar::new();
+        let xs: Vec<f64> = (0..100_000).map(|_| ns.sample(&mut rng)).collect();
+        let (skew, kurt) = higher_moments(&xs);
+        assert!(skew.abs() < 0.05, "skew {skew}");
+        assert!(kurt.abs() < 0.1, "kurt {kurt}");
+    }
+
+    #[test]
+    fn higher_moments_degenerate() {
+        assert_eq!(higher_moments(&[1.0, 2.0]), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,359 @@
+//! Message-passing Monte Carlo drivers with virtual-time accounting.
+//!
+//! **European** ([`price_mc_cluster`]): rank `r` simulates its block range
+//! of the fixed block-substream partition, charges the machine model for
+//! the path work, and the ranks allreduce one 6-wide accumulator. The
+//! price equals the sequential engine's bit for bit; the virtual time
+//! gives experiments T3/F3 their near-ideal speedup curves (a single
+//! log₂p-deep reduction at the end of an arbitrarily large compute
+//! phase).
+//!
+//! **LSMC** ([`price_lsmc_cluster`]): each rank owns a share of the path
+//! panel; every exercise date requires an allreduce of the
+//! normal-equation sums (`k² + k + 1` doubles) before any rank can make
+//! its exercise decisions. That per-step synchronisation is the serial
+//! fraction that separates the LSMC speedup curve from the European one
+//! (experiment T7).
+
+use crate::engine::{McConfig, McResult, RunContext};
+use crate::lsmc::{self, LsmcConfig, LsmcResult};
+use crate::variance::{BlockAccum, ACCUM_WIDTH};
+use crate::McError;
+use mdp_cluster::{collectives, partition, Communicator, Machine, TimeModel};
+use mdp_model::{GbmMarket, Product};
+
+/// Outcome of a distributed European Monte Carlo run.
+#[derive(Debug, Clone)]
+pub struct McClusterOutcome {
+    /// The estimate (identical to the sequential engine's).
+    pub result: McResult,
+    /// Virtual-time model of the run.
+    pub time: TimeModel,
+}
+
+/// Price a European product on `p` ranks under `machine`.
+pub fn price_mc_cluster(
+    market: &GbmMarket,
+    product: &Product,
+    cfg: McConfig,
+    p: usize,
+    machine: Machine,
+) -> Result<McClusterOutcome, McError> {
+    let ctx = RunContext::new(market, product, cfg)?;
+    let work_per_path = cfg.path_work_units(market.dim());
+    let results = mdp_cluster::run_spmd(p, machine, |comm| {
+        let blocks = ctx.num_blocks() as usize;
+        let (lo, hi) = partition::block_range(blocks, comm.size(), comm.rank());
+        // Keep per-block accumulators separate: the root folds them in
+        // global block order, which makes the result bit-identical to the
+        // sequential engine (floating-point addition is order-sensitive;
+        // a tree allreduce would differ in the last couple of ULPs).
+        let mut local = Vec::with_capacity((hi - lo) * ACCUM_WIDTH);
+        let mut paths = 0u64;
+        for b in lo..hi {
+            local.extend_from_slice(&ctx.simulate_block(b as u64).to_vec());
+            paths += ctx.config().block_paths(b as u64);
+        }
+        comm.compute_units(paths as f64 * work_per_path);
+        let gathered = collectives::gather_varied(comm, 0, &local);
+        let mut merged = [0.0; ACCUM_WIDTH];
+        if let Some(parts) = gathered {
+            let mut total = BlockAccum::new();
+            for part in &parts {
+                for chunk in part.chunks_exact(ACCUM_WIDTH) {
+                    total.merge(&BlockAccum::from_slice(chunk));
+                }
+            }
+            merged = total.to_vec();
+        }
+        collectives::broadcast(comm, 0, &mut merged);
+        BlockAccum::from_slice(&merged)
+    })
+    .map_err(|e| McError::Unsupported(e.to_string()))?;
+
+    let result = ctx.finish(&results[0].value);
+    let time = TimeModel::from_results(&results);
+    Ok(McClusterOutcome { result, time })
+}
+
+/// Outcome of a distributed LSMC run.
+#[derive(Debug, Clone)]
+pub struct LsmcClusterOutcome {
+    /// The estimate.
+    pub result: LsmcResult,
+    /// Virtual-time model of the run.
+    pub time: TimeModel,
+}
+
+/// Price an American product with distributed LSMC on `p` ranks.
+///
+/// Work accounting: path simulation and the per-date regression scans
+/// are charged per local path; the per-date allreduce of the
+/// normal-equation sums is costed by the machine model through the
+/// collective's real message structure.
+pub fn price_lsmc_cluster(
+    market: &GbmMarket,
+    product: &Product,
+    cfg: LsmcConfig,
+    p: usize,
+    machine: Machine,
+) -> Result<LsmcClusterOutcome, McError> {
+    lsmc::validate(market, product, &cfg)?;
+    let d = market.dim();
+    let basis = mdp_math::poly::TensorBasis::new(d, cfg.degree, cfg.basis);
+    let k = basis.size();
+    // Work units: simulation ~ steps·(d²/2 + 8d + 6); each date's scan is
+    // ~ d + k² per path (basis eval + rank-1 update), twice (sum + apply).
+    let sim_work = cfg.steps as f64 * ((d * d) as f64 / 2.0 + 8.0 * d as f64 + 6.0);
+    let date_work = 2.0 * (d as f64 + (k * k) as f64);
+
+    let results = mdp_cluster::run_spmd(p, machine, |comm| {
+        let blocks = lsmc::num_blocks(&cfg) as usize;
+        let (lo, hi) = partition::block_range(blocks, comm.size(), comm.rank());
+        let panel = lsmc::simulate_panel(market, product, &cfg, lo as u64..hi as u64);
+        comm.compute_units(panel.paths as f64 * sim_work);
+
+        // The backward sweep needs a global regression at each date: we
+        // thread the communicator through the `regress` hook.
+        let comm_cell = std::cell::RefCell::new(comm);
+        let discounted = lsmc::backward_sweep(market, product, &cfg, &panel, |_, sums| {
+            let mut c = comm_cell.borrow_mut();
+            c.compute_units(panel.paths as f64 * date_work);
+            let merged = collectives::allreduce_sum(&mut **c, &sums.to_vec());
+            lsmc::RegressionSums::from_slice(k, &merged).solve(cfg.ridge)
+        });
+        // Global mean/SE via one final reduction of [n, Σ, Σ²].
+        let local: [f64; 3] = [
+            discounted.len() as f64,
+            discounted.iter().sum(),
+            discounted.iter().map(|c| c * c).sum(),
+        ];
+        let comm = comm_cell.into_inner();
+        collectives::allreduce_sum(comm, &local)
+    })
+    .map_err(|e| McError::Unsupported(e.to_string()))?;
+
+    let g = &results[0].value;
+    let n = g[0];
+    let mean = g[1] / n;
+    let var = (g[2] - n * mean * mean) / (n - 1.0);
+    let intrinsic = product.payoff.eval(market.spots());
+    let result = LsmcResult {
+        price: mean.max(intrinsic),
+        std_error: (var.max(0.0) / n).sqrt(),
+        paths: n as u64,
+    };
+    let time = TimeModel::from_results(&results);
+    Ok(LsmcClusterOutcome { result, time })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{McEngine, VarianceReduction};
+    use mdp_model::Payoff;
+
+    fn basket3() -> (GbmMarket, Product) {
+        (
+            GbmMarket::symmetric(3, 100.0, 0.25, 0.0, 0.05, 0.4).unwrap(),
+            Product::european(
+                Payoff::BasketCall {
+                    weights: Product::equal_weights(3),
+                    strike: 100.0,
+                },
+                1.0,
+            ),
+        )
+    }
+
+    #[test]
+    fn cluster_price_equals_sequential_bitwise() {
+        let (m, p) = basket3();
+        let cfg = McConfig {
+            paths: 20_000,
+            block_size: 1000,
+            ..Default::default()
+        };
+        let seq = McEngine::new(cfg).price(&m, &p).unwrap();
+        for ranks in [1usize, 2, 4, 5] {
+            let par = price_mc_cluster(&m, &p, cfg, ranks, Machine::ideal()).unwrap();
+            assert_eq!(
+                par.result.price.to_bits(),
+                seq.price.to_bits(),
+                "ranks={ranks}"
+            );
+            assert_eq!(par.result.paths, seq.paths);
+        }
+    }
+
+    #[test]
+    fn cluster_price_invariant_across_rank_counts() {
+        let (m, p) = basket3();
+        let cfg = McConfig {
+            paths: 10_000,
+            block_size: 500,
+            variance_reduction: VarianceReduction::Antithetic,
+            ..Default::default()
+        };
+        let a = price_mc_cluster(&m, &p, cfg, 2, Machine::cluster2002()).unwrap();
+        let b = price_mc_cluster(&m, &p, cfg, 7, Machine::cluster2002()).unwrap();
+        assert_eq!(a.result.price.to_bits(), b.result.price.to_bits());
+    }
+
+    #[test]
+    fn mc_speedup_is_near_ideal_for_large_runs() {
+        let (m, p) = basket3();
+        let cfg = McConfig {
+            paths: 64_000,
+            block_size: 1000,
+            ..Default::default()
+        };
+        let t1 = price_mc_cluster(&m, &p, cfg, 1, Machine::cluster2002())
+            .unwrap()
+            .time
+            .makespan;
+        let t8 = price_mc_cluster(&m, &p, cfg, 8, Machine::cluster2002())
+            .unwrap()
+            .time
+            .makespan;
+        let s8 = t1 / t8;
+        assert!(s8 > 7.0, "MC should scale near-ideally: {s8}");
+        assert!(s8 <= 8.0 + 1e-9);
+    }
+
+    #[test]
+    fn small_runs_scale_worse_than_large_runs() {
+        let (m, p) = basket3();
+        let small = McConfig {
+            paths: 512,
+            block_size: 16,
+            ..Default::default()
+        };
+        let large = McConfig {
+            paths: 64_000,
+            block_size: 1000,
+            ..Default::default()
+        };
+        let sp = |cfg: McConfig| {
+            let t1 = price_mc_cluster(&m, &p, cfg, 1, Machine::cluster2002())
+                .unwrap()
+                .time
+                .makespan;
+            let t8 = price_mc_cluster(&m, &p, cfg, 8, Machine::cluster2002())
+                .unwrap()
+                .time
+                .makespan;
+            t1 / t8
+        };
+        let s_small = sp(small);
+        let s_large = sp(large);
+        assert!(
+            s_small < s_large,
+            "small {s_small} should trail large {s_large}"
+        );
+    }
+
+    #[test]
+    fn lsmc_cluster_matches_sequential_within_tolerance() {
+        let m = GbmMarket::single(100.0, 0.2, 0.0, 0.05).unwrap();
+        let p = Product::american(
+            Payoff::BasketPut {
+                weights: vec![1.0],
+                strike: 110.0,
+            },
+            1.0,
+        );
+        let cfg = LsmcConfig {
+            paths: 8_000,
+            steps: 10,
+            block_size: 500,
+            ..Default::default()
+        };
+        let seq = lsmc::price_lsmc(&m, &p, cfg).unwrap();
+        let par = price_lsmc_cluster(&m, &p, cfg, 4, Machine::ideal()).unwrap();
+        // Same panel, same regression math; only the summation order of
+        // the allreduce differs from the sequential fold.
+        assert!(
+            (par.result.price - seq.price).abs() < 1e-6,
+            "{} vs {}",
+            par.result.price,
+            seq.price
+        );
+        assert_eq!(par.result.paths, seq.paths);
+    }
+
+    #[test]
+    fn lsmc_scales_worse_than_european_mc() {
+        // The per-date allreduce is LSMC's serial fraction.
+        let m = GbmMarket::single(100.0, 0.2, 0.0, 0.05).unwrap();
+        let am = Product::american(
+            Payoff::BasketPut {
+                weights: vec![1.0],
+                strike: 110.0,
+            },
+            1.0,
+        );
+        let eu = Product::european(
+            Payoff::BasketPut {
+                weights: vec![1.0],
+                strike: 110.0,
+            },
+            1.0,
+        );
+        let lsmc_cfg = LsmcConfig {
+            paths: 4_000,
+            steps: 25,
+            block_size: 125,
+            ..Default::default()
+        };
+        // Same paths and the same 25-step simulation work, so the only
+        // structural difference is LSMC's per-date allreduce.
+        let mc_cfg = McConfig {
+            paths: 4_000,
+            steps: 25,
+            block_size: 125,
+            ..Default::default()
+        };
+        let s_lsmc = {
+            let t1 = price_lsmc_cluster(&m, &am, lsmc_cfg, 1, Machine::cluster2002())
+                .unwrap()
+                .time
+                .makespan;
+            let t8 = price_lsmc_cluster(&m, &am, lsmc_cfg, 8, Machine::cluster2002())
+                .unwrap()
+                .time
+                .makespan;
+            t1 / t8
+        };
+        let s_mc = {
+            let t1 = price_mc_cluster(&m, &eu, mc_cfg, 1, Machine::cluster2002())
+                .unwrap()
+                .time
+                .makespan;
+            let t8 = price_mc_cluster(&m, &eu, mc_cfg, 8, Machine::cluster2002())
+                .unwrap()
+                .time
+                .makespan;
+            t1 / t8
+        };
+        assert!(
+            s_lsmc < s_mc,
+            "lsmc speedup {s_lsmc} should trail european {s_mc}"
+        );
+    }
+
+    #[test]
+    fn accum_width_matches() {
+        // The allreduce payload and the accumulator must stay in sync.
+        assert_eq!(BlockAccum::new().to_vec().len(), ACCUM_WIDTH);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let (m, _) = basket3();
+        let am = Product::american(Payoff::MaxCall { strike: 100.0 }, 1.0);
+        assert!(price_mc_cluster(&m, &am, McConfig::default(), 2, Machine::ideal()).is_err());
+        let eu = Product::european(Payoff::MaxCall { strike: 100.0 }, 1.0);
+        assert!(price_lsmc_cluster(&m, &eu, LsmcConfig::default(), 2, Machine::ideal()).is_err());
+    }
+}

@@ -1,0 +1,689 @@
+//! The European Monte Carlo pricer over block substreams.
+//!
+//! Paths are split into blocks of [`McConfig::block_size`]; block `b`
+//! draws exclusively from RNG substream `b` of the seed. A driver — the
+//! sequential loop here, the rayon loop, or the message-passing driver in
+//! [`crate::cluster_driver`] — only decides *who computes which blocks*;
+//! the sample set is fixed by `(seed, paths, block_size)` alone. Every
+//! backend therefore returns the **same price to the last bit**, which
+//! turns "the parallel code is correct" into an equality test.
+
+use crate::path::{walk_path_with_normals, GbmStepper};
+use crate::variance::BlockAccum;
+use crate::McError;
+use mdp_math::rng::{NormalPolar, NormalSampler, Substreams, Xoshiro256StarStar};
+use mdp_model::{analytic, ExerciseStyle, GbmMarket, PathDependence, Payoff, Product};
+use rayon::prelude::*;
+
+/// Variance-reduction technique for the European engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VarianceReduction {
+    /// Plain Monte Carlo.
+    #[default]
+    None,
+    /// Antithetic pairs `(z, −z)` — one sample per pair.
+    Antithetic,
+    /// Geometric-basket control variate (arithmetic basket payoffs only;
+    /// the control's mean is the closed form from `mdp_model::analytic`).
+    GeometricCv,
+}
+
+/// Configuration of a European Monte Carlo run.
+#[derive(Debug, Clone, Copy)]
+pub struct McConfig {
+    /// Total number of paths (antithetic pairs count as one path).
+    pub paths: u64,
+    /// Monitoring steps (1 unless the payoff needs a path, e.g. Asian).
+    pub steps: usize,
+    /// RNG seed; together with `paths`/`block_size` it pins the sample set.
+    pub seed: u64,
+    /// Variance-reduction technique.
+    pub variance_reduction: VarianceReduction,
+    /// Paths per substream block.
+    pub block_size: u64,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        McConfig {
+            paths: 100_000,
+            steps: 1,
+            seed: 0x5EED,
+            variance_reduction: VarianceReduction::None,
+            block_size: 4096,
+        }
+    }
+}
+
+impl McConfig {
+    /// Number of substream blocks the run is partitioned into.
+    pub fn num_blocks(&self) -> u64 {
+        self.paths.div_ceil(self.block_size)
+    }
+
+    /// Paths simulated by block `b`.
+    pub fn block_paths(&self, b: u64) -> u64 {
+        let lo = b * self.block_size;
+        let hi = (lo + self.block_size).min(self.paths);
+        hi - lo
+    }
+
+    /// Modelled work units for one path (used by the virtual-time
+    /// accounting of the cluster driver): per step a `d×d` triangular
+    /// correlate, d exponentials and bookkeeping, plus the payoff.
+    pub fn path_work_units(&self, d: usize) -> f64 {
+        let per_step = (d * d) as f64 / 2.0 + 8.0 * d as f64 + 6.0;
+        let factor = match self.variance_reduction {
+            VarianceReduction::None => 1.0,
+            // Antithetic re-walks the path; CV adds a geometric payoff.
+            VarianceReduction::Antithetic => 1.8,
+            VarianceReduction::GeometricCv => 1.2,
+        };
+        factor * (self.steps as f64 * per_step + 4.0 * d as f64)
+    }
+}
+
+/// Result of a European Monte Carlo run.
+#[derive(Debug, Clone, Copy)]
+pub struct McResult {
+    /// Price estimate.
+    pub price: f64,
+    /// Standard error of the estimate.
+    pub std_error: f64,
+    /// Paths simulated.
+    pub paths: u64,
+    /// Variance-reduction factor vs plain MC on the same samples
+    /// (1.0 when no control variate is active).
+    pub variance_ratio: f64,
+}
+
+impl McResult {
+    /// Symmetric 95% confidence half-width.
+    pub fn ci95(&self) -> f64 {
+        1.959_963_984_540_054 * self.std_error
+    }
+}
+
+/// The European Monte Carlo engine.
+///
+/// ```
+/// use mdp_mc::{McConfig, McEngine};
+/// use mdp_model::{GbmMarket, Payoff, Product};
+///
+/// let market = GbmMarket::single(100.0, 0.2, 0.0, 0.05).unwrap();
+/// let call = Product::european(
+///     Payoff::BasketCall { weights: vec![1.0], strike: 100.0 },
+///     1.0,
+/// );
+/// let r = McEngine::new(McConfig { paths: 20_000, ..Default::default() })
+///     .price(&market, &call)
+///     .unwrap();
+/// let exact = mdp_model::analytic::black_scholes_call(100.0, 100.0, 0.05, 0.0, 0.2, 1.0);
+/// assert!((r.price - exact).abs() < 4.0 * r.std_error);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct McEngine {
+    /// Run configuration.
+    pub config: McConfig,
+}
+
+/// Everything a block simulation needs, precomputed once per run.
+pub struct RunContext<'a> {
+    market: &'a GbmMarket,
+    product: &'a Product,
+    cfg: McConfig,
+    stepper: GbmStepper,
+    log0: Vec<f64>,
+    /// Spot of the first asset at t=0 (seed for barrier extremes).
+    s0_first: f64,
+    disc: f64,
+    /// Exact mean of the control variate, when active.
+    pub cv_mean: Option<f64>,
+    /// Weights for the control's geometric payoff.
+    cv_weights: Vec<f64>,
+    cv_strike: f64,
+    cv_is_call: bool,
+}
+
+impl<'a> RunContext<'a> {
+    /// Validate and precompute; shared by all drivers.
+    pub fn new(
+        market: &'a GbmMarket,
+        product: &'a Product,
+        cfg: McConfig,
+    ) -> Result<Self, McError> {
+        product.validate_for(market)?;
+        if product.exercise != ExerciseStyle::European {
+            return Err(McError::Unsupported(
+                "European engine; price American products with lsmc".into(),
+            ));
+        }
+        if cfg.paths == 0 {
+            return Err(McError::ZeroPaths);
+        }
+        if cfg.steps == 0 {
+            return Err(McError::ZeroSteps);
+        }
+        if cfg.block_size == 0 {
+            return Err(McError::Unsupported("block_size must be positive".into()));
+        }
+        let (cv_mean, cv_weights, cv_strike, cv_is_call) =
+            if cfg.variance_reduction == VarianceReduction::GeometricCv {
+                match &product.payoff {
+                    Payoff::BasketCall { weights, strike } => (
+                        Some(analytic::geometric_basket_call(
+                            market,
+                            weights,
+                            *strike,
+                            product.maturity,
+                        )),
+                        weights.clone(),
+                        *strike,
+                        true,
+                    ),
+                    Payoff::BasketPut { weights, strike } => (
+                        Some(analytic::geometric_basket_put(
+                            market,
+                            weights,
+                            *strike,
+                            product.maturity,
+                        )),
+                        weights.clone(),
+                        *strike,
+                        false,
+                    ),
+                    other => {
+                        return Err(McError::Unsupported(format!(
+                    "geometric control variate needs an arithmetic basket payoff, got {other:?}"
+                )))
+                    }
+                }
+            } else {
+                (None, Vec::new(), 0.0, true)
+            };
+        let stepper = GbmStepper::new(market, product.maturity, cfg.steps);
+        let log0 = market.spots().iter().map(|s| s.ln()).collect();
+        Ok(RunContext {
+            market,
+            product,
+            cfg,
+            stepper,
+            log0,
+            s0_first: market.spots()[0],
+            disc: market.discount(product.maturity),
+            cv_mean,
+            cv_weights,
+            cv_strike,
+            cv_is_call,
+        })
+    }
+
+    /// Discounted payoff (and control, when active) of one path given its
+    /// normal vector.
+    #[inline]
+    fn eval_path(&self, normals: &[f64], log_buf: &mut [f64], spot_buf: &mut [f64]) -> (f64, f64) {
+        let d = self.stepper.dim;
+        let steps = self.stepper.steps;
+        let payoff = &self.product.payoff;
+        let dep = payoff.path_dependence();
+        let mut avg = 0.0;
+        let mut pmax = self.s0_first;
+        let mut pmin = self.s0_first;
+        let mut y = 0.0;
+        let mut x = 0.0;
+        walk_path_with_normals(
+            &self.stepper,
+            &self.log0,
+            normals,
+            log_buf,
+            spot_buf,
+            |step, s| {
+                match dep {
+                    PathDependence::Average => avg += s.iter().sum::<f64>() / d as f64,
+                    PathDependence::Extremes => {
+                        pmax = pmax.max(s[0]);
+                        pmin = pmin.min(s[0]);
+                    }
+                    PathDependence::None => {}
+                }
+                if step == steps - 1 {
+                    y = match dep {
+                        PathDependence::Average => payoff.eval_average(avg / steps as f64),
+                        PathDependence::Extremes => payoff.eval_extremes(s[0], pmax, pmin),
+                        PathDependence::None => payoff.eval(s),
+                    };
+                    if self.cv_mean.is_some() {
+                        let g: f64 = self
+                            .cv_weights
+                            .iter()
+                            .zip(s)
+                            .map(|(w, si)| w * si.ln())
+                            .sum::<f64>()
+                            .exp();
+                        x = if self.cv_is_call {
+                            (g - self.cv_strike).max(0.0)
+                        } else {
+                            (self.cv_strike - g).max(0.0)
+                        };
+                    }
+                }
+            },
+        );
+        (self.disc * y, self.disc * x)
+    }
+
+    /// Simulate one substream block and return its accumulator.
+    pub fn simulate_block(&self, block: u64) -> BlockAccum {
+        let d = self.stepper.dim;
+        let npath = self.stepper.normals_per_path();
+        let base = Xoshiro256StarStar::seed_from(self.cfg.seed);
+        let mut rng = base.substream(block);
+        let mut sampler = NormalPolar::new();
+        let mut normals = vec![0.0; npath];
+        let mut log_buf = vec![0.0; d];
+        let mut spot_buf = vec![0.0; d];
+        let mut acc = BlockAccum::new();
+        let antithetic = self.cfg.variance_reduction == VarianceReduction::Antithetic;
+        for _ in 0..self.cfg.block_paths(block) {
+            sampler.fill(&mut rng, &mut normals);
+            let (y, x) = self.eval_path(&normals, &mut log_buf, &mut spot_buf);
+            if antithetic {
+                for z in normals.iter_mut() {
+                    *z = -*z;
+                }
+                let (y2, _) = self.eval_path(&normals, &mut log_buf, &mut spot_buf);
+                acc.push(0.5 * (y + y2));
+            } else if self.cv_mean.is_some() {
+                acc.push_cv(y, x);
+            } else {
+                acc.push(y);
+            }
+        }
+        acc
+    }
+
+    /// Turn a merged accumulator into a result.
+    pub fn finish(&self, acc: &BlockAccum) -> McResult {
+        let (price, std_error) = match self.cv_mean {
+            Some(mu) => acc.cv_estimate(mu),
+            None => acc.plain_estimate(),
+        };
+        McResult {
+            price,
+            std_error,
+            paths: acc.n as u64,
+            variance_ratio: if self.cv_mean.is_some() {
+                acc.cv_variance_ratio()
+            } else {
+                1.0
+            },
+        }
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> u64 {
+        self.cfg.num_blocks()
+    }
+
+    /// Market dimension.
+    pub fn dim(&self) -> usize {
+        self.market.dim()
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &McConfig {
+        &self.cfg
+    }
+}
+
+impl McEngine {
+    /// Engine with the given configuration.
+    pub fn new(config: McConfig) -> Self {
+        McEngine { config }
+    }
+
+    /// Sequential pricing: all blocks in order.
+    pub fn price(&self, market: &GbmMarket, product: &Product) -> Result<McResult, McError> {
+        let ctx = RunContext::new(market, product, self.config)?;
+        let mut acc = BlockAccum::new();
+        for b in 0..ctx.num_blocks() {
+            acc.merge(&ctx.simulate_block(b));
+        }
+        Ok(ctx.finish(&acc))
+    }
+
+    /// Shared-memory parallel pricing over blocks (rayon). Identical
+    /// result to [`McEngine::price`].
+    pub fn price_rayon(&self, market: &GbmMarket, product: &Product) -> Result<McResult, McError> {
+        let ctx = RunContext::new(market, product, self.config)?;
+        // Collect per-block accumulators, then reduce in block order —
+        // rayon's own reduce order is nondeterministic and would break
+        // bitwise equality with the sequential driver.
+        let accs: Vec<BlockAccum> = (0..ctx.num_blocks())
+            .into_par_iter()
+            .map(|b| ctx.simulate_block(b))
+            .collect();
+        let mut total = BlockAccum::new();
+        for a in &accs {
+            total.merge(a);
+        }
+        Ok(ctx.finish(&total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call1() -> (GbmMarket, Product) {
+        (
+            GbmMarket::single(100.0, 0.2, 0.0, 0.05).unwrap(),
+            Product::european(
+                Payoff::BasketCall {
+                    weights: vec![1.0],
+                    strike: 100.0,
+                },
+                1.0,
+            ),
+        )
+    }
+
+    #[test]
+    fn converges_to_black_scholes_within_ci() {
+        let (m, p) = call1();
+        let exact = analytic::black_scholes_call(100.0, 100.0, 0.05, 0.0, 0.2, 1.0);
+        let r = McEngine::new(McConfig {
+            paths: 200_000,
+            ..Default::default()
+        })
+        .price(&m, &p)
+        .unwrap();
+        assert!(
+            (r.price - exact).abs() < 3.0 * r.std_error,
+            "{} vs {exact} (se {})",
+            r.price,
+            r.std_error
+        );
+        assert!(r.std_error < 0.1);
+    }
+
+    #[test]
+    fn antithetic_reduces_error_for_monotone_payoff() {
+        let (m, p) = call1();
+        let plain = McEngine::new(McConfig {
+            paths: 50_000,
+            ..Default::default()
+        })
+        .price(&m, &p)
+        .unwrap();
+        let anti = McEngine::new(McConfig {
+            paths: 50_000,
+            variance_reduction: VarianceReduction::Antithetic,
+            ..Default::default()
+        })
+        .price(&m, &p)
+        .unwrap();
+        assert!(
+            anti.std_error < plain.std_error * 0.8,
+            "antithetic {} vs plain {}",
+            anti.std_error,
+            plain.std_error
+        );
+    }
+
+    #[test]
+    fn control_variate_slashes_error_for_baskets() {
+        let m = GbmMarket::symmetric(5, 100.0, 0.3, 0.0, 0.05, 0.4).unwrap();
+        let p = Product::european(
+            Payoff::BasketCall {
+                weights: Product::equal_weights(5),
+                strike: 100.0,
+            },
+            1.0,
+        );
+        let plain = McEngine::new(McConfig {
+            paths: 40_000,
+            ..Default::default()
+        })
+        .price(&m, &p)
+        .unwrap();
+        let cv = McEngine::new(McConfig {
+            paths: 40_000,
+            variance_reduction: VarianceReduction::GeometricCv,
+            ..Default::default()
+        })
+        .price(&m, &p)
+        .unwrap();
+        assert!(
+            cv.std_error < plain.std_error / 5.0,
+            "cv {} vs plain {}",
+            cv.std_error,
+            plain.std_error
+        );
+        assert!(cv.variance_ratio > 25.0, "{}", cv.variance_ratio);
+        // Both agree within errors.
+        assert!((cv.price - plain.price).abs() < 4.0 * plain.std_error);
+    }
+
+    #[test]
+    fn rayon_bitwise_equals_sequential() {
+        let m = GbmMarket::symmetric(3, 100.0, 0.25, 0.01, 0.04, 0.3).unwrap();
+        let p = Product::european(Payoff::MaxCall { strike: 105.0 }, 1.0);
+        let eng = McEngine::new(McConfig {
+            paths: 20_000,
+            block_size: 1000,
+            ..Default::default()
+        });
+        let a = eng.price(&m, &p).unwrap();
+        let b = eng.price_rayon(&m, &p).unwrap();
+        assert_eq!(a.price.to_bits(), b.price.to_bits());
+        assert_eq!(a.std_error.to_bits(), b.std_error.to_bits());
+    }
+
+    #[test]
+    fn estimate_is_block_partition_invariant() {
+        // Same seed/paths with different block sizes changes the sample
+        // set; with the same block size the result is fixed.
+        let (m, p) = call1();
+        let a = McEngine::new(McConfig {
+            paths: 10_000,
+            block_size: 512,
+            ..Default::default()
+        })
+        .price(&m, &p)
+        .unwrap();
+        let b = McEngine::new(McConfig {
+            paths: 10_000,
+            block_size: 512,
+            ..Default::default()
+        })
+        .price(&m, &p)
+        .unwrap();
+        assert_eq!(a.price.to_bits(), b.price.to_bits());
+    }
+
+    #[test]
+    fn asian_call_below_european_call() {
+        // Averaging reduces effective volatility.
+        let m = GbmMarket::single(100.0, 0.3, 0.0, 0.05).unwrap();
+        let asian = Product::european(Payoff::AsianCall { strike: 100.0 }, 1.0);
+        let euro = Product::european(
+            Payoff::BasketCall {
+                weights: vec![1.0],
+                strike: 100.0,
+            },
+            1.0,
+        );
+        let cfg = McConfig {
+            paths: 60_000,
+            steps: 12,
+            ..Default::default()
+        };
+        let pa = McEngine::new(cfg).price(&m, &asian).unwrap();
+        let pe = McEngine::new(cfg).price(&m, &euro).unwrap();
+        assert!(
+            pa.price < pe.price - 2.0 * (pa.std_error + pe.std_error),
+            "asian {} vs euro {}",
+            pa.price,
+            pe.price
+        );
+    }
+
+    #[test]
+    fn geometric_basket_matches_closed_form() {
+        let m = GbmMarket::symmetric(4, 100.0, 0.25, 0.0, 0.05, 0.3).unwrap();
+        let p = Product::european(Payoff::GeometricCall { strike: 100.0 }, 1.0);
+        let exact = analytic::geometric_basket_call(&m, &Product::equal_weights(4), 100.0, 1.0);
+        let r = McEngine::new(McConfig {
+            paths: 150_000,
+            ..Default::default()
+        })
+        .price(&m, &p)
+        .unwrap();
+        assert!(
+            (r.price - exact).abs() < 3.5 * r.std_error,
+            "{} vs {exact}",
+            r.price
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_configs() {
+        let (m, p) = call1();
+        assert!(matches!(
+            McEngine::new(McConfig {
+                paths: 0,
+                ..Default::default()
+            })
+            .price(&m, &p),
+            Err(McError::ZeroPaths)
+        ));
+        assert!(matches!(
+            McEngine::new(McConfig {
+                steps: 0,
+                ..Default::default()
+            })
+            .price(&m, &p),
+            Err(McError::ZeroSteps)
+        ));
+        let am = Product::american(
+            Payoff::BasketPut {
+                weights: vec![1.0],
+                strike: 100.0,
+            },
+            1.0,
+        );
+        assert!(matches!(
+            McEngine::new(McConfig::default()).price(&m, &am),
+            Err(McError::Unsupported(_))
+        ));
+        let cv_on_rainbow = McConfig {
+            variance_reduction: VarianceReduction::GeometricCv,
+            ..Default::default()
+        };
+        let rainbow = Product::european(Payoff::MaxCall { strike: 100.0 }, 1.0);
+        let m2 = GbmMarket::symmetric(2, 100.0, 0.2, 0.0, 0.05, 0.3).unwrap();
+        assert!(matches!(
+            McEngine::new(cv_on_rainbow).price(&m2, &rainbow),
+            Err(McError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn block_bookkeeping() {
+        let cfg = McConfig {
+            paths: 10_001,
+            block_size: 1000,
+            ..Default::default()
+        };
+        assert_eq!(cfg.num_blocks(), 11);
+        assert_eq!(cfg.block_paths(0), 1000);
+        assert_eq!(cfg.block_paths(10), 1);
+        let total: u64 = (0..cfg.num_blocks()).map(|b| cfg.block_paths(b)).sum();
+        assert_eq!(total, 10_001);
+    }
+
+    #[test]
+    fn work_units_scale_with_dimension_and_steps() {
+        let a = McConfig {
+            steps: 1,
+            ..Default::default()
+        }
+        .path_work_units(2);
+        let b = McConfig {
+            steps: 10,
+            ..Default::default()
+        }
+        .path_work_units(2);
+        let c = McConfig {
+            steps: 1,
+            ..Default::default()
+        }
+        .path_work_units(10);
+        assert!(b > 5.0 * a);
+        assert!(c > 2.0 * a);
+    }
+}
+
+#[cfg(test)]
+mod lookback_engine_tests {
+    use super::*;
+    use mdp_model::analytic;
+
+    #[test]
+    fn lookback_call_converges_to_continuous_from_below() {
+        let m = GbmMarket::single(100.0, 0.3, 0.0, 0.05).unwrap();
+        let p = Product::european(Payoff::LookbackCallFloating, 1.0);
+        let exact = analytic::lookback_call_floating(100.0, 0.05, 0.0, 0.3, 1.0);
+        let run = |steps: usize| {
+            McEngine::new(McConfig {
+                paths: 60_000,
+                steps,
+                ..Default::default()
+            })
+            .price(&m, &p)
+            .unwrap()
+        };
+        let coarse = run(16);
+        let fine = run(128);
+        // Discrete monitoring misses extremes ⇒ undershoot, shrinking
+        // with the monitoring frequency.
+        assert!(coarse.price < exact, "{} vs {exact}", coarse.price);
+        assert!(fine.price < exact + 2.0 * fine.std_error);
+        assert!(
+            fine.price > coarse.price,
+            "finer monitoring must close the gap: {} vs {}",
+            fine.price,
+            coarse.price
+        );
+        assert!(
+            (fine.price - exact).abs() / exact < 0.06,
+            "within 6% at 128 dates: {} vs {exact}",
+            fine.price
+        );
+    }
+
+    #[test]
+    fn lookback_put_priced_by_engine() {
+        let m = GbmMarket::single(100.0, 0.25, 0.02, 0.05).unwrap();
+        let p = Product::european(Payoff::LookbackPutFloating, 1.0);
+        let exact = analytic::lookback_put_floating(100.0, 0.05, 0.02, 0.25, 1.0);
+        let r = McEngine::new(McConfig {
+            paths: 60_000,
+            steps: 128,
+            ..Default::default()
+        })
+        .price(&m, &p)
+        .unwrap();
+        assert!(
+            r.price < exact,
+            "discrete undershoots: {} vs {exact}",
+            r.price
+        );
+        assert!(
+            (r.price - exact).abs() / exact < 0.08,
+            "{} vs {exact}",
+            r.price
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Monte Carlo engine errors.
+
+use mdp_model::ModelError;
+use std::fmt;
+
+/// Failures of the Monte Carlo engines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum McError {
+    /// Zero paths requested.
+    ZeroPaths,
+    /// Zero monitoring steps requested.
+    ZeroSteps,
+    /// The chosen configuration cannot price the product (e.g. the
+    /// European engine handed an American product, a control variate
+    /// without a closed form, Sobol' dimension overflow).
+    Unsupported(String),
+    /// Model-layer validation failed.
+    Model(ModelError),
+}
+
+impl fmt::Display for McError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McError::ZeroPaths => write!(f, "Monte Carlo needs at least one path"),
+            McError::ZeroSteps => write!(f, "Monte Carlo needs at least one monitoring step"),
+            McError::Unsupported(why) => write!(f, "unsupported configuration: {why}"),
+            McError::Model(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for McError {}
+
+impl From<ModelError> for McError {
+    fn from(e: ModelError) -> Self {
+        McError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        assert!(McError::ZeroPaths.to_string().contains("path"));
+        let e: McError = ModelError::InvalidParameter {
+            what: "spot",
+            value: -1.0,
+        }
+        .into();
+        assert!(matches!(e, McError::Model(_)));
+    }
+}

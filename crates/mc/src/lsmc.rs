@@ -1,0 +1,609 @@
+//! Longstaff–Schwartz least-squares Monte Carlo for American products.
+//!
+//! The American exercise decision needs the conditional expectation of
+//! continuing, which LSMC approximates by regressing realised discounted
+//! cashflows on basis functions of the current (normalised) asset
+//! prices, using only in-the-money paths (Longstaff & Schwartz 2001).
+//!
+//! The regression is solved through the **normal equations**
+//! `(XᵀX)β = Xᵀy` with a tiny ridge for safety. That choice is
+//! deliberate: the normal-equation sums are small `k×k` matrices that
+//! merge by addition, so the distributed driver
+//! ([`crate::cluster_driver::price_lsmc_cluster`]) computes local sums,
+//! allreduces them, and solves the same tiny system on every rank — the
+//! classic parallel-LSMC structure in which the regression is the
+//! *serial* fraction that Amdahl's law punishes (experiment T7).
+
+use crate::path::GbmStepper;
+use crate::McError;
+use mdp_math::linalg::{Cholesky, Matrix};
+use mdp_math::poly::{BasisKind, TensorBasis};
+use mdp_math::rng::{NormalPolar, NormalSampler, Substreams, Xoshiro256StarStar};
+use mdp_model::{ExerciseStyle, GbmMarket, Product};
+
+/// Configuration of an LSMC run.
+#[derive(Debug, Clone, Copy)]
+pub struct LsmcConfig {
+    /// Number of simulated paths.
+    pub paths: u64,
+    /// Exercise dates (uniform grid; the Bermudan approximation of the
+    /// American right).
+    pub steps: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Scalar basis degree per asset.
+    pub degree: usize,
+    /// Basis family.
+    pub basis: BasisKind,
+    /// Ridge added to the normal-equation diagonal.
+    pub ridge: f64,
+    /// Paths per substream block (same invariance story as the European
+    /// engine).
+    pub block_size: u64,
+}
+
+impl Default for LsmcConfig {
+    fn default() -> Self {
+        LsmcConfig {
+            paths: 20_000,
+            steps: 50,
+            seed: 0x1005E,
+            degree: 2,
+            basis: BasisKind::Monomial,
+            ridge: 1e-10,
+            block_size: 4096,
+        }
+    }
+}
+
+/// Result of an LSMC run.
+#[derive(Debug, Clone, Copy)]
+pub struct LsmcResult {
+    /// Price estimate (a low-biased exercise-policy estimate, as usual
+    /// for plain LSMC).
+    pub price: f64,
+    /// Standard error of the cashflow mean.
+    pub std_error: f64,
+    /// Paths used.
+    pub paths: u64,
+}
+
+/// The path panel LSMC regresses over: `spots[t][path·d..(path+1)·d]`
+/// for `t ∈ 1..=steps`.
+pub struct PathPanel {
+    /// Asset count.
+    pub dim: usize,
+    /// Exercise dates.
+    pub steps: usize,
+    /// Paths.
+    pub paths: usize,
+    /// `steps` layers, each `paths·dim` values.
+    pub spots: Vec<Vec<f64>>,
+}
+
+/// Simulate the full path panel (block-substream design, identical
+/// panels across drivers for the same `(seed, block_size)`); `blocks`
+/// selects which substream blocks to simulate — the sequential engine
+/// passes all of them, a rank passes its share.
+pub fn simulate_panel(
+    market: &GbmMarket,
+    product: &Product,
+    cfg: &LsmcConfig,
+    blocks: std::ops::Range<u64>,
+) -> PathPanel {
+    let d = market.dim();
+    let stepper = GbmStepper::new(market, product.maturity, cfg.steps);
+    let log0: Vec<f64> = market.spots().iter().map(|s| s.ln()).collect();
+    let base = Xoshiro256StarStar::seed_from(cfg.seed);
+    let num_paths: u64 = blocks.clone().map(|b| block_paths(cfg, b)).sum();
+    let mut spots = vec![vec![0.0; num_paths as usize * d]; cfg.steps];
+    let mut sampler = NormalPolar::new();
+    let mut z = vec![0.0; d];
+    let mut log_buf = vec![0.0; d];
+    let mut path_idx = 0usize;
+    for b in blocks {
+        let mut rng = base.substream(b);
+        sampler.reset();
+        for _ in 0..block_paths(cfg, b) {
+            log_buf.copy_from_slice(&log0);
+            for (t, layer) in spots.iter_mut().enumerate() {
+                let _ = t;
+                sampler.fill(&mut rng, &mut z);
+                stepper.step(&mut log_buf, &z);
+                for (i, l) in log_buf.iter().enumerate() {
+                    layer[path_idx * d + i] = l.exp();
+                }
+            }
+            path_idx += 1;
+        }
+    }
+    PathPanel {
+        dim: d,
+        steps: cfg.steps,
+        paths: num_paths as usize,
+        spots,
+    }
+}
+
+/// Paths in substream block `b`.
+pub fn block_paths(cfg: &LsmcConfig, b: u64) -> u64 {
+    let lo = b * cfg.block_size;
+    let hi = (lo + cfg.block_size).min(cfg.paths);
+    hi.saturating_sub(lo)
+}
+
+/// Number of substream blocks.
+pub fn num_blocks(cfg: &LsmcConfig) -> u64 {
+    cfg.paths.div_ceil(cfg.block_size)
+}
+
+/// Normal-equation sums for one exercise date: `XᵀX` (packed
+/// row-major `k×k`) and `Xᵀy` (`k`), plus the ITM count. Merge by
+/// addition — this is exactly what the cluster driver allreduces.
+pub struct RegressionSums {
+    /// Basis size k.
+    pub k: usize,
+    /// Packed `XᵀX`.
+    pub xtx: Vec<f64>,
+    /// `Xᵀy`.
+    pub xty: Vec<f64>,
+    /// In-the-money path count.
+    pub count: f64,
+}
+
+impl RegressionSums {
+    /// Zeroed sums for basis size `k`.
+    pub fn new(k: usize) -> Self {
+        RegressionSums {
+            k,
+            xtx: vec![0.0; k * k],
+            xty: vec![0.0; k],
+            count: 0.0,
+        }
+    }
+
+    /// Rank-1 update with basis row `phi` and target `y`.
+    #[inline]
+    pub fn push(&mut self, phi: &[f64], y: f64) {
+        debug_assert_eq!(phi.len(), self.k);
+        for (i, &pi) in phi.iter().enumerate() {
+            let row = &mut self.xtx[i * self.k..(i + 1) * self.k];
+            for (cell, &pj) in row.iter_mut().zip(phi) {
+                *cell += pi * pj;
+            }
+            self.xty[i] += pi * y;
+        }
+        self.count += 1.0;
+    }
+
+    /// Flatten to `k·k + k + 1` values for message passing.
+    pub fn to_vec(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(self.k * self.k + self.k + 1);
+        v.extend_from_slice(&self.xtx);
+        v.extend_from_slice(&self.xty);
+        v.push(self.count);
+        v
+    }
+
+    /// Rebuild from the flattened representation.
+    pub fn from_slice(k: usize, v: &[f64]) -> Self {
+        assert_eq!(v.len(), k * k + k + 1);
+        RegressionSums {
+            k,
+            xtx: v[..k * k].to_vec(),
+            xty: v[k * k..k * k + k].to_vec(),
+            count: v[k * k + k],
+        }
+    }
+
+    /// Solve `(XᵀX + ridge·I)β = Xᵀy`; `None` when there are too few
+    /// ITM paths or the system is degenerate.
+    pub fn solve(&self, ridge: f64) -> Option<Vec<f64>> {
+        if self.count < 2.0 * self.k as f64 {
+            return None;
+        }
+        let k = self.k;
+        let mut a = Matrix::zeros(k, k);
+        for i in 0..k {
+            for j in 0..k {
+                a[(i, j)] = self.xtx[i * k + j];
+            }
+            a[(i, i)] += ridge * (1.0 + self.xtx[i * k + i]);
+        }
+        let ch = Cholesky::factor(&a).ok()?;
+        Some(ch.solve(&self.xty))
+    }
+}
+
+/// Run the backward LSMC sweep over a simulated panel, returning the
+/// final per-path discounted cashflows (valued at time 0).
+///
+/// `regress` abstracts the reduction: the sequential engine solves the
+/// local sums directly; the cluster driver allreduces them first. It
+/// receives the local sums and must return the regression coefficients
+/// (or `None` to skip exercise at that date).
+pub fn backward_sweep<F>(
+    market: &GbmMarket,
+    product: &Product,
+    cfg: &LsmcConfig,
+    panel: &PathPanel,
+    mut regress: F,
+) -> Vec<f64>
+where
+    F: FnMut(usize, &RegressionSums) -> Option<Vec<f64>>,
+{
+    let d = panel.dim;
+    let n = panel.paths;
+    let dt = product.maturity / cfg.steps as f64;
+    let disc_dt = (-market.rate() * dt).exp();
+    let basis = TensorBasis::new(d, cfg.degree, cfg.basis);
+    let k = basis.size();
+    let payoff = &product.payoff;
+    let spots0 = market.spots();
+
+    // Terminal cashflows (discount factor measured from time 0).
+    let mut cashflow: Vec<f64> = (0..n)
+        .map(|p| payoff.eval(&panel.spots[cfg.steps - 1][p * d..(p + 1) * d]))
+        .collect();
+    let mut cf_time: Vec<u32> = vec![cfg.steps as u32; n];
+
+    let mut phi = vec![0.0; k];
+    let mut x = vec![0.0; d];
+    // Backward over exercise dates t = steps−1 .. 1.
+    for t in (1..cfg.steps).rev() {
+        let layer = &panel.spots[t - 1];
+        // Local regression sums over ITM paths.
+        let mut sums = RegressionSums::new(k);
+        for p in 0..n {
+            let s = &layer[p * d..(p + 1) * d];
+            let intrinsic = payoff.eval(s);
+            if intrinsic > 0.0 {
+                for (xi, (si, s0)) in x.iter_mut().zip(s.iter().zip(spots0)) {
+                    *xi = si / s0;
+                }
+                basis.eval(&x, &mut phi);
+                let y = cashflow[p] * disc_dt.powi((cf_time[p] - t as u32) as i32);
+                sums.push(&phi, y);
+            }
+        }
+        let Some(beta) = regress(t, &sums) else {
+            continue;
+        };
+        // Exercise where intrinsic beats the fitted continuation.
+        for p in 0..n {
+            let s = &layer[p * d..(p + 1) * d];
+            let intrinsic = payoff.eval(s);
+            if intrinsic > 0.0 {
+                for (xi, (si, s0)) in x.iter_mut().zip(s.iter().zip(spots0)) {
+                    *xi = si / s0;
+                }
+                basis.eval(&x, &mut phi);
+                let continuation: f64 = beta.iter().zip(&phi).map(|(b, f)| b * f).sum();
+                if intrinsic >= continuation {
+                    cashflow[p] = intrinsic;
+                    cf_time[p] = t as u32;
+                }
+            }
+        }
+    }
+    // Discount every cashflow to time 0.
+    cashflow
+        .iter()
+        .zip(&cf_time)
+        .map(|(cf, t)| cf * disc_dt.powi(*t as i32))
+        .collect()
+}
+
+/// Sequential LSMC pricing.
+pub fn price_lsmc(
+    market: &GbmMarket,
+    product: &Product,
+    cfg: LsmcConfig,
+) -> Result<LsmcResult, McError> {
+    validate(market, product, &cfg)?;
+    let panel = simulate_panel(market, product, &cfg, 0..num_blocks(&cfg));
+    let discounted = backward_sweep(market, product, &cfg, &panel, |_, sums| {
+        sums.solve(cfg.ridge)
+    });
+    Ok(summarise(&discounted, product, market))
+}
+
+/// LSMC with the path panel simulated in parallel over substream blocks
+/// (rayon). The panel — and therefore the price — is bit-identical to
+/// [`price_lsmc`]: blocks are independent substreams spliced back in
+/// block order; the backward sweep stays sequential (it is the
+/// regression-coupled serial fraction either way).
+pub fn price_lsmc_rayon(
+    market: &GbmMarket,
+    product: &Product,
+    cfg: LsmcConfig,
+) -> Result<LsmcResult, McError> {
+    use rayon::prelude::*;
+    validate(market, product, &cfg)?;
+    let blocks = num_blocks(&cfg);
+    let panels: Vec<PathPanel> = (0..blocks)
+        .into_par_iter()
+        .map(|b| simulate_panel(market, product, &cfg, b..b + 1))
+        .collect();
+    // Splice the per-block panels in block order.
+    let d = market.dim();
+    let total: usize = panels.iter().map(|p| p.paths).sum();
+    let mut spots = vec![vec![0.0; total * d]; cfg.steps];
+    let mut offset = 0usize;
+    for panel in &panels {
+        for (t, layer) in spots.iter_mut().enumerate() {
+            layer[offset * d..(offset + panel.paths) * d].copy_from_slice(&panel.spots[t]);
+        }
+        offset += panel.paths;
+    }
+    let panel = PathPanel {
+        dim: d,
+        steps: cfg.steps,
+        paths: total,
+        spots,
+    };
+    let discounted = backward_sweep(market, product, &cfg, &panel, |_, sums| {
+        sums.solve(cfg.ridge)
+    });
+    Ok(summarise(&discounted, product, market))
+}
+
+/// Shared validation.
+pub fn validate(market: &GbmMarket, product: &Product, cfg: &LsmcConfig) -> Result<(), McError> {
+    product.validate_for(market)?;
+    if product.exercise != ExerciseStyle::American {
+        return Err(McError::Unsupported(
+            "LSMC prices American products; use the European engine otherwise".into(),
+        ));
+    }
+    if product.payoff.is_path_dependent() {
+        return Err(McError::Unsupported(
+            "path-dependent American payoffs are out of scope".into(),
+        ));
+    }
+    if cfg.paths == 0 {
+        return Err(McError::ZeroPaths);
+    }
+    if cfg.steps < 2 {
+        return Err(McError::Unsupported(
+            "LSMC needs at least two exercise dates".into(),
+        ));
+    }
+    if cfg.degree == 0 {
+        return Err(McError::Unsupported("basis degree must be ≥ 1".into()));
+    }
+    Ok(())
+}
+
+/// Mean/SE over the discounted cashflows, floored by immediate exercise.
+pub fn summarise(discounted: &[f64], product: &Product, market: &GbmMarket) -> LsmcResult {
+    let n = discounted.len() as f64;
+    let mean = discounted.iter().sum::<f64>() / n;
+    let var = discounted
+        .iter()
+        .map(|c| (c - mean) * (c - mean))
+        .sum::<f64>()
+        / (n - 1.0);
+    // An American option is worth at least immediate exercise.
+    let intrinsic = product.payoff.eval(market.spots());
+    LsmcResult {
+        price: mean.max(intrinsic),
+        std_error: (var / n).sqrt(),
+        paths: discounted.len() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdp_lattice::BinomialLattice;
+    use mdp_model::analytic::black_scholes_put;
+    use mdp_model::Payoff;
+
+    fn american_put_1d() -> (GbmMarket, Product) {
+        (
+            GbmMarket::single(100.0, 0.2, 0.0, 0.05).unwrap(),
+            Product::american(
+                Payoff::BasketPut {
+                    weights: vec![1.0],
+                    strike: 110.0,
+                },
+                1.0,
+            ),
+        )
+    }
+
+    #[test]
+    fn american_put_matches_binomial_reference() {
+        let (m, p) = american_put_1d();
+        let reference = BinomialLattice::crr(1000).price(&m, &p).unwrap().price;
+        let r = price_lsmc(
+            &m,
+            &p,
+            LsmcConfig {
+                paths: 40_000,
+                steps: 50,
+                degree: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // LSMC is low-biased; allow a one-sided band plus noise.
+        assert!(
+            r.price > reference - 0.25 && r.price < reference + 4.0 * r.std_error + 0.05,
+            "lsmc {} vs binomial {reference} (se {})",
+            r.price,
+            r.std_error
+        );
+    }
+
+    #[test]
+    fn american_above_european_put() {
+        let (m, p) = american_put_1d();
+        let eu = black_scholes_put(100.0, 110.0, 0.05, 0.0, 0.2, 1.0);
+        let r = price_lsmc(&m, &p, LsmcConfig::default()).unwrap();
+        assert!(
+            r.price > eu + 2.0 * r.std_error - 0.15,
+            "american {} vs european {eu}",
+            r.price
+        );
+        assert!(r.price >= 10.0, "at least intrinsic: {}", r.price);
+    }
+
+    #[test]
+    fn two_asset_american_max_call_matches_lattice() {
+        // Broadie–Glasserman-style 2-asset American max-call
+        // (S=100, K=100, r=5%, q=10%, σ=20%, ρ=0, T=1); reference from
+        // the BEG lattice with matching (Bermudan, 9-date) exercise is
+        // impractical, so compare against the densely exercisable lattice
+        // with a one-sided low-bias allowance for LSMC.
+        let m = GbmMarket::symmetric(2, 100.0, 0.2, 0.1, 0.05, 0.0).unwrap();
+        let pay = Payoff::MaxCall { strike: 100.0 };
+        let am = Product::american(pay.clone(), 1.0);
+        let reference = mdp_lattice::MultiLattice::new(100)
+            .price(&m, &am)
+            .unwrap()
+            .price;
+        let r = price_lsmc(
+            &m,
+            &am,
+            LsmcConfig {
+                paths: 40_000,
+                steps: 9,
+                degree: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let eu = mdp_model::analytic::max_call_two_assets(
+            100.0, 0.1, 0.2, 100.0, 0.1, 0.2, 0.0, 0.05, 100.0, 1.0,
+        );
+        assert!(r.price > eu, "american {} vs european {eu}", r.price);
+        assert!(
+            r.price > reference - 0.6 && r.price < reference + 4.0 * r.std_error + 0.05,
+            "lsmc {} vs lattice {reference}",
+            r.price
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (m, p) = american_put_1d();
+        let cfg = LsmcConfig {
+            paths: 5_000,
+            steps: 10,
+            ..Default::default()
+        };
+        let a = price_lsmc(&m, &p, cfg).unwrap();
+        let b = price_lsmc(&m, &p, cfg).unwrap();
+        assert_eq!(a.price.to_bits(), b.price.to_bits());
+    }
+
+    #[test]
+    fn more_exercise_dates_worth_more() {
+        let (m, p) = american_put_1d();
+        let few = price_lsmc(
+            &m,
+            &p,
+            LsmcConfig {
+                paths: 60_000,
+                steps: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let many = price_lsmc(
+            &m,
+            &p,
+            LsmcConfig {
+                paths: 60_000,
+                steps: 25,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            many.price > few.price - 2.0 * (many.std_error + few.std_error),
+            "{} vs {}",
+            many.price,
+            few.price
+        );
+    }
+
+    #[test]
+    fn regression_sums_roundtrip_and_merge() {
+        let mut a = RegressionSums::new(3);
+        a.push(&[1.0, 2.0, 3.0], 4.0);
+        a.push(&[0.5, -1.0, 2.0], -1.0);
+        let b = RegressionSums::from_slice(3, &a.to_vec());
+        assert_eq!(a.xtx, b.xtx);
+        assert_eq!(a.xty, b.xty);
+        assert_eq!(a.count, b.count);
+    }
+
+    #[test]
+    fn regression_solves_known_system() {
+        // y = 2 + 3x fitted exactly.
+        let mut s = RegressionSums::new(2);
+        for i in 0..10 {
+            let x = i as f64;
+            s.push(&[1.0, x], 2.0 + 3.0 * x);
+        }
+        let beta = s.solve(0.0).unwrap();
+        assert!((beta[0] - 2.0).abs() < 1e-9);
+        assert!((beta[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn too_few_itm_paths_skips_regression() {
+        let s = RegressionSums::new(4);
+        assert!(s.solve(1e-10).is_none());
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (m, p) = american_put_1d();
+        let eu = Product::european(p.payoff.clone(), 1.0);
+        assert!(price_lsmc(&m, &eu, LsmcConfig::default()).is_err());
+        assert!(price_lsmc(
+            &m,
+            &p,
+            LsmcConfig {
+                steps: 1,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(price_lsmc(
+            &m,
+            &p,
+            LsmcConfig {
+                paths: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+    }
+}
+
+#[cfg(test)]
+mod rayon_tests {
+    use super::*;
+    use mdp_model::Payoff;
+
+    #[test]
+    fn rayon_lsmc_bitwise_equals_sequential() {
+        let m = GbmMarket::symmetric(2, 100.0, 0.2, 0.0, 0.05, 0.3).unwrap();
+        let p = Product::american(Payoff::MinPut { strike: 108.0 }, 1.0);
+        let cfg = LsmcConfig {
+            paths: 6_000,
+            steps: 8,
+            block_size: 500,
+            ..Default::default()
+        };
+        let a = price_lsmc(&m, &p, cfg).unwrap();
+        let b = price_lsmc_rayon(&m, &p, cfg).unwrap();
+        assert_eq!(a.price.to_bits(), b.price.to_bits());
+        assert_eq!(a.std_error.to_bits(), b.std_error.to_bits());
+    }
+}

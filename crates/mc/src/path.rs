@@ -1,0 +1,272 @@
+//! Correlated GBM path generation.
+//!
+//! Exact log-normal stepping — GBM has a closed transition density, so
+//! there is no discretisation bias regardless of the number of
+//! monitoring steps; steps exist only where the *payoff* needs them
+//! (Asian averaging, American exercise dates).
+
+use mdp_math::rng::{NormalSampler, Rng64};
+use mdp_model::GbmMarket;
+
+/// Precomputed per-step constants for exact GBM stepping on a uniform
+/// grid of `steps` intervals over `[0, maturity]`.
+#[derive(Debug, Clone)]
+pub struct GbmStepper {
+    /// Number of assets.
+    pub dim: usize,
+    /// Number of time steps.
+    pub steps: usize,
+    /// Per-asset drift increment `(r − qᵢ − σᵢ²/2)Δt`.
+    drift_dt: Vec<f64>,
+    /// Per-asset diffusion scale `σᵢ√Δt`.
+    vol_sqdt: Vec<f64>,
+    /// Cholesky factor rows of the correlation matrix (owned copy).
+    chol_rows: Vec<Vec<f64>>,
+}
+
+impl GbmStepper {
+    /// Build a stepper for the market over `steps` uniform steps.
+    pub fn new(market: &GbmMarket, maturity: f64, steps: usize) -> Self {
+        assert!(steps > 0);
+        let d = market.dim();
+        let dt = maturity / steps as f64;
+        let sqdt = dt.sqrt();
+        let l = market.cholesky().l();
+        let chol_rows = (0..d).map(|i| l.row(i)[..=i].to_vec()).collect();
+        GbmStepper {
+            dim: d,
+            steps,
+            drift_dt: (0..d).map(|i| market.log_drift(i) * dt).collect(),
+            vol_sqdt: (0..d).map(|i| market.vols()[i] * sqdt).collect(),
+            chol_rows,
+        }
+    }
+
+    /// Advance `log_spots` by one step using the i.i.d. normals `z`
+    /// (length d). `z` is correlated internally — callers hand raw
+    /// normals.
+    #[inline]
+    pub fn step(&self, log_spots: &mut [f64], z: &[f64]) {
+        debug_assert_eq!(log_spots.len(), self.dim);
+        debug_assert_eq!(z.len(), self.dim);
+        for (i, ls) in log_spots.iter_mut().enumerate() {
+            // (L·z)ᵢ inline: only the first i+1 entries contribute.
+            let mut w = 0.0;
+            for (l, zk) in self.chol_rows[i].iter().zip(z) {
+                w += l * zk;
+            }
+            *ls += self.drift_dt[i] + self.vol_sqdt[i] * w;
+        }
+    }
+
+    /// Number of normals one full path consumes.
+    pub fn normals_per_path(&self) -> usize {
+        self.dim * self.steps
+    }
+}
+
+/// Simulate one path and hand each step's spot vector to `visit`.
+///
+/// `log0` are the initial log-spots; `z_buf`/`spot_buf` are caller
+/// scratch of length d. The sampler draws `dim·steps` normals.
+#[allow(clippy::too_many_arguments)]
+pub fn walk_path<R: Rng64, S: NormalSampler, F: FnMut(usize, &[f64])>(
+    stepper: &GbmStepper,
+    log0: &[f64],
+    rng: &mut R,
+    sampler: &mut S,
+    z_buf: &mut [f64],
+    log_buf: &mut [f64],
+    spot_buf: &mut [f64],
+    mut visit: F,
+) {
+    log_buf.copy_from_slice(log0);
+    for step in 0..stepper.steps {
+        sampler.fill(rng, z_buf);
+        stepper.step(log_buf, z_buf);
+        for (s, l) in spot_buf.iter_mut().zip(log_buf.iter()) {
+            *s = l.exp();
+        }
+        visit(step, spot_buf);
+    }
+}
+
+/// Same as [`walk_path`] but driven by a pre-drawn normal vector of
+/// length `dim·steps` — the QMC entry point (each Sobol' coordinate maps
+/// to a fixed (step, asset) slot).
+pub fn walk_path_with_normals<F: FnMut(usize, &[f64])>(
+    stepper: &GbmStepper,
+    log0: &[f64],
+    normals: &[f64],
+    log_buf: &mut [f64],
+    spot_buf: &mut [f64],
+    mut visit: F,
+) {
+    debug_assert_eq!(normals.len(), stepper.normals_per_path());
+    log_buf.copy_from_slice(log0);
+    for step in 0..stepper.steps {
+        let z = &normals[step * stepper.dim..(step + 1) * stepper.dim];
+        stepper.step(log_buf, z);
+        for (s, l) in spot_buf.iter_mut().zip(log_buf.iter()) {
+            *s = l.exp();
+        }
+        visit(step, spot_buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdp_math::rng::{NormalPolar, Xoshiro256StarStar};
+    use mdp_math::stats::OnlineStats;
+
+    fn market2(rho: f64) -> GbmMarket {
+        GbmMarket::symmetric(2, 100.0, 0.2, 0.0, 0.05, rho).unwrap()
+    }
+
+    #[test]
+    fn terminal_distribution_moments() {
+        // E[S(T)] = S e^{rT}; Var(ln S(T)) = σ²T.
+        let m = market2(0.5);
+        let stepper = GbmStepper::new(&m, 1.0, 4);
+        let log0: Vec<f64> = m.spots().iter().map(|s| s.ln()).collect();
+        let mut rng = Xoshiro256StarStar::seed_from(42);
+        let mut ns = NormalPolar::new();
+        let mut z = [0.0; 2];
+        let mut lb = [0.0; 2];
+        let mut sb = [0.0; 2];
+        let mut term = OnlineStats::new();
+        let mut log_term = OnlineStats::new();
+        let n = 100_000;
+        for _ in 0..n {
+            let mut last = [0.0; 2];
+            walk_path(
+                &stepper,
+                &log0,
+                &mut rng,
+                &mut ns,
+                &mut z,
+                &mut lb,
+                &mut sb,
+                |step, s| {
+                    if step == 3 {
+                        last.copy_from_slice(s);
+                    }
+                },
+            );
+            term.push(last[0]);
+            log_term.push(last[0].ln());
+        }
+        let fwd = 100.0 * (0.05f64).exp();
+        assert!(
+            (term.mean() - fwd).abs() < 3.0 * term.std_error(),
+            "mean {} vs {fwd}",
+            term.mean()
+        );
+        assert!(
+            (log_term.variance() - 0.04).abs() < 0.002,
+            "{}",
+            log_term.variance()
+        );
+    }
+
+    #[test]
+    fn correlation_is_respected() {
+        let rho = 0.7;
+        let m = market2(rho);
+        let stepper = GbmStepper::new(&m, 1.0, 1);
+        let log0: Vec<f64> = m.spots().iter().map(|s| s.ln()).collect();
+        let mut rng = Xoshiro256StarStar::seed_from(7);
+        let mut ns = NormalPolar::new();
+        let (mut z, mut lb, mut sb) = ([0.0; 2], [0.0; 2], [0.0; 2]);
+        let n = 200_000;
+        let (mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0);
+        for _ in 0..n {
+            let mut r = [0.0; 2];
+            walk_path(
+                &stepper,
+                &log0,
+                &mut rng,
+                &mut ns,
+                &mut z,
+                &mut lb,
+                &mut sb,
+                |_, s| {
+                    r = [s[0].ln() - log0[0], s[1].ln() - log0[1]];
+                },
+            );
+            // Centre by the known drift to estimate correlation.
+            let mu = 0.05 - 0.02;
+            let (x, y) = (r[0] - mu, r[1] - mu);
+            sxy += x * y;
+            sxx += x * x;
+            syy += y * y;
+        }
+        let corr = sxy / (sxx.sqrt() * syy.sqrt());
+        assert!((corr - rho).abs() < 0.01, "{corr}");
+    }
+
+    #[test]
+    fn multi_step_equals_single_step_in_distribution() {
+        // Exact stepping: terminal log-variance is σ²T for any step count.
+        let m = market2(0.3);
+        let log0: Vec<f64> = m.spots().iter().map(|s| s.ln()).collect();
+        for steps in [1usize, 5, 20] {
+            let stepper = GbmStepper::new(&m, 1.0, steps);
+            let mut rng = Xoshiro256StarStar::seed_from(9);
+            let mut ns = NormalPolar::new();
+            let (mut z, mut lb, mut sb) = ([0.0; 2], [0.0; 2], [0.0; 2]);
+            let mut stats = OnlineStats::new();
+            for _ in 0..50_000 {
+                let mut last = 0.0;
+                walk_path(
+                    &stepper,
+                    &log0,
+                    &mut rng,
+                    &mut ns,
+                    &mut z,
+                    &mut lb,
+                    &mut sb,
+                    |s, v| {
+                        if s == steps - 1 {
+                            last = v[0].ln();
+                        }
+                    },
+                );
+                stats.push(last);
+            }
+            assert!(
+                (stats.variance() - 0.04).abs() < 0.003,
+                "steps={steps}: {}",
+                stats.variance()
+            );
+        }
+    }
+
+    #[test]
+    fn with_normals_matches_direct_stepping() {
+        let m = market2(0.5);
+        let stepper = GbmStepper::new(&m, 2.0, 3);
+        let log0: Vec<f64> = m.spots().iter().map(|s| s.ln()).collect();
+        let normals = [0.3, -0.5, 1.0, 0.1, -1.2, 0.8];
+        let (mut lb, mut sb) = ([0.0; 2], [0.0; 2]);
+        let mut path_a = Vec::new();
+        walk_path_with_normals(&stepper, &log0, &normals, &mut lb, &mut sb, |_, s| {
+            path_a.extend_from_slice(s)
+        });
+        // Manual re-computation.
+        let mut lb2 = log0.clone();
+        let mut path_b = Vec::new();
+        for step in 0..3 {
+            stepper.step(&mut lb2, &normals[step * 2..step * 2 + 2]);
+            path_b.extend(lb2.iter().map(|l| l.exp()));
+        }
+        assert_eq!(path_a, path_b);
+    }
+
+    #[test]
+    fn normals_per_path_accounting() {
+        let m = market2(0.0);
+        assert_eq!(GbmStepper::new(&m, 1.0, 7).normals_per_path(), 14);
+    }
+}

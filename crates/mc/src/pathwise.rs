@@ -1,0 +1,530 @@
+//! Pathwise (infinitesimal-perturbation) delta estimation.
+//!
+//! Under GBM the terminal price is pathwise linear in the initial spot,
+//! `∂Sᵢ(T)/∂Sᵢ(0) = Sᵢ(T)/Sᵢ(0)`, so for Lipschitz payoffs the payoff
+//! derivative can be moved inside the expectation and estimated on the
+//! *same* paths as the price — one run gives price and all deltas with
+//! MC noise far below bump-and-reprice. Discontinuous payoffs
+//! (digitals) are rejected: their pathwise derivative misses the jump
+//! term and would be silently biased.
+
+use crate::path::{walk_path_with_normals, GbmStepper};
+use crate::McConfig;
+use crate::McError;
+use mdp_math::rng::{NormalPolar, NormalSampler, Substreams, Xoshiro256StarStar};
+use mdp_math::stats::OnlineStats;
+use mdp_model::{ExerciseStyle, GbmMarket, Payoff, Product};
+
+/// Price plus pathwise deltas.
+#[derive(Debug, Clone)]
+pub struct PathwiseResult {
+    /// Price estimate.
+    pub price: f64,
+    /// Standard error of the price.
+    pub price_se: f64,
+    /// Per-asset pathwise delta.
+    pub delta: Vec<f64>,
+    /// Standard error of each delta component.
+    pub delta_se: Vec<f64>,
+    /// Paths used.
+    pub paths: u64,
+}
+
+/// True when the payoff family supports the pathwise method
+/// (almost-everywhere differentiable, no jumps).
+pub fn supports_pathwise(payoff: &Payoff) -> bool {
+    matches!(
+        payoff,
+        Payoff::BasketCall { .. }
+            | Payoff::BasketPut { .. }
+            | Payoff::GeometricCall { .. }
+            | Payoff::GeometricPut { .. }
+            | Payoff::MaxCall { .. }
+            | Payoff::MinCall { .. }
+            | Payoff::MaxPut { .. }
+            | Payoff::MinPut { .. }
+            | Payoff::Exchange
+            | Payoff::SpreadCall { .. }
+            | Payoff::AsianCall { .. }
+            | Payoff::AsianPut { .. }
+            | Payoff::LookbackCallFloating
+            | Payoff::LookbackPutFloating
+    )
+}
+
+/// Payoff value and gradient w.r.t. the *terminal* spot vector
+/// (for Asians: w.r.t. the per-date spots folded through the average).
+fn terminal_gradient(payoff: &Payoff, s: &[f64], grad: &mut [f64]) -> f64 {
+    for g in grad.iter_mut() {
+        *g = 0.0;
+    }
+    let d = s.len();
+    match payoff {
+        Payoff::BasketCall { weights, strike } => {
+            let b: f64 = weights.iter().zip(s).map(|(w, x)| w * x).sum();
+            if b > *strike {
+                grad.copy_from_slice(weights);
+            }
+            (b - strike).max(0.0)
+        }
+        Payoff::BasketPut { weights, strike } => {
+            let b: f64 = weights.iter().zip(s).map(|(w, x)| w * x).sum();
+            if b < *strike {
+                for (g, w) in grad.iter_mut().zip(weights) {
+                    *g = -w;
+                }
+            }
+            (strike - b).max(0.0)
+        }
+        Payoff::GeometricCall { strike } => {
+            let g0 = (s.iter().map(|x| x.ln()).sum::<f64>() / d as f64).exp();
+            if g0 > *strike {
+                for (gi, &si) in grad.iter_mut().zip(s) {
+                    *gi = g0 / (d as f64 * si);
+                }
+            }
+            (g0 - strike).max(0.0)
+        }
+        Payoff::GeometricPut { strike } => {
+            let g0 = (s.iter().map(|x| x.ln()).sum::<f64>() / d as f64).exp();
+            if g0 < *strike {
+                for (gi, &si) in grad.iter_mut().zip(s) {
+                    *gi = -g0 / (d as f64 * si);
+                }
+            }
+            (strike - g0).max(0.0)
+        }
+        Payoff::MaxCall { strike } => {
+            let (arg, mx) = argmax(s);
+            if mx > *strike {
+                grad[arg] = 1.0;
+            }
+            (mx - strike).max(0.0)
+        }
+        Payoff::MinCall { strike } => {
+            let (arg, mn) = argmin(s);
+            if mn > *strike {
+                grad[arg] = 1.0;
+            }
+            (mn - strike).max(0.0)
+        }
+        Payoff::MaxPut { strike } => {
+            let (arg, mx) = argmax(s);
+            if mx < *strike {
+                grad[arg] = -1.0;
+            }
+            (strike - mx).max(0.0)
+        }
+        Payoff::MinPut { strike } => {
+            let (arg, mn) = argmin(s);
+            if mn < *strike {
+                grad[arg] = -1.0;
+            }
+            (strike - mn).max(0.0)
+        }
+        Payoff::Exchange => {
+            if s[0] > s[1] {
+                grad[0] = 1.0;
+                grad[1] = -1.0;
+            }
+            (s[0] - s[1]).max(0.0)
+        }
+        Payoff::SpreadCall { strike } => {
+            if s[0] - s[1] > *strike {
+                grad[0] = 1.0;
+                grad[1] = -1.0;
+            }
+            (s[0] - s[1] - strike).max(0.0)
+        }
+        _ => unreachable!("gated by supports_pathwise"),
+    }
+}
+
+fn argmax(s: &[f64]) -> (usize, f64) {
+    let mut best = 0;
+    for i in 1..s.len() {
+        if s[i] > s[best] {
+            best = i;
+        }
+    }
+    (best, s[best])
+}
+
+fn argmin(s: &[f64]) -> (usize, f64) {
+    let mut best = 0;
+    for i in 1..s.len() {
+        if s[i] < s[best] {
+            best = i;
+        }
+    }
+    (best, s[best])
+}
+
+/// Estimate price and pathwise deltas of a European product.
+pub fn pathwise_delta(
+    market: &GbmMarket,
+    product: &Product,
+    cfg: McConfig,
+) -> Result<PathwiseResult, McError> {
+    product.validate_for(market)?;
+    if product.exercise != ExerciseStyle::European {
+        return Err(McError::Unsupported(
+            "pathwise deltas are European-only".into(),
+        ));
+    }
+    if !supports_pathwise(&product.payoff) {
+        return Err(McError::Unsupported(format!(
+            "pathwise method invalid for discontinuous payoff {:?}",
+            product.payoff
+        )));
+    }
+    if cfg.paths == 0 {
+        return Err(McError::ZeroPaths);
+    }
+    if cfg.steps == 0 {
+        return Err(McError::ZeroSteps);
+    }
+    let d = market.dim();
+    let stepper = GbmStepper::new(market, product.maturity, cfg.steps);
+    let log0: Vec<f64> = market.spots().iter().map(|s| s.ln()).collect();
+    let disc = market.discount(product.maturity);
+    let payoff = &product.payoff;
+    let path_dep = payoff.is_path_dependent();
+    let spots0 = market.spots();
+
+    let base = Xoshiro256StarStar::seed_from(cfg.seed);
+    let mut sampler = NormalPolar::new();
+    let mut normals = vec![0.0; stepper.normals_per_path()];
+    let mut log_buf = vec![0.0; d];
+    let mut spot_buf = vec![0.0; d];
+    let mut grad = vec![0.0; d];
+    let mut price_stats = OnlineStats::new();
+    let mut delta_stats = vec![OnlineStats::new(); d];
+    // For Asians: running per-asset sums of S_i(t)/S0_i over dates.
+    let mut asian_sum = vec![0.0; d];
+    let mut avg;
+    let s0_first = spots0[0];
+    let lookback = matches!(
+        payoff,
+        Payoff::LookbackCallFloating | Payoff::LookbackPutFloating
+    );
+
+    for b in 0..cfg.num_blocks() {
+        let mut rng = base.substream(b);
+        sampler.reset();
+        for _ in 0..cfg.block_paths(b) {
+            sampler.fill(&mut rng, &mut normals);
+            avg = 0.0;
+            asian_sum.iter_mut().for_each(|x| *x = 0.0);
+            let mut pmax = s0_first;
+            let mut pmin = s0_first;
+            let mut y = 0.0;
+            let mut dvec = vec![0.0; d];
+            walk_path_with_normals(
+                &stepper,
+                &log0,
+                &normals,
+                &mut log_buf,
+                &mut spot_buf,
+                |step, s| {
+                    if lookback {
+                        pmax = pmax.max(s[0]);
+                        pmin = pmin.min(s[0]);
+                    } else if path_dep {
+                        avg += s.iter().sum::<f64>() / d as f64;
+                        for (acc, (&si, &s0)) in asian_sum.iter_mut().zip(s.iter().zip(spots0)) {
+                            *acc += si / s0;
+                        }
+                    }
+                    if step == cfg.steps - 1 {
+                        if lookback {
+                            // Floating lookbacks are positively homogeneous
+                            // of degree 1 in S₀ (every path value scales
+                            // with the spot), so the pathwise delta is
+                            // payoff/S₀ exactly.
+                            y = payoff.eval_extremes(s[0], pmax, pmin);
+                            dvec[0] = y / s0_first;
+                        } else if path_dep {
+                            let mean = avg / cfg.steps as f64;
+                            let m = cfg.steps as f64;
+                            match payoff {
+                                Payoff::AsianCall { strike } => {
+                                    y = (mean - strike).max(0.0);
+                                    if mean > *strike {
+                                        for (dv, &acc) in dvec.iter_mut().zip(&asian_sum) {
+                                            // ∂mean/∂S0ᵢ = (1/(m·d))·Σ_t Sᵢ(t)/S0ᵢ
+                                            *dv = acc / (m * d as f64);
+                                        }
+                                    }
+                                }
+                                Payoff::AsianPut { strike } => {
+                                    y = (strike - mean).max(0.0);
+                                    if mean < *strike {
+                                        for (dv, &acc) in dvec.iter_mut().zip(&asian_sum) {
+                                            *dv = -acc / (m * d as f64);
+                                        }
+                                    }
+                                }
+                                _ => unreachable!(),
+                            }
+                        } else {
+                            y = terminal_gradient(payoff, s, &mut grad);
+                            // Chain rule: ∂Sᵢ(T)/∂S0ᵢ = Sᵢ(T)/S0ᵢ.
+                            for ((dv, &g), (&si, &s0)) in
+                                dvec.iter_mut().zip(grad.iter()).zip(s.iter().zip(spots0))
+                            {
+                                *dv = g * si / s0;
+                            }
+                        }
+                    }
+                },
+            );
+            price_stats.push(disc * y);
+            for (st, dv) in delta_stats.iter_mut().zip(&dvec) {
+                st.push(disc * dv);
+            }
+        }
+    }
+    Ok(PathwiseResult {
+        price: price_stats.mean(),
+        price_se: price_stats.std_error(),
+        delta: delta_stats.iter().map(|s| s.mean()).collect(),
+        delta_se: delta_stats.iter().map(|s| s.std_error()).collect(),
+        paths: price_stats.count(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdp_model::greeks::black_scholes_call_greeks;
+    use mdp_model::Product;
+
+    #[test]
+    fn vanilla_delta_matches_black_scholes() {
+        let m = GbmMarket::single(100.0, 0.2, 0.0, 0.05).unwrap();
+        let p = Product::european(
+            Payoff::BasketCall {
+                weights: vec![1.0],
+                strike: 100.0,
+            },
+            1.0,
+        );
+        let exact = black_scholes_call_greeks(100.0, 100.0, 0.05, 0.0, 0.2, 1.0);
+        let r = pathwise_delta(
+            &m,
+            &p,
+            McConfig {
+                paths: 200_000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            (r.delta[0] - exact.delta[0]).abs() < 3.5 * r.delta_se[0],
+            "{} vs {} (se {})",
+            r.delta[0],
+            exact.delta[0],
+            r.delta_se[0]
+        );
+        assert!(r.delta_se[0] < 0.005, "pathwise SE should be tiny");
+    }
+
+    #[test]
+    fn geometric_basket_delta_matches_bump() {
+        let m = GbmMarket::symmetric(3, 100.0, 0.25, 0.0, 0.05, 0.3).unwrap();
+        let p = Product::european(Payoff::GeometricCall { strike: 100.0 }, 1.0);
+        let r = pathwise_delta(
+            &m,
+            &p,
+            McConfig {
+                paths: 100_000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Analytic bump of the closed form.
+        let h = 0.01;
+        let up = {
+            let mb = m.with_spot(0, 100.0 + h).unwrap();
+            mdp_model::analytic::geometric_basket_call(&mb, &Product::equal_weights(3), 100.0, 1.0)
+        };
+        let dn = {
+            let mb = m.with_spot(0, 100.0 - h).unwrap();
+            mdp_model::analytic::geometric_basket_call(&mb, &Product::equal_weights(3), 100.0, 1.0)
+        };
+        let exact = (up - dn) / (2.0 * h);
+        assert!(
+            (r.delta[0] - exact).abs() < 4.0 * r.delta_se[0] + 1e-3,
+            "{} vs {exact}",
+            r.delta[0]
+        );
+    }
+
+    #[test]
+    fn exchange_deltas_have_opposite_signs() {
+        let m = GbmMarket::symmetric(2, 100.0, 0.2, 0.0, 0.05, 0.3).unwrap();
+        let p = Product::european(Payoff::Exchange, 1.0);
+        let r = pathwise_delta(
+            &m,
+            &p,
+            McConfig {
+                paths: 50_000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Exact Margrabe deltas: Δ₁ = Φ(d₁), Δ₂ = −Φ(d₂) with
+        // σ_x = σ√(2(1−ρ)) and d₁ = σ_x√T/2 at equal spots.
+        let sig_x = 0.2 * (2.0f64 * (1.0 - 0.3)).sqrt();
+        let d1 = 0.5 * sig_x;
+        let exact1 = mdp_math::special::norm_cdf(d1);
+        let exact2 = -mdp_math::special::norm_cdf(d1 - sig_x);
+        assert!(
+            (r.delta[0] - exact1).abs() < 4.0 * r.delta_se[0] + 1e-3,
+            "{} vs {exact1}",
+            r.delta[0]
+        );
+        assert!(
+            (r.delta[1] - exact2).abs() < 4.0 * r.delta_se[1] + 1e-3,
+            "{} vs {exact2}",
+            r.delta[1]
+        );
+    }
+
+    #[test]
+    fn max_call_deltas_sum_to_exercise_probability_scale() {
+        let m = GbmMarket::symmetric(2, 100.0, 0.2, 0.0, 0.05, 0.0).unwrap();
+        let p = Product::european(Payoff::MaxCall { strike: 100.0 }, 1.0);
+        let r = pathwise_delta(
+            &m,
+            &p,
+            McConfig {
+                paths: 50_000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Deltas positive, symmetric.
+        assert!(r.delta[0] > 0.0 && r.delta[1] > 0.0);
+        assert!((r.delta[0] - r.delta[1]).abs() < 0.03, "{:?}", r.delta);
+    }
+
+    #[test]
+    fn asian_delta_below_european_delta() {
+        let m = GbmMarket::single(100.0, 0.3, 0.0, 0.05).unwrap();
+        let asian = Product::european(Payoff::AsianCall { strike: 100.0 }, 1.0);
+        let ra = pathwise_delta(
+            &m,
+            &asian,
+            McConfig {
+                paths: 60_000,
+                steps: 12,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let euro = Product::european(
+            Payoff::BasketCall {
+                weights: vec![1.0],
+                strike: 100.0,
+            },
+            1.0,
+        );
+        let re = pathwise_delta(
+            &m,
+            &euro,
+            McConfig {
+                paths: 60_000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(ra.delta[0] > 0.0);
+        assert!(
+            ra.delta[0] < re.delta[0],
+            "asian {} vs euro {}",
+            ra.delta[0],
+            re.delta[0]
+        );
+    }
+
+    #[test]
+    fn digitals_rejected() {
+        let m = GbmMarket::single(100.0, 0.2, 0.0, 0.05).unwrap();
+        let digital = Product::european(
+            Payoff::DigitalBasketCall {
+                weights: vec![1.0],
+                strike: 100.0,
+                cash: 1.0,
+            },
+            1.0,
+        );
+        assert!(matches!(
+            pathwise_delta(&m, &digital, McConfig::default()),
+            Err(McError::Unsupported(_))
+        ));
+        assert!(!supports_pathwise(&digital.payoff));
+    }
+
+    #[test]
+    fn american_rejected() {
+        let m = GbmMarket::single(100.0, 0.2, 0.0, 0.05).unwrap();
+        let am = Product::american(
+            Payoff::BasketPut {
+                weights: vec![1.0],
+                strike: 100.0,
+            },
+            1.0,
+        );
+        assert!(pathwise_delta(&m, &am, McConfig::default()).is_err());
+    }
+
+    #[test]
+    fn price_agrees_with_engine() {
+        let m = GbmMarket::symmetric(2, 100.0, 0.2, 0.0, 0.05, 0.3).unwrap();
+        let p = Product::european(Payoff::MaxCall { strike: 100.0 }, 1.0);
+        let cfg = McConfig {
+            paths: 20_000,
+            ..Default::default()
+        };
+        let pw = pathwise_delta(&m, &p, cfg).unwrap();
+        let eng = crate::engine::McEngine::new(cfg).price(&m, &p).unwrap();
+        // Same sample set, same estimator for the price.
+        assert!((pw.price - eng.price).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod lookback_pathwise_tests {
+    use super::*;
+    use mdp_model::{analytic, Product};
+
+    #[test]
+    fn lookback_delta_equals_price_over_spot() {
+        // Homogeneity: V(λS₀) = λV(S₀) ⇒ Δ = V/S₀ exactly for the
+        // continuous contract; the discretely monitored estimator obeys
+        // the same identity against its own (discrete) price.
+        let m = GbmMarket::single(100.0, 0.3, 0.0, 0.05).unwrap();
+        let p = Product::european(Payoff::LookbackCallFloating, 1.0);
+        let cfg = McConfig {
+            paths: 40_000,
+            steps: 64,
+            ..Default::default()
+        };
+        let r = pathwise_delta(&m, &p, cfg).unwrap();
+        assert!(
+            (r.delta[0] - r.price / 100.0).abs() < 1e-12,
+            "pathwise identity: {} vs {}",
+            r.delta[0],
+            r.price / 100.0
+        );
+        // And close to the continuous closed form's delta.
+        let exact_delta = analytic::lookback_call_floating(100.0, 0.05, 0.0, 0.3, 1.0) / 100.0;
+        assert!(
+            (r.delta[0] - exact_delta).abs() < 0.03,
+            "{} vs {exact_delta}",
+            r.delta[0]
+        );
+    }
+}

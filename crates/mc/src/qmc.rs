@@ -1,0 +1,472 @@
+//! Randomised quasi-Monte Carlo pricing.
+//!
+//! Sobol' points are mapped to Gaussian path increments through the
+//! inverse normal cdf (the only monotone choice) with **Brownian-bridge**
+//! dimension ordering: Sobol' coordinate 0 drives each asset's terminal
+//! value, later coordinates fill midpoints, so the best-distributed
+//! coordinates carry the most variance. The error bar comes from
+//! digital-shift replicates — `replicates` independent randomisations of
+//! the same net — because a single QMC estimate has no internal variance
+//! estimate.
+
+use crate::path::GbmStepper;
+use crate::McError;
+use mdp_math::brownian::BrownianBridge;
+use mdp_math::halton::HaltonSequence;
+use mdp_math::rng::{NormalInverse, Rng64, SplitMix64};
+use mdp_math::sobol::SobolSequence;
+use mdp_model::{ExerciseStyle, GbmMarket, Product};
+
+/// Which low-discrepancy family drives the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QmcSequence {
+    /// Sobol' digital nets with digital-shift randomisation (default).
+    #[default]
+    Sobol,
+    /// Halton with Cranley–Patterson rotation. Kept for cross-checks;
+    /// degrades in high dimension (see `mdp_math::halton`).
+    Halton,
+}
+
+/// Configuration of a randomised QMC run.
+#[derive(Debug, Clone, Copy)]
+pub struct QmcConfig {
+    /// Sobol' points per replicate.
+    pub points: u64,
+    /// Monitoring steps (Sobol' dimension = steps × assets ≤ 64).
+    pub steps: usize,
+    /// Independent digital-shift replicates (≥ 2 for an error bar).
+    pub replicates: u32,
+    /// Seed for the digital shifts.
+    pub seed: u64,
+    /// Use Brownian-bridge ordering (false = incremental ordering, for
+    /// the ablation that shows why the bridge matters).
+    pub brownian_bridge: bool,
+    /// Low-discrepancy family.
+    pub sequence: QmcSequence,
+}
+
+impl Default for QmcConfig {
+    fn default() -> Self {
+        QmcConfig {
+            points: 16_384,
+            steps: 1,
+            replicates: 8,
+            seed: 0x50B0,
+            brownian_bridge: true,
+            sequence: QmcSequence::Sobol,
+        }
+    }
+}
+
+/// A randomised low-discrepancy point source: one replicate's stream.
+enum PointSource {
+    Sobol(SobolSequence),
+    /// Halton with a Cranley–Patterson rotation vector.
+    Halton(HaltonSequence, Vec<f64>),
+}
+
+impl PointSource {
+    fn new(seq: QmcSequence, dim: usize, seed: u64) -> Result<Self, McError> {
+        match seq {
+            QmcSequence::Sobol => {
+                let mut s = SobolSequence::scrambled(dim, seed)
+                    .map_err(|e| McError::Unsupported(e.to_string()))?;
+                s.skip(1); // skip the (shifted) origin uniformly across replicates
+                Ok(PointSource::Sobol(s))
+            }
+            QmcSequence::Halton => {
+                let h =
+                    HaltonSequence::new(dim).map_err(|e| McError::Unsupported(e.to_string()))?;
+                let mut rng = SplitMix64::new(seed ^ 0x4A17);
+                let shift = (0..dim).map(|_| rng.next_f64()).collect();
+                Ok(PointSource::Halton(h, shift))
+            }
+        }
+    }
+
+    fn next_point(&mut self, out: &mut [f64]) {
+        match self {
+            PointSource::Sobol(s) => s.next_point(out),
+            PointSource::Halton(h, shift) => {
+                h.next_point(out);
+                for (x, sh) in out.iter_mut().zip(shift.iter()) {
+                    *x = (*x + sh).fract();
+                }
+            }
+        }
+    }
+}
+
+/// Result of a randomised QMC run.
+#[derive(Debug, Clone, Copy)]
+pub struct QmcResult {
+    /// Price estimate (mean over replicates).
+    pub price: f64,
+    /// Standard error across replicates.
+    pub std_error: f64,
+    /// Points per replicate.
+    pub points: u64,
+    /// Replicates used.
+    pub replicates: u32,
+}
+
+/// Price a European product with randomised QMC.
+pub fn price_qmc(
+    market: &GbmMarket,
+    product: &Product,
+    cfg: QmcConfig,
+) -> Result<QmcResult, McError> {
+    product.validate_for(market)?;
+    if product.exercise != ExerciseStyle::European {
+        return Err(McError::Unsupported("QMC engine is European-only".into()));
+    }
+    if cfg.points == 0 {
+        return Err(McError::ZeroPaths);
+    }
+    if cfg.steps == 0 {
+        return Err(McError::ZeroSteps);
+    }
+    if cfg.replicates == 0 {
+        return Err(McError::Unsupported("need at least one replicate".into()));
+    }
+    let d = market.dim();
+    let sobol_dim = d * cfg.steps;
+    if sobol_dim > mdp_math::sobol::MAX_DIMENSION {
+        return Err(McError::Unsupported(format!(
+            "Sobol' dimension {sobol_dim} exceeds {}",
+            mdp_math::sobol::MAX_DIMENSION
+        )));
+    }
+
+    let stepper = GbmStepper::new(market, product.maturity, cfg.steps);
+    let log0: Vec<f64> = market.spots().iter().map(|s| s.ln()).collect();
+    let disc = market.discount(product.maturity);
+    let bridge = BrownianBridge::uniform(product.maturity, cfg.steps);
+    let dt = product.maturity / cfg.steps as f64;
+    let sq_dt = dt.sqrt();
+    let payoff = &product.payoff;
+    let dep = payoff.path_dependence();
+    let s0_first = market.spots()[0];
+
+    let mut estimates = Vec::with_capacity(cfg.replicates as usize);
+    let mut point = vec![0.0; sobol_dim];
+    let mut normals = vec![0.0; sobol_dim];
+    // Per-asset scratch for the bridge construction.
+    let mut zcol = vec![0.0; cfg.steps];
+    let mut wcol = vec![0.0; cfg.steps];
+    let mut log_buf = vec![0.0; d];
+    let mut spot_buf = vec![0.0; d];
+
+    for rep in 0..cfg.replicates {
+        let mut seq = PointSource::new(cfg.sequence, sobol_dim, cfg.seed ^ ((rep as u64) << 32))?;
+        let mut sum = 0.0;
+        for _ in 0..cfg.points {
+            seq.next_point(&mut point);
+            // Coordinate layout: index (level ℓ, asset i) ↦ ℓ·d + i so the
+            // leading Sobol' dimensions cover every asset's coarse levels.
+            if cfg.brownian_bridge {
+                for asset in 0..d {
+                    for (l, z) in zcol.iter_mut().enumerate() {
+                        *z = NormalInverse::transform(clamp_open(point[l * d + asset]));
+                    }
+                    bridge.build_path(&zcol, &mut wcol);
+                    // Convert the Brownian path to per-step standardised
+                    // increments for the exact stepper.
+                    let mut prev = 0.0;
+                    for (s, w) in wcol.iter().enumerate() {
+                        normals[s * d + asset] = (w - prev) / sq_dt;
+                        prev = *w;
+                    }
+                }
+            } else {
+                for (k, z) in normals.iter_mut().enumerate() {
+                    *z = NormalInverse::transform(clamp_open(point[k]));
+                }
+            }
+            let mut avg = 0.0;
+            let mut pmax = s0_first;
+            let mut pmin = s0_first;
+            let mut y = 0.0;
+            crate::path::walk_path_with_normals(
+                &stepper,
+                &log0,
+                &normals,
+                &mut log_buf,
+                &mut spot_buf,
+                |step, s| {
+                    match dep {
+                        mdp_model::PathDependence::Average => {
+                            avg += s.iter().sum::<f64>() / d as f64
+                        }
+                        mdp_model::PathDependence::Extremes => {
+                            pmax = pmax.max(s[0]);
+                            pmin = pmin.min(s[0]);
+                        }
+                        mdp_model::PathDependence::None => {}
+                    }
+                    if step == cfg.steps - 1 {
+                        y = match dep {
+                            mdp_model::PathDependence::Average => {
+                                payoff.eval_average(avg / cfg.steps as f64)
+                            }
+                            mdp_model::PathDependence::Extremes => {
+                                payoff.eval_extremes(s[0], pmax, pmin)
+                            }
+                            mdp_model::PathDependence::None => payoff.eval(s),
+                        };
+                    }
+                },
+            );
+            sum += disc * y;
+        }
+        estimates.push(sum / cfg.points as f64);
+    }
+
+    let r = estimates.len() as f64;
+    let mean = estimates.iter().sum::<f64>() / r;
+    let std_error = if estimates.len() > 1 {
+        let var = estimates
+            .iter()
+            .map(|e| (e - mean) * (e - mean))
+            .sum::<f64>()
+            / (r - 1.0);
+        (var / r).sqrt()
+    } else {
+        0.0
+    };
+    Ok(QmcResult {
+        price: mean,
+        std_error,
+        points: cfg.points,
+        replicates: cfg.replicates,
+    })
+}
+
+/// Keep a uniform strictly inside (0, 1) so `Φ⁻¹` stays finite.
+#[inline]
+fn clamp_open(u: f64) -> f64 {
+    u.clamp(1e-16, 1.0 - 1e-16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdp_model::{analytic, Payoff};
+
+    fn basket5() -> (GbmMarket, Product) {
+        (
+            GbmMarket::symmetric(5, 100.0, 0.3, 0.0, 0.05, 0.4).unwrap(),
+            Product::european(Payoff::GeometricCall { strike: 100.0 }, 1.0),
+        )
+    }
+
+    #[test]
+    fn qmc_matches_closed_form_tightly() {
+        let (m, p) = basket5();
+        let exact = analytic::geometric_basket_call(&m, &Product::equal_weights(5), 100.0, 1.0);
+        let r = price_qmc(
+            &m,
+            &p,
+            QmcConfig {
+                points: 8192,
+                replicates: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            (r.price - exact).abs() < 5e-3,
+            "{} vs {exact} (se {})",
+            r.price,
+            r.std_error
+        );
+    }
+
+    #[test]
+    fn qmc_beats_plain_mc_at_equal_budget() {
+        use crate::engine::{McConfig, McEngine};
+        let (m, p) = basket5();
+        let exact = analytic::geometric_basket_call(&m, &Product::equal_weights(5), 100.0, 1.0);
+        let budget = 16_384u64;
+        let q = price_qmc(
+            &m,
+            &p,
+            QmcConfig {
+                points: budget / 4,
+                replicates: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mc = McEngine::new(McConfig {
+            paths: budget,
+            ..Default::default()
+        })
+        .price(&m, &p)
+        .unwrap();
+        let err_q = (q.price - exact).abs();
+        let err_mc = (mc.price - exact).abs();
+        // QMC should be decisively tighter for this smooth 5-dim integrand.
+        assert!(err_q < err_mc || err_q < 2e-3, "qmc {err_q} vs mc {err_mc}");
+        assert!(
+            q.std_error < mc.std_error,
+            "{} vs {}",
+            q.std_error,
+            mc.std_error
+        );
+    }
+
+    #[test]
+    fn bridge_ordering_helps_path_dependent_payoffs() {
+        // Asian option with 16 monitoring dates in 1 asset: effective
+        // dimension is low under the bridge, high without it.
+        let m = GbmMarket::single(100.0, 0.3, 0.0, 0.05).unwrap();
+        let p = Product::european(Payoff::AsianCall { strike: 100.0 }, 1.0);
+        // Reference from a big bridged run.
+        let reference = price_qmc(
+            &m,
+            &p,
+            QmcConfig {
+                points: 32_768,
+                steps: 16,
+                replicates: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let with = price_qmc(
+            &m,
+            &p,
+            QmcConfig {
+                points: 2048,
+                steps: 16,
+                replicates: 6,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let without = price_qmc(
+            &m,
+            &p,
+            QmcConfig {
+                points: 2048,
+                steps: 16,
+                replicates: 6,
+                brownian_bridge: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Both unbiased; the bridge should have the smaller replicate
+        // scatter.
+        assert!((with.price - reference.price).abs() < 0.05);
+        assert!((without.price - reference.price).abs() < 0.2);
+        assert!(
+            with.std_error <= without.std_error * 1.2,
+            "bridge {} vs raw {}",
+            with.std_error,
+            without.std_error
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (m, p) = basket5();
+        let cfg = QmcConfig {
+            points: 1024,
+            replicates: 2,
+            ..Default::default()
+        };
+        let a = price_qmc(&m, &p, cfg).unwrap();
+        let b = price_qmc(&m, &p, cfg).unwrap();
+        assert_eq!(a.price.to_bits(), b.price.to_bits());
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let (m, p) = basket5();
+        assert!(price_qmc(
+            &m,
+            &p,
+            QmcConfig {
+                points: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(price_qmc(
+            &m,
+            &p,
+            QmcConfig {
+                steps: 20, // 5 assets × 20 steps = 100 > 64 dims
+                ..Default::default()
+            }
+        )
+        .is_err());
+        let am = Product::american(Payoff::MaxCall { strike: 1.0 }, 1.0);
+        assert!(price_qmc(&m, &am, QmcConfig::default()).is_err());
+    }
+}
+
+#[cfg(test)]
+mod halton_tests {
+    use super::*;
+    use mdp_model::{analytic, Payoff, Product};
+
+    #[test]
+    fn halton_matches_sobol_and_closed_form_in_low_dim() {
+        let m = GbmMarket::symmetric(3, 100.0, 0.25, 0.0, 0.05, 0.3).unwrap();
+        let p = Product::european(Payoff::GeometricCall { strike: 100.0 }, 1.0);
+        let exact = analytic::geometric_basket_call(&m, &Product::equal_weights(3), 100.0, 1.0);
+        let halton = price_qmc(
+            &m,
+            &p,
+            QmcConfig {
+                points: 8192,
+                replicates: 4,
+                sequence: QmcSequence::Halton,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            (halton.price - exact).abs() < 4.0 * halton.std_error + 5e-3,
+            "halton {} vs {exact} (se {})",
+            halton.price,
+            halton.std_error
+        );
+        let sobol = price_qmc(
+            &m,
+            &p,
+            QmcConfig {
+                points: 8192,
+                replicates: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!((halton.price - sobol.price).abs() < 0.02);
+    }
+
+    #[test]
+    fn halton_deterministic_per_seed() {
+        let m = GbmMarket::single(100.0, 0.2, 0.0, 0.05).unwrap();
+        let p = Product::european(
+            Payoff::BasketCall {
+                weights: vec![1.0],
+                strike: 100.0,
+            },
+            1.0,
+        );
+        let cfg = QmcConfig {
+            points: 1024,
+            replicates: 2,
+            sequence: QmcSequence::Halton,
+            ..Default::default()
+        };
+        let a = price_qmc(&m, &p, cfg).unwrap();
+        let b = price_qmc(&m, &p, cfg).unwrap();
+        assert_eq!(a.price.to_bits(), b.price.to_bits());
+    }
+}

@@ -1,0 +1,1016 @@
+//! Closed-form reference prices.
+//!
+//! Every numerical engine in the workspace is validated against the
+//! formulas here (experiment T4): Black–Scholes vanillas, the Margrabe
+//! exchange option, weighted geometric baskets (which stay lognormal and
+//! reduce to Black-76), the Stulz two-asset min/max options (via the
+//! bivariate normal cdf) and cash-or-nothing digitals.
+
+use crate::{ExerciseStyle, GbmMarket, Payoff, Product};
+use mdp_math::special::{bivariate_norm_cdf, norm_cdf};
+
+/// Black–Scholes price of a European call with continuous dividend `q`.
+pub fn black_scholes_call(s: f64, k: f64, r: f64, q: f64, sigma: f64, t: f64) -> f64 {
+    if t <= 0.0 {
+        return (s - k).max(0.0);
+    }
+    if k == 0.0 {
+        return s * (-q * t).exp();
+    }
+    let sq = sigma * t.sqrt();
+    let d1 = ((s / k).ln() + (r - q + 0.5 * sigma * sigma) * t) / sq;
+    let d2 = d1 - sq;
+    s * (-q * t).exp() * norm_cdf(d1) - k * (-r * t).exp() * norm_cdf(d2)
+}
+
+/// Black–Scholes price of a European put with continuous dividend `q`.
+pub fn black_scholes_put(s: f64, k: f64, r: f64, q: f64, sigma: f64, t: f64) -> f64 {
+    // Put–call parity keeps the two functions exactly consistent.
+    black_scholes_call(s, k, r, q, sigma, t) - s * (-q * t).exp() + k * (-r * t).exp()
+}
+
+/// Margrabe (1978): European option to exchange asset 2 for asset 1,
+/// payoff `(S₁(T) − S₂(T))⁺`.
+#[allow(clippy::too_many_arguments)]
+pub fn margrabe_exchange(
+    s1: f64,
+    q1: f64,
+    sigma1: f64,
+    s2: f64,
+    q2: f64,
+    sigma2: f64,
+    rho: f64,
+    t: f64,
+) -> f64 {
+    if t <= 0.0 {
+        return (s1 - s2).max(0.0);
+    }
+    let sigma = (sigma1 * sigma1 + sigma2 * sigma2 - 2.0 * rho * sigma1 * sigma2).sqrt();
+    if sigma == 0.0 {
+        // Perfectly correlated identical vols: deterministic ratio.
+        return (s1 * (-q1 * t).exp() - s2 * (-q2 * t).exp()).max(0.0);
+    }
+    let sq = sigma * t.sqrt();
+    let d1 = ((s1 / s2).ln() + (q2 - q1 + 0.5 * sigma * sigma) * t) / sq;
+    let d2 = d1 - sq;
+    s1 * (-q1 * t).exp() * norm_cdf(d1) - s2 * (-q2 * t).exp() * norm_cdf(d2)
+}
+
+/// European call on the weighted geometric basket `G = Π Sᵢ^{wᵢ}`.
+///
+/// Under GBM, `ln G(T)` is normal, so the price is Black-76 on the
+/// forward `F = G(0)·exp(μ_G T)` with variance `σ_G² = wᵀΣw`.
+pub fn geometric_basket_call(market: &GbmMarket, weights: &[f64], k: f64, t: f64) -> f64 {
+    let (f, sig_g) = geometric_forward(market, weights, t);
+    black76(f, k, sig_g, market.rate(), t, true)
+}
+
+/// European put on the weighted geometric basket.
+pub fn geometric_basket_put(market: &GbmMarket, weights: &[f64], k: f64, t: f64) -> f64 {
+    let (f, sig_g) = geometric_forward(market, weights, t);
+    black76(f, k, sig_g, market.rate(), t, false)
+}
+
+/// Forward and volatility of the weighted geometric basket.
+fn geometric_forward(market: &GbmMarket, weights: &[f64], t: f64) -> (f64, f64) {
+    assert_eq!(weights.len(), market.dim());
+    let cov = market.log_covariance();
+    let mut var_g = 0.0;
+    for i in 0..market.dim() {
+        for j in 0..market.dim() {
+            var_g += weights[i] * weights[j] * cov[(i, j)];
+        }
+    }
+    let sig_g = var_g.sqrt();
+    let mut ln_g0 = 0.0;
+    let mut drift = 0.0;
+    for (i, &w) in weights.iter().enumerate() {
+        ln_g0 += w * market.spots()[i].ln();
+        drift += w * market.log_drift(i);
+    }
+    let f = (ln_g0 + (drift + 0.5 * var_g) * t).exp();
+    (f, sig_g)
+}
+
+/// Black-76 on a forward.
+fn black76(f: f64, k: f64, sigma: f64, r: f64, t: f64, call: bool) -> f64 {
+    let df = (-r * t).exp();
+    if t <= 0.0 || sigma <= 0.0 {
+        let intrinsic = if call {
+            (f - k).max(0.0)
+        } else {
+            (k - f).max(0.0)
+        };
+        return df * intrinsic;
+    }
+    if k == 0.0 {
+        return if call { df * f } else { 0.0 };
+    }
+    let sq = sigma * t.sqrt();
+    let d1 = ((f / k).ln() + 0.5 * sigma * sigma * t) / sq;
+    let d2 = d1 - sq;
+    if call {
+        df * (f * norm_cdf(d1) - k * norm_cdf(d2))
+    } else {
+        df * (k * norm_cdf(-d2) - f * norm_cdf(-d1))
+    }
+}
+
+/// Stulz (1982): European call on the **minimum** of two assets,
+/// payoff `(min(S₁, S₂) − K)⁺`.
+#[allow(clippy::too_many_arguments)]
+pub fn min_call_two_assets(
+    s1: f64,
+    q1: f64,
+    sigma1: f64,
+    s2: f64,
+    q2: f64,
+    sigma2: f64,
+    rho: f64,
+    r: f64,
+    k: f64,
+    t: f64,
+) -> f64 {
+    if t <= 0.0 {
+        return (s1.min(s2) - k).max(0.0);
+    }
+    let b1 = r - q1;
+    let b2 = r - q2;
+    let sigma = (sigma1 * sigma1 + sigma2 * sigma2 - 2.0 * rho * sigma1 * sigma2).sqrt();
+    let sqt = t.sqrt();
+    if k == 0.0 {
+        // (min)⁺ with zero strike: the minimum itself, priced via the
+        // exchange decomposition min(a,b) = a − (a−b)⁺.
+        return s1 * (-q1 * t).exp() - margrabe_exchange(s1, q1, sigma1, s2, q2, sigma2, rho, t);
+    }
+    if sigma == 0.0 {
+        // Degenerate joint dynamics: both assets share one driver with
+        // equal vol; min is lognormal-of-min of two deterministic ratios.
+        let f1 = s1 * ((b1 - 0.5 * sigma1 * sigma1) * t).exp();
+        let f2 = s2 * ((b2 - 0.5 * sigma2 * sigma2) * t).exp();
+        let (s, sig, b, q) = if f1 <= f2 {
+            (s1, sigma1, b1, q1)
+        } else {
+            (s2, sigma2, b2, q2)
+        };
+        let _ = b;
+        return black_scholes_call(s, k, r, q, sig, t);
+    }
+    let d = ((s1 / s2).ln() + (b1 - b2 + 0.5 * sigma * sigma) * t) / (sigma * sqt);
+    let y1 = ((s1 / k).ln() + (b1 + 0.5 * sigma1 * sigma1) * t) / (sigma1 * sqt);
+    let y2 = ((s2 / k).ln() + (b2 + 0.5 * sigma2 * sigma2) * t) / (sigma2 * sqt);
+    let rho1 = (sigma1 - rho * sigma2) / sigma;
+    let rho2 = (sigma2 - rho * sigma1) / sigma;
+    s1 * ((b1 - r) * t).exp() * bivariate_norm_cdf(y1, -d, -rho1)
+        + s2 * ((b2 - r) * t).exp() * bivariate_norm_cdf(y2, d - sigma * sqt, -rho2)
+        - k * (-r * t).exp() * bivariate_norm_cdf(y1 - sigma1 * sqt, y2 - sigma2 * sqt, rho)
+}
+
+/// European call on the **maximum** of two assets, via the exact identity
+/// `(max − K)⁺ = (S₁ − K)⁺ + (S₂ − K)⁺ − (min − K)⁺`.
+#[allow(clippy::too_many_arguments)]
+pub fn max_call_two_assets(
+    s1: f64,
+    q1: f64,
+    sigma1: f64,
+    s2: f64,
+    q2: f64,
+    sigma2: f64,
+    rho: f64,
+    r: f64,
+    k: f64,
+    t: f64,
+) -> f64 {
+    black_scholes_call(s1, k, r, q1, sigma1, t) + black_scholes_call(s2, k, r, q2, sigma2, t)
+        - min_call_two_assets(s1, q1, sigma1, s2, q2, sigma2, rho, r, k, t)
+}
+
+/// European put on the minimum of two assets, via parity
+/// `(K − min)⁺ = K e^{−rT}·1 − PV(min) + (min − K)⁺`.
+#[allow(clippy::too_many_arguments)]
+pub fn min_put_two_assets(
+    s1: f64,
+    q1: f64,
+    sigma1: f64,
+    s2: f64,
+    q2: f64,
+    sigma2: f64,
+    rho: f64,
+    r: f64,
+    k: f64,
+    t: f64,
+) -> f64 {
+    let pv_min = min_call_two_assets(s1, q1, sigma1, s2, q2, sigma2, rho, r, 0.0, t);
+    k * (-r * t).exp() - pv_min + min_call_two_assets(s1, q1, sigma1, s2, q2, sigma2, rho, r, k, t)
+}
+
+/// European put on the maximum of two assets, via parity.
+#[allow(clippy::too_many_arguments)]
+pub fn max_put_two_assets(
+    s1: f64,
+    q1: f64,
+    sigma1: f64,
+    s2: f64,
+    q2: f64,
+    sigma2: f64,
+    rho: f64,
+    r: f64,
+    k: f64,
+    t: f64,
+) -> f64 {
+    let pv_max = max_call_two_assets(s1, q1, sigma1, s2, q2, sigma2, rho, r, 0.0, t);
+    k * (-r * t).exp() - pv_max + max_call_two_assets(s1, q1, sigma1, s2, q2, sigma2, rho, r, k, t)
+}
+
+/// Shared Reiner–Rubinstein (1991) building blocks for single-barrier
+/// options under continuous monitoring. `phi = ±1` selects call/put,
+/// `eta = ±1` the barrier side.
+#[allow(clippy::too_many_arguments)]
+fn barrier_blocks(
+    s: f64,
+    k: f64,
+    h: f64,
+    r: f64,
+    q: f64,
+    sigma: f64,
+    t: f64,
+    phi: f64,
+    eta: f64,
+) -> (f64, f64, f64, f64) {
+    let b = r - q;
+    let sq = sigma * t.sqrt();
+    let mu = (b - 0.5 * sigma * sigma) / (sigma * sigma);
+    let carry = ((b - r) * t).exp();
+    let dfr = (-r * t).exp();
+    let x1 = (s / k).ln() / sq + (1.0 + mu) * sq;
+    let x2 = (s / h).ln() / sq + (1.0 + mu) * sq;
+    let y1 = (h * h / (s * k)).ln() / sq + (1.0 + mu) * sq;
+    let y2 = (h / s).ln() / sq + (1.0 + mu) * sq;
+    let hs = h / s;
+    let a_term = phi * s * carry * norm_cdf(phi * x1) - phi * k * dfr * norm_cdf(phi * (x1 - sq));
+    let b_term = phi * s * carry * norm_cdf(phi * x2) - phi * k * dfr * norm_cdf(phi * (x2 - sq));
+    let c_term = phi * s * carry * hs.powf(2.0 * (mu + 1.0)) * norm_cdf(eta * y1)
+        - phi * k * dfr * hs.powf(2.0 * mu) * norm_cdf(eta * (y1 - sq));
+    let d_term = phi * s * carry * hs.powf(2.0 * (mu + 1.0)) * norm_cdf(eta * y2)
+        - phi * k * dfr * hs.powf(2.0 * mu) * norm_cdf(eta * (y2 - sq));
+    (a_term, b_term, c_term, d_term)
+}
+
+/// Up-and-out call with a continuously monitored barrier `h > k`
+/// (Reiner–Rubinstein 1991; zero rebate). Returns 0 when already
+/// knocked (`s ≥ h`).
+pub fn up_and_out_call(s: f64, k: f64, h: f64, r: f64, q: f64, sigma: f64, t: f64) -> f64 {
+    assert!(h > k, "up-and-out call needs barrier above strike");
+    if s >= h {
+        return 0.0;
+    }
+    if t <= 0.0 {
+        return (s - k).max(0.0);
+    }
+    let (a, b, c, d) = barrier_blocks(s, k, h, r, q, sigma, t, 1.0, -1.0);
+    (a - b + c - d).max(0.0)
+}
+
+/// Down-and-out put with a continuously monitored barrier `h < k`
+/// (zero rebate). Returns 0 when already knocked (`s ≤ h`).
+pub fn down_and_out_put(s: f64, k: f64, h: f64, r: f64, q: f64, sigma: f64, t: f64) -> f64 {
+    assert!(h < k, "down-and-out put needs barrier below strike");
+    if s <= h {
+        return 0.0;
+    }
+    if t <= 0.0 {
+        return (k - s).max(0.0);
+    }
+    let (a, b, c, d) = barrier_blocks(s, k, h, r, q, sigma, t, -1.0, 1.0);
+    (a - b + c - d).max(0.0)
+}
+
+/// Goldman–Sosin–Gatto (1979): floating-strike lookback call,
+/// payoff `S(T) − min_{[0,T]} S` under continuous monitoring, for a
+/// fresh contract (observed minimum = spot). `b = r − q` is clamped
+/// away from zero (|b| ≥ 1e−9) where the formula has a removable
+/// singularity; the numerical limit is exact to ~1e−9.
+pub fn lookback_call_floating(s: f64, r: f64, q: f64, sigma: f64, t: f64) -> f64 {
+    let mut b = r - q;
+    if b.abs() < 1e-9 {
+        b = 1e-9;
+    }
+    let sq = sigma * t.sqrt();
+    let a1 = (b / sigma + 0.5 * sigma) * t.sqrt(); // ln(S/M)=0 for a fresh contract
+    let a2 = a1 - sq;
+    let carry = ((b - r) * t).exp();
+    let dfr = (-r * t).exp();
+    let k2 = 2.0 * b / (sigma * sigma);
+    s * carry * norm_cdf(a1) - s * dfr * norm_cdf(a2)
+        + s * dfr / k2 * (norm_cdf(-a1 + k2 * sigma * t.sqrt()) - (b * t).exp() * norm_cdf(-a1))
+}
+
+/// Floating-strike lookback put, payoff `max_{[0,T]} S − S(T)`, fresh
+/// contract (observed maximum = spot).
+/// Derived by integrating the running-maximum law of drifted Brownian
+/// motion (`E[e^M] = 1 + J(1, μT) + J(2b/σ², −μT)` with the standard
+/// `∫ e^{cm}Φ((a−m)/s) dm` identity); validated against exact
+/// Brownian-bridge-extreme Monte Carlo in the tests.
+pub fn lookback_put_floating(s: f64, r: f64, q: f64, sigma: f64, t: f64) -> f64 {
+    let mut b = r - q;
+    if b.abs() < 1e-9 {
+        b = 1e-9;
+    }
+    let sq = sigma * t.sqrt();
+    // Same d as the call's a1: (b/σ + σ/2)√T (fresh contract, M = S).
+    let d = (b / sigma + 0.5 * sigma) * t.sqrt();
+    let carry = ((b - r) * t).exp();
+    let dfr = (-r * t).exp();
+    let k2 = 2.0 * b / (sigma * sigma);
+    s * dfr * norm_cdf(sq - d) - s * carry * norm_cdf(-d)
+        + s * dfr / k2 * ((b * t).exp() * norm_cdf(d) - norm_cdf(sq - d))
+}
+
+/// Kirk (1995) approximation for the European spread call
+/// `(S₁ − S₂ − K)⁺` with `K ≥ 0`. Exact at `K = 0` (Margrabe); accurate
+/// to a few basis points of spot for moderate strikes.
+#[allow(clippy::too_many_arguments)]
+pub fn kirk_spread_call(
+    s1: f64,
+    q1: f64,
+    sigma1: f64,
+    s2: f64,
+    q2: f64,
+    sigma2: f64,
+    rho: f64,
+    r: f64,
+    k: f64,
+    t: f64,
+) -> f64 {
+    if k == 0.0 {
+        return margrabe_exchange(s1, q1, sigma1, s2, q2, sigma2, rho, t);
+    }
+    let f1 = s1 * ((r - q1) * t).exp();
+    let f2 = s2 * ((r - q2) * t).exp();
+    // Kirk: treat F₂ + K as lognormal with weight-damped volatility.
+    let w = f2 / (f2 + k);
+    let sigma =
+        (sigma1 * sigma1 - 2.0 * rho * sigma1 * sigma2 * w + sigma2 * sigma2 * w * w).sqrt();
+    black76(f1, f2 + k, sigma, r, t, true)
+}
+
+/// Cash-or-nothing call: pays `cash` when `S(T) ≥ K`.
+pub fn cash_or_nothing_call(s: f64, k: f64, r: f64, q: f64, sigma: f64, t: f64, cash: f64) -> f64 {
+    if t <= 0.0 {
+        return if s >= k { cash } else { 0.0 };
+    }
+    let sq = sigma * t.sqrt();
+    let d2 = ((s / k).ln() + (r - q - 0.5 * sigma * sigma) * t) / sq;
+    cash * (-r * t).exp() * norm_cdf(d2)
+}
+
+/// Analytic price of a product when a closed form exists, else `None`.
+///
+/// Covers: 1-asset basket calls/puts and digitals (Black–Scholes),
+/// geometric baskets in any dimension (equal weights), the Margrabe
+/// exchange and the two-asset Stulz rainbow family. European only.
+pub fn price_product(market: &GbmMarket, product: &Product) -> Option<f64> {
+    if product.exercise != ExerciseStyle::European {
+        return None;
+    }
+    let t = product.maturity;
+    let d = market.dim();
+    let s = market.spots();
+    let v = market.vols();
+    let q = market.dividends();
+    let r = market.rate();
+    match &product.payoff {
+        Payoff::BasketCall { weights, strike } if d == 1 => Some(black_scholes_call(
+            weights[0] * s[0],
+            *strike,
+            r,
+            q[0],
+            v[0],
+            t,
+        )),
+        Payoff::BasketPut { weights, strike } if d == 1 => Some(black_scholes_put(
+            weights[0] * s[0],
+            *strike,
+            r,
+            q[0],
+            v[0],
+            t,
+        )),
+        Payoff::GeometricCall { strike } => Some(geometric_basket_call(
+            market,
+            &Product::equal_weights(d),
+            *strike,
+            t,
+        )),
+        Payoff::GeometricPut { strike } => Some(geometric_basket_put(
+            market,
+            &Product::equal_weights(d),
+            *strike,
+            t,
+        )),
+        Payoff::Exchange if d == 2 => Some(margrabe_exchange(
+            s[0],
+            q[0],
+            v[0],
+            s[1],
+            q[1],
+            v[1],
+            market.correlation()[(0, 1)],
+            t,
+        )),
+        Payoff::MinCall { strike } if d == 2 => Some(min_call_two_assets(
+            s[0],
+            q[0],
+            v[0],
+            s[1],
+            q[1],
+            v[1],
+            market.correlation()[(0, 1)],
+            r,
+            *strike,
+            t,
+        )),
+        Payoff::MaxCall { strike } if d == 2 => Some(max_call_two_assets(
+            s[0],
+            q[0],
+            v[0],
+            s[1],
+            q[1],
+            v[1],
+            market.correlation()[(0, 1)],
+            r,
+            *strike,
+            t,
+        )),
+        Payoff::MinPut { strike } if d == 2 => Some(min_put_two_assets(
+            s[0],
+            q[0],
+            v[0],
+            s[1],
+            q[1],
+            v[1],
+            market.correlation()[(0, 1)],
+            r,
+            *strike,
+            t,
+        )),
+        Payoff::MaxPut { strike } if d == 2 => Some(max_put_two_assets(
+            s[0],
+            q[0],
+            v[0],
+            s[1],
+            q[1],
+            v[1],
+            market.correlation()[(0, 1)],
+            r,
+            *strike,
+            t,
+        )),
+        Payoff::LookbackCallFloating if d == 1 => {
+            Some(lookback_call_floating(s[0], r, q[0], v[0], t))
+        }
+        Payoff::LookbackPutFloating if d == 1 => {
+            Some(lookback_put_floating(s[0], r, q[0], v[0], t))
+        }
+        Payoff::DigitalBasketCall {
+            weights,
+            strike,
+            cash,
+        } if d == 1 => Some(cash_or_nothing_call(
+            weights[0] * s[0],
+            *strike,
+            r,
+            q[0],
+            v[0],
+            t,
+            *cash,
+        )),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdp_math::approx_eq;
+    use mdp_math::quadrature::GaussLegendre;
+    use mdp_math::special::norm_pdf;
+
+    const TOL: f64 = 1e-10;
+
+    #[test]
+    fn black_scholes_reference_value() {
+        // The canonical S=K=100, r=5%, σ=20%, T=1 example.
+        let c = black_scholes_call(100.0, 100.0, 0.05, 0.0, 0.2, 1.0);
+        assert!(approx_eq(c, 10.450_583_572_185_565, 1e-9), "{c}");
+        let p = black_scholes_put(100.0, 100.0, 0.05, 0.0, 0.2, 1.0);
+        assert!(approx_eq(p, 5.573_526_022_256_971, 1e-9), "{p}");
+    }
+
+    #[test]
+    fn black_scholes_with_dividend() {
+        // q = r makes the forward equal to spot: call = put at K = S.
+        let c = black_scholes_call(100.0, 100.0, 0.05, 0.05, 0.2, 1.0);
+        let p = black_scholes_put(100.0, 100.0, 0.05, 0.05, 0.2, 1.0);
+        assert!(approx_eq(c, p, TOL));
+    }
+
+    #[test]
+    fn black_scholes_limits() {
+        assert_eq!(black_scholes_call(120.0, 100.0, 0.05, 0.0, 0.2, 0.0), 20.0);
+        assert_eq!(black_scholes_call(80.0, 100.0, 0.05, 0.0, 0.2, 0.0), 0.0);
+        // Zero strike call = discounted forward = spot (q=0).
+        assert!(approx_eq(
+            black_scholes_call(100.0, 0.0, 0.05, 0.0, 0.2, 1.0),
+            100.0,
+            TOL
+        ));
+        // Deep ITM approaches discounted intrinsic on the forward.
+        let c = black_scholes_call(1000.0, 1.0, 0.05, 0.0, 0.2, 1.0);
+        assert!(approx_eq(c, 1000.0 - (-0.05f64).exp(), 1e-6), "{c}");
+    }
+
+    #[test]
+    fn put_call_parity_grid() {
+        for &s in &[80.0, 100.0, 125.0] {
+            for &k in &[90.0, 100.0, 110.0] {
+                for &t in &[0.25, 1.0, 3.0] {
+                    let c = black_scholes_call(s, k, 0.03, 0.01, 0.25, t);
+                    let p = black_scholes_put(s, k, 0.03, 0.01, 0.25, t);
+                    let parity = c - p - s * (-0.01 * t).exp() + k * (-0.03 * t).exp();
+                    assert!(parity.abs() < TOL, "s={s} k={k} t={t}: {parity}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn margrabe_reference_value() {
+        // Symmetric case: S1=S2=100, σ=0.2 each, ρ=0.5 → σ_x = 0.2.
+        let v = margrabe_exchange(100.0, 0.0, 0.2, 100.0, 0.0, 0.2, 0.5, 1.0);
+        assert!(approx_eq(v, 7.965_567_455_405_804, 1e-9), "{v}");
+    }
+
+    #[test]
+    fn margrabe_equals_bs_when_second_asset_deterministic() {
+        // σ2 = 0 and q2 = r ⇒ S₂(T) = s₂ deterministically; choosing
+        // s₂ = K makes asset 2 a bond worth K at T: Margrabe = BS call.
+        let k = 95.0;
+        let r = 0.05;
+        let m = margrabe_exchange(100.0, 0.0, 0.2, k, r, 0.0, 0.0, 1.0);
+        let c = black_scholes_call(100.0, k, r, 0.0, 0.2, 1.0);
+        assert!(approx_eq(m, c, 1e-9), "{m} vs {c}");
+    }
+
+    #[test]
+    fn margrabe_rate_invariance() {
+        // The exchange price must not depend on r.
+        let a = margrabe_exchange(100.0, 0.01, 0.3, 90.0, 0.02, 0.25, 0.3, 2.0);
+        // (no r argument at all — the API enforces the invariance)
+        assert!(a > (100.0f64 * (-0.02f64).exp() - 90.0 * (-0.04f64).exp()).max(0.0));
+        assert!(a < 100.0);
+    }
+
+    #[test]
+    fn geometric_basket_reduces_to_bs_in_one_dim() {
+        let m = GbmMarket::single(100.0, 0.2, 0.01, 0.05).unwrap();
+        let g = geometric_basket_call(&m, &[1.0], 100.0, 1.0);
+        let c = black_scholes_call(100.0, 100.0, 0.05, 0.01, 0.2, 1.0);
+        assert!(approx_eq(g, c, TOL), "{g} vs {c}");
+    }
+
+    #[test]
+    fn geometric_basket_put_call_parity() {
+        let m = GbmMarket::symmetric(4, 100.0, 0.3, 0.0, 0.05, 0.4).unwrap();
+        let w = Product::equal_weights(4);
+        let c = geometric_basket_call(&m, &w, 95.0, 2.0);
+        let p = geometric_basket_put(&m, &w, 95.0, 2.0);
+        let (f, _) = super::geometric_forward(&m, &w, 2.0);
+        let parity = c - p - (-0.05 * 2.0f64).exp() * (f - 95.0);
+        assert!(parity.abs() < TOL, "{parity}");
+    }
+
+    #[test]
+    fn geometric_basket_vol_reduction_lowers_price() {
+        // More assets with imperfect correlation ⇒ lower basket vol ⇒
+        // cheaper ATM option (per unit underlying).
+        let prices: Vec<f64> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&d| {
+                let m = GbmMarket::symmetric(d, 100.0, 0.3, 0.0, 0.05, 0.3).unwrap();
+                geometric_basket_call(&m, &Product::equal_weights(d), 100.0, 1.0)
+            })
+            .collect();
+        for w in prices.windows(2) {
+            assert!(w[1] < w[0], "{prices:?}");
+        }
+    }
+
+    /// Independent 2-D quadrature of E[e^{−rT}·payoff] for two correlated
+    /// lognormals — validates the Stulz formula end to end.
+    ///
+    /// Gauss–Legendre converges slowly across payoff kinks, so the caller
+    /// supplies `critical_st2(st1)`: the S₂ values where, for a given S₁,
+    /// the payoff is non-smooth. The inner integral is split there, which
+    /// restores spectral accuracy (each piece is analytic).
+    #[allow(clippy::too_many_arguments)]
+    fn quad_price_two_assets<F, G>(
+        s1: f64,
+        q1: f64,
+        v1: f64,
+        s2: f64,
+        q2: f64,
+        v2: f64,
+        rho: f64,
+        r: f64,
+        t: f64,
+        payoff: F,
+        critical_st2: G,
+    ) -> f64
+    where
+        F: Fn(f64, f64) -> f64,
+        G: Fn(f64) -> Vec<f64>,
+    {
+        let gl = GaussLegendre::new(48);
+        let lim = 8.5;
+        let crho = (1.0 - rho * rho).sqrt();
+        let m1 = (r - q1 - 0.5 * v1 * v1) * t;
+        let m2 = (r - q2 - 0.5 * v2 * v2) * t;
+        // The inner integral is C⁰ in z1 wherever the payoff has a kink
+        // depending on S₁ alone; split the outer integral at those too.
+        // For the payoffs under test the only such point is S₁ = K-ish
+        // values returned by critical_st2(·) evaluated self-referentially;
+        // simplest robust choice: split at every S₁ where some critical
+        // S₂ curve can intersect the boundary — use the same critical set
+        // applied to S₁.
+        let mut outer_splits = vec![-lim];
+        for c in critical_st2(s1) {
+            if c > 0.0 {
+                let z1 = ((c / s1).ln() - m1) / (v1 * t.sqrt());
+                if z1 > -lim && z1 < lim {
+                    outer_splits.push(z1);
+                }
+            }
+        }
+        outer_splits.push(lim);
+        outer_splits.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut outer = 0.0;
+        for oseg in outer_splits.windows(2) {
+            outer += gl.integrate(oseg[0], oseg[1], |z1| {
+                let st1 = s1 * ((r - q1 - 0.5 * v1 * v1) * t + v1 * t.sqrt() * z1).exp();
+                // Map each critical S₂ to its z2 location and clip to range.
+                let mut splits = vec![-lim];
+                for c in critical_st2(st1) {
+                    if c > 0.0 {
+                        let w2 = ((c / s2).ln() - m2) / (v2 * t.sqrt());
+                        let z2 = (w2 - rho * z1) / crho;
+                        if z2 > -lim && z2 < lim {
+                            splits.push(z2);
+                        }
+                    }
+                }
+                splits.push(lim);
+                splits.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let mut inner = 0.0;
+                for seg in splits.windows(2) {
+                    inner += gl.integrate(seg[0], seg[1], |z2| {
+                        let w2 = rho * z1 + crho * z2;
+                        let st2 = s2 * (m2 + v2 * t.sqrt() * w2).exp();
+                        payoff(st1, st2) * norm_pdf(z2)
+                    });
+                }
+                inner * norm_pdf(z1)
+            });
+        }
+        (-r * t).exp() * outer
+    }
+
+    #[test]
+    fn stulz_min_call_matches_quadrature() {
+        let (s1, q1, v1) = (100.0, 0.02, 0.25);
+        let (s2, q2, v2) = (105.0, 0.0, 0.2);
+        let (rho, r, k, t) = (0.4, 0.05, 98.0, 1.0);
+        let formula = min_call_two_assets(s1, q1, v1, s2, q2, v2, rho, r, k, t);
+        let quad = quad_price_two_assets(
+            s1,
+            q1,
+            v1,
+            s2,
+            q2,
+            v2,
+            rho,
+            r,
+            t,
+            |a, b| (a.min(b) - k).max(0.0),
+            |st1| vec![k, st1],
+        );
+        assert!(approx_eq(formula, quad, 1e-6), "{formula} vs {quad}");
+    }
+
+    #[test]
+    fn stulz_max_call_matches_quadrature() {
+        let (s1, q1, v1) = (95.0, 0.0, 0.3);
+        let (s2, q2, v2) = (100.0, 0.01, 0.22);
+        let (rho, r, k, t) = (-0.3, 0.04, 100.0, 0.75);
+        let formula = max_call_two_assets(s1, q1, v1, s2, q2, v2, rho, r, k, t);
+        let quad = quad_price_two_assets(
+            s1,
+            q1,
+            v1,
+            s2,
+            q2,
+            v2,
+            rho,
+            r,
+            t,
+            |a, b| (a.max(b) - k).max(0.0),
+            |st1| vec![k, st1],
+        );
+        assert!(approx_eq(formula, quad, 1e-6), "{formula} vs {quad}");
+    }
+
+    #[test]
+    fn rainbow_put_parity_against_quadrature() {
+        let (s1, q1, v1) = (100.0, 0.0, 0.2);
+        let (s2, q2, v2) = (100.0, 0.0, 0.2);
+        let (rho, r, k, t) = (0.5, 0.05, 100.0, 1.0);
+        let f_minput = min_put_two_assets(s1, q1, v1, s2, q2, v2, rho, r, k, t);
+        let q_minput = quad_price_two_assets(
+            s1,
+            q1,
+            v1,
+            s2,
+            q2,
+            v2,
+            rho,
+            r,
+            t,
+            |a, b| (k - a.min(b)).max(0.0),
+            |st1| vec![k, st1],
+        );
+        assert!(
+            approx_eq(f_minput, q_minput, 1e-6),
+            "{f_minput} vs {q_minput}"
+        );
+        let f_maxput = max_put_two_assets(s1, q1, v1, s2, q2, v2, rho, r, k, t);
+        let q_maxput = quad_price_two_assets(
+            s1,
+            q1,
+            v1,
+            s2,
+            q2,
+            v2,
+            rho,
+            r,
+            t,
+            |a, b| (k - a.max(b)).max(0.0),
+            |st1| vec![k, st1],
+        );
+        assert!(
+            approx_eq(f_maxput, q_maxput, 1e-6),
+            "{f_maxput} vs {q_maxput}"
+        );
+    }
+
+    #[test]
+    fn min_max_identity_holds() {
+        // C_min + C_max = C₁ + C₂ exactly.
+        let (s1, q1, v1, s2, q2, v2, rho, r, k, t) =
+            (90.0, 0.01, 0.35, 110.0, 0.03, 0.15, 0.6, 0.02, 100.0, 1.5);
+        let cmin = min_call_two_assets(s1, q1, v1, s2, q2, v2, rho, r, k, t);
+        let cmax = max_call_two_assets(s1, q1, v1, s2, q2, v2, rho, r, k, t);
+        let c1 = black_scholes_call(s1, k, r, q1, v1, t);
+        let c2 = black_scholes_call(s2, k, r, q2, v2, t);
+        assert!(approx_eq(cmin + cmax, c1 + c2, TOL));
+        // Bounds: min call below both vanillas, max call above both.
+        assert!(cmin <= c1.min(c2) + TOL);
+        assert!(cmax >= c1.max(c2) - TOL);
+    }
+
+    #[test]
+    fn digital_reference_value() {
+        // cash·e^{−rT}·Φ(d2) at S=K=100, r=5%, σ=20%, T=1, cash=10:
+        // d2 = (0.05 − 0.02)/0.2 = 0.15.
+        let v = cash_or_nothing_call(100.0, 100.0, 0.05, 0.0, 0.2, 1.0, 10.0);
+        let expect = 10.0 * (-0.05f64).exp() * norm_cdf(0.15);
+        assert!(approx_eq(v, expect, TOL));
+    }
+
+    #[test]
+    fn price_product_dispatch() {
+        let m1 = GbmMarket::single(100.0, 0.2, 0.0, 0.05).unwrap();
+        let c = Product::european(
+            Payoff::BasketCall {
+                weights: vec![1.0],
+                strike: 100.0,
+            },
+            1.0,
+        );
+        assert!(approx_eq(
+            price_product(&m1, &c).unwrap(),
+            10.450_583_572_185_565,
+            1e-9
+        ));
+        let m2 = GbmMarket::symmetric(2, 100.0, 0.2, 0.0, 0.05, 0.5).unwrap();
+        assert!(price_product(&m2, &Product::european(Payoff::Exchange, 1.0)).is_some());
+        assert!(price_product(
+            &m2,
+            &Product::european(Payoff::MinCall { strike: 100.0 }, 1.0)
+        )
+        .is_some());
+        // No closed form: arithmetic basket in 2-D.
+        assert!(price_product(
+            &m2,
+            &Product::european(
+                Payoff::BasketCall {
+                    weights: vec![0.5, 0.5],
+                    strike: 100.0
+                },
+                1.0
+            )
+        )
+        .is_none());
+        // American never has one here.
+        assert!(price_product(
+            &m2,
+            &Product::american(Payoff::MinCall { strike: 100.0 }, 1.0)
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn geometric_closed_form_matches_quadrature_two_assets() {
+        let m = GbmMarket::symmetric(2, 100.0, 0.25, 0.01, 0.04, 0.3).unwrap();
+        let formula = geometric_basket_call(&m, &[0.5, 0.5], 100.0, 1.0);
+        let quad = quad_price_two_assets(
+            100.0,
+            0.01,
+            0.25,
+            100.0,
+            0.01,
+            0.25,
+            0.3,
+            0.04,
+            1.0,
+            |a, b| ((a * b).sqrt() - 100.0f64).max(0.0),
+            |st1| vec![100.0 * 100.0 / st1],
+        );
+        assert!(approx_eq(formula, quad, 1e-6), "{formula} vs {quad}");
+    }
+}
+
+#[cfg(test)]
+mod lookback_tests {
+    use super::*;
+    use mdp_math::rng::{NormalPolar, NormalSampler, Rng64, Xoshiro256StarStar};
+    use mdp_math::stats::OnlineStats;
+
+    /// Exact continuous-lookback Monte Carlo: sample the terminal
+    /// log-return, then the *continuous* path extreme from the Brownian
+    /// bridge law — P(min ≤ m | W_T = w) gives
+    /// `m = (w − √(w² − 2σ²T·lnU))/2` — so there is no monitoring bias
+    /// at all. This independently validates the GSG closed forms.
+    #[allow(clippy::too_many_arguments)]
+    fn exact_lookback_mc(
+        s0: f64,
+        r: f64,
+        q: f64,
+        sigma: f64,
+        t: f64,
+        call: bool,
+        n: usize,
+        seed: u64,
+    ) -> (f64, f64) {
+        let mut rng = Xoshiro256StarStar::seed_from(seed);
+        let mut ns = NormalPolar::new();
+        let drift = (r - q - 0.5 * sigma * sigma) * t;
+        let vol = sigma * t.sqrt();
+        let var2 = 2.0 * sigma * sigma * t;
+        let disc = (-r * t).exp();
+        let mut stats = OnlineStats::new();
+        for _ in 0..n {
+            let w = drift + vol * ns.sample(&mut rng);
+            let u = rng.next_open_f64();
+            let payoff = if call {
+                let m = 0.5 * (w - (w * w - var2 * u.ln()).sqrt());
+                s0 * (w.exp() - m.exp())
+            } else {
+                let mx = 0.5 * (w + (w * w - var2 * u.ln()).sqrt());
+                s0 * (mx.exp() - w.exp())
+            };
+            stats.push(disc * payoff);
+        }
+        (stats.mean(), stats.std_error())
+    }
+
+    #[test]
+    fn lookback_call_matches_exact_bridge_mc() {
+        let (mc, se) = exact_lookback_mc(100.0, 0.05, 0.0, 0.3, 1.0, true, 400_000, 11);
+        let formula = lookback_call_floating(100.0, 0.05, 0.0, 0.3, 1.0);
+        assert!(
+            (formula - mc).abs() < 3.5 * se,
+            "formula {formula} vs exact mc {mc} (se {se})"
+        );
+    }
+
+    #[test]
+    fn lookback_put_matches_exact_bridge_mc() {
+        let (mc, se) = exact_lookback_mc(100.0, 0.05, 0.02, 0.25, 1.0, false, 400_000, 12);
+        let formula = lookback_put_floating(100.0, 0.05, 0.02, 0.25, 1.0);
+        assert!(
+            (formula - mc).abs() < 3.5 * se,
+            "formula {formula} vs exact mc {mc} (se {se})"
+        );
+    }
+
+    #[test]
+    fn lookback_zero_carry_limit_is_smooth() {
+        // r = q crosses the removable singularity; the clamped formula
+        // must be continuous across it.
+        let below = lookback_call_floating(100.0, 0.05, 0.05 + 1e-7, 0.2, 1.0);
+        let at = lookback_call_floating(100.0, 0.05, 0.05, 0.2, 1.0);
+        let above = lookback_call_floating(100.0, 0.05, 0.05 - 1e-7, 0.2, 1.0);
+        assert!((below - at).abs() < 1e-4, "{below} vs {at}");
+        assert!((above - at).abs() < 1e-4, "{above} vs {at}");
+        // And validated against the exact MC in the same regime.
+        let (mc, se) = exact_lookback_mc(100.0, 0.05, 0.05, 0.2, 1.0, true, 300_000, 13);
+        assert!((at - mc).abs() < 3.5 * se, "{at} vs {mc}");
+    }
+
+    #[test]
+    fn lookback_worth_more_than_atm_vanilla() {
+        // The lookback call dominates the ATM call (its strike is the
+        // minimum, never above S₀).
+        let lb = lookback_call_floating(100.0, 0.05, 0.0, 0.2, 1.0);
+        let vanilla = black_scholes_call(100.0, 100.0, 0.05, 0.0, 0.2, 1.0);
+        assert!(lb > vanilla, "{lb} vs {vanilla}");
+        // …but is bounded by S (crude cap).
+        assert!(lb < 100.0);
+    }
+
+    #[test]
+    fn kirk_exact_at_zero_strike_and_close_to_mc() {
+        let margrabe = margrabe_exchange(100.0, 0.0, 0.3, 95.0, 0.01, 0.25, 0.4, 1.0);
+        let kirk0 = kirk_spread_call(100.0, 0.0, 0.3, 95.0, 0.01, 0.25, 0.4, 0.05, 0.0, 1.0);
+        assert!((kirk0 - margrabe).abs() < 1e-12);
+
+        // MC reference for K = 5.
+        let mut rng = Xoshiro256StarStar::seed_from(21);
+        let mut ns = NormalPolar::new();
+        let (s1, q1, v1, s2, q2, v2, rho, r, k, t) = (
+            100.0f64, 0.0f64, 0.3f64, 95.0f64, 0.01f64, 0.25f64, 0.4f64, 0.05f64, 5.0f64, 1.0f64,
+        );
+        let mut stats = OnlineStats::new();
+        let disc = (-r * t).exp();
+        for _ in 0..400_000 {
+            let z1 = ns.sample(&mut rng);
+            let z2 = rho * z1 + (1.0 - rho * rho).sqrt() * ns.sample(&mut rng);
+            let st1 = s1 * ((r - q1 - 0.5 * v1 * v1) * t + v1 * t.sqrt() * z1).exp();
+            let st2 = s2 * ((r - q2 - 0.5 * v2 * v2) * t + v2 * t.sqrt() * z2).exp();
+            stats.push(disc * (st1 - st2 - k).max(0.0));
+        }
+        let kirk = kirk_spread_call(s1, q1, v1, s2, q2, v2, rho, r, k, t);
+        assert!(
+            (kirk - stats.mean()).abs() < 4.0 * stats.std_error() + 0.03,
+            "kirk {kirk} vs mc {} (se {})",
+            stats.mean(),
+            stats.std_error()
+        );
+    }
+
+    #[test]
+    fn mc_engine_prices_lookbacks_consistently() {
+        // The discretely monitored engine underestimates the extreme, so
+        // it must approach the continuous closed form from below.
+        use crate::{Payoff, Product};
+        let p = Product::european(Payoff::LookbackCallFloating, 1.0);
+        let exact = lookback_call_floating(100.0, 0.05, 0.0, 0.3, 1.0);
+        // (uses the payoff interface directly: extremes over 64 dates)
+        let mut rng = Xoshiro256StarStar::seed_from(31);
+        let mut ns = NormalPolar::new();
+        let steps = 64;
+        let dt: f64 = 1.0 / steps as f64;
+        let mut stats = OnlineStats::new();
+        for _ in 0..100_000 {
+            let mut lg: f64 = 100.0f64.ln();
+            let mut mn: f64 = 100.0;
+            let mut last = 100.0;
+            for _ in 0..steps {
+                lg += (0.05 - 0.045) * dt + 0.3 * dt.sqrt() * ns.sample(&mut rng);
+                last = lg.exp();
+                mn = mn.min(last);
+            }
+            stats.push((-0.05f64).exp() * p.payoff.eval_extremes(last, f64::NAN, mn));
+        }
+        assert!(
+            stats.mean() < exact,
+            "discrete {} must undershoot continuous {exact}",
+            stats.mean()
+        );
+        assert!(
+            (stats.mean() - exact).abs() / exact < 0.10,
+            "within 10% at 64 dates: {} vs {exact}",
+            stats.mean()
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Model-layer errors.
+
+use std::fmt;
+
+/// Validation and capability errors for markets and products.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A numeric parameter was out of domain.
+    InvalidParameter {
+        /// Which parameter.
+        what: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// The correlation matrix failed validation.
+    BadCorrelation(String),
+    /// Mismatch between a product's dimension and the market's.
+    DimensionMismatch { product: usize, market: usize },
+    /// The chosen engine cannot price this product
+    /// (e.g. a lattice asked for a path-dependent Asian payoff).
+    Unsupported { engine: &'static str, why: String },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidParameter { what, value } => {
+                write!(f, "invalid parameter {what}: {value}")
+            }
+            ModelError::BadCorrelation(msg) => write!(f, "bad correlation matrix: {msg}"),
+            ModelError::DimensionMismatch { product, market } => write!(
+                f,
+                "product dimension {product} does not match market dimension {market}"
+            ),
+            ModelError::Unsupported { engine, why } => {
+                write!(f, "{engine} cannot price this product: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_context() {
+        let e = ModelError::InvalidParameter {
+            what: "volatility",
+            value: -0.2,
+        };
+        assert!(e.to_string().contains("volatility"));
+        let e = ModelError::DimensionMismatch {
+            product: 3,
+            market: 2,
+        };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('2'));
+    }
+}

@@ -1,0 +1,199 @@
+//! Sensitivities (Greeks) and their Black–Scholes closed forms.
+//!
+//! The closed forms anchor the numerical estimators: the facade's
+//! bump-and-reprice engine and the Monte Carlo pathwise deltas are both
+//! validated against these in the test suites.
+
+use mdp_math::special::{norm_cdf, norm_pdf};
+
+/// A full set of first/second-order sensitivities for a d-asset product.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Greeks {
+    /// Present value.
+    pub price: f64,
+    /// ∂V/∂Sᵢ per asset.
+    pub delta: Vec<f64>,
+    /// ∂²V/∂Sᵢ² per asset (diagonal gamma).
+    pub gamma: Vec<f64>,
+    /// ∂V/∂σᵢ per asset.
+    pub vega: Vec<f64>,
+    /// −∂V/∂T (per year; the usual sign convention: value decay).
+    pub theta: f64,
+    /// ∂V/∂r.
+    pub rho: f64,
+}
+
+impl Greeks {
+    /// Zero-initialised Greeks for `d` assets.
+    pub fn zeros(d: usize) -> Self {
+        Greeks {
+            price: 0.0,
+            delta: vec![0.0; d],
+            gamma: vec![0.0; d],
+            vega: vec![0.0; d],
+            theta: 0.0,
+            rho: 0.0,
+        }
+    }
+}
+
+/// Black–Scholes Greeks of a European call (dividend yield `q`).
+pub fn black_scholes_call_greeks(s: f64, k: f64, r: f64, q: f64, sigma: f64, t: f64) -> Greeks {
+    let sq = sigma * t.sqrt();
+    let d1 = ((s / k).ln() + (r - q + 0.5 * sigma * sigma) * t) / sq;
+    let d2 = d1 - sq;
+    let dfq = (-q * t).exp();
+    let dfr = (-r * t).exp();
+    let price = s * dfq * norm_cdf(d1) - k * dfr * norm_cdf(d2);
+    let delta = dfq * norm_cdf(d1);
+    let gamma = dfq * norm_pdf(d1) / (s * sq);
+    let vega = s * dfq * norm_pdf(d1) * t.sqrt();
+    // Standard Θ = ∂V/∂(calendar time) = −∂V/∂T: negative for long options.
+    let theta = -(s * dfq * norm_pdf(d1) * sigma) / (2.0 * t.sqrt()) + q * s * dfq * norm_cdf(d1)
+        - r * k * dfr * norm_cdf(d2);
+    let rho = k * t * dfr * norm_cdf(d2);
+    Greeks {
+        price,
+        delta: vec![delta],
+        gamma: vec![gamma],
+        vega: vec![vega],
+        theta,
+        rho,
+    }
+}
+
+/// Black–Scholes Greeks of a European put, from parity
+/// `P = C − S·e^{−qT} + K·e^{−rT}` differentiated term by term.
+pub fn black_scholes_put_greeks(s: f64, k: f64, r: f64, q: f64, sigma: f64, t: f64) -> Greeks {
+    let call = black_scholes_call_greeks(s, k, r, q, sigma, t);
+    let dfq = (-q * t).exp();
+    let dfr = (-r * t).exp();
+    Greeks {
+        price: call.price - s * dfq + k * dfr,
+        delta: vec![call.delta[0] - dfq],
+        gamma: call.gamma.clone(),
+        vega: call.vega.clone(),
+        // θ is −∂V/∂T; ∂(−S·e^{−qT} + K·e^{−rT})/∂T = qS·e^{−qT} − rK·e^{−rT}.
+        theta: call.theta - (q * s * dfq - r * k * dfr),
+        rho: call.rho - k * t * dfr,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdp_math::approx_eq;
+
+    const S: f64 = 100.0;
+    const K: f64 = 100.0;
+    const R: f64 = 0.05;
+    const Q: f64 = 0.0;
+    const V: f64 = 0.2;
+    const T: f64 = 1.0;
+
+    #[test]
+    fn call_greeks_reference_values() {
+        // Textbook ATM values: Δ≈0.6368, Γ≈0.01876, vega≈37.52/100σ,
+        // ρ≈53.23 per unit rate.
+        let g = black_scholes_call_greeks(S, K, R, Q, V, T);
+        assert!(approx_eq(g.price, 10.450_583_572_185_565, 1e-9));
+        assert!(
+            approx_eq(g.delta[0], 0.636_830_651_175_619, 1e-9),
+            "{}",
+            g.delta[0]
+        );
+        assert!(
+            approx_eq(g.gamma[0], 0.018_762_017_345_847, 1e-6),
+            "{}",
+            g.gamma[0]
+        );
+        assert!(
+            approx_eq(g.vega[0], 37.524_034_691_694, 1e-6),
+            "{}",
+            g.vega[0]
+        );
+        assert!(approx_eq(g.rho, 53.232_481_545_376, 1e-6), "{}", g.rho);
+    }
+
+    #[test]
+    fn greeks_match_finite_differences_of_price() {
+        use crate::analytic::black_scholes_call;
+        let g = black_scholes_call_greeks(S, K, R, Q, V, T);
+        let h = 1e-4;
+        let fd_delta = (black_scholes_call(S + h, K, R, Q, V, T)
+            - black_scholes_call(S - h, K, R, Q, V, T))
+            / (2.0 * h);
+        assert!(approx_eq(g.delta[0], fd_delta, 1e-6));
+        let fd_gamma = (black_scholes_call(S + h, K, R, Q, V, T)
+            - 2.0 * black_scholes_call(S, K, R, Q, V, T)
+            + black_scholes_call(S - h, K, R, Q, V, T))
+            / (h * h);
+        assert!(approx_eq(g.gamma[0], fd_gamma, 1e-4));
+        let fd_vega = (black_scholes_call(S, K, R, Q, V + h, T)
+            - black_scholes_call(S, K, R, Q, V - h, T))
+            / (2.0 * h);
+        assert!(approx_eq(g.vega[0], fd_vega, 1e-5));
+        let fd_rho = (black_scholes_call(S, K, R + h, Q, V, T)
+            - black_scholes_call(S, K, R - h, Q, V, T))
+            / (2.0 * h);
+        assert!(approx_eq(g.rho, fd_rho, 1e-5));
+        let fd_theta = -(black_scholes_call(S, K, R, Q, V, T + h)
+            - black_scholes_call(S, K, R, Q, V, T - h))
+            / (2.0 * h);
+        assert!(
+            approx_eq(g.theta, fd_theta, 1e-4),
+            "{} vs {fd_theta}",
+            g.theta
+        );
+    }
+
+    #[test]
+    fn put_call_greek_parity() {
+        let c = black_scholes_call_greeks(S, K, R, 0.02, V, T);
+        let p = black_scholes_put_greeks(S, K, R, 0.02, V, T);
+        let dfq = (-0.02f64 * T).exp();
+        assert!(approx_eq(p.delta[0], c.delta[0] - dfq, 1e-12));
+        assert!(approx_eq(p.gamma[0], c.gamma[0], 1e-12));
+        assert!(approx_eq(p.vega[0], c.vega[0], 1e-12));
+    }
+
+    #[test]
+    fn put_greeks_match_finite_differences() {
+        use crate::analytic::black_scholes_put;
+        let g = black_scholes_put_greeks(S, 110.0, R, 0.01, V, T);
+        let h = 1e-4;
+        let fd_delta = (black_scholes_put(S + h, 110.0, R, 0.01, V, T)
+            - black_scholes_put(S - h, 110.0, R, 0.01, V, T))
+            / (2.0 * h);
+        assert!(approx_eq(g.delta[0], fd_delta, 1e-6));
+        let fd_rho = (black_scholes_put(S, 110.0, R + h, 0.01, V, T)
+            - black_scholes_put(S, 110.0, R - h, 0.01, V, T))
+            / (2.0 * h);
+        assert!(approx_eq(g.rho, fd_rho, 1e-5), "{} vs {fd_rho}", g.rho);
+        let fd_theta = -(black_scholes_put(S, 110.0, R, 0.01, V, T + h)
+            - black_scholes_put(S, 110.0, R, 0.01, V, T - h))
+            / (2.0 * h);
+        assert!(
+            approx_eq(g.theta, fd_theta, 1e-4),
+            "{} vs {fd_theta}",
+            g.theta
+        );
+    }
+
+    #[test]
+    fn delta_bounds() {
+        for k in [50.0, 100.0, 200.0] {
+            let g = black_scholes_call_greeks(S, k, R, Q, V, T);
+            assert!(g.delta[0] > 0.0 && g.delta[0] <= 1.0);
+            assert!(g.gamma[0] >= 0.0);
+            assert!(g.vega[0] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn zeros_constructor() {
+        let g = Greeks::zeros(3);
+        assert_eq!(g.delta.len(), 3);
+        assert_eq!(g.price, 0.0);
+    }
+}

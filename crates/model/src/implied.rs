@@ -1,0 +1,165 @@
+//! Implied volatility inversion.
+//!
+//! Safeguarded Newton: vega-driven steps inside a maintained bisection
+//! bracket, which converges quadratically near the solution yet cannot
+//! escape `[lo, hi]` for deep in/out-of-the-money quotes where vega is
+//! tiny.
+
+use crate::analytic::{black_scholes_call, black_scholes_put};
+use crate::ModelError;
+use mdp_math::special::norm_pdf;
+
+/// Option side for the inversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptionSide {
+    /// Call option.
+    Call,
+    /// Put option.
+    Put,
+}
+
+fn price(side: OptionSide, s: f64, k: f64, r: f64, q: f64, sigma: f64, t: f64) -> f64 {
+    match side {
+        OptionSide::Call => black_scholes_call(s, k, r, q, sigma, t),
+        OptionSide::Put => black_scholes_put(s, k, r, q, sigma, t),
+    }
+}
+
+fn vega(s: f64, k: f64, r: f64, q: f64, sigma: f64, t: f64) -> f64 {
+    let sq = sigma * t.sqrt();
+    let d1 = ((s / k).ln() + (r - q + 0.5 * sigma * sigma) * t) / sq;
+    s * (-q * t).exp() * norm_pdf(d1) * t.sqrt()
+}
+
+/// Invert Black–Scholes for the volatility that reproduces `target`.
+///
+/// Returns [`ModelError::InvalidParameter`] when the quote violates the
+/// no-arbitrage bounds (below intrinsic-forward value or above the
+/// asset/strike cap) so no volatility can explain it.
+///
+/// ```
+/// use mdp_model::implied::{implied_vol, OptionSide};
+/// let quote = mdp_model::analytic::black_scholes_call(100.0, 110.0, 0.05, 0.0, 0.3, 1.0);
+/// let iv = implied_vol(OptionSide::Call, quote, 100.0, 110.0, 0.05, 0.0, 1.0).unwrap();
+/// assert!((iv - 0.3).abs() < 1e-8);
+/// ```
+pub fn implied_vol(
+    side: OptionSide,
+    target: f64,
+    s: f64,
+    k: f64,
+    r: f64,
+    q: f64,
+    t: f64,
+) -> Result<f64, ModelError> {
+    if !(s > 0.0 && k > 0.0 && t > 0.0 && target.is_finite()) {
+        return Err(ModelError::InvalidParameter {
+            what: "implied vol inputs",
+            value: target,
+        });
+    }
+    // No-arbitrage bounds: σ→0 and σ→∞ limits.
+    let lo_price = price(side, s, k, r, q, 1e-9, t);
+    let hi_price = price(side, s, k, r, q, 10.0, t);
+    if target < lo_price - 1e-12 || target > hi_price + 1e-12 {
+        return Err(ModelError::InvalidParameter {
+            what: "option quote outside no-arbitrage bounds",
+            value: target,
+        });
+    }
+    let mut lo = 1e-9;
+    let mut hi = 10.0;
+    // Corrado–Miller-flavoured initial guess, clamped into the bracket.
+    let mut sigma = ((2.0 * std::f64::consts::PI / t).sqrt() * target / s).clamp(0.05, 2.0);
+    for _ in 0..100 {
+        let p = price(side, s, k, r, q, sigma, t);
+        let diff = p - target;
+        if diff.abs() < 1e-12 * (1.0 + target) {
+            return Ok(sigma);
+        }
+        if diff > 0.0 {
+            hi = sigma;
+        } else {
+            lo = sigma;
+        }
+        let v = vega(s, k, r, q, sigma, t);
+        let newton = sigma - diff / v.max(1e-12);
+        sigma = if newton > lo && newton < hi {
+            newton
+        } else {
+            0.5 * (lo + hi)
+        };
+    }
+    // Bracket is tight even if the tolerance was never formally hit.
+    Ok(0.5 * (lo + hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdp_math::approx_eq;
+
+    #[test]
+    fn round_trips_across_moneyness_and_vol() {
+        for &side in &[OptionSide::Call, OptionSide::Put] {
+            for &k in &[60.0, 90.0, 100.0, 115.0, 180.0] {
+                for &sigma in &[0.05, 0.2, 0.6, 1.5] {
+                    for &t in &[0.1, 1.0, 3.0] {
+                        let p = price(side, 100.0, k, 0.03, 0.01, sigma, t);
+                        // Skip quotes that are numerically pure intrinsic
+                        // (vega ≈ 0 ⇒ vol unidentifiable).
+                        let lo = price(side, 100.0, k, 0.03, 0.01, 1e-9, t);
+                        if p - lo < 1e-10 {
+                            continue;
+                        }
+                        let iv = implied_vol(side, p, 100.0, k, 0.03, 0.01, t).unwrap();
+                        // Identifiability: near-zero vega (deep ITM/OTM,
+                        // low vol) pins the vol only to ~1e-4; ATM quotes
+                        // round-trip to 1e-6.
+                        let tol = if (k - 100.0f64).abs() < 20.0 {
+                            1e-6
+                        } else {
+                            5e-4
+                        };
+                        assert!(
+                            approx_eq(iv, sigma, tol),
+                            "{side:?} k={k} σ={sigma} t={t}: got {iv}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_arbitrage_violations() {
+        // Below intrinsic.
+        assert!(implied_vol(OptionSide::Call, 0.0, 100.0, 50.0, 0.05, 0.0, 1.0).is_err());
+        // Above the spot cap.
+        assert!(implied_vol(OptionSide::Call, 150.0, 100.0, 100.0, 0.05, 0.0, 1.0).is_err());
+        // Bad inputs.
+        assert!(implied_vol(OptionSide::Call, 5.0, -1.0, 100.0, 0.05, 0.0, 1.0).is_err());
+        assert!(implied_vol(OptionSide::Put, f64::NAN, 100.0, 100.0, 0.05, 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn monotone_in_quote() {
+        // ATM call with r=5% has a zero-vol floor of S − K·e^{−r} ≈ 4.88,
+        // so quotes must sit above it.
+        let mut prev = 0.0;
+        for &p in &[5.0, 8.0, 12.0, 20.0] {
+            let iv = implied_vol(OptionSide::Call, p, 100.0, 100.0, 0.05, 0.0, 1.0).unwrap();
+            assert!(iv > prev, "quote {p}: {iv}");
+            prev = iv;
+        }
+    }
+
+    #[test]
+    fn recovers_from_bad_newton_region() {
+        // Deep OTM short expiry: vega ≈ 0, Newton alone would explode.
+        let sigma = 0.3;
+        let p = price(OptionSide::Call, 100.0, 170.0, 0.02, 0.0, sigma, 0.1);
+        let iv = implied_vol(OptionSide::Call, p, 100.0, 170.0, 0.02, 0.0, 0.1).unwrap();
+        assert!(approx_eq(iv, sigma, 1e-4), "{iv}");
+    }
+}

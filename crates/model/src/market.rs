@@ -1,0 +1,330 @@
+//! The d-asset Black–Scholes market.
+
+use crate::ModelError;
+use mdp_math::linalg::{Cholesky, Matrix};
+
+/// A market of `d` assets following correlated geometric Brownian motions
+/// under the risk-neutral measure:
+///
+/// ```text
+/// dSᵢ/Sᵢ = (r − qᵢ) dt + σᵢ dWᵢ,   d⟨Wᵢ, Wⱼ⟩ = ρᵢⱼ dt
+/// ```
+///
+/// Construction validates every parameter and factors the correlation
+/// matrix once; the factor is shared by all sampling engines.
+#[derive(Debug, Clone)]
+pub struct GbmMarket {
+    spots: Vec<f64>,
+    vols: Vec<f64>,
+    dividends: Vec<f64>,
+    rate: f64,
+    correlation: Matrix,
+    chol: Cholesky,
+}
+
+impl GbmMarket {
+    /// Build and validate a market.
+    ///
+    /// Requirements: equal-length positive `spots` and `vols`,
+    /// `dividends` of the same length (values ≥ 0), finite `rate`, and a
+    /// symmetric positive-definite `correlation` with unit diagonal.
+    pub fn new(
+        spots: Vec<f64>,
+        vols: Vec<f64>,
+        dividends: Vec<f64>,
+        rate: f64,
+        correlation: Matrix,
+    ) -> Result<Self, ModelError> {
+        let d = spots.len();
+        if d == 0 {
+            return Err(ModelError::InvalidParameter {
+                what: "dimension",
+                value: 0.0,
+            });
+        }
+        if vols.len() != d || dividends.len() != d {
+            return Err(ModelError::DimensionMismatch {
+                product: vols.len().max(dividends.len()),
+                market: d,
+            });
+        }
+        for &s in &spots {
+            if !(s > 0.0 && s.is_finite()) {
+                return Err(ModelError::InvalidParameter {
+                    what: "spot",
+                    value: s,
+                });
+            }
+        }
+        for &v in &vols {
+            if !(v > 0.0 && v.is_finite()) {
+                return Err(ModelError::InvalidParameter {
+                    what: "volatility",
+                    value: v,
+                });
+            }
+        }
+        for &q in &dividends {
+            if !(q >= 0.0 && q.is_finite()) {
+                return Err(ModelError::InvalidParameter {
+                    what: "dividend",
+                    value: q,
+                });
+            }
+        }
+        if !rate.is_finite() {
+            return Err(ModelError::InvalidParameter {
+                what: "rate",
+                value: rate,
+            });
+        }
+        if correlation.rows() != d || correlation.cols() != d {
+            return Err(ModelError::BadCorrelation(format!(
+                "expected {d}x{d}, got {}x{}",
+                correlation.rows(),
+                correlation.cols()
+            )));
+        }
+        if !correlation.is_symmetric(1e-12) {
+            return Err(ModelError::BadCorrelation("not symmetric".into()));
+        }
+        for i in 0..d {
+            if (correlation[(i, i)] - 1.0).abs() > 1e-12 {
+                return Err(ModelError::BadCorrelation(format!(
+                    "diagonal entry {i} is {}",
+                    correlation[(i, i)]
+                )));
+            }
+            for j in 0..d {
+                if correlation[(i, j)].abs() > 1.0 + 1e-12 {
+                    return Err(ModelError::BadCorrelation(format!(
+                        "entry ({i},{j}) = {} outside [-1,1]",
+                        correlation[(i, j)]
+                    )));
+                }
+            }
+        }
+        let chol = Cholesky::factor(&correlation)
+            .map_err(|e| ModelError::BadCorrelation(e.to_string()))?;
+        Ok(GbmMarket {
+            spots,
+            vols,
+            dividends,
+            rate,
+            correlation,
+            chol,
+        })
+    }
+
+    /// Single-asset convenience constructor.
+    pub fn single(spot: f64, vol: f64, dividend: f64, rate: f64) -> Result<Self, ModelError> {
+        Self::new(
+            vec![spot],
+            vec![vol],
+            vec![dividend],
+            rate,
+            Matrix::identity(1),
+        )
+    }
+
+    /// A symmetric d-asset market: identical spot/vol/dividend, constant
+    /// pairwise correlation `rho`. The workhorse configuration of every
+    /// multi-asset experiment in the evaluation.
+    pub fn symmetric(
+        d: usize,
+        spot: f64,
+        vol: f64,
+        dividend: f64,
+        rate: f64,
+        rho: f64,
+    ) -> Result<Self, ModelError> {
+        let mut corr = Matrix::identity(d);
+        for i in 0..d {
+            for j in 0..d {
+                if i != j {
+                    corr[(i, j)] = rho;
+                }
+            }
+        }
+        Self::new(vec![spot; d], vec![vol; d], vec![dividend; d], rate, corr)
+    }
+
+    /// Number of assets d.
+    pub fn dim(&self) -> usize {
+        self.spots.len()
+    }
+
+    /// Initial asset prices.
+    pub fn spots(&self) -> &[f64] {
+        &self.spots
+    }
+
+    /// Per-asset volatilities.
+    pub fn vols(&self) -> &[f64] {
+        &self.vols
+    }
+
+    /// Per-asset continuous dividend yields.
+    pub fn dividends(&self) -> &[f64] {
+        &self.dividends
+    }
+
+    /// Flat risk-free rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The validated correlation matrix.
+    pub fn correlation(&self) -> &Matrix {
+        &self.correlation
+    }
+
+    /// Cholesky factor of the correlation matrix.
+    pub fn cholesky(&self) -> &Cholesky {
+        &self.chol
+    }
+
+    /// Risk-neutral drift of `ln Sᵢ`: `r − qᵢ − σᵢ²/2`.
+    pub fn log_drift(&self, i: usize) -> f64 {
+        self.rate - self.dividends[i] - 0.5 * self.vols[i] * self.vols[i]
+    }
+
+    /// Discount factor `e^{−r·t}`.
+    pub fn discount(&self, t: f64) -> f64 {
+        (-self.rate * t).exp()
+    }
+
+    /// Copy with asset `i`'s spot replaced (re-validated). Used by the
+    /// bump-and-reprice Greeks engine.
+    pub fn with_spot(&self, i: usize, spot: f64) -> Result<Self, ModelError> {
+        let mut spots = self.spots.clone();
+        assert!(i < spots.len());
+        spots[i] = spot;
+        Self::new(
+            spots,
+            self.vols.clone(),
+            self.dividends.clone(),
+            self.rate,
+            self.correlation.clone(),
+        )
+    }
+
+    /// Copy with asset `i`'s volatility replaced (re-validated).
+    pub fn with_vol(&self, i: usize, vol: f64) -> Result<Self, ModelError> {
+        let mut vols = self.vols.clone();
+        assert!(i < vols.len());
+        vols[i] = vol;
+        Self::new(
+            self.spots.clone(),
+            vols,
+            self.dividends.clone(),
+            self.rate,
+            self.correlation.clone(),
+        )
+    }
+
+    /// Copy with the risk-free rate replaced (re-validated).
+    pub fn with_rate(&self, rate: f64) -> Result<Self, ModelError> {
+        Self::new(
+            self.spots.clone(),
+            self.vols.clone(),
+            self.dividends.clone(),
+            rate,
+            self.correlation.clone(),
+        )
+    }
+
+    /// Covariance of log-returns over unit time: `Σᵢⱼ = σᵢσⱼρᵢⱼ`.
+    pub fn log_covariance(&self) -> Matrix {
+        let d = self.dim();
+        let mut cov = Matrix::zeros(d, d);
+        for i in 0..d {
+            for j in 0..d {
+                cov[(i, j)] = self.vols[i] * self.vols[j] * self.correlation[(i, j)];
+            }
+        }
+        cov
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_market_accepted() {
+        let m = GbmMarket::symmetric(3, 100.0, 0.2, 0.01, 0.05, 0.5).unwrap();
+        assert_eq!(m.dim(), 3);
+        assert_eq!(m.spots(), &[100.0; 3]);
+        assert!((m.log_drift(0) - (0.05 - 0.01 - 0.02)).abs() < 1e-15);
+        assert!((m.discount(1.0) - (-0.05f64).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn single_asset_market() {
+        let m = GbmMarket::single(100.0, 0.2, 0.0, 0.05).unwrap();
+        assert_eq!(m.dim(), 1);
+        assert_eq!(m.correlation()[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn rejects_nonpositive_spot_or_vol() {
+        assert!(GbmMarket::single(0.0, 0.2, 0.0, 0.05).is_err());
+        assert!(GbmMarket::single(100.0, -0.1, 0.0, 0.05).is_err());
+        assert!(GbmMarket::single(100.0, f64::NAN, 0.0, 0.05).is_err());
+    }
+
+    #[test]
+    fn rejects_negative_dividend_and_bad_rate() {
+        assert!(GbmMarket::single(100.0, 0.2, -0.01, 0.05).is_err());
+        assert!(GbmMarket::single(100.0, 0.2, 0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn rejects_asymmetric_correlation() {
+        let mut corr = Matrix::identity(2);
+        corr[(0, 1)] = 0.5;
+        let e = GbmMarket::new(vec![1.0; 2], vec![0.2; 2], vec![0.0; 2], 0.0, corr).unwrap_err();
+        assert!(matches!(e, ModelError::BadCorrelation(_)));
+    }
+
+    #[test]
+    fn rejects_non_unit_diagonal() {
+        let mut corr = Matrix::identity(2);
+        corr[(1, 1)] = 0.9;
+        assert!(GbmMarket::new(vec![1.0; 2], vec![0.2; 2], vec![0.0; 2], 0.0, corr).is_err());
+    }
+
+    #[test]
+    fn rejects_indefinite_correlation() {
+        // ρ = −0.9 pairwise on 3 assets is not PSD (needs ρ ≥ −1/2).
+        let e = GbmMarket::symmetric(3, 100.0, 0.2, 0.0, 0.05, -0.9).unwrap_err();
+        assert!(matches!(e, ModelError::BadCorrelation(_)));
+    }
+
+    #[test]
+    fn rejects_zero_dimension() {
+        assert!(GbmMarket::new(vec![], vec![], vec![], 0.0, Matrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn log_covariance_entries() {
+        let m = GbmMarket::symmetric(2, 100.0, 0.3, 0.0, 0.05, 0.4).unwrap();
+        let cov = m.log_covariance();
+        assert!((cov[(0, 0)] - 0.09).abs() < 1e-15);
+        assert!((cov[(0, 1)] - 0.3 * 0.3 * 0.4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let e = GbmMarket::new(
+            vec![1.0, 2.0],
+            vec![0.2],
+            vec![0.0, 0.0],
+            0.05,
+            Matrix::identity(2),
+        )
+        .unwrap_err();
+        assert!(matches!(e, ModelError::DimensionMismatch { .. }));
+    }
+}

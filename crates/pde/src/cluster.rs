@@ -1,0 +1,317 @@
+//! Distributed-memory explicit finite differences over `mdp_cluster`.
+//!
+//! The explicit θ=0 scheme is the classic distributed PDE kernel: the
+//! grid is split into contiguous blocks, each step updates every point
+//! from its two neighbours, so ranks exchange **one boundary value with
+//! each side per step** — the tightest halo pattern there is. Unlike
+//! the lattice (whose domain shrinks every step), the PDE grid is
+//! static, so the communication volume is constant per step and the
+//! scaling shape is the cleanest Amdahl curve in the evaluation.
+//!
+//! The update order inside a block matches the sequential engine
+//! exactly, so prices are bit-identical for every rank count.
+
+use crate::grid::LogGrid;
+use crate::PdeError;
+use mdp_cluster::{collectives, partition, Communicator, Machine, TimeModel};
+use mdp_model::{ExerciseStyle, GbmMarket, Product};
+
+/// Tag for boundary exchanges (FIFO per pair keeps steps aligned).
+const T_EDGE: u32 = 23;
+
+/// Configuration of the distributed explicit engine.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterFd1d {
+    /// Spatial points.
+    pub space_points: usize,
+    /// Time steps (must satisfy the explicit stability bound).
+    pub time_steps: usize,
+    /// Domain half-width in standard deviations.
+    pub width: f64,
+}
+
+impl Default for ClusterFd1d {
+    fn default() -> Self {
+        ClusterFd1d {
+            space_points: 201,
+            time_steps: 8000,
+            width: 5.0,
+        }
+    }
+}
+
+/// Outcome of a distributed PDE run.
+#[derive(Debug, Clone)]
+pub struct ClusterFdOutcome {
+    /// Present value at the spot.
+    pub price: f64,
+    /// Virtual-time model of the run.
+    pub time: TimeModel,
+}
+
+impl ClusterFd1d {
+    /// Price a European single-asset product on `p` ranks.
+    pub fn price(
+        &self,
+        market: &GbmMarket,
+        product: &Product,
+        p: usize,
+        machine: Machine,
+    ) -> Result<ClusterFdOutcome, PdeError> {
+        product.validate_for(market)?;
+        if market.dim() != 1 {
+            return Err(PdeError::Model(mdp_model::ModelError::DimensionMismatch {
+                product: 1,
+                market: market.dim(),
+            }));
+        }
+        if product.exercise != ExerciseStyle::European {
+            return Err(PdeError::Model(mdp_model::ModelError::Unsupported {
+                engine: "distributed explicit FD",
+                why: "European exercise only".into(),
+            }));
+        }
+        if product.payoff.is_path_dependent() {
+            return Err(PdeError::Model(mdp_model::ModelError::Unsupported {
+                engine: "distributed explicit FD",
+                why: "path-dependent payoff".into(),
+            }));
+        }
+        let m = self.space_points;
+        let n = self.time_steps;
+        if m < 3 || n < 1 {
+            return Err(PdeError::GridTooSmall { space: m, time: n });
+        }
+        let sigma = market.vols()[0];
+        let t = product.maturity;
+        let grid = LogGrid::new(market.spots()[0], sigma, t, self.width, m);
+        let dt = t / n as f64;
+        let ratio = sigma * sigma * dt / (grid.dx * grid.dx);
+        if ratio > 0.5 + 1e-12 {
+            return Err(PdeError::Unstable { ratio });
+        }
+        let r = market.rate();
+        let mu = market.log_drift(0);
+        let diff = 0.5 * sigma * sigma / (grid.dx * grid.dx);
+        let conv = 0.5 * mu / grid.dx;
+        let a = diff - conv;
+        let b = -2.0 * diff - r;
+        let c = diff + conv;
+
+        let spots = grid.spots();
+        let intrinsic: Vec<f64> = spots.iter().map(|&s| product.payoff.eval(&[s])).collect();
+        let center = grid.center;
+
+        let results = mdp_cluster::run_spmd(p, machine, |comm| {
+            let rank = comm.rank();
+            let size = comm.size();
+            let (lo, hi) = partition::block_range(m, size, rank);
+            let len = hi - lo;
+            // Local values with one ghost cell on each side.
+            let mut v = vec![0.0; len + 2];
+            v[1..len + 1].copy_from_slice(&intrinsic[lo..hi]);
+            comm.compute_units(len as f64 * 2.0);
+
+            let mut new_v = vec![0.0; len + 2];
+            for step in 1..=n {
+                let tau = step as f64 * dt;
+                let df = (-r * tau).exp();
+                // --- halo exchange with the *owners* of the ghost
+                // indices (skips over empty blocks when p > m) ---
+                if len > 0 {
+                    let left_owner = if lo > 0 {
+                        Some(partition::block_owner(m, size, lo - 1))
+                    } else {
+                        None
+                    };
+                    let right_owner = if hi < m {
+                        Some(partition::block_owner(m, size, hi))
+                    } else {
+                        None
+                    };
+                    if let Some(l) = left_owner {
+                        comm.send(l, T_EDGE, &[v[1]]);
+                    }
+                    if let Some(r) = right_owner {
+                        comm.send(r, T_EDGE, &[v[len]]);
+                    }
+                    if let Some(l) = left_owner {
+                        v[0] = comm.recv(l, T_EDGE)[0];
+                    }
+                    if let Some(r) = right_owner {
+                        v[len + 1] = comm.recv(r, T_EDGE)[0];
+                    }
+                }
+                // --- update owned points ---
+                for k in 0..len {
+                    let gidx = lo + k;
+                    if gidx == 0 {
+                        new_v[k + 1] = df * intrinsic[0];
+                    } else if gidx == m - 1 {
+                        new_v[k + 1] = df * intrinsic[m - 1];
+                    } else {
+                        let vm = v[k];
+                        let v0 = v[k + 1];
+                        let vp = v[k + 2];
+                        new_v[k + 1] = v0 + dt * (a * vm + b * v0 + c * vp);
+                    }
+                }
+                std::mem::swap(&mut v, &mut new_v);
+                comm.compute_units(len as f64 * 8.0);
+            }
+
+            // Owner of the centre point broadcasts the price.
+            let owner = partition::block_owner(m, size, center);
+            let mut price = [0.0];
+            if rank == owner {
+                price[0] = v[center - lo + 1];
+            }
+            collectives::broadcast(comm, owner, &mut price);
+            price[0]
+        })
+        .map_err(|e| {
+            PdeError::Model(mdp_model::ModelError::Unsupported {
+                engine: "distributed explicit FD",
+                why: e.to_string(),
+            })
+        })?;
+
+        Ok(ClusterFdOutcome {
+            price: results[0].value,
+            time: TimeModel::from_results(&results),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fd1d::{Fd1d, Scheme};
+    use mdp_model::Payoff;
+
+    fn market() -> GbmMarket {
+        GbmMarket::single(100.0, 0.2, 0.0, 0.05).unwrap()
+    }
+
+    fn call() -> Product {
+        Product::european(
+            Payoff::BasketCall {
+                weights: vec![1.0],
+                strike: 100.0,
+            },
+            1.0,
+        )
+    }
+
+    #[test]
+    fn matches_sequential_explicit_bitwise() {
+        let m = market();
+        let p = call();
+        let seq = Fd1d {
+            space_points: 101,
+            time_steps: 2000,
+            scheme: Scheme::Explicit,
+            ..Default::default()
+        }
+        .price(&m, &p)
+        .unwrap()
+        .price;
+        for ranks in [1usize, 2, 3, 5, 8] {
+            let par = ClusterFd1d {
+                space_points: 101,
+                time_steps: 2000,
+                ..Default::default()
+            }
+            .price(&m, &p, ranks, Machine::ideal())
+            .unwrap()
+            .price;
+            assert_eq!(par.to_bits(), seq.to_bits(), "ranks={ranks}");
+        }
+    }
+
+    #[test]
+    fn explicit_sweep_is_latency_bound_on_the_cluster() {
+        // An instructive *negative* result the era's papers report: the
+        // 1-D explicit sweep exchanges per step but computes almost
+        // nothing per rank, so on a 50 µs-latency machine parallelism
+        // *hurts* — and the CFL bound (Δt ∝ Δx²) forbids buying scaling
+        // with a bigger grid. A low-latency SMP restores some speedup.
+        let m = market();
+        let p = call();
+        // Stability: σ²Δt/Δx² = 0.04·(1/4000)/(2/400)² = 0.4 ≤ ½.
+        let cfg = ClusterFd1d {
+            space_points: 401,
+            time_steps: 4000,
+            ..Default::default()
+        };
+        let t1 = cfg
+            .price(&m, &p, 1, Machine::cluster2002())
+            .unwrap()
+            .time
+            .makespan;
+        let t8 = cfg
+            .price(&m, &p, 8, Machine::cluster2002())
+            .unwrap()
+            .time
+            .makespan;
+        let s8_cluster = t1 / t8;
+        assert!(
+            s8_cluster < 1.0,
+            "the high-latency cluster should *lose* on this kernel: {s8_cluster}"
+        );
+        let t1_smp = cfg.price(&m, &p, 1, Machine::smp()).unwrap().time.makespan;
+        let t8_smp = cfg.price(&m, &p, 8, Machine::smp()).unwrap().time.makespan;
+        let s8_smp = t1_smp / t8_smp;
+        assert!(
+            s8_smp > s8_cluster,
+            "lower latency must help: smp {s8_smp} vs cluster {s8_cluster}"
+        );
+        assert!(s8_smp <= 8.0 + 1e-9);
+    }
+
+    #[test]
+    fn stability_guard_enforced() {
+        let m = market();
+        let p = call();
+        let cfg = ClusterFd1d {
+            space_points: 2001,
+            time_steps: 100,
+            ..Default::default()
+        };
+        assert!(matches!(
+            cfg.price(&m, &p, 2, Machine::ideal()),
+            Err(PdeError::Unstable { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_american_and_multiasset() {
+        let m = market();
+        let am = Product::american(
+            Payoff::BasketPut {
+                weights: vec![1.0],
+                strike: 100.0,
+            },
+            1.0,
+        );
+        let cfg = ClusterFd1d::default();
+        assert!(cfg.price(&m, &am, 2, Machine::ideal()).is_err());
+        let m2 = GbmMarket::symmetric(2, 100.0, 0.2, 0.0, 0.05, 0.3).unwrap();
+        let rainbow = Product::european(Payoff::MaxCall { strike: 100.0 }, 1.0);
+        assert!(cfg.price(&m2, &rainbow, 2, Machine::ideal()).is_err());
+    }
+
+    #[test]
+    fn more_ranks_than_points_is_fine() {
+        let m = market();
+        let p = call();
+        let cfg = ClusterFd1d {
+            space_points: 5,
+            time_steps: 50,
+            ..Default::default()
+        };
+        let seq = cfg.price(&m, &p, 1, Machine::ideal()).unwrap().price;
+        let par = cfg.price(&m, &p, 9, Machine::ideal()).unwrap().price;
+        assert_eq!(seq.to_bits(), par.to_bits());
+    }
+}

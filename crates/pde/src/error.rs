@@ -1,0 +1,61 @@
+//! PDE-engine errors.
+
+use mdp_model::ModelError;
+use std::fmt;
+
+/// Failures of the finite-difference engines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PdeError {
+    /// Grid must have at least 3 spatial points and 1 time step.
+    GridTooSmall { space: usize, time: usize },
+    /// The explicit scheme's CFL-type stability bound was violated.
+    Unstable {
+        /// The offending ratio `σ²Δt/Δx²`.
+        ratio: f64,
+    },
+    /// PSOR failed to converge.
+    NoConvergence { iterations: usize },
+    /// Model-layer validation failed.
+    Model(ModelError),
+}
+
+impl fmt::Display for PdeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PdeError::GridTooSmall { space, time } => {
+                write!(f, "grid too small: {space} space points, {time} time steps")
+            }
+            PdeError::Unstable { ratio } => write!(
+                f,
+                "explicit scheme unstable: σ²Δt/Δx² = {ratio:.3} > 0.5; refine time or coarsen space"
+            ),
+            PdeError::NoConvergence { iterations } => {
+                write!(f, "PSOR did not converge in {iterations} iterations")
+            }
+            PdeError::Model(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PdeError {}
+
+impl From<ModelError> for PdeError {
+    fn from(e: ModelError) -> Self {
+        PdeError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(PdeError::Unstable { ratio: 0.9 }
+            .to_string()
+            .contains("0.9"));
+        assert!(PdeError::GridTooSmall { space: 2, time: 0 }
+            .to_string()
+            .contains("2"));
+    }
+}

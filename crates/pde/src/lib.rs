@@ -1,0 +1,29 @@
+//! # mdp-pde — finite-difference PDE pricers
+//!
+//! The third engine family of the evaluation. Finite differences give
+//! smooth convergence and cheap Greeks in low dimension but scale as
+//! `M^d` grid points — the other side of the curse-of-dimensionality
+//! comparison (experiment T5) against lattices and Monte Carlo.
+//!
+//! * [`grid`] — log-space spatial grids.
+//! * [`fd1d`] — one-dimensional θ-schemes: explicit Euler,
+//!   Crank–Nicolson via the Thomas solver, American exercise via
+//!   projection or PSOR.
+//! * [`adi`] — the two-dimensional Douglas ADI splitting with an
+//!   explicit mixed-derivative term; line solves are independent and run
+//!   in parallel (rayon), which is also where a 2002-era distributed
+//!   code would split them.
+
+pub mod adi;
+pub mod barrier;
+pub mod cluster;
+pub mod error;
+pub mod fd1d;
+pub mod grid;
+
+pub use adi::{Adi2d, Adi2dResult};
+pub use barrier::{BarrierResult, Fd1dBarrier};
+pub use cluster::{ClusterFd1d, ClusterFdOutcome};
+pub use error::PdeError;
+pub use fd1d::{AmericanMethod, Fd1d, Fd1dResult, Scheme};
+pub use grid::LogGrid;

@@ -1,0 +1,29 @@
+//! # mdp-perf — performance-evaluation toolkit
+//!
+//! The measurement half of "Performance Evaluation of Parallel
+//! Algorithms": everything the benches use to turn raw execution times
+//! into the tables and figures of the paper.
+//!
+//! * [`metrics`] — speedup, efficiency, and the Karp–Flatt
+//!   experimentally determined serial fraction.
+//! * [`laws`] — Amdahl's and Gustafson's laws, plus least-squares fits
+//!   of the serial fraction to measured speedup curves.
+//! * [`scaling`] — [`scaling::ScalingCurve`]: a `(p, time)` series with
+//!   derived metrics, the core data structure of every speedup figure.
+//! * [`isoefficiency`] — numerical isoefficiency analysis: the work
+//!   needed to hold efficiency constant as processors grow.
+//! * [`timing`] — wall-clock stopwatch helpers for the host-time
+//!   measurements (the virtual-time numbers come from `mdp-cluster`).
+//! * [`report`] — plain-text/markdown/CSV table rendering for the
+//!   `repro` binary's outputs.
+
+pub mod isoefficiency;
+pub mod laws;
+pub mod metrics;
+pub mod report;
+pub mod scaling;
+pub mod timing;
+
+pub use metrics::{efficiency, karp_flatt, speedup};
+pub use report::Table;
+pub use scaling::ScalingCurve;

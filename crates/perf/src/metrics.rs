@@ -1,0 +1,72 @@
+//! Elementary parallel-performance metrics.
+
+/// Speedup `S(p) = T(1)/T(p)`.
+///
+/// # Panics
+/// Panics on non-positive times.
+pub fn speedup(t1: f64, tp: f64) -> f64 {
+    assert!(t1 > 0.0 && tp > 0.0, "times must be positive");
+    t1 / tp
+}
+
+/// Efficiency `E(p) = S(p)/p`.
+pub fn efficiency(t1: f64, tp: f64, p: usize) -> f64 {
+    assert!(p > 0);
+    speedup(t1, tp) / p as f64
+}
+
+/// Karp–Flatt experimentally determined serial fraction:
+/// `e = (1/S − 1/p) / (1 − 1/p)` for `p > 1`.
+///
+/// A flat `e` across p indicates a genuinely serial component; a growing
+/// `e` exposes overheads rising with p (communication, imbalance).
+pub fn karp_flatt(t1: f64, tp: f64, p: usize) -> f64 {
+    assert!(p > 1, "Karp–Flatt needs p > 1");
+    let s = speedup(t1, tp);
+    let pf = p as f64;
+    (1.0 / s - 1.0 / pf) / (1.0 - 1.0 / pf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_scaling() {
+        assert_eq!(speedup(8.0, 1.0), 8.0);
+        assert_eq!(efficiency(8.0, 1.0, 8), 1.0);
+        assert!(karp_flatt(8.0, 1.0, 8).abs() < 1e-15);
+    }
+
+    #[test]
+    fn no_scaling() {
+        assert_eq!(speedup(4.0, 4.0), 1.0);
+        assert_eq!(efficiency(4.0, 4.0, 4), 0.25);
+        assert!((karp_flatt(4.0, 4.0, 4) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn karp_flatt_recovers_amdahl_fraction() {
+        // Construct T(p) from Amdahl with serial fraction 0.2 and verify
+        // Karp–Flatt returns exactly 0.2 at every p.
+        let f = 0.2;
+        let t1 = 10.0;
+        for p in [2usize, 4, 8, 16] {
+            let tp = t1 * (f + (1.0 - f) / p as f64);
+            let e = karp_flatt(t1, tp, p);
+            assert!((e - f).abs() < 1e-12, "p={p}: {e}");
+        }
+    }
+
+    #[test]
+    fn superlinear_gives_negative_serial_fraction() {
+        let e = karp_flatt(10.0, 1.0, 8); // speedup 10 > 8
+        assert!(e < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_time() {
+        let _ = speedup(0.0, 1.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Result tables: the textual form of every reproduced table/figure.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A simple column-aligned table with markdown and CSV renderers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title (experiment id + description).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of pre-formatted cells (ragged rows are padded on render).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row of cells.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Convenience: append a row of displayable values.
+    pub fn push<D: std::fmt::Display>(&mut self, cells: &[D]) {
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Number of columns (headers).
+    pub fn width(&self) -> usize {
+        self.headers.len()
+    }
+
+    fn cell<'a>(&self, row: &'a [String], i: usize) -> &'a str {
+        row.get(i).map(String::as_str).unwrap_or("")
+    }
+
+    /// Render as a GitHub-flavoured markdown table with a title line.
+    pub fn to_markdown(&self) -> String {
+        let w = self.width();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, width) in widths.iter_mut().enumerate() {
+                *width = (*width).max(self.cell(row, i).len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}\n", self.title);
+        let line = |cells: Vec<String>| {
+            let mut s = String::from("|");
+            for (c, &wd) in cells.iter().zip(&widths) {
+                let _ = write!(s, " {c:wd$} |");
+            }
+            s
+        };
+        let _ = writeln!(out, "{}", line(self.headers.clone()));
+        let _ = writeln!(
+            out,
+            "{}",
+            line(widths.iter().map(|&wd| "-".repeat(wd)).collect())
+        );
+        for row in &self.rows {
+            let cells: Vec<String> = (0..w).map(|i| self.cell(row, i).to_string()).collect();
+            let _ = writeln!(out, "{}", line(cells));
+        }
+        out
+    }
+
+    /// Render as CSV (headers first; commas and quotes escaped).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for row in &self.rows {
+            let cells: Vec<String> = (0..self.width()).map(|i| esc(self.cell(row, i))).collect();
+            let _ = writeln!(out, "{}", cells.join(","));
+        }
+        out
+    }
+}
+
+/// Format a float with engineering-friendly precision for tables.
+pub fn fmt_sig(x: f64, digits: usize) -> String {
+    if x == 0.0 {
+        return "0".to_string();
+    }
+    let mag = x.abs().log10().floor() as i32;
+    if (-3..6).contains(&mag) {
+        let decimals = (digits as i32 - 1 - mag).max(0) as usize;
+        format!("{x:.decimals$}")
+    } else {
+        format!("{x:.prec$e}", prec = digits - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("T0: demo", &["p", "time", "speedup"]);
+        t.push(&["1", "10.0", "1.00"]);
+        t.push(&["4", "3.0", "3.33"]);
+        t
+    }
+
+    #[test]
+    fn markdown_has_title_headers_rows() {
+        let md = sample().to_markdown();
+        assert!(md.contains("## T0: demo"));
+        assert!(md.contains("| p | time | speedup |"));
+        assert!(md.contains("3.33"));
+        // Separator row present.
+        assert!(md.contains("| - |"));
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["1,5".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"1,5\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn ragged_rows_padded() {
+        let mut t = Table::new("x", &["a", "b", "c"]);
+        t.push_row(vec!["only".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("only"));
+        let csv = t.to_csv();
+        assert!(csv.lines().nth(1).unwrap().matches(',').count() == 2);
+    }
+
+    #[test]
+    fn fmt_sig_ranges() {
+        assert_eq!(fmt_sig(0.0, 3), "0");
+        // {:.0} rounds half to even: 1234.5 → "1234".
+        assert_eq!(fmt_sig(1234.5, 3), "1234");
+        assert_eq!(fmt_sig(0.012345, 3), "0.0123");
+        assert!(fmt_sig(1.0e9, 3).contains('e'));
+        assert!(fmt_sig(1.0e-7, 3).contains('e'));
+    }
+
+    #[test]
+    fn fmt_sig_negative() {
+        assert_eq!(fmt_sig(-2.5, 2), "-2.5");
+    }
+}

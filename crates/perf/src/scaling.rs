@@ -1,0 +1,169 @@
+//! Scaling curves: the `(p, time)` series behind every speedup figure.
+
+use crate::laws;
+use crate::metrics;
+use serde::{Deserialize, Serialize};
+
+/// A strong- or weak-scaling measurement series.
+///
+/// ```
+/// use mdp_perf::ScalingCurve;
+/// let c = ScalingCurve::new("demo", vec![1, 2, 4], vec![8.0, 4.4, 2.6]);
+/// let s = c.speedups();
+/// assert_eq!(s[0], 1.0);
+/// assert!(s[2] > 3.0 && s[2] < 4.0);
+/// assert!(c.amdahl_fraction().unwrap() < 0.11); // fitted serial fraction ≈ 0.1
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalingCurve {
+    /// Label (workload description).
+    pub label: String,
+    /// Processor counts, ascending; must start at 1 for speedup curves.
+    pub procs: Vec<usize>,
+    /// Execution time at each processor count.
+    pub times: Vec<f64>,
+}
+
+impl ScalingCurve {
+    /// New curve.
+    ///
+    /// # Panics
+    /// Panics on mismatched lengths, empty data, or non-positive times.
+    pub fn new(label: impl Into<String>, procs: Vec<usize>, times: Vec<f64>) -> Self {
+        assert_eq!(procs.len(), times.len(), "length mismatch");
+        assert!(!procs.is_empty(), "empty curve");
+        assert!(times.iter().all(|&t| t > 0.0), "times must be positive");
+        ScalingCurve {
+            label: label.into(),
+            procs,
+            times,
+        }
+    }
+
+    /// T(1): the time at `p = 1` (first entry must be p = 1).
+    ///
+    /// # Panics
+    /// Panics when the curve does not include p = 1.
+    pub fn t1(&self) -> f64 {
+        assert_eq!(self.procs[0], 1, "curve must start at p = 1");
+        self.times[0]
+    }
+
+    /// Speedups `S(p)` per entry.
+    pub fn speedups(&self) -> Vec<f64> {
+        let t1 = self.t1();
+        self.times
+            .iter()
+            .map(|&t| metrics::speedup(t1, t))
+            .collect()
+    }
+
+    /// Efficiencies `E(p)` per entry.
+    pub fn efficiencies(&self) -> Vec<f64> {
+        let t1 = self.t1();
+        self.procs
+            .iter()
+            .zip(&self.times)
+            .map(|(&p, &t)| metrics::efficiency(t1, t, p))
+            .collect()
+    }
+
+    /// Karp–Flatt serial fractions for entries with p > 1.
+    pub fn karp_flatt(&self) -> Vec<(usize, f64)> {
+        let t1 = self.t1();
+        self.procs
+            .iter()
+            .zip(&self.times)
+            .filter(|(&p, _)| p > 1)
+            .map(|(&p, &t)| (p, metrics::karp_flatt(t1, t, p)))
+            .collect()
+    }
+
+    /// Least-squares Amdahl serial fraction for this curve.
+    pub fn amdahl_fraction(&self) -> Option<f64> {
+        let pts: Vec<(usize, f64)> = self
+            .procs
+            .iter()
+            .zip(self.speedups())
+            .map(|(&p, s)| (p, s))
+            .collect();
+        laws::fit_amdahl(&pts)
+    }
+
+    /// Predicted speedups from the fitted Amdahl model (diagnostic for
+    /// "does a fixed serial fraction explain this curve?").
+    pub fn amdahl_prediction(&self) -> Option<Vec<f64>> {
+        let f = self.amdahl_fraction()?;
+        Some(
+            self.procs
+                .iter()
+                .map(|&p| laws::amdahl_speedup(f, p))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn amdahl_curve(f: f64) -> ScalingCurve {
+        let procs = vec![1usize, 2, 4, 8, 16];
+        let times = procs
+            .iter()
+            .map(|&p| 10.0 * (f + (1.0 - f) / p as f64))
+            .collect();
+        ScalingCurve::new("test", procs, times)
+    }
+
+    #[test]
+    fn derived_metrics_consistent() {
+        let c = amdahl_curve(0.1);
+        let s = c.speedups();
+        let e = c.efficiencies();
+        assert_eq!(s[0], 1.0);
+        assert!((s[4] - laws::amdahl_speedup(0.1, 16)).abs() < 1e-12);
+        for (i, &p) in c.procs.iter().enumerate() {
+            assert!((e[i] - s[i] / p as f64).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn fit_round_trips() {
+        let c = amdahl_curve(0.25);
+        assert!((c.amdahl_fraction().unwrap() - 0.25).abs() < 1e-12);
+        let pred = c.amdahl_prediction().unwrap();
+        for (p, s) in pred.iter().zip(c.speedups()) {
+            assert!((p - s).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn karp_flatt_flat_for_amdahl_data() {
+        let c = amdahl_curve(0.3);
+        for (_, e) in c.karp_flatt() {
+            assert!((e - 0.3).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn curve_is_serializable() {
+        // Compile-time check that the Serialize/Deserialize bounds hold
+        // (no JSON backend in the dependency set).
+        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        assert_serde::<ScalingCurve>();
+    }
+
+    #[test]
+    #[should_panic(expected = "start at p = 1")]
+    fn speedups_require_baseline() {
+        let c = ScalingCurve::new("x", vec![2, 4], vec![1.0, 0.6]);
+        let _ = c.speedups();
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_times() {
+        let _ = ScalingCurve::new("x", vec![1], vec![0.0]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Wall-clock measurement helpers.
+//!
+//! Host-time measurements complement the virtual-time model: sequential
+//! engine costs (tables T1/T3) are real wall-clock numbers measured
+//! here, with median-of-k repetition to tame scheduler noise.
+
+use std::time::Instant;
+
+/// Measure one call: `(result, seconds)`.
+pub fn measure<T, F: FnOnce() -> T>(f: F) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Median wall-clock seconds of `reps` calls (the result of the last
+/// call is returned so the work cannot be optimised away).
+pub fn measure_median<T, F: FnMut() -> T>(mut f: F, reps: usize) -> (T, f64) {
+    assert!(reps >= 1);
+    let mut times = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let (out, t) = measure(&mut f);
+        times.push(t);
+        last = Some(out);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (last.unwrap(), times[times.len() / 2])
+}
+
+/// A running stopwatch with named laps.
+#[derive(Debug)]
+pub struct Stopwatch {
+    start: Instant,
+    laps: Vec<(String, f64)>,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+            laps: Vec::new(),
+        }
+    }
+
+    /// Record a lap (time since start or since the previous lap).
+    pub fn lap(&mut self, name: impl Into<String>) -> f64 {
+        let now = self.start.elapsed().as_secs_f64();
+        let prev: f64 = self.laps.iter().map(|(_, t)| t).sum();
+        let lap = now - prev;
+        self.laps.push((name.into(), lap));
+        lap
+    }
+
+    /// Total elapsed seconds.
+    pub fn elapsed(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// The recorded laps.
+    pub fn laps(&self) -> &[(String, f64)] {
+        &self.laps
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_returns_result_and_positive_time() {
+        let (v, t) = measure(|| (0..1000).sum::<u64>());
+        assert_eq!(v, 499_500);
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn median_of_reps() {
+        let mut count = 0;
+        let (_, t) = measure_median(
+            || {
+                count += 1;
+            },
+            5,
+        );
+        assert_eq!(count, 5);
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn stopwatch_laps_sum_to_elapsed() {
+        let mut sw = Stopwatch::start();
+        let a = sw.lap("first");
+        let b = sw.lap("second");
+        assert!(a >= 0.0 && b >= 0.0);
+        assert_eq!(sw.laps().len(), 2);
+        let sum: f64 = sw.laps().iter().map(|(_, t)| t).sum();
+        assert!(sum <= sw.elapsed() + 1e-6);
+    }
+}

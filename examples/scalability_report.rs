@@ -1,0 +1,118 @@
+//! Scalability report: strong scaling of the lattice and Monte Carlo
+//! engines on the modelled cluster, with Amdahl fits, Karp–Flatt serial
+//! fractions and efficiencies — the analysis pipeline behind figures
+//! F1/F2/F3.
+//!
+//! ```text
+//! cargo run --release -p mdp-core --example scalability_report
+//! ```
+
+use mdp_core::cluster::trace::{render_gantt, summarize};
+use mdp_core::cluster::{collectives, run_spmd_traced, Communicator};
+use mdp_core::prelude::*;
+use mdp_perf::laws;
+
+const PROCS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+fn curve_for<F: Fn(usize) -> f64>(label: &str, time_at: F) -> ScalingCurve {
+    let times: Vec<f64> = PROCS.iter().map(|&p| time_at(p)).collect();
+    ScalingCurve::new(label, PROCS.to_vec(), times)
+}
+
+fn print_curve(c: &ScalingCurve) {
+    let s = c.speedups();
+    let e = c.efficiencies();
+    let f = c.amdahl_fraction().unwrap_or(1.0);
+    println!("{}", c.label);
+    println!("  p      time[ms]   speedup   efficiency   Amdahl(f={f:.4})");
+    for (i, &p) in c.procs.iter().enumerate() {
+        println!(
+            "  {:>2}  {:>10.2}  {:>8.2}  {:>10.2}   {:>8.2}",
+            p,
+            c.times[i] * 1e3,
+            s[i],
+            e[i],
+            laws::amdahl_speedup(f, p)
+        );
+    }
+    for (p, kf) in c.karp_flatt() {
+        print!("  e({p})={kf:.4}");
+    }
+    println!("\n");
+}
+
+fn main() {
+    let machine = Machine::cluster2002();
+
+    // --- Lattice strong scaling: d=2, two problem sizes -------------------
+    let m2 = GbmMarket::symmetric(2, 100.0, 0.2, 0.0, 0.05, 0.5).expect("market");
+    let maxcall = Product::european(Payoff::MaxCall { strike: 100.0 }, 1.0);
+
+    for steps in [128usize, 512] {
+        let c = curve_for(&format!("BEG lattice d=2, N={steps}"), |p| {
+            Pricer::new(Method::lattice(steps))
+                .backend(Backend::Cluster { ranks: p, machine })
+                .price(&m2, &maxcall)
+                .expect("lattice")
+                .time
+                .unwrap()
+                .makespan
+        });
+        print_curve(&c);
+    }
+
+    // --- Monte Carlo strong scaling: d=5 ---------------------------------
+    let m5 = GbmMarket::symmetric(5, 100.0, 0.3, 0.0, 0.05, 0.3).expect("market");
+    let basket = Product::european(
+        Payoff::BasketCall {
+            weights: Product::equal_weights(5),
+            strike: 100.0,
+        },
+        1.0,
+    );
+    for paths in [10_000u64, 1_000_000] {
+        let cfg = McConfig {
+            paths,
+            block_size: (paths / 64).max(1),
+            ..Default::default()
+        };
+        let c = curve_for(&format!("Monte Carlo d=5, {paths} paths"), |p| {
+            Pricer::new(Method::MonteCarlo(cfg))
+                .backend(Backend::Cluster { ranks: p, machine })
+                .price(&m5, &basket)
+                .expect("mc")
+                .time
+                .unwrap()
+                .makespan
+        });
+        print_curve(&c);
+    }
+
+    println!(
+        "Reading the shapes: the lattice rolls over as per-step halo latency\n\
+         eats the shrinking per-rank work (stronger for small N); Monte Carlo\n\
+         stays near the ideal line until the final reduction matters at small\n\
+         path counts. Exactly the strong-scaling story of the paper.\n"
+    );
+
+    // --- A per-rank timeline of a bulk-synchronous round --------------
+    // 6 ranks do imbalanced compute then allreduce: the Gantt makes the
+    // straggler-wait structure visible at a glance.
+    println!("Timeline of one imbalanced compute + allreduce round (6 ranks):\n");
+    let (results, traces) = run_spmd_traced(6, machine, |comm| {
+        comm.compute(0.5e-3 * (comm.rank() + 1) as f64);
+        collectives::allreduce_sum(comm, &[comm.rank() as f64])[0]
+    })
+    .expect("traced run");
+    print!("{}", render_gantt(&traces, 64));
+    for (r, t) in results.iter().zip(&traces) {
+        let s = summarize(r.rank, t);
+        println!(
+            "  r{}: utilization {:>5.1}%  (compute {:.2} ms, wait {:.2} ms)",
+            s.rank,
+            s.utilization() * 100.0,
+            s.compute * 1e3,
+            s.wait * 1e3
+        );
+    }
+}

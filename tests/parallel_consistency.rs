@@ -1,0 +1,201 @@
+//! Parallel-equals-sequential guarantees across the whole stack: the
+//! central correctness claim of a parallelisation study.
+
+use mdp_core::cluster::{Machine, TimeModel};
+use mdp_core::lattice::cluster::{price_cluster, Decomposition};
+use mdp_core::prelude::*;
+
+fn market(d: usize) -> GbmMarket {
+    GbmMarket::symmetric(d, 100.0, 0.22, 0.01, 0.05, 0.35).unwrap()
+}
+
+#[test]
+fn lattice_bitwise_identical_across_backends_and_ranks() {
+    let m = market(2);
+    let p = Product::american(Payoff::MinPut { strike: 108.0 }, 1.0);
+    let seq = Pricer::new(Method::lattice(48))
+        .price(&m, &p)
+        .unwrap()
+        .price;
+    let ray = Pricer::new(Method::lattice(48))
+        .backend(Backend::Rayon)
+        .price(&m, &p)
+        .unwrap()
+        .price;
+    assert_eq!(seq.to_bits(), ray.to_bits(), "rayon");
+    for ranks in [1usize, 2, 3, 5, 8, 13] {
+        let par = Pricer::new(Method::lattice(48))
+            .backend(Backend::Cluster {
+                ranks,
+                machine: Machine::cluster2002(),
+            })
+            .price(&m, &p)
+            .unwrap()
+            .price;
+        assert_eq!(seq.to_bits(), par.to_bits(), "ranks={ranks}");
+    }
+}
+
+#[test]
+fn lattice_decompositions_agree() {
+    let m = market(2);
+    let p = Product::european(Payoff::MaxCall { strike: 100.0 }, 1.0);
+    let block = price_cluster(&m, &p, 32, 4, Machine::ideal(), Decomposition::Block)
+        .unwrap()
+        .price;
+    for b in [1usize, 2, 5] {
+        let cyc = price_cluster(&m, &p, 32, 4, Machine::ideal(), Decomposition::Cyclic(b))
+            .unwrap()
+            .price;
+        assert_eq!(block.to_bits(), cyc.to_bits(), "cyclic({b})");
+    }
+}
+
+#[test]
+fn mc_bitwise_identical_across_backends_and_ranks() {
+    let m = market(3);
+    let p = Product::european(
+        Payoff::BasketCall {
+            weights: Product::equal_weights(3),
+            strike: 100.0,
+        },
+        1.0,
+    );
+    for vr in [VarianceReduction::None, VarianceReduction::Antithetic] {
+        let cfg = McConfig {
+            paths: 16_000,
+            block_size: 800,
+            variance_reduction: vr,
+            ..Default::default()
+        };
+        let seq = Pricer::new(Method::MonteCarlo(cfg)).price(&m, &p).unwrap();
+        let ray = Pricer::new(Method::MonteCarlo(cfg))
+            .backend(Backend::Rayon)
+            .price(&m, &p)
+            .unwrap();
+        assert_eq!(seq.price.to_bits(), ray.price.to_bits(), "{vr:?} rayon");
+        for ranks in [2usize, 6] {
+            let par = Pricer::new(Method::MonteCarlo(cfg))
+                .backend(Backend::Cluster {
+                    ranks,
+                    machine: Machine::cluster2002(),
+                })
+                .price(&m, &p)
+                .unwrap();
+            assert_eq!(
+                seq.price.to_bits(),
+                par.price.to_bits(),
+                "{vr:?} ranks={ranks}"
+            );
+            assert_eq!(
+                seq.std_error.unwrap().to_bits(),
+                par.std_error.unwrap().to_bits()
+            );
+        }
+    }
+}
+
+#[test]
+fn virtual_times_are_reproducible() {
+    let m = market(2);
+    let p = Product::european(Payoff::MaxCall { strike: 100.0 }, 1.0);
+    let run = || -> TimeModel {
+        Pricer::new(Method::lattice(40))
+            .backend(Backend::Cluster {
+                ranks: 5,
+                machine: Machine::cluster2002(),
+            })
+            .price(&m, &p)
+            .unwrap()
+            .time
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+    assert_eq!(a.total_msgs, b.total_msgs);
+    assert_eq!(a.total_bytes, b.total_bytes);
+}
+
+#[test]
+fn lattice_speedup_monotone_until_saturation() {
+    // Virtual speedup should increase from p=1 to p=8 for a decent-size
+    // d=2 problem on the modelled cluster.
+    let m = market(2);
+    let p = Product::european(Payoff::MaxCall { strike: 100.0 }, 1.0);
+    let time = |ranks: usize| {
+        Pricer::new(Method::lattice(192))
+            .backend(Backend::Cluster {
+                ranks,
+                machine: Machine::cluster2002(),
+            })
+            .price(&m, &p)
+            .unwrap()
+            .time
+            .unwrap()
+            .makespan
+    };
+    let t1 = time(1);
+    let t2 = time(2);
+    let t4 = time(4);
+    let t8 = time(8);
+    assert!(t2 < t1, "{t2} < {t1}");
+    assert!(t4 < t2, "{t4} < {t2}");
+    assert!(t8 < t4, "{t8} < {t4}");
+    let s8 = t1 / t8;
+    assert!(
+        s8 <= 8.0 + 1e-9,
+        "no super-linear speedup in the model: {s8}"
+    );
+}
+
+#[test]
+fn machine_parameters_shift_the_curves() {
+    // Ablation A4's mechanism: higher latency must hurt the lattice's
+    // modelled time; the ideal machine is a lower bound.
+    let m = market(2);
+    let p = Product::european(Payoff::MaxCall { strike: 100.0 }, 1.0);
+    let time = |machine: Machine| {
+        Pricer::new(Method::lattice(96))
+            .backend(Backend::Cluster { ranks: 8, machine })
+            .price(&m, &p)
+            .unwrap()
+            .time
+            .unwrap()
+            .makespan
+    };
+    let t_ideal = time(Machine::ideal());
+    let t_smp = time(Machine::smp());
+    let t_cluster = time(Machine::cluster2002());
+    let t_slow = time(Machine::cluster2002().with_latency_factor(10.0));
+    assert!(t_ideal <= t_smp);
+    assert!(t_smp < t_cluster);
+    assert!(t_cluster < t_slow);
+}
+
+#[test]
+fn lsmc_cluster_close_to_sequential_for_multiasset() {
+    let m = market(2);
+    let p = Product::american(Payoff::MinPut { strike: 110.0 }, 1.0);
+    let cfg = LsmcConfig {
+        paths: 6_000,
+        steps: 8,
+        block_size: 250,
+        degree: 2,
+        ..Default::default()
+    };
+    let seq = Pricer::new(Method::Lsmc(cfg)).price(&m, &p).unwrap();
+    let par = Pricer::new(Method::Lsmc(cfg))
+        .backend(Backend::Cluster {
+            ranks: 4,
+            machine: Machine::ideal(),
+        })
+        .price(&m, &p)
+        .unwrap();
+    assert!(
+        (seq.price - par.price).abs() < 1e-6,
+        "{} vs {}",
+        seq.price,
+        par.price
+    );
+}
