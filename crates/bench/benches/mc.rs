@@ -24,6 +24,37 @@ fn bench_paths_by_dim(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_kernel_scalar_vs_batched(c: &mut Criterion) {
+    use mdp_core::mc::engine::RunContext;
+    use mdp_core::mc::variance::merge_in_chunks;
+
+    let mut g = c.benchmark_group("mc_kernel");
+    g.sample_size(10);
+    let paths = 20_000u64;
+    for d in [1usize, 2, 5, 10] {
+        let m = market_vol(d, 0.3);
+        let p = basket_call(d);
+        let cfg = McConfig {
+            paths,
+            ..Default::default()
+        };
+        g.throughput(Throughput::Elements(paths));
+        g.bench_with_input(BenchmarkId::new("scalar", d), &d, |b, _| {
+            let ctx = RunContext::new(&m, &p, cfg).unwrap();
+            b.iter(|| {
+                merge_in_chunks((0..ctx.num_blocks()).map(|blk| ctx.simulate_block_scalar(blk)))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("batched", d), &d, |b, _| {
+            let ctx = RunContext::new(&m, &p, cfg).unwrap();
+            b.iter(|| {
+                merge_in_chunks((0..ctx.num_blocks()).map(|blk| ctx.simulate_block_batched(blk)))
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_variance_reduction(c: &mut Criterion) {
     let m = market_vol(5, 0.3);
     let p = basket_call(5);
@@ -95,6 +126,7 @@ fn bench_lsmc(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_paths_by_dim,
+    bench_kernel_scalar_vs_batched,
     bench_variance_reduction,
     bench_qmc,
     bench_lsmc

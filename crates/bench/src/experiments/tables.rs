@@ -126,6 +126,71 @@ pub fn t3_sequential_mc_cost(effort: Effort) {
     save("t3_sequential_mc", &t);
 }
 
+/// T3b — batched SoA kernel throughput vs the scalar oracle.
+///
+/// Times one full pass over every block of a basket-call run with the
+/// scalar per-path kernel and with the batched panel kernel, checks the
+/// accumulators are bitwise identical, and records ns/path for both.
+/// Besides the table, writes `BENCH_mc_kernel.json` into the output
+/// directory so CI can track the kernel's trajectory across PRs.
+pub fn t3b_batched_kernel_throughput(effort: Effort) {
+    use mdp_core::mc::engine::RunContext;
+    use mdp_core::mc::variance::merge_in_chunks;
+    use mdp_perf::timing::measure_best;
+
+    let mut t = Table::new(
+        "T3b: batched SoA kernel vs scalar oracle — ns/path (basket call, 1 step)",
+        &["d", "paths", "scalar ns/path", "batched ns/path", "speedup"],
+    );
+    let paths = effort.scale64(20_000, 400_000);
+    // Best-of-k: both kernels are deterministic, so the minimum over
+    // repetitions strips scheduler noise symmetrically from both sides
+    // of the ratio.
+    let reps = effort.scale(2, 7);
+    let mut json = String::from(
+        "{\n  \"experiment\": \"t3b\",\n  \"unit\": \"ns_per_path\",\n  \"results\": [\n",
+    );
+    for (i, &d) in [1usize, 2, 5, 10].iter().enumerate() {
+        let m = market_vol(d, 0.3);
+        let p = basket_call(d);
+        let cfg = McConfig {
+            paths,
+            ..Default::default()
+        };
+        let ctx = RunContext::new(&m, &p, cfg).expect("run context");
+        let run = |batched: bool| {
+            merge_in_chunks((0..ctx.num_blocks()).map(|b| {
+                if batched {
+                    ctx.simulate_block_batched(b)
+                } else {
+                    ctx.simulate_block_scalar(b)
+                }
+            }))
+        };
+        let (acc_s, secs_s) = measure_best(|| run(false), reps);
+        let (acc_b, secs_b) = measure_best(|| run(true), reps);
+        assert_eq!(acc_s, acc_b, "kernels disagree at d={d}");
+        let ns_s = secs_s * 1e9 / paths as f64;
+        let ns_b = secs_b * 1e9 / paths as f64;
+        t.push(&[
+            d.to_string(),
+            paths.to_string(),
+            fmt_sig(ns_s, 3),
+            fmt_sig(ns_b, 3),
+            format!("{:.2}", ns_s / ns_b),
+        ]);
+        json.push_str(&format!(
+            "    {{\"d\": {d}, \"paths\": {paths}, \"scalar_ns_per_path\": {ns_s:.1}, \
+             \"batched_ns_per_path\": {ns_b:.1}, \"speedup\": {:.2}}}{}\n",
+            ns_s / ns_b,
+            if i < 3 { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let _ = std::fs::write(crate::out_dir().join("BENCH_mc_kernel.json"), json);
+    save("t3b_batched_kernel", &t);
+}
+
 /// T4 — accuracy of every engine against the closed forms.
 pub fn t4_accuracy_vs_closed_forms(effort: Effort) {
     let mut t = Table::new(

@@ -1,0 +1,181 @@
+//! Branch-free `exp` and `ln` for the Monte Carlo hot path.
+//!
+//! The batched path kernel spends most of its non-RNG time in
+//! transcendentals: one `exp` per asset per exponentiated step and one
+//! `ln` per accepted polar pair. `libm`'s implementations are accurate
+//! but full of early-outs for specials, which blocks LLVM from
+//! auto-vectorizing loops that call them. The two routines here use the
+//! classic argument reductions (musl-style) with *no branches at all*,
+//! so a loop over a panel row compiles to straight SIMD code, while
+//! staying within ~2 ulp of correctly rounded over the domains the
+//! pricing kernels use.
+//!
+//! Every engine — the scalar oracle and the batched kernel alike — must
+//! call these same functions: bitwise equality across drivers holds
+//! because the *implementation* is shared, not because the routines
+//! agree with `libm` to the last bit (they do not).
+//!
+//! Domain notes (deliberate trade-offs for straight-line code):
+//!
+//! * [`exp64`] clamps its argument to ±708, so it saturates to finite
+//!   huge/tiny values instead of ±∞/0 at the extremes, and it does not
+//!   produce subnormals. Log-prices live in (−50, 50); nothing in the
+//!   repo gets near the clamp.
+//! * [`ln64`] assumes a strictly positive, finite, normal argument. The
+//!   polar method's `s ∈ (0, 1]` and spot prices both satisfy this. It
+//!   returns garbage (not a panic) for zero, negatives, infinities and
+//!   NaN — callers own the domain check, as the polar rejection loop
+//!   already does.
+
+// Reduction constants keep their published (musl/fdlibm) digits even
+// where f64 rounding would forgive fewer.
+#![allow(clippy::excessive_precision)]
+
+/// log₂(e), the reduction constant for [`exp64`].
+const LOG2_E: f64 = std::f64::consts::LOG2_E;
+/// High part of ln 2 (musl split: 42 exact high bits).
+const LN2_HI: f64 = 6.931_471_803_691_238_164_90e-01;
+/// Low part of ln 2.
+const LN2_LO: f64 = 1.908_214_929_270_587_700_02e-10;
+
+/// `eˣ` without branches: Cody–Waite reduction `x = n·ln2 + r`,
+/// `|r| ≤ ln2/2`, a degree-13 Taylor polynomial for `eʳ` (truncation
+/// error < 5e-18 on the reduced interval), and a bit-twiddled `2ⁿ`
+/// scale. Accurate to ~2 ulp; saturates (finite) outside ±708.
+#[inline]
+pub fn exp64(x: f64) -> f64 {
+    // Clamp instead of special-casing: min/max are single instructions
+    // and leave in-range arguments bit-identical.
+    let x = x.clamp(-708.0, 708.0);
+    // Round-to-nearest via the 1.5·2⁵² magic constant: adding it forces
+    // the FPU to round the fraction away at ulp = 1, leaving
+    // round(x·log₂e) in the mantissa — no `round()` libm call, no
+    // f64→int cast, so the whole function stays straight-line vector
+    // code even on baseline x86-64.
+    const MAGIC: f64 = 6_755_399_441_055_744.0; // 1.5 × 2⁵²
+    let t = x * LOG2_E + MAGIC;
+    let n = t - MAGIC;
+    let r = (x - n * LN2_HI) - n * LN2_LO;
+    // Horner over 1/k! up to k = 13.
+    let mut p = 1.605_904_383_682_161_5e-10; // 1/13!
+    p = p * r + 2.087_675_698_786_809_9e-9; // 1/12!
+    p = p * r + 2.505_210_838_544_172e-8; // 1/11!
+    p = p * r + 2.755_731_922_398_589_1e-7; // 1/10!
+    p = p * r + 2.755_731_922_398_589e-6; // 1/9!
+    p = p * r + 2.480_158_730_158_730_2e-5; // 1/8!
+    p = p * r + 1.984_126_984_126_984_1e-4; // 1/7!
+    p = p * r + 1.388_888_888_888_889e-3; // 1/6!
+    p = p * r + 8.333_333_333_333_333_3e-3; // 1/5!
+    p = p * r + 4.166_666_666_666_666_4e-2; // 1/4!
+    p = p * r + 1.666_666_666_666_666_6e-1; // 1/3!
+    p = p * r + 0.5; // 1/2!
+    p = p * r + 1.0;
+    p = p * r + 1.0;
+    // 2ⁿ via the exponent field: the magic-biased `t` carries n as an
+    // integer in its low mantissa bits, so (n + 1023) << 52 is three
+    // integer ops; `<< 52` discards the magic's high bits on its own.
+    // n ∈ [-1022, 1023] after the clamp.
+    let n_bits = t.to_bits().wrapping_sub(MAGIC.to_bits());
+    let scale = f64::from_bits(n_bits.wrapping_add(1023) << 52);
+    p * scale
+}
+
+/// Natural log without branches (musl `log` reduction): `x = 2ᵏ·m` with
+/// `m ∈ [√2/2, √2)`, then `ln m` from the `atanh`-form series in
+/// `s = f/(2+f)`, `f = m − 1`. Accurate to ~1 ulp for positive normal
+/// finite arguments; garbage outside that domain (see module docs).
+#[inline]
+pub fn ln64(x: f64) -> f64 {
+    const LG1: f64 = 6.666_666_666_666_735_13e-01;
+    const LG2: f64 = 3.999_999_999_940_941_908e-01;
+    const LG3: f64 = 2.857_142_874_366_239_149e-01;
+    const LG4: f64 = 2.222_219_843_214_978_396e-01;
+    const LG5: f64 = 1.818_357_216_161_805_012e-01;
+    const LG6: f64 = 1.531_383_769_920_937_332e-01;
+    const LG7: f64 = 1.479_819_860_511_658_591e-01;
+
+    let ui = x.to_bits();
+    let mut hx = (ui >> 32) as u32;
+    hx = hx.wrapping_add(0x3ff0_0000 - 0x3fe6_a09e);
+    let k = (hx >> 20) as i32 - 0x3ff;
+    hx = (hx & 0x000f_ffff) + 0x3fe6_a09e;
+    let m = f64::from_bits(((hx as u64) << 32) | (ui & 0xffff_ffff));
+
+    let f = m - 1.0;
+    let hfsq = 0.5 * f * f;
+    let s = f / (2.0 + f);
+    let z = s * s;
+    let w = z * z;
+    let t1 = w * (LG2 + w * (LG4 + w * LG6));
+    let t2 = z * (LG1 + w * (LG3 + w * (LG5 + w * LG7)));
+    let r = t2 + t1;
+    let dk = f64::from(k);
+    s * (hfsq + r) + dk * LN2_LO - hfsq + f + dk * LN2_HI
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ulp_diff(a: f64, b: f64) -> u64 {
+        (a.to_bits() as i64 - b.to_bits() as i64).unsigned_abs()
+    }
+
+    #[test]
+    fn exp64_matches_libm_to_a_few_ulp() {
+        // Sweep the log-price range the kernels actually use, plus wide
+        // tails, on an irrational grid so no argument is special.
+        let mut worst = 0u64;
+        let mut x = -700.0;
+        while x < 700.0 {
+            let d = ulp_diff(exp64(x), x.exp());
+            worst = worst.max(d);
+            x += 0.618_033_988_749_894;
+        }
+        assert!(worst <= 4, "worst exp64 error {worst} ulp");
+    }
+
+    #[test]
+    fn exp64_dense_near_zero() {
+        let mut worst = 0u64;
+        for i in -100_000..100_000i64 {
+            let x = i as f64 * 1e-5 * 1.234_567_89;
+            worst = worst.max(ulp_diff(exp64(x), x.exp()));
+        }
+        assert!(worst <= 2, "worst exp64 error near 0: {worst} ulp");
+    }
+
+    #[test]
+    fn exp64_saturates_finitely() {
+        assert!(exp64(1e308).is_finite());
+        assert!(exp64(-1e308) >= 0.0);
+        assert!(exp64(-1e308).is_finite());
+        assert_eq!(exp64(0.0), 1.0);
+    }
+
+    #[test]
+    fn ln64_matches_libm_to_a_few_ulp() {
+        // Polar-method domain (0,1] and the spot-price range.
+        let mut worst = 0u64;
+        for i in 1..200_000u64 {
+            let x = i as f64 * 5e-6;
+            worst = worst.max(ulp_diff(ln64(x), x.ln()));
+        }
+        let mut x = 1.0;
+        while x < 1e6 {
+            worst = worst.max(ulp_diff(ln64(x), x.ln()));
+            x *= 1.000_37;
+        }
+        assert!(worst <= 2, "worst ln64 error {worst} ulp");
+    }
+
+    #[test]
+    fn ln_exp_roundtrip_is_tight() {
+        let mut x = -30.0;
+        while x < 30.0 {
+            let y = ln64(exp64(x));
+            assert!((y - x).abs() <= 1e-13 * (1.0 + x.abs()), "{x} -> {y}");
+            x += 0.037;
+        }
+    }
+}

@@ -31,6 +31,7 @@
 
 pub mod brownian;
 pub mod error;
+pub mod fastmath;
 pub mod halton;
 pub mod linalg;
 pub mod poly;

@@ -17,7 +17,7 @@
 
 use crate::engine::{McConfig, McResult, RunContext};
 use crate::lsmc::{self, LsmcConfig, LsmcResult};
-use crate::variance::{BlockAccum, ACCUM_WIDTH};
+use crate::variance::{merge_in_chunks, BlockAccum, ACCUM_WIDTH};
 use crate::McError;
 use mdp_cluster::{collectives, partition, Communicator, Machine, TimeModel};
 use mdp_model::{GbmMarket, Product};
@@ -45,7 +45,8 @@ pub fn price_mc_cluster(
         let blocks = ctx.num_blocks() as usize;
         let (lo, hi) = partition::block_range(blocks, comm.size(), comm.rank());
         // Keep per-block accumulators separate: the root folds them in
-        // global block order, which makes the result bit-identical to the
+        // global block order with the engine's canonical chunked
+        // association, which makes the result bit-identical to the
         // sequential engine (floating-point addition is order-sensitive;
         // a tree allreduce would differ in the last couple of ULPs).
         let mut local = Vec::with_capacity((hi - lo) * ACCUM_WIDTH);
@@ -58,12 +59,15 @@ pub fn price_mc_cluster(
         let gathered = collectives::gather_varied(comm, 0, &local);
         let mut merged = [0.0; ACCUM_WIDTH];
         if let Some(parts) = gathered {
-            let mut total = BlockAccum::new();
-            for part in &parts {
-                for chunk in part.chunks_exact(ACCUM_WIDTH) {
-                    total.merge(&BlockAccum::from_slice(chunk));
-                }
-            }
+            // Rank ranges are contiguous and ascending, so flattening the
+            // gathered parts restores global block order; merging via
+            // `merge_in_chunks` reproduces the sequential association.
+            let total = merge_in_chunks(
+                parts
+                    .iter()
+                    .flat_map(|part| part.chunks_exact(ACCUM_WIDTH))
+                    .map(BlockAccum::from_slice),
+            );
             merged = total.to_vec();
         }
         collectives::broadcast(comm, 0, &mut merged);

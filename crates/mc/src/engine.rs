@@ -8,8 +8,9 @@
 //! backend therefore returns the **same price to the last bit**, which
 //! turns "the parallel code is correct" into an equality test.
 
-use crate::path::{walk_path_with_normals, GbmStepper};
-use crate::variance::BlockAccum;
+use crate::panel::{eval_panel, CvSpec, PanelScratch};
+use crate::path::{walk_path_with_normals, GbmStepper, SoaPanel, PANEL};
+use crate::variance::{merge_in_chunks, BlockAccum, MERGE_CHUNK};
 use crate::McError;
 use mdp_math::rng::{NormalPolar, NormalSampler, Substreams, Xoshiro256StarStar};
 use mdp_model::{analytic, ExerciseStyle, GbmMarket, PathDependence, Payoff, Product};
@@ -272,8 +273,22 @@ impl<'a> RunContext<'a> {
         (self.disc * y, self.disc * x)
     }
 
-    /// Simulate one substream block and return its accumulator.
+    /// Simulate one substream block with the default kernel.
+    ///
+    /// The batched SoA kernel ([`RunContext::simulate_block_batched`]) is
+    /// the default; build with `--features scalar-kernel` to switch every
+    /// driver back to the scalar oracle. Both produce bitwise-identical
+    /// accumulators, so the switch is purely about speed.
     pub fn simulate_block(&self, block: u64) -> BlockAccum {
+        if cfg!(feature = "scalar-kernel") {
+            self.simulate_block_scalar(block)
+        } else {
+            self.simulate_block_batched(block)
+        }
+    }
+
+    /// Simulate one substream block path-by-path (the scalar oracle).
+    pub fn simulate_block_scalar(&self, block: u64) -> BlockAccum {
         let d = self.stepper.dim;
         let npath = self.stepper.normals_per_path();
         let base = Xoshiro256StarStar::seed_from(self.cfg.seed);
@@ -298,6 +313,76 @@ impl<'a> RunContext<'a> {
             } else {
                 acc.push(y);
             }
+        }
+        acc
+    }
+
+    /// Simulate one substream block with the batched SoA kernel: paths in
+    /// panels of [`PANEL`] lanes, normals filled path-major (same draw
+    /// order as the scalar kernel), the correlate as a blocked triangular
+    /// panel multiply, and the payoff fused per lane.
+    ///
+    /// Bitwise-identical to [`RunContext::simulate_block_scalar`]: every
+    /// per-path f64 operation happens in the same order, and lanes push
+    /// into the accumulator in path order.
+    pub fn simulate_block_batched(&self, block: u64) -> BlockAccum {
+        let base = Xoshiro256StarStar::seed_from(self.cfg.seed);
+        let mut rng = base.substream(block);
+        let mut sampler = NormalPolar::new();
+        let mut panel = SoaPanel::new(&self.stepper, PANEL);
+        let mut scratch = PanelScratch::new(self.stepper.dim, PANEL);
+        let mut ys1 = vec![0.0; PANEL];
+        let mut acc = BlockAccum::new();
+        let antithetic = self.cfg.variance_reduction == VarianceReduction::Antithetic;
+        let cv = self.cv_mean.is_some().then_some(CvSpec {
+            weights: &self.cv_weights,
+            strike: self.cv_strike,
+            is_call: self.cv_is_call,
+        });
+        let payoff = &self.product.payoff;
+        let total = self.cfg.block_paths(block);
+        let mut done = 0u64;
+        while done < total {
+            let n = (total - done).min(PANEL as u64) as usize;
+            panel.fill_normals(&mut sampler, &mut rng, n);
+            eval_panel(
+                &self.stepper,
+                &self.log0,
+                payoff,
+                self.s0_first,
+                cv.as_ref(),
+                &mut panel,
+                &mut scratch,
+                n,
+            );
+            if antithetic {
+                ys1[..n].copy_from_slice(&scratch.ys[..n]);
+                panel.negate_normals(n);
+                eval_panel(
+                    &self.stepper,
+                    &self.log0,
+                    payoff,
+                    self.s0_first,
+                    None,
+                    &mut panel,
+                    &mut scratch,
+                    n,
+                );
+                for (y1, y2) in ys1[..n].iter().zip(&scratch.ys[..n]) {
+                    // Same association as the scalar kernel: each leg is
+                    // discounted before the pair average.
+                    acc.push(0.5 * (self.disc * y1 + self.disc * y2));
+                }
+            } else if cv.is_some() {
+                for lane in 0..n {
+                    acc.push_cv(self.disc * scratch.ys[lane], self.disc * scratch.xs[lane]);
+                }
+            } else {
+                for lane in 0..n {
+                    acc.push(self.disc * scratch.ys[lane]);
+                }
+            }
+            done += n as u64;
         }
         acc
     }
@@ -342,13 +427,24 @@ impl McEngine {
         McEngine { config }
     }
 
-    /// Sequential pricing: all blocks in order.
+    /// Sequential pricing: all blocks in order, merged in the canonical
+    /// chunked order ([`merge_in_chunks`]).
     pub fn price(&self, market: &GbmMarket, product: &Product) -> Result<McResult, McError> {
         let ctx = RunContext::new(market, product, self.config)?;
-        let mut acc = BlockAccum::new();
-        for b in 0..ctx.num_blocks() {
-            acc.merge(&ctx.simulate_block(b));
-        }
+        let acc = merge_in_chunks((0..ctx.num_blocks()).map(|b| ctx.simulate_block(b)));
+        Ok(ctx.finish(&acc))
+    }
+
+    /// Sequential pricing with the batched SoA kernel explicitly —
+    /// bitwise-identical to [`McEngine::price`] and
+    /// [`McEngine::price_rayon`].
+    pub fn price_batched(
+        &self,
+        market: &GbmMarket,
+        product: &Product,
+    ) -> Result<McResult, McError> {
+        let ctx = RunContext::new(market, product, self.config)?;
+        let acc = merge_in_chunks((0..ctx.num_blocks()).map(|b| ctx.simulate_block_batched(b)));
         Ok(ctx.finish(&acc))
     }
 
@@ -356,15 +452,29 @@ impl McEngine {
     /// result to [`McEngine::price`].
     pub fn price_rayon(&self, market: &GbmMarket, product: &Product) -> Result<McResult, McError> {
         let ctx = RunContext::new(market, product, self.config)?;
-        // Collect per-block accumulators, then reduce in block order —
-        // rayon's own reduce order is nondeterministic and would break
-        // bitwise equality with the sequential driver.
-        let accs: Vec<BlockAccum> = (0..ctx.num_blocks())
+        // Parallelise over merge chunks, not blocks: each worker folds its
+        // run of MERGE_CHUNK consecutive blocks into one accumulator, so
+        // only ⌈blocks/64⌉ accumulators are materialised (the old driver
+        // collected one per block). Rayon's own reduce order is
+        // nondeterministic; folding chunk totals in chunk order reproduces
+        // the canonical association of `merge_in_chunks` exactly, keeping
+        // the result bitwise equal to the sequential driver.
+        let blocks = ctx.num_blocks();
+        let chunks = blocks.div_ceil(MERGE_CHUNK as u64);
+        let chunk_accs: Vec<BlockAccum> = (0..chunks)
             .into_par_iter()
-            .map(|b| ctx.simulate_block(b))
+            .map(|c| {
+                let lo = c * MERGE_CHUNK as u64;
+                let hi = (lo + MERGE_CHUNK as u64).min(blocks);
+                let mut chunk = BlockAccum::new();
+                for b in lo..hi {
+                    chunk.merge(&ctx.simulate_block(b));
+                }
+                chunk
+            })
             .collect();
         let mut total = BlockAccum::new();
-        for a in &accs {
+        for a in &chunk_accs {
             total.merge(a);
         }
         Ok(ctx.finish(&total))
@@ -478,6 +588,94 @@ mod tests {
         let b = eng.price_rayon(&m, &p).unwrap();
         assert_eq!(a.price.to_bits(), b.price.to_bits());
         assert_eq!(a.std_error.to_bits(), b.std_error.to_bits());
+    }
+
+    #[test]
+    fn batched_block_bitwise_equals_scalar_across_payoff_families() {
+        // One market/payoff per path-dependence family, plus CV and
+        // antithetic variants; block sizes chosen so the last panel is a
+        // remainder (block_paths % PANEL ≠ 0).
+        let m3 = GbmMarket::symmetric(3, 100.0, 0.25, 0.01, 0.04, 0.3).unwrap();
+        let m1 = GbmMarket::single(100.0, 0.3, 0.0, 0.05).unwrap();
+        let cases: Vec<(GbmMarket, Product, VarianceReduction, usize)> = vec![
+            (
+                m3.clone(),
+                Product::european(Payoff::MaxCall { strike: 105.0 }, 1.0),
+                VarianceReduction::None,
+                1,
+            ),
+            (
+                m3.clone(),
+                Product::european(
+                    Payoff::BasketCall {
+                        weights: Product::equal_weights(3),
+                        strike: 100.0,
+                    },
+                    1.0,
+                ),
+                VarianceReduction::GeometricCv,
+                1,
+            ),
+            (
+                m3,
+                Product::european(Payoff::MaxCall { strike: 105.0 }, 1.0),
+                VarianceReduction::Antithetic,
+                4,
+            ),
+            (
+                m1.clone(),
+                Product::european(Payoff::AsianCall { strike: 100.0 }, 1.0),
+                VarianceReduction::None,
+                8,
+            ),
+            (
+                m1,
+                Product::european(Payoff::LookbackCallFloating, 1.0),
+                VarianceReduction::None,
+                8,
+            ),
+        ];
+        for (m, p, vr, steps) in cases {
+            let cfg = McConfig {
+                paths: 1000,
+                steps,
+                block_size: 300, // 300 % 64 ≠ 0 ⇒ remainder panels
+                variance_reduction: vr,
+                ..Default::default()
+            };
+            let ctx = RunContext::new(&m, &p, cfg).unwrap();
+            for b in 0..ctx.num_blocks() {
+                let scalar = ctx.simulate_block_scalar(b);
+                let batched = ctx.simulate_block_batched(b);
+                assert_eq!(
+                    scalar.sum_y.to_bits(),
+                    batched.sum_y.to_bits(),
+                    "{vr:?} {:?} block {b}",
+                    p.payoff
+                );
+                assert_eq!(scalar.sum_yy.to_bits(), batched.sum_yy.to_bits());
+                assert_eq!(scalar.sum_xy.to_bits(), batched.sum_xy.to_bits());
+                assert_eq!(scalar.n, batched.n);
+            }
+        }
+    }
+
+    #[test]
+    fn price_batched_bitwise_equals_price_and_rayon() {
+        let m = GbmMarket::symmetric(3, 100.0, 0.25, 0.01, 0.04, 0.3).unwrap();
+        let p = Product::european(Payoff::MaxCall { strike: 105.0 }, 1.0);
+        let eng = McEngine::new(McConfig {
+            paths: 20_000,
+            block_size: 300,
+            ..Default::default()
+        });
+        let a = eng.price(&m, &p).unwrap();
+        let b = eng.price_batched(&m, &p).unwrap();
+        let c = eng.price_rayon(&m, &p).unwrap();
+        assert_eq!(a.price.to_bits(), b.price.to_bits());
+        assert_eq!(a.price.to_bits(), c.price.to_bits());
+        assert_eq!(a.std_error.to_bits(), b.std_error.to_bits());
+        assert_eq!(a.std_error.to_bits(), c.std_error.to_bits());
     }
 
     #[test]

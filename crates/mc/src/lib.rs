@@ -6,7 +6,11 @@
 //! provides:
 //!
 //! * [`path`] — correlated GBM path/terminal generation (exact
-//!   log-normal stepping, no discretisation bias).
+//!   log-normal stepping, no discretisation bias), both per-path and in
+//!   batched structure-of-arrays panels of [`path::PANEL`] lanes.
+//! * [`panel`] — fused panel payoff evaluation: the batched kernel that
+//!   the engines use by default, bit-identical to the scalar oracle
+//!   (see DESIGN.md, "Batched MC kernel").
 //! * [`engine`] — the European pricer: plain, antithetic and
 //!   control-variate estimators over a **block-substream** design: paths
 //!   are partitioned into fixed blocks, block `b` drawing from RNG
@@ -29,6 +33,7 @@ pub mod cluster_driver;
 pub mod engine;
 pub mod error;
 pub mod lsmc;
+pub mod panel;
 pub mod path;
 pub mod pathwise;
 pub mod qmc;

@@ -1,0 +1,229 @@
+//! Fused panel payoff evaluation over the batched SoA kernel.
+//!
+//! [`eval_panel`] walks one panel of paths ([`crate::path::SoaPanel`])
+//! through the stepper and evaluates the payoff for every lane —
+//! terminal, average and extremes families, with an optional geometric
+//! control variate — producing the **identical per-path values, bit for
+//! bit,** as the scalar `walk_path_with_normals` + per-path evaluation:
+//!
+//! * the panel correlate performs the same per-element operations in the
+//!   same order as the scalar stepper (see
+//!   [`crate::path::GbmStepper::step_panel`]);
+//! * the average accumulates the basket sum over assets ascending from
+//!   0.0, exactly like the scalar `s.iter().sum::<f64>() / d`;
+//! * terminal payoffs are evaluated on each lane's gathered spot vector
+//!   by the very same `Payoff` methods.
+//!
+//! The batched form wins time by (a) vectorizing the correlate and the
+//! drift/diffusion update over contiguous lanes, (b) skipping the
+//! per-step `exp` of values no payoff reads (terminal payoffs use only
+//! the final spots; extremes use only asset 0), and (c) amortising the
+//! per-path dispatch into one per-panel pass.
+
+use crate::path::{walk_panel, GbmStepper, SoaPanel};
+use mdp_model::{PathDependence, Payoff};
+
+/// Geometric control-variate description for [`eval_panel`].
+#[derive(Debug, Clone, Copy)]
+pub struct CvSpec<'a> {
+    /// Weights of the control's geometric payoff.
+    pub weights: &'a [f64],
+    /// Control strike.
+    pub strike: f64,
+    /// Call (true) or put (false) control.
+    pub is_call: bool,
+}
+
+/// Per-lane state buffers reused across panels.
+#[derive(Debug, Clone)]
+pub struct PanelScratch {
+    /// Undiscounted payoff per lane.
+    pub ys: Vec<f64>,
+    /// Undiscounted control payoff per lane (zeros without a CV).
+    pub xs: Vec<f64>,
+    avg: Vec<f64>,
+    pmax: Vec<f64>,
+    pmin: Vec<f64>,
+    basket: Vec<f64>,
+    term: Vec<f64>,
+}
+
+impl PanelScratch {
+    /// Scratch for `lanes`-wide panels in dimension `dim`.
+    pub fn new(dim: usize, lanes: usize) -> Self {
+        PanelScratch {
+            ys: vec![0.0; lanes],
+            xs: vec![0.0; lanes],
+            avg: vec![0.0; lanes],
+            pmax: vec![0.0; lanes],
+            pmin: vec![0.0; lanes],
+            basket: vec![0.0; lanes],
+            term: vec![0.0; dim],
+        }
+    }
+}
+
+/// Row-wise evaluation of the common terminal payoffs, vectorized over
+/// lanes. Returns false for payoff families it does not cover (the
+/// caller falls back to the per-lane gather + `Payoff::eval`).
+///
+/// Bitwise-identical to the per-lane path: the basket accumulates
+/// `w·s` over assets ascending from 0.0 exactly like `Payoff::eval`'s
+/// `weights.iter().zip(spots).map(|(w, s)| w * s).sum()`, and the
+/// max/min families fold from ±∞ with `f64::max`/`f64::min` in the same
+/// asset order as `max_of`/`min_of`.
+fn fused_terminal(
+    payoff: &Payoff,
+    panel: &SoaPanel,
+    scratch: &mut PanelScratch,
+    d: usize,
+    n: usize,
+) -> bool {
+    let acc = &mut scratch.basket;
+    match payoff {
+        Payoff::BasketCall { weights, strike } | Payoff::BasketPut { weights, strike } => {
+            acc[..n].fill(0.0);
+            for (i, &w) in weights.iter().enumerate() {
+                let row = &panel.spot_row(i)[..n];
+                for (a, &s) in acc[..n].iter_mut().zip(row) {
+                    *a += w * s;
+                }
+            }
+            let call = matches!(payoff, Payoff::BasketCall { .. });
+            for (y, &b) in scratch.ys[..n].iter_mut().zip(acc[..n].iter()) {
+                *y = if call {
+                    (b - strike).max(0.0)
+                } else {
+                    (strike - b).max(0.0)
+                };
+            }
+            true
+        }
+        Payoff::MaxCall { strike }
+        | Payoff::MaxPut { strike }
+        | Payoff::MinCall { strike }
+        | Payoff::MinPut { strike } => {
+            let is_max = matches!(payoff, Payoff::MaxCall { .. } | Payoff::MaxPut { .. });
+            acc[..n].fill(if is_max {
+                f64::NEG_INFINITY
+            } else {
+                f64::INFINITY
+            });
+            for i in 0..d {
+                let row = &panel.spot_row(i)[..n];
+                if is_max {
+                    for (a, &s) in acc[..n].iter_mut().zip(row) {
+                        *a = a.max(s);
+                    }
+                } else {
+                    for (a, &s) in acc[..n].iter_mut().zip(row) {
+                        *a = a.min(s);
+                    }
+                }
+            }
+            let call = matches!(payoff, Payoff::MaxCall { .. } | Payoff::MinCall { .. });
+            for (y, &m) in scratch.ys[..n].iter_mut().zip(acc[..n].iter()) {
+                *y = if call {
+                    (m - strike).max(0.0)
+                } else {
+                    (strike - m).max(0.0)
+                };
+            }
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Walk the panel's first `n` lanes (normals already in place) and
+/// evaluate the payoff per lane into `scratch.ys` (and `scratch.xs` when
+/// `cv` is given). Values are **undiscounted**; callers apply the
+/// discount exactly where the scalar engine does.
+#[allow(clippy::too_many_arguments)] // hot kernel entry: flat args over a one-off bundle struct
+pub fn eval_panel(
+    stepper: &GbmStepper,
+    log0: &[f64],
+    payoff: &Payoff,
+    s0_first: f64,
+    cv: Option<&CvSpec<'_>>,
+    panel: &mut SoaPanel,
+    scratch: &mut PanelScratch,
+    n: usize,
+) {
+    let d = stepper.dim;
+    let steps = stepper.steps;
+    let dep = payoff.path_dependence();
+    // The engine only pairs the geometric CV with arithmetic basket
+    // payoffs, which are terminal-only.
+    debug_assert!(cv.is_none() || dep == PathDependence::None);
+    match dep {
+        PathDependence::None => {
+            // Terminal payoff: no intermediate exp needed at all.
+            walk_panel(stepper, log0, panel, n, |_, _| {});
+            panel.exp_all(n);
+            if cv.is_none() && fused_terminal(payoff, panel, scratch, d, n) {
+                return;
+            }
+            for lane in 0..n {
+                panel.gather_spots(lane, &mut scratch.term);
+                scratch.ys[lane] = payoff.eval(&scratch.term);
+                if let Some(cv) = cv {
+                    let g: f64 = cv
+                        .weights
+                        .iter()
+                        .zip(scratch.term.iter())
+                        .map(|(w, si)| w * si.ln())
+                        .sum::<f64>()
+                        .exp();
+                    scratch.xs[lane] = if cv.is_call {
+                        (g - cv.strike).max(0.0)
+                    } else {
+                        (cv.strike - g).max(0.0)
+                    };
+                }
+            }
+        }
+        PathDependence::Average => {
+            scratch.avg[..n].fill(0.0);
+            let (avg, basket) = (&mut scratch.avg, &mut scratch.basket);
+            walk_panel(stepper, log0, panel, n, |_, p| {
+                p.exp_all(n);
+                // basket[lane] = Σᵢ spotᵢ — assets ascending from 0.0,
+                // matching the scalar `s.iter().sum::<f64>()`.
+                basket[..n].fill(0.0);
+                for i in 0..d {
+                    let row = &p.spot_row(i)[..n];
+                    for (b, &s) in basket[..n].iter_mut().zip(row) {
+                        *b += s;
+                    }
+                }
+                for (a, &b) in avg[..n].iter_mut().zip(basket[..n].iter()) {
+                    *a += b / d as f64;
+                }
+            });
+            for lane in 0..n {
+                scratch.ys[lane] = payoff.eval_average(scratch.avg[lane] / steps as f64);
+            }
+        }
+        PathDependence::Extremes => {
+            scratch.pmax[..n].fill(s0_first);
+            scratch.pmin[..n].fill(s0_first);
+            let (pmax, pmin) = (&mut scratch.pmax, &mut scratch.pmin);
+            walk_panel(stepper, log0, panel, n, |_, p| {
+                // Extremes payoffs read only asset 0.
+                p.exp_row(0, n);
+                let row = &p.spot_row(0)[..n];
+                for (m, &s) in pmax[..n].iter_mut().zip(row) {
+                    *m = m.max(s);
+                }
+                for (m, &s) in pmin[..n].iter_mut().zip(row) {
+                    *m = m.min(s);
+                }
+            });
+            let row = panel.spot_row(0);
+            for (lane, y) in scratch.ys[..n].iter_mut().enumerate() {
+                *y = payoff.eval_extremes(row[lane], scratch.pmax[lane], scratch.pmin[lane]);
+            }
+        }
+    }
+}

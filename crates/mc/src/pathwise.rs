@@ -8,7 +8,7 @@
 //! (digitals) are rejected: their pathwise derivative misses the jump
 //! term and would be silently biased.
 
-use crate::path::{walk_path_with_normals, GbmStepper};
+use crate::path::{walk_panel, GbmStepper, SoaPanel, PANEL};
 use crate::McConfig;
 use crate::McError;
 use mdp_math::rng::{NormalPolar, NormalSampler, Substreams, Xoshiro256StarStar};
@@ -194,95 +194,128 @@ pub fn pathwise_delta(
 
     let base = Xoshiro256StarStar::seed_from(cfg.seed);
     let mut sampler = NormalPolar::new();
-    let mut normals = vec![0.0; stepper.normals_per_path()];
-    let mut log_buf = vec![0.0; d];
-    let mut spot_buf = vec![0.0; d];
     let mut grad = vec![0.0; d];
+    let mut term = vec![0.0; d];
     let mut price_stats = OnlineStats::new();
     let mut delta_stats = vec![OnlineStats::new(); d];
-    // For Asians: running per-asset sums of S_i(t)/S0_i over dates.
-    let mut asian_sum = vec![0.0; d];
-    let mut avg;
     let s0_first = spots0[0];
     let lookback = matches!(
         payoff,
         Payoff::LookbackCallFloating | Payoff::LookbackPutFloating
     );
 
+    // Paths ride the batched SoA kernel: fill a panel path-major (same
+    // RNG draw order as the scalar per-path loop), walk all lanes
+    // through the panel stepper, then run the per-lane gradient logic.
+    // All per-lane state is hoisted out of the path loop — including the
+    // old per-path `dvec` allocation.
+    let mut panel = SoaPanel::new(&stepper, PANEL);
+    let mut ys = vec![0.0; PANEL];
+    let mut avg = vec![0.0; PANEL];
+    let mut basket = vec![0.0; PANEL];
+    let mut pmax = vec![0.0; PANEL];
+    let mut pmin = vec![0.0; PANEL];
+    // Row-major [asset][lane]: per-asset sums of Sᵢ(t)/S0ᵢ over dates,
+    // and the per-lane pathwise delta vector.
+    let mut asian_sum = vec![0.0; d * PANEL];
+    let mut dvec = vec![0.0; d * PANEL];
+
     for b in 0..cfg.num_blocks() {
         let mut rng = base.substream(b);
         sampler.reset();
-        for _ in 0..cfg.block_paths(b) {
-            sampler.fill(&mut rng, &mut normals);
-            avg = 0.0;
-            asian_sum.iter_mut().for_each(|x| *x = 0.0);
-            let mut pmax = s0_first;
-            let mut pmin = s0_first;
-            let mut y = 0.0;
-            let mut dvec = vec![0.0; d];
-            walk_path_with_normals(
-                &stepper,
-                &log0,
-                &normals,
-                &mut log_buf,
-                &mut spot_buf,
-                |step, s| {
-                    if lookback {
-                        pmax = pmax.max(s[0]);
-                        pmin = pmin.min(s[0]);
-                    } else if path_dep {
-                        avg += s.iter().sum::<f64>() / d as f64;
-                        for (acc, (&si, &s0)) in asian_sum.iter_mut().zip(s.iter().zip(spots0)) {
-                            *acc += si / s0;
+        let total = cfg.block_paths(b);
+        let mut done = 0u64;
+        while done < total {
+            let n = (total - done).min(PANEL as u64) as usize;
+            panel.fill_normals(&mut sampler, &mut rng, n);
+            avg[..n].fill(0.0);
+            asian_sum.fill(0.0);
+            dvec.fill(0.0);
+            pmax[..n].fill(s0_first);
+            pmin[..n].fill(s0_first);
+            walk_panel(&stepper, &log0, &mut panel, n, |_, p| {
+                if lookback {
+                    p.exp_row(0, n);
+                    let row = &p.spot_row(0)[..n];
+                    for (mx, &s) in pmax[..n].iter_mut().zip(row) {
+                        *mx = mx.max(s);
+                    }
+                    for (mn, &s) in pmin[..n].iter_mut().zip(row) {
+                        *mn = mn.min(s);
+                    }
+                } else if path_dep {
+                    p.exp_all(n);
+                    basket[..n].fill(0.0);
+                    for i in 0..d {
+                        let row = &p.spot_row(i)[..n];
+                        for (bk, &s) in basket[..n].iter_mut().zip(row) {
+                            *bk += s;
+                        }
+                        let s0 = spots0[i];
+                        for (acc, &s) in asian_sum[i * PANEL..i * PANEL + n].iter_mut().zip(row) {
+                            *acc += s / s0;
                         }
                     }
-                    if step == cfg.steps - 1 {
-                        if lookback {
-                            // Floating lookbacks are positively homogeneous
-                            // of degree 1 in S₀ (every path value scales
-                            // with the spot), so the pathwise delta is
-                            // payoff/S₀ exactly.
-                            y = payoff.eval_extremes(s[0], pmax, pmin);
-                            dvec[0] = y / s0_first;
-                        } else if path_dep {
-                            let mean = avg / cfg.steps as f64;
-                            let m = cfg.steps as f64;
-                            match payoff {
-                                Payoff::AsianCall { strike } => {
-                                    y = (mean - strike).max(0.0);
-                                    if mean > *strike {
-                                        for (dv, &acc) in dvec.iter_mut().zip(&asian_sum) {
-                                            // ∂mean/∂S0ᵢ = (1/(m·d))·Σ_t Sᵢ(t)/S0ᵢ
-                                            *dv = acc / (m * d as f64);
-                                        }
-                                    }
+                    for (a, &bk) in avg[..n].iter_mut().zip(basket[..n].iter()) {
+                        *a += bk / d as f64;
+                    }
+                }
+            });
+            if lookback {
+                // Floating lookbacks are positively homogeneous of degree
+                // 1 in S₀ (every path value scales with the spot), so the
+                // pathwise delta is payoff/S₀ exactly.
+                let row = panel.spot_row(0);
+                for lane in 0..n {
+                    let y = payoff.eval_extremes(row[lane], pmax[lane], pmin[lane]);
+                    ys[lane] = y;
+                    dvec[lane] = y / s0_first;
+                }
+            } else if path_dep {
+                let m = cfg.steps as f64;
+                for lane in 0..n {
+                    let mean = avg[lane] / cfg.steps as f64;
+                    match payoff {
+                        Payoff::AsianCall { strike } => {
+                            ys[lane] = (mean - strike).max(0.0);
+                            if mean > *strike {
+                                for i in 0..d {
+                                    // ∂mean/∂S0ᵢ = (1/(m·d))·Σ_t Sᵢ(t)/S0ᵢ
+                                    dvec[i * PANEL + lane] =
+                                        asian_sum[i * PANEL + lane] / (m * d as f64);
                                 }
-                                Payoff::AsianPut { strike } => {
-                                    y = (strike - mean).max(0.0);
-                                    if mean < *strike {
-                                        for (dv, &acc) in dvec.iter_mut().zip(&asian_sum) {
-                                            *dv = -acc / (m * d as f64);
-                                        }
-                                    }
-                                }
-                                _ => unreachable!(),
-                            }
-                        } else {
-                            y = terminal_gradient(payoff, s, &mut grad);
-                            // Chain rule: ∂Sᵢ(T)/∂S0ᵢ = Sᵢ(T)/S0ᵢ.
-                            for ((dv, &g), (&si, &s0)) in
-                                dvec.iter_mut().zip(grad.iter()).zip(s.iter().zip(spots0))
-                            {
-                                *dv = g * si / s0;
                             }
                         }
+                        Payoff::AsianPut { strike } => {
+                            ys[lane] = (strike - mean).max(0.0);
+                            if mean < *strike {
+                                for i in 0..d {
+                                    dvec[i * PANEL + lane] =
+                                        -asian_sum[i * PANEL + lane] / (m * d as f64);
+                                }
+                            }
+                        }
+                        _ => unreachable!(),
                     }
-                },
-            );
-            price_stats.push(disc * y);
-            for (st, dv) in delta_stats.iter_mut().zip(&dvec) {
-                st.push(disc * dv);
+                }
+            } else {
+                panel.exp_all(n);
+                for lane in 0..n {
+                    panel.gather_spots(lane, &mut term);
+                    ys[lane] = terminal_gradient(payoff, &term, &mut grad);
+                    // Chain rule: ∂Sᵢ(T)/∂S0ᵢ = Sᵢ(T)/S0ᵢ.
+                    for i in 0..d {
+                        dvec[i * PANEL + lane] = grad[i] * term[i] / spots0[i];
+                    }
+                }
             }
+            for lane in 0..n {
+                price_stats.push(disc * ys[lane]);
+                for (i, st) in delta_stats.iter_mut().enumerate() {
+                    st.push(disc * dvec[i * PANEL + lane]);
+                }
+            }
+            done += n as u64;
         }
     }
     Ok(PathwiseResult {

@@ -9,7 +9,8 @@
 //! the same net — because a single QMC estimate has no internal variance
 //! estimate.
 
-use crate::path::GbmStepper;
+use crate::panel::{eval_panel, PanelScratch};
+use crate::path::{GbmStepper, SoaPanel, PANEL};
 use crate::McError;
 use mdp_math::brownian::BrownianBridge;
 use mdp_math::halton::HaltonSequence;
@@ -146,7 +147,6 @@ pub fn price_qmc(
     let dt = product.maturity / cfg.steps as f64;
     let sq_dt = dt.sqrt();
     let payoff = &product.payoff;
-    let dep = payoff.path_dependence();
     let s0_first = market.spots()[0];
 
     let mut estimates = Vec::with_capacity(cfg.replicates as usize);
@@ -155,70 +155,59 @@ pub fn price_qmc(
     // Per-asset scratch for the bridge construction.
     let mut zcol = vec![0.0; cfg.steps];
     let mut wcol = vec![0.0; cfg.steps];
-    let mut log_buf = vec![0.0; d];
-    let mut spot_buf = vec![0.0; d];
+    // Points ride the batched SoA kernel: each point's normal vector
+    // becomes one panel lane, walked and evaluated by the same fused
+    // panel pass as the pseudo-random engine. Lane order is point order,
+    // so the replicate sum associates exactly as the per-point loop did.
+    let mut panel = SoaPanel::new(&stepper, PANEL);
+    let mut scratch = PanelScratch::new(d, PANEL);
 
     for rep in 0..cfg.replicates {
         let mut seq = PointSource::new(cfg.sequence, sobol_dim, cfg.seed ^ ((rep as u64) << 32))?;
         let mut sum = 0.0;
-        for _ in 0..cfg.points {
-            seq.next_point(&mut point);
-            // Coordinate layout: index (level ℓ, asset i) ↦ ℓ·d + i so the
-            // leading Sobol' dimensions cover every asset's coarse levels.
-            if cfg.brownian_bridge {
-                for asset in 0..d {
-                    for (l, z) in zcol.iter_mut().enumerate() {
-                        *z = NormalInverse::transform(clamp_open(point[l * d + asset]));
+        let mut remaining = cfg.points;
+        while remaining > 0 {
+            let n = remaining.min(PANEL as u64) as usize;
+            for lane in 0..n {
+                seq.next_point(&mut point);
+                // Coordinate layout: index (level ℓ, asset i) ↦ ℓ·d + i so
+                // the leading Sobol' dimensions cover every asset's coarse
+                // levels.
+                if cfg.brownian_bridge {
+                    for asset in 0..d {
+                        for (l, z) in zcol.iter_mut().enumerate() {
+                            *z = NormalInverse::transform(clamp_open(point[l * d + asset]));
+                        }
+                        bridge.build_path(&zcol, &mut wcol);
+                        // Convert the Brownian path to per-step standardised
+                        // increments for the exact stepper.
+                        let mut prev = 0.0;
+                        for (s, w) in wcol.iter().enumerate() {
+                            normals[s * d + asset] = (w - prev) / sq_dt;
+                            prev = *w;
+                        }
                     }
-                    bridge.build_path(&zcol, &mut wcol);
-                    // Convert the Brownian path to per-step standardised
-                    // increments for the exact stepper.
-                    let mut prev = 0.0;
-                    for (s, w) in wcol.iter().enumerate() {
-                        normals[s * d + asset] = (w - prev) / sq_dt;
-                        prev = *w;
+                } else {
+                    for (k, z) in normals.iter_mut().enumerate() {
+                        *z = NormalInverse::transform(clamp_open(point[k]));
                     }
                 }
-            } else {
-                for (k, z) in normals.iter_mut().enumerate() {
-                    *z = NormalInverse::transform(clamp_open(point[k]));
-                }
+                panel.set_lane_normals(lane, &normals);
             }
-            let mut avg = 0.0;
-            let mut pmax = s0_first;
-            let mut pmin = s0_first;
-            let mut y = 0.0;
-            crate::path::walk_path_with_normals(
+            eval_panel(
                 &stepper,
                 &log0,
-                &normals,
-                &mut log_buf,
-                &mut spot_buf,
-                |step, s| {
-                    match dep {
-                        mdp_model::PathDependence::Average => {
-                            avg += s.iter().sum::<f64>() / d as f64
-                        }
-                        mdp_model::PathDependence::Extremes => {
-                            pmax = pmax.max(s[0]);
-                            pmin = pmin.min(s[0]);
-                        }
-                        mdp_model::PathDependence::None => {}
-                    }
-                    if step == cfg.steps - 1 {
-                        y = match dep {
-                            mdp_model::PathDependence::Average => {
-                                payoff.eval_average(avg / cfg.steps as f64)
-                            }
-                            mdp_model::PathDependence::Extremes => {
-                                payoff.eval_extremes(s[0], pmax, pmin)
-                            }
-                            mdp_model::PathDependence::None => payoff.eval(s),
-                        };
-                    }
-                },
+                payoff,
+                s0_first,
+                None,
+                &mut panel,
+                &mut scratch,
+                n,
             );
-            sum += disc * y;
+            for lane in 0..n {
+                sum += disc * scratch.ys[lane];
+            }
+            remaining -= n as u64;
         }
         estimates.push(sum / cfg.points as f64);
     }

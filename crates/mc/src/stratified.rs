@@ -8,14 +8,15 @@
 //! estimator unbiased; the standard error combines per-stratum variances
 //! `SE² = Σₘ varₘ / (M²·nₘ)`.
 
-use crate::path::{walk_path_with_normals, GbmStepper};
+use crate::panel::{eval_panel, PanelScratch};
+use crate::path::{GbmStepper, SoaPanel, PANEL};
 use crate::McConfig;
 use crate::McError;
 use mdp_math::rng::{
     NormalInverse, NormalPolar, NormalSampler, Rng64, Substreams, Xoshiro256StarStar,
 };
 use mdp_math::stats::OnlineStats;
-use mdp_model::{ExerciseStyle, GbmMarket, PathDependence, Product};
+use mdp_model::{ExerciseStyle, GbmMarket, Product};
 
 /// Result of a stratified Monte Carlo run.
 #[derive(Debug, Clone, Copy)]
@@ -61,15 +62,17 @@ pub fn price_stratified(
     let log0: Vec<f64> = market.spots().iter().map(|s| s.ln()).collect();
     let disc = market.discount(product.maturity);
     let payoff = &product.payoff;
-    let dep = payoff.path_dependence();
     let s0_first = market.spots()[0];
 
     let base = Xoshiro256StarStar::seed_from(cfg.seed);
     let mut per_stratum = vec![OnlineStats::new(); strata as usize];
-    let mut normals = vec![0.0; stepper.normals_per_path()];
-    let mut log_buf = vec![0.0; d];
-    let mut spot_buf = vec![0.0; d];
     let mut sampler = NormalPolar::new();
+    // Strata ride the batched SoA kernel. The per-path RNG interleave —
+    // fill the path's normals, then draw the stratifying uniform — is
+    // preserved by filling one panel lane at a time before overwriting
+    // its first coordinate.
+    let mut panel = SoaPanel::new(&stepper, PANEL);
+    let mut scratch = PanelScratch::new(d, PANEL);
 
     // Paths per stratum (the remainder spreads over the first strata).
     let base_n = cfg.paths / strata as u64;
@@ -79,40 +82,33 @@ pub fn price_stratified(
         let mut rng = base.substream(m as u64);
         sampler.reset();
         let n_m = base_n + u64::from(m < extra);
-        for _ in 0..n_m {
-            sampler.fill(&mut rng, &mut normals);
-            // Stratify the first coordinate: u ∈ [(m)/M, (m+1)/M).
-            let u = (m as f64 + rng.next_open_f64()) / strata as f64;
-            normals[0] = NormalInverse::transform(u.clamp(1e-16, 1.0 - 1e-16));
-            let mut avg = 0.0;
-            let mut pmax = s0_first;
-            let mut pmin = s0_first;
-            let mut y = 0.0;
-            walk_path_with_normals(
+        let mut done = 0u64;
+        while done < n_m {
+            let n = (n_m - done).min(PANEL as u64) as usize;
+            for lane in 0..n {
+                panel.fill_lane(&mut sampler, &mut rng, lane);
+                // Stratify the first coordinate: u ∈ [(m)/M, (m+1)/M).
+                let u = (m as f64 + rng.next_open_f64()) / strata as f64;
+                panel.set_normal(
+                    0,
+                    lane,
+                    NormalInverse::transform(u.clamp(1e-16, 1.0 - 1e-16)),
+                );
+            }
+            eval_panel(
                 &stepper,
                 &log0,
-                &normals,
-                &mut log_buf,
-                &mut spot_buf,
-                |step, s| {
-                    match dep {
-                        PathDependence::Average => avg += s.iter().sum::<f64>() / d as f64,
-                        PathDependence::Extremes => {
-                            pmax = pmax.max(s[0]);
-                            pmin = pmin.min(s[0]);
-                        }
-                        PathDependence::None => {}
-                    }
-                    if step == cfg.steps - 1 {
-                        y = match dep {
-                            PathDependence::Average => payoff.eval_average(avg / cfg.steps as f64),
-                            PathDependence::Extremes => payoff.eval_extremes(s[0], pmax, pmin),
-                            PathDependence::None => payoff.eval(s),
-                        };
-                    }
-                },
+                payoff,
+                s0_first,
+                None,
+                &mut panel,
+                &mut scratch,
+                n,
             );
-            per_stratum[m as usize].push(disc * y);
+            for lane in 0..n {
+                per_stratum[m as usize].push(disc * scratch.ys[lane]);
+            }
+            done += n as u64;
         }
     }
 

@@ -27,6 +27,38 @@ pub struct BlockAccum {
 /// Width of the flattened representation.
 pub const ACCUM_WIDTH: usize = 6;
 
+/// Blocks per merge chunk of the canonical reduction order (see
+/// [`merge_in_chunks`]).
+pub const MERGE_CHUNK: usize = 64;
+
+/// Reduce per-block accumulators in the **canonical two-level order**:
+/// left-fold each run of [`MERGE_CHUNK`] consecutive blocks, then
+/// left-fold the chunk totals.
+///
+/// Floating-point addition is order-sensitive, so every driver —
+/// sequential, rayon, message-passing — must associate the reduction the
+/// same way to stay bitwise identical. Two levels (rather than one flat
+/// fold) let the parallel drivers materialise only `⌈blocks/64⌉` chunk
+/// accumulators instead of one per block.
+pub fn merge_in_chunks<I: IntoIterator<Item = BlockAccum>>(accs: I) -> BlockAccum {
+    let mut total = BlockAccum::new();
+    let mut chunk = BlockAccum::new();
+    let mut in_chunk = 0usize;
+    for a in accs {
+        chunk.merge(&a);
+        in_chunk += 1;
+        if in_chunk == MERGE_CHUNK {
+            total.merge(&chunk);
+            chunk = BlockAccum::new();
+            in_chunk = 0;
+        }
+    }
+    if in_chunk > 0 {
+        total.merge(&chunk);
+    }
+    total
+}
+
 impl BlockAccum {
     /// Empty accumulator.
     pub fn new() -> Self {
@@ -176,6 +208,29 @@ mod tests {
         a.merge(&b);
         assert!(approx_eq(a.sum_xy, whole.sum_xy, 1e-12));
         assert_eq!(a.n, whole.n);
+    }
+
+    #[test]
+    fn chunked_merge_matches_explicit_two_level_fold() {
+        let blocks: Vec<BlockAccum> = (0..200)
+            .map(|i| {
+                let mut a = BlockAccum::new();
+                a.push_cv((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos());
+                a
+            })
+            .collect();
+        let got = merge_in_chunks(blocks.iter().copied());
+        let mut want = BlockAccum::new();
+        for group in blocks.chunks(MERGE_CHUNK) {
+            let mut chunk = BlockAccum::new();
+            for a in group {
+                chunk.merge(a);
+            }
+            want.merge(&chunk);
+        }
+        assert_eq!(got.sum_y.to_bits(), want.sum_y.to_bits());
+        assert_eq!(got.sum_xy.to_bits(), want.sum_xy.to_bits());
+        assert_eq!(got.n, want.n);
     }
 
     #[test]

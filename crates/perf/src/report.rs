@@ -1,10 +1,9 @@
 //! Result tables: the textual form of every reproduced table/figure.
 
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// A simple column-aligned table with markdown and CSV renderers.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Table title (experiment id + description).
     pub title: String,

@@ -2,7 +2,6 @@
 
 use crate::laws;
 use crate::metrics;
-use serde::{Deserialize, Serialize};
 
 /// A strong- or weak-scaling measurement series.
 ///
@@ -14,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(s[2] > 3.0 && s[2] < 4.0);
 /// assert!(c.amdahl_fraction().unwrap() < 0.11); // fitted serial fraction ≈ 0.1
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ScalingCurve {
     /// Label (workload description).
     pub label: String,
@@ -144,14 +143,6 @@ mod tests {
         for (_, e) in c.karp_flatt() {
             assert!((e - 0.3).abs() < 1e-12);
         }
-    }
-
-    #[test]
-    fn curve_is_serializable() {
-        // Compile-time check that the Serialize/Deserialize bounds hold
-        // (no JSON backend in the dependency set).
-        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
-        assert_serde::<ScalingCurve>();
     }
 
     #[test]

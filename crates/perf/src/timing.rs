@@ -28,6 +28,23 @@ pub fn measure_median<T, F: FnMut() -> T>(mut f: F, reps: usize) -> (T, f64) {
     (last.unwrap(), times[times.len() / 2])
 }
 
+/// Best (minimum) wall-clock seconds of `reps` calls. Scheduler and
+/// frequency noise only ever *add* time, so for a deterministic kernel
+/// the minimum is the most robust estimator of its true cost — use this
+/// for kernel-throughput comparisons, `measure_median` for end-to-end
+/// runs where the noise is part of the phenomenon.
+pub fn measure_best<T, F: FnMut() -> T>(mut f: F, reps: usize) -> (T, f64) {
+    assert!(reps >= 1);
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let (out, t) = measure(&mut f);
+        best = best.min(t);
+        last = Some(out);
+    }
+    (last.unwrap(), best)
+}
+
 /// A running stopwatch with named laps.
 #[derive(Debug)]
 pub struct Stopwatch {
@@ -91,6 +108,19 @@ mod tests {
             5,
         );
         assert_eq!(count, 5);
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn best_of_reps() {
+        let mut count = 0;
+        let (_, t) = measure_best(
+            || {
+                count += 1;
+            },
+            4,
+        );
+        assert_eq!(count, 4);
         assert!(t >= 0.0);
     }
 

@@ -1,0 +1,301 @@
+//! In-tree shim for the subset of [criterion](https://docs.rs/criterion)
+//! this workspace uses (see `shims/README.md`).
+//!
+//! Each benchmark runs a short warm-up, then `sample_size` timed samples
+//! of the closure, and reports mean / min / max wall time plus ns per
+//! element when a [`Throughput`] is set. Arguments after `--`:
+//!
+//! * `--quick` — 3 samples, 1 warm-up iteration (CI smoke mode);
+//! * any bare string — substring filter on `group/id` names.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Work attributed to one benchmark iteration, for ns/element reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The iteration processes this many logical elements.
+    Elements(u64),
+    /// The iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{param}", name.into()),
+        }
+    }
+
+    /// Id carrying only a parameter.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing driver handed to the benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    warmup: usize,
+    /// Collected per-sample durations of the last `iter` call.
+    last: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `f`: warm-up iterations, then one timed call per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.warmup {
+            black_box(f());
+        }
+        self.last.clear();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            black_box(f());
+            self.last.push(t.elapsed());
+        }
+    }
+}
+
+/// The benchmark harness.
+pub struct Criterion {
+    sample_size: usize,
+    warmup: usize,
+    filter: Option<String>,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warmup: 2,
+            filter: None,
+            quick: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Harness configured from the process arguments (see module docs).
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" | "-q" => {
+                    c.quick = true;
+                    c.sample_size = 3;
+                    c.warmup = 1;
+                }
+                // Flags cargo/criterion conventionally pass; ignore.
+                s if s.starts_with('-') => {}
+                s => c.filter = Some(s.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Print the closing line.
+    pub fn final_summary(&self) {
+        println!(
+            "benchmarks complete{}",
+            if self.quick { " (quick mode)" } else { "" }
+        );
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declare per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let samples = if self.criterion.quick {
+            self.criterion.sample_size
+        } else {
+            self.sample_size.unwrap_or(self.criterion.sample_size)
+        };
+        let mut b = Bencher {
+            samples,
+            warmup: self.criterion.warmup,
+            last: Vec::new(),
+        };
+        f(&mut b);
+        report(&full, &b.last, self.throughput);
+    }
+
+    /// Benchmark `f` under `id` with an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{name:<44} no samples");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = *samples.iter().min().unwrap();
+    let max = *samples.iter().max().unwrap();
+    let mut line = format!(
+        "{name:<44} time: [{} {} {}]",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max)
+    );
+    if let Some(t) = throughput {
+        let (n, unit) = match t {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        if n > 0 {
+            let per = mean.as_nanos() as f64 / n as f64;
+            let _ = write!(line, "  thrpt: {per:.1} ns/{unit}");
+        }
+    }
+    println!("{line}");
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion {
+            sample_size: 3,
+            warmup: 1,
+            filter: None,
+            quick: false,
+        };
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        let mut calls = 0u32;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        g.finish();
+        // 1 warmup + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            sample_size: 3,
+            warmup: 1,
+            filter: Some("other".into()),
+            quick: false,
+        };
+        let mut g = c.benchmark_group("shim");
+        let mut calls = 0u32;
+        g.bench_function("count", |b| b.iter(|| calls += 1));
+        g.finish();
+        assert_eq!(calls, 0);
+    }
+}

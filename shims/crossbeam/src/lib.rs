@@ -1,0 +1,43 @@
+//! In-tree shim for the subset of [crossbeam](https://docs.rs/crossbeam)
+//! this workspace uses (see `shims/README.md`): unbounded MPSC channels.
+//!
+//! `std::sync::mpsc` provides the same semantics the SPMD runtime needs —
+//! unbounded buffering, per-sender FIFO ordering, `recv_timeout`, and
+//! clonable `Sender`s — so the shim is a plain re-export plus the
+//! `unbounded` constructor name.
+
+/// Multi-producer channels (crossbeam-channel API subset).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, SendError, Sender};
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_per_sender_and_timeout() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 1);
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 2);
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        ));
+        drop(tx);
+        drop(tx2);
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        ));
+    }
+}

@@ -1,0 +1,289 @@
+//! In-tree shim for the subset of [proptest](https://docs.rs/proptest)
+//! this workspace uses (see `shims/README.md`).
+//!
+//! The `proptest!` macro expands each property into an ordinary `#[test]`
+//! that draws `cases` input tuples from a deterministic per-test RNG
+//! (seeded from the test name, so failures reproduce run-to-run) and
+//! executes the body once per tuple. `prop_assert*` failures abort the
+//! case with the offending inputs printed. There is **no shrinking** —
+//! the reported counterexample is the raw failing draw.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property case.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic splitmix64 case RNG.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for case `case` of the test named `name`.
+    pub fn new(name: &str, case: u64) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng {
+            state: h ^ case.wrapping_mul(0x9E3779B97F4A7C15),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform double in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A source of random values for one property input.
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end - self.start) as u64;
+                assert!(span > 0, "empty strategy range");
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+int_strategy!(usize, u64, u32, u16, u8, i64, i32);
+
+/// Strategy combinators namespace (`prop::collection::vec`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// A strategy producing `Vec`s with element strategy `S` and a
+        /// uniformly drawn length in `len`.
+        pub struct VecStrategy<S> {
+            elem: S,
+            len: Range<usize>,
+        }
+
+        /// Vector of values from `elem`, length drawn from `len`.
+        pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { elem, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = Strategy::generate(&self.len, rng);
+                (0..n).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a `use proptest::prelude::*` is expected to bring in scope.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Assert a condition inside a property, failing the case (not the whole
+/// process) with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        // `if cond {} else { .. }` rather than `if !cond`: a negated
+        // partial-ord comparison in `cond` would trip clippy's
+        // `neg_cmp_op_on_partial_ord` at every call site.
+        if $cond {
+        } else {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (va, vb) = (&$a, &$b);
+        $crate::prop_assert!(
+            va == vb,
+            "assertion failed: {} == {} ({:?} vs {:?})",
+            stringify!($a),
+            stringify!($b),
+            va,
+            vb
+        );
+    }};
+}
+
+/// Define seeded random-case property tests.
+///
+/// Supported grammar (the subset this workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     #[test]
+///     fn prop_name(x in 0.0f64..1.0, n in 1usize..10) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); ) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            for __case in 0..u64::from(__cfg.cases) {
+                let mut __rng = $crate::TestRng::new(stringify!($name), __case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                let __inputs = {
+                    let mut s = String::new();
+                    $(s.push_str(&format!("{} = {:?}, ", stringify!($arg), $arg));)*
+                    s
+                };
+                let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = __result {
+                    panic!(
+                        "property {} failed at case {}/{}: {}\n  inputs: {}",
+                        stringify!($name),
+                        __case,
+                        __cfg.cases,
+                        e,
+                        __inputs
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!{ cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range strategies stay in bounds.
+        #[test]
+        fn ranges_in_bounds(x in -2.0f64..3.0, n in 1usize..10, s in 5u64..9) {
+            prop_assert!((-2.0..3.0).contains(&x), "x = {x}");
+            prop_assert!((1..10).contains(&n));
+            prop_assert!((5..9).contains(&s));
+        }
+
+        /// Vec strategy respects the length range.
+        #[test]
+        fn vec_lengths(data in prop::collection::vec(0.0f64..1.0, 2..20)) {
+            prop_assert!(data.len() >= 2 && data.len() < 20, "len {}", data.len());
+            prop_assert!(data.iter().all(|v| (0.0..1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a = TestRng::new("x", 3).next_u64();
+        let b = TestRng::new("x", 3).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, TestRng::new("x", 4).next_u64());
+        assert_ne!(a, TestRng::new("y", 3).next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs:")]
+    fn failures_report_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn always_fails(x in 0.0f64..1.0) {
+                prop_assert!(x < 0.0, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

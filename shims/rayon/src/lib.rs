@@ -1,0 +1,272 @@
+//! In-tree shim for the subset of [rayon](https://docs.rs/rayon) this
+//! workspace uses (see `shims/README.md`).
+//!
+//! Fork-join is implemented with `std::thread::scope`: an index range or
+//! a set of mutable chunk slabs is split into one contiguous span per
+//! available core, each span runs on its own OS thread, and results are
+//! stitched back together **in input order** — so `collect()` returns
+//! exactly what the sequential iterator would, which is what the
+//! parallel-equals-sequential tests of this repository rely on.
+
+use std::ops::Range;
+
+/// Number of worker threads a parallel call fans out to.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Split `len` work items into at most `workers` contiguous spans.
+fn spans(len: usize, workers: usize) -> Vec<Range<usize>> {
+    let workers = workers.clamp(1, len.max(1));
+    let base = len / workers;
+    let extra = len % workers;
+    let mut out = Vec::with_capacity(workers);
+    let mut lo = 0;
+    for w in 0..workers {
+        let hi = lo + base + usize::from(w < extra);
+        out.push(lo..hi);
+        lo = hi;
+    }
+    out
+}
+
+/// Integer index types a parallel range can be built over.
+pub trait ParIndex: Copy + Send + Sync + 'static {
+    /// Convert to a usize offset.
+    fn to_usize(self) -> usize;
+    /// Convert back from a usize offset.
+    fn from_usize(u: usize) -> Self;
+}
+
+macro_rules! par_index {
+    ($($t:ty),*) => {$(
+        impl ParIndex for $t {
+            #[inline]
+            fn to_usize(self) -> usize {
+                self as usize
+            }
+            #[inline]
+            fn from_usize(u: usize) -> Self {
+                u as $t
+            }
+        }
+    )*};
+}
+par_index!(usize, u64, u32, i64, i32);
+
+/// Types convertible into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The parallel iterator.
+    type Iter;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: ParIndex> IntoParallelIterator for Range<T> {
+    type Iter = ParRange<T>;
+    fn into_par_iter(self) -> ParRange<T> {
+        ParRange { range: self }
+    }
+}
+
+/// A parallel iterator over an integer range.
+pub struct ParRange<T> {
+    range: Range<T>,
+}
+
+impl<T: ParIndex> ParRange<T> {
+    /// Map each index through `f` (evaluated lazily at the sink).
+    pub fn map<R, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            range: self.range,
+            f,
+        }
+    }
+
+    /// Run `f` on every index, in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        self.map(f).run();
+    }
+}
+
+/// The result of [`ParRange::map`]: a mapped parallel range.
+pub struct ParMap<T, F> {
+    range: Range<T>,
+    f: F,
+}
+
+impl<T: ParIndex, F> ParMap<T, F> {
+    fn run_vec<R: Send>(self) -> Vec<R>
+    where
+        F: Fn(T) -> R + Sync,
+    {
+        let lo = self.range.start.to_usize();
+        let len = self.range.end.to_usize().saturating_sub(lo);
+        if len == 0 {
+            return Vec::new();
+        }
+        let spans = spans(len, current_num_threads());
+        if spans.len() == 1 {
+            return (0..len).map(|i| (self.f)(T::from_usize(lo + i))).collect();
+        }
+        let f = &self.f;
+        let mut parts: Vec<Vec<R>> = Vec::with_capacity(spans.len());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = spans
+                .into_iter()
+                .map(|span| {
+                    s.spawn(move || span.map(|i| f(T::from_usize(lo + i))).collect::<Vec<R>>())
+                })
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("parallel worker panicked"));
+            }
+        });
+        let mut out = Vec::with_capacity(len);
+        for p in parts {
+            out.extend(p);
+        }
+        out
+    }
+
+    fn run(self)
+    where
+        F: Fn(T) + Sync,
+    {
+        let _: Vec<()> = self.run_vec();
+    }
+
+    /// Evaluate in parallel, collecting results **in index order**.
+    pub fn collect<C>(self) -> C
+    where
+        F: Fn(T) -> <C as FromParVec>::Item + Sync,
+        C: FromParVec,
+        <C as FromParVec>::Item: Send,
+    {
+        C::from_par_vec(self.run_vec())
+    }
+}
+
+/// Collection types a parallel map can collect into.
+pub trait FromParVec {
+    /// Element type.
+    type Item;
+    /// Build from the in-order vector of results.
+    fn from_par_vec(v: Vec<Self::Item>) -> Self;
+}
+
+impl<R> FromParVec for Vec<R> {
+    type Item = R;
+    fn from_par_vec(v: Vec<R>) -> Self {
+        v
+    }
+}
+
+/// Parallel mutable chunking of slices (`par_chunks_mut`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Split into mutable chunks of `size`, processed in parallel.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ParChunksMut { slice: self, size }
+    }
+}
+
+/// Parallel iterator over mutable chunks.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair each chunk with its index.
+    pub fn enumerate(self) -> EnumeratedChunksMut<'a, T> {
+        EnumeratedChunksMut(self)
+    }
+
+    /// Run `f` on every chunk, in parallel.
+    pub fn for_each<F: Fn(&mut [T]) + Sync>(self, f: F) {
+        self.enumerate().for_each(|(_, c)| f(c));
+    }
+}
+
+/// Enumerated parallel chunk iterator.
+pub struct EnumeratedChunksMut<'a, T>(ParChunksMut<'a, T>);
+
+impl<T: Send> EnumeratedChunksMut<'_, T> {
+    /// Run `f` on every `(index, chunk)` pair, in parallel.
+    pub fn for_each<F: Fn((usize, &mut [T])) + Sync>(self, f: F) {
+        let chunks: Vec<&mut [T]> = self.0.slice.chunks_mut(self.0.size).collect();
+        let n = chunks.len();
+        if n == 0 {
+            return;
+        }
+        let spans = spans(n, current_num_threads());
+        if spans.len() == 1 {
+            for (i, c) in chunks.into_iter().enumerate() {
+                f((i, c));
+            }
+            return;
+        }
+        let f = &f;
+        // Hand each worker a contiguous run of chunks.
+        let mut rest = chunks;
+        std::thread::scope(|s| {
+            let mut offset = 0usize;
+            for span in spans {
+                let take = span.end - span.start;
+                let mine: Vec<&mut [T]> = rest.drain(..take).collect();
+                let base = offset;
+                offset += take;
+                s.spawn(move || {
+                    for (i, c) in mine.into_iter().enumerate() {
+                        f((base + i, c));
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// The traits a `use rayon::prelude::*` is expected to bring in scope.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0u64..1000).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(v.len(), 1000);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn empty_range_collects_empty() {
+        let v: Vec<usize> = (5usize..5).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn chunks_mut_touch_every_element() {
+        let mut data = vec![0usize; 997];
+        data.par_chunks_mut(64).enumerate().for_each(|(j, chunk)| {
+            for (k, x) in chunk.iter_mut().enumerate() {
+                *x = j * 64 + k;
+            }
+        });
+        for (i, x) in data.iter().enumerate() {
+            assert_eq!(*x, i);
+        }
+    }
+}

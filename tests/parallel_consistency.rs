@@ -3,7 +3,10 @@
 
 use mdp_core::cluster::{Machine, TimeModel};
 use mdp_core::lattice::cluster::{price_cluster, Decomposition};
+use mdp_core::mc::engine::RunContext;
+use mdp_core::mc::variance::merge_in_chunks;
 use mdp_core::prelude::*;
+use proptest::prelude::*;
 
 fn market(d: usize) -> GbmMarket {
     GbmMarket::symmetric(d, 100.0, 0.22, 0.01, 0.05, 0.35).unwrap()
@@ -92,6 +95,70 @@ fn mc_bitwise_identical_across_backends_and_ranks() {
                 par.std_error.unwrap().to_bits()
             );
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// The batched SoA kernel, the scalar oracle, the sequential driver,
+    /// and the rayon driver all produce bitwise-identical prices and
+    /// standard errors for random configurations — including panel
+    /// remainders (`block_paths % 64 ≠ 0`) and a ragged last block.
+    #[test]
+    fn mc_batched_scalar_and_rayon_bitwise_equal_for_random_configs(
+        d in 1usize..6,
+        steps in 1usize..7,
+        paths in 300u64..3_000,
+        block_size in 37u64..700,
+        vr_idx in 0usize..3,
+        payoff_idx in 0usize..3,
+    ) {
+        let vr = [
+            VarianceReduction::None,
+            VarianceReduction::Antithetic,
+            VarianceReduction::GeometricCv,
+        ][vr_idx];
+        // The geometric control variate only applies to arithmetic
+        // basket payoffs; force the basket in that case.
+        let payoff = if vr == VarianceReduction::GeometricCv {
+            Payoff::BasketCall {
+                weights: Product::equal_weights(d),
+                strike: 100.0,
+            }
+        } else {
+            match payoff_idx {
+                0 => Payoff::MaxCall { strike: 100.0 },
+                1 => Payoff::BasketCall {
+                    weights: Product::equal_weights(d),
+                    strike: 100.0,
+                },
+                _ => Payoff::AsianCall { strike: 100.0 },
+            }
+        };
+        let m = market(d);
+        let p = Product::european(payoff, 1.0);
+        let cfg = McConfig {
+            paths,
+            block_size,
+            steps,
+            variance_reduction: vr,
+            ..Default::default()
+        };
+        let engine = McEngine::new(cfg);
+        let seq = engine.price(&m, &p).unwrap();
+        let bat = engine.price_batched(&m, &p).unwrap();
+        let ray = engine.price_rayon(&m, &p).unwrap();
+        // Scalar oracle, merged in the same canonical chunked order.
+        let ctx = RunContext::new(&m, &p, cfg).unwrap();
+        let acc = merge_in_chunks((0..ctx.num_blocks()).map(|b| ctx.simulate_block_scalar(b)));
+        let sca = ctx.finish(&acc);
+        prop_assert_eq!(seq.price.to_bits(), bat.price.to_bits());
+        prop_assert_eq!(seq.price.to_bits(), ray.price.to_bits());
+        prop_assert_eq!(seq.price.to_bits(), sca.price.to_bits());
+        prop_assert_eq!(seq.std_error.to_bits(), bat.std_error.to_bits());
+        prop_assert_eq!(seq.std_error.to_bits(), ray.std_error.to_bits());
+        prop_assert_eq!(seq.std_error.to_bits(), sca.std_error.to_bits());
     }
 }
 
