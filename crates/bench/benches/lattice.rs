@@ -49,10 +49,58 @@ fn bench_rayon_vs_seq(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_lattice_kernel(c: &mut Criterion) {
+    use mdp_core::lattice::multidim::{branch_probabilities, StepCtx, StepScratch};
+
+    let mut g = c.benchmark_group("lattice_kernel");
+    g.sample_size(10);
+    for (d, n) in [(1usize, 2048usize), (2, 128), (3, 32), (4, 12)] {
+        let m = market(d);
+        let p = max_call();
+        let dt = p.maturity / n as f64;
+        let probs = branch_probabilities(&m, dt).unwrap();
+        let disc = (-m.rate() * dt).exp();
+        // One full mid-lattice step: rebuild layer n/2 from layer
+        // n/2 + 1, whose values are seeded with its payoff surface (any
+        // deterministic contents will do for a throughput comparison).
+        let step = n / 2;
+        let next_ctx = StepCtx::new(&m, &p, n, step + 1, &probs, disc);
+        let next_row = next_ctx.row_cur();
+        let mut next = vec![0.0; (step + 2) * next_row];
+        let mut scratch = StepScratch::new();
+        for (j0, slab) in next.chunks_mut(next_row).enumerate() {
+            next_ctx.eval_terminal_slab(j0, slab, &mut scratch);
+        }
+        let ctx = StepCtx::new(&m, &p, n, step, &probs, disc);
+        let row_cur = ctx.row_cur();
+        let mut out = vec![0.0; (step + 1) * row_cur];
+        g.bench_with_input(BenchmarkId::new("scalar", d), &d, |b, _| {
+            b.iter(|| {
+                for (j0, slab) in out.chunks_mut(row_cur).enumerate() {
+                    let window = &next[j0 * ctx.row_next..(j0 + 2) * ctx.row_next];
+                    ctx.compute_slab_scalar(j0, window, slab);
+                }
+                out[0]
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("blocked", d), &d, |b, _| {
+            b.iter(|| {
+                for (j0, slab) in out.chunks_mut(row_cur).enumerate() {
+                    let window = &next[j0 * ctx.row_next..(j0 + 2) * ctx.row_next];
+                    ctx.compute_slab(j0, window, slab, &mut scratch);
+                }
+                out[0]
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_binomial,
     bench_multilattice_dims,
-    bench_rayon_vs_seq
+    bench_rayon_vs_seq,
+    bench_lattice_kernel
 );
 criterion_main!(benches);

@@ -191,6 +191,98 @@ pub fn t3b_batched_kernel_throughput(effort: Effort) {
     save("t3b_batched_kernel", &t);
 }
 
+/// T4b — run-contiguous blocked lattice kernel vs the scalar oracle.
+///
+/// Runs a full European max-call backward induction with the scalar
+/// per-node gather kernel and with the run-contiguous blocked kernel,
+/// checks the root values are bitwise identical, and records ns/node for
+/// both at d = 1..4. Besides the table, writes
+/// `BENCH_lattice_kernel.json` into the output directory so CI can track
+/// the kernel's trajectory across PRs.
+pub fn t4b_lattice_kernel_throughput(effort: Effort) {
+    use mdp_core::lattice::multidim::{branch_probabilities, StepCtx, StepScratch};
+    use mdp_perf::timing::measure_best;
+
+    let mut t = Table::new(
+        "T4b: blocked BEG kernel vs scalar oracle — ns/node (European max-call)",
+        &["d", "N", "nodes", "scalar ns/node", "blocked ns/node", "speedup"],
+    );
+    let cases: &[(usize, usize)] = match effort {
+        Effort::Quick => &[(1, 1024), (2, 128), (3, 24), (4, 10)],
+        Effort::Full => &[(1, 4096), (2, 512), (3, 64), (4, 24)],
+    };
+    // Best-of-k: both kernels are deterministic, so the minimum over
+    // repetitions strips scheduler noise symmetrically from both sides
+    // of the ratio.
+    let reps = effort.scale(2, 5);
+    let mut json = String::from(
+        "{\n  \"experiment\": \"t4b\",\n  \"unit\": \"ns_per_node\",\n  \"results\": [\n",
+    );
+    for (i, &(d, n)) in cases.iter().enumerate() {
+        let m = market(d);
+        let p = max_call();
+        let dt = p.maturity / n as f64;
+        let probs = branch_probabilities(&m, dt).expect("valid probabilities");
+        let disc = (-m.rate() * dt).exp();
+        // Full backward induction from the terminal layer, mirroring
+        // `MultiLattice::run` but parameterised by which slab kernel
+        // fills the new layer; returns the root value so the two
+        // variants can be compared bitwise.
+        let run = |blocked: bool| -> f64 {
+            let term_ctx = StepCtx::new(&m, &p, n, n, &probs, disc);
+            let term_row = term_ctx.row_cur();
+            let mut values = vec![0.0; (n + 1) * term_row];
+            let mut spare = vec![0.0; (n as u128).pow(d as u32) as usize];
+            let mut scratch = StepScratch::new();
+            for (j0, out) in values.chunks_mut(term_row).enumerate() {
+                term_ctx.eval_terminal_slab(j0, out, &mut scratch);
+            }
+            for step in (0..n).rev() {
+                let ctx = StepCtx::new(&m, &p, n, step, &probs, disc);
+                let row_cur = ctx.row_cur();
+                let len = (step + 1) * row_cur;
+                for (j0, out) in spare[..len].chunks_mut(row_cur).enumerate() {
+                    let next = &values[j0 * ctx.row_next..(j0 + 2) * ctx.row_next];
+                    if blocked {
+                        ctx.compute_slab(j0, next, out, &mut scratch);
+                    } else {
+                        ctx.compute_slab_scalar(j0, next, out);
+                    }
+                }
+                std::mem::swap(&mut values, &mut spare);
+            }
+            values[0]
+        };
+        let nodes = MultiLattice::total_nodes(n, d) as f64;
+        let (root_s, secs_s) = measure_best(|| run(false), reps);
+        let (root_b, secs_b) = measure_best(|| run(true), reps);
+        assert_eq!(
+            root_s.to_bits(),
+            root_b.to_bits(),
+            "kernels disagree at d={d}"
+        );
+        let ns_s = secs_s * 1e9 / nodes;
+        let ns_b = secs_b * 1e9 / nodes;
+        t.push(&[
+            d.to_string(),
+            n.to_string(),
+            (nodes as u128).to_string(),
+            fmt_sig(ns_s, 3),
+            fmt_sig(ns_b, 3),
+            format!("{:.2}", ns_s / ns_b),
+        ]);
+        json.push_str(&format!(
+            "    {{\"d\": {d}, \"steps\": {n}, \"scalar_ns_per_node\": {ns_s:.1}, \
+             \"blocked_ns_per_node\": {ns_b:.1}, \"speedup\": {:.2}}}{}\n",
+            ns_s / ns_b,
+            if i + 1 < cases.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let _ = std::fs::write(crate::out_dir().join("BENCH_lattice_kernel.json"), json);
+    save("t4b_lattice_kernel", &t);
+}
+
 /// T4 — accuracy of every engine against the closed forms.
 pub fn t4_accuracy_vs_closed_forms(effort: Effort) {
     let mut t = Table::new(

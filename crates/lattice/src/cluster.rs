@@ -7,6 +7,15 @@
 //! ships the boundary rows its neighbours will need, then sweeps its own
 //! rows with the exact same slab kernel the sequential engine uses.
 //!
+//! The halo exchange is **overlapped with computation**: every rank
+//! posts its boundary-row sends first, sweeps the slabs whose two child
+//! rows are both local while those messages are in flight, and only
+//! then blocks on the receives and sweeps the boundary slabs. Under the
+//! virtual-time model this ordering lets interior compute hide the
+//! modelled message latency exactly as a non-blocking MPI exchange
+//! would (slabs are independent within a step, so the values — and the
+//! bitwise equality with the sequential driver — are unchanged).
+//!
 //! Two decompositions are provided (ablation A2):
 //!
 //! * [`Decomposition::Block`] — contiguous balanced blocks; halo traffic
@@ -20,7 +29,7 @@
 //! messages, exactly like the static decompositions of the era's MPI
 //! codes.
 
-use crate::multidim::{branch_probabilities, StepCtx};
+use crate::multidim::{branch_probabilities, StepCtx, StepScratch};
 use crate::LatticeError;
 use mdp_cluster::{collectives, partition, Communicator, Machine, TimeModel};
 use mdp_model::{GbmMarket, Product};
@@ -131,6 +140,13 @@ fn run_rank<C: Communicator>(
     let rank = comm.rank();
     let n = steps;
 
+    // Per-rank buffers, allocated once and reused every time step.
+    let mut scratch = StepScratch::new();
+    let mut window: Vec<f64> = Vec::new();
+    let mut two_rows: Vec<f64> = Vec::new();
+    let mut send_buf: Vec<f64> = Vec::new();
+    let mut spare: Vec<f64> = Vec::new();
+
     // Terminal layer: evaluate owned rows.
     let term_ctx = StepCtx::new(market, product, n, n, probs, disc);
     let row_len_term = term_ctx.row_cur();
@@ -140,6 +156,7 @@ fn run_rank<C: Communicator>(
         term_ctx.eval_terminal_slab(
             j0,
             &mut values[slot * row_len_term..(slot + 1) * row_len_term],
+            &mut scratch,
         );
     }
     comm.compute_units(values.len() as f64 * (d as f64 + 2.0));
@@ -156,9 +173,10 @@ fn run_rank<C: Communicator>(
         // Rows of the next grid this rank needs: children of owned rows.
         let needed = needed_rows(&owned_cur, next_rows_total);
 
-        // --- Halo exchange -------------------------------------------------
-        // Sends: for every other rank, the intersection of their needs
-        // with my owned rows.
+        // --- Post the halo sends -------------------------------------------
+        // For every other rank, the intersection of their needs with my
+        // owned rows. Sends are asynchronous: they are in flight while
+        // the interior sweep below runs.
         for r in 0..p {
             if r == rank {
                 continue;
@@ -169,22 +187,64 @@ fn run_rank<C: Communicator>(
             if send_rows.is_empty() {
                 continue;
             }
-            let mut buf = Vec::with_capacity(send_rows.len() * row_next);
+            send_buf.clear();
+            send_buf.reserve(send_rows.len() * row_next);
             for &row in &send_rows {
                 let slot = slot_of(&owned_next, row);
-                buf.extend_from_slice(&values[slot * row_next..(slot + 1) * row_next]);
+                send_buf.extend_from_slice(&values[slot * row_next..(slot + 1) * row_next]);
             }
-            comm.send(r, T_HALO, &buf);
+            comm.send(r, T_HALO, &send_buf);
         }
-        // Receives: assemble the full needed window.
-        let mut window = vec![0.0; needed.len() * row_next];
-        // Local rows first.
+
+        // Stage the locally owned part of the needed window.
+        window.clear();
+        window.resize(needed.len() * row_next, 0.0);
         for (wslot, &row) in needed.iter().enumerate() {
             if let Ok(slot) = owned_next.binary_search(&row) {
                 window[wslot * row_next..(wslot + 1) * row_next]
                     .copy_from_slice(&values[slot * row_next..(slot + 1) * row_next]);
             }
         }
+
+        // --- Interior sweep (overlapped with the halo exchange) ------------
+        // Rows whose two child rows are both local can be computed
+        // before touching the network; charging their work ahead of the
+        // receives is what lets the virtual-time model hide message
+        // latency behind computation.
+        spare.clear();
+        spare.resize(owned_cur.len() * row_cur, 0.0);
+        two_rows.clear();
+        two_rows.resize(2 * row_next, 0.0);
+        let child_is_local = |row: usize| owned_next.binary_search(&row).is_ok();
+        let sweep = |j0: usize,
+                         slot: usize,
+                         window: &[f64],
+                         spare: &mut [f64],
+                         two_rows: &mut [f64],
+                         scratch: &mut StepScratch| {
+            let w0 = slot_of(&needed, j0);
+            let w1 = slot_of(&needed, j0 + 1);
+            // The two rows are contiguous in the window for block
+            // decomposition; copy defensively for the general case.
+            two_rows[..row_next].copy_from_slice(&window[w0 * row_next..(w0 + 1) * row_next]);
+            two_rows[row_next..].copy_from_slice(&window[w1 * row_next..(w1 + 1) * row_next]);
+            ctx.compute_slab(
+                j0,
+                two_rows,
+                &mut spare[slot * row_cur..(slot + 1) * row_cur],
+                scratch,
+            );
+        };
+        let mut interior_nodes = 0u64;
+        for (slot, &j0) in owned_cur.iter().enumerate() {
+            if child_is_local(j0) && child_is_local(j0 + 1) {
+                sweep(j0, slot, &window, &mut spare, &mut two_rows, &mut scratch);
+                interior_nodes += row_cur as u64;
+            }
+        }
+        comm.compute_units(interior_nodes as f64 * node_work(d));
+
+        // --- Complete the halo exchange ------------------------------------
         for r in 0..p {
             if r == rank {
                 continue;
@@ -203,25 +263,17 @@ fn run_rank<C: Communicator>(
             }
         }
 
-        // --- Sweep owned rows ---------------------------------------------
-        let mut new_values = vec![0.0; owned_cur.len() * row_cur];
-        let mut two_rows = vec![0.0; 2 * row_next];
+        // --- Boundary sweep (rows that needed remote children) -------------
+        let mut boundary_nodes = 0u64;
         for (slot, &j0) in owned_cur.iter().enumerate() {
-            let w0 = slot_of(&needed, j0);
-            let w1 = slot_of(&needed, j0 + 1);
-            // The two rows are contiguous in the window for block
-            // decomposition; copy defensively for the general case.
-            two_rows[..row_next].copy_from_slice(&window[w0 * row_next..(w0 + 1) * row_next]);
-            two_rows[row_next..].copy_from_slice(&window[w1 * row_next..(w1 + 1) * row_next]);
-            ctx.compute_slab(
-                j0,
-                &two_rows,
-                &mut new_values[slot * row_cur..(slot + 1) * row_cur],
-            );
+            if !(child_is_local(j0) && child_is_local(j0 + 1)) {
+                sweep(j0, slot, &window, &mut spare, &mut two_rows, &mut scratch);
+                boundary_nodes += row_cur as u64;
+            }
         }
-        comm.compute_units(new_values.len() as f64 * node_work(d));
+        comm.compute_units(boundary_nodes as f64 * node_work(d));
 
-        values = new_values;
+        std::mem::swap(&mut values, &mut spare);
         owned_next = owned_cur;
         row_len_next = row_cur;
     }

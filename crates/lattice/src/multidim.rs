@@ -19,6 +19,22 @@
 //! sequential driver, the rayon driver and the message-passing driver
 //! (in [`crate::cluster`]) all call exactly this kernel, so the parallel
 //! engines are bit-identical to the sequential baseline by construction.
+//!
+//! # Run-contiguous layout invariant
+//!
+//! Grids are row-major with **axis 0 outermost** and **axis `d−1`
+//! innermost at stride 1** — in both the current grid and the next. For
+//! fixed outer indices `(j₀..j_{d−2})` the innermost axis is therefore a
+//! contiguous *run* of `step+1` values whose `2^d` children are `2^d`
+//! contiguous runs of the next grid (the innermost branch bit only
+//! shifts a run's start by one). [`StepCtx::compute_slab`] exploits
+//! this: instead of an odometer and `2^d` gathers per node, it performs
+//! `2^d` AXPY-style passes over whole runs, which the compiler
+//! vectorizes under the workspace's `target-cpu=x86-64-v3` pin. Every
+//! node still accumulates its branches in exactly the same order as the
+//! retained scalar oracle ([`StepCtx::compute_slab_scalar`]), so the
+//! blocked kernel is bitwise identical to it — the same
+//! equality-by-construction discipline the batched MC kernel follows.
 
 // The slab kernels walk several strided arrays in lockstep; index loops
 // are the clear form here.
@@ -27,6 +43,7 @@
 use crate::LatticeError;
 use mdp_model::{ExerciseStyle, GbmMarket, Product};
 use rayon::prelude::*;
+use std::cell::RefCell;
 
 /// Default cap on the final-step grid size.
 pub const DEFAULT_NODE_BUDGET: u128 = 200_000_000;
@@ -74,6 +91,14 @@ pub struct StepCtx<'a> {
     /// Child offset within the *inner* (axes ≥ 1) index space of the
     /// next grid, and whether the branch moves axis 0 up.
     branch_offsets: Vec<(usize, usize)>,
+    /// Per-branch start offset into a two-row window of the next grid:
+    /// `up0·row_next + off` — the base every run adds its outer offset
+    /// to. Precomputed so the run loop carries no per-branch arithmetic.
+    branch_starts: Vec<usize>,
+    /// Inner strides of the next grid: axis `k ≥ 1` has stride
+    /// `(step+2)^{d−1−k}`, stored at `inner_strides[k−1]` (innermost is
+    /// stride 1 — the run axis).
+    inner_strides: Vec<usize>,
     /// Row sizes: nodes per axis-0 row in the current and next grids.
     row_cur: usize,
     /// Nodes per axis-0 row of the next grid.
@@ -82,6 +107,40 @@ pub struct StepCtx<'a> {
     spot_tables: Vec<Vec<f64>>,
     product: &'a Product,
     american: bool,
+}
+
+/// Reusable per-worker workspace for the slab kernels: the outer-axis
+/// odometer and the spot vector, hoisted out of the per-slab hot path so
+/// a driver allocates them once instead of once per slab.
+#[derive(Debug, Default, Clone)]
+pub struct StepScratch {
+    /// Odometer over the middle axes `1..=d−2` (the run axis `d−1` and
+    /// the slab axis 0 are not part of it).
+    idx: Vec<usize>,
+    /// Spot vector handed to the payoff; axis `d−1` is rewritten per
+    /// node from the innermost spot ladder.
+    spot: Vec<f64>,
+}
+
+impl StepScratch {
+    /// An empty workspace; sized on first use.
+    pub fn new() -> Self {
+        StepScratch::default()
+    }
+
+    /// Size for dimension `d` and reset the odometer.
+    fn prepare(&mut self, d: usize) {
+        self.idx.clear();
+        self.idx.resize(d.saturating_sub(2), 0);
+        self.spot.resize(d, 0.0);
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch for the rayon driver (the shimmed rayon has no
+    /// `for_each_init`, and scoped workers are fresh threads per step, so
+    /// this amortises allocations across the slabs of one step).
+    static TLS_SCRATCH: RefCell<StepScratch> = RefCell::new(StepScratch::new());
 }
 
 impl<'a> StepCtx<'a> {
@@ -106,7 +165,7 @@ impl<'a> StepCtx<'a> {
         }
         let row_next = strides[0];
         let row_cur = (step + 1).pow((d - 1) as u32);
-        let branch_offsets = (0..1usize << d)
+        let branch_offsets: Vec<(usize, usize)> = (0..1usize << d)
             .map(|m| {
                 let up0 = (m >> (d - 1)) & 1; // axis 0 uses the top bit
                 let mut off = 0usize;
@@ -117,6 +176,17 @@ impl<'a> StepCtx<'a> {
                 (up0, off)
             })
             .collect();
+        let branch_starts = branch_offsets
+            .iter()
+            .map(|&(up0, off)| up0 * row_next + off)
+            .collect();
+        // Inner strides of the next grid (axis k≥1 has stride next_pts^{d-1-k}).
+        let mut inner_strides = vec![1usize; d.saturating_sub(1)];
+        if d >= 2 {
+            for k in (0..d - 2).rev() {
+                inner_strides[k] = inner_strides[k + 1] * next_pts;
+            }
+        }
         let spot_tables = (0..d)
             .map(|i| {
                 let s0 = market.spots()[i];
@@ -132,6 +202,8 @@ impl<'a> StepCtx<'a> {
             disc,
             probs: probs.to_vec(),
             branch_offsets,
+            branch_starts,
+            inner_strides,
             row_cur,
             row_next,
             spot_tables,
@@ -145,17 +217,107 @@ impl<'a> StepCtx<'a> {
         self.row_cur
     }
 
-    /// Compute one axis-0 row `j0` of the current grid.
+    /// Walk the axis-0 row `j0` of the current grid as innermost-axis
+    /// runs, calling `f(run, base, spot, inner_spots)` for each run:
+    ///
+    /// * `run` — the run's contiguous slice of `out` (length `step+1`,
+    ///   or 1 when `d == 1`);
+    /// * `base` — flat offset of the run's first child in the next
+    ///   grid's inner index space (add a [`Self::branch_starts`] entry
+    ///   to address one branch's children inside a two-row window);
+    /// * `spot` — the spot vector with axes `0..d−1` set; the callee
+    ///   writes axis `d−1` per node from
+    /// * `inner_spots` — the innermost spot ladder aligned with `run`.
+    ///
+    /// Both the backward-induction kernel and the terminal evaluation
+    /// iterate spots through this single walker, so the layout invariant
+    /// lives in exactly one place.
+    fn for_each_run<F>(&self, j0: usize, out: &mut [f64], scratch: &mut StepScratch, mut f: F)
+    where
+        F: FnMut(&mut [f64], usize, &mut [f64], &[f64]),
+    {
+        debug_assert_eq!(out.len(), self.row_cur);
+        let d = self.dim;
+        let pts = self.step + 1; // points per inner axis in current grid
+        let (run_len, inner_spots): (usize, &[f64]) = if d == 1 {
+            // No inner axes: the slab is a single node and the "run
+            // spot" is axis 0 itself at this slab's index.
+            (1, &self.spot_tables[0][j0..=j0])
+        } else {
+            (pts, &self.spot_tables[d - 1][..pts])
+        };
+        scratch.prepare(d);
+        let StepScratch { idx, spot } = scratch;
+        spot[0] = self.spot_tables[0][j0];
+        for k in 1..d.saturating_sub(1) {
+            spot[k] = self.spot_tables[k][0];
+        }
+        // `base` advances incrementally with the middle-axis odometer.
+        let mut base = 0usize;
+        for run in out.chunks_mut(run_len) {
+            f(run, base, spot, inner_spots);
+            for k in (0..idx.len()).rev() {
+                idx[k] += 1;
+                if idx[k] < pts {
+                    base += self.inner_strides[k];
+                    spot[k + 1] = self.spot_tables[k + 1][idx[k]];
+                    break;
+                }
+                idx[k] = 0;
+                base -= (pts - 1) * self.inner_strides[k];
+                spot[k + 1] = self.spot_tables[k + 1][0];
+            }
+        }
+    }
+
+    /// Compute one axis-0 row `j0` of the current grid (the blocked,
+    /// run-contiguous kernel every driver uses).
     ///
     /// `next_two_rows` must hold rows `j0` and `j0+1` of the next grid
     /// concatenated (`2·row_next` values); `out` receives `row_cur`
-    /// values.
-    pub fn compute_slab(&self, j0: usize, next_two_rows: &[f64], out: &mut [f64]) {
+    /// values. Bitwise identical to [`Self::compute_slab_scalar`]: each
+    /// node accumulates its `2^d` branches in the same order, only
+    /// restructured into contiguous per-branch passes over whole runs.
+    pub fn compute_slab(
+        &self,
+        j0: usize,
+        next_two_rows: &[f64],
+        out: &mut [f64],
+        scratch: &mut StepScratch,
+    ) {
+        debug_assert_eq!(next_two_rows.len(), 2 * self.row_next);
+        self.for_each_run(j0, out, scratch, |run, base, spot, inner_spots| {
+            run.fill(0.0);
+            for (p, start) in self.probs.iter().zip(&self.branch_starts) {
+                let src = &next_two_rows[start + base..][..run.len()];
+                for (o, s) in run.iter_mut().zip(src) {
+                    *o += p * s;
+                }
+            }
+            let last = spot.len() - 1;
+            if self.american {
+                for (o, s_in) in run.iter_mut().zip(inner_spots) {
+                    spot[last] = *s_in;
+                    *o = (self.disc * *o).max(self.product.payoff.eval(spot));
+                }
+            } else {
+                for o in run.iter_mut() {
+                    *o *= self.disc;
+                }
+            }
+        });
+    }
+
+    /// The scalar per-node oracle the blocked kernel is validated and
+    /// benchmarked against: an odometer walk with `2^d` gathers per
+    /// node, exactly the pre-blocking implementation. Retained for the
+    /// equivalence tests and the t4b kernel experiment; drivers use
+    /// [`Self::compute_slab`].
+    pub fn compute_slab_scalar(&self, j0: usize, next_two_rows: &[f64], out: &mut [f64]) {
         debug_assert_eq!(next_two_rows.len(), 2 * self.row_next);
         debug_assert_eq!(out.len(), self.row_cur);
         let d = self.dim;
         let pts = self.step + 1; // points per inner axis in current grid
-        let next_pts = self.step + 2;
         // Odometer over the inner axes; `base` tracks the flat index of
         // the (j1..j_{d-1}) corner in the next grid's inner space.
         let mut idx = vec![0usize; d.saturating_sub(1)];
@@ -164,15 +326,8 @@ impl<'a> StepCtx<'a> {
         for s in 1..d {
             spot[s] = self.spot_tables[s][0];
         }
-        // Inner strides of the next grid (axis k≥1 has stride next_pts^{d-1-k}).
-        let mut inner_strides = vec![1usize; d.saturating_sub(1)];
-        if d >= 2 {
-            for k in (0..d - 2).rev() {
-                inner_strides[k] = inner_strides[k + 1] * next_pts;
-            }
-        }
         for o in out.iter_mut() {
-            let base: usize = idx.iter().zip(&inner_strides).map(|(j, s)| j * s).sum();
+            let base: usize = idx.iter().zip(&self.inner_strides).map(|(j, s)| j * s).sum();
             let mut acc = 0.0;
             for (p, (up0, off)) in self.probs.iter().zip(&self.branch_offsets) {
                 acc += p * next_two_rows[up0 * self.row_next + base + off];
@@ -196,29 +351,16 @@ impl<'a> StepCtx<'a> {
     }
 
     /// Evaluate the terminal payoff layer for axis-0 row `j0` (used at
-    /// step N where there is no continuation value).
-    pub fn eval_terminal_slab(&self, j0: usize, out: &mut [f64]) {
-        debug_assert_eq!(out.len(), self.row_cur);
-        let d = self.dim;
-        let pts = self.step + 1;
-        let mut idx = vec![0usize; d.saturating_sub(1)];
-        let mut spot = vec![0.0; d];
-        spot[0] = self.spot_tables[0][j0];
-        for s in 1..d {
-            spot[s] = self.spot_tables[s][0];
-        }
-        for o in out.iter_mut() {
-            *o = self.product.payoff.eval(&spot);
-            for k in (0..idx.len()).rev() {
-                idx[k] += 1;
-                if idx[k] < pts {
-                    spot[k + 1] = self.spot_tables[k + 1][idx[k]];
-                    break;
-                }
-                idx[k] = 0;
-                spot[k + 1] = self.spot_tables[k + 1][0];
+    /// step N where there is no continuation value). Shares the
+    /// run-contiguous spot iteration with [`Self::compute_slab`].
+    pub fn eval_terminal_slab(&self, j0: usize, out: &mut [f64], scratch: &mut StepScratch) {
+        self.for_each_run(j0, out, scratch, |run, _base, spot, inner_spots| {
+            let last = spot.len() - 1;
+            for (o, s_in) in run.iter_mut().zip(inner_spots) {
+                spot[last] = *s_in;
+                *o = self.product.payoff.eval(spot);
             }
-        }
+        });
     }
 }
 
@@ -327,18 +469,25 @@ impl MultiLattice {
         let d = market.dim();
         let n = self.steps;
 
-        // Terminal layer.
+        // Two ping-pong grid buffers sized once at the two largest
+        // layers (terminal (n+1)^d and its predecessor n^d); every step
+        // writes into a prefix of the spare buffer and swaps.
         let term_ctx = StepCtx::new(market, product, n, n, &probs, disc);
         let term_row = term_ctx.row_cur();
         let mut values = vec![0.0; (n + 1) * term_row];
+        let mut spare = vec![0.0; (n as u128).pow(d as u32) as usize];
+        let mut scratch = StepScratch::new();
         if parallel {
             values
                 .par_chunks_mut(term_row)
                 .enumerate()
-                .for_each(|(j0, out)| term_ctx.eval_terminal_slab(j0, out));
+                .for_each(|(j0, out)| {
+                    TLS_SCRATCH
+                        .with(|s| term_ctx.eval_terminal_slab(j0, out, &mut s.borrow_mut()))
+                });
         } else {
             for (j0, out) in values.chunks_mut(term_row).enumerate() {
-                term_ctx.eval_terminal_slab(j0, out);
+                term_ctx.eval_terminal_slab(j0, out, &mut scratch);
             }
         }
         let mut nodes = (values.len()) as u64;
@@ -348,7 +497,8 @@ impl MultiLattice {
             let ctx = StepCtx::new(market, product, n, step, &probs, disc);
             let row_cur = ctx.row_cur();
             let row_next = ctx.row_next;
-            let mut new_values = vec![0.0; (step + 1) * row_cur];
+            let len = (step + 1) * row_cur;
+            let new_values = &mut spare[..len];
             if parallel {
                 let values_ref = &values;
                 new_values
@@ -356,17 +506,18 @@ impl MultiLattice {
                     .enumerate()
                     .for_each(|(j0, out)| {
                         let next = &values_ref[j0 * row_next..(j0 + 2) * row_next];
-                        ctx.compute_slab(j0, next, out);
+                        TLS_SCRATCH
+                            .with(|s| ctx.compute_slab(j0, next, out, &mut s.borrow_mut()))
                     });
             } else {
                 for (j0, out) in new_values.chunks_mut(row_cur).enumerate() {
                     let next = &values[j0 * row_next..(j0 + 2) * row_next];
-                    ctx.compute_slab(j0, next, out);
+                    ctx.compute_slab(j0, next, out, &mut scratch);
                 }
             }
-            nodes += new_values.len() as u64;
-            branches += new_values.len() as u64 * (1u64 << d);
-            values = new_values;
+            nodes += len as u64;
+            branches += len as u64 * (1u64 << d);
+            std::mem::swap(&mut values, &mut spare);
         }
         Ok(MultiLatticeResult {
             price: values[0],
@@ -469,6 +620,61 @@ mod tests {
         let am = lat.price(&m, &Product::american(pay, 1.0)).unwrap().price;
         assert!(am >= eu - 1e-12, "{am} vs {eu}");
         assert!(am >= 10.0 - 1e-12, "at least intrinsic");
+    }
+
+    /// Sweep every slab of one backward step with both kernels and
+    /// demand bitwise-equal rows.
+    fn assert_kernels_agree(d: usize, steps: usize, product: &Product) {
+        let m = GbmMarket::symmetric(d, 100.0, 0.25, 0.01, 0.04, 0.2).unwrap();
+        let dt = product.maturity / steps as f64;
+        let probs = branch_probabilities(&m, dt).unwrap();
+        let disc = (-m.rate() * dt).exp();
+        let step = steps - 1; // largest interior step
+        let next_ctx = StepCtx::new(&m, product, steps, steps, &probs, disc);
+        let ctx = StepCtx::new(&m, product, steps, step, &probs, disc);
+        let mut scratch = StepScratch::new();
+        let row_next = ctx.row_next;
+        let mut next = vec![0.0; (steps + 1) * row_next];
+        for (j0, out) in next.chunks_mut(row_next).enumerate() {
+            next_ctx.eval_terminal_slab(j0, out, &mut scratch);
+        }
+        let row_cur = ctx.row_cur();
+        let mut blocked = vec![0.0; row_cur];
+        let mut scalar = vec![0.0; row_cur];
+        for j0 in 0..=step {
+            let window = &next[j0 * row_next..(j0 + 2) * row_next];
+            ctx.compute_slab(j0, window, &mut blocked, &mut scratch);
+            ctx.compute_slab_scalar(j0, window, &mut scalar);
+            for (k, (b, s)) in blocked.iter().zip(&scalar).enumerate() {
+                assert_eq!(
+                    b.to_bits(),
+                    s.to_bits(),
+                    "d={d} j0={j0} node {k}: {b} vs {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_kernel_matches_scalar_oracle_european() {
+        for (d, steps) in [(1usize, 9usize), (2, 8), (3, 6), (4, 5)] {
+            assert_kernels_agree(
+                d,
+                steps,
+                &Product::european(Payoff::MaxCall { strike: 100.0 }, 1.0),
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_kernel_matches_scalar_oracle_american() {
+        for (d, steps) in [(1usize, 9usize), (2, 8), (3, 6), (4, 5)] {
+            assert_kernels_agree(
+                d,
+                steps,
+                &Product::american(Payoff::MinPut { strike: 110.0 }, 1.0),
+            );
+        }
     }
 
     #[test]

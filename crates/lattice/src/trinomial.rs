@@ -85,25 +85,36 @@ impl TrinomialLattice {
         let s0 = market.spots()[0];
         let american = product.exercise == ExerciseStyle::American;
 
-        // Terminal layer: 2n+1 nodes, S = s0·e^{j·dx}, j ∈ [−n, n].
+        // Spot ladder S(j) = s0·e^{j·dx}, j ∈ [−n, n], computed once:
+        // layer `step` occupies ladder indices `n−step ..= n+step`, so
+        // the backward sweep re-reads slices of this table instead of
+        // exponentiating per node (same `j as f64 * dx` expression, so
+        // values are bitwise identical to the recompute-per-node form).
         let width = 2 * n + 1;
+        let spots: Vec<f64> = (0..width)
+            .map(|idx| {
+                let j = idx as i64 - n as i64;
+                s0 * (j as f64 * dx).exp()
+            })
+            .collect();
+
+        // Terminal layer: 2n+1 nodes.
         let mut values = vec![0.0; width];
         let mut spot = [0.0; 1];
         for (idx, v) in values.iter_mut().enumerate() {
-            let j = idx as i64 - n as i64;
-            spot[0] = s0 * (j as f64 * dx).exp();
+            spot[0] = spots[idx];
             *v = product.payoff.eval(&spot);
         }
         let mut nodes = width as u64;
 
         for step in (0..n).rev() {
             let w = 2 * step + 1;
+            let ladder = &spots[n - step..];
             for idx in 0..w {
-                let j = idx as i64 - step as i64;
                 // Children in the step+1 layer are centred: idx+0,1,2.
                 let cont = disc * (pd * values[idx] + pm * values[idx + 1] + pu * values[idx + 2]);
                 values[idx] = if american {
-                    spot[0] = s0 * (j as f64 * dx).exp();
+                    spot[0] = ladder[idx];
                     cont.max(product.payoff.eval(&spot))
                 } else {
                     cont

@@ -9,6 +9,17 @@
 
 use crate::MathError;
 
+/// Reusable forward-elimination workspace for
+/// [`Tridiag::solve_thomas_into`], so batched line solves (ADI sweeps
+/// solve thousands per time step) allocate once instead of per line.
+#[derive(Debug, Clone, Default)]
+pub struct ThomasScratch {
+    /// Eliminated super-diagonal `c'`.
+    cp: Vec<f64>,
+    /// Eliminated right-hand side `d'`.
+    dp: Vec<f64>,
+}
+
 /// A tridiagonal system `a_i x_{i-1} + b_i x_i + c_i x_{i+1} = d_i`.
 ///
 /// `a[0]` and `c[n-1]` are ignored (conventionally zero).
@@ -64,13 +75,33 @@ impl Tridiag {
     /// Numerically safe for diagonally dominant systems, which all the
     /// PDE discretisations in this workspace produce.
     pub fn solve_thomas(&self, d: &[f64]) -> Result<Vec<f64>, MathError> {
+        let mut x = vec![0.0; self.n()];
+        self.solve_thomas_into(d, &mut ThomasScratch::default(), &mut x)?;
+        Ok(x)
+    }
+
+    /// [`Self::solve_thomas`] writing the solution into `x` and reusing
+    /// the elimination buffers in `scratch` — the allocation-free form
+    /// batched line solves call in a loop. Arithmetic is identical to
+    /// `solve_thomas`, so results are bitwise equal.
+    ///
+    /// # Panics
+    /// Panics when `d` or `x` disagree with the system size.
+    pub fn solve_thomas_into(
+        &self,
+        d: &[f64],
+        scratch: &mut ThomasScratch,
+        x: &mut [f64],
+    ) -> Result<(), MathError> {
         let n = self.n();
         assert_eq!(d.len(), n);
+        assert_eq!(x.len(), n);
         if n == 0 {
-            return Ok(Vec::new());
+            return Ok(());
         }
-        let mut cp = vec![0.0; n];
-        let mut dp = vec![0.0; n];
+        scratch.cp.resize(n, 0.0);
+        scratch.dp.resize(n, 0.0);
+        let (cp, dp) = (&mut scratch.cp, &mut scratch.dp);
         if self.b[0].abs() < 1e-300 {
             return Err(MathError::Singular { index: 0 });
         }
@@ -84,12 +115,11 @@ impl Tridiag {
             cp[i] = self.c[i] / m;
             dp[i] = (d[i] - self.a[i] * dp[i - 1]) / m;
         }
-        let mut x = vec![0.0; n];
         x[n - 1] = dp[n - 1];
         for i in (0..n - 1).rev() {
             x[i] = dp[i] - cp[i] * x[i + 1];
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Solve with cyclic (odd–even) reduction — O(n log n) work,
@@ -238,6 +268,25 @@ mod tests {
             let xc = t.solve_cyclic_reduction(&d).unwrap();
             for (i, (a, b)) in xt.iter().zip(&xc).enumerate() {
                 assert!(approx_eq(*a, *b, 1e-8), "n={n} i={i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_into_reuses_scratch_across_sizes_bitwise() {
+        let mut scratch = ThomasScratch::default();
+        let mut x = vec![0.0; 64];
+        // Shrinking then growing the system size must not leak state
+        // between solves: every reused solve matches the allocating one
+        // bit for bit.
+        for n in [64usize, 7, 33, 64, 1] {
+            let t = laplacian(n);
+            let d: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).cos()).collect();
+            x.resize(n, 0.0);
+            t.solve_thomas_into(&d, &mut scratch, &mut x).unwrap();
+            let fresh = t.solve_thomas(&d).unwrap();
+            for (a, b) in x.iter().zip(&fresh) {
+                assert_eq!(a.to_bits(), b.to_bits(), "n={n}");
             }
         }
     }

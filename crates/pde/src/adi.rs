@@ -18,9 +18,25 @@
 
 use crate::grid::LogGrid;
 use crate::PdeError;
-use mdp_math::linalg::tridiag::Tridiag;
+use mdp_math::linalg::tridiag::{ThomasScratch, Tridiag};
 use mdp_model::{ExerciseStyle, GbmMarket, Product};
 use rayon::prelude::*;
+use std::cell::RefCell;
+
+/// Per-worker line-solve workspace: the right-hand side and the Thomas
+/// elimination buffers, reused across all lines of a run instead of
+/// allocated per line.
+#[derive(Default)]
+struct LineScratch {
+    rhs: Vec<f64>,
+    thomas: ThomasScratch,
+}
+
+thread_local! {
+    /// One [`LineScratch`] per worker thread; the sequential sweep and
+    /// every rayon worker reuse it for each line they solve.
+    static LINE_SCRATCH: RefCell<LineScratch> = RefCell::new(LineScratch::default());
+}
 
 /// Configuration of the 2-D ADI engine.
 #[derive(Debug, Clone, Copy)]
@@ -132,6 +148,14 @@ impl Adi2d {
 
         let idx = |i: usize, j: usize| i * m + j;
 
+        // Stage buffers, allocated once and rewritten every time step
+        // (only interior entries are ever read back).
+        let mut y0 = vec![0.0; m * m];
+        let mut y1 = vec![0.0; m * m];
+        // Stage-1 solutions: one contiguous `interior`-length line per
+        // interior j, scattered into `y1` columns after the solves.
+        let mut lines1 = vec![0.0; interior * interior];
+
         for step in 1..=n {
             let tau = step as f64 * dt;
             let df = (-r * tau).exp();
@@ -145,7 +169,6 @@ impl Adi2d {
             };
 
             // --- explicit predictor Y0 = V + Δt·L V on the interior ----
-            let mut y0 = vec![0.0; m * m];
             for i in 1..m - 1 {
                 for j in 1..m - 1 {
                     let l1 =
@@ -160,49 +183,71 @@ impl Adi2d {
             }
 
             // --- stage 1: implicit in x1 (solve one line per interior j)
-            let solve_j = |j: usize| -> (usize, Vec<f64>) {
-                let mut rhs = vec![0.0; interior];
-                for i in 1..m - 1 {
-                    let l1v =
-                        ax1.a * v[idx(i - 1, j)] + ax1.b * v[idx(i, j)] + ax1.c * v[idx(i + 1, j)];
-                    rhs[i - 1] = y0[idx(i, j)] - theta * dt * l1v;
-                }
-                rhs[0] += theta * dt * ax1.a * boundary(0, j);
-                rhs[interior - 1] += theta * dt * ax1.c * boundary(m - 1, j);
-                (j, sys1.solve_thomas(&rhs).expect("diagonally dominant"))
+            // Each worker reuses its thread-local rhs/elimination
+            // buffers and solves straight into the line's slot of
+            // `lines1` — no per-line allocations.
+            let solve_j = |jrel: usize, out: &mut [f64]| {
+                let j = jrel + 1;
+                LINE_SCRATCH.with(|cell| {
+                    let sc = &mut *cell.borrow_mut();
+                    sc.rhs.resize(interior, 0.0);
+                    for i in 1..m - 1 {
+                        let l1v = ax1.a * v[idx(i - 1, j)]
+                            + ax1.b * v[idx(i, j)]
+                            + ax1.c * v[idx(i + 1, j)];
+                        sc.rhs[i - 1] = y0[idx(i, j)] - theta * dt * l1v;
+                    }
+                    sc.rhs[0] += theta * dt * ax1.a * boundary(0, j);
+                    sc.rhs[interior - 1] += theta * dt * ax1.c * boundary(m - 1, j);
+                    sys1.solve_thomas_into(&sc.rhs, &mut sc.thomas, out)
+                        .expect("diagonally dominant");
+                });
             };
-            let lines1: Vec<(usize, Vec<f64>)> = if self.parallel {
-                (1..m - 1).into_par_iter().map(solve_j).collect()
+            if self.parallel {
+                lines1
+                    .par_chunks_mut(interior)
+                    .enumerate()
+                    .for_each(|(jrel, out)| solve_j(jrel, out));
             } else {
-                (1..m - 1).map(solve_j).collect()
-            };
-            let mut y1 = vec![0.0; m * m];
-            for (j, line) in lines1 {
-                for (i, val) in line.into_iter().enumerate() {
-                    y1[idx(i + 1, j)] = val;
+                for (jrel, out) in lines1.chunks_mut(interior).enumerate() {
+                    solve_j(jrel, out);
+                }
+            }
+            for (jrel, line) in lines1.chunks(interior).enumerate() {
+                for (irel, val) in line.iter().enumerate() {
+                    y1[idx(irel + 1, jrel + 1)] = *val;
                 }
             }
 
             // --- stage 2: implicit in x2 (solve one line per interior i)
-            let solve_i = |i: usize| -> (usize, Vec<f64>) {
-                let mut rhs = vec![0.0; interior];
-                for j in 1..m - 1 {
-                    let l2v =
-                        ax2.a * v[idx(i, j - 1)] + ax2.b * v[idx(i, j)] + ax2.c * v[idx(i, j + 1)];
-                    rhs[j - 1] = y1[idx(i, j)] - theta * dt * l2v;
+            // A stage-2 line reads and writes only row i of `v`
+            // (contiguous), so it solves in place on the row slice: the
+            // rhs is fully built from the old row values before the
+            // solution overwrites the interior.
+            let solve_i = |i: usize, row: &mut [f64]| {
+                if i == 0 || i == m - 1 {
+                    return; // boundary rows are refreshed below
                 }
-                rhs[0] += theta * dt * ax2.a * boundary(i, 0);
-                rhs[interior - 1] += theta * dt * ax2.c * boundary(i, m - 1);
-                (i, sys2.solve_thomas(&rhs).expect("diagonally dominant"))
+                LINE_SCRATCH.with(|cell| {
+                    let sc = &mut *cell.borrow_mut();
+                    sc.rhs.resize(interior, 0.0);
+                    for j in 1..m - 1 {
+                        let l2v = ax2.a * row[j - 1] + ax2.b * row[j] + ax2.c * row[j + 1];
+                        sc.rhs[j - 1] = y1[idx(i, j)] - theta * dt * l2v;
+                    }
+                    sc.rhs[0] += theta * dt * ax2.a * boundary(i, 0);
+                    sc.rhs[interior - 1] += theta * dt * ax2.c * boundary(i, m - 1);
+                    sys2.solve_thomas_into(&sc.rhs, &mut sc.thomas, &mut row[1..m - 1])
+                        .expect("diagonally dominant");
+                });
             };
-            let lines2: Vec<(usize, Vec<f64>)> = if self.parallel {
-                (1..m - 1).into_par_iter().map(solve_i).collect()
+            if self.parallel {
+                v.par_chunks_mut(m)
+                    .enumerate()
+                    .for_each(|(i, row)| solve_i(i, row));
             } else {
-                (1..m - 1).map(solve_i).collect()
-            };
-            for (i, line) in lines2 {
-                for (j, val) in line.into_iter().enumerate() {
-                    v[idx(i, j + 1)] = val;
+                for (i, row) in v.chunks_mut(m).enumerate() {
+                    solve_i(i, row);
                 }
             }
 

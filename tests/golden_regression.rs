@@ -192,9 +192,12 @@ fn golden_virtual_times() {
         mdp_core::lattice::cluster::Decomposition::Block,
     )
     .unwrap();
+    // Re-pinned when the cluster driver started overlapping halo
+    // exchange with interior compute: the modelled makespan dropped
+    // (latency hidden behind interior slabs); prices are unchanged.
     assert_pinned(
         out.time.makespan,
-        0.006129640000000001,
+        0.00612704,
         "lattice makespan d=2 n=64 p=4",
     );
     assert_eq!(out.time.total_msgs, 192, "message count");
