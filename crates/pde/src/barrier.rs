@@ -7,7 +7,7 @@
 //! checks them against each other, which validates both.
 
 use crate::PdeError;
-use mdp_math::linalg::tridiag::Tridiag;
+use mdp_math::linalg::tridiag::{ThomasScratch, Tridiag};
 use mdp_model::{ExerciseStyle, GbmMarket, Payoff, Product};
 
 /// Configuration of the 1-D barrier finite-difference engine.
@@ -125,6 +125,10 @@ impl Fd1dBarrier {
         }
         let mut nodes = m as u64;
         let mut rhs = vec![0.0; interior];
+        // Reused across every time step: the solution buffer and the
+        // Thomas elimination workspace (no per-step allocation).
+        let mut sol = vec![0.0; interior];
+        let mut scratch = ThomasScratch::default();
         for step in 1..=n {
             let tau = step as f64 * dt;
             let df = (-r * tau).exp();
@@ -144,8 +148,7 @@ impl Fd1dBarrier {
             }
             rhs[0] += theta * dt * a * lo_b;
             rhs[interior - 1] += theta * dt * c * hi_b;
-            let sol = lhs
-                .solve_thomas(&rhs)
+            lhs.solve_thomas_into(&rhs, &mut scratch, &mut sol)
                 .map_err(|_| PdeError::GridTooSmall { space: m, time: n })?;
             values[0] = lo_b;
             values[m - 1] = hi_b;

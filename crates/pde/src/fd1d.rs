@@ -22,7 +22,7 @@
 
 use crate::grid::LogGrid;
 use crate::PdeError;
-use mdp_math::linalg::tridiag::Tridiag;
+use mdp_math::linalg::tridiag::{ThomasScratch, Tridiag};
 use mdp_model::{ExerciseStyle, GbmMarket, Product};
 
 /// Time-stepping scheme.
@@ -153,6 +153,10 @@ impl Fd1d {
         );
 
         let mut rhs = vec![0.0; interior];
+        // Reused across every time step: the solution buffer and the
+        // Thomas elimination workspace (no per-step allocation).
+        let mut sol = vec![0.0; interior];
+        let mut scratch = ThomasScratch::default();
         for step in 1..=n {
             let tau = step as f64 * dt;
             // Dirichlet boundaries: discounted intrinsic.
@@ -169,8 +173,8 @@ impl Fd1d {
             rhs[0] += theta * dt * a * lo_b;
             rhs[interior - 1] += theta * dt * c * hi_b;
 
-            let mut new_interior = if theta == 0.0 {
-                rhs.clone()
+            if theta == 0.0 {
+                sol.copy_from_slice(&rhs);
             } else if american && matches!(self.american, AmericanMethod::Psor { .. }) {
                 let AmericanMethod::Psor {
                     omega,
@@ -180,22 +184,24 @@ impl Fd1d {
                 else {
                     unreachable!()
                 };
+                // Warm-start PSOR from the previous time level.
+                sol.copy_from_slice(&values[1..m - 1]);
                 psor(
                     &lhs,
                     &rhs,
                     &intrinsic[1..m - 1],
-                    &values[1..m - 1],
                     omega,
                     tol,
                     max_iter,
-                )?
+                    &mut sol,
+                )?;
             } else {
-                lhs.solve_thomas(&rhs)
-                    .map_err(|_| PdeError::GridTooSmall { space: m, time: n })?
-            };
+                lhs.solve_thomas_into(&rhs, &mut scratch, &mut sol)
+                    .map_err(|_| PdeError::GridTooSmall { space: m, time: n })?;
+            }
 
             if american && matches!(self.american, AmericanMethod::Projection) {
-                for (v, &intr) in new_interior.iter_mut().zip(&intrinsic[1..m - 1]) {
+                for (v, &intr) in sol.iter_mut().zip(&intrinsic[1..m - 1]) {
                     *v = v.max(intr);
                 }
             }
@@ -210,13 +216,12 @@ impl Fd1d {
             } else {
                 hi_b
             };
-            values[1..m - 1].copy_from_slice(&new_interior);
+            values[1..m - 1].copy_from_slice(&sol);
             if american && theta == 0.0 {
                 for (v, &intr) in values.iter_mut().zip(&intrinsic) {
                     *v = v.max(intr);
                 }
             }
-            new_interior.clear();
             nodes += m as u64;
         }
 
@@ -229,18 +234,19 @@ impl Fd1d {
     }
 }
 
-/// Projected SOR for `A x = b` subject to `x ≥ floor`, warm-started.
+/// Projected SOR for `A x = b` subject to `x ≥ floor`.
+///
+/// `x` holds the warm start on entry and the solution on exit.
 fn psor(
     a: &Tridiag,
     b: &[f64],
     floor: &[f64],
-    warm: &[f64],
     omega: f64,
     tol: f64,
     max_iter: usize,
-) -> Result<Vec<f64>, PdeError> {
+    x: &mut [f64],
+) -> Result<(), PdeError> {
     let n = b.len();
-    let mut x: Vec<f64> = warm.to_vec();
     for it in 0..max_iter {
         let mut delta: f64 = 0.0;
         for i in 0..n {
@@ -257,7 +263,7 @@ fn psor(
             x[i] = xi;
         }
         if delta < tol {
-            return Ok(x);
+            return Ok(());
         }
         if it == max_iter - 1 {
             return Err(PdeError::NoConvergence {
