@@ -122,6 +122,12 @@ impl Tridiag {
         Ok(())
     }
 
+    /// Precompute the Thomas elimination factors of this system for
+    /// repeated solves against many right-hand sides.
+    pub fn factor(&self) -> Result<FactoredTridiag, MathError> {
+        FactoredTridiag::new(self)
+    }
+
     /// Solve with cyclic (odd–even) reduction — O(n log n) work,
     /// O(log n) parallel span.
     ///
@@ -133,6 +139,136 @@ impl Tridiag {
         let n = self.n();
         assert_eq!(d.len(), n);
         cr_solve(&self.a, &self.b, &self.c, d)
+    }
+}
+
+/// Thomas elimination factors of a [`Tridiag`], computed once and reused
+/// across arbitrarily many right-hand sides.
+///
+/// The ADI and Crank–Nicolson steppers solve the *same* constant matrix
+/// `(I − θΔt·A)` for every grid line of every time step; the `c'` sweep
+/// and the pivots `m_i = b_i − a_i·c'_{i−1}` depend only on the matrix,
+/// so factoring once removes them from the per-line critical path.
+///
+/// **Bitwise contract**: the factors are computed with the exact same
+/// expressions as [`Tridiag::solve_thomas_into`], and the per-solve
+/// sweeps keep the *division* by the stored pivot (rather than
+/// multiplying by a precomputed reciprocal, which would round
+/// differently). Every solve is therefore bit-for-bit equal to the
+/// unfactored Thomas solve — the parallel and blocked PDE drivers rely
+/// on this to stay bitwise-identical to their scalar oracles.
+#[derive(Debug, Clone)]
+pub struct FactoredTridiag {
+    /// Sub-diagonal of the original system (forward-sweep multiplier).
+    a: Vec<f64>,
+    /// Eliminated super-diagonal `c'_i = c_i / m_i`.
+    cp: Vec<f64>,
+    /// Forward-elimination pivots `m_0 = b_0`, `m_i = b_i − a_i·c'_{i−1}`.
+    piv: Vec<f64>,
+}
+
+impl FactoredTridiag {
+    /// Run the elimination sweep once, storing `c'` and the pivots.
+    ///
+    /// Fails (like the solve would) when a pivot underflows to zero.
+    pub fn new(t: &Tridiag) -> Result<Self, MathError> {
+        let n = t.n();
+        let mut cp = vec![0.0; n];
+        let mut piv = vec![0.0; n];
+        if n > 0 {
+            if t.b[0].abs() < 1e-300 {
+                return Err(MathError::Singular { index: 0 });
+            }
+            piv[0] = t.b[0];
+            cp[0] = t.c[0] / t.b[0];
+            for i in 1..n {
+                let m = t.b[i] - t.a[i] * cp[i - 1];
+                if m.abs() < 1e-300 {
+                    return Err(MathError::Singular { index: i });
+                }
+                piv[i] = m;
+                cp[i] = t.c[i] / m;
+            }
+        }
+        Ok(FactoredTridiag {
+            a: t.a.clone(),
+            cp,
+            piv,
+        })
+    }
+
+    /// System size.
+    pub fn n(&self) -> usize {
+        self.piv.len()
+    }
+
+    /// Solve one right-hand side into `x`.
+    ///
+    /// Bitwise-equal to [`Tridiag::solve_thomas_into`] on the same
+    /// system: `d'_i = (d_i − a_i·d'_{i−1}) / m_i` divides by the stored
+    /// pivot exactly as the fused sweep does.
+    ///
+    /// # Panics
+    /// Panics when `d` or `x` disagree with the system size.
+    pub fn solve_into(&self, d: &[f64], x: &mut [f64]) {
+        let n = self.n();
+        assert_eq!(d.len(), n);
+        assert_eq!(x.len(), n);
+        if n == 0 {
+            return;
+        }
+        // Forward sweep: x temporarily holds d'.
+        x[0] = d[0] / self.piv[0];
+        for i in 1..n {
+            x[i] = (d[i] - self.a[i] * x[i - 1]) / self.piv[i];
+        }
+        // Back substitution.
+        for i in (0..n - 1).rev() {
+            x[i] -= self.cp[i] * x[i + 1];
+        }
+    }
+
+    /// Solve a whole panel of right-hand sides in one pass.
+    ///
+    /// `panel` holds `w = panel.len() / n` independent systems in
+    /// *transposed* (line-interleaved) layout: row `i` of the panel is
+    /// the `w` lane values of unknown `i`, stored contiguously. Each
+    /// sweep step then touches one contiguous row — stride-1 across
+    /// lanes — so the compiler vectorises across the independent lines
+    /// while the serial dependency runs down the rows. Per lane the
+    /// arithmetic is exactly [`Self::solve_into`], so every line's
+    /// solution is bitwise-equal to its scalar solve.
+    ///
+    /// # Panics
+    /// Panics when `panel.len()` is not a multiple of the system size.
+    pub fn solve_panel_transposed(&self, panel: &mut [f64]) {
+        let n = self.n();
+        if n == 0 {
+            assert!(panel.is_empty(), "panel rows must match system size");
+            return;
+        }
+        assert_eq!(panel.len() % n, 0, "panel rows must match system size");
+        let w = panel.len() / n;
+        // Forward sweep: panel row i becomes d'_i for every lane.
+        for lane in &mut panel[..w] {
+            *lane /= self.piv[0];
+        }
+        for i in 1..n {
+            let (prev, cur) = panel[(i - 1) * w..].split_at_mut(w);
+            let ai = self.a[i];
+            let pivi = self.piv[i];
+            for (x, &xm) in cur[..w].iter_mut().zip(prev.iter()) {
+                *x = (*x - ai * xm) / pivi;
+            }
+        }
+        // Back substitution, row by row upwards.
+        for i in (0..n - 1).rev() {
+            let (cur, next) = panel[i * w..].split_at_mut(w);
+            let cpi = self.cp[i];
+            for (x, &xp) in cur.iter_mut().zip(next[..w].iter()) {
+                *x -= cpi * xp;
+            }
+        }
     }
 }
 
@@ -289,6 +425,74 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits(), "n={n}");
             }
         }
+    }
+
+    #[test]
+    fn factored_solve_matches_thomas_bitwise() {
+        let t = laplacian(101);
+        let fac = t.factor().unwrap();
+        let mut scratch = ThomasScratch::default();
+        let mut xf = vec![0.0; 101];
+        let mut xt = vec![0.0; 101];
+        for k in 0..4 {
+            let d: Vec<f64> = (0..101)
+                .map(|i| (i as f64 * 0.13 + k as f64).sin())
+                .collect();
+            fac.solve_into(&d, &mut xf);
+            t.solve_thomas_into(&d, &mut scratch, &mut xt).unwrap();
+            for (a, b) in xf.iter().zip(&xt) {
+                assert_eq!(a.to_bits(), b.to_bits(), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn factored_panel_matches_per_line_solves_bitwise() {
+        let n = 37;
+        let t = laplacian(n);
+        let fac = t.factor().unwrap();
+        for w in [1usize, 2, 5, 64] {
+            // Lane l of the panel is its own RHS, interleaved row-major.
+            let mut panel = vec![0.0; n * w];
+            for i in 0..n {
+                for l in 0..w {
+                    panel[i * w + l] = ((i * 7 + l * 3) as f64 * 0.11).cos();
+                }
+            }
+            let lanes: Vec<Vec<f64>> = (0..w)
+                .map(|l| {
+                    let d: Vec<f64> = (0..n).map(|i| panel[i * w + l]).collect();
+                    t.solve_thomas(&d).unwrap()
+                })
+                .collect();
+            fac.solve_panel_transposed(&mut panel);
+            for (l, lane) in lanes.iter().enumerate() {
+                for i in 0..n {
+                    assert_eq!(
+                        panel[i * w + l].to_bits(),
+                        lane[i].to_bits(),
+                        "w={w} lane={l} row={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn factored_edge_cases() {
+        // Single equation and empty system.
+        let one = Tridiag::new(vec![0.0], vec![4.0], vec![0.0]);
+        let fac = one.factor().unwrap();
+        let mut x = [0.0];
+        fac.solve_into(&[8.0], &mut x);
+        assert_eq!(x[0], 2.0);
+        let empty = Tridiag::new(vec![], vec![], vec![]);
+        let fac = empty.factor().unwrap();
+        fac.solve_into(&[], &mut []);
+        fac.solve_panel_transposed(&mut []);
+        // Singular pivots are caught at factor time.
+        let sing = Tridiag::new(vec![0.0, 0.0], vec![0.0, 1.0], vec![0.0, 0.0]);
+        assert!(sing.factor().is_err());
     }
 
     #[test]

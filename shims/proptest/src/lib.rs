@@ -180,6 +180,18 @@ macro_rules! prop_assert_eq {
             vb
         );
     }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (va, vb) = (&$a, &$b);
+        $crate::prop_assert!(
+            va == vb,
+            "assertion failed: {} == {} ({:?} vs {:?}): {}",
+            stringify!($a),
+            stringify!($b),
+            va,
+            vb,
+            format!($($fmt)*)
+        );
+    }};
 }
 
 /// Define seeded random-case property tests.
