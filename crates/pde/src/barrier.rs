@@ -7,7 +7,7 @@
 //! checks them against each other, which validates both.
 
 use crate::PdeError;
-use mdp_math::linalg::tridiag::{ThomasScratch, Tridiag};
+use mdp_math::linalg::tridiag::Tridiag;
 use mdp_model::{ExerciseStyle, GbmMarket, Payoff, Product};
 
 /// Configuration of the 1-D barrier finite-difference engine.
@@ -125,10 +125,12 @@ impl Fd1dBarrier {
         }
         let mut nodes = m as u64;
         let mut rhs = vec![0.0; interior];
-        // Reused across every time step: the solution buffer and the
-        // Thomas elimination workspace (no per-step allocation).
+        // Reused across every time step (no per-step allocation), with
+        // the constant CN system factored once for all steps.
         let mut sol = vec![0.0; interior];
-        let mut scratch = ThomasScratch::default();
+        let factored = lhs
+            .factor()
+            .map_err(|_| PdeError::GridTooSmall { space: m, time: n })?;
         for step in 1..=n {
             let tau = step as f64 * dt;
             let df = (-r * tau).exp();
@@ -148,8 +150,7 @@ impl Fd1dBarrier {
             }
             rhs[0] += theta * dt * a * lo_b;
             rhs[interior - 1] += theta * dt * c * hi_b;
-            lhs.solve_thomas_into(&rhs, &mut scratch, &mut sol)
-                .map_err(|_| PdeError::GridTooSmall { space: m, time: n })?;
+            factored.solve_into(&rhs, &mut sol);
             values[0] = lo_b;
             values[m - 1] = hi_b;
             values[1..m - 1].copy_from_slice(&sol);

@@ -22,7 +22,7 @@
 
 use crate::grid::LogGrid;
 use crate::PdeError;
-use mdp_math::linalg::tridiag::{ThomasScratch, Tridiag};
+use mdp_math::linalg::tridiag::Tridiag;
 use mdp_model::{ExerciseStyle, GbmMarket, Product};
 
 /// Time-stepping scheme.
@@ -153,10 +153,22 @@ impl Fd1d {
         );
 
         let mut rhs = vec![0.0; interior];
-        // Reused across every time step: the solution buffer and the
-        // Thomas elimination workspace (no per-step allocation).
+        // Reused across every time step (no per-step allocation).
         let mut sol = vec![0.0; interior];
-        let mut scratch = ThomasScratch::default();
+        // The CN system is constant across time steps: factor its
+        // Thomas elimination once and reuse the factors every solve
+        // (bitwise-equal to the fused sweep). PSOR and the explicit
+        // scheme never solve it.
+        let needs_solve =
+            theta != 0.0 && !(american && matches!(self.american, AmericanMethod::Psor { .. }));
+        let factored = if needs_solve {
+            Some(
+                lhs.factor()
+                    .map_err(|_| PdeError::GridTooSmall { space: m, time: n })?,
+            )
+        } else {
+            None
+        };
         for step in 1..=n {
             let tau = step as f64 * dt;
             // Dirichlet boundaries: discounted intrinsic.
@@ -196,8 +208,10 @@ impl Fd1d {
                     &mut sol,
                 )?;
             } else {
-                lhs.solve_thomas_into(&rhs, &mut scratch, &mut sol)
-                    .map_err(|_| PdeError::GridTooSmall { space: m, time: n })?;
+                factored
+                    .as_ref()
+                    .expect("factored above when the CN solve runs")
+                    .solve_into(&rhs, &mut sol);
             }
 
             if american && matches!(self.american, AmericanMethod::Projection) {

@@ -21,7 +21,7 @@ pub mod error;
 pub mod fd1d;
 pub mod grid;
 
-pub use adi::{Adi2d, Adi2dResult};
+pub use adi::{Adi2d, Adi2dResult, AdiKernel};
 pub use barrier::{BarrierResult, Fd1dBarrier};
 pub use cluster::{ClusterFd1d, ClusterFdOutcome};
 pub use error::PdeError;
