@@ -201,4 +201,30 @@ fn golden_virtual_times() {
         "lattice makespan d=2 n=64 p=4",
     );
     assert_eq!(out.time.total_msgs, 192, "message count");
+
+    // Same pin for the distributed explicit FD sweep. Re-derived when
+    // the driver started overlapping halo exchange with interior
+    // compute (PR 3): the per-step compute charge is split around the
+    // receives, so latency hides behind the ghost-free points.
+    let m1 = GbmMarket::single(100.0, 0.2, 0.0, 0.05).unwrap();
+    let call = Product::european(
+        Payoff::BasketCall {
+            weights: vec![1.0],
+            strike: 100.0,
+        },
+        1.0,
+    );
+    let fd = mdp_core::pde::ClusterFd1d {
+        space_points: 101,
+        time_steps: 2000,
+        ..Default::default()
+    }
+    .price(&m1, &call, 4, Machine::cluster2002())
+    .unwrap();
+    assert_pinned(
+        fd.time.makespan,
+        0.205060980000006,
+        "explicit FD makespan m=101 n=2000 p=4",
+    );
+    assert_eq!(fd.time.total_msgs, 12003, "FD message count");
 }
