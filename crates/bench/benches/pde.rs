@@ -42,6 +42,29 @@ fn bench_adi(c: &mut Criterion) {
     g.finish();
 }
 
+/// The two ADI hot-path kernels head to head on the default grid —
+/// the criterion twin of the `t5b` experiment (which also checks the
+/// prices are bitwise identical and writes `BENCH_pde_kernel.json`).
+fn bench_pde_kernel(c: &mut Criterion) {
+    let m = market(2);
+    let p = max_call();
+    let mut g = c.benchmark_group("pde_kernel");
+    g.sample_size(10);
+    for (name, kernel) in [
+        ("scalar_101x101x100", mdp_core::pde::AdiKernel::Scalar),
+        ("blocked_101x101x100", mdp_core::pde::AdiKernel::Blocked),
+    ] {
+        g.bench_function(name, |b| {
+            let cfg = Adi2d {
+                kernel,
+                ..Default::default()
+            };
+            b.iter(|| cfg.price(&m, &p).unwrap().price)
+        });
+    }
+    g.finish();
+}
+
 fn bench_psor_american(c: &mut Criterion) {
     let m = market(1);
     let p = Product::american(
@@ -71,5 +94,11 @@ fn bench_psor_american(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_fd1d, bench_adi, bench_psor_american);
+criterion_group!(
+    benches,
+    bench_fd1d,
+    bench_adi,
+    bench_pde_kernel,
+    bench_psor_american
+);
 criterion_main!(benches);

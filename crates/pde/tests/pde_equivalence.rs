@@ -1,0 +1,196 @@
+//! Property sweep of the PDE engines' equality-by-construction
+//! discipline, mirroring the lattice `driver_equivalence` suite:
+//!
+//! * the ADI blocked kernel must match the per-line scalar oracle bit
+//!   for bit — sequential and rayon — across grid size, payoff,
+//!   correlation sign and exercise style;
+//! * the virtual-cluster explicit sweep must match the sequential
+//!   explicit engine bit for bit for every rank count;
+//! * a knock-out barrier pushed to the far edge of the domain must
+//!   reproduce the vanilla Crank–Nicolson price to machine precision.
+
+use mdp_cluster::Machine;
+use mdp_model::{GbmMarket, Payoff, Product};
+use mdp_pde::{Adi2d, AdiKernel, ClusterFd1d, Fd1d, Fd1dBarrier, LogGrid, Scheme};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random grid, market, payoff, correlation sign and exercise
+    /// style: all four ADI variants (scalar/blocked × seq/rayon) agree
+    /// to the last bit.
+    #[test]
+    fn adi_kernels_and_drivers_bitwise_equal(
+        msel in 0usize..4,
+        steps in 1usize..7,
+        vol in 0.15f64..0.35,
+        rho in -0.4f64..0.4,
+        rate in 0.0f64..0.08,
+        strike in 80.0f64..120.0,
+        payoff_kind in 0usize..4,
+        american in 0usize..2,
+    ) {
+        // Include a size with a ragged last panel tile (71 → 69
+        // interior = 2 full 32-lane tiles + 5 lanes).
+        let m = [7usize, 21, 41, 71][msel];
+        let market = match GbmMarket::symmetric(2, 100.0, vol, 0.01, rate, rho) {
+            Ok(mk) => mk,
+            Err(_) => return Ok(()),
+        };
+        let payoff = match payoff_kind {
+            0 => Payoff::MaxCall { strike },
+            1 => Payoff::MinPut { strike },
+            2 => Payoff::GeometricCall { strike },
+            _ => Payoff::BasketCall {
+                weights: Product::equal_weights(2),
+                strike,
+            },
+        };
+        let product = if american == 1 {
+            Product::american(payoff, 1.0)
+        } else {
+            Product::european(payoff, 1.0)
+        };
+        let run = |kernel: AdiKernel, parallel: bool| {
+            Adi2d {
+                space_points: m,
+                time_steps: steps,
+                parallel,
+                kernel,
+                ..Default::default()
+            }
+            .price(&market, &product)
+            .unwrap()
+        };
+        let oracle = run(AdiKernel::Scalar, false);
+        for (kernel, parallel) in [
+            (AdiKernel::Scalar, true),
+            (AdiKernel::Blocked, false),
+            (AdiKernel::Blocked, true),
+        ] {
+            let r = run(kernel, parallel);
+            prop_assert_eq!(
+                oracle.price.to_bits(),
+                r.price.to_bits(),
+                "{:?} parallel={}",
+                kernel,
+                parallel
+            );
+            prop_assert_eq!(oracle.nodes_processed, r.nodes_processed);
+        }
+    }
+
+    /// The distributed explicit sweep re-partitions the same updates,
+    /// so every rank count reproduces the sequential engine bitwise.
+    #[test]
+    fn cluster_explicit_matches_sequential_bitwise(
+        m in 11usize..41,
+        vol in 0.15f64..0.35,
+        rate in 0.0f64..0.08,
+        strike in 80.0f64..120.0,
+        ranks in 1usize..6,
+        put in 0usize..2,
+    ) {
+        let market = GbmMarket::single(100.0, vol, 0.01, rate).unwrap();
+        let weights = vec![1.0];
+        let payoff = if put == 1 {
+            Payoff::BasketPut { weights, strike }
+        } else {
+            Payoff::BasketCall { weights, strike }
+        };
+        let product = Product::european(payoff, 1.0);
+        // Pick a step count that satisfies the CFL bound with margin.
+        let grid = LogGrid::new(100.0, vol, 1.0, 5.0, m);
+        let n = (2.2 * vol * vol / (grid.dx * grid.dx)).ceil() as usize + 1;
+        let seq = Fd1d {
+            space_points: m,
+            time_steps: n,
+            scheme: Scheme::Explicit,
+            ..Default::default()
+        }
+        .price(&market, &product)
+        .unwrap();
+        let par = ClusterFd1d {
+            space_points: m,
+            time_steps: n,
+            ..Default::default()
+        }
+        .price(&market, &product, ranks, Machine::ideal())
+        .unwrap();
+        prop_assert_eq!(seq.price.to_bits(), par.price.to_bits(), "ranks={}", ranks);
+    }
+
+    /// A knock-out barrier placed exactly on the far grid boundary —
+    /// 8 standard deviations out — turns the barrier engine's domain
+    /// into the vanilla engine's domain; the only difference left is
+    /// the absorbing condition on a boundary whose influence on the
+    /// centre decays like the 8σ Gaussian tail, i.e. below double
+    /// precision. The two independently written engines must agree to
+    /// machine precision.
+    #[test]
+    fn far_barrier_recovers_vanilla_to_machine_precision(
+        msel in 0usize..3,
+        n in 40usize..120,
+        vol in 0.15f64..0.35,
+        rate in 0.0f64..0.08,
+        strike in 80.0f64..120.0,
+        up in 0usize..2,
+    ) {
+        let m = [41usize, 101, 161][msel];
+        let width = 8.0;
+        let market = GbmMarket::single(100.0, vol, 0.0, rate).unwrap();
+        // Same half-width formula as LogGrid, so the barrier lands on
+        // the vanilla grid's outermost node.
+        let half = (width * vol * 1.0f64.sqrt()).max(0.5);
+        let (payoff, vanilla_payoff) = if up == 1 {
+            (
+                Payoff::UpOutCall {
+                    strike,
+                    barrier: 100.0 * half.exp(),
+                },
+                Payoff::BasketCall {
+                    weights: vec![1.0],
+                    strike,
+                },
+            )
+        } else {
+            (
+                Payoff::DownOutPut {
+                    strike,
+                    barrier: 100.0 * (-half).exp(),
+                },
+                Payoff::BasketPut {
+                    weights: vec![1.0],
+                    strike,
+                },
+            )
+        };
+        let barrier = Fd1dBarrier {
+            space_points: m,
+            time_steps: n,
+            width,
+        }
+        .price(&market, &Product::european(payoff, 1.0))
+        .unwrap();
+        let vanilla = Fd1d {
+            space_points: m,
+            time_steps: n,
+            width,
+            ..Default::default()
+        }
+        .price(&market, &Product::european(vanilla_payoff, 1.0))
+        .unwrap();
+        let tol = 1e-9 * (1.0 + vanilla.price.abs());
+        prop_assert!(
+            (barrier.price - vanilla.price).abs() < tol,
+            "barrier {} vs vanilla {} (m={}, n={}, vol={}, up={})",
+            barrier.price,
+            vanilla.price,
+            m,
+            n,
+            vol,
+            up
+        );
+    }
+}
