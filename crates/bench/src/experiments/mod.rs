@@ -8,8 +8,8 @@ use crate::Effort;
 
 /// All experiment ids in canonical order.
 pub const ALL: &[&str] = &[
-    "t1", "t2", "t3", "t3b", "t4", "t4b", "t5", "t5b", "t6", "t7", "t8", "t9", "f1", "f2", "f3",
-    "f4", "f5", "f6", "a1", "a2", "a3", "a4", "a5",
+    "t1", "t2", "t3", "t3b", "t4", "t4b", "t5", "t5b", "t6", "t6b", "t7", "t8", "t9", "f1", "f2",
+    "f3", "f4", "f5", "f6", "a1", "a2", "a3", "a4", "a5",
 ];
 
 /// Run one experiment by id. Returns false for unknown ids.
@@ -24,6 +24,7 @@ pub fn run(id: &str, effort: Effort) -> bool {
         "t5" => tables::t5_method_comparison(effort),
         "t5b" => tables::t5b_pde_kernel_throughput(effort),
         "t6" => tables::t6_communication_overhead(effort),
+        "t6b" => tables::t6b_fault_tolerance(effort),
         "t7" => tables::t7_lsmc_american(effort),
         "t8" => tables::t8_greeks(effort),
         "t9" => tables::t9_barriers_and_pde_scaling(effort),
@@ -54,7 +55,7 @@ mod tests {
 
     #[test]
     fn registry_covers_design_doc() {
-        assert_eq!(ALL.len(), 23);
-        assert!(ALL.contains(&"t1") && ALL.contains(&"t5b") && ALL.contains(&"a4"));
+        assert_eq!(ALL.len(), 24);
+        assert!(ALL.contains(&"t1") && ALL.contains(&"t6b") && ALL.contains(&"a4"));
     }
 }

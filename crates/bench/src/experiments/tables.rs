@@ -687,6 +687,164 @@ pub fn t6_communication_overhead(effort: Effort) {
     save("t6_comm_overhead", &t);
 }
 
+/// T6b — fault tolerance: checkpoint overhead vs interval, and
+/// recovery makespan vs crash time.
+///
+/// Part 1 prices the d=2 lattice under an inert [`FaultPlan`] (no
+/// faults, checkpoints still written) across checkpoint intervals and
+/// reports the modelled overhead against the plain driver. Part 2
+/// injects a single rank crash at several boundaries and reports the
+/// recovery makespan — checkpoint replay included — for the lattice
+/// and MC drivers, asserting every recovered price is bit-identical to
+/// the fault-free run. Writes `BENCH_fault_tolerance.json` so CI can
+/// gate on the overhead and recovery fields.
+pub fn t6b_fault_tolerance(effort: Effort) {
+    use mdp_core::lattice::cluster::price_cluster_ft;
+    use mdp_core::mc::cluster_driver::price_mc_cluster_ft;
+
+    let mut t = Table::new(
+        "T6b: checkpoint overhead and crash recovery (2002 cluster)",
+        &["engine", "interval", "crash step", "T_model [ms]", "overhead %"],
+    );
+    let m2 = market(2);
+    let prod = max_call();
+    let n = effort.scale(64, 128);
+    let ranks = 4usize;
+    let plain = price_cluster(
+        &m2,
+        &prod,
+        n,
+        ranks,
+        Machine::cluster2002(),
+        Decomposition::Block,
+    )
+    .unwrap();
+    let base_ms = plain.time.makespan * 1e3;
+
+    let mut json = String::from("{\n  \"experiment\": \"t6b\",\n  \"checkpoint_overhead\": [\n");
+    let intervals: &[usize] = match effort {
+        Effort::Quick => &[1, 8, 32],
+        Effort::Full => &[1, 4, 8, 16, 32],
+    };
+    for (i, &interval) in intervals.iter().enumerate() {
+        let ft = price_cluster_ft(
+            &m2,
+            &prod,
+            n,
+            ranks,
+            Machine::cluster2002(),
+            FaultPlan::new(0),
+            interval,
+        )
+        .unwrap();
+        assert_eq!(
+            ft.price.to_bits(),
+            plain.price.to_bits(),
+            "checkpointing must not change the price"
+        );
+        let ms = ft.time.makespan * 1e3;
+        let overhead = (ms - base_ms) / base_ms * 100.0;
+        // A checkpoint ships a full layer shard, which costs roughly one
+        // step of compute, so overhead ~ 100%/interval; 16 is the
+        // default interval documented in DESIGN.md.
+        if interval >= 16 {
+            assert!(
+                overhead <= 10.0,
+                "checkpoint overhead at interval {interval} too high: {overhead:.2}%"
+            );
+        }
+        t.push(&[
+            format!("lattice d=2 N={n} p={ranks}"),
+            interval.to_string(),
+            "-".to_string(),
+            fmt_sig(ms, 4),
+            format!("{overhead:.2}"),
+        ]);
+        json.push_str(&format!(
+            "    {{\"engine\": \"lattice\", \"interval\": {interval}, \"makespan_ms\": {ms:.4}, \
+             \"overhead_pct\": {overhead:.2}}}{}\n",
+            if i + 1 < intervals.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n  \"recovery\": [\n");
+
+    // Part 2: recovery makespan vs crash time, interval fixed at the
+    // default 16.
+    let crash_steps: Vec<usize> = vec![n / 4, n / 2, 3 * n / 4];
+    let mut rows: Vec<String> = Vec::new();
+    for &crash_at in &crash_steps {
+        let plan = FaultPlan::new(0).with_crash(1, crash_at);
+        let ft = price_cluster_ft(&m2, &prod, n, ranks, Machine::cluster2002(), plan, 16).unwrap();
+        assert_eq!(
+            ft.price.to_bits(),
+            plain.price.to_bits(),
+            "recovered lattice price must be bit-identical"
+        );
+        let ms = ft.time.makespan * 1e3;
+        let overhead = (ms - base_ms) / base_ms * 100.0;
+        t.push(&[
+            format!("lattice d=2 N={n} p={ranks}"),
+            "16".to_string(),
+            crash_at.to_string(),
+            fmt_sig(ms, 4),
+            format!("{overhead:.2}"),
+        ]);
+        rows.push(format!(
+            "    {{\"engine\": \"lattice\", \"crash_step\": {crash_at}, \"interval\": 16, \
+             \"recovery_makespan_ms\": {ms:.4}, \"faultfree_makespan_ms\": {base_ms:.4}, \
+             \"recovery_overhead_pct\": {overhead:.2}}}"
+        ));
+    }
+
+    // MC: crash mid-stream of a batched run.
+    let m5 = market_vol(5, 0.3);
+    let paths = effort.scale64(20_000, 100_000);
+    let cfg = McConfig {
+        paths,
+        block_size: (paths / 64).max(1),
+        ..Default::default()
+    };
+    let mc_plain = price_mc_cluster(&m5, &basket_call(5), cfg, ranks, Machine::cluster2002()).unwrap();
+    let mc_base_ms = mc_plain.time.makespan * 1e3;
+    for &crash_at in &[4usize, 12] {
+        let plan = FaultPlan::new(0).with_crash(1, crash_at);
+        let ft = price_mc_cluster_ft(
+            &m5,
+            &basket_call(5),
+            cfg,
+            ranks,
+            Machine::cluster2002(),
+            plan,
+            16,
+            4,
+        )
+        .unwrap();
+        assert_eq!(
+            ft.result.price.to_bits(),
+            mc_plain.result.price.to_bits(),
+            "recovered MC price must be bit-identical"
+        );
+        let ms = ft.time.makespan * 1e3;
+        let overhead = (ms - mc_base_ms) / mc_base_ms * 100.0;
+        t.push(&[
+            format!("mc d=5 {paths} paths p={ranks}"),
+            "4".to_string(),
+            crash_at.to_string(),
+            fmt_sig(ms, 4),
+            format!("{overhead:.2}"),
+        ]);
+        rows.push(format!(
+            "    {{\"engine\": \"mc\", \"crash_step\": {crash_at}, \"interval\": 4, \
+             \"recovery_makespan_ms\": {ms:.4}, \"faultfree_makespan_ms\": {mc_base_ms:.4}, \
+             \"recovery_overhead_pct\": {overhead:.2}}}"
+        ));
+    }
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    let _ = std::fs::write(crate::out_dir().join("BENCH_fault_tolerance.json"), json);
+    save("t6b_fault_tolerance", &t);
+}
+
 /// T7 — LSMC American pricing: accuracy and parallel scaling.
 pub fn t7_lsmc_american(effort: Effort) {
     let mut t = Table::new(

@@ -1,0 +1,566 @@
+//! Coordinated checkpoints and deterministic rank recovery.
+//!
+//! The pricing drivers all advance in lock-step over a step index
+//! (lattice/FD time steps, MC batch boundaries). That structure makes
+//! *coordinated* checkpointing trivial and cheap: at every boundary
+//! that is a multiple of the checkpoint interval, each rank snapshots
+//! its shard into a [`CheckpointStore`] (a model of stable storage —
+//! the parallel file system of a 2002-era cluster), paying the
+//! modelled cost of shipping the snapshot off-node.
+//!
+//! Recovery preserves **bitwise determinism** because of three facts:
+//!
+//! 1. Crashes fire only at step boundaries ([`crate::ThreadComm::fault_step`]),
+//!    and every message sent inside a step is received inside the same
+//!    step — so at the moment survivors roll back, no user message is
+//!    in flight and no receive can observe pre-crash traffic.
+//! 2. The checkpoint at a boundary is written *before* the crash
+//!    injection point, so the final checkpoint set always covers the
+//!    whole problem domain, including the dying rank's shard.
+//! 3. Survivors repartition the domain over the *sorted list of
+//!    surviving ranks* with the same block partition arithmetic used
+//!    at startup, and every per-element update is arithmetic on values
+//!    that do not depend on which rank owns the element. Replayed
+//!    steps therefore produce bit-identical intermediate states, and
+//!    the final price is bit-identical to a fault-free run.
+//!
+//! Failure agreement uses a flat all-to-all exchange of death bitmasks
+//! rather than the tree allreduce in [`crate::collectives`]: a tree is
+//! not death-robust (contributions routed through the dead rank would
+//! vanish), while the flat exchange touches every surviving pair
+//! directly. The exchange runs only at boundaries where the fault plan
+//! schedules a crash — detection itself is honest (survivors consume
+//! the dying rank's poison marker at the message level), the plan only
+//! tells the runtime *when* to look, keeping fault-free steps free of
+//! agreement traffic.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::comm::Communicator;
+use crate::message::{Message, Tag, FT_TAG_BASE};
+use crate::thread_comm::ThreadComm;
+
+/// Tag for the failure-agreement bitmask exchange.
+const AGREE_TAG: Tag = FT_TAG_BASE;
+/// Tag for recovery-time subgroup broadcast.
+const BCAST_TAG: Tag = FT_TAG_BASE + 1;
+/// Tag for recovery-time subgroup gather.
+const GATHER_TAG: Tag = FT_TAG_BASE + 2;
+
+/// One rank's snapshot at a checkpoint boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointRecord {
+    /// The step boundary this snapshot was taken at.
+    pub step: usize,
+    /// Recovery era: how many recoveries preceded this write. Records
+    /// of an older era at the same step are stale (they describe a
+    /// partition over a rank set that has since shrunk) and are
+    /// excluded by [`CheckpointStore::read_step`].
+    pub era: usize,
+    /// Domain offset of the shard (first row / grid point / block id).
+    pub lo: usize,
+    /// The shard's state, flattened to doubles.
+    pub data: Vec<f64>,
+}
+
+/// A model of stable storage shared by all ranks (the cluster's
+/// parallel file system). Snapshots are keyed by `(rank, step, era)`
+/// and never overwritten: a survivor replaying past a boundary writes
+/// a *new-era* record there, so a slower survivor can still read the
+/// old era's complete pool — overwriting in place would race. Writes
+/// are charged to the writer's virtual clock by
+/// [`ThreadComm::checkpoint_write`].
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointStore {
+    inner: Arc<Mutex<CheckpointMap>>,
+}
+
+/// Records keyed by `(rank, step, era)`.
+type CheckpointMap = HashMap<(usize, usize, usize), CheckpointRecord>;
+
+impl CheckpointStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Persist `rank`'s snapshot for its `(step, era)` slot.
+    pub fn write(&self, rank: usize, record: CheckpointRecord) {
+        self.inner
+            .lock()
+            .unwrap()
+            .insert((rank, record.step, record.era), record);
+    }
+
+    /// All snapshots taken at `step` in `era`, sorted by rank. The
+    /// reader names the era it recovered in — selecting "newest" would
+    /// race with fast survivors that already replayed past this
+    /// boundary and deposited next-era records.
+    ///
+    /// Safe for survivors to call during recovery: every era-`era`
+    /// participant of the failure-agreement exchange wrote its
+    /// boundary snapshot before exchanging, and the dying rank wrote
+    /// its snapshot before reaching the crash injection point, so the
+    /// lock acquisition happens-after every relevant write.
+    pub fn read_step(&self, step: usize, era: usize) -> Vec<(usize, CheckpointRecord)> {
+        let mut v: Vec<(usize, CheckpointRecord)> = self
+            .inner
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|(&(_, st, er), _)| st == step && er == era)
+            .map(|(&(rank, _, _), r)| (rank, r.clone()))
+            .collect();
+        v.sort_by_key(|&(rank, _)| rank);
+        v
+    }
+
+    /// Number of snapshots currently held (for tests).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// True when no snapshot has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl ThreadComm {
+    /// Write a checkpoint record to stable storage, charging the
+    /// modelled transfer cost (`α + β·bytes`, as if shipped to the
+    /// file system over the interconnect) to this rank's clock and
+    /// `ckpt_time` counter.
+    pub fn checkpoint_write(&mut self, store: &CheckpointStore, record: CheckpointRecord) {
+        let cost = self
+            .machine()
+            .message_time(Message::wire_bytes(record.data.len()));
+        self.charge_checkpoint(cost);
+        store.write(self.rank(), record);
+    }
+}
+
+/// The instruction a driver receives from [`Supervisor::boundary`]
+/// when ranks died: roll back and repartition.
+#[derive(Debug, Clone)]
+pub struct Recovery {
+    /// Step to resume from: the last coordinated checkpoint. `None`
+    /// means no checkpoint exists yet — reinitialise from scratch.
+    pub from_step: Option<usize>,
+    /// The pooled checkpoint records at `from_step`, sorted by the
+    /// writing rank (covers the whole domain, dead ranks included).
+    pub records: Vec<(usize, CheckpointRecord)>,
+}
+
+/// Per-rank driver-side coordinator for checkpointing and recovery.
+///
+/// Drivers construct one per rank, call [`Supervisor::boundary`] at
+/// every step boundary, and react to the returned [`Recovery`] by
+/// rebuilding their shard from the pooled records over the shrunken
+/// [`Supervisor::active`] set.
+#[derive(Debug)]
+pub struct Supervisor {
+    interval: usize,
+    store: CheckpointStore,
+    plan_crashes: Vec<(usize, usize)>,
+    active: Vec<usize>,
+    last_ckpt: Option<usize>,
+    era: usize,
+}
+
+impl Supervisor {
+    /// A supervisor for `comm`'s run, checkpointing every `interval`
+    /// steps into `store`.
+    pub fn new(comm: &ThreadComm, interval: usize, store: &CheckpointStore) -> Self {
+        assert!(interval >= 1, "checkpoint interval must be >= 1");
+        Supervisor {
+            interval,
+            store: store.clone(),
+            plan_crashes: comm
+                .fault_plan()
+                .map(|p| p.crashes.clone())
+                .unwrap_or_default(),
+            active: (0..comm.size()).collect(),
+            last_ckpt: None,
+            era: 0,
+        }
+    }
+
+    /// Ranks still alive, sorted ascending. Identical on every
+    /// survivor after each boundary — this list (not the original
+    /// size) is what drivers partition over.
+    pub fn active(&self) -> &[usize] {
+        &self.active
+    }
+
+    /// The step of the most recent coordinated checkpoint.
+    pub fn last_checkpoint(&self) -> Option<usize> {
+        self.last_ckpt
+    }
+
+    /// Dense index of `rank` within the active list.
+    pub fn dense_index(&self, rank: usize) -> usize {
+        self.active
+            .iter()
+            .position(|&r| r == rank)
+            .expect("rank must be active")
+    }
+
+    fn crash_step_of(&self, rank: usize) -> Option<usize> {
+        self.plan_crashes
+            .iter()
+            .filter(|&&(r, _)| r == rank)
+            .map(|&(_, s)| s)
+            .min()
+    }
+
+    fn any_crash_at(&self, step: usize) -> bool {
+        self.plan_crashes.iter().any(|&(_, s)| s == step)
+    }
+
+    /// One step boundary: checkpoint if due, inject this rank's
+    /// scheduled crash, and — at boundaries where the plan schedules a
+    /// death — run the failure-agreement exchange. Returns a
+    /// [`Recovery`] when ranks died and the driver must roll back.
+    ///
+    /// `snapshot` produces `(lo, data)` for this rank's shard; it is
+    /// only invoked when a checkpoint is due at this boundary.
+    pub fn boundary(
+        &mut self,
+        comm: &mut ThreadComm,
+        step: usize,
+        snapshot: impl FnOnce() -> (usize, Vec<f64>),
+    ) -> Option<Recovery> {
+        // Checkpoint before the crash point: a rank dying at this
+        // boundary still contributes its shard to the recovery pool.
+        if step % self.interval == 0 {
+            let (lo, data) = snapshot();
+            let era = self.era;
+            comm.checkpoint_write(&self.store, CheckpointRecord { step, era, lo, data });
+            self.last_ckpt = Some(step);
+        }
+        comm.fault_step(step);
+        if !self.any_crash_at(step) {
+            return None;
+        }
+        let newly_dead = self.agree_on_dead(comm, step);
+        if newly_dead.is_empty() {
+            return None;
+        }
+        self.active.retain(|r| !newly_dead.contains(r));
+        // Read the pool of the era we are leaving, *then* bump the era
+        // so replayed boundaries deposit fresh records alongside it.
+        let records = match self.last_ckpt {
+            Some(s) => self.store.read_step(s, self.era),
+            None => Vec::new(),
+        };
+        self.era += 1;
+        Some(Recovery {
+            from_step: self.last_ckpt,
+            records,
+        })
+    }
+
+    /// Flat failure-agreement exchange at a crash boundary. Every
+    /// survivor (a) consumes the poison marker of each active rank
+    /// whose scheduled death is due, directly observing its death
+    /// clock, then (b) exchanges death bitmasks with every expected
+    /// survivor and unions them. The result — identical on all
+    /// survivors — is the list of ranks to bury. Only deaths scheduled
+    /// at or before `step` are reported, so a poison marker consumed
+    /// early from a wall-clock-ahead rank never leaks into an earlier
+    /// boundary's agreement.
+    fn agree_on_dead(&self, comm: &mut ThreadComm, step: usize) -> Vec<usize> {
+        let me = comm.rank();
+        let size = comm.size();
+        let due: Vec<usize> = self
+            .active
+            .iter()
+            .copied()
+            .filter(|&r| r != me && matches!(self.crash_step_of(r), Some(c) if c <= step))
+            .collect();
+        let expected: Vec<usize> = self
+            .active
+            .iter()
+            .copied()
+            .filter(|&r| r != me && !due.contains(&r))
+            .collect();
+        let mut dead = vec![false; size];
+        for &d in &due {
+            // The dying rank sends nothing at this boundary; only its
+            // poison marker can resolve this receive.
+            if comm.recv_ft(d, AGREE_TAG).is_err() {
+                dead[d] = true;
+            }
+        }
+        let mask: Vec<f64> = dead.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+        for &r in &expected {
+            comm.send(r, AGREE_TAG, &mask);
+        }
+        for &r in &expected {
+            // Plain receive: an expected survivor always sends its mask
+            // before it can die (its scheduled crash, if any, is at a
+            // later boundary). `recv_ft` would be wrong here — it
+            // resolves early-observed poison from a wall-clock-ahead
+            // rank whose *future* death must not surface yet.
+            let theirs = comm.recv(r, AGREE_TAG);
+            for (i, v) in theirs.iter().enumerate() {
+                if *v != 0.0 {
+                    dead[i] = true;
+                }
+            }
+        }
+        (0..size).filter(|&r| dead[r]).collect()
+    }
+}
+
+/// Broadcast `data` from `root` to every rank in `active` (linear,
+/// deterministic order). Recovery-path collective: the tree algorithms
+/// in [`crate::collectives`] assume the full communicator.
+pub fn broadcast_active(
+    comm: &mut ThreadComm,
+    active: &[usize],
+    root: usize,
+    data: &[f64],
+) -> Vec<f64> {
+    if comm.rank() == root {
+        for &r in active {
+            if r != root {
+                comm.send(r, BCAST_TAG, data);
+            }
+        }
+        data.to_vec()
+    } else {
+        comm.recv(root, BCAST_TAG)
+    }
+}
+
+/// Gather each active rank's `data` to `root` (linear, in active-list
+/// order). Returns the per-rank payloads on `root`, empty elsewhere.
+pub fn gather_active(
+    comm: &mut ThreadComm,
+    active: &[usize],
+    root: usize,
+    data: &[f64],
+) -> Vec<Vec<f64>> {
+    if comm.rank() == root {
+        active
+            .iter()
+            .map(|&r| {
+                if r == root {
+                    data.to_vec()
+                } else {
+                    comm.recv(r, GATHER_TAG)
+                }
+            })
+            .collect()
+    } else {
+        comm.send(root, GATHER_TAG, data);
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use crate::machine::Machine;
+    use crate::thread_comm::{run_spmd, run_spmd_ft};
+
+    #[test]
+    fn store_keeps_history_and_filters_by_step_and_era() {
+        let store = CheckpointStore::new();
+        store.write(
+            0,
+            CheckpointRecord {
+                step: 0,
+                era: 0,
+                lo: 0,
+                data: vec![1.0],
+            },
+        );
+        store.write(
+            1,
+            CheckpointRecord {
+                step: 0,
+                era: 0,
+                lo: 4,
+                data: vec![2.0],
+            },
+        );
+        store.write(
+            0,
+            CheckpointRecord {
+                step: 8,
+                era: 0,
+                lo: 0,
+                data: vec![3.0],
+            },
+        );
+        assert_eq!(store.len(), 3, "history is kept, never overwritten");
+        let at8 = store.read_step(8, 0);
+        assert_eq!(at8.len(), 1);
+        assert_eq!(at8[0].0, 0);
+        assert_eq!(at8[0].1.data, vec![3.0]);
+        let at0 = store.read_step(0, 0);
+        assert_eq!(at0.len(), 2, "both ranks' step-0 records survive");
+        assert_eq!((at0[0].0, at0[1].0), (0, 1));
+        assert!(store.read_step(0, 1).is_empty(), "era filter is exact");
+    }
+
+    #[test]
+    fn checkpoint_write_charges_virtual_time() {
+        let store = CheckpointStore::new();
+        let st = store.clone();
+        let r = run_spmd(1, Machine::cluster2002(), move |comm| {
+            comm.checkpoint_write(
+                &st,
+                CheckpointRecord {
+                    step: 0,
+                    era: 0,
+                    lo: 0,
+                    data: vec![0.0; 100],
+                },
+            );
+            comm.now()
+        })
+        .unwrap();
+        let expect = Machine::cluster2002().message_time(Message::wire_bytes(100));
+        assert!((r[0].value - expect).abs() < 1e-15);
+        assert!((r[0].stats.ckpt_time - expect).abs() < 1e-15);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn supervisor_checkpoints_on_interval_only() {
+        let store = CheckpointStore::new();
+        let st = store.clone();
+        let out = run_spmd_ft(
+            2,
+            Machine::ideal(),
+            FaultPlan::new(0),
+            move |comm| {
+                let mut sup = Supervisor::new(comm, 4, &st);
+                let mut snaps = 0;
+                for step in 0..10 {
+                    let r = sup.boundary(comm, step, || {
+                        snaps += 1;
+                        (comm_rank_lo(step), vec![step as f64])
+                    });
+                    assert!(r.is_none(), "no crashes scheduled");
+                }
+                (snaps, sup.last_checkpoint())
+            },
+        )
+        .unwrap();
+        for s in &out.survivors {
+            assert_eq!(s.value.0, 3, "steps 0, 4, 8");
+            assert_eq!(s.value.1, Some(8));
+        }
+    }
+
+    fn comm_rank_lo(step: usize) -> usize {
+        step // arbitrary payload for the snapshot closure
+    }
+
+    #[test]
+    fn single_crash_is_agreed_and_repartitioned() {
+        let store = CheckpointStore::new();
+        let st = store.clone();
+        let plan = FaultPlan::new(0).with_crash(1, 5);
+        let out = run_spmd_ft(4, Machine::cluster2002(), plan, move |comm| {
+            let me = comm.rank() as f64;
+            let mut sup = Supervisor::new(comm, 4, &st);
+            let mut recovered_at = None;
+            let mut step = 0;
+            while step < 10 {
+                if let Some(rec) = sup.boundary(comm, step, || (0, vec![me])) {
+                    recovered_at = Some((step, rec.from_step, rec.records.len()));
+                    step = rec.from_step.expect("checkpoint exists");
+                    continue;
+                }
+                comm.compute(1e-4);
+                step += 1;
+            }
+            (recovered_at, sup.active().to_vec())
+        })
+        .unwrap();
+        assert_eq!(out.crashed.len(), 1);
+        assert_eq!(out.survivors.len(), 3);
+        for s in &out.survivors {
+            let (rec, active) = &s.value;
+            // All survivors detected the death at step 5, rolled back
+            // to the step-4 checkpoint, and saw all 4 shards pooled.
+            assert_eq!(*rec, Some((5, Some(4), 4)));
+            assert_eq!(active, &vec![0, 2, 3]);
+        }
+        // Deterministic agreement: identical virtual clocks per rank
+        // across replays of the same plan.
+        let t: Vec<u64> = out.survivors.iter().map(|s| s.time.to_bits()).collect();
+        let st2 = store.clone();
+        let plan2 = FaultPlan::new(0).with_crash(1, 5);
+        let out2 = run_spmd_ft(4, Machine::cluster2002(), plan2, move |comm| {
+            let me = comm.rank() as f64;
+            let mut sup = Supervisor::new(comm, 4, &st2);
+            let mut step = 0;
+            while step < 10 {
+                if let Some(rec) = sup.boundary(comm, step, || (0, vec![me])) {
+                    step = rec.from_step.unwrap();
+                    continue;
+                }
+                comm.compute(1e-4);
+                step += 1;
+            }
+            sup.active().to_vec()
+        })
+        .unwrap();
+        let t2: Vec<u64> = out2.survivors.iter().map(|s| s.time.to_bits()).collect();
+        assert_eq!(t, t2, "recovery makespan must replay bit-identically");
+    }
+
+    #[test]
+    fn two_crashes_at_different_steps() {
+        let store = CheckpointStore::new();
+        let st = store.clone();
+        let plan = FaultPlan::new(0).with_crash(3, 2).with_crash(1, 6);
+        let out = run_spmd_ft(4, Machine::cluster2002(), plan, move |comm| {
+            let mut sup = Supervisor::new(comm, 2, &st);
+            let mut step = 0;
+            while step < 8 {
+                if let Some(rec) = sup.boundary(comm, step, || (0, vec![0.0])) {
+                    step = rec.from_step.unwrap();
+                    continue;
+                }
+                comm.compute(1e-4);
+                step += 1;
+            }
+            sup.active().to_vec()
+        })
+        .unwrap();
+        assert_eq!(out.crashed.len(), 2);
+        assert_eq!(out.survivors.len(), 2);
+        for s in &out.survivors {
+            assert_eq!(s.value, vec![0, 2]);
+        }
+    }
+
+    #[test]
+    fn subgroup_collectives_cover_active_set() {
+        let r = run_spmd(4, Machine::cluster2002(), |comm| {
+            let active = [0usize, 2, 3]; // rank 1 sits out
+            if comm.rank() == 1 {
+                return (vec![], vec![]);
+            }
+            let got = broadcast_active(comm, &active, 0, &[7.5]);
+            let gathered = gather_active(comm, &active, 0, &[comm.rank() as f64]);
+            (got, gathered.into_iter().flatten().collect::<Vec<f64>>())
+        })
+        .unwrap();
+        assert_eq!(r[0].value.0, vec![7.5]);
+        assert_eq!(r[2].value.0, vec![7.5]);
+        assert_eq!(r[3].value.0, vec![7.5]);
+        assert_eq!(r[0].value.1, vec![0.0, 2.0, 3.0]);
+        assert!(r[2].value.1.is_empty());
+    }
+}

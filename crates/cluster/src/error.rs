@@ -11,6 +11,20 @@ pub enum ClusterError {
     ZeroRanks,
     /// A rank index was out of range for the communicator size.
     InvalidRank { rank: usize, size: usize },
+    /// A blocking `recv` exceeded the [`crate::Machine::recv_deadline`]
+    /// without a matching message arriving — the run is wedged
+    /// (mismatched send/recv program, or a peer vanished without
+    /// poisoning us). Milliseconds so the variant stays `Eq`.
+    DeadlineExceeded {
+        /// Rank whose `recv` timed out.
+        rank: usize,
+        /// Rank it was waiting on.
+        src: usize,
+        /// Tag it was waiting for.
+        tag: crate::message::Tag,
+        /// Host wall-clock milliseconds waited before giving up.
+        waited_ms: u64,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -26,6 +40,18 @@ impl fmt::Display for ClusterError {
             ClusterError::ZeroRanks => write!(f, "an SPMD run needs at least one rank"),
             ClusterError::InvalidRank { rank, size } => {
                 write!(f, "rank {rank} out of range for size {size}")
+            }
+            ClusterError::DeadlineExceeded {
+                rank,
+                src,
+                tag,
+                waited_ms,
+            } => {
+                write!(
+                    f,
+                    "rank {rank} exceeded its recv deadline waiting {waited_ms} ms \
+                     for src {src} tag {tag}"
+                )
             }
         }
     }
@@ -43,5 +69,19 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("rank 2"));
         assert!(s.contains("boom"));
+    }
+
+    #[test]
+    fn deadline_display_names_the_blocked_pair() {
+        let e = ClusterError::DeadlineExceeded {
+            rank: 1,
+            src: 3,
+            tag: 7,
+            waited_ms: 250,
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 1"));
+        assert!(s.contains("src 3"));
+        assert!(s.contains("250 ms"));
     }
 }

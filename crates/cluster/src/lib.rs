@@ -44,9 +44,11 @@
 //! assert!(results.iter().all(|r| r.value == 79800.0));
 //! ```
 
+pub mod checkpoint;
 pub mod collectives;
 pub mod comm;
 pub mod error;
+pub mod fault;
 pub mod machine;
 pub mod message;
 pub mod partition;
@@ -55,9 +57,11 @@ pub mod thread_comm;
 pub mod topology;
 pub mod trace;
 
+pub use checkpoint::{CheckpointRecord, CheckpointStore, Recovery, Supervisor};
 pub use comm::Communicator;
 pub use error::ClusterError;
+pub use fault::{FaultPlan, InjectedCrash};
 pub use machine::Machine;
 pub use message::Tag;
 pub use stats::{CommStats, SpmdResult, TimeModel};
-pub use thread_comm::{run_spmd, run_spmd_traced, ThreadComm};
+pub use thread_comm::{run_spmd, run_spmd_ft, run_spmd_traced, CrashInfo, FtRunOutcome, ThreadComm};

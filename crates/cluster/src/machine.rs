@@ -19,7 +19,18 @@ pub struct Machine {
     /// engines use [`Machine::work_time`] to convert counted work into
     /// virtual seconds.
     pub sec_per_unit: f64,
+    /// *Wall-clock* (host) seconds a blocking `recv` may wait before the
+    /// run is declared wedged and aborted with
+    /// [`crate::ClusterError::DeadlineExceeded`]. This is host time, not
+    /// virtual time: it bounds real deadlocks (mismatched send/recv
+    /// programs, a peer that died without poisoning us), not the modelled
+    /// communication cost.
+    pub recv_deadline: f64,
 }
+
+/// Default `recv` deadline: generous enough that only a genuine deadlock
+/// ever reaches it (the old hard-coded constant, now per-[`Machine`]).
+pub const DEFAULT_RECV_DEADLINE: f64 = 120.0;
 
 impl Machine {
     /// A 2002-era Beowulf-class cluster: 50 µs MPI latency, 100 MB/s
@@ -31,6 +42,7 @@ impl Machine {
             latency: 50e-6,
             inv_bandwidth: 10e-9,
             sec_per_unit: 10e-9,
+            recv_deadline: DEFAULT_RECV_DEADLINE,
         }
     }
 
@@ -41,6 +53,7 @@ impl Machine {
             latency: 2e-6,
             inv_bandwidth: 0.5e-9,
             sec_per_unit: 10e-9,
+            recv_deadline: DEFAULT_RECV_DEADLINE,
         }
     }
 
@@ -52,6 +65,7 @@ impl Machine {
             latency: 0.0,
             inv_bandwidth: 0.0,
             sec_per_unit: 10e-9,
+            recv_deadline: DEFAULT_RECV_DEADLINE,
         }
     }
 
@@ -59,6 +73,16 @@ impl Machine {
     pub fn with_latency_factor(mut self, f: f64) -> Self {
         self.latency *= f;
         self.name = "custom";
+        self
+    }
+
+    /// Copy of `self` with the `recv` deadline set to `seconds` of host
+    /// wall-clock time. Chaos/fault tests shorten this so a wedged run
+    /// surfaces as a typed [`crate::ClusterError::DeadlineExceeded`]
+    /// quickly instead of stalling the suite.
+    pub fn with_recv_deadline(mut self, seconds: f64) -> Self {
+        assert!(seconds > 0.0, "deadline must be positive");
+        self.recv_deadline = seconds;
         self
     }
 

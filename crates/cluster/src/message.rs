@@ -14,6 +14,10 @@ pub const POISON_TAG: Tag = RESERVED_TAG_BASE + 1;
 /// Tags used internally by the collective algorithms.
 pub const COLL_TAG_BASE: Tag = RESERVED_TAG_BASE + 0x100;
 
+/// Tags used internally by the fault-tolerance layer (failure agreement
+/// exchange, recovery collectives).
+pub const FT_TAG_BASE: Tag = RESERVED_TAG_BASE + 0x200;
+
 /// A point-to-point message.
 ///
 /// The payload is a boxed `f64` slice — every quantity the pricing

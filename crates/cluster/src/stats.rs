@@ -13,6 +13,18 @@ pub struct CommStats {
     pub wait_time: f64,
     /// Virtual seconds of modelled computation.
     pub compute_time: f64,
+    /// Messages that vanished: the destination inbox was gone (receiver
+    /// returned early or died) or a fault plan dropped the transmission.
+    pub dropped_msgs: u64,
+    /// Retransmission attempts made by the reliable-delivery layer.
+    pub retransmits: u64,
+    /// Acknowledgements counted by the reliable-delivery layer (one per
+    /// message eventually delivered under an active drop plan).
+    pub ack_msgs: u64,
+    /// Virtual seconds spent in exponential backoff between retransmits.
+    pub backoff_time: f64,
+    /// Virtual seconds spent writing coordinated checkpoints.
+    pub ckpt_time: f64,
 }
 
 impl CommStats {
@@ -61,6 +73,14 @@ pub struct TimeModel {
     pub total_msgs: u64,
     /// Total modelled bytes across ranks.
     pub total_bytes: u64,
+    /// Total messages that vanished (dead inbox or injected drop).
+    pub total_dropped: u64,
+    /// Total retransmission attempts across ranks.
+    pub total_retransmits: u64,
+    /// Total acknowledged deliveries across ranks.
+    pub total_acks: u64,
+    /// Total virtual seconds spent writing checkpoints across ranks.
+    pub total_ckpt_time: f64,
     /// Number of ranks.
     pub ranks: usize,
 }
@@ -80,6 +100,10 @@ impl TimeModel {
             .fold(0.0, f64::max);
         let total_msgs = results.iter().map(|r| r.stats.msgs_sent).sum();
         let total_bytes = results.iter().map(|r| r.stats.bytes_sent).sum();
+        let total_dropped = results.iter().map(|r| r.stats.dropped_msgs).sum();
+        let total_retransmits = results.iter().map(|r| r.stats.retransmits).sum();
+        let total_acks = results.iter().map(|r| r.stats.ack_msgs).sum();
+        let total_ckpt_time = results.iter().map(|r| r.stats.ckpt_time).sum();
         TimeModel {
             makespan,
             mean_comm,
@@ -87,8 +111,27 @@ impl TimeModel {
             max_comm,
             total_msgs,
             total_bytes,
+            total_dropped,
+            total_retransmits,
+            total_acks,
+            total_ckpt_time,
             ranks,
         }
+    }
+
+    /// Fold the clock and counters of a crashed rank into the summary.
+    ///
+    /// Crashed ranks produce no [`SpmdResult`]; their partial progress
+    /// still consumed modelled time and messages, so fault-tolerant runs
+    /// absorb them here to keep makespans and message totals honest.
+    pub fn absorb_crashed(&mut self, time: f64, stats: &CommStats) {
+        self.makespan = self.makespan.max(time);
+        self.total_msgs += stats.msgs_sent;
+        self.total_bytes += stats.bytes_sent;
+        self.total_dropped += stats.dropped_msgs;
+        self.total_retransmits += stats.retransmits;
+        self.total_acks += stats.ack_msgs;
+        self.total_ckpt_time += stats.ckpt_time;
     }
 
     /// Communication share of the makespan-weighted busy time:
@@ -118,6 +161,7 @@ mod tests {
                 send_time: comm / 2.0,
                 wait_time: comm / 2.0,
                 compute_time: compute,
+                ..Default::default()
             },
         }
     }
@@ -144,5 +188,29 @@ mod tests {
         };
         assert!((s.comm_fraction() - 0.5).abs() < 1e-15);
         assert_eq!(CommStats::default().comm_fraction(), 0.0);
+    }
+
+    #[test]
+    fn absorb_crashed_extends_makespan_and_totals() {
+        let rs = vec![res(0, 1.0, 0.1, 0.9)];
+        let mut tm = TimeModel::from_results(&rs);
+        let crashed = CommStats {
+            msgs_sent: 5,
+            bytes_sent: 40,
+            retransmits: 3,
+            ack_msgs: 2,
+            dropped_msgs: 1,
+            ckpt_time: 0.25,
+            ..Default::default()
+        };
+        tm.absorb_crashed(3.0, &crashed);
+        assert_eq!(tm.makespan, 3.0);
+        assert_eq!(tm.total_msgs, 7);
+        assert_eq!(tm.total_retransmits, 3);
+        assert_eq!(tm.total_acks, 2);
+        assert_eq!(tm.total_dropped, 1);
+        assert!((tm.total_ckpt_time - 0.25).abs() < 1e-15);
+        // ranks still reflects survivors only.
+        assert_eq!(tm.ranks, 1);
     }
 }

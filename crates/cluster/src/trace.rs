@@ -36,6 +36,15 @@ pub enum TraceEvent {
         /// Source rank.
         src: usize,
     },
+    /// A message that vanished at injection time: the destination's inbox
+    /// was already gone (receiver returned early or died). Instantaneous
+    /// in virtual time; recorded so lost traffic is visible in traces.
+    Drop {
+        /// Virtual time of the failed injection.
+        at: f64,
+        /// Intended destination rank.
+        dest: usize,
+    },
 }
 
 impl TraceEvent {
@@ -45,6 +54,7 @@ impl TraceEvent {
             TraceEvent::Compute { start, end }
             | TraceEvent::Send { start, end, .. }
             | TraceEvent::Wait { start, end, .. } => end - start,
+            TraceEvent::Drop { .. } => 0.0,
         }
     }
 
@@ -54,6 +64,7 @@ impl TraceEvent {
             TraceEvent::Compute { end, .. }
             | TraceEvent::Send { end, .. }
             | TraceEvent::Wait { end, .. } => end,
+            TraceEvent::Drop { at, .. } => at,
         }
     }
 }
@@ -69,6 +80,8 @@ pub struct RankSummary {
     pub send: f64,
     /// Total blocked-waiting seconds.
     pub wait: f64,
+    /// Messages that vanished (dead destination inbox).
+    pub dropped: u64,
     /// Completion time (end of the last event).
     pub finish: f64,
 }
@@ -91,6 +104,7 @@ pub fn summarize(rank: usize, events: &[TraceEvent]) -> RankSummary {
         compute: 0.0,
         send: 0.0,
         wait: 0.0,
+        dropped: 0,
         finish: 0.0,
     };
     for e in events {
@@ -98,6 +112,7 @@ pub fn summarize(rank: usize, events: &[TraceEvent]) -> RankSummary {
             TraceEvent::Compute { .. } => s.compute += e.duration(),
             TraceEvent::Send { .. } => s.send += e.duration(),
             TraceEvent::Wait { .. } => s.wait += e.duration(),
+            TraceEvent::Drop { .. } => s.dropped += 1,
         }
         s.finish = s.finish.max(e.end());
     }
@@ -105,7 +120,8 @@ pub fn summarize(rank: usize, events: &[TraceEvent]) -> RankSummary {
 }
 
 /// Render per-rank ASCII timelines: `#` compute, `s` send, `.` wait,
-/// space idle-at-end. `width` columns span the global makespan.
+/// `x` a dropped message (dead destination), space idle-at-end.
+/// `width` columns span the global makespan.
 pub fn render_gantt(traces: &[Vec<TraceEvent>], width: usize) -> String {
     assert!(width >= 10, "need a sensible width");
     let makespan = traces
@@ -124,12 +140,15 @@ pub fn render_gantt(traces: &[Vec<TraceEvent>], width: usize) -> String {
                 TraceEvent::Compute { start, .. } => (*start, '#'),
                 TraceEvent::Send { start, .. } => (*start, 's'),
                 TraceEvent::Wait { start, .. } => (*start, '.'),
+                TraceEvent::Drop { at, .. } => (*at, 'x'),
             };
             let from = ((start * scale) as usize).min(width - 1);
             let to = ((e.end() * scale).ceil() as usize).clamp(from + 1, width);
             for cell in &mut row[from..to] {
-                // Compute wins ties so short sends don't hide work.
-                if *cell == ' ' || (*cell != '#' && ch == '#') {
+                // Compute wins ties so short sends don't hide work,
+                // but a drop mark always shows: lost traffic must not
+                // be hidden behind overlapping work.
+                if *cell == ' ' || ch == 'x' || (*cell != '#' && *cell != 'x' && ch == '#') {
                     *cell = ch;
                 }
             }
@@ -137,10 +156,18 @@ pub fn render_gantt(traces: &[Vec<TraceEvent>], width: usize) -> String {
         let line: String = row.into_iter().collect();
         out.push_str(&format!("r{rank:<3}|{line}|\n"));
     }
+    let dropped: u64 = traces
+        .iter()
+        .flat_map(|t| t.iter())
+        .filter(|e| matches!(e, TraceEvent::Drop { .. }))
+        .count() as u64;
     out.push_str(&format!(
-        "     makespan {:.3} ms   (# compute, s send, . wait)\n",
+        "     makespan {:.3} ms   (# compute, s send, . wait, x drop)\n",
         makespan * 1e3
     ));
+    if dropped > 0 {
+        out.push_str(&format!("     {dropped} message(s) dropped\n"));
+    }
     out
 }
 
@@ -196,6 +223,18 @@ mod tests {
     #[test]
     fn empty_trace_renders_empty() {
         assert!(render_gantt(&[vec![]], 20).is_empty());
+    }
+
+    #[test]
+    fn drops_are_counted_and_rendered() {
+        let mut t = sample();
+        t.push(TraceEvent::Drop { at: 0.95, dest: 2 });
+        let s = summarize(0, &t);
+        assert_eq!(s.dropped, 1);
+        assert_eq!(s.finish, 1.0);
+        let g = render_gantt(&[t], 40);
+        assert!(g.contains('x'));
+        assert!(g.contains("1 message(s) dropped"));
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub use pricer::{Backend, Method, PriceError, PriceReport, Pricer};
 /// One-stop imports for applications.
 pub mod prelude {
     pub use crate::{Backend, BumpConfig, Method, PriceError, PriceReport, Pricer};
-    pub use mdp_cluster::{Machine, TimeModel};
+    pub use mdp_cluster::{FaultPlan, Machine, TimeModel};
     pub use mdp_lattice::{BinomialKind, BinomialLattice, MultiLattice, TrinomialLattice};
     pub use mdp_mc::{LsmcConfig, McConfig, McEngine, QmcConfig, VarianceReduction};
     pub use mdp_model::{analytic, ExerciseStyle, GbmMarket, Greeks, Payoff, Product};

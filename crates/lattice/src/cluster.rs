@@ -31,7 +31,11 @@
 
 use crate::multidim::{branch_probabilities, StepCtx, StepScratch};
 use crate::LatticeError;
-use mdp_cluster::{collectives, partition, Communicator, Machine, TimeModel};
+use mdp_cluster::checkpoint::broadcast_active;
+use mdp_cluster::{
+    collectives, partition, run_spmd_ft, CheckpointStore, Communicator, FaultPlan, Machine,
+    Supervisor, ThreadComm, TimeModel,
+};
 use mdp_model::{GbmMarket, Product};
 
 /// Tag for halo-exchange messages (FIFO per pair keeps steps aligned).
@@ -285,6 +289,279 @@ fn run_rank<C: Communicator>(
     price[0]
 }
 
+/// Per-run outcome of the fault-tolerant distributed lattice.
+#[derive(Debug, Clone)]
+pub struct ClusterLatticeFtOutcome {
+    /// Present value — bit-identical to the fault-free run.
+    pub price: f64,
+    /// Aggregated virtual-time model, crashed ranks' time included.
+    pub time: TimeModel,
+    /// Injected crashes that fired, as `(rank, boundary)` pairs.
+    pub crashed: Vec<(usize, usize)>,
+}
+
+/// Fault-tolerant variant of [`price_cluster`]: runs under a
+/// [`FaultPlan`], writing a coordinated checkpoint of every rank's
+/// owned rows each `ckpt_interval` time steps. When a rank crashes,
+/// survivors agree on the death, repartition the checkpointed layer
+/// over the shrunken rank set and replay from the last checkpoint; the
+/// final price is bit-identical to the fault-free run (same per-row
+/// arithmetic, only ownership changes). Block decomposition only —
+/// recovery repartitions with the same block arithmetic used at start.
+pub fn price_cluster_ft(
+    market: &GbmMarket,
+    product: &Product,
+    steps: usize,
+    p: usize,
+    machine: Machine,
+    plan: FaultPlan,
+    ckpt_interval: usize,
+) -> Result<ClusterLatticeFtOutcome, LatticeError> {
+    product.validate_for(market)?;
+    if steps == 0 {
+        return Err(LatticeError::ZeroSteps);
+    }
+    if product.payoff.is_path_dependent() {
+        return Err(LatticeError::Model(mdp_model::ModelError::Unsupported {
+            engine: "BEG cluster lattice",
+            why: "path-dependent payoff".into(),
+        }));
+    }
+    let dt = product.maturity / steps as f64;
+    let probs = branch_probabilities(market, dt)?;
+    let disc = (-market.rate() * dt).exp();
+    let d = market.dim();
+    let store = CheckpointStore::new();
+
+    let outcome = run_spmd_ft(p, machine, plan, |comm| {
+        run_rank_ft(
+            comm,
+            market,
+            product,
+            steps,
+            &probs,
+            disc,
+            d,
+            &store,
+            ckpt_interval,
+        )
+    })
+    .map_err(|e| {
+        LatticeError::Model(mdp_model::ModelError::Unsupported {
+            engine: "BEG cluster lattice",
+            why: e.to_string(),
+        })
+    })?;
+
+    let price = outcome.survivors[0].value;
+    debug_assert!(
+        outcome
+            .survivors
+            .iter()
+            .all(|r| r.value.to_bits() == price.to_bits()),
+        "broadcast must make the price identical on every survivor"
+    );
+    let mut time = TimeModel::from_results(&outcome.survivors);
+    for c in &outcome.crashed {
+        time.absorb_crashed(c.time, &c.stats);
+    }
+    Ok(ClusterLatticeFtOutcome {
+        price,
+        time,
+        crashed: outcome.crashed.iter().map(|c| (c.rank, c.step)).collect(),
+    })
+}
+
+/// The fault-tolerant SPMD body. Boundary `k` precedes lattice step
+/// `n-1-k`, so `k` counts completed steps and grows monotonically —
+/// the ascending index [`Supervisor::boundary`] expects. The step body
+/// is the same halo-exchange sweep as [`run_rank`], generalised from
+/// "all `p` ranks" to the supervisor's active list.
+#[allow(clippy::too_many_arguments)]
+fn run_rank_ft(
+    comm: &mut ThreadComm,
+    market: &GbmMarket,
+    product: &Product,
+    steps: usize,
+    probs: &[f64],
+    disc: f64,
+    d: usize,
+    store: &CheckpointStore,
+    interval: usize,
+) -> f64 {
+    let n = steps;
+    let rank = comm.rank();
+    let mut sup = Supervisor::new(comm, interval, store);
+
+    let mut scratch = StepScratch::new();
+    let mut window: Vec<f64> = Vec::new();
+    let mut two_rows: Vec<f64> = Vec::new();
+    let mut send_buf: Vec<f64> = Vec::new();
+    let mut spare: Vec<f64> = Vec::new();
+
+    // Owned rows of a `rows`-row layer for dense index `i` of an
+    // `a`-rank active set.
+    let owned_of = |rows: usize, a: usize, i: usize| -> Vec<usize> {
+        let (lo, hi) = partition::block_range(rows, a, i);
+        (lo..hi).collect()
+    };
+
+    // Terminal layer over the (initially full) active set.
+    let term_ctx = StepCtx::new(market, product, n, n, probs, disc);
+    let mut row_len_next = term_ctx.row_cur();
+    let mut owned_next = owned_of(n + 1, sup.active().len(), sup.dense_index(rank));
+    let mut values: Vec<f64> = vec![0.0; owned_next.len() * row_len_next];
+    for (slot, &j0) in owned_next.iter().enumerate() {
+        term_ctx.eval_terminal_slab(
+            j0,
+            &mut values[slot * row_len_next..(slot + 1) * row_len_next],
+            &mut scratch,
+        );
+    }
+    comm.compute_units(values.len() as f64 * (d as f64 + 2.0));
+
+    let mut k = 0usize; // completed lattice steps == boundary index
+    while k < n {
+        let snap_lo = owned_next.first().copied().unwrap_or(0);
+        if let Some(rec) = sup.boundary(comm, k, || (snap_lo, values.clone())) {
+            // Roll back: rebuild the checkpointed layer from the pooled
+            // records and repartition it over the survivors.
+            let k0 = rec.from_step.expect("boundary 0 always checkpoints");
+            let layer_rows = n - k0 + 1;
+            let layer_ctx = StepCtx::new(market, product, n, n - k0, probs, disc);
+            let row_len = layer_ctx.row_cur();
+            let mut full = vec![0.0; layer_rows * row_len];
+            for (_, r) in &rec.records {
+                full[r.lo * row_len..r.lo * row_len + r.data.len()].copy_from_slice(&r.data);
+            }
+            owned_next = owned_of(layer_rows, sup.active().len(), sup.dense_index(rank));
+            let lo = owned_next.first().copied().unwrap_or(0);
+            values = full[lo * row_len..lo * row_len + owned_next.len() * row_len].to_vec();
+            row_len_next = row_len;
+            k = k0;
+            continue; // re-enter boundary k0: it checkpoints a fresh era
+        }
+
+        let step = n - 1 - k;
+        let active = sup.active().to_vec();
+        let a = active.len();
+        let ctx = StepCtx::new(market, product, n, step, probs, disc);
+        let row_cur = ctx.row_cur();
+        let row_next = ctx.row_next;
+        debug_assert_eq!(row_next, row_len_next);
+        let next_rows_total = step + 2;
+
+        let owned_cur = owned_of(step + 1, a, sup.dense_index(rank));
+        let needed = needed_rows(&owned_cur, next_rows_total);
+
+        // --- Post the halo sends (peers drawn from the active list) --------
+        for (j, &r) in active.iter().enumerate() {
+            if r == rank {
+                continue;
+            }
+            let their_cur = owned_of(step + 1, a, j);
+            let their_needed = needed_rows(&their_cur, next_rows_total);
+            let send_rows = intersect(&their_needed, &owned_next);
+            if send_rows.is_empty() {
+                continue;
+            }
+            send_buf.clear();
+            send_buf.reserve(send_rows.len() * row_next);
+            for &row in &send_rows {
+                let slot = slot_of(&owned_next, row);
+                send_buf.extend_from_slice(&values[slot * row_next..(slot + 1) * row_next]);
+            }
+            comm.send(r, T_HALO, &send_buf);
+        }
+
+        // Stage the locally owned part of the needed window.
+        window.clear();
+        window.resize(needed.len() * row_next, 0.0);
+        for (wslot, &row) in needed.iter().enumerate() {
+            if let Ok(slot) = owned_next.binary_search(&row) {
+                window[wslot * row_next..(wslot + 1) * row_next]
+                    .copy_from_slice(&values[slot * row_next..(slot + 1) * row_next]);
+            }
+        }
+
+        // --- Interior sweep (overlapped with the halo exchange) ------------
+        spare.clear();
+        spare.resize(owned_cur.len() * row_cur, 0.0);
+        two_rows.clear();
+        two_rows.resize(2 * row_next, 0.0);
+        let child_is_local = |row: usize| owned_next.binary_search(&row).is_ok();
+        let sweep = |j0: usize,
+                     slot: usize,
+                     window: &[f64],
+                     spare: &mut [f64],
+                     two_rows: &mut [f64],
+                     scratch: &mut StepScratch| {
+            let w0 = slot_of(&needed, j0);
+            let w1 = slot_of(&needed, j0 + 1);
+            two_rows[..row_next].copy_from_slice(&window[w0 * row_next..(w0 + 1) * row_next]);
+            two_rows[row_next..].copy_from_slice(&window[w1 * row_next..(w1 + 1) * row_next]);
+            ctx.compute_slab(
+                j0,
+                two_rows,
+                &mut spare[slot * row_cur..(slot + 1) * row_cur],
+                scratch,
+            );
+        };
+        let mut interior_nodes = 0u64;
+        for (slot, &j0) in owned_cur.iter().enumerate() {
+            if child_is_local(j0) && child_is_local(j0 + 1) {
+                sweep(j0, slot, &window, &mut spare, &mut two_rows, &mut scratch);
+                interior_nodes += row_cur as u64;
+            }
+        }
+        comm.compute_units(interior_nodes as f64 * node_work(d));
+
+        // --- Complete the halo exchange ------------------------------------
+        for (j, &r) in active.iter().enumerate() {
+            if r == rank {
+                continue;
+            }
+            let their_owned_next = owned_of(step + 2, a, j);
+            let recv_rows = intersect(&needed, &their_owned_next);
+            if recv_rows.is_empty() {
+                continue;
+            }
+            let buf = comm.recv(r, T_HALO);
+            debug_assert_eq!(buf.len(), recv_rows.len() * row_next);
+            for (m, &row) in recv_rows.iter().enumerate() {
+                let wslot = slot_of(&needed, row);
+                window[wslot * row_next..(wslot + 1) * row_next]
+                    .copy_from_slice(&buf[m * row_next..(m + 1) * row_next]);
+            }
+        }
+
+        // --- Boundary sweep ------------------------------------------------
+        let mut boundary_nodes = 0u64;
+        for (slot, &j0) in owned_cur.iter().enumerate() {
+            if !(child_is_local(j0) && child_is_local(j0 + 1)) {
+                sweep(j0, slot, &window, &mut spare, &mut two_rows, &mut scratch);
+                boundary_nodes += row_cur as u64;
+            }
+        }
+        comm.compute_units(boundary_nodes as f64 * node_work(d));
+
+        std::mem::swap(&mut values, &mut spare);
+        owned_next = owned_cur;
+        row_len_next = row_cur;
+        k += 1;
+    }
+
+    // Step 0 has one row, owned by the first active rank.
+    let active = sup.active().to_vec();
+    let root = active[0];
+    let price = if rank == root {
+        vec![values[0]]
+    } else {
+        vec![0.0]
+    };
+    broadcast_active(comm, &active, root, &price)[0]
+}
+
 /// The rank owning row 0 of a 1-row grid under the decomposition.
 fn owner_of_row0(decomp: Decomposition, p: usize) -> usize {
     (0..p)
@@ -528,6 +805,72 @@ mod tests {
         ));
         let asian = Product::european(Payoff::AsianCall { strike: 1.0 }, 1.0);
         assert!(price_cluster(&m, &asian, 8, 2, Machine::ideal(), Decomposition::Block).is_err());
+    }
+
+    #[test]
+    fn ft_without_faults_matches_plain_run_bitwise() {
+        let m = market2();
+        let prod = maxcall();
+        let plain =
+            price_cluster(&m, &prod, 32, 4, Machine::cluster2002(), Decomposition::Block).unwrap();
+        let ft = price_cluster_ft(
+            &m,
+            &prod,
+            32,
+            4,
+            Machine::cluster2002(),
+            mdp_cluster::FaultPlan::new(1),
+            8,
+        )
+        .unwrap();
+        assert_eq!(ft.price.to_bits(), plain.price.to_bits());
+        assert!(ft.crashed.is_empty());
+        assert!(ft.time.total_ckpt_time > 0.0, "checkpoints were written");
+    }
+
+    #[test]
+    fn recovers_bit_identically_from_a_mid_run_crash() {
+        let m = market2();
+        let prod = maxcall();
+        let seq = crate::multidim::MultiLattice::new(32).price(&m, &prod).unwrap();
+        for crash_at in [1usize, 10, 29] {
+            let plan = mdp_cluster::FaultPlan::new(7).with_crash(1, crash_at);
+            let ft =
+                price_cluster_ft(&m, &prod, 32, 4, Machine::cluster2002(), plan, 4).unwrap();
+            assert_eq!(
+                ft.price.to_bits(),
+                seq.price.to_bits(),
+                "crash at boundary {crash_at} must not change the price"
+            );
+            assert_eq!(ft.crashed, vec![(1, crash_at)]);
+        }
+    }
+
+    #[test]
+    fn recovers_from_two_staggered_crashes() {
+        let m = market2();
+        let prod = maxcall();
+        let seq = crate::multidim::MultiLattice::new(24).price(&m, &prod).unwrap();
+        let plan = mdp_cluster::FaultPlan::new(3)
+            .with_crash(3, 5)
+            .with_crash(0, 15);
+        let ft = price_cluster_ft(&m, &prod, 24, 4, Machine::cluster2002(), plan, 3).unwrap();
+        assert_eq!(ft.price.to_bits(), seq.price.to_bits());
+        assert_eq!(ft.crashed.len(), 2);
+    }
+
+    #[test]
+    fn all_ranks_crashed_is_a_clean_error() {
+        let m = market2();
+        let prod = maxcall();
+        let plan = mdp_cluster::FaultPlan::new(0)
+            .with_crash(0, 2)
+            .with_crash(1, 2);
+        let err = price_cluster_ft(&m, &prod, 16, 2, Machine::ideal(), plan, 4).unwrap_err();
+        assert!(
+            err.to_string().contains("injected crash"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

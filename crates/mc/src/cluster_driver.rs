@@ -19,7 +19,11 @@ use crate::engine::{McConfig, McResult, RunContext};
 use crate::lsmc::{self, LsmcConfig, LsmcResult};
 use crate::variance::{merge_in_chunks, BlockAccum, ACCUM_WIDTH};
 use crate::McError;
-use mdp_cluster::{collectives, partition, Communicator, Machine, TimeModel};
+use mdp_cluster::checkpoint::{broadcast_active, gather_active};
+use mdp_cluster::{
+    collectives, partition, run_spmd_ft, CheckpointStore, Communicator, FaultPlan, Machine,
+    Supervisor, TimeModel,
+};
 use mdp_model::{GbmMarket, Product};
 
 /// Outcome of a distributed European Monte Carlo run.
@@ -78,6 +82,123 @@ pub fn price_mc_cluster(
     let result = ctx.finish(&results[0].value);
     let time = TimeModel::from_results(&results);
     Ok(McClusterOutcome { result, time })
+}
+
+/// Outcome of a fault-tolerant distributed European Monte Carlo run.
+#[derive(Debug, Clone)]
+pub struct McClusterFtOutcome {
+    /// The estimate — bit-identical to the fault-free run.
+    pub result: McResult,
+    /// Virtual-time model, crashed ranks' time included.
+    pub time: TimeModel,
+    /// Injected crashes that fired, as `(rank, boundary)` pairs.
+    pub crashed: Vec<(usize, usize)>,
+}
+
+/// Fault-tolerant variant of [`price_mc_cluster`]: the global block
+/// range is processed in `batches` contiguous batches with a
+/// checkpoint/recovery boundary before each one. A checkpoint persists
+/// this rank's per-block accumulators *tagged with their block ids*
+/// (7 doubles per block), so recovery can repartition completed blocks
+/// over the survivors without rerunning them, and the root can fold
+/// the final accumulators in global block order — which is what keeps
+/// the estimate bit-identical to the sequential engine through any
+/// number of recoveries (block substreams make each block's accumulator
+/// owner-independent).
+#[allow(clippy::too_many_arguments)]
+pub fn price_mc_cluster_ft(
+    market: &GbmMarket,
+    product: &Product,
+    cfg: McConfig,
+    p: usize,
+    machine: Machine,
+    plan: FaultPlan,
+    batches: usize,
+    ckpt_interval: usize,
+) -> Result<McClusterFtOutcome, McError> {
+    if batches == 0 {
+        return Err(McError::Unsupported("batches must be >= 1".into()));
+    }
+    let ctx = RunContext::new(market, product, cfg)?;
+    let work_per_path = cfg.path_work_units(market.dim());
+    let store = CheckpointStore::new();
+
+    let outcome = run_spmd_ft(p, machine, plan, |comm| {
+        let blocks = ctx.num_blocks() as usize;
+        let rank = comm.rank();
+        let mut sup = Supervisor::new(comm, ckpt_interval, &store);
+        // Completed blocks as (id, accum) pairs: [id, a0..a5] each.
+        let mut local: Vec<f64> = Vec::new();
+
+        let mut t = 0usize; // completed batches == boundary index
+        while t < batches {
+            if let Some(rec) = sup.boundary(comm, t, || (0, local.clone())) {
+                // Roll back: pool every survivor's and the victim's
+                // completed (id, accum) pairs and repartition them over
+                // the active set by global block order.
+                let t0 = rec.from_step.expect("boundary 0 always checkpoints");
+                let mut entries: Vec<&[f64]> = rec
+                    .records
+                    .iter()
+                    .flat_map(|(_, r)| r.data.chunks_exact(1 + ACCUM_WIDTH))
+                    .collect();
+                entries.sort_by_key(|e| e[0] as u64);
+                let a = sup.active().len();
+                let i = sup.dense_index(rank);
+                let (elo, ehi) = partition::block_range(entries.len(), a, i);
+                local.clear();
+                for e in &entries[elo..ehi] {
+                    local.extend_from_slice(e);
+                }
+                t = t0;
+                continue; // re-enter boundary t0: fresh-era checkpoint
+            }
+            // Batch t's global block range, split over the active set.
+            let (blo, bhi) = partition::block_range(blocks, batches, t);
+            let a = sup.active().len();
+            let i = sup.dense_index(rank);
+            let (mlo, mhi) = partition::block_range(bhi - blo, a, i);
+            let mut paths = 0u64;
+            for b in blo + mlo..blo + mhi {
+                local.push(b as f64);
+                local.extend_from_slice(&ctx.simulate_block(b as u64).to_vec());
+                paths += ctx.config().block_paths(b as u64);
+            }
+            comm.compute_units(paths as f64 * work_per_path);
+            t += 1;
+        }
+
+        // Gather every (id, accum) pair to the first active rank, fold
+        // in global block order, broadcast the total.
+        let active = sup.active().to_vec();
+        let root = active[0];
+        let gathered = gather_active(comm, &active, root, &local);
+        let mut merged = vec![0.0; ACCUM_WIDTH];
+        if rank == root {
+            let mut entries: Vec<&[f64]> = gathered
+                .iter()
+                .flat_map(|part| part.chunks_exact(1 + ACCUM_WIDTH))
+                .collect();
+            entries.sort_by_key(|e| e[0] as u64);
+            debug_assert_eq!(entries.len(), blocks, "every block exactly once");
+            let total = merge_in_chunks(entries.iter().map(|e| BlockAccum::from_slice(&e[1..])));
+            merged = total.to_vec().to_vec();
+        }
+        let merged = broadcast_active(comm, &active, root, &merged);
+        BlockAccum::from_slice(&merged)
+    })
+    .map_err(|e| McError::Unsupported(e.to_string()))?;
+
+    let result = ctx.finish(&outcome.survivors[0].value);
+    let mut time = TimeModel::from_results(&outcome.survivors);
+    for c in &outcome.crashed {
+        time.absorb_crashed(c.time, &c.stats);
+    }
+    Ok(McClusterFtOutcome {
+        result,
+        time,
+        crashed: outcome.crashed.iter().map(|c| (c.rank, c.step)).collect(),
+    })
 }
 
 /// Outcome of a distributed LSMC run.
@@ -344,6 +465,73 @@ mod tests {
             s_lsmc < s_mc,
             "lsmc speedup {s_lsmc} should trail european {s_mc}"
         );
+    }
+
+    #[test]
+    fn ft_without_faults_matches_sequential_bitwise() {
+        let (m, p) = basket3();
+        let cfg = McConfig {
+            paths: 8_000,
+            block_size: 500,
+            ..Default::default()
+        };
+        let seq = McEngine::new(cfg).price(&m, &p).unwrap();
+        let ft = price_mc_cluster_ft(
+            &m,
+            &p,
+            cfg,
+            4,
+            Machine::cluster2002(),
+            mdp_cluster::FaultPlan::new(5),
+            8,
+            2,
+        )
+        .unwrap();
+        assert_eq!(ft.result.price.to_bits(), seq.price.to_bits());
+        assert_eq!(ft.result.paths, seq.paths);
+        assert!(ft.crashed.is_empty());
+        assert!(ft.time.total_ckpt_time > 0.0);
+    }
+
+    #[test]
+    fn ft_recovers_bit_identically_from_mid_run_crashes() {
+        let (m, p) = basket3();
+        let cfg = McConfig {
+            paths: 8_000,
+            block_size: 500,
+            ..Default::default()
+        };
+        let seq = McEngine::new(cfg).price(&m, &p).unwrap();
+        for crash_at in [1usize, 4, 7] {
+            let plan = mdp_cluster::FaultPlan::new(11).with_crash(2, crash_at);
+            let ft =
+                price_mc_cluster_ft(&m, &p, cfg, 4, Machine::cluster2002(), plan, 8, 2).unwrap();
+            assert_eq!(
+                ft.result.price.to_bits(),
+                seq.price.to_bits(),
+                "crash at batch boundary {crash_at}"
+            );
+            assert_eq!(ft.result.paths, seq.paths);
+            assert_eq!(ft.crashed, vec![(2, crash_at)]);
+        }
+    }
+
+    #[test]
+    fn ft_survives_down_to_a_single_rank() {
+        let (m, p) = basket3();
+        let cfg = McConfig {
+            paths: 4_000,
+            block_size: 250,
+            ..Default::default()
+        };
+        let seq = McEngine::new(cfg).price(&m, &p).unwrap();
+        let plan = mdp_cluster::FaultPlan::new(1)
+            .with_crash(0, 2)
+            .with_crash(1, 4)
+            .with_crash(2, 4);
+        let ft = price_mc_cluster_ft(&m, &p, cfg, 4, Machine::cluster2002(), plan, 6, 1).unwrap();
+        assert_eq!(ft.result.price.to_bits(), seq.price.to_bits());
+        assert_eq!(ft.crashed.len(), 3);
     }
 
     #[test]

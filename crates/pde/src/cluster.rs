@@ -19,7 +19,11 @@
 
 use crate::grid::LogGrid;
 use crate::PdeError;
-use mdp_cluster::{collectives, partition, Communicator, Machine, TimeModel};
+use mdp_cluster::checkpoint::broadcast_active;
+use mdp_cluster::{
+    collectives, partition, run_spmd_ft, CheckpointStore, Communicator, FaultPlan, Machine,
+    Supervisor, TimeModel,
+};
 use mdp_model::{ExerciseStyle, GbmMarket, Product};
 
 /// Tag for boundary exchanges (FIFO per pair keeps steps aligned).
@@ -55,15 +59,22 @@ pub struct ClusterFdOutcome {
     pub time: TimeModel,
 }
 
+/// Precomputed scheme coefficients and grid data shared by the plain
+/// and fault-tolerant drivers.
+struct FdSetup {
+    m: usize,
+    n: usize,
+    dt: f64,
+    r: f64,
+    a: f64,
+    b: f64,
+    c: f64,
+    intrinsic: Vec<f64>,
+    center: usize,
+}
+
 impl ClusterFd1d {
-    /// Price a European single-asset product on `p` ranks.
-    pub fn price(
-        &self,
-        market: &GbmMarket,
-        product: &Product,
-        p: usize,
-        machine: Machine,
-    ) -> Result<ClusterFdOutcome, PdeError> {
+    fn setup(&self, market: &GbmMarket, product: &Product) -> Result<FdSetup, PdeError> {
         product.validate_for(market)?;
         if market.dim() != 1 {
             return Err(PdeError::Model(mdp_model::ModelError::DimensionMismatch {
@@ -100,13 +111,41 @@ impl ClusterFd1d {
         let mu = market.log_drift(0);
         let diff = 0.5 * sigma * sigma / (grid.dx * grid.dx);
         let conv = 0.5 * mu / grid.dx;
-        let a = diff - conv;
-        let b = -2.0 * diff - r;
-        let c = diff + conv;
-
         let spots = grid.spots();
-        let intrinsic: Vec<f64> = spots.iter().map(|&s| product.payoff.eval(&[s])).collect();
-        let center = grid.center;
+        Ok(FdSetup {
+            m,
+            n,
+            dt,
+            r,
+            a: diff - conv,
+            b: -2.0 * diff - r,
+            c: diff + conv,
+            intrinsic: spots.iter().map(|&s| product.payoff.eval(&[s])).collect(),
+            center: grid.center,
+        })
+    }
+
+    /// Price a European single-asset product on `p` ranks.
+    pub fn price(
+        &self,
+        market: &GbmMarket,
+        product: &Product,
+        p: usize,
+        machine: Machine,
+    ) -> Result<ClusterFdOutcome, PdeError> {
+        let setup = self.setup(market, product)?;
+        let FdSetup {
+            m,
+            n,
+            dt,
+            r,
+            a,
+            b,
+            c,
+            intrinsic,
+            center,
+        } = setup;
+        let intrinsic = &intrinsic;
 
         let results = mdp_cluster::run_spmd(p, machine, |comm| {
             let rank = comm.rank();
@@ -216,6 +255,165 @@ impl ClusterFd1d {
             time: TimeModel::from_results(&results),
         })
     }
+
+    /// Fault-tolerant variant of [`ClusterFd1d::price`]: runs under a
+    /// [`FaultPlan`], checkpointing every rank's owned grid points each
+    /// `ckpt_interval` time steps. Survivors of a crash repartition the
+    /// checkpointed grid layer over the shrunken rank set and replay;
+    /// the per-point update is owner-independent, so the price is
+    /// bit-identical to the fault-free run.
+    pub fn price_ft(
+        &self,
+        market: &GbmMarket,
+        product: &Product,
+        p: usize,
+        machine: Machine,
+        plan: FaultPlan,
+        ckpt_interval: usize,
+    ) -> Result<ClusterFdFtOutcome, PdeError> {
+        let s = self.setup(market, product)?;
+        let store = CheckpointStore::new();
+
+        let outcome = run_spmd_ft(p, machine, plan, |comm| {
+            let rank = comm.rank();
+            let mut sup = Supervisor::new(comm, ckpt_interval, &store);
+            let m = s.m;
+            let (mut lo, mut hi) =
+                partition::block_range(m, sup.active().len(), sup.dense_index(rank));
+            let mut len = hi - lo;
+            let mut v = vec![0.0; len + 2];
+            v[1..len + 1].copy_from_slice(&s.intrinsic[lo..hi]);
+            comm.compute_units(len as f64 * 2.0);
+            let mut new_v = vec![0.0; len + 2];
+
+            let mut k = 0usize; // completed time steps == boundary index
+            while k < s.n {
+                if let Some(rec) = sup.boundary(comm, k, || (lo, v[1..len + 1].to_vec())) {
+                    // Roll back: rebuild the full grid from the pooled
+                    // records and repartition over the survivors.
+                    let k0 = rec.from_step.expect("boundary 0 always checkpoints");
+                    let mut full = vec![0.0; m];
+                    for (_, r) in &rec.records {
+                        full[r.lo..r.lo + r.data.len()].copy_from_slice(&r.data);
+                    }
+                    let (l, h) =
+                        partition::block_range(m, sup.active().len(), sup.dense_index(rank));
+                    lo = l;
+                    hi = h;
+                    len = hi - lo;
+                    v = vec![0.0; len + 2];
+                    v[1..len + 1].copy_from_slice(&full[lo..hi]);
+                    new_v = vec![0.0; len + 2];
+                    k = k0;
+                    continue; // re-enter boundary k0: fresh-era checkpoint
+                }
+
+                let active = sup.active().to_vec();
+                let an = active.len();
+                let step = k + 1;
+                // Ghost owners under the current active partition.
+                let left_owner = if len > 0 && lo > 0 {
+                    Some(active[partition::block_owner(m, an, lo - 1)])
+                } else {
+                    None
+                };
+                let right_owner = if len > 0 && hi < m {
+                    Some(active[partition::block_owner(m, an, hi)])
+                } else {
+                    None
+                };
+                let needs_ghost = |kk: usize| {
+                    let gidx = lo + kk;
+                    gidx != 0
+                        && gidx != m - 1
+                        && ((kk == 0 && left_owner.is_some())
+                            || (kk + 1 == len && right_owner.is_some()))
+                };
+                let tau = step as f64 * s.dt;
+                let df = (-s.r * tau).exp();
+                let update = |kk: usize, v: &[f64], new_v: &mut [f64]| {
+                    let gidx = lo + kk;
+                    if gidx == 0 {
+                        new_v[kk + 1] = df * s.intrinsic[0];
+                    } else if gidx == m - 1 {
+                        new_v[kk + 1] = df * s.intrinsic[m - 1];
+                    } else {
+                        let vm = v[kk];
+                        let v0 = v[kk + 1];
+                        let vp = v[kk + 2];
+                        new_v[kk + 1] = v0 + s.dt * (s.a * vm + s.b * v0 + s.c * vp);
+                    }
+                };
+                if let Some(l) = left_owner {
+                    comm.send(l, T_EDGE, &[v[1]]);
+                }
+                if let Some(r) = right_owner {
+                    comm.send(r, T_EDGE, &[v[len]]);
+                }
+                let mut interior_pts = 0u64;
+                for kk in 0..len {
+                    if !needs_ghost(kk) {
+                        update(kk, &v, &mut new_v);
+                        interior_pts += 1;
+                    }
+                }
+                comm.compute_units(interior_pts as f64 * 8.0);
+                if let Some(l) = left_owner {
+                    v[0] = comm.recv(l, T_EDGE)[0];
+                }
+                if let Some(r) = right_owner {
+                    v[len + 1] = comm.recv(r, T_EDGE)[0];
+                }
+                let mut edge_pts = 0u64;
+                for kk in 0..len {
+                    if needs_ghost(kk) {
+                        update(kk, &v, &mut new_v);
+                        edge_pts += 1;
+                    }
+                }
+                comm.compute_units(edge_pts as f64 * 8.0);
+                std::mem::swap(&mut v, &mut new_v);
+                k += 1;
+            }
+
+            let active = sup.active().to_vec();
+            let owner = active[partition::block_owner(m, active.len(), s.center)];
+            let price = if rank == owner {
+                vec![v[s.center - lo + 1]]
+            } else {
+                vec![0.0]
+            };
+            broadcast_active(comm, &active, owner, &price)[0]
+        })
+        .map_err(|e| {
+            PdeError::Model(mdp_model::ModelError::Unsupported {
+                engine: "distributed explicit FD",
+                why: e.to_string(),
+            })
+        })?;
+
+        let price = outcome.survivors[0].value;
+        let mut time = TimeModel::from_results(&outcome.survivors);
+        for c in &outcome.crashed {
+            time.absorb_crashed(c.time, &c.stats);
+        }
+        Ok(ClusterFdFtOutcome {
+            price,
+            time,
+            crashed: outcome.crashed.iter().map(|c| (c.rank, c.step)).collect(),
+        })
+    }
+}
+
+/// Outcome of a fault-tolerant distributed PDE run.
+#[derive(Debug, Clone)]
+pub struct ClusterFdFtOutcome {
+    /// Present value at the spot — bit-identical to the fault-free run.
+    pub price: f64,
+    /// Virtual-time model, crashed ranks' time included.
+    pub time: TimeModel,
+    /// Injected crashes that fired, as `(rank, boundary)` pairs.
+    pub crashed: Vec<(usize, usize)>,
 }
 
 #[cfg(test)]
@@ -334,6 +532,63 @@ mod tests {
         let m2 = GbmMarket::symmetric(2, 100.0, 0.2, 0.0, 0.05, 0.3).unwrap();
         let rainbow = Product::european(Payoff::MaxCall { strike: 100.0 }, 1.0);
         assert!(cfg.price(&m2, &rainbow, 2, Machine::ideal()).is_err());
+    }
+
+    #[test]
+    fn ft_without_faults_matches_plain_run_bitwise() {
+        let m = market();
+        let p = call();
+        let cfg = ClusterFd1d {
+            space_points: 101,
+            time_steps: 2000,
+            ..Default::default()
+        };
+        let plain = cfg.price(&m, &p, 4, Machine::cluster2002()).unwrap();
+        let ft = cfg
+            .price_ft(
+                &m,
+                &p,
+                4,
+                Machine::cluster2002(),
+                mdp_cluster::FaultPlan::new(2),
+                500,
+            )
+            .unwrap();
+        assert_eq!(ft.price.to_bits(), plain.price.to_bits());
+        assert!(ft.crashed.is_empty());
+        assert!(ft.time.total_ckpt_time > 0.0);
+    }
+
+    #[test]
+    fn ft_recovers_bit_identically_from_a_mid_run_crash() {
+        let m = market();
+        let p = call();
+        let cfg = ClusterFd1d {
+            space_points: 101,
+            time_steps: 2000,
+            ..Default::default()
+        };
+        let seq = Fd1d {
+            space_points: 101,
+            time_steps: 2000,
+            scheme: Scheme::Explicit,
+            ..Default::default()
+        }
+        .price(&m, &p)
+        .unwrap()
+        .price;
+        for crash_at in [150usize, 1999] {
+            let plan = mdp_cluster::FaultPlan::new(4).with_crash(1, crash_at);
+            let ft = cfg
+                .price_ft(&m, &p, 4, Machine::cluster2002(), plan, 250)
+                .unwrap();
+            assert_eq!(
+                ft.price.to_bits(),
+                seq.to_bits(),
+                "crash at boundary {crash_at}"
+            );
+            assert_eq!(ft.crashed, vec![(1, crash_at)]);
+        }
     }
 
     #[test]

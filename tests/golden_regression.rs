@@ -228,3 +228,56 @@ fn golden_virtual_times() {
     );
     assert_eq!(fd.time.total_msgs, 12003, "FD message count");
 }
+
+#[test]
+fn golden_fault_recovery() {
+    // The fault-tolerance layer is deterministic by construction: a
+    // fixed fault schedule must reproduce the exact recovery makespan
+    // and message accounting, not just the price. These pins catch any
+    // drift in the recovery protocol (agreement traffic, checkpoint
+    // charges, retransmit accounting).
+    let m = market(2);
+    let p = Product::european(Payoff::MaxCall { strike: 100.0 }, 1.0);
+
+    // Rank 1 dies at boundary 32 of a 64-step lattice, interval 16:
+    // survivors roll back to the boundary-32 checkpoint and replay.
+    let plan = FaultPlan::new(0).with_crash(1, 32);
+    let ft = mdp_core::lattice::cluster::price_cluster_ft(
+        &m,
+        &p,
+        64,
+        4,
+        Machine::cluster2002(),
+        plan,
+        16,
+    )
+    .unwrap();
+    assert_pinned(ft.price, 16.386_200_181_593_92, "recovered lattice price");
+    assert_pinned(
+        ft.time.makespan,
+        0.00699464,
+        "recovery makespan crash(1,32) interval=16",
+    );
+    assert_pinned(ft.time.total_ckpt_time, 0.00163032, "checkpoint time");
+    assert_eq!(ft.time.total_msgs, 173, "message count incl. agreement");
+    assert_eq!(ft.crashed, vec![(1, 32)]);
+
+    // Same run under a 20% drop plan (no crashes): the reliable
+    // delivery layer's accounting must replay exactly.
+    let plan = FaultPlan::new(42).with_drops(0.2).with_max_retries(30);
+    let ft = mdp_core::lattice::cluster::price_cluster_ft(
+        &m,
+        &p,
+        64,
+        4,
+        Machine::cluster2002(),
+        plan,
+        16,
+    )
+    .unwrap();
+    assert_pinned(ft.price, 16.386_200_181_593_92, "price under drops");
+    assert_pinned(ft.time.makespan, 0.01830688, "makespan under 20% drops");
+    assert_eq!(ft.time.total_dropped, 60, "dropped messages");
+    assert_eq!(ft.time.total_retransmits, 60, "retransmissions");
+    assert_eq!(ft.time.total_acks, 192, "acks");
+}
