@@ -1065,3 +1065,138 @@ pub fn t9_barriers_and_pde_scaling(effort: Effort) {
     }
     save("t9b_pde_scaling", &t2);
 }
+
+/// T10 — portfolio batch pricing: one plan, many executes.
+///
+/// Measures the amortisation the engine layer buys on two book shapes
+/// from the evaluation: a 1-D finite-difference strike ladder (one
+/// grid and factorisation, all strikes swept as multi-RHS lanes) and a
+/// multi-asset Monte Carlo book of terminal payoffs (one shared path
+/// sweep, fused payoff evaluation). Both batch paths are asserted
+/// bitwise-identical to the per-product loop before timing counts.
+/// Writes `BENCH_portfolio.json` so CI can gate the amortised speedup.
+pub fn t10_portfolio_batch(effort: Effort) {
+    let mut t = Table::new(
+        "T10: portfolio batch pricing — plan/execute amortisation",
+        &[
+            "book",
+            "products",
+            "loop [s]",
+            "batch [s]",
+            "speedup",
+            "plans built",
+        ],
+    );
+
+    // Part 1: FD strike ladder. Mixed exercise styles, one maturity.
+    let n_fd = effort.scale(16, 64);
+    let m1 = market(1);
+    let fd_book: Vec<Product> = (0..n_fd)
+        .map(|i| {
+            let payoff = Payoff::BasketPut {
+                weights: vec![1.0],
+                strike: 70.0 + 60.0 * i as f64 / n_fd as f64,
+            };
+            if i % 2 == 0 {
+                Product::european(payoff, 1.0)
+            } else {
+                Product::american(payoff, 1.0)
+            }
+        })
+        .collect();
+    let fd_pricer = Pricer::new(Method::Fd1d(Fd1d::default()));
+
+    let (loop_reports, fd_loop_s) = measure(|| {
+        fd_book
+            .iter()
+            .map(|p| fd_pricer.price(&m1, p).expect("fd loop"))
+            .collect::<Vec<_>>()
+    });
+    let (batch, fd_batch_s) = measure(|| {
+        Portfolio::new(fd_pricer.clone())
+            .price_batch(&m1, &fd_book)
+            .expect("fd batch")
+    });
+    for (solo, fused) in loop_reports.iter().zip(&batch.reports) {
+        assert_eq!(
+            solo.price.to_bits(),
+            fused.price.to_bits(),
+            "fused FD ladder must match the per-product loop bitwise"
+        );
+    }
+    assert_eq!(batch.plans_built, 1);
+    let fd_speedup = fd_loop_s / fd_batch_s;
+    t.push(&[
+        "fd-1d strike ladder".to_string(),
+        n_fd.to_string(),
+        fmt_sig(fd_loop_s, 3),
+        fmt_sig(fd_batch_s, 3),
+        format!("{fd_speedup:.2}"),
+        batch.plans_built.to_string(),
+    ]);
+
+    // Part 2: Monte Carlo book — one shared path sweep over fused
+    // terminal payoffs.
+    let d = 5;
+    let md = market(d);
+    let paths = effort.scale64(20_000, 100_000);
+    let cfg = McConfig {
+        paths,
+        ..Default::default()
+    };
+    let strikes = [85.0, 90.0, 95.0, 100.0, 105.0, 110.0];
+    let mut mc_book: Vec<Product> = strikes
+        .iter()
+        .map(|&k| Product::european(Payoff::MaxCall { strike: k }, 1.0))
+        .collect();
+    mc_book.push(Product::european(Payoff::GeometricCall { strike: 100.0 }, 1.0));
+    mc_book.push(Product::european(
+        Payoff::BasketCall {
+            weights: Product::equal_weights(d),
+            strike: 100.0,
+        },
+        1.0,
+    ));
+    let mc_pricer = Pricer::new(Method::MonteCarlo(cfg));
+
+    let (mc_loop_reports, mc_loop_s) = measure(|| {
+        mc_book
+            .iter()
+            .map(|p| mc_pricer.price(&md, p).expect("mc loop"))
+            .collect::<Vec<_>>()
+    });
+    let (mc_batch, mc_batch_s) = measure(|| {
+        Portfolio::new(mc_pricer.clone())
+            .price_batch(&md, &mc_book)
+            .expect("mc batch")
+    });
+    for (solo, fused) in mc_loop_reports.iter().zip(&mc_batch.reports) {
+        assert_eq!(
+            solo.price.to_bits(),
+            fused.price.to_bits(),
+            "fused MC book must match the per-product loop bitwise"
+        );
+    }
+    assert_eq!(mc_batch.fused, mc_book.len());
+    let mc_speedup = mc_loop_s / mc_batch_s;
+    t.push(&[
+        format!("mc d={d} shared paths"),
+        mc_book.len().to_string(),
+        fmt_sig(mc_loop_s, 3),
+        fmt_sig(mc_batch_s, 3),
+        format!("{mc_speedup:.2}"),
+        mc_batch.plans_built.to_string(),
+    ]);
+
+    save("t10_portfolio_batch", &t);
+
+    let json = format!(
+        "{{\n  \"experiment\": \"t10\",\n  \"portfolio\": [\n    \
+         {{\"book\": \"fd_ladder\", \"products\": {n_fd}, \"loop_s\": {fd_loop_s:.6}, \
+         \"batch_s\": {fd_batch_s:.6}, \"amortized_speedup\": {fd_speedup:.3}}},\n    \
+         {{\"book\": \"mc_shared_paths\", \"products\": {}, \"loop_s\": {mc_loop_s:.6}, \
+         \"batch_s\": {mc_batch_s:.6}, \"amortized_speedup\": {mc_speedup:.3}}}\n  ]\n}}\n",
+        mc_book.len(),
+    );
+    let _ = std::fs::write(crate::out_dir().join("BENCH_portfolio.json"), json);
+}

@@ -20,11 +20,35 @@
 //! // …and on a modelled 8-node cluster: identical estimate, plus a
 //! // virtual-time execution model.
 //! let par = Pricer::new(Method::monte_carlo(50_000))
-//!     .backend(Backend::Cluster { ranks: 8, machine: Machine::cluster2002() })
+//!     .backend(Backend::cluster(8, Machine::cluster2002()))
 //!     .price(&market, &product)
 //!     .unwrap();
 //! assert_eq!(seq.price, par.price);
 //! assert!(par.time.is_some());
+//! ```
+//!
+//! Every price is internally a **plan** (market-level setup) plus an
+//! **execute** (one product over the planned state); [`Pricer::plan`]
+//! exposes the split, and [`Portfolio::price_batch`] amortises one plan
+//! across a whole book — fusing an FD strike ladder into one multi-RHS
+//! backward sweep and a Monte Carlo book into one shared path sweep,
+//! bitwise-identically to per-product pricing:
+//!
+//! ```
+//! use mdp_core::prelude::*;
+//!
+//! let market = GbmMarket::single(100.0, 0.2, 0.0, 0.05).unwrap();
+//! let book: Vec<Product> = (0..16)
+//!     .map(|i| Product::european(
+//!         Payoff::BasketCall { weights: vec![1.0], strike: 80.0 + 2.5 * i as f64 },
+//!         1.0,
+//!     ))
+//!     .collect();
+//! let batch = Portfolio::new(Pricer::new(Method::Fd1d(Fd1d::default())))
+//!     .price_batch(&market, &book)
+//!     .unwrap();
+//! assert_eq!(batch.reports.len(), 16);
+//! assert_eq!(batch.fused, 16); // one ladder sweep priced all strikes
 //! ```
 //!
 //! | engine | dims | exercise | backends |
@@ -35,18 +59,25 @@
 //! | [`Method::MonteCarlo`] | any | European | sequential, rayon, cluster |
 //! | [`Method::Qmc`] | steps·d ≤ 64 | European | sequential |
 //! | [`Method::Lsmc`] | any | American | sequential, cluster |
-//! | [`Method::Fd1d`] | 1 | both | sequential |
+//! | [`Method::Fd1d`] | 1 | both | sequential, cluster (explicit scheme) |
 //! | [`Method::Adi2d`] | 2 | both | sequential, rayon |
 
+pub mod engine;
 pub mod greeks;
+pub mod portfolio;
 pub mod pricer;
 
+pub use engine::{EngineOutcome, EnginePlan, PricingEngine};
 pub use greeks::BumpConfig;
-pub use pricer::{Backend, Method, PriceError, PriceReport, Pricer};
+pub use portfolio::{BatchReport, Portfolio};
+pub use pricer::{Backend, Method, PriceError, PriceReport, Pricer, PricerPlan};
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use crate::{Backend, BumpConfig, Method, PriceError, PriceReport, Pricer};
+    pub use crate::{
+        Backend, BatchReport, BumpConfig, EngineOutcome, EnginePlan, Method, Portfolio, PriceError,
+        PriceReport, Pricer, PricerPlan, PricingEngine,
+    };
     pub use mdp_cluster::{FaultPlan, Machine, TimeModel};
     pub use mdp_lattice::{BinomialKind, BinomialLattice, MultiLattice, TrinomialLattice};
     pub use mdp_mc::{LsmcConfig, McConfig, McEngine, QmcConfig, VarianceReduction};

@@ -1,0 +1,405 @@
+//! Portfolio batch pricing: one plan, many executes, fused kernels.
+//!
+//! [`Portfolio::price_batch`] prices a book of products on one market,
+//! grouping products by **plan key** (the maturity — together with the
+//! shared market and method configuration it determines the entire
+//! planned state) so each group pays the engine setup once. Two groups
+//! fuse deeper than plan reuse:
+//!
+//! * **FD strike ladder** — a group of 1-D products on the same grid
+//!   becomes lanes of one [`mdp_pde::Fd1dPlan::execute_ladder`] call:
+//!   a single backward sweep whose multi-RHS transposed Thomas solves
+//!   vectorise across the products.
+//! * **Shared-path Monte Carlo** — terminal-payoff European products
+//!   under one `(market, maturity, config)` plan are evaluated over
+//!   **one path sweep** ([`mdp_mc::McPlan::execute_multi`]): every
+//!   panel of paths is walked once and all payoffs read it.
+//!
+//! Both fusions are **bitwise-identical** per product to the one-shot
+//! [`Pricer::price`] loop — the ladder's per-lane arithmetic equals the
+//! scalar solve, and MC paths never depend on the payoff — so batching
+//! is purely a performance decision. Sequential, rayon and cluster
+//! backends are supported; the cluster backend prices per product
+//! through the SPMD drivers (its setup lives inside each run).
+
+use crate::pricer::{Backend, Method, PriceError, PriceReport, Pricer};
+use mdp_mc::McEngine;
+use mdp_model::{ExerciseStyle, GbmMarket, Product};
+use mdp_pde::{AmericanMethod, Fd1dLadderScratch};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Products per rayon ladder chunk: wide enough that the panel solver
+/// vectorises across lanes, narrow enough to split a 64-product ladder
+/// over the pool.
+const FD_LADDER_CHUNK: usize = 8;
+
+/// A book of products priced through one [`Pricer`] with plan reuse and
+/// kernel fusion.
+#[derive(Debug, Clone)]
+pub struct Portfolio {
+    pricer: Pricer,
+}
+
+/// Outcome of a batch run: per-product reports plus the amortized
+/// stage timings.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// One report per input product, in input order. Prices and
+    /// standard errors are exactly what a one-shot [`Pricer::price`]
+    /// would produce (bit for bit). Within a fused group each report
+    /// carries the group's (shared) plan time and an equal share of the
+    /// fused kernel's execute time.
+    pub reports: Vec<PriceReport>,
+    /// Total seconds spent building plans (once per group).
+    pub plan_seconds: f64,
+    /// Total seconds spent executing products.
+    pub execute_seconds: f64,
+    /// Total wall-clock seconds for the batch.
+    pub wall_seconds: f64,
+    /// Distinct plans built (one per maturity group on planful paths).
+    pub plans_built: usize,
+    /// Products priced through a fused multi-product kernel (FD ladder
+    /// or shared-path MC sweep).
+    pub fused: usize,
+}
+
+impl Portfolio {
+    /// A portfolio pricer wrapping the given method/backend pair.
+    pub fn new(pricer: Pricer) -> Self {
+        Portfolio { pricer }
+    }
+
+    /// Price every product of the book on one market.
+    ///
+    /// Results are bitwise-identical to pricing each product with
+    /// [`Pricer::price`] (for FD on the rayon backend, to the
+    /// sequential per-product loop — the one-shot facade has no rayon
+    /// FD path). Fails on the first product any engine rejects, like
+    /// the loop would.
+    pub fn price_batch(
+        &self,
+        market: &GbmMarket,
+        products: &[Product],
+    ) -> Result<BatchReport, PriceError> {
+        let t_total = Instant::now();
+        let mut reports: Vec<Option<PriceReport>> = vec![None; products.len()];
+        // Group by plan key — the maturity, bit-exact. Order within a
+        // group follows input order.
+        let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
+        for (i, p) in products.iter().enumerate() {
+            let key = p.maturity.to_bits();
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, v)) => v.push(i),
+                None => groups.push((key, vec![i])),
+            }
+        }
+
+        let parallel = matches!(self.pricer.backend_ref(), Backend::Rayon);
+        let mut plan_seconds = 0.0;
+        let mut plans_built = 0usize;
+        let mut fused = 0usize;
+
+        for (_, idxs) in &groups {
+            let maturity = products[idxs[0]].maturity;
+            match (self.pricer.method(), self.pricer.backend_ref()) {
+                (Method::Fd1d(cfg), Backend::Sequential | Backend::Rayon)
+                    if ladder_eligible(cfg, products, idxs) =>
+                {
+                    let t0 = Instant::now();
+                    let plan = cfg.plan(market, maturity)?;
+                    let plan_s = t0.elapsed().as_secs_f64();
+                    plan_seconds += plan_s;
+                    plans_built += 1;
+                    let group: Vec<Product> = idxs.iter().map(|&i| products[i].clone()).collect();
+                    let t1 = Instant::now();
+                    let prices: Vec<f64> = if parallel && group.len() > 1 {
+                        // Lanes are independent, so chunked ladders are
+                        // bitwise-equal to one wide ladder.
+                        let n_chunks = group.len().div_ceil(FD_LADDER_CHUNK);
+                        let chunk_prices: Vec<Result<Vec<f64>, mdp_pde::PdeError>> = (0..n_chunks)
+                            .into_par_iter()
+                            .map(|c| {
+                                let lo = c * FD_LADDER_CHUNK;
+                                let hi = (lo + FD_LADDER_CHUNK).min(group.len());
+                                let mut scratch = Fd1dLadderScratch::default();
+                                plan.execute_ladder(&group[lo..hi], &mut scratch)
+                                    .map(|r| r.prices)
+                            })
+                            .collect();
+                        let mut all = Vec::with_capacity(group.len());
+                        for r in chunk_prices {
+                            all.extend(r?);
+                        }
+                        all
+                    } else {
+                        let mut scratch = Fd1dLadderScratch::default();
+                        plan.execute_ladder(&group, &mut scratch)?.prices
+                    };
+                    let exec_share = t1.elapsed().as_secs_f64() / group.len() as f64;
+                    fused += group.len();
+                    for (&i, price) in idxs.iter().zip(prices) {
+                        reports[i] = Some(PriceReport {
+                            price,
+                            std_error: None,
+                            time: None,
+                            plan_seconds: plan_s,
+                            execute_seconds: exec_share,
+                            wall_seconds: plan_s + exec_share,
+                            engine: self.pricer.method().name(),
+                        });
+                    }
+                }
+                (Method::MonteCarlo(cfg), Backend::Sequential | Backend::Rayon) => {
+                    let t0 = Instant::now();
+                    let plan = McEngine::new(*cfg).plan(market, maturity)?;
+                    let plan_s = t0.elapsed().as_secs_f64();
+                    plan_seconds += plan_s;
+                    plans_built += 1;
+                    let (fusable, rest): (Vec<usize>, Vec<usize>) = idxs
+                        .iter()
+                        .partition(|&&i| plan.check_fusable(&products[i]).is_ok());
+                    if !fusable.is_empty() {
+                        let book: Vec<Product> =
+                            fusable.iter().map(|&i| products[i].clone()).collect();
+                        let t1 = Instant::now();
+                        let results = plan.execute_multi(&book, parallel)?;
+                        let exec_share = t1.elapsed().as_secs_f64() / book.len() as f64;
+                        fused += book.len();
+                        for (&i, r) in fusable.iter().zip(results) {
+                            reports[i] = Some(PriceReport {
+                                price: r.price,
+                                std_error: Some(r.std_error),
+                                time: None,
+                                plan_seconds: plan_s,
+                                execute_seconds: exec_share,
+                                wall_seconds: plan_s + exec_share,
+                                engine: self.pricer.method().name(),
+                            });
+                        }
+                    }
+                    for &i in &rest {
+                        let t1 = Instant::now();
+                        let r = if parallel {
+                            plan.execute_rayon(&products[i])?
+                        } else {
+                            plan.execute(&products[i])?
+                        };
+                        let exec_s = t1.elapsed().as_secs_f64();
+                        reports[i] = Some(PriceReport {
+                            price: r.price,
+                            std_error: Some(r.std_error),
+                            time: None,
+                            plan_seconds: plan_s,
+                            execute_seconds: exec_s,
+                            wall_seconds: plan_s + exec_s,
+                            engine: self.pricer.method().name(),
+                        });
+                    }
+                }
+                _ => {
+                    // Plan once per group (a no-op for one-shot paths),
+                    // execute per product. A PSOR-American FD book on
+                    // the rayon backend drops to the sequential
+                    // per-product path — the facade has no rayon FD.
+                    let pricer = match (self.pricer.method(), self.pricer.backend_ref()) {
+                        (Method::Fd1d(_), Backend::Rayon) => {
+                            self.pricer.clone().backend(Backend::Sequential)
+                        }
+                        _ => self.pricer.clone(),
+                    };
+                    let mut plan = pricer.plan(market, maturity)?;
+                    plan_seconds += plan.plan_seconds();
+                    plans_built += 1;
+                    for &i in idxs {
+                        reports[i] = Some(plan.execute(&products[i])?);
+                    }
+                }
+            }
+        }
+
+        let wall_seconds = t_total.elapsed().as_secs_f64();
+        Ok(BatchReport {
+            reports: reports.into_iter().map(|r| r.expect("every index filled")).collect(),
+            plan_seconds,
+            execute_seconds: wall_seconds - plan_seconds,
+            wall_seconds,
+            plans_built,
+            fused,
+        })
+    }
+}
+
+/// The ladder kernel covers every product of the group unless the
+/// config demands PSOR for an American product (PSOR iteration counts
+/// are payoff-dependent, so lanes would interact).
+fn ladder_eligible(cfg: &mdp_pde::Fd1d, products: &[Product], idxs: &[usize]) -> bool {
+    let psor = matches!(cfg.american, AmericanMethod::Psor { .. });
+    !psor
+        || idxs
+            .iter()
+            .all(|&i| products[i].exercise == ExerciseStyle::European)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pricer::Method;
+    use mdp_mc::McConfig;
+    use mdp_model::Payoff;
+    use mdp_pde::Fd1d;
+
+    fn ladder_book(n: usize) -> (GbmMarket, Vec<Product>) {
+        let market = GbmMarket::single(100.0, 0.2, 0.0, 0.05).unwrap();
+        let products = (0..n)
+            .map(|i| {
+                let strike = 70.0 + 60.0 * i as f64 / (n - 1) as f64;
+                if i % 2 == 0 {
+                    Product::european(
+                        Payoff::BasketCall {
+                            weights: vec![1.0],
+                            strike,
+                        },
+                        1.0,
+                    )
+                } else {
+                    Product::american(
+                        Payoff::BasketPut {
+                            weights: vec![1.0],
+                            strike,
+                        },
+                        1.0,
+                    )
+                }
+            })
+            .collect();
+        (market, products)
+    }
+
+    #[test]
+    fn fd_batch_matches_per_product_loop_bitwise() {
+        let (market, products) = ladder_book(9);
+        let pricer = Pricer::new(Method::Fd1d(Fd1d::default()));
+        let batch = Portfolio::new(pricer.clone())
+            .price_batch(&market, &products)
+            .unwrap();
+        assert_eq!(batch.fused, 9);
+        assert_eq!(batch.plans_built, 1);
+        for (p, rep) in products.iter().zip(&batch.reports) {
+            let solo = pricer.price(&market, p).unwrap();
+            assert_eq!(rep.price.to_bits(), solo.price.to_bits());
+            assert_eq!(rep.engine, "fd-1d");
+        }
+        // Rayon chunked ladders agree bit for bit.
+        let par = Portfolio::new(pricer.backend(Backend::Rayon))
+            .price_batch(&market, &products)
+            .unwrap();
+        for (a, b) in batch.reports.iter().zip(&par.reports) {
+            assert_eq!(a.price.to_bits(), b.price.to_bits());
+        }
+    }
+
+    #[test]
+    fn mc_batch_matches_per_product_loop_bitwise() {
+        let market = GbmMarket::symmetric(3, 100.0, 0.25, 0.0, 0.04, 0.35).unwrap();
+        let cfg = McConfig {
+            paths: 20_000,
+            steps: 16,
+            block_size: 500,
+            ..Default::default()
+        };
+        let products = vec![
+            Product::european(Payoff::MaxCall { strike: 95.0 }, 2.0),
+            Product::european(Payoff::MinPut { strike: 105.0 }, 2.0),
+            Product::european(
+                Payoff::BasketCall {
+                    weights: Product::equal_weights(3),
+                    strike: 100.0,
+                },
+                2.0,
+            ),
+            // A second maturity group.
+            Product::european(Payoff::MaxCall { strike: 100.0 }, 1.0),
+        ];
+        for backend in [Backend::Sequential, Backend::Rayon] {
+            let pricer = Pricer::new(Method::MonteCarlo(cfg)).backend(backend);
+            let batch = Portfolio::new(pricer.clone())
+                .price_batch(&market, &products)
+                .unwrap();
+            assert_eq!(batch.fused, 4);
+            assert_eq!(batch.plans_built, 2);
+            for (p, rep) in products.iter().zip(&batch.reports) {
+                let solo = pricer.price(&market, p).unwrap();
+                assert_eq!(rep.price.to_bits(), solo.price.to_bits());
+                assert_eq!(
+                    rep.std_error.unwrap().to_bits(),
+                    solo.std_error.unwrap().to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_books_fall_back_per_product() {
+        // Asian payoffs are not fusable: they ride the per-product path
+        // inside the same plan, still bitwise-equal to one-shots.
+        let market = GbmMarket::single(100.0, 0.2, 0.0, 0.05).unwrap();
+        let cfg = McConfig {
+            paths: 8_000,
+            steps: 12,
+            ..Default::default()
+        };
+        let products = vec![
+            Product::european(
+                Payoff::BasketCall {
+                    weights: vec![1.0],
+                    strike: 100.0,
+                },
+                1.0,
+            ),
+            Product::european(Payoff::AsianCall { strike: 100.0 }, 1.0),
+        ];
+        let pricer = Pricer::new(Method::MonteCarlo(cfg));
+        let batch = Portfolio::new(pricer.clone())
+            .price_batch(&market, &products)
+            .unwrap();
+        assert_eq!(batch.fused, 1);
+        for (p, rep) in products.iter().zip(&batch.reports) {
+            let solo = pricer.price(&market, p).unwrap();
+            assert_eq!(rep.price.to_bits(), solo.price.to_bits());
+        }
+    }
+
+    #[test]
+    fn cluster_batch_prices_per_product() {
+        use mdp_cluster::Machine;
+        let market = GbmMarket::single(100.0, 0.2, 0.0, 0.05).unwrap();
+        let products = vec![
+            Product::european(
+                Payoff::BasketCall {
+                    weights: vec![1.0],
+                    strike: 95.0,
+                },
+                1.0,
+            ),
+            Product::european(
+                Payoff::BasketCall {
+                    weights: vec![1.0],
+                    strike: 105.0,
+                },
+                1.0,
+            ),
+        ];
+        let pricer = Pricer::new(Method::monte_carlo(10_000))
+            .backend(Backend::cluster(3, Machine::cluster2002()));
+        let batch = Portfolio::new(pricer.clone())
+            .price_batch(&market, &products)
+            .unwrap();
+        assert_eq!(batch.fused, 0);
+        for (p, rep) in products.iter().zip(&batch.reports) {
+            let solo = pricer.price(&market, p).unwrap();
+            assert_eq!(rep.price.to_bits(), solo.price.to_bits());
+            assert!(rep.time.is_some());
+        }
+    }
+}

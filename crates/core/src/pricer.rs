@@ -1,19 +1,38 @@
 //! The unified pricing entry point.
+//!
+//! [`Pricer`] pairs a [`Method`] with a [`Backend`] and prices any
+//! product. Internally every price is a **plan** step (market-dependent,
+//! payoff-independent setup: grids, operator factorizations, Cholesky
+//! factors, spot ladders) followed by an **execute** step (one product
+//! over the planned state). [`Pricer::price`] is a thin
+//! plan-then-execute wrapper; callers that price many products on one
+//! market can call [`Pricer::plan`] once and [`PricerPlan::execute`]
+//! per product, paying the setup once — with results bitwise-identical
+//! to one-shot calls. [`crate::Portfolio`] builds on the same split.
 
-use mdp_cluster::{Machine, TimeModel};
+use mdp_cluster::{FaultPlan, Machine, TimeModel};
 use mdp_lattice::{
-    cluster::{price_cluster, Decomposition},
-    BinomialKind, BinomialLattice, LatticeError, MultiLattice, TrinomialLattice,
+    cluster::{price_cluster, price_cluster_ft, Decomposition},
+    BinomialKind, BinomialLattice, LatticeError, LatticePlan, LatticeScratch, MultiLattice,
+    TrinomialLattice,
 };
 use mdp_mc::{
-    cluster_driver::{price_lsmc_cluster, price_mc_cluster},
+    cluster_driver::{price_lsmc_cluster, price_mc_cluster, price_mc_cluster_ft},
     lsmc::{price_lsmc, price_lsmc_rayon},
     qmc::price_qmc,
-    LsmcConfig, McConfig, McEngine, McError, QmcConfig,
+    LsmcConfig, McConfig, McEngine, McError, McPlan, QmcConfig,
 };
 use mdp_model::{GbmMarket, ModelError, Product};
-use mdp_pde::{Adi2d, Fd1d, Fd1dBarrier, PdeError};
+use mdp_pde::{
+    Adi2d, Adi2dPlan, Adi2dScratch, ClusterFd1d, Fd1d, Fd1dBarrier, Fd1dPlan, Fd1dScratch,
+    PdeError, Scheme,
+};
 use std::fmt;
+
+/// Checkpoint boundaries used by the fault-tolerant Monte Carlo cluster
+/// driver when routed through [`Pricer`]: the block range is processed
+/// in this many batches, with a recovery boundary before each.
+const MC_FT_BATCHES: usize = 16;
 
 /// The pricing method (engine + its configuration).
 #[derive(Debug, Clone)]
@@ -95,7 +114,24 @@ pub enum Backend {
         ranks: usize,
         /// Machine model.
         machine: Machine,
+        /// When set, the run goes through the fault-tolerant
+        /// checkpoint/restart driver, writing a checkpoint every this
+        /// many step boundaries. Combine with [`Pricer::fault_plan`] to
+        /// inject crashes; the recovered price is bit-identical to the
+        /// fault-free run.
+        checkpoint_interval: Option<usize>,
     },
+}
+
+impl Backend {
+    /// Plain (non-fault-tolerant) cluster backend.
+    pub fn cluster(ranks: usize, machine: Machine) -> Self {
+        Backend::Cluster {
+            ranks,
+            machine,
+            checkpoint_interval: None,
+        }
+    }
 }
 
 /// Unified pricing outcome.
@@ -107,7 +143,13 @@ pub struct PriceReport {
     pub std_error: Option<f64>,
     /// Virtual-time model (cluster backend only).
     pub time: Option<TimeModel>,
-    /// Host wall-clock seconds spent pricing.
+    /// Host wall-clock seconds spent building the plan (market-level
+    /// setup). Reports produced by one shared plan all carry the same
+    /// plan cost — it was paid once.
+    pub plan_seconds: f64,
+    /// Host wall-clock seconds spent executing the product.
+    pub execute_seconds: f64,
+    /// Total host wall-clock seconds (`plan_seconds + execute_seconds`).
     pub wall_seconds: f64,
     /// Engine name.
     pub engine: &'static str,
@@ -168,6 +210,35 @@ impl From<PdeError> for PriceError {
 pub struct Pricer {
     method: Method,
     backend: Backend,
+    fault_plan: Option<FaultPlan>,
+}
+
+/// The planned, reusable state behind a [`Pricer`] for one
+/// `(market, maturity)` pair.
+///
+/// For the planful method/backend pairs (FD, ADI, BEG lattice and
+/// Monte Carlo on the host backends) this holds the engine's compiled
+/// plan plus its reusable scratch buffers; executing `k` products costs
+/// one setup instead of `k`, bitwise-identically. Everything else
+/// (analytic, the 1-D lattices, QMC, LSMC, barrier FD and all cluster
+/// runs) has no reusable market-level state and executes as a one-shot.
+#[derive(Debug, Clone)]
+pub struct PricerPlan {
+    pricer: Pricer,
+    market: GbmMarket,
+    maturity: f64,
+    plan_seconds: f64,
+    kind: PlanKind,
+}
+
+/// Which compiled engine state a [`PricerPlan`] carries.
+#[derive(Debug, Clone)]
+enum PlanKind {
+    Fd1d(Box<Fd1dPlan>, Fd1dScratch),
+    Adi2d(Box<Adi2dPlan>, Adi2dScratch),
+    Lattice(Box<LatticePlan>, LatticeScratch),
+    Mc(Box<McPlan>),
+    OneShot,
 }
 
 impl Pricer {
@@ -176,6 +247,7 @@ impl Pricer {
         Pricer {
             method,
             backend: Backend::Sequential,
+            fault_plan: None,
         }
     }
 
@@ -185,9 +257,38 @@ impl Pricer {
         self
     }
 
+    /// Inject a deterministic fault schedule into fault-tolerant
+    /// cluster runs (those with a `checkpoint_interval`). Without one,
+    /// checkpointed runs execute fault-free (checkpoints still written).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// The configured method.
+    pub fn method(&self) -> &Method {
+        &self.method
+    }
+
+    /// The configured backend.
+    pub fn backend_ref(&self) -> Backend {
+        self.backend
+    }
+
     /// A sensible default method for a product/market pair:
     /// closed form when available, CN finite differences in 1-D,
     /// the BEG lattice in 2–3 dimensions, (LS)MC beyond.
+    ///
+    /// The full routing table, by `(dimension, exercise, payoff class)`:
+    ///
+    /// | dimension | exercise | payoff | method |
+    /// |---|---|---|---|
+    /// | any | any | closed form exists | `Analytic` |
+    /// | any | any | path-dependent | `MonteCarlo` (200k paths, 50 steps) |
+    /// | 1 | any | terminal | `Fd1d` (Crank–Nicolson) |
+    /// | 2–3 | any | terminal | `MultiLattice` (100 steps) |
+    /// | ≥4 | European | terminal | `MonteCarlo` (200k paths) |
+    /// | ≥4 | American | terminal | `Lsmc` |
     pub fn auto(market: &GbmMarket, product: &Product) -> Self {
         use mdp_model::ExerciseStyle;
         if mdp_model::analytic::price_product(market, product).is_some() {
@@ -208,9 +309,63 @@ impl Pricer {
         Pricer::new(method)
     }
 
-    /// Price the product.
-    pub fn price(&self, market: &GbmMarket, product: &Product) -> Result<PriceReport, PriceError> {
+    /// Compile the market-level plan for horizon `maturity`.
+    ///
+    /// Products executed against the plan must carry the same maturity;
+    /// a mismatch is a typed [`PriceError::Unsupported`], never a wrong
+    /// number.
+    pub fn plan(&self, market: &GbmMarket, maturity: f64) -> Result<PricerPlan, PriceError> {
         let start = std::time::Instant::now();
+        let kind = match (&self.method, self.backend) {
+            (Method::Fd1d(cfg), Backend::Sequential) => {
+                PlanKind::Fd1d(Box::new(cfg.plan(market, maturity)?), Fd1dScratch::default())
+            }
+            (Method::Adi2d(cfg), Backend::Sequential) => PlanKind::Adi2d(
+                Box::new(cfg.plan(market, maturity)?),
+                Adi2dScratch::default(),
+            ),
+            (Method::Adi2d(cfg), Backend::Rayon) => {
+                // Same cfg rewrite the one-shot rayon path performs.
+                let mut c = *cfg;
+                c.parallel = true;
+                PlanKind::Adi2d(Box::new(c.plan(market, maturity)?), Adi2dScratch::default())
+            }
+            (Method::MultiLattice { steps }, Backend::Sequential | Backend::Rayon) => {
+                PlanKind::Lattice(
+                    Box::new(MultiLattice::new(*steps).plan(market, maturity)?),
+                    LatticeScratch::default(),
+                )
+            }
+            (Method::MonteCarlo(cfg), Backend::Sequential | Backend::Rayon) => {
+                PlanKind::Mc(Box::new(McEngine::new(*cfg).plan(market, maturity)?))
+            }
+            // No reusable market-level state: analytic, the 1-D
+            // lattices, QMC, LSMC, barrier FD, and every cluster run
+            // (whose setup lives inside the SPMD driver).
+            _ => PlanKind::OneShot,
+        };
+        Ok(PricerPlan {
+            pricer: self.clone(),
+            market: market.clone(),
+            maturity,
+            plan_seconds: start.elapsed().as_secs_f64(),
+            kind,
+        })
+    }
+
+    /// Price the product: plan, then execute.
+    pub fn price(&self, market: &GbmMarket, product: &Product) -> Result<PriceReport, PriceError> {
+        let mut plan = self.plan(market, product.maturity)?;
+        plan.execute(product)
+    }
+
+    /// The one-shot dispatch for method/backend pairs without reusable
+    /// planned state (and the cluster fault-tolerance routing).
+    fn price_one_shot(
+        &self,
+        market: &GbmMarket,
+        product: &Product,
+    ) -> Result<(f64, Option<f64>, Option<TimeModel>), PriceError> {
         let engine = self.method.name();
         let unsupported_backend = || {
             Err(PriceError::Unsupported(format!(
@@ -218,7 +373,20 @@ impl Pricer {
                 self.backend
             )))
         };
-        let (price, std_error, time) = match (&self.method, self.backend) {
+        // The fault schedule for checkpointed cluster runs; absent a
+        // user-supplied plan, a fault-free schedule (checkpoints still
+        // written, so the overhead is observable in the time model).
+        let fault = || self.fault_plan.clone().unwrap_or_else(|| FaultPlan::new(0));
+        let check_interval = |k: usize| {
+            if k == 0 {
+                Err(PriceError::Unsupported(
+                    "checkpoint_interval must be >= 1".into(),
+                ))
+            } else {
+                Ok(k)
+            }
+        };
+        Ok(match (&self.method, self.backend) {
             (Method::Analytic, Backend::Sequential) => {
                 let p = mdp_model::analytic::price_product(market, product).ok_or_else(|| {
                     PriceError::Unsupported(format!("no closed form for {:?}", product.payoff))
@@ -255,17 +423,38 @@ impl Pricer {
                 None,
                 None,
             ),
-            (Method::MultiLattice { steps }, Backend::Cluster { ranks, machine }) => {
-                let out = price_cluster(
-                    market,
-                    product,
-                    *steps,
+            (
+                Method::MultiLattice { steps },
+                Backend::Cluster {
                     ranks,
                     machine,
-                    Decomposition::Block,
-                )?;
-                (out.price, None, Some(out.time))
-            }
+                    checkpoint_interval,
+                },
+            ) => match checkpoint_interval {
+                None => {
+                    let out = price_cluster(
+                        market,
+                        product,
+                        *steps,
+                        ranks,
+                        machine,
+                        Decomposition::Block,
+                    )?;
+                    (out.price, None, Some(out.time))
+                }
+                Some(k) => {
+                    let out = price_cluster_ft(
+                        market,
+                        product,
+                        *steps,
+                        ranks,
+                        machine,
+                        fault(),
+                        check_interval(k)?,
+                    )?;
+                    (out.price, None, Some(out.time))
+                }
+            },
 
             (Method::MonteCarlo(cfg), Backend::Sequential) => {
                 let r = McEngine::new(*cfg).price(market, product)?;
@@ -275,10 +464,32 @@ impl Pricer {
                 let r = McEngine::new(*cfg).price_rayon(market, product)?;
                 (r.price, Some(r.std_error), None)
             }
-            (Method::MonteCarlo(cfg), Backend::Cluster { ranks, machine }) => {
-                let out = price_mc_cluster(market, product, *cfg, ranks, machine)?;
-                (out.result.price, Some(out.result.std_error), Some(out.time))
-            }
+            (
+                Method::MonteCarlo(cfg),
+                Backend::Cluster {
+                    ranks,
+                    machine,
+                    checkpoint_interval,
+                },
+            ) => match checkpoint_interval {
+                None => {
+                    let out = price_mc_cluster(market, product, *cfg, ranks, machine)?;
+                    (out.result.price, Some(out.result.std_error), Some(out.time))
+                }
+                Some(k) => {
+                    let out = price_mc_cluster_ft(
+                        market,
+                        product,
+                        *cfg,
+                        ranks,
+                        machine,
+                        fault(),
+                        MC_FT_BATCHES,
+                        check_interval(k)?,
+                    )?;
+                    (out.result.price, Some(out.result.std_error), Some(out.time))
+                }
+            },
 
             (Method::Qmc(cfg), Backend::Sequential) => {
                 let r = price_qmc(market, product, *cfg)?;
@@ -294,13 +505,63 @@ impl Pricer {
                 let r = price_lsmc_rayon(market, product, *cfg)?;
                 (r.price, Some(r.std_error), None)
             }
-            (Method::Lsmc(cfg), Backend::Cluster { ranks, machine }) => {
+            (
+                Method::Lsmc(cfg),
+                Backend::Cluster {
+                    ranks,
+                    machine,
+                    checkpoint_interval,
+                },
+            ) => {
+                if checkpoint_interval.is_some() {
+                    return Err(PriceError::Unsupported(
+                        "the distributed LSMC driver has no checkpoint/restart path".into(),
+                    ));
+                }
                 let out = price_lsmc_cluster(market, product, *cfg, ranks, machine)?;
                 (out.result.price, Some(out.result.std_error), Some(out.time))
             }
 
             (Method::Fd1d(cfg), Backend::Sequential) => {
                 (cfg.price(market, product)?.price, None, None)
+            }
+            (
+                Method::Fd1d(cfg),
+                Backend::Cluster {
+                    ranks,
+                    machine,
+                    checkpoint_interval,
+                },
+            ) => {
+                if cfg.scheme != Scheme::Explicit {
+                    return Err(PriceError::Unsupported(
+                        "the distributed FD driver runs the explicit scheme only; \
+                         set Scheme::Explicit (mind the stability bound)"
+                            .into(),
+                    ));
+                }
+                let cl = ClusterFd1d {
+                    space_points: cfg.space_points,
+                    time_steps: cfg.time_steps,
+                    width: cfg.width,
+                };
+                match checkpoint_interval {
+                    None => {
+                        let out = cl.price(market, product, ranks, machine)?;
+                        (out.price, None, Some(out.time))
+                    }
+                    Some(k) => {
+                        let out = cl.price_ft(
+                            market,
+                            product,
+                            ranks,
+                            machine,
+                            fault(),
+                            check_interval(k)?,
+                        )?;
+                        (out.price, None, Some(out.time))
+                    }
+                }
             }
             (Method::Fd1d(_), _) => return unsupported_backend(),
 
@@ -318,13 +579,63 @@ impl Pricer {
                 (cfg.price(market, product)?.price, None, None)
             }
             (Method::BarrierFd(_), _) => return unsupported_backend(),
+        })
+    }
+}
+
+impl PricerPlan {
+    /// Horizon the plan was built for.
+    pub fn maturity(&self) -> f64 {
+        self.maturity
+    }
+
+    /// Seconds spent compiling the plan.
+    pub fn plan_seconds(&self) -> f64 {
+        self.plan_seconds
+    }
+
+    /// Execute one product over the planned state. Bitwise-identical to
+    /// a one-shot [`Pricer::price`] of the same product.
+    pub fn execute(&mut self, product: &Product) -> Result<PriceReport, PriceError> {
+        let start = std::time::Instant::now();
+        if product.maturity != self.maturity {
+            return Err(PriceError::Unsupported(format!(
+                "plan built for maturity {}, product has {}",
+                self.maturity, product.maturity
+            )));
+        }
+        let parallel = matches!(self.pricer.backend, Backend::Rayon);
+        let (price, std_error, time) = match &mut self.kind {
+            PlanKind::Fd1d(plan, scratch) => {
+                product.validate_for(&self.market)?;
+                (plan.execute(product, scratch)?.price, None, None)
+            }
+            PlanKind::Adi2d(plan, scratch) => {
+                product.validate_for(&self.market)?;
+                (plan.execute(product, scratch)?.price, None, None)
+            }
+            PlanKind::Lattice(plan, scratch) => {
+                (plan.execute(product, parallel, scratch)?.price, None, None)
+            }
+            PlanKind::Mc(plan) => {
+                let r = if parallel {
+                    plan.execute_rayon(product)?
+                } else {
+                    plan.execute(product)?
+                };
+                (r.price, Some(r.std_error), None)
+            }
+            PlanKind::OneShot => self.pricer.price_one_shot(&self.market, product)?,
         };
+        let execute_seconds = start.elapsed().as_secs_f64();
         Ok(PriceReport {
             price,
             std_error,
             time,
-            wall_seconds: start.elapsed().as_secs_f64(),
-            engine,
+            plan_seconds: self.plan_seconds,
+            execute_seconds,
+            wall_seconds: self.plan_seconds + execute_seconds,
+            engine: self.pricer.method.name(),
         })
     }
 }
@@ -401,10 +712,7 @@ mod tests {
             .price(&m, &p)
             .unwrap();
         let par = Pricer::new(Method::monte_carlo(20_000))
-            .backend(Backend::Cluster {
-                ranks: 4,
-                machine: Machine::cluster2002(),
-            })
+            .backend(Backend::cluster(4, Machine::cluster2002()))
             .price(&m, &p)
             .unwrap();
         assert_eq!(seq.price.to_bits(), par.price.to_bits());
@@ -457,10 +765,7 @@ mod tests {
             .unwrap_err();
         assert!(matches!(e, PriceError::Unsupported(_)));
         let e2 = Pricer::new(Method::Qmc(QmcConfig::default()))
-            .backend(Backend::Cluster {
-                ranks: 2,
-                machine: Machine::ideal(),
-            })
+            .backend(Backend::cluster(2, Machine::ideal()))
             .price(&m, &p)
             .unwrap_err();
         assert!(matches!(e2, PriceError::Unsupported(_)));
@@ -490,7 +795,64 @@ mod tests {
             .unwrap();
         assert_eq!(r.engine, "monte-carlo");
         assert!(r.wall_seconds > 0.0);
+        assert!(r.execute_seconds > 0.0);
+        assert!(r.plan_seconds >= 0.0);
+        assert!((r.wall_seconds - (r.plan_seconds + r.execute_seconds)).abs() < 1e-12);
         assert!(r.std_error.is_some());
+    }
+
+    #[test]
+    fn plan_amortizes_across_products_bitwise() {
+        let m = GbmMarket::single(100.0, 0.25, 0.01, 0.04).unwrap();
+        let pricer = Pricer::new(Method::Fd1d(Fd1d::default()));
+        let mut plan = pricer.plan(&m, 0.75).unwrap();
+        for strike in [80.0, 100.0, 120.0] {
+            let p = Product::european(
+                Payoff::BasketCall {
+                    weights: vec![1.0],
+                    strike,
+                },
+                0.75,
+            );
+            let planned = plan.execute(&p).unwrap();
+            let oneshot = pricer.price(&m, &p).unwrap();
+            assert_eq!(planned.price.to_bits(), oneshot.price.to_bits());
+        }
+        // Wrong maturity is a typed error, not a wrong number.
+        let p_wrong = Product::european(
+            Payoff::BasketCall {
+                weights: vec![1.0],
+                strike: 100.0,
+            },
+            1.5,
+        );
+        assert!(matches!(
+            plan.execute(&p_wrong),
+            Err(PriceError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn explicit_fd_routes_to_the_cluster_driver() {
+        let (m, p) = call1();
+        let cfg = Fd1d {
+            space_points: 101,
+            time_steps: 4000,
+            scheme: Scheme::Explicit,
+            ..Fd1d::default()
+        };
+        let seq = Pricer::new(Method::Fd1d(cfg)).price(&m, &p).unwrap();
+        let clu = Pricer::new(Method::Fd1d(cfg))
+            .backend(Backend::cluster(4, Machine::cluster2002()))
+            .price(&m, &p)
+            .unwrap();
+        assert_eq!(seq.price.to_bits(), clu.price.to_bits());
+        assert!(clu.time.is_some());
+        // Crank–Nicolson has no distributed driver: typed error.
+        let cn = Pricer::new(Method::Fd1d(Fd1d::default()))
+            .backend(Backend::cluster(4, Machine::cluster2002()))
+            .price(&m, &p);
+        assert!(matches!(cn, Err(PriceError::Unsupported(_))));
     }
 
     #[test]

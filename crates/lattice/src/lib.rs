@@ -30,5 +30,5 @@ pub mod trinomial;
 
 pub use binomial::{BinomialKind, BinomialLattice};
 pub use error::LatticeError;
-pub use multidim::{MultiLattice, MultiLatticeResult};
+pub use multidim::{LatticePlan, LatticeScratch, MultiLattice, MultiLatticeResult};
 pub use trinomial::TrinomialLattice;

@@ -143,6 +143,30 @@ thread_local! {
     static TLS_SCRATCH: RefCell<StepScratch> = RefCell::new(StepScratch::new());
 }
 
+/// Per-axis spot ladders at one step: `ladders[i][jᵢ] = s0ᵢ·e^{σᵢ√Δt(2jᵢ−n)}`
+/// — exactly the arithmetic [`StepCtx::new`] performs, exposed so a
+/// [`LatticePlan`] can precompute every step's ladders once and share
+/// them across executes (the tables depend on the market and horizon,
+/// never the payoff).
+pub fn spot_ladders(
+    market: &GbmMarket,
+    maturity: f64,
+    steps: usize,
+    step: usize,
+) -> Vec<Vec<f64>> {
+    let dt = maturity / steps as f64;
+    let sqdt = dt.sqrt();
+    (0..market.dim())
+        .map(|i| {
+            let s0 = market.spots()[i];
+            let sig = market.vols()[i];
+            (0..=step)
+                .map(|j| s0 * (sig * sqdt * (2.0 * j as f64 - step as f64)).exp())
+                .collect()
+        })
+        .collect()
+}
+
 impl<'a> StepCtx<'a> {
     /// Build the context for step `n` of an N-step, d-asset lattice.
     pub fn new(
@@ -153,9 +177,22 @@ impl<'a> StepCtx<'a> {
         probs: &[f64],
         disc: f64,
     ) -> Self {
+        let spot_tables = spot_ladders(market, product.maturity, steps, step);
+        Self::with_tables(market, product, step, probs, disc, spot_tables)
+    }
+
+    /// Build the context for step `n` from precomputed spot ladders
+    /// ([`spot_ladders`]); the plan/execute path uses this to skip the
+    /// per-step `exp` ladder rebuild.
+    pub fn with_tables(
+        market: &GbmMarket,
+        product: &'a Product,
+        step: usize,
+        probs: &[f64],
+        disc: f64,
+        spot_tables: Vec<Vec<f64>>,
+    ) -> Self {
         let d = market.dim();
-        let dt = product.maturity / steps as f64;
-        let sqdt = dt.sqrt();
         // Strides of the next grid (step+2 points per axis), axis 0
         // outermost; inner strides exclude axis 0.
         let next_pts = step + 2;
@@ -187,15 +224,6 @@ impl<'a> StepCtx<'a> {
                 inner_strides[k] = inner_strides[k + 1] * next_pts;
             }
         }
-        let spot_tables = (0..d)
-            .map(|i| {
-                let s0 = market.spots()[i];
-                let sig = market.vols()[i];
-                (0..=step)
-                    .map(|j| s0 * (sig * sqdt * (2.0 * j as f64 - step as f64)).exp())
-                    .collect()
-            })
-            .collect();
         StepCtx {
             step,
             dim: d,
@@ -418,18 +446,11 @@ impl MultiLattice {
         (0..=steps as u128).map(|n| (n + 1).pow(dim as u32)).sum()
     }
 
-    fn validate(
-        &self,
-        market: &GbmMarket,
-        product: &Product,
-    ) -> Result<(Vec<f64>, f64), LatticeError> {
-        product.validate_for(market)?;
-        if product.payoff.is_path_dependent() {
-            return Err(LatticeError::Model(mdp_model::ModelError::Unsupported {
-                engine: "BEG lattice",
-                why: "path-dependent payoff".into(),
-            }));
-        }
+    /// Build the payoff-independent plan for this lattice on a market
+    /// with horizon `maturity`: branch probabilities, per-step discount
+    /// and every step's spot ladders, computed once and shared by all
+    /// executes.
+    pub fn plan(&self, market: &GbmMarket, maturity: f64) -> Result<LatticePlan, LatticeError> {
         if self.steps == 0 {
             return Err(LatticeError::ZeroSteps);
         }
@@ -440,10 +461,26 @@ impl MultiLattice {
                 budget: self.node_budget,
             });
         }
-        let dt = product.maturity / self.steps as f64;
+        if !maturity.is_finite() || maturity <= 0.0 {
+            return Err(LatticeError::Model(mdp_model::ModelError::InvalidParameter {
+                what: "maturity",
+                value: maturity,
+            }));
+        }
+        let dt = maturity / self.steps as f64;
         let probs = branch_probabilities(market, dt)?;
         let disc = (-market.rate() * dt).exp();
-        Ok((probs, disc))
+        let ladders = (0..=self.steps)
+            .map(|step| spot_ladders(market, maturity, self.steps, step))
+            .collect();
+        Ok(LatticePlan {
+            lat: self.clone(),
+            market: market.clone(),
+            maturity,
+            probs,
+            disc,
+            ladders,
+        })
     }
 
     /// Sequential backward induction.
@@ -472,18 +509,99 @@ impl MultiLattice {
         product: &Product,
         parallel: bool,
     ) -> Result<MultiLatticeResult, LatticeError> {
-        let (probs, disc) = self.validate(market, product)?;
+        product.validate_for(market)?;
+        if product.payoff.is_path_dependent() {
+            return Err(LatticeError::Model(mdp_model::ModelError::Unsupported {
+                engine: "BEG lattice",
+                why: "path-dependent payoff".into(),
+            }));
+        }
+        let plan = self.plan(market, product.maturity)?;
+        plan.execute(product, parallel, &mut LatticeScratch::default())
+    }
+}
+
+/// Planned state of a BEG lattice run: branch probabilities, per-step
+/// discount factor and every step's spot ladders — all independent of
+/// the payoff. Build once with [`MultiLattice::plan`], execute per
+/// product with [`LatticePlan::execute`]; results are bitwise-identical
+/// to the one-shot [`MultiLattice::price`] /
+/// [`MultiLattice::price_rayon`].
+#[derive(Debug, Clone)]
+pub struct LatticePlan {
+    lat: MultiLattice,
+    market: GbmMarket,
+    maturity: f64,
+    probs: Vec<f64>,
+    disc: f64,
+    /// `ladders[step][axis][jᵢ]` — per-step spot ladders.
+    ladders: Vec<Vec<Vec<f64>>>,
+}
+
+/// Reusable buffers for [`LatticePlan::execute`]: the two ping-pong grid
+/// layers and the per-slab odometer/spot workspace.
+#[derive(Debug, Default, Clone)]
+pub struct LatticeScratch {
+    values: Vec<f64>,
+    spare: Vec<f64>,
+    step: StepScratch,
+}
+
+impl LatticePlan {
+    /// Horizon the plan was built for.
+    pub fn maturity(&self) -> f64 {
+        self.maturity
+    }
+
+    /// Steps of the underlying lattice.
+    pub fn steps(&self) -> usize {
+        self.lat.steps
+    }
+
+    /// Run planned backward induction for one product. Bitwise-identical
+    /// to the corresponding one-shot price on the same inputs.
+    pub fn execute(
+        &self,
+        product: &Product,
+        parallel: bool,
+        scratch: &mut LatticeScratch,
+    ) -> Result<MultiLatticeResult, LatticeError> {
+        product.validate_for(&self.market)?;
+        if product.payoff.is_path_dependent() {
+            return Err(LatticeError::Model(mdp_model::ModelError::Unsupported {
+                engine: "BEG lattice",
+                why: "path-dependent payoff".into(),
+            }));
+        }
+        if product.maturity != self.maturity {
+            return Err(LatticeError::Model(mdp_model::ModelError::Unsupported {
+                engine: "BEG lattice",
+                why: format!(
+                    "plan built for maturity {}, product has {}",
+                    self.maturity, product.maturity
+                ),
+            }));
+        }
+        let market = &self.market;
+        let (probs, disc) = (&self.probs, self.disc);
         let d = market.dim();
-        let n = self.steps;
+        let n = self.lat.steps;
 
         // Two ping-pong grid buffers sized once at the two largest
         // layers (terminal (n+1)^d and its predecessor n^d); every step
         // writes into a prefix of the spare buffer and swaps.
-        let term_ctx = StepCtx::new(market, product, n, n, &probs, disc);
+        let term_ctx =
+            StepCtx::with_tables(market, product, n, probs, disc, self.ladders[n].clone());
         let term_row = term_ctx.row_cur();
-        let mut values = vec![0.0; (n + 1) * term_row];
-        let mut spare = vec![0.0; (n as u128).pow(d as u32) as usize];
-        let mut scratch = StepScratch::new();
+        let LatticeScratch {
+            values,
+            spare,
+            step: step_scratch,
+        } = scratch;
+        values.clear();
+        values.resize((n + 1) * term_row, 0.0);
+        spare.clear();
+        spare.resize((n as u128).pow(d as u32) as usize, 0.0);
         if parallel {
             values
                 .par_chunks_mut(term_row)
@@ -494,20 +612,21 @@ impl MultiLattice {
                 });
         } else {
             for (j0, out) in values.chunks_mut(term_row).enumerate() {
-                term_ctx.eval_terminal_slab(j0, out, &mut scratch);
+                term_ctx.eval_terminal_slab(j0, out, step_scratch);
             }
         }
         let mut nodes = (values.len()) as u64;
         let mut branches = 0u64;
 
         for step in (0..n).rev() {
-            let ctx = StepCtx::new(market, product, n, step, &probs, disc);
+            let ctx =
+                StepCtx::with_tables(market, product, step, probs, disc, self.ladders[step].clone());
             let row_cur = ctx.row_cur();
             let row_next = ctx.row_next;
             let len = (step + 1) * row_cur;
             let new_values = &mut spare[..len];
             if parallel {
-                let values_ref = &values;
+                let values_ref = &*values;
                 new_values
                     .par_chunks_mut(row_cur)
                     .enumerate()
@@ -519,12 +638,12 @@ impl MultiLattice {
             } else {
                 for (j0, out) in new_values.chunks_mut(row_cur).enumerate() {
                     let next = &values[j0 * row_next..(j0 + 2) * row_next];
-                    ctx.compute_slab(j0, next, out, &mut scratch);
+                    ctx.compute_slab(j0, next, out, step_scratch);
                 }
             }
             nodes += len as u64;
             branches += len as u64 * (1u64 << d);
-            std::mem::swap(&mut values, &mut spare);
+            std::mem::swap(values, spare);
         }
         Ok(MultiLatticeResult {
             price: values[0],
@@ -737,6 +856,30 @@ mod tests {
             &Product::european(Payoff::AsianCall { strike: 100.0 }, 1.0),
         );
         assert!(matches!(e, Err(LatticeError::Model(_))));
+    }
+
+    #[test]
+    fn plan_execute_bitwise_matches_one_shot() {
+        let m = GbmMarket::symmetric(2, 100.0, 0.2, 0.0, 0.05, 0.3).unwrap();
+        let lat = MultiLattice::new(24);
+        let plan = lat.plan(&m, 1.0).unwrap();
+        let mut scratch = LatticeScratch::default();
+        for p in [
+            Product::european(Payoff::MaxCall { strike: 100.0 }, 1.0),
+            Product::american(Payoff::MinPut { strike: 110.0 }, 1.0),
+        ] {
+            let one_shot = lat.price(&m, &p).unwrap();
+            for parallel in [false, true] {
+                let a = plan.execute(&p, parallel, &mut scratch).unwrap();
+                let b = plan.execute(&p, parallel, &mut scratch).unwrap();
+                assert_eq!(a.price.to_bits(), one_shot.price.to_bits());
+                assert_eq!(b.price.to_bits(), one_shot.price.to_bits());
+                assert_eq!(a.nodes_processed, one_shot.nodes_processed);
+                assert_eq!(a.branch_evals, one_shot.branch_evals);
+            }
+        }
+        let short = Product::european(Payoff::MaxCall { strike: 100.0 }, 0.5);
+        assert!(plan.execute(&short, false, &mut scratch).is_err());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! backend therefore returns the **same price to the last bit**, which
 //! turns "the parallel code is correct" into an equality test.
 
-use crate::panel::{eval_panel, CvSpec, PanelScratch};
+use crate::panel::{eval_panel, eval_terminal_walked, walk_panel_terminal, CvSpec, PanelScratch};
 use crate::path::{walk_path_with_normals, GbmStepper, SoaPanel, PANEL};
 use crate::variance::{merge_in_chunks, BlockAccum, MERGE_CHUNK};
 use crate::McError;
@@ -146,6 +146,62 @@ pub struct RunContext<'a> {
     cv_is_call: bool,
 }
 
+/// Product validation + control-variate setup shared by the one-shot
+/// [`RunContext::new`] and the plan-based [`McPlan::context`].
+#[allow(clippy::type_complexity)]
+fn validate_and_cv(
+    market: &GbmMarket,
+    product: &Product,
+    cfg: &McConfig,
+) -> Result<(Option<f64>, Vec<f64>, f64, bool), McError> {
+    product.validate_for(market)?;
+    if product.exercise != ExerciseStyle::European {
+        return Err(McError::Unsupported(
+            "European engine; price American products with lsmc".into(),
+        ));
+    }
+    if cfg.paths == 0 {
+        return Err(McError::ZeroPaths);
+    }
+    if cfg.steps == 0 {
+        return Err(McError::ZeroSteps);
+    }
+    if cfg.block_size == 0 {
+        return Err(McError::Unsupported("block_size must be positive".into()));
+    }
+    if cfg.variance_reduction == VarianceReduction::GeometricCv {
+        match &product.payoff {
+            Payoff::BasketCall { weights, strike } => Ok((
+                Some(analytic::geometric_basket_call(
+                    market,
+                    weights,
+                    *strike,
+                    product.maturity,
+                )),
+                weights.clone(),
+                *strike,
+                true,
+            )),
+            Payoff::BasketPut { weights, strike } => Ok((
+                Some(analytic::geometric_basket_put(
+                    market,
+                    weights,
+                    *strike,
+                    product.maturity,
+                )),
+                weights.clone(),
+                *strike,
+                false,
+            )),
+            other => Err(McError::Unsupported(format!(
+                "geometric control variate needs an arithmetic basket payoff, got {other:?}"
+            ))),
+        }
+    } else {
+        Ok((None, Vec::new(), 0.0, true))
+    }
+}
+
 impl<'a> RunContext<'a> {
     /// Validate and precompute; shared by all drivers.
     pub fn new(
@@ -153,55 +209,8 @@ impl<'a> RunContext<'a> {
         product: &'a Product,
         cfg: McConfig,
     ) -> Result<Self, McError> {
-        product.validate_for(market)?;
-        if product.exercise != ExerciseStyle::European {
-            return Err(McError::Unsupported(
-                "European engine; price American products with lsmc".into(),
-            ));
-        }
-        if cfg.paths == 0 {
-            return Err(McError::ZeroPaths);
-        }
-        if cfg.steps == 0 {
-            return Err(McError::ZeroSteps);
-        }
-        if cfg.block_size == 0 {
-            return Err(McError::Unsupported("block_size must be positive".into()));
-        }
         let (cv_mean, cv_weights, cv_strike, cv_is_call) =
-            if cfg.variance_reduction == VarianceReduction::GeometricCv {
-                match &product.payoff {
-                    Payoff::BasketCall { weights, strike } => (
-                        Some(analytic::geometric_basket_call(
-                            market,
-                            weights,
-                            *strike,
-                            product.maturity,
-                        )),
-                        weights.clone(),
-                        *strike,
-                        true,
-                    ),
-                    Payoff::BasketPut { weights, strike } => (
-                        Some(analytic::geometric_basket_put(
-                            market,
-                            weights,
-                            *strike,
-                            product.maturity,
-                        )),
-                        weights.clone(),
-                        *strike,
-                        false,
-                    ),
-                    other => {
-                        return Err(McError::Unsupported(format!(
-                    "geometric control variate needs an arithmetic basket payoff, got {other:?}"
-                )))
-                    }
-                }
-            } else {
-                (None, Vec::new(), 0.0, true)
-            };
+            validate_and_cv(market, product, &cfg)?;
         let stepper = GbmStepper::new(market, product.maturity, cfg.steps);
         let log0 = market.spots().iter().map(|s| s.ln()).collect();
         Ok(RunContext {
@@ -421,10 +430,267 @@ impl<'a> RunContext<'a> {
     }
 }
 
+/// Payoff-independent planned state of a European Monte Carlo run: the
+/// correlated stepper (Cholesky factor), log-spots and discount factor
+/// for one `(market, maturity, config)` triple. The sample set is fixed
+/// by `(seed, paths, block_size)` alone, so one plan prices any number
+/// of payoffs — either per product ([`McPlan::execute`], bitwise-equal
+/// to [`McEngine::price`]) or fused over **shared paths**
+/// ([`McPlan::execute_multi`]): each panel of paths is walked once and
+/// every payoff is evaluated on it, which is bitwise-identical to
+/// walking the paths once per product because the paths never depend on
+/// the payoff.
+#[derive(Debug, Clone)]
+pub struct McPlan {
+    market: GbmMarket,
+    cfg: McConfig,
+    maturity: f64,
+    stepper: GbmStepper,
+    log0: Vec<f64>,
+    s0_first: f64,
+    disc: f64,
+}
+
+impl McPlan {
+    /// Horizon the plan was built for.
+    pub fn maturity(&self) -> f64 {
+        self.maturity
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &McConfig {
+        &self.cfg
+    }
+
+    /// Build the per-product [`RunContext`] from the planned state —
+    /// the same validation as [`RunContext::new`], reusing the plan's
+    /// stepper instead of re-deriving the Cholesky factor.
+    pub fn context<'a>(&'a self, product: &'a Product) -> Result<RunContext<'a>, McError> {
+        if product.maturity != self.maturity {
+            return Err(McError::Unsupported(format!(
+                "plan built for maturity {}, product has {}",
+                self.maturity, product.maturity
+            )));
+        }
+        let (cv_mean, cv_weights, cv_strike, cv_is_call) =
+            validate_and_cv(&self.market, product, &self.cfg)?;
+        Ok(RunContext {
+            market: &self.market,
+            product,
+            cfg: self.cfg,
+            stepper: self.stepper.clone(),
+            log0: self.log0.clone(),
+            s0_first: self.s0_first,
+            disc: self.disc,
+            cv_mean,
+            cv_weights,
+            cv_strike,
+            cv_is_call,
+        })
+    }
+
+    /// Price one product over the planned paths, sequentially.
+    /// Bitwise-identical to [`McEngine::price`] on the same inputs.
+    pub fn execute(&self, product: &Product) -> Result<McResult, McError> {
+        let ctx = self.context(product)?;
+        let acc = merge_in_chunks((0..ctx.num_blocks()).map(|b| ctx.simulate_block(b)));
+        Ok(ctx.finish(&acc))
+    }
+
+    /// Price one product over the planned paths with rayon-parallel
+    /// blocks. Bitwise-identical to [`McEngine::price_rayon`] (and hence
+    /// to [`McPlan::execute`]).
+    pub fn execute_rayon(&self, product: &Product) -> Result<McResult, McError> {
+        let ctx = self.context(product)?;
+        Ok(ctx.finish(&price_rayon_accum(&ctx)))
+    }
+
+    /// A product is fusable when the paths fully determine its payoff
+    /// inputs: European, terminal-only (no path dependence), no variance
+    /// reduction, and the plan's maturity.
+    pub fn check_fusable(&self, product: &Product) -> Result<(), McError> {
+        product.validate_for(&self.market)?;
+        if product.exercise != ExerciseStyle::European {
+            return Err(McError::Unsupported(
+                "European engine; price American products with lsmc".into(),
+            ));
+        }
+        if product.maturity != self.maturity {
+            return Err(McError::Unsupported(format!(
+                "plan built for maturity {}, product has {}",
+                self.maturity, product.maturity
+            )));
+        }
+        if product.payoff.path_dependence() != PathDependence::None {
+            return Err(McError::Unsupported(
+                "shared-path fusion needs terminal-only payoffs".into(),
+            ));
+        }
+        if self.cfg.variance_reduction != VarianceReduction::None {
+            return Err(McError::Unsupported(
+                "shared-path fusion runs plain Monte Carlo only".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Simulate one substream block once and evaluate every payoff on
+    /// its panels, pushing each payoff's discounted values into its own
+    /// accumulator in lane order — per payoff exactly the stream
+    /// [`RunContext::simulate_block_batched`] produces.
+    fn simulate_block_multi(&self, block: u64, payoffs: &[&Payoff], accs: &mut [BlockAccum]) {
+        let base = Xoshiro256StarStar::seed_from(self.cfg.seed);
+        let mut rng = base.substream(block);
+        let mut sampler = NormalPolar::new();
+        let mut panel = SoaPanel::new(&self.stepper, PANEL);
+        let mut scratch = PanelScratch::new(self.stepper.dim, PANEL);
+        let d = self.stepper.dim;
+        let total = self.cfg.block_paths(block);
+        let mut done = 0u64;
+        while done < total {
+            let n = (total - done).min(PANEL as u64) as usize;
+            panel.fill_normals(&mut sampler, &mut rng, n);
+            walk_panel_terminal(&self.stepper, &self.log0, &mut panel, n);
+            for (payoff, acc) in payoffs.iter().zip(accs.iter_mut()) {
+                eval_terminal_walked(payoff, &panel, &mut scratch, d, n);
+                for lane in 0..n {
+                    acc.push(self.disc * scratch.ys[lane]);
+                }
+            }
+            done += n as u64;
+        }
+    }
+
+    /// Price a book of products over **one shared path sweep**: every
+    /// block's panels are walked once and all payoffs are evaluated on
+    /// them. Each product's result is bitwise-identical to its own
+    /// [`McPlan::execute`] / [`McEngine::price`] run, sequential or
+    /// parallel.
+    pub fn execute_multi(
+        &self,
+        products: &[Product],
+        parallel: bool,
+    ) -> Result<Vec<McResult>, McError> {
+        for product in products {
+            self.check_fusable(product)?;
+        }
+        let k = products.len();
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let payoffs: Vec<&Payoff> = products.iter().map(|p| &p.payoff).collect();
+        let blocks = self.cfg.num_blocks();
+        // Reproduce the canonical chunked merge of `merge_in_chunks` /
+        // `price_rayon` per payoff: blocks fold into MERGE_CHUNK-sized
+        // chunk totals in block order, chunk totals fold in chunk order.
+        let chunks = blocks.div_ceil(MERGE_CHUNK as u64);
+        let run_chunk = |c: u64| -> Vec<BlockAccum> {
+            let lo = c * MERGE_CHUNK as u64;
+            let hi = (lo + MERGE_CHUNK as u64).min(blocks);
+            let mut chunk: Vec<BlockAccum> = (0..k).map(|_| BlockAccum::new()).collect();
+            let mut per_block: Vec<BlockAccum> = (0..k).map(|_| BlockAccum::new()).collect();
+            for b in lo..hi {
+                for a in per_block.iter_mut() {
+                    *a = BlockAccum::new();
+                }
+                self.simulate_block_multi(b, &payoffs, &mut per_block);
+                for (t, a) in chunk.iter_mut().zip(&per_block) {
+                    t.merge(a);
+                }
+            }
+            chunk
+        };
+        let chunk_accs: Vec<Vec<BlockAccum>> = if parallel {
+            (0..chunks).into_par_iter().map(run_chunk).collect()
+        } else {
+            (0..chunks).map(run_chunk).collect()
+        };
+        let mut totals: Vec<BlockAccum> = (0..k).map(|_| BlockAccum::new()).collect();
+        for chunk in &chunk_accs {
+            for (t, a) in totals.iter_mut().zip(chunk) {
+                t.merge(a);
+            }
+        }
+        Ok(totals
+            .iter()
+            .map(|acc| {
+                let (price, std_error) = acc.plain_estimate();
+                McResult {
+                    price,
+                    std_error,
+                    paths: acc.n as u64,
+                    variance_ratio: 1.0,
+                }
+            })
+            .collect())
+    }
+}
+
+/// The chunk-parallel accumulator fold shared by [`McEngine::price_rayon`]
+/// and [`McPlan::execute_rayon`].
+fn price_rayon_accum(ctx: &RunContext<'_>) -> BlockAccum {
+    // Parallelise over merge chunks, not blocks: each worker folds its
+    // run of MERGE_CHUNK consecutive blocks into one accumulator, so
+    // only ⌈blocks/64⌉ accumulators are materialised (the old driver
+    // collected one per block). Rayon's own reduce order is
+    // nondeterministic; folding chunk totals in chunk order reproduces
+    // the canonical association of `merge_in_chunks` exactly, keeping
+    // the result bitwise equal to the sequential driver.
+    let blocks = ctx.num_blocks();
+    let chunks = blocks.div_ceil(MERGE_CHUNK as u64);
+    let chunk_accs: Vec<BlockAccum> = (0..chunks)
+        .into_par_iter()
+        .map(|c| {
+            let lo = c * MERGE_CHUNK as u64;
+            let hi = (lo + MERGE_CHUNK as u64).min(blocks);
+            let mut chunk = BlockAccum::new();
+            for b in lo..hi {
+                chunk.merge(&ctx.simulate_block(b));
+            }
+            chunk
+        })
+        .collect();
+    let mut total = BlockAccum::new();
+    for a in &chunk_accs {
+        total.merge(a);
+    }
+    total
+}
+
 impl McEngine {
     /// Engine with the given configuration.
     pub fn new(config: McConfig) -> Self {
         McEngine { config }
+    }
+
+    /// Build the payoff-independent plan for this configuration on a
+    /// market with horizon `maturity`.
+    pub fn plan(&self, market: &GbmMarket, maturity: f64) -> Result<McPlan, McError> {
+        let cfg = self.config;
+        if cfg.paths == 0 {
+            return Err(McError::ZeroPaths);
+        }
+        if cfg.steps == 0 {
+            return Err(McError::ZeroSteps);
+        }
+        if cfg.block_size == 0 {
+            return Err(McError::Unsupported("block_size must be positive".into()));
+        }
+        if !maturity.is_finite() || maturity <= 0.0 {
+            return Err(McError::Unsupported(format!(
+                "maturity must be positive and finite, got {maturity}"
+            )));
+        }
+        let stepper = GbmStepper::new(market, maturity, cfg.steps);
+        Ok(McPlan {
+            market: market.clone(),
+            cfg,
+            maturity,
+            stepper,
+            log0: market.spots().iter().map(|s| s.ln()).collect(),
+            s0_first: market.spots()[0],
+            disc: market.discount(maturity),
+        })
     }
 
     /// Sequential pricing: all blocks in order, merged in the canonical
@@ -452,32 +718,7 @@ impl McEngine {
     /// result to [`McEngine::price`].
     pub fn price_rayon(&self, market: &GbmMarket, product: &Product) -> Result<McResult, McError> {
         let ctx = RunContext::new(market, product, self.config)?;
-        // Parallelise over merge chunks, not blocks: each worker folds its
-        // run of MERGE_CHUNK consecutive blocks into one accumulator, so
-        // only ⌈blocks/64⌉ accumulators are materialised (the old driver
-        // collected one per block). Rayon's own reduce order is
-        // nondeterministic; folding chunk totals in chunk order reproduces
-        // the canonical association of `merge_in_chunks` exactly, keeping
-        // the result bitwise equal to the sequential driver.
-        let blocks = ctx.num_blocks();
-        let chunks = blocks.div_ceil(MERGE_CHUNK as u64);
-        let chunk_accs: Vec<BlockAccum> = (0..chunks)
-            .into_par_iter()
-            .map(|c| {
-                let lo = c * MERGE_CHUNK as u64;
-                let hi = (lo + MERGE_CHUNK as u64).min(blocks);
-                let mut chunk = BlockAccum::new();
-                for b in lo..hi {
-                    chunk.merge(&ctx.simulate_block(b));
-                }
-                chunk
-            })
-            .collect();
-        let mut total = BlockAccum::new();
-        for a in &chunk_accs {
-            total.merge(a);
-        }
-        Ok(ctx.finish(&total))
+        Ok(ctx.finish(&price_rayon_accum(&ctx)))
     }
 }
 
@@ -676,6 +917,112 @@ mod tests {
         assert_eq!(a.price.to_bits(), c.price.to_bits());
         assert_eq!(a.std_error.to_bits(), b.std_error.to_bits());
         assert_eq!(a.std_error.to_bits(), c.std_error.to_bits());
+    }
+
+    #[test]
+    fn plan_execute_bitwise_matches_one_shot() {
+        let m = GbmMarket::symmetric(3, 100.0, 0.25, 0.01, 0.04, 0.3).unwrap();
+        let eng = McEngine::new(McConfig {
+            paths: 10_000,
+            block_size: 300,
+            ..Default::default()
+        });
+        let plan = eng.plan(&m, 1.0).unwrap();
+        for p in [
+            Product::european(Payoff::MaxCall { strike: 105.0 }, 1.0),
+            Product::european(
+                Payoff::BasketPut {
+                    weights: Product::equal_weights(3),
+                    strike: 100.0,
+                },
+                1.0,
+            ),
+        ] {
+            let one_shot = eng.price(&m, &p).unwrap();
+            let a = plan.execute(&p).unwrap();
+            let b = plan.execute(&p).unwrap();
+            let r = plan.execute_rayon(&p).unwrap();
+            assert_eq!(a.price.to_bits(), one_shot.price.to_bits());
+            assert_eq!(b.price.to_bits(), one_shot.price.to_bits());
+            assert_eq!(r.price.to_bits(), one_shot.price.to_bits());
+            assert_eq!(a.std_error.to_bits(), one_shot.std_error.to_bits());
+        }
+        let short = Product::european(Payoff::MaxCall { strike: 105.0 }, 0.5);
+        assert!(plan.execute(&short).is_err());
+    }
+
+    #[test]
+    fn execute_multi_bitwise_matches_per_product_runs() {
+        let m = GbmMarket::symmetric(3, 100.0, 0.25, 0.01, 0.04, 0.3).unwrap();
+        let eng = McEngine::new(McConfig {
+            paths: 20_000,
+            block_size: 300,
+            ..Default::default()
+        });
+        let plan = eng.plan(&m, 1.0).unwrap();
+        let products: Vec<Product> = vec![
+            Product::european(Payoff::MaxCall { strike: 95.0 }, 1.0),
+            Product::european(Payoff::MaxCall { strike: 105.0 }, 1.0),
+            Product::european(Payoff::MinPut { strike: 110.0 }, 1.0),
+            Product::european(
+                Payoff::BasketCall {
+                    weights: Product::equal_weights(3),
+                    strike: 100.0,
+                },
+                1.0,
+            ),
+        ];
+        let seq = plan.execute_multi(&products, false).unwrap();
+        let par = plan.execute_multi(&products, true).unwrap();
+        for (i, p) in products.iter().enumerate() {
+            let one_shot = eng.price(&m, p).unwrap();
+            assert_eq!(seq[i].price.to_bits(), one_shot.price.to_bits(), "{i}");
+            assert_eq!(
+                seq[i].std_error.to_bits(),
+                one_shot.std_error.to_bits(),
+                "{i}"
+            );
+            assert_eq!(par[i].price.to_bits(), one_shot.price.to_bits(), "{i}");
+            assert_eq!(seq[i].paths, one_shot.paths);
+        }
+    }
+
+    #[test]
+    fn execute_multi_rejects_unfusable_products() {
+        let m = GbmMarket::single(100.0, 0.3, 0.0, 0.05).unwrap();
+        let eng = McEngine::new(McConfig {
+            paths: 1000,
+            steps: 4,
+            ..Default::default()
+        });
+        let plan = eng.plan(&m, 1.0).unwrap();
+        let asian = Product::european(Payoff::AsianCall { strike: 100.0 }, 1.0);
+        assert!(plan.execute_multi(&[asian], false).is_err());
+        let short = Product::european(
+            Payoff::BasketCall {
+                weights: vec![1.0],
+                strike: 100.0,
+            },
+            0.5,
+        );
+        assert!(plan.execute_multi(&[short], false).is_err());
+        let anti = McEngine::new(McConfig {
+            paths: 1000,
+            variance_reduction: VarianceReduction::Antithetic,
+            ..Default::default()
+        });
+        let vanilla = Product::european(
+            Payoff::BasketCall {
+                weights: vec![1.0],
+                strike: 100.0,
+            },
+            1.0,
+        );
+        assert!(anti
+            .plan(&m, 1.0)
+            .unwrap()
+            .execute_multi(&[vanilla], false)
+            .is_err());
     }
 
     #[test]

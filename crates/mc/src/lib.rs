@@ -40,7 +40,7 @@ pub mod qmc;
 pub mod stratified;
 pub mod variance;
 
-pub use engine::{McConfig, McEngine, McResult, VarianceReduction};
+pub use engine::{McConfig, McEngine, McPlan, McResult, VarianceReduction};
 pub use error::McError;
 pub use lsmc::{LsmcConfig, LsmcResult};
 pub use pathwise::{pathwise_delta, PathwiseResult};

@@ -135,6 +135,38 @@ fn fused_terminal(
     }
 }
 
+/// Walk the panel's first `n` lanes to maturity for terminal-only
+/// payoffs (normals already in place): the path walk plus the final
+/// `exp`, with no per-step work. One walk serves any number of
+/// terminal payoff evaluations via [`eval_terminal_walked`] — the
+/// shared-path fusion the portfolio batch API builds on.
+pub fn walk_panel_terminal(stepper: &GbmStepper, log0: &[f64], panel: &mut SoaPanel, n: usize) {
+    walk_panel(stepper, log0, panel, n, |_, _| {});
+    panel.exp_all(n);
+}
+
+/// Evaluate one terminal (non-path-dependent) payoff on a panel already
+/// walked by [`walk_panel_terminal`], into `scratch.ys` (undiscounted).
+/// Per lane this performs exactly the arithmetic [`eval_panel`] performs
+/// for the same payoff, so evaluating k payoffs over one shared walk is
+/// bitwise-identical to k separate walks.
+pub fn eval_terminal_walked(
+    payoff: &Payoff,
+    panel: &SoaPanel,
+    scratch: &mut PanelScratch,
+    d: usize,
+    n: usize,
+) {
+    debug_assert_eq!(payoff.path_dependence(), PathDependence::None);
+    if fused_terminal(payoff, panel, scratch, d, n) {
+        return;
+    }
+    for lane in 0..n {
+        panel.gather_spots(lane, &mut scratch.term);
+        scratch.ys[lane] = payoff.eval(&scratch.term);
+    }
+}
+
 /// Walk the panel's first `n` lanes (normals already in place) and
 /// evaluate the payoff per lane into `scratch.ys` (and `scratch.xs` when
 /// `cv` is given). Values are **undiscounted**; callers apply the
@@ -158,12 +190,16 @@ pub fn eval_panel(
     debug_assert!(cv.is_none() || dep == PathDependence::None);
     match dep {
         PathDependence::None => {
+            if cv.is_none() {
+                // Terminal payoff without a control: the shared-walk
+                // split used by the multi-payoff batch path.
+                walk_panel_terminal(stepper, log0, panel, n);
+                eval_terminal_walked(payoff, panel, scratch, d, n);
+                return;
+            }
             // Terminal payoff: no intermediate exp needed at all.
             walk_panel(stepper, log0, panel, n, |_, _| {});
             panel.exp_all(n);
-            if cv.is_none() && fused_terminal(payoff, panel, scratch, d, n) {
-                return;
-            }
             for lane in 0..n {
                 panel.gather_spots(lane, &mut scratch.term);
                 scratch.ys[lane] = payoff.eval(&scratch.term);

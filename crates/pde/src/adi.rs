@@ -37,7 +37,7 @@
 
 use crate::grid::LogGrid;
 use crate::PdeError;
-use mdp_math::linalg::tridiag::{ThomasScratch, Tridiag};
+use mdp_math::linalg::tridiag::{FactoredTridiag, ThomasScratch, Tridiag};
 use mdp_model::{ExerciseStyle, GbmMarket, Product};
 use rayon::prelude::*;
 use std::cell::RefCell;
@@ -112,6 +112,7 @@ pub struct Adi2dResult {
     pub nodes_processed: u64,
 }
 
+#[derive(Debug, Clone)]
 struct Axis {
     a: f64,
     b: f64,
@@ -133,20 +134,58 @@ struct Env<'a> {
     intrinsic: &'a [f64],
 }
 
+/// Planned state of a 2-D ADI run: the per-axis operators, the stage
+/// tridiagonals and their Thomas elimination factors, all independent of
+/// the payoff. Build once with [`Adi2d::plan`], execute per product with
+/// [`Adi2dPlan::execute`]; a plan executed N times is bitwise-identical
+/// to N one-shot [`Adi2d::price`] calls.
+#[derive(Debug, Clone)]
+pub struct Adi2dPlan {
+    cfg: Adi2d,
+    market: GbmMarket,
+    maturity: f64,
+    dt: f64,
+    r: f64,
+    theta: f64,
+    mixed: f64,
+    ax1: Axis,
+    ax2: Axis,
+    s1: Vec<f64>,
+    s2: Vec<f64>,
+    sys1: Tridiag,
+    sys2: Tridiag,
+    fac1: FactoredTridiag,
+    fac2: FactoredTridiag,
+}
+
+/// Reusable buffers for [`Adi2dPlan::execute`]: the intrinsic surface,
+/// the evolving value grid and the per-kernel sweep workspaces.
+#[derive(Debug, Default, Clone)]
+pub struct Adi2dScratch {
+    intrinsic: Vec<f64>,
+    v: Vec<f64>,
+    sweep: SweepScratch,
+}
+
+/// Stage buffers shared across time steps of one execute and across
+/// executes of one scratch.
+#[derive(Debug, Default, Clone)]
+struct SweepScratch {
+    y0: Vec<f64>,
+    y1: Vec<f64>,
+    lines1: Vec<f64>,
+    panel1: Vec<f64>,
+    panel2: Vec<f64>,
+}
+
 impl Adi2d {
-    /// Price a two-asset, non-path-dependent product.
-    pub fn price(&self, market: &GbmMarket, product: &Product) -> Result<Adi2dResult, PdeError> {
-        product.validate_for(market)?;
+    /// Build the payoff-independent plan for this configuration on a
+    /// two-asset market with horizon `maturity`.
+    pub fn plan(&self, market: &GbmMarket, maturity: f64) -> Result<Adi2dPlan, PdeError> {
         if market.dim() != 2 {
             return Err(PdeError::Model(mdp_model::ModelError::DimensionMismatch {
                 product: 2,
                 market: market.dim(),
-            }));
-        }
-        if product.payoff.is_path_dependent() {
-            return Err(PdeError::Model(mdp_model::ModelError::Unsupported {
-                engine: "2-D ADI",
-                why: "path-dependent payoff".into(),
             }));
         }
         let m = self.space_points;
@@ -154,17 +193,21 @@ impl Adi2d {
         if m < 5 || n < 1 {
             return Err(PdeError::GridTooSmall { space: m, time: n });
         }
-        let t = product.maturity;
-        let dt = t / n as f64;
+        if !maturity.is_finite() || maturity <= 0.0 {
+            return Err(PdeError::Model(mdp_model::ModelError::InvalidParameter {
+                what: "maturity",
+                value: maturity,
+            }));
+        }
+        let dt = maturity / n as f64;
         let r = market.rate();
         let rho = market.correlation()[(0, 1)];
         let theta = 0.5;
-        let american = product.exercise == ExerciseStyle::American;
 
         // Per-axis operators: L_k = ½σ²∂ₖₖ + μ∂ₖ − r/2.
         let axis = |k: usize| {
             let sigma = market.vols()[k];
-            let grid = LogGrid::new(market.spots()[k], sigma, t, self.width, m);
+            let grid = LogGrid::new(market.spots()[k], sigma, maturity, self.width, m);
             let dx = grid.dx;
             let diff = 0.5 * sigma * sigma / (dx * dx);
             let conv = 0.5 * market.log_drift(k) / dx;
@@ -178,16 +221,11 @@ impl Adi2d {
         let ax1 = axis(0);
         let ax2 = axis(1);
         let mixed = rho * market.vols()[0] * market.vols()[1] / (4.0 * ax1.grid.dx * ax2.grid.dx);
-
-        // Terminal values and intrinsic surface.
         let s1 = ax1.grid.spots();
         let s2 = ax2.grid.spots();
-        let intrinsic: Vec<f64> = (0..m * m)
-            .map(|idx| product.payoff.eval(&[s1[idx / m], s2[idx % m]]))
-            .collect();
-        let mut v = intrinsic.clone();
 
-        // Implicit line systems (constant per run).
+        // Implicit line systems (constant per run) and their Thomas
+        // factors, derived once here instead of once per price call.
         let interior = m - 2;
         let sys1 = Tridiag::new(
             vec![-theta * dt * ax1.a; interior],
@@ -199,40 +237,111 @@ impl Adi2d {
             vec![1.0 - theta * dt * ax2.b; interior],
             vec![-theta * dt * ax2.c; interior],
         );
-
-        let env = Env {
-            m,
-            n,
+        let grid_too_small = |_| PdeError::GridTooSmall { space: m, time: n };
+        let fac1 = sys1.factor().map_err(grid_too_small)?;
+        let fac2 = sys2.factor().map_err(grid_too_small)?;
+        Ok(Adi2dPlan {
+            cfg: *self,
+            market: market.clone(),
+            maturity,
             dt,
             r,
             theta,
-            american,
             mixed,
-            ax1: &ax1,
-            ax2: &ax2,
-            intrinsic: &intrinsic,
+            ax1,
+            ax2,
+            s1,
+            s2,
+            sys1,
+            sys2,
+            fac1,
+            fac2,
+        })
+    }
+
+    /// Price a two-asset, non-path-dependent product — a thin
+    /// plan-then-execute wrapper around [`Adi2d::plan`].
+    pub fn price(&self, market: &GbmMarket, product: &Product) -> Result<Adi2dResult, PdeError> {
+        product.validate_for(market)?;
+        let plan = self.plan(market, product.maturity)?;
+        plan.execute(product, &mut Adi2dScratch::default())
+    }
+}
+
+impl Adi2dPlan {
+    /// Horizon the plan was built for.
+    pub fn maturity(&self) -> f64 {
+        self.maturity
+    }
+
+    /// Run the planned scheme for one product. Bitwise-identical to the
+    /// one-shot [`Adi2d::price`] on the same inputs.
+    pub fn execute(
+        &self,
+        product: &Product,
+        scratch: &mut Adi2dScratch,
+    ) -> Result<Adi2dResult, PdeError> {
+        product.validate_for(&self.market)?;
+        if product.payoff.is_path_dependent() {
+            return Err(PdeError::Model(mdp_model::ModelError::Unsupported {
+                engine: "2-D ADI",
+                why: "path-dependent payoff".into(),
+            }));
+        }
+        if product.maturity != self.maturity {
+            return Err(PdeError::Model(mdp_model::ModelError::Unsupported {
+                engine: "2-D ADI",
+                why: format!(
+                    "plan built for maturity {}, product has {}",
+                    self.maturity, product.maturity
+                ),
+            }));
+        }
+        let m = self.cfg.space_points;
+        let american = product.exercise == ExerciseStyle::American;
+
+        // Terminal values and intrinsic surface (the only payoff-
+        // dependent state).
+        let Adi2dScratch {
+            intrinsic,
+            v,
+            sweep,
+        } = scratch;
+        intrinsic.clear();
+        intrinsic.extend(
+            (0..m * m).map(|idx| product.payoff.eval(&[self.s1[idx / m], self.s2[idx % m]])),
+        );
+        v.clear();
+        v.extend_from_slice(intrinsic);
+
+        let env = Env {
+            m,
+            n: self.cfg.time_steps,
+            dt: self.dt,
+            r: self.r,
+            theta: self.theta,
+            american,
+            mixed: self.mixed,
+            ax1: &self.ax1,
+            ax2: &self.ax2,
+            intrinsic,
         };
-        let swept = match self.kernel {
-            AdiKernel::Scalar => self.sweep_scalar(&env, &sys1, &sys2, &mut v)?,
-            AdiKernel::Blocked => self.sweep_blocked(&env, &sys1, &sys2, &mut v)?,
+        let swept = match self.cfg.kernel {
+            AdiKernel::Scalar => self.sweep_scalar(&env, v, sweep),
+            AdiKernel::Blocked => self.sweep_blocked(&env, v, sweep),
         };
         let nodes = (m * m) as u64 + swept;
 
         Ok(Adi2dResult {
-            price: v[ax1.grid.center * m + ax2.grid.center],
+            price: v[self.ax1.grid.center * m + self.ax2.grid.center],
             nodes_processed: nodes,
         })
     }
 
     /// Per-line oracle: one Thomas solve per grid line, stage 1 gathered
     /// column-wise, stage 2 in place on the rows.
-    fn sweep_scalar(
-        &self,
-        env: &Env,
-        sys1: &Tridiag,
-        sys2: &Tridiag,
-        v: &mut [f64],
-    ) -> Result<u64, PdeError> {
+    fn sweep_scalar(&self, env: &Env, v: &mut [f64], sc: &mut SweepScratch) -> u64 {
+        let (sys1, sys2) = (&self.sys1, &self.sys2);
         let (m, n) = (env.m, env.n);
         let (dt, theta, mixed) = (env.dt, env.theta, env.mixed);
         let (ax1, ax2) = (env.ax1, env.ax2);
@@ -240,13 +349,14 @@ impl Adi2d {
         let interior = m - 2;
         let idx = |i: usize, j: usize| i * m + j;
 
-        // Stage buffers, allocated once and rewritten every time step
+        // Stage buffers, sized once and rewritten every time step
         // (only interior entries are ever read back).
-        let mut y0 = vec![0.0; m * m];
-        let mut y1 = vec![0.0; m * m];
+        sc.y0.resize(m * m, 0.0);
+        sc.y1.resize(m * m, 0.0);
         // Stage-1 solutions: one contiguous `interior`-length line per
         // interior j, scattered into `y1` columns after the solves.
-        let mut lines1 = vec![0.0; interior * interior];
+        sc.lines1.resize(interior * interior, 0.0);
+        let (y0, y1, lines1) = (&mut sc.y0, &mut sc.y1, &mut sc.lines1);
 
         let mut nodes = 0u64;
         for step in 1..=n {
@@ -296,7 +406,7 @@ impl Adi2d {
                         .expect("diagonally dominant");
                 });
             };
-            if self.parallel {
+            if self.cfg.parallel {
                 lines1
                     .par_chunks_mut(interior)
                     .enumerate()
@@ -334,7 +444,7 @@ impl Adi2d {
                         .expect("diagonally dominant");
                 });
             };
-            if self.parallel {
+            if self.cfg.parallel {
                 v.par_chunks_mut(m)
                     .enumerate()
                     .for_each(|(i, row)| solve_i(i, row));
@@ -347,7 +457,7 @@ impl Adi2d {
             finish_step(env, v, &boundary);
             nodes += (m * m) as u64;
         }
-        Ok(nodes)
+        nodes
     }
 
     /// Blocked fast path: factor-once stage operators, tile-major panels
@@ -355,23 +465,14 @@ impl Adi2d {
     /// build. Bitwise-equal to [`Self::sweep_scalar`] because every
     /// per-element expression is identical and only independent lines
     /// are regrouped.
-    fn sweep_blocked(
-        &self,
-        env: &Env,
-        sys1: &Tridiag,
-        sys2: &Tridiag,
-        v: &mut [f64],
-    ) -> Result<u64, PdeError> {
+    fn sweep_blocked(&self, env: &Env, v: &mut [f64], sc: &mut SweepScratch) -> u64 {
+        let (fac1, fac2) = (&self.fac1, &self.fac2);
         let (m, n) = (env.m, env.n);
         let (dt, theta, mixed) = (env.dt, env.theta, env.mixed);
         let (ax1, ax2) = (env.ax1, env.ax2);
         let (american, intrinsic) = (env.american, env.intrinsic);
         let interior = m - 2;
         let idx = |i: usize, j: usize| i * m + j;
-
-        let grid_too_small = |_| PdeError::GridTooSmall { space: m, time: n };
-        let fac1 = sys1.factor().map_err(grid_too_small)?;
-        let fac2 = sys2.factor().map_err(grid_too_small)?;
 
         let tile = TILE.min(interior);
         // A panel stores its tiles back to back; tile t of stage 1 holds
@@ -380,8 +481,9 @@ impl Adi2d {
         // width (ragged for the last tile).
         let chunk = interior * tile;
         let tile_width = |t: usize| tile.min(interior - t * tile);
-        let mut panel1 = vec![0.0; interior * interior];
-        let mut panel2 = vec![0.0; interior * interior];
+        sc.panel1.resize(interior * interior, 0.0);
+        sc.panel2.resize(interior * interior, 0.0);
+        let (panel1, panel2) = (&mut sc.panel1, &mut sc.panel2);
 
         let mut nodes = 0u64;
         for step in 1..=n {
@@ -429,7 +531,7 @@ impl Adi2d {
                 }
                 fac1.solve_panel_transposed(buf);
             };
-            if self.parallel {
+            if self.cfg.parallel {
                 panel1
                     .par_chunks_mut(chunk)
                     .enumerate()
@@ -476,7 +578,7 @@ impl Adi2d {
                 }
                 fac2.solve_panel_transposed(buf);
             };
-            if self.parallel {
+            if self.cfg.parallel {
                 panel2
                     .par_chunks_mut(chunk)
                     .enumerate()
@@ -502,7 +604,7 @@ impl Adi2d {
                     row[jrel + 1] = src[jrel * w + lane];
                 }
             };
-            if self.parallel {
+            if self.cfg.parallel {
                 v.par_chunks_mut(m)
                     .enumerate()
                     .for_each(|(i, row)| scatter(i, row));
@@ -515,7 +617,7 @@ impl Adi2d {
             finish_step(env, v, &boundary);
             nodes += (m * m) as u64;
         }
-        Ok(nodes)
+        nodes
     }
 }
 
@@ -701,6 +803,31 @@ mod tests {
             tiny.price(&m2, &p2),
             Err(PdeError::GridTooSmall { .. })
         ));
+    }
+
+    #[test]
+    fn plan_execute_bitwise_matches_one_shot() {
+        let m = market(0.3);
+        let cfg = Adi2d {
+            space_points: 61,
+            time_steps: 20,
+            ..Default::default()
+        };
+        let plan = cfg.plan(&m, 1.0).unwrap();
+        let mut scratch = Adi2dScratch::default();
+        for p in [
+            Product::european(Payoff::MaxCall { strike: 100.0 }, 1.0),
+            Product::american(Payoff::MinPut { strike: 110.0 }, 1.0),
+        ] {
+            let one_shot = cfg.price(&m, &p).unwrap();
+            let a = plan.execute(&p, &mut scratch).unwrap();
+            let b = plan.execute(&p, &mut scratch).unwrap();
+            assert_eq!(a.price.to_bits(), one_shot.price.to_bits());
+            assert_eq!(b.price.to_bits(), one_shot.price.to_bits());
+            assert_eq!(a.nodes_processed, one_shot.nodes_processed);
+        }
+        let short = Product::european(Payoff::MaxCall { strike: 100.0 }, 0.5);
+        assert!(plan.execute(&short, &mut scratch).is_err());
     }
 
     #[test]

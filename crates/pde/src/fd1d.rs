@@ -22,7 +22,7 @@
 
 use crate::grid::LogGrid;
 use crate::PdeError;
-use mdp_math::linalg::tridiag::Tridiag;
+use mdp_math::linalg::tridiag::{FactoredTridiag, Tridiag};
 use mdp_model::{ExerciseStyle, GbmMarket, Product};
 
 /// Time-stepping scheme.
@@ -91,20 +91,74 @@ pub struct Fd1dResult {
     pub nodes_processed: u64,
 }
 
+/// Planned state of a 1-D finite-difference run: everything that depends
+/// on the market and the grid geometry but **not** on the payoff — the
+/// log-spot grid, the spatial operator coefficients, the Crank–Nicolson
+/// tridiagonal and its Thomas elimination factors. Build once with
+/// [`Fd1d::plan`], execute per product with [`Fd1dPlan::execute`] (or for
+/// a whole strike ladder at once with [`Fd1dPlan::execute_ladder`]).
+///
+/// A plan executed twice is bitwise-identical to two one-shot
+/// [`Fd1d::price`] calls: the hoisted quantities are computed with
+/// exactly the arithmetic the one-shot path used.
+#[derive(Debug, Clone)]
+pub struct Fd1dPlan {
+    cfg: Fd1d,
+    market: GbmMarket,
+    maturity: f64,
+    grid: LogGrid,
+    spots: Vec<f64>,
+    dt: f64,
+    r: f64,
+    theta: f64,
+    a: f64,
+    b: f64,
+    c: f64,
+    lhs: Tridiag,
+    factored: Option<FactoredTridiag>,
+}
+
+/// Reusable per-run buffers for [`Fd1dPlan::execute`]: right-hand side,
+/// solution line and the intrinsic surface, sized lazily on first use.
+#[derive(Debug, Default, Clone)]
+pub struct Fd1dScratch {
+    intrinsic: Vec<f64>,
+    rhs: Vec<f64>,
+    sol: Vec<f64>,
+}
+
+/// Reusable buffers for [`Fd1dPlan::execute_ladder`]: the lane-major
+/// value/intrinsic panels and the multi-RHS panel handed to
+/// [`FactoredTridiag::solve_panel_transposed`].
+#[derive(Debug, Default, Clone)]
+pub struct Fd1dLadderScratch {
+    values: Vec<f64>,
+    intrinsic: Vec<f64>,
+    rhs: Vec<f64>,
+    lo_b: Vec<f64>,
+    hi_b: Vec<f64>,
+    american: Vec<bool>,
+}
+
+/// Result of a fused multi-product ladder run.
+#[derive(Debug, Clone)]
+pub struct Fd1dLadderResult {
+    /// Present value per product, in input order — each bitwise-equal to
+    /// the corresponding one-shot [`Fd1d::price`].
+    pub prices: Vec<f64>,
+    /// Grid-point updates across all lanes.
+    pub nodes_processed: u64,
+}
+
 impl Fd1d {
-    /// Price a single-asset, non-path-dependent product.
-    pub fn price(&self, market: &GbmMarket, product: &Product) -> Result<Fd1dResult, PdeError> {
-        product.validate_for(market)?;
+    /// Build the payoff-independent plan for this configuration on a
+    /// market with horizon `maturity`: grid, operator coefficients,
+    /// stability check and the factored Crank–Nicolson system.
+    pub fn plan(&self, market: &GbmMarket, maturity: f64) -> Result<Fd1dPlan, PdeError> {
         if market.dim() != 1 {
             return Err(PdeError::Model(mdp_model::ModelError::DimensionMismatch {
                 product: 1,
                 market: market.dim(),
-            }));
-        }
-        if product.payoff.is_path_dependent() {
-            return Err(PdeError::Model(mdp_model::ModelError::Unsupported {
-                engine: "1-D finite differences",
-                why: "path-dependent payoff".into(),
             }));
         }
         let m = self.space_points;
@@ -112,14 +166,18 @@ impl Fd1d {
         if m < 3 || n < 1 {
             return Err(PdeError::GridTooSmall { space: m, time: n });
         }
+        if !maturity.is_finite() || maturity <= 0.0 {
+            return Err(PdeError::Model(mdp_model::ModelError::InvalidParameter {
+                what: "maturity",
+                value: maturity,
+            }));
+        }
         let sigma = market.vols()[0];
         let r = market.rate();
         let mu = market.log_drift(0); // r − q − σ²/2
-        let t = product.maturity;
-        let grid = LogGrid::new(market.spots()[0], sigma, t, self.width, m);
+        let grid = LogGrid::new(market.spots()[0], sigma, maturity, self.width, m);
         let dx = grid.dx;
-        let dt = t / n as f64;
-        let american = product.exercise == ExerciseStyle::American;
+        let dt = maturity / n as f64;
 
         // Spatial operator coefficients: a·V_{i−1} + b·V_i + c·V_{i+1}.
         let diff = 0.5 * sigma * sigma / (dx * dx);
@@ -135,12 +193,10 @@ impl Fd1d {
             }
         }
 
-        let spots = grid.spots();
-        let intrinsic: Vec<f64> = spots.iter().map(|&s| product.payoff.eval(&[s])).collect();
-        let mut values = intrinsic.clone();
-        let mut nodes = m as u64;
-
-        // Precompute the CN tridiagonal (I − θΔt·L) on interior points.
+        // Precompute the CN tridiagonal (I − θΔt·L) on interior points
+        // and factor its Thomas elimination once; every execute reuses
+        // the factors (bitwise-equal to the fused per-run sweep). The
+        // explicit scheme never solves it.
         let theta = match self.scheme {
             Scheme::Explicit => 0.0,
             Scheme::CrankNicolson => 0.5,
@@ -151,17 +207,7 @@ impl Fd1d {
             (0..interior).map(|_| 1.0 - theta * dt * b).collect(),
             vec![-theta * dt * c; interior],
         );
-
-        let mut rhs = vec![0.0; interior];
-        // Reused across every time step (no per-step allocation).
-        let mut sol = vec![0.0; interior];
-        // The CN system is constant across time steps: factor its
-        // Thomas elimination once and reuse the factors every solve
-        // (bitwise-equal to the fused sweep). PSOR and the explicit
-        // scheme never solve it.
-        let needs_solve =
-            theta != 0.0 && !(american && matches!(self.american, AmericanMethod::Psor { .. }));
-        let factored = if needs_solve {
+        let factored = if theta != 0.0 {
             Some(
                 lhs.factor()
                     .map_err(|_| PdeError::GridTooSmall { space: m, time: n })?,
@@ -169,7 +215,91 @@ impl Fd1d {
         } else {
             None
         };
-        for step in 1..=n {
+        let spots = grid.spots();
+        Ok(Fd1dPlan {
+            cfg: *self,
+            market: market.clone(),
+            maturity,
+            grid,
+            spots,
+            dt,
+            r,
+            theta,
+            a,
+            b,
+            c,
+            lhs,
+            factored,
+        })
+    }
+
+    /// Price a single-asset, non-path-dependent product — a thin
+    /// plan-then-execute wrapper around [`Fd1d::plan`].
+    pub fn price(&self, market: &GbmMarket, product: &Product) -> Result<Fd1dResult, PdeError> {
+        product.validate_for(market)?;
+        let plan = self.plan(market, product.maturity)?;
+        plan.execute(product, &mut Fd1dScratch::default())
+    }
+}
+
+impl Fd1dPlan {
+    /// The grid the plan solves on.
+    pub fn grid(&self) -> &LogGrid {
+        &self.grid
+    }
+
+    /// Horizon the plan was built for.
+    pub fn maturity(&self) -> f64 {
+        self.maturity
+    }
+
+    fn check_product(&self, product: &Product) -> Result<(), PdeError> {
+        product.validate_for(&self.market)?;
+        if product.payoff.is_path_dependent() {
+            return Err(PdeError::Model(mdp_model::ModelError::Unsupported {
+                engine: "1-D finite differences",
+                why: "path-dependent payoff".into(),
+            }));
+        }
+        if product.maturity != self.maturity {
+            return Err(PdeError::Model(mdp_model::ModelError::Unsupported {
+                engine: "1-D finite differences",
+                why: format!(
+                    "plan built for maturity {}, product has {}",
+                    self.maturity, product.maturity
+                ),
+            }));
+        }
+        Ok(())
+    }
+
+    /// Run the planned scheme for one product. Bitwise-identical to the
+    /// one-shot [`Fd1d::price`] on the same inputs, however many times
+    /// the plan is executed.
+    pub fn execute(
+        &self,
+        product: &Product,
+        scratch: &mut Fd1dScratch,
+    ) -> Result<Fd1dResult, PdeError> {
+        self.check_product(product)?;
+        let m = self.cfg.space_points;
+        let (dt, r, theta) = (self.dt, self.r, self.theta);
+        let (a, b, c) = (self.a, self.b, self.c);
+        let american = product.exercise == ExerciseStyle::American;
+        let interior = m - 2;
+
+        scratch.intrinsic.clear();
+        scratch
+            .intrinsic
+            .extend(self.spots.iter().map(|&s| product.payoff.eval(&[s])));
+        let intrinsic = &scratch.intrinsic;
+        let mut values = intrinsic.clone();
+        let mut nodes = m as u64;
+
+        scratch.rhs.resize(interior, 0.0);
+        scratch.sol.resize(interior, 0.0);
+        let (rhs, sol) = (&mut scratch.rhs, &mut scratch.sol);
+        for step in 1..=self.cfg.time_steps {
             let tau = step as f64 * dt;
             // Dirichlet boundaries: discounted intrinsic.
             let df = (-r * tau).exp();
@@ -186,35 +316,35 @@ impl Fd1d {
             rhs[interior - 1] += theta * dt * c * hi_b;
 
             if theta == 0.0 {
-                sol.copy_from_slice(&rhs);
-            } else if american && matches!(self.american, AmericanMethod::Psor { .. }) {
+                sol.copy_from_slice(rhs);
+            } else if american && matches!(self.cfg.american, AmericanMethod::Psor { .. }) {
                 let AmericanMethod::Psor {
                     omega,
                     tol,
                     max_iter,
-                } = self.american
+                } = self.cfg.american
                 else {
                     unreachable!()
                 };
                 // Warm-start PSOR from the previous time level.
                 sol.copy_from_slice(&values[1..m - 1]);
                 psor(
-                    &lhs,
-                    &rhs,
+                    &self.lhs,
+                    rhs,
                     &intrinsic[1..m - 1],
                     omega,
                     tol,
                     max_iter,
-                    &mut sol,
+                    sol,
                 )?;
             } else {
-                factored
+                self.factored
                     .as_ref()
-                    .expect("factored above when the CN solve runs")
-                    .solve_into(&rhs, &mut sol);
+                    .expect("factored at plan time when θ ≠ 0")
+                    .solve_into(rhs, sol);
             }
 
-            if american && matches!(self.american, AmericanMethod::Projection) {
+            if american && matches!(self.cfg.american, AmericanMethod::Projection) {
                 for (v, &intr) in sol.iter_mut().zip(&intrinsic[1..m - 1]) {
                     *v = v.max(intr);
                 }
@@ -230,9 +360,9 @@ impl Fd1d {
             } else {
                 hi_b
             };
-            values[1..m - 1].copy_from_slice(&sol);
+            values[1..m - 1].copy_from_slice(sol);
             if american && theta == 0.0 {
-                for (v, &intr) in values.iter_mut().zip(&intrinsic) {
+                for (v, &intr) in values.iter_mut().zip(intrinsic) {
                     *v = v.max(intr);
                 }
             }
@@ -240,9 +370,145 @@ impl Fd1d {
         }
 
         Ok(Fd1dResult {
-            price: values[grid.center],
+            price: values[self.grid.center],
             values,
-            grid,
+            grid: self.grid.clone(),
+            nodes_processed: nodes,
+        })
+    }
+
+    /// Fused multi-product run: price every product of a ladder in **one
+    /// backward sweep**, carrying one lane per product through a
+    /// lane-major value panel and solving all lanes' tridiagonal systems
+    /// per step with one multi-RHS panel solve
+    /// ([`FactoredTridiag::solve_panel_transposed`]).
+    ///
+    /// All products must share the plan's maturity; the PSOR American
+    /// treatment is rejected (its iteration count is payoff-dependent —
+    /// those products go through [`Fd1dPlan::execute`] instead). Every
+    /// lane performs exactly the per-element arithmetic of
+    /// [`Fd1dPlan::execute`], so each price is **bitwise-identical** to
+    /// its one-shot counterpart; the fused form wins wall-clock by
+    /// vectorising across lanes and amortising the plan.
+    pub fn execute_ladder(
+        &self,
+        products: &[Product],
+        scratch: &mut Fd1dLadderScratch,
+    ) -> Result<Fd1dLadderResult, PdeError> {
+        let w = products.len();
+        if w == 0 {
+            return Ok(Fd1dLadderResult {
+                prices: Vec::new(),
+                nodes_processed: 0,
+            });
+        }
+        let m = self.cfg.space_points;
+        let (dt, r, theta) = (self.dt, self.r, self.theta);
+        let (a, b, c) = (self.a, self.b, self.c);
+        let interior = m - 2;
+
+        scratch.american.clear();
+        for product in products {
+            self.check_product(product)?;
+            let am = product.exercise == ExerciseStyle::American;
+            if am && matches!(self.cfg.american, AmericanMethod::Psor { .. }) {
+                return Err(PdeError::Model(mdp_model::ModelError::Unsupported {
+                    engine: "1-D finite differences",
+                    why: "PSOR products cannot join a fused ladder".into(),
+                }));
+            }
+            scratch.american.push(am);
+        }
+
+        // Lane-major panels: element (i, lane) lives at i·w + lane, the
+        // transposed layout the panel solver sweeps stride-1.
+        scratch.intrinsic.resize(m * w, 0.0);
+        for (lane, product) in products.iter().enumerate() {
+            for (i, &s) in self.spots.iter().enumerate() {
+                scratch.intrinsic[i * w + lane] = product.payoff.eval(&[s]);
+            }
+        }
+        scratch.values.clear();
+        scratch.values.extend_from_slice(&scratch.intrinsic);
+        scratch.rhs.resize(interior * w, 0.0);
+        scratch.lo_b.resize(w, 0.0);
+        scratch.hi_b.resize(w, 0.0);
+        let intrinsic = &scratch.intrinsic;
+        let values = &mut scratch.values;
+        let rhs = &mut scratch.rhs;
+        let (lo_b, hi_b) = (&mut scratch.lo_b, &mut scratch.hi_b);
+        let american = &scratch.american;
+
+        let mut nodes = (m * w) as u64;
+        for step in 1..=self.cfg.time_steps {
+            let tau = step as f64 * dt;
+            let df = (-r * tau).exp();
+            for lane in 0..w {
+                lo_b[lane] = df * intrinsic[lane];
+                hi_b[lane] = df * intrinsic[(m - 1) * w + lane];
+            }
+            // RHS build: identical per-lane expression, vectorised
+            // across the stride-1 lane axis.
+            for i in 0..interior {
+                let (vm, rest) = values[i * w..(i + 3) * w].split_at(w);
+                let (v0, vp) = rest.split_at(w);
+                let out = &mut rhs[i * w..(i + 1) * w];
+                for lane in 0..w {
+                    out[lane] =
+                        v0[lane] + (1.0 - theta) * dt * (a * vm[lane] + b * v0[lane] + c * vp[lane]);
+                }
+            }
+            for lane in 0..w {
+                rhs[lane] += theta * dt * a * lo_b[lane];
+                rhs[(interior - 1) * w + lane] += theta * dt * c * hi_b[lane];
+            }
+
+            // One panel solve for every lane (explicit scheme: the RHS
+            // already is the new interior).
+            if theta != 0.0 {
+                self.factored
+                    .as_ref()
+                    .expect("factored at plan time when θ ≠ 0")
+                    .solve_panel_transposed(rhs);
+            }
+
+            for lane in 0..w {
+                if american[lane] && matches!(self.cfg.american, AmericanMethod::Projection) {
+                    for i in 0..interior {
+                        let intr = intrinsic[(i + 1) * w + lane];
+                        let v = &mut rhs[i * w + lane];
+                        *v = v.max(intr);
+                    }
+                }
+                values[lane] = if american[lane] {
+                    intrinsic[lane].max(lo_b[lane])
+                } else {
+                    lo_b[lane]
+                };
+                values[(m - 1) * w + lane] = if american[lane] {
+                    intrinsic[(m - 1) * w + lane].max(hi_b[lane])
+                } else {
+                    hi_b[lane]
+                };
+            }
+            values[w..(m - 1) * w].copy_from_slice(rhs);
+            for lane in 0..w {
+                if american[lane] && theta == 0.0 {
+                    for i in 0..m {
+                        let intr = intrinsic[i * w + lane];
+                        let v = &mut values[i * w + lane];
+                        *v = v.max(intr);
+                    }
+                }
+            }
+            nodes += (m * w) as u64;
+        }
+
+        let prices = (0..w)
+            .map(|lane| values[self.grid.center * w + lane])
+            .collect();
+        Ok(Fd1dLadderResult {
+            prices,
             nodes_processed: nodes,
         })
     }
@@ -485,5 +751,77 @@ mod tests {
         };
         let r = cfg.price(&market(), &call(100.0)).unwrap();
         assert_eq!(r.nodes_processed, 11 * 6);
+    }
+
+    #[test]
+    fn plan_execute_bitwise_matches_one_shot() {
+        let m = market();
+        let plan = Fd1d::default().plan(&m, 1.0).unwrap();
+        let mut scratch = Fd1dScratch::default();
+        for product in [call(90.0), call(110.0), put_am(100.0)] {
+            let one_shot = Fd1d::default().price(&m, &product).unwrap();
+            let a = plan.execute(&product, &mut scratch).unwrap();
+            let b = plan.execute(&product, &mut scratch).unwrap();
+            assert_eq!(a.price.to_bits(), one_shot.price.to_bits());
+            assert_eq!(b.price.to_bits(), one_shot.price.to_bits());
+        }
+    }
+
+    #[test]
+    fn ladder_bitwise_matches_one_shots() {
+        let m = market();
+        let cfg = Fd1d {
+            space_points: 101,
+            time_steps: 120,
+            ..Default::default()
+        };
+        let products: Vec<Product> = (0..7)
+            .map(|i| {
+                let k = 70.0 + 10.0 * i as f64;
+                if i % 2 == 0 {
+                    call(k)
+                } else {
+                    put_am(k)
+                }
+            })
+            .collect();
+        let plan = cfg.plan(&m, 1.0).unwrap();
+        let ladder = plan
+            .execute_ladder(&products, &mut Fd1dLadderScratch::default())
+            .unwrap();
+        for (lane, product) in products.iter().enumerate() {
+            let one_shot = cfg.price(&m, product).unwrap();
+            assert_eq!(
+                ladder.prices[lane].to_bits(),
+                one_shot.price.to_bits(),
+                "lane {lane}"
+            );
+        }
+    }
+
+    #[test]
+    fn ladder_rejects_psor_and_wrong_maturity() {
+        let m = market();
+        let cfg = Fd1d {
+            american: AmericanMethod::Psor {
+                omega: 1.5,
+                tol: 1e-8,
+                max_iter: 400,
+            },
+            ..Default::default()
+        };
+        let plan = cfg.plan(&m, 1.0).unwrap();
+        assert!(plan
+            .execute_ladder(&[put_am(100.0)], &mut Fd1dLadderScratch::default())
+            .is_err());
+        let plan = Fd1d::default().plan(&m, 1.0).unwrap();
+        let short = Product::european(
+            Payoff::BasketCall {
+                weights: vec![1.0],
+                strike: 100.0,
+            },
+            0.5,
+        );
+        assert!(plan.execute(&short, &mut Fd1dScratch::default()).is_err());
     }
 }

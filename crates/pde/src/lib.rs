@@ -21,9 +21,12 @@ pub mod error;
 pub mod fd1d;
 pub mod grid;
 
-pub use adi::{Adi2d, Adi2dResult, AdiKernel};
+pub use adi::{Adi2d, Adi2dPlan, Adi2dResult, Adi2dScratch, AdiKernel};
 pub use barrier::{BarrierResult, Fd1dBarrier};
 pub use cluster::{ClusterFd1d, ClusterFdOutcome};
 pub use error::PdeError;
-pub use fd1d::{AmericanMethod, Fd1d, Fd1dResult, Scheme};
+pub use fd1d::{
+    AmericanMethod, Fd1d, Fd1dLadderResult, Fd1dLadderScratch, Fd1dPlan, Fd1dResult, Fd1dScratch,
+    Scheme,
+};
 pub use grid::LogGrid;

@@ -96,10 +96,7 @@ fn main() {
     let mut t1 = None;
     for ranks in [1usize, 2, 4, 8, 16] {
         let r = Pricer::new(Method::Lsmc(cfg))
-            .backend(Backend::Cluster {
-                ranks,
-                machine: Machine::cluster2002(),
-            })
+            .backend(Backend::cluster(ranks, Machine::cluster2002()))
             .price(&m2, &minput)
             .expect("cluster lsmc");
         let tm = r.time.unwrap();

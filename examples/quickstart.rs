@@ -71,10 +71,7 @@ fn main() {
     // And the same Monte Carlo run on a modelled 16-node 2002 cluster:
     // identical price, plus the virtual-time execution model.
     let par = Pricer::new(Method::monte_carlo(200_000))
-        .backend(Backend::Cluster {
-            ranks: 16,
-            machine: Machine::cluster2002(),
-        })
+        .backend(Backend::cluster(16, Machine::cluster2002()))
         .price(&market, &product)
         .expect("cluster");
     let tm = par.time.unwrap();

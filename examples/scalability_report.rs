@@ -51,7 +51,7 @@ fn main() {
     for steps in [128usize, 512] {
         let c = curve_for(&format!("BEG lattice d=2, N={steps}"), |p| {
             Pricer::new(Method::lattice(steps))
-                .backend(Backend::Cluster { ranks: p, machine })
+                .backend(Backend::cluster(p, machine))
                 .price(&m2, &maxcall)
                 .expect("lattice")
                 .time
@@ -78,7 +78,7 @@ fn main() {
         };
         let c = curve_for(&format!("Monte Carlo d=5, {paths} paths"), |p| {
             Pricer::new(Method::MonteCarlo(cfg))
-                .backend(Backend::Cluster { ranks: p, machine })
+                .backend(Backend::cluster(p, machine))
                 .price(&m5, &basket)
                 .expect("mc")
                 .time

@@ -97,10 +97,7 @@ fn cluster_lattice_error_does_not_spawn() {
     let m = GbmMarket::symmetric(2, 100.0, 0.2, 0.0, 0.05, 0.3).unwrap();
     let asian = Product::european(Payoff::AsianCall { strike: 100.0 }, 1.0);
     let r = Pricer::new(Method::lattice(8))
-        .backend(Backend::Cluster {
-            ranks: 4,
-            machine: Machine::ideal(),
-        })
+        .backend(Backend::cluster(4, Machine::ideal()))
         .price(&m, &asian);
     assert!(matches!(r, Err(PriceError::Lattice(_))));
 }

@@ -28,10 +28,7 @@ fn lattice_bitwise_identical_across_backends_and_ranks() {
     assert_eq!(seq.to_bits(), ray.to_bits(), "rayon");
     for ranks in [1usize, 2, 3, 5, 8, 13] {
         let par = Pricer::new(Method::lattice(48))
-            .backend(Backend::Cluster {
-                ranks,
-                machine: Machine::cluster2002(),
-            })
+            .backend(Backend::cluster(ranks, Machine::cluster2002()))
             .price(&m, &p)
             .unwrap()
             .price;
@@ -79,10 +76,7 @@ fn mc_bitwise_identical_across_backends_and_ranks() {
         assert_eq!(seq.price.to_bits(), ray.price.to_bits(), "{vr:?} rayon");
         for ranks in [2usize, 6] {
             let par = Pricer::new(Method::MonteCarlo(cfg))
-                .backend(Backend::Cluster {
-                    ranks,
-                    machine: Machine::cluster2002(),
-                })
+                .backend(Backend::cluster(ranks, Machine::cluster2002()))
                 .price(&m, &p)
                 .unwrap();
             assert_eq!(
@@ -168,10 +162,7 @@ fn virtual_times_are_reproducible() {
     let p = Product::european(Payoff::MaxCall { strike: 100.0 }, 1.0);
     let run = || -> TimeModel {
         Pricer::new(Method::lattice(40))
-            .backend(Backend::Cluster {
-                ranks: 5,
-                machine: Machine::cluster2002(),
-            })
+            .backend(Backend::cluster(5, Machine::cluster2002()))
             .price(&m, &p)
             .unwrap()
             .time
@@ -192,10 +183,7 @@ fn lattice_speedup_monotone_until_saturation() {
     let p = Product::european(Payoff::MaxCall { strike: 100.0 }, 1.0);
     let time = |ranks: usize| {
         Pricer::new(Method::lattice(192))
-            .backend(Backend::Cluster {
-                ranks,
-                machine: Machine::cluster2002(),
-            })
+            .backend(Backend::cluster(ranks, Machine::cluster2002()))
             .price(&m, &p)
             .unwrap()
             .time
@@ -224,7 +212,7 @@ fn machine_parameters_shift_the_curves() {
     let p = Product::european(Payoff::MaxCall { strike: 100.0 }, 1.0);
     let time = |machine: Machine| {
         Pricer::new(Method::lattice(96))
-            .backend(Backend::Cluster { ranks: 8, machine })
+            .backend(Backend::cluster(8, machine))
             .price(&m, &p)
             .unwrap()
             .time
@@ -253,10 +241,7 @@ fn lsmc_cluster_close_to_sequential_for_multiasset() {
     };
     let seq = Pricer::new(Method::Lsmc(cfg)).price(&m, &p).unwrap();
     let par = Pricer::new(Method::Lsmc(cfg))
-        .backend(Backend::Cluster {
-            ranks: 4,
-            machine: Machine::ideal(),
-        })
+        .backend(Backend::cluster(4, Machine::ideal()))
         .price(&m, &p)
         .unwrap();
     assert!(

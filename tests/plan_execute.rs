@@ -1,0 +1,229 @@
+//! Property-based tests of the plan/execute contract.
+//!
+//! Two invariants, over randomly drawn markets and books:
+//!
+//! * **Plan amortisation is invisible**: building one plan and executing
+//!   it twice is bitwise-identical to two independent one-shot
+//!   `Pricer::price` calls — for every planful engine (FD-1D, ADI-2D,
+//!   BEG lattice, Monte Carlo).
+//! * **Batching is invisible**: [`Portfolio::price_batch`] returns
+//!   bitwise the same prices as a per-product loop, on the sequential
+//!   and rayon backends alike, whether the book fuses (FD strike
+//!   ladder, shared-path MC) or falls back per product.
+
+use mdp_core::prelude::*;
+use proptest::prelude::*;
+
+/// One plan, two executes — against two fresh one-shots.
+fn assert_plan_reuse_bitwise(pricer: &Pricer, market: &GbmMarket, product: &Product) {
+    let one_a = pricer.price(market, product).unwrap();
+    let one_b = pricer.price(market, product).unwrap();
+    let mut plan = pricer.plan(market, product.maturity).unwrap();
+    let two_a = plan.execute(product).unwrap();
+    let two_b = plan.execute(product).unwrap();
+    for (lhs, rhs) in [(&one_a, &two_a), (&one_b, &two_b)] {
+        assert_eq!(lhs.price.to_bits(), rhs.price.to_bits());
+        assert_eq!(
+            lhs.std_error.map(f64::to_bits),
+            rhs.std_error.map(f64::to_bits)
+        );
+    }
+}
+
+fn assert_batch_matches_loop(pricer: &Pricer, market: &GbmMarket, book: &[Product]) {
+    let batch = Portfolio::new(pricer.clone())
+        .price_batch(market, book)
+        .unwrap();
+    assert_eq!(batch.reports.len(), book.len());
+    for (report, product) in batch.reports.iter().zip(book) {
+        let solo = pricer.price(market, product).unwrap();
+        assert_eq!(report.price.to_bits(), solo.price.to_bits());
+        assert_eq!(
+            report.std_error.map(f64::to_bits),
+            solo.std_error.map(f64::to_bits)
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// FD-1D: plan-once-execute-twice ≡ two one-shots, bitwise.
+    #[test]
+    fn fd1d_plan_reuse_is_bitwise(
+        spot in 60.0f64..160.0,
+        strike in 60.0f64..160.0,
+        sigma in 0.1f64..0.5,
+        t in 0.25f64..2.0,
+        american_flag in 0u8..2,
+    ) {
+        let market = GbmMarket::single(spot, sigma, 0.01, 0.05).unwrap();
+        let payoff = Payoff::BasketPut { weights: vec![1.0], strike };
+        let american = american_flag == 1;
+        let product = if american {
+            Product::american(payoff, t)
+        } else {
+            Product::european(payoff, t)
+        };
+        let pricer = Pricer::new(Method::Fd1d(Fd1d {
+            space_points: 101,
+            time_steps: 100,
+            ..Default::default()
+        }));
+        assert_plan_reuse_bitwise(&pricer, &market, &product);
+    }
+
+    /// ADI-2D: plan-once-execute-twice ≡ two one-shots, bitwise, on
+    /// both host backends.
+    #[test]
+    fn adi2d_plan_reuse_is_bitwise(
+        strike in 70.0f64..130.0,
+        rho in -0.5f64..0.7,
+        parallel_flag in 0u8..2,
+    ) {
+        let market = GbmMarket::symmetric(2, 100.0, 0.25, 0.0, 0.05, rho).unwrap();
+        let product = Product::european(Payoff::MaxCall { strike }, 1.0);
+        let backend = if parallel_flag == 1 { Backend::Rayon } else { Backend::Sequential };
+        let pricer = Pricer::new(Method::Adi2d(Adi2d {
+            space_points: 41,
+            time_steps: 40,
+            ..Default::default()
+        }))
+        .backend(backend);
+        assert_plan_reuse_bitwise(&pricer, &market, &product);
+    }
+
+    /// BEG lattice: plan-once-execute-twice ≡ two one-shots, bitwise.
+    #[test]
+    fn lattice_plan_reuse_is_bitwise(
+        d in 1usize..4,
+        strike in 70.0f64..130.0,
+        american_flag in 0u8..2,
+        parallel_flag in 0u8..2,
+    ) {
+        let market = GbmMarket::symmetric(d, 100.0, 0.25, 0.0, 0.05, 0.3).unwrap();
+        let payoff = Payoff::MaxPut { strike };
+        let american = american_flag == 1;
+        let product = if american {
+            Product::american(payoff, 1.0)
+        } else {
+            Product::european(payoff, 1.0)
+        };
+        let backend = if parallel_flag == 1 { Backend::Rayon } else { Backend::Sequential };
+        let pricer = Pricer::new(Method::MultiLattice { steps: 20 }).backend(backend);
+        assert_plan_reuse_bitwise(&pricer, &market, &product);
+    }
+
+    /// Monte Carlo: plan-once-execute-twice ≡ two one-shots, bitwise,
+    /// price and standard error, on both host backends.
+    #[test]
+    fn mc_plan_reuse_is_bitwise(
+        d in 1usize..5,
+        strike in 70.0f64..130.0,
+        seed in 0u64..1_000,
+        parallel_flag in 0u8..2,
+    ) {
+        let market = GbmMarket::symmetric(d, 100.0, 0.25, 0.0, 0.05, 0.3).unwrap();
+        let product = Product::european(Payoff::MaxCall { strike }, 1.0);
+        let backend = if parallel_flag == 1 { Backend::Rayon } else { Backend::Sequential };
+        let pricer = Pricer::new(Method::MonteCarlo(McConfig {
+            paths: 4_096,
+            seed,
+            ..Default::default()
+        }))
+        .backend(backend);
+        assert_plan_reuse_bitwise(&pricer, &market, &product);
+    }
+
+    /// An FD strike ladder batched through the portfolio layer matches
+    /// the per-product loop bitwise, sequential and rayon, with mixed
+    /// exercise styles in the book.
+    #[test]
+    fn fd_batch_is_bitwise_equal_to_loop(
+        n in 1usize..12,
+        lo in 60.0f64..90.0,
+        step in 1.0f64..8.0,
+        parallel_flag in 0u8..2,
+    ) {
+        let market = GbmMarket::single(100.0, 0.2, 0.0, 0.05).unwrap();
+        let book: Vec<Product> = (0..n)
+            .map(|i| {
+                let payoff = Payoff::BasketPut {
+                    weights: vec![1.0],
+                    strike: lo + step * i as f64,
+                };
+                if i % 2 == 0 {
+                    Product::european(payoff, 1.0)
+                } else {
+                    Product::american(payoff, 1.0)
+                }
+            })
+            .collect();
+        let backend = if parallel_flag == 1 { Backend::Rayon } else { Backend::Sequential };
+        let pricer = Pricer::new(Method::Fd1d(Fd1d {
+            space_points: 101,
+            time_steps: 100,
+            ..Default::default()
+        }));
+        // Per-product FD is sequential-only; compare against the
+        // sequential loop in both cases (rayon batching must not change
+        // the bits either).
+        let batch = Portfolio::new(pricer.clone().backend(backend))
+            .price_batch(&market, &book)
+            .unwrap();
+        for (report, product) in batch.reports.iter().zip(&book) {
+            let solo = pricer.price(&market, product).unwrap();
+            prop_assert_eq!(report.price.to_bits(), solo.price.to_bits());
+        }
+        prop_assert_eq!(batch.fused, book.len());
+        prop_assert_eq!(batch.plans_built, 1);
+    }
+
+    /// A Monte Carlo book batched through the portfolio layer matches
+    /// the per-product loop bitwise — including books that mix fusable
+    /// terminal payoffs with path-dependent ones that fall back.
+    #[test]
+    fn mc_batch_is_bitwise_equal_to_loop(
+        d in 1usize..4,
+        seed in 0u64..500,
+        asian_flag in 0u8..2,
+        parallel_flag in 0u8..2,
+    ) {
+        let market = GbmMarket::symmetric(d, 100.0, 0.25, 0.0, 0.05, 0.3).unwrap();
+        let mut book = vec![
+            Product::european(Payoff::MaxCall { strike: 95.0 }, 1.0),
+            Product::european(Payoff::MinPut { strike: 105.0 }, 1.0),
+            Product::european(Payoff::GeometricCall { strike: 100.0 }, 1.0),
+        ];
+        if asian_flag == 1 {
+            book.push(Product::european(Payoff::AsianCall { strike: 100.0 }, 1.0));
+        }
+        let backend = if parallel_flag == 1 { Backend::Rayon } else { Backend::Sequential };
+        let pricer = Pricer::new(Method::MonteCarlo(McConfig {
+            paths: 4_096,
+            seed,
+            ..Default::default()
+        }))
+        .backend(backend);
+        assert_batch_matches_loop(&pricer, &market, &book);
+    }
+
+    /// Books spanning several maturities group per maturity and still
+    /// match the loop bitwise on the generic plan path (lattice).
+    #[test]
+    fn multi_maturity_batch_matches_loop(
+        strike in 80.0f64..120.0,
+        parallel_flag in 0u8..2,
+    ) {
+        let market = GbmMarket::symmetric(2, 100.0, 0.25, 0.0, 0.05, 0.3).unwrap();
+        let book = vec![
+            Product::european(Payoff::MaxCall { strike }, 0.5),
+            Product::european(Payoff::MaxCall { strike }, 1.0),
+            Product::american(Payoff::MaxPut { strike }, 0.5),
+            Product::european(Payoff::MinCall { strike }, 1.0),
+        ];
+        let backend = if parallel_flag == 1 { Backend::Rayon } else { Backend::Sequential };
+        let pricer = Pricer::new(Method::MultiLattice { steps: 20 }).backend(backend);
+        assert_batch_matches_loop(&pricer, &market, &book);
+    }
+}
