@@ -1200,3 +1200,256 @@ pub fn t10_portfolio_batch(effort: Effort) {
     );
     let _ = std::fs::write(crate::out_dir().join("BENCH_portfolio.json"), json);
 }
+
+/// T11 — pricing-as-a-service under open-loop load: coalesced service
+/// vs a naive pool of per-request pricers (one plan build each).
+///
+/// A seeded open-loop driver replays the *same* exponential arrival
+/// process against both services at offered loads pinned above the
+/// calibrated naive capacity, so the throughput ratio measures the
+/// coalescer + plan cache, not the arrival noise. Writes
+/// `BENCH_serve.json` so CI can gate `coalesced ≥ naive` at every
+/// load point and check the latency percentiles are reported.
+pub fn t11_serve(effort: Effort) {
+    use mdp_serve::{PriceRequest, PricingService, ServeConfig, ServeError};
+    use mdp_perf::latency_summary;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    const WORKERS: usize = 2;
+    const DISTINCT_STRIKES: usize = 32;
+
+    let market = Arc::new(market(1));
+    let strikes: Vec<f64> = (0..DISTINCT_STRIKES)
+        .map(|i| 70.0 + 60.0 * i as f64 / DISTINCT_STRIKES as f64)
+        .collect();
+    let product_for = |i: usize| {
+        Product::european(
+            Payoff::BasketCall {
+                weights: vec![1.0],
+                strike: strikes[i % DISTINCT_STRIKES],
+            },
+            1.0,
+        )
+    };
+    let pricer = || Pricer::new(Method::Fd1d(Fd1d::default()));
+
+    // Ground truth for the bitwise cross-check: the direct sequential
+    // price of each distinct strike.
+    let direct = pricer();
+    let expected_bits: Vec<u64> = (0..DISTINCT_STRIKES)
+        .map(|i| {
+            direct
+                .price(&market, &product_for(i))
+                .expect("direct price")
+                .price
+                .to_bits()
+        })
+        .collect();
+
+    // Calibrate naive capacity with a closed-loop burst: every request
+    // pays its own plan build, the historical pool-of-pricers idiom.
+    let calib_n = effort.scale(128, 512);
+    let calib = PricingService::start(
+        pricer(),
+        ServeConfig {
+            workers: WORKERS,
+            coalesce: false,
+            queue_capacity: calib_n,
+            ..Default::default()
+        },
+    );
+    let t0 = Instant::now();
+    let tickets: Vec<_> = (0..calib_n)
+        .map(|i| {
+            calib
+                .submit(PriceRequest::new(
+                    i as u64,
+                    Arc::clone(&market),
+                    product_for(i),
+                ))
+                .expect("calibration queue sized to the burst")
+        })
+        .collect();
+    for t in tickets {
+        t.wait().expect("calibration response").outcome.expect("calibration price");
+    }
+    let naive_capacity_rps = calib_n as f64 / t0.elapsed().as_secs_f64();
+    calib.shutdown();
+
+    let mut table = Table::new(
+        "T11: pricing service under open-loop load — coalesced vs naive pool",
+        &[
+            "load",
+            "offered [rps]",
+            "naive [rps]",
+            "coal [rps]",
+            "ratio",
+            "naive p99 [ms]",
+            "coal p99 [ms]",
+            "coal batch",
+        ],
+    );
+
+    // Seeded splitmix64 → exponential interarrivals. Both services see
+    // the identical arrival schedule.
+    let next_u64 = |state: &mut u64| {
+        *state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    };
+
+    struct LoadPoint {
+        mult: f64,
+        offered_rps: f64,
+        naive: RunStats,
+        coal: RunStats,
+    }
+    struct RunStats {
+        throughput_rps: f64,
+        completed: u64,
+        shed: u64,
+        p50_ms: f64,
+        p99_ms: f64,
+        mean_batch: f64,
+        cache_hits: u64,
+        mean_plan_hit_s: f64,
+        mean_plan_miss_s: f64,
+    }
+
+    let n_requests = effort.scale(400, 1600);
+    // All offered loads sit above the calibrated naive capacity, so the
+    // naive pool is saturated and the ratio is a capacity ratio.
+    let mults: &[f64] = &[1.5, 2.5, 4.0];
+
+    let run = |coalesce: bool, offered_rps: f64, seed: u64| -> RunStats {
+        let service = PricingService::start(
+            pricer(),
+            ServeConfig {
+                workers: WORKERS,
+                coalesce,
+                queue_capacity: 512,
+                ..Default::default()
+            },
+        );
+        let mut state = seed;
+        let mut clock = 0.0f64;
+        let start = Instant::now();
+        let mut tickets = Vec::with_capacity(n_requests);
+        for i in 0..n_requests {
+            // Exponential interarrival at the offered rate.
+            let u = (next_u64(&mut state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            clock += -(1.0 - u).ln() / offered_rps;
+            let due = Duration::from_secs_f64(clock);
+            loop {
+                let elapsed = start.elapsed();
+                if elapsed >= due {
+                    break;
+                }
+                let left = due - elapsed;
+                if left > Duration::from_micros(200) {
+                    std::thread::sleep(left - Duration::from_micros(100));
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            match service.submit(PriceRequest::new(
+                i as u64,
+                Arc::clone(&market),
+                product_for(i),
+            )) {
+                Ok(t) => tickets.push((i, t)),
+                Err(ServeError::Overloaded { .. }) => {} // open loop: drop
+                Err(e) => panic!("unexpected submit error: {e}"),
+            }
+        }
+        let mut latencies = Vec::with_capacity(tickets.len());
+        for (i, t) in tickets {
+            let resp = t.wait().expect("service response");
+            let report = resp.outcome.as_ref().expect("priced");
+            assert_eq!(
+                report.price.to_bits(),
+                expected_bits[i % DISTINCT_STRIKES],
+                "served price must match the direct sequential price bitwise"
+            );
+            latencies.push(resp.latency_seconds());
+        }
+        let wall = start.elapsed().as_secs_f64();
+        let stats = service.shutdown();
+        let summary = latency_summary(&mut latencies);
+        RunStats {
+            throughput_rps: stats.completed as f64 / wall,
+            completed: stats.completed,
+            shed: stats.shed,
+            p50_ms: summary.p50 * 1e3,
+            p99_ms: summary.p99 * 1e3,
+            mean_batch: stats.mean_batch(),
+            cache_hits: stats.cache.hits,
+            mean_plan_hit_s: stats.mean_plan_seconds_hit(),
+            mean_plan_miss_s: stats.mean_plan_seconds_miss(),
+        }
+    };
+
+    let mut points = Vec::new();
+    for (k, &mult) in mults.iter().enumerate() {
+        let offered_rps = (naive_capacity_rps * mult).max(50.0);
+        let seed = 0x5eed_0000 + k as u64;
+        let naive = run(false, offered_rps, seed);
+        let coal = run(true, offered_rps, seed);
+        let ratio = coal.throughput_rps / naive.throughput_rps;
+        table.push(&[
+            format!("{mult:.1}x"),
+            format!("{offered_rps:.0}"),
+            format!("{:.0}", naive.throughput_rps),
+            format!("{:.0}", coal.throughput_rps),
+            format!("{ratio:.2}"),
+            format!("{:.2}", naive.p99_ms),
+            format!("{:.2}", coal.p99_ms),
+            format!("{:.1}", coal.mean_batch),
+        ]);
+        points.push(LoadPoint {
+            mult,
+            offered_rps,
+            naive,
+            coal,
+        });
+    }
+
+    save("t11_serve", &table);
+
+    let mut json = String::new();
+    json.push_str("{\n  \"experiment\": \"t11\",\n");
+    json.push_str(&format!(
+        "  \"naive_capacity_rps\": {naive_capacity_rps:.3},\n  \"workers\": {WORKERS},\n  \"requests_per_point\": {n_requests},\n  \"load_points\": [\n"
+    ));
+    for (k, p) in points.iter().enumerate() {
+        let ratio = p.coal.throughput_rps / p.naive.throughput_rps;
+        let fmt_side = |s: &RunStats| {
+            format!(
+                "{{\"throughput_rps\": {:.3}, \"completed\": {}, \"shed\": {}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"mean_batch\": {:.3}, \"cache_hits\": {}, \"mean_plan_hit_s\": {:.9}, \"mean_plan_miss_s\": {:.9}}}",
+                s.throughput_rps,
+                s.completed,
+                s.shed,
+                s.p50_ms,
+                s.p99_ms,
+                s.mean_batch,
+                s.cache_hits,
+                s.mean_plan_hit_s,
+                s.mean_plan_miss_s,
+            )
+        };
+        json.push_str(&format!(
+            "    {{\"offered_mult\": {:.2}, \"offered_rps\": {:.3},\n     \"naive\": {},\n     \"coalesced\": {},\n     \"throughput_ratio\": {:.4}}}{}\n",
+            p.mult,
+            p.offered_rps,
+            fmt_side(&p.naive),
+            fmt_side(&p.coal),
+            ratio,
+            if k + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let _ = std::fs::write(crate::out_dir().join("BENCH_serve.json"), json);
+}

@@ -69,14 +69,14 @@ pub mod pricer;
 
 pub use engine::{EngineOutcome, EnginePlan, PricingEngine};
 pub use greeks::BumpConfig;
-pub use portfolio::{BatchReport, Portfolio};
+pub use portfolio::{BatchReport, GroupPlan, Portfolio};
 pub use pricer::{Backend, Method, PriceError, PriceReport, Pricer, PricerPlan};
 
 /// One-stop imports for applications.
 pub mod prelude {
     pub use crate::{
-        Backend, BatchReport, BumpConfig, EngineOutcome, EnginePlan, Method, Portfolio, PriceError,
-        PriceReport, Pricer, PricerPlan, PricingEngine,
+        Backend, BatchReport, BumpConfig, EngineOutcome, EnginePlan, GroupPlan, Method, Portfolio,
+        PriceError, PriceReport, Pricer, PricerPlan, PricingEngine,
     };
     pub use mdp_cluster::{FaultPlan, Machine, TimeModel};
     pub use mdp_lattice::{BinomialKind, BinomialLattice, MultiLattice, TrinomialLattice};

@@ -1,10 +1,10 @@
 //! Portfolio batch pricing: one plan, many executes, fused kernels.
 //!
 //! [`Portfolio::price_batch`] prices a book of products on one market,
-//! grouping products by **plan key** (the maturity — together with the
-//! shared market and method configuration it determines the entire
-//! planned state) so each group pays the engine setup once. Two groups
-//! fuse deeper than plan reuse:
+//! grouping products by **plan key** — the maturity bits mixed with the
+//! pricer's [`Method::cache_key`] (the shared market completes the key;
+//! see [`Portfolio::group_key`]) — so each group pays the engine setup
+//! once. Two groups fuse deeper than plan reuse:
 //!
 //! * **FD strike ladder** — a group of 1-D products on the same grid
 //!   becomes lanes of one [`mdp_pde::Fd1dPlan::execute_ladder`] call:
@@ -21,11 +21,17 @@
 //! is purely a performance decision. Sequential, rayon and cluster
 //! backends are supported; the cluster backend prices per product
 //! through the SPMD drivers (its setup lives inside each run).
+//!
+//! The group machinery is public so request-driven callers (the
+//! `mdp-serve` coalescer) can compile a [`GroupPlan`] once — or fetch a
+//! cached one by its bit-exact key — and route any same-key burst of
+//! requests through [`Portfolio::execute_group`] with the identical
+//! fused kernels.
 
 use crate::pricer::{Backend, Method, PriceError, PriceReport, Pricer};
-use mdp_mc::McEngine;
+use mdp_mc::{McEngine, McPlan};
 use mdp_model::{ExerciseStyle, GbmMarket, Product};
-use mdp_pde::{AmericanMethod, Fd1dLadderScratch};
+use mdp_pde::{AmericanMethod, Fd1dLadderScratch, Fd1dPlan, Fd1dScratch};
 use rayon::prelude::*;
 use std::time::Instant;
 
@@ -64,10 +70,222 @@ pub struct BatchReport {
     pub fused: usize,
 }
 
+/// The compiled, payoff-independent state shared by one coalesced group
+/// of products: everything [`Portfolio::execute_group`] needs to price
+/// any same-key product.
+///
+/// A `GroupPlan` is `Clone`, so a plan cache can hand out copies; an
+/// executed copy is bitwise-identical to an executed original (the plan
+/// is pure data — grids, factorizations, steppers — and execution never
+/// mutates it beyond scratch buffers).
+#[derive(Debug, Clone)]
+pub enum GroupPlan {
+    /// 1-D finite differences: grid, θ-scheme coefficients and the
+    /// factored tridiagonal, ready for fused multi-RHS strike ladders.
+    Fd1d(Box<Fd1dPlan>),
+    /// Monte Carlo: the correlated stepper, ready for shared-path
+    /// multi-payoff sweeps.
+    Mc(Box<McPlan>),
+    /// Every other method/backend pair: the facade's generic plan
+    /// (planful for ADI/lattice, a recorded one-shot otherwise).
+    Generic(Box<crate::pricer::PricerPlan>),
+}
+
 impl Portfolio {
     /// A portfolio pricer wrapping the given method/backend pair.
     pub fn new(pricer: Pricer) -> Self {
         Portfolio { pricer }
+    }
+
+    /// The wrapped pricer.
+    pub fn pricer(&self) -> &Pricer {
+        &self.pricer
+    }
+
+    /// The bit-exact grouping key of a product under this portfolio's
+    /// pricer: the maturity bits mixed with [`Method::cache_key`].
+    ///
+    /// Two products may share a [`GroupPlan`] **iff** their keys are
+    /// equal and they price on the same market (callers that batch
+    /// across markets — the serve-layer coalescer — must additionally
+    /// mix in [`GbmMarket::cache_key`]). Within one
+    /// [`Portfolio::price_batch`] call the method is a single value, so
+    /// the method term is constant — it is included so keys from
+    /// *different* portfolios (different engine configurations sharing
+    /// a maturity) can never collide into one plan.
+    pub fn group_key(&self, product: &Product) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for word in [product.maturity.to_bits(), self.pricer.method().cache_key()] {
+            for b in word.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+        h
+    }
+
+    /// Compile the payoff-independent plan shared by every product of a
+    /// same-key group on `market` at horizon `maturity`.
+    ///
+    /// The plan depends only on `(market, maturity, method, backend)` —
+    /// never on the products — so it is safe to cache under the
+    /// bit-exact key and reuse for any future same-key group.
+    pub fn plan_group(&self, market: &GbmMarket, maturity: f64) -> Result<GroupPlan, PriceError> {
+        Ok(match (self.pricer.method(), self.pricer.backend_ref()) {
+            (Method::Fd1d(cfg), Backend::Sequential | Backend::Rayon) => {
+                GroupPlan::Fd1d(Box::new(cfg.plan(market, maturity)?))
+            }
+            (Method::MonteCarlo(cfg), Backend::Sequential | Backend::Rayon) => {
+                GroupPlan::Mc(Box::new(McEngine::new(*cfg).plan(market, maturity)?))
+            }
+            _ => GroupPlan::Generic(Box::new(self.pricer.plan(market, maturity)?)),
+        })
+    }
+
+    /// Execute a same-maturity group of products over a prebuilt plan.
+    ///
+    /// Returns the per-product reports in input order plus how many
+    /// products went through a fused multi-product kernel. Every report
+    /// carries `plan_s` as its plan time (the caller measured the build
+    /// — or the cache hit — around [`Portfolio::plan_group`]).
+    ///
+    /// Prices and standard errors are bitwise-identical to per-product
+    /// [`Pricer::price`] calls (for FD on the rayon backend, to the
+    /// sequential per-product loop — the one-shot facade has no rayon
+    /// FD path). Fails on the first product any engine rejects, like
+    /// the loop would.
+    pub fn execute_group(
+        &self,
+        plan: &mut GroupPlan,
+        products: &[Product],
+        plan_s: f64,
+    ) -> Result<(Vec<PriceReport>, usize), PriceError> {
+        let parallel = matches!(self.pricer.backend_ref(), Backend::Rayon);
+        let engine = self.pricer.method().name();
+        let mut fused = 0usize;
+        let mut reports: Vec<PriceReport> = Vec::with_capacity(products.len());
+        match plan {
+            GroupPlan::Fd1d(fd_plan) => {
+                let ladder = match self.pricer.method() {
+                    Method::Fd1d(cfg) => ladder_eligible(cfg, products),
+                    _ => unreachable!("Fd1d plans are built from Fd1d methods"),
+                };
+                if ladder {
+                    let t1 = Instant::now();
+                    let prices: Vec<f64> = if parallel && products.len() > 1 {
+                        // Lanes are independent, so chunked ladders are
+                        // bitwise-equal to one wide ladder.
+                        let n_chunks = products.len().div_ceil(FD_LADDER_CHUNK);
+                        let chunk_prices: Vec<Result<Vec<f64>, mdp_pde::PdeError>> = (0..n_chunks)
+                            .into_par_iter()
+                            .map(|c| {
+                                let lo = c * FD_LADDER_CHUNK;
+                                let hi = (lo + FD_LADDER_CHUNK).min(products.len());
+                                let mut scratch = Fd1dLadderScratch::default();
+                                fd_plan
+                                    .execute_ladder(&products[lo..hi], &mut scratch)
+                                    .map(|r| r.prices)
+                            })
+                            .collect();
+                        let mut all = Vec::with_capacity(products.len());
+                        for r in chunk_prices {
+                            all.extend(r?);
+                        }
+                        all
+                    } else {
+                        let mut scratch = Fd1dLadderScratch::default();
+                        fd_plan.execute_ladder(products, &mut scratch)?.prices
+                    };
+                    let exec_share = t1.elapsed().as_secs_f64() / products.len() as f64;
+                    fused += products.len();
+                    for price in prices {
+                        reports.push(PriceReport {
+                            price,
+                            std_error: None,
+                            time: None,
+                            plan_seconds: plan_s,
+                            execute_seconds: exec_share,
+                            wall_seconds: plan_s + exec_share,
+                            engine,
+                        });
+                    }
+                } else {
+                    // PSOR iteration counts are payoff-dependent, so
+                    // lanes would interact: per-product solves over the
+                    // shared plan (identical to the one-shot path).
+                    let mut scratch = Fd1dScratch::default();
+                    for p in products {
+                        let t1 = Instant::now();
+                        let price = fd_plan.execute(p, &mut scratch)?.price;
+                        let exec_s = t1.elapsed().as_secs_f64();
+                        reports.push(PriceReport {
+                            price,
+                            std_error: None,
+                            time: None,
+                            plan_seconds: plan_s,
+                            execute_seconds: exec_s,
+                            wall_seconds: plan_s + exec_s,
+                            engine,
+                        });
+                    }
+                }
+            }
+            GroupPlan::Mc(mc_plan) => {
+                let (fusable, rest): (Vec<usize>, Vec<usize>) =
+                    (0..products.len()).partition(|&i| mc_plan.check_fusable(&products[i]).is_ok());
+                let mut slots: Vec<Option<PriceReport>> = vec![None; products.len()];
+                if !fusable.is_empty() {
+                    let book: Vec<Product> =
+                        fusable.iter().map(|&i| products[i].clone()).collect();
+                    let t1 = Instant::now();
+                    let results = mc_plan.execute_multi(&book, parallel)?;
+                    let exec_share = t1.elapsed().as_secs_f64() / book.len() as f64;
+                    fused += book.len();
+                    for (&i, r) in fusable.iter().zip(results) {
+                        slots[i] = Some(PriceReport {
+                            price: r.price,
+                            std_error: Some(r.std_error),
+                            time: None,
+                            plan_seconds: plan_s,
+                            execute_seconds: exec_share,
+                            wall_seconds: plan_s + exec_share,
+                            engine,
+                        });
+                    }
+                }
+                for &i in &rest {
+                    let t1 = Instant::now();
+                    let r = if parallel {
+                        mc_plan.execute_rayon(&products[i])?
+                    } else {
+                        mc_plan.execute(&products[i])?
+                    };
+                    let exec_s = t1.elapsed().as_secs_f64();
+                    slots[i] = Some(PriceReport {
+                        price: r.price,
+                        std_error: Some(r.std_error),
+                        time: None,
+                        plan_seconds: plan_s,
+                        execute_seconds: exec_s,
+                        wall_seconds: plan_s + exec_s,
+                        engine,
+                    });
+                }
+                reports = slots
+                    .into_iter()
+                    .map(|r| r.expect("every index filled"))
+                    .collect();
+            }
+            GroupPlan::Generic(pricer_plan) => {
+                for p in products {
+                    let mut rep = pricer_plan.execute(p)?;
+                    rep.plan_seconds = plan_s;
+                    rep.wall_seconds = plan_s + rep.execute_seconds;
+                    reports.push(rep);
+                }
+            }
+        }
+        Ok((reports, fused))
     }
 
     /// Price every product of the book on one market.
@@ -84,137 +302,32 @@ impl Portfolio {
     ) -> Result<BatchReport, PriceError> {
         let t_total = Instant::now();
         let mut reports: Vec<Option<PriceReport>> = vec![None; products.len()];
-        // Group by plan key — the maturity, bit-exact. Order within a
-        // group follows input order.
+        // Group by plan key. Order within a group follows input order.
         let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
         for (i, p) in products.iter().enumerate() {
-            let key = p.maturity.to_bits();
+            let key = self.group_key(p);
             match groups.iter_mut().find(|(k, _)| *k == key) {
                 Some((_, v)) => v.push(i),
                 None => groups.push((key, vec![i])),
             }
         }
 
-        let parallel = matches!(self.pricer.backend_ref(), Backend::Rayon);
         let mut plan_seconds = 0.0;
         let mut plans_built = 0usize;
         let mut fused = 0usize;
 
         for (_, idxs) in &groups {
             let maturity = products[idxs[0]].maturity;
-            match (self.pricer.method(), self.pricer.backend_ref()) {
-                (Method::Fd1d(cfg), Backend::Sequential | Backend::Rayon)
-                    if ladder_eligible(cfg, products, idxs) =>
-                {
-                    let t0 = Instant::now();
-                    let plan = cfg.plan(market, maturity)?;
-                    let plan_s = t0.elapsed().as_secs_f64();
-                    plan_seconds += plan_s;
-                    plans_built += 1;
-                    let group: Vec<Product> = idxs.iter().map(|&i| products[i].clone()).collect();
-                    let t1 = Instant::now();
-                    let prices: Vec<f64> = if parallel && group.len() > 1 {
-                        // Lanes are independent, so chunked ladders are
-                        // bitwise-equal to one wide ladder.
-                        let n_chunks = group.len().div_ceil(FD_LADDER_CHUNK);
-                        let chunk_prices: Vec<Result<Vec<f64>, mdp_pde::PdeError>> = (0..n_chunks)
-                            .into_par_iter()
-                            .map(|c| {
-                                let lo = c * FD_LADDER_CHUNK;
-                                let hi = (lo + FD_LADDER_CHUNK).min(group.len());
-                                let mut scratch = Fd1dLadderScratch::default();
-                                plan.execute_ladder(&group[lo..hi], &mut scratch)
-                                    .map(|r| r.prices)
-                            })
-                            .collect();
-                        let mut all = Vec::with_capacity(group.len());
-                        for r in chunk_prices {
-                            all.extend(r?);
-                        }
-                        all
-                    } else {
-                        let mut scratch = Fd1dLadderScratch::default();
-                        plan.execute_ladder(&group, &mut scratch)?.prices
-                    };
-                    let exec_share = t1.elapsed().as_secs_f64() / group.len() as f64;
-                    fused += group.len();
-                    for (&i, price) in idxs.iter().zip(prices) {
-                        reports[i] = Some(PriceReport {
-                            price,
-                            std_error: None,
-                            time: None,
-                            plan_seconds: plan_s,
-                            execute_seconds: exec_share,
-                            wall_seconds: plan_s + exec_share,
-                            engine: self.pricer.method().name(),
-                        });
-                    }
-                }
-                (Method::MonteCarlo(cfg), Backend::Sequential | Backend::Rayon) => {
-                    let t0 = Instant::now();
-                    let plan = McEngine::new(*cfg).plan(market, maturity)?;
-                    let plan_s = t0.elapsed().as_secs_f64();
-                    plan_seconds += plan_s;
-                    plans_built += 1;
-                    let (fusable, rest): (Vec<usize>, Vec<usize>) = idxs
-                        .iter()
-                        .partition(|&&i| plan.check_fusable(&products[i]).is_ok());
-                    if !fusable.is_empty() {
-                        let book: Vec<Product> =
-                            fusable.iter().map(|&i| products[i].clone()).collect();
-                        let t1 = Instant::now();
-                        let results = plan.execute_multi(&book, parallel)?;
-                        let exec_share = t1.elapsed().as_secs_f64() / book.len() as f64;
-                        fused += book.len();
-                        for (&i, r) in fusable.iter().zip(results) {
-                            reports[i] = Some(PriceReport {
-                                price: r.price,
-                                std_error: Some(r.std_error),
-                                time: None,
-                                plan_seconds: plan_s,
-                                execute_seconds: exec_share,
-                                wall_seconds: plan_s + exec_share,
-                                engine: self.pricer.method().name(),
-                            });
-                        }
-                    }
-                    for &i in &rest {
-                        let t1 = Instant::now();
-                        let r = if parallel {
-                            plan.execute_rayon(&products[i])?
-                        } else {
-                            plan.execute(&products[i])?
-                        };
-                        let exec_s = t1.elapsed().as_secs_f64();
-                        reports[i] = Some(PriceReport {
-                            price: r.price,
-                            std_error: Some(r.std_error),
-                            time: None,
-                            plan_seconds: plan_s,
-                            execute_seconds: exec_s,
-                            wall_seconds: plan_s + exec_s,
-                            engine: self.pricer.method().name(),
-                        });
-                    }
-                }
-                _ => {
-                    // Plan once per group (a no-op for one-shot paths),
-                    // execute per product. A PSOR-American FD book on
-                    // the rayon backend drops to the sequential
-                    // per-product path — the facade has no rayon FD.
-                    let pricer = match (self.pricer.method(), self.pricer.backend_ref()) {
-                        (Method::Fd1d(_), Backend::Rayon) => {
-                            self.pricer.clone().backend(Backend::Sequential)
-                        }
-                        _ => self.pricer.clone(),
-                    };
-                    let mut plan = pricer.plan(market, maturity)?;
-                    plan_seconds += plan.plan_seconds();
-                    plans_built += 1;
-                    for &i in idxs {
-                        reports[i] = Some(plan.execute(&products[i])?);
-                    }
-                }
+            let t0 = Instant::now();
+            let mut plan = self.plan_group(market, maturity)?;
+            let plan_s = t0.elapsed().as_secs_f64();
+            plan_seconds += plan_s;
+            plans_built += 1;
+            let group: Vec<Product> = idxs.iter().map(|&i| products[i].clone()).collect();
+            let (group_reports, group_fused) = self.execute_group(&mut plan, &group, plan_s)?;
+            fused += group_fused;
+            for (&i, rep) in idxs.iter().zip(group_reports) {
+                reports[i] = Some(rep);
             }
         }
 
@@ -233,12 +346,12 @@ impl Portfolio {
 /// The ladder kernel covers every product of the group unless the
 /// config demands PSOR for an American product (PSOR iteration counts
 /// are payoff-dependent, so lanes would interact).
-fn ladder_eligible(cfg: &mdp_pde::Fd1d, products: &[Product], idxs: &[usize]) -> bool {
+fn ladder_eligible(cfg: &mdp_pde::Fd1d, products: &[Product]) -> bool {
     let psor = matches!(cfg.american, AmericanMethod::Psor { .. });
     !psor
-        || idxs
+        || products
             .iter()
-            .all(|&i| products[i].exercise == ExerciseStyle::European)
+            .all(|p| p.exercise == ExerciseStyle::European)
 }
 
 #[cfg(test)]
@@ -400,6 +513,59 @@ mod tests {
             let solo = pricer.price(&market, p).unwrap();
             assert_eq!(rep.price.to_bits(), solo.price.to_bits());
             assert!(rep.time.is_some());
+        }
+    }
+
+    #[test]
+    fn group_key_separates_configs_sharing_a_maturity() {
+        // Regression for the grouping key: two engine configurations on
+        // the same maturity must never land in one group. The key mixes
+        // Method::cache_key, so portfolios with different configs (or
+        // different engines) produce disjoint keys for the same product.
+        let p = Product::european(
+            Payoff::BasketCall {
+                weights: vec![1.0],
+                strike: 100.0,
+            },
+            1.0,
+        );
+        let coarse = Portfolio::new(Pricer::new(Method::Fd1d(Fd1d {
+            space_points: 201,
+            ..Fd1d::default()
+        })));
+        let fine = Portfolio::new(Pricer::new(Method::Fd1d(Fd1d::default())));
+        let mc = Portfolio::new(Pricer::new(Method::monte_carlo(10_000)));
+        assert_ne!(coarse.group_key(&p), fine.group_key(&p));
+        assert_ne!(fine.group_key(&p), mc.group_key(&p));
+        // Same config, same maturity: same key.
+        let fine2 = Portfolio::new(Pricer::new(Method::Fd1d(Fd1d::default())));
+        assert_eq!(fine.group_key(&p), fine2.group_key(&p));
+        // Each batch still prices with its own configuration, matching
+        // its own one-shot loop bitwise.
+        let market = GbmMarket::single(100.0, 0.2, 0.0, 0.05).unwrap();
+        let book = vec![p.clone()];
+        for pf in [&coarse, &fine] {
+            let batch = pf.price_batch(&market, &book).unwrap();
+            let solo = pf.pricer().price(&market, &p).unwrap();
+            assert_eq!(batch.reports[0].price.to_bits(), solo.price.to_bits());
+        }
+        let a = coarse.price_batch(&market, &book).unwrap().reports[0].price;
+        let b = fine.price_batch(&market, &book).unwrap().reports[0].price;
+        assert_ne!(a.to_bits(), b.to_bits(), "configs must stay distinguishable");
+    }
+
+    #[test]
+    fn cached_group_plan_clone_executes_bitwise_identically() {
+        // The serve-layer plan cache hands out clones: a cloned plan
+        // must execute bit-identically to the original.
+        let (market, products) = ladder_book(5);
+        let portfolio = Portfolio::new(Pricer::new(Method::Fd1d(Fd1d::default())));
+        let mut plan = portfolio.plan_group(&market, 1.0).unwrap();
+        let mut cloned = plan.clone();
+        let (a, _) = portfolio.execute_group(&mut plan, &products, 0.0).unwrap();
+        let (b, _) = portfolio.execute_group(&mut cloned, &products, 0.0).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.price.to_bits(), y.price.to_bits());
         }
     }
 }

@@ -84,6 +84,124 @@ impl Method {
         Method::MultiLattice { steps }
     }
 
+    /// A bit-exact 64-bit fingerprint of the engine identity and its
+    /// full configuration.
+    ///
+    /// Two methods hash equal iff they are the same engine with every
+    /// configuration field bitwise-identical (floats compared by IEEE
+    /// bit pattern). Together with [`mdp_model::GbmMarket::cache_key`]
+    /// and the maturity bits this forms the plan-cache / coalescing key:
+    /// equal keys guarantee the compiled plans are interchangeable
+    /// bit for bit, and differing configurations can never share a plan.
+    pub fn cache_key(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut eat = |word: u64| {
+            for b in word.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        match self {
+            Method::Analytic => eat(0),
+            Method::Binomial { steps, kind } => {
+                eat(1);
+                eat(*steps as u64);
+                eat(match kind {
+                    BinomialKind::CoxRossRubinstein => 0,
+                    BinomialKind::JarrowRudd => 1,
+                    BinomialKind::Tian => 2,
+                });
+            }
+            Method::Trinomial { steps } => {
+                eat(2);
+                eat(*steps as u64);
+            }
+            Method::MultiLattice { steps } => {
+                eat(3);
+                eat(*steps as u64);
+            }
+            Method::MonteCarlo(cfg) => {
+                eat(4);
+                eat(cfg.paths);
+                eat(cfg.steps as u64);
+                eat(cfg.seed);
+                eat(match cfg.variance_reduction {
+                    mdp_mc::VarianceReduction::None => 0,
+                    mdp_mc::VarianceReduction::Antithetic => 1,
+                    mdp_mc::VarianceReduction::GeometricCv => 2,
+                });
+                eat(cfg.block_size);
+            }
+            Method::Qmc(cfg) => {
+                eat(5);
+                eat(cfg.points);
+                eat(cfg.steps as u64);
+                eat(cfg.replicates as u64);
+                eat(cfg.seed);
+                eat(cfg.brownian_bridge as u64);
+                eat(match cfg.sequence {
+                    mdp_mc::qmc::QmcSequence::Sobol => 0,
+                    mdp_mc::qmc::QmcSequence::Halton => 1,
+                });
+            }
+            Method::Lsmc(cfg) => {
+                eat(6);
+                eat(cfg.paths);
+                eat(cfg.steps as u64);
+                eat(cfg.seed);
+                eat(cfg.degree as u64);
+                eat(match cfg.basis {
+                    mdp_math::poly::BasisKind::Monomial => 0,
+                    mdp_math::poly::BasisKind::Laguerre => 1,
+                    mdp_math::poly::BasisKind::Hermite => 2,
+                });
+                eat(cfg.ridge.to_bits());
+                eat(cfg.block_size);
+            }
+            Method::Fd1d(cfg) => {
+                eat(7);
+                eat(cfg.space_points as u64);
+                eat(cfg.time_steps as u64);
+                eat(cfg.width.to_bits());
+                eat(match cfg.scheme {
+                    Scheme::Explicit => 0,
+                    Scheme::CrankNicolson => 1,
+                });
+                match cfg.american {
+                    mdp_pde::AmericanMethod::Projection => eat(0),
+                    mdp_pde::AmericanMethod::Psor {
+                        omega,
+                        tol,
+                        max_iter,
+                    } => {
+                        eat(1);
+                        eat(omega.to_bits());
+                        eat(tol.to_bits());
+                        eat(max_iter as u64);
+                    }
+                }
+            }
+            Method::Adi2d(cfg) => {
+                eat(8);
+                eat(cfg.space_points as u64);
+                eat(cfg.time_steps as u64);
+                eat(cfg.width.to_bits());
+                eat(cfg.parallel as u64);
+                eat(match cfg.kernel {
+                    mdp_pde::AdiKernel::Blocked => 0,
+                    mdp_pde::AdiKernel::Scalar => 1,
+                });
+            }
+            Method::BarrierFd(cfg) => {
+                eat(9);
+                eat(cfg.space_points as u64);
+                eat(cfg.time_steps as u64);
+                eat(cfg.width.to_bits());
+            }
+        }
+        h
+    }
+
     /// Human-readable engine name.
     pub fn name(&self) -> &'static str {
         match self {

@@ -24,6 +24,8 @@ pub mod report;
 pub mod scaling;
 pub mod timing;
 
-pub use metrics::{efficiency, karp_flatt, speedup};
+pub use metrics::{
+    efficiency, karp_flatt, latency_summary, percentile_nearest_rank, speedup, LatencySummary,
+};
 pub use report::Table;
 pub use scaling::ScalingCurve;

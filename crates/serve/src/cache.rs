@@ -1,0 +1,159 @@
+//! The plan cache: LRU over compiled [`GroupPlan`]s.
+//!
+//! Keys are bit-exact ([`PlanKey`]), so a hit is *provably* the same
+//! plan the miss path would have built — handing out a clone and
+//! executing it is bitwise-identical to rebuilding, while paying
+//! `plan_seconds ≈ 0` instead of grid construction, operator assembly
+//! and Thomas/Cholesky factorization.
+
+use crate::coalesce::PlanKey;
+use mdp_core::GroupPlan;
+
+/// Hit/miss/eviction counters of a [`PlanCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to build.
+    pub misses: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hits over total lookups (0 when never used).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A least-recently-used cache of compiled group plans.
+///
+/// Deliberately a scan-based LRU over a small `Vec`: capacities are
+/// tens of entries (one per live `(market, maturity, config)` triple),
+/// where a linear scan beats hashing and keeps recency exact.
+#[derive(Debug)]
+pub struct PlanCache {
+    capacity: usize,
+    /// MRU at the back.
+    entries: Vec<(PlanKey, GroupPlan)>,
+    stats: CacheStats,
+}
+
+impl PlanCache {
+    /// Cache holding at most `capacity` plans (`0` disables storage —
+    /// every lookup misses and inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Look up a plan, refreshing its recency. Returns a clone — the
+    /// caller executes (and mutates scratch) on its own copy, so one
+    /// cached plan serves concurrent workers.
+    pub fn get(&mut self, key: &PlanKey) -> Option<GroupPlan> {
+        match self.entries.iter().position(|(k, _)| k == key) {
+            Some(i) => {
+                self.stats.hits += 1;
+                // Move to MRU position.
+                let entry = self.entries.remove(i);
+                let plan = entry.1.clone();
+                self.entries.push(entry);
+                Some(plan)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) a plan, evicting the least-recently-used
+    /// entry when over capacity.
+    pub fn insert(&mut self, key: PlanKey, plan: GroupPlan) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(i);
+        }
+        if self.entries.len() >= self.capacity {
+            self.entries.remove(0);
+            self.stats.evictions += 1;
+        }
+        self.entries.push((key, plan));
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Plans currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdp_core::prelude::*;
+    use std::sync::Arc;
+
+    fn plan_for(maturity: f64) -> (PlanKey, GroupPlan) {
+        let market = Arc::new(GbmMarket::single(100.0, 0.2, 0.0, 0.05).unwrap());
+        let portfolio = Portfolio::new(Pricer::new(Method::Fd1d(Fd1d::default())));
+        let key = crate::coalesce::PlanKey {
+            market: market.cache_key(),
+            maturity: maturity.to_bits(),
+            method: portfolio.pricer().method().cache_key(),
+        };
+        (key, portfolio.plan_group(&market, maturity).unwrap())
+    }
+
+    #[test]
+    fn lru_evicts_oldest_and_counts() {
+        let mut cache = PlanCache::new(2);
+        let (k1, p1) = plan_for(1.0);
+        let (k2, p2) = plan_for(2.0);
+        let (k3, p3) = plan_for(3.0);
+        assert!(cache.get(&k1).is_none());
+        cache.insert(k1, p1);
+        cache.insert(k2, p2);
+        assert!(cache.get(&k1).is_some()); // k1 is now MRU
+        cache.insert(k3, p3); // evicts k2 (LRU)
+        assert!(cache.get(&k2).is_none());
+        assert!(cache.get(&k1).is_some());
+        assert!(cache.get(&k3).is_some());
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.hits, 3);
+        assert_eq!(s.misses, 2);
+        assert!((s.hit_rate() - 3.0 / 5.0).abs() < 1e-12);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let mut cache = PlanCache::new(0);
+        let (k1, p1) = plan_for(1.0);
+        cache.insert(k1, p1);
+        assert!(cache.get(&k1).is_none());
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 1);
+    }
+}

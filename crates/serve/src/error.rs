@@ -1,0 +1,42 @@
+//! Typed service errors: admission-control sheds and lifecycle faults
+//! are first-class outcomes, never panics or silent queue growth.
+
+use mdp_core::PriceError;
+use std::fmt;
+
+/// Why the service could not take (or answer) a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Admission control shed the request: the bounded queue was full.
+    /// Callers retry, back off, or route elsewhere — latency never
+    /// collapses into an unbounded backlog.
+    Overloaded {
+        /// The queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The service is shut down (or shut down while the request was
+    /// waiting for its response).
+    Closed,
+    /// The pricing engine rejected the request.
+    Price(PriceError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { capacity } => {
+                write!(f, "overloaded: admission queue at capacity {capacity}")
+            }
+            ServeError::Closed => write!(f, "service closed"),
+            ServeError::Price(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<PriceError> for ServeError {
+    fn from(e: PriceError) -> Self {
+        ServeError::Price(e)
+    }
+}

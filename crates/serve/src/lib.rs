@@ -1,0 +1,67 @@
+//! # mdp-serve — pricing as a service
+//!
+//! A request-driven front end over the `mdp-core` pricing engines,
+//! built for the workload the one-option-at-a-time evaluation never
+//! faced: a burst of thousands of *independent* user requests. Three
+//! mechanisms make that burst price like one batched book instead of
+//! thousands of plan builds:
+//!
+//! * **Coalescing** — workers drain everything in flight and group it
+//!   by the bit-exact plan key ([`PlanKey`]: market fingerprint ×
+//!   maturity bits × engine-config fingerprint), then route each group
+//!   through the fused batch kernels ([`mdp_core::Portfolio`]'s
+//!   multi-RHS Thomas lanes and shared-path MC sweeps).
+//! * **Plan caching** — compiled [`mdp_core::GroupPlan`]s are kept in
+//!   an LRU ([`PlanCache`]) keyed by the same bit-exact identity; a hit
+//!   skips grid construction and factorization entirely
+//!   (`plan_seconds ≈ 0`).
+//! * **Admission control** — the queue is bounded; past capacity,
+//!   submissions shed with a typed [`ServeError::Overloaded`] instead
+//!   of collapsing into unbounded latency.
+//!
+//! All three are *scheduling* decisions: every response is
+//! bitwise-identical to a direct [`mdp_core::Pricer::price`] of the
+//! same request, whatever grouping, caching or shedding happened on the
+//! way.
+//!
+//! ```
+//! use mdp_serve::{PriceRequest, PricingService, ServeConfig};
+//! use mdp_core::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let market = Arc::new(GbmMarket::single(100.0, 0.2, 0.0, 0.05).unwrap());
+//! let service = PricingService::start(
+//!     Pricer::new(Method::Fd1d(Fd1d::default())),
+//!     ServeConfig::default(),
+//! );
+//! // A burst of independent strike requests coalesces into one fused
+//! // multi-RHS ladder behind the scenes.
+//! let tickets: Vec<_> = (0..32)
+//!     .map(|i| {
+//!         let product = Product::european(
+//!             Payoff::BasketCall { weights: vec![1.0], strike: 80.0 + i as f64 },
+//!             1.0,
+//!         );
+//!         service.submit(PriceRequest::new(i, Arc::clone(&market), product)).unwrap()
+//!     })
+//!     .collect();
+//! for t in tickets {
+//!     assert!(t.wait().unwrap().outcome.is_ok());
+//! }
+//! let stats = service.shutdown();
+//! assert_eq!(stats.completed, 32);
+//! ```
+
+pub mod cache;
+pub mod coalesce;
+pub mod error;
+pub mod request;
+pub mod service;
+pub mod stats;
+
+pub use cache::{CacheStats, PlanCache};
+pub use coalesce::PlanKey;
+pub use error::ServeError;
+pub use request::{PriceRequest, PriceResponse, ServeConfig, Ticket};
+pub use service::PricingService;
+pub use stats::ServiceStats;

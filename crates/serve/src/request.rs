@@ -1,0 +1,123 @@
+//! Request/response types and the service configuration.
+
+use crate::ServeError;
+use mdp_core::{Method, PriceError, PriceReport};
+use mdp_model::{GbmMarket, Product};
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
+
+/// One independent pricing request, as a user of the service would
+/// submit it: a market snapshot, a product, and optionally a method
+/// override (the service's configured method otherwise).
+#[derive(Debug, Clone)]
+pub struct PriceRequest {
+    /// Caller-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// The market snapshot to price on. `Arc` so a burst of requests on
+    /// one snapshot shares the data instead of cloning it per request.
+    pub market: Arc<GbmMarket>,
+    /// The product to price.
+    pub product: Product,
+    /// Engine override; `None` uses the service's configured method.
+    pub method: Option<Method>,
+}
+
+impl PriceRequest {
+    /// A request on the service's default method.
+    pub fn new(id: u64, market: Arc<GbmMarket>, product: Product) -> Self {
+        PriceRequest {
+            id,
+            market,
+            product,
+            method: None,
+        }
+    }
+
+    /// Same request with an engine override.
+    pub fn with_method(mut self, method: Method) -> Self {
+        self.method = Some(method);
+        self
+    }
+}
+
+/// The service's answer to one request, with the telemetry a latency
+/// report needs.
+#[derive(Debug, Clone)]
+pub struct PriceResponse {
+    /// The request's correlation id.
+    pub id: u64,
+    /// The pricing outcome. `Ok` reports are bitwise-identical to a
+    /// direct [`mdp_core::Pricer::price`] of the same request.
+    pub outcome: Result<PriceReport, PriceError>,
+    /// Seconds the request waited in the admission queue before a
+    /// worker drained it.
+    pub queue_seconds: f64,
+    /// Seconds from drain to response (plan lookup/build + execute,
+    /// amortised share of the request's coalesced group).
+    pub service_seconds: f64,
+    /// How many same-key requests the coalescer fused into the batch
+    /// this response rode in (1 = priced alone).
+    pub batch_size: usize,
+    /// Whether the plan came out of the cache (`plan` phase skipped).
+    pub cache_hit: bool,
+}
+
+impl PriceResponse {
+    /// End-to-end latency: queue wait plus service time.
+    pub fn latency_seconds(&self) -> f64 {
+        self.queue_seconds + self.service_seconds
+    }
+}
+
+/// A claim on a submitted request's future response.
+#[derive(Debug)]
+pub struct Ticket {
+    /// The request's correlation id.
+    pub id: u64,
+    pub(crate) rx: Receiver<PriceResponse>,
+}
+
+impl Ticket {
+    /// Block until the response arrives. [`ServeError::Closed`] if the
+    /// service shut down without answering.
+    pub fn wait(self) -> Result<PriceResponse, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::Closed)
+    }
+
+    /// Non-blocking poll; `None` while the request is still in flight.
+    pub fn try_wait(&self) -> Option<PriceResponse> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Service tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Bounded admission queue: submissions beyond this many in-flight
+    /// requests shed with [`ServeError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Coalesce drained requests into same-key groups routed through
+    /// the fused batch kernels. `false` is the naive pool-of-pricers
+    /// baseline: every request pays its own plan.
+    pub coalesce: bool,
+    /// Upper bound on requests one worker drains per cycle (bounds the
+    /// latency cost of riding a very large batch).
+    pub max_batch: usize,
+    /// Plan-cache capacity in entries (distinct `(market, maturity,
+    /// method)` keys); `0` disables caching. Ignored in naive mode.
+    pub plan_cache: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 4096,
+            coalesce: true,
+            max_batch: 256,
+            plan_cache: 64,
+        }
+    }
+}

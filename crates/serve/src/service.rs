@@ -1,0 +1,512 @@
+//! The service: a bounded admission queue drained by a worker pool,
+//! with coalesced batch execution and plan caching.
+//!
+//! ```text
+//! submit ──▶ [bounded queue] ──▶ worker: drain in-flight ─▶ coalesce by PlanKey
+//!    │                                   │                        │
+//!    └─ Overloaded (shed)                │                 ┌──────┴──────┐
+//!                                        │              cache hit    cache miss
+//!                                        │              (≈0 s)       (build+insert)
+//!                                        │                 └──────┬──────┘
+//!                                        ▼                        ▼
+//!                              naive: price per request   execute_group (fused
+//!                                                          multi-RHS / shared-path)
+//! ```
+//!
+//! Every response is bitwise-identical to a direct
+//! [`Pricer::price`] of the same request: coalescing, caching and
+//! shedding are purely scheduling decisions.
+
+use crate::cache::PlanCache;
+use crate::coalesce::{group_jobs, PlanKey};
+use crate::request::{PriceRequest, PriceResponse, ServeConfig, Ticket};
+use crate::stats::{Counters, ServiceStats};
+use crate::ServeError;
+use mdp_core::{Method, Portfolio, PriceReport, Pricer};
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One queued request with its routing key and response channel.
+#[derive(Debug)]
+pub(crate) struct Job {
+    pub req: PriceRequest,
+    pub key: PlanKey,
+    pub enqueued: Instant,
+    pub tx: Sender<PriceResponse>,
+}
+
+/// Queue state behind the mutex.
+#[derive(Debug)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// Shared state between the handle and the workers.
+struct Inner {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    cfg: ServeConfig,
+    base: Pricer,
+    cache: Mutex<PlanCache>,
+    counters: Counters,
+    /// Accumulated plan seconds, split by hit/miss, stored as nanos in
+    /// the atomic counters (f64 totals derived at snapshot time).
+    _priv: (),
+}
+
+/// The pricing service handle: submit requests, read stats, shut down.
+///
+/// Dropping the handle closes the queue and joins the workers (pending
+/// requests are drained and answered first).
+pub struct PricingService {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for PricingService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PricingService")
+            .field("cfg", &self.inner.cfg)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl PricingService {
+    /// Start a service pricing with `pricer` (method + backend) under
+    /// the given configuration.
+    pub fn start(pricer: Pricer, cfg: ServeConfig) -> Self {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            cfg,
+            base: pricer,
+            cache: Mutex::new(PlanCache::new(if cfg.coalesce { cfg.plan_cache } else { 0 })),
+            counters: Counters::default(),
+            _priv: (),
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(inner))
+            })
+            .collect();
+        PricingService { inner, workers }
+    }
+
+    /// Submit a request. Returns a [`Ticket`] to wait on, or sheds with
+    /// [`ServeError::Overloaded`] when the bounded queue is full.
+    pub fn submit(&self, req: PriceRequest) -> Result<Ticket, ServeError> {
+        let method = self.method_of(&req);
+        let key = PlanKey::of(&req.market, &req.product, &method);
+        let (tx, rx) = channel();
+        let id = req.id;
+        {
+            let mut state = self.inner.state.lock().expect("queue poisoned");
+            if state.closed {
+                return Err(ServeError::Closed);
+            }
+            if state.jobs.len() >= self.inner.cfg.queue_capacity {
+                self.inner
+                    .counters
+                    .add(&self.inner.counters.shed, 1);
+                return Err(ServeError::Overloaded {
+                    capacity: self.inner.cfg.queue_capacity,
+                });
+            }
+            state.jobs.push_back(Job {
+                req,
+                key,
+                enqueued: Instant::now(),
+                tx,
+            });
+        }
+        self.inner.counters.add(&self.inner.counters.submitted, 1);
+        self.inner.cv.notify_one();
+        Ok(Ticket { id, rx })
+    }
+
+    /// Submit and block for the response (convenience for synchronous
+    /// callers; sheds exactly like [`PricingService::submit`]).
+    pub fn price(&self, req: PriceRequest) -> Result<PriceResponse, ServeError> {
+        self.submit(req)?.wait()
+    }
+
+    /// A snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        let c = &self.inner.counters;
+        ServiceStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            errors: c.errors.load(Ordering::Relaxed),
+            groups: c.groups.load(Ordering::Relaxed),
+            grouped_requests: c.grouped_requests.load(Ordering::Relaxed),
+            fused: c.fused.load(Ordering::Relaxed),
+            cache: self.inner.cache.lock().expect("cache poisoned").stats(),
+            plan_seconds_hit: c.plan_nanos_hit.load(Ordering::Relaxed) as f64 * 1e-9,
+            plan_seconds_miss: c.plan_nanos_miss.load(Ordering::Relaxed) as f64 * 1e-9,
+        }
+    }
+
+    /// Close the queue, drain pending requests, join the workers and
+    /// return the final counters.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.close_and_join();
+        self.stats()
+    }
+
+    fn close_and_join(&mut self) {
+        {
+            let mut state = self.inner.state.lock().expect("queue poisoned");
+            state.closed = true;
+        }
+        self.inner.cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    fn method_of(&self, req: &PriceRequest) -> Method {
+        req.method
+            .clone()
+            .unwrap_or_else(|| self.inner.base.method().clone())
+    }
+}
+
+impl Drop for PricingService {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+fn worker_loop(inner: Arc<Inner>) {
+    loop {
+        let batch: Vec<Job> = {
+            let mut state = inner.state.lock().expect("queue poisoned");
+            loop {
+                if !state.jobs.is_empty() {
+                    break;
+                }
+                if state.closed {
+                    return;
+                }
+                state = inner.cv.wait(state).expect("queue poisoned");
+            }
+            let take = if inner.cfg.coalesce {
+                inner.cfg.max_batch.max(1).min(state.jobs.len())
+            } else {
+                1
+            };
+            state.jobs.drain(..take).collect()
+        };
+        // More work may remain; wake a sibling before pricing.
+        inner.cv.notify_one();
+        let drained = Instant::now();
+        if inner.cfg.coalesce {
+            serve_coalesced(&inner, batch, drained);
+        } else {
+            serve_naive(&inner, batch, drained);
+        }
+    }
+}
+
+/// The pool-of-pricers baseline: each request pays its own plan build,
+/// exactly as a per-request `Pricer::price` loop would.
+fn serve_naive(inner: &Inner, batch: Vec<Job>, drained: Instant) {
+    for job in batch {
+        let queue_seconds = (drained - job.enqueued).as_secs_f64();
+        let pricer = pricer_for(inner, &job);
+        let t0 = Instant::now();
+        let outcome = pricer.price(&job.req.market, &job.req.product);
+        let service_seconds = t0.elapsed().as_secs_f64();
+        respond(
+            inner,
+            job,
+            outcome,
+            queue_seconds,
+            service_seconds,
+            1,
+            false,
+        );
+    }
+}
+
+/// The coalesced path: group by plan key, fetch or build the group
+/// plan, execute the group through the fused kernels.
+fn serve_coalesced(inner: &Inner, batch: Vec<Job>, drained: Instant) {
+    for (key, jobs) in group_jobs(batch) {
+        let n = jobs.len();
+        inner.counters.add(&inner.counters.groups, 1);
+        inner
+            .counters
+            .add(&inner.counters.grouped_requests, n as u64);
+        let portfolio = Portfolio::new(pricer_for(inner, &jobs[0]));
+        let market = Arc::clone(&jobs[0].req.market);
+        let maturity = jobs[0].req.product.maturity;
+
+        // Plan phase: cache hit (≈ 0 s) or build-and-insert.
+        let t_plan = Instant::now();
+        let cached = inner.cache.lock().expect("cache poisoned").get(&key);
+        let cache_hit = cached.is_some();
+        let plan = match cached {
+            Some(plan) => Ok(plan),
+            None => portfolio.plan_group(&market, maturity).inspect(|plan| {
+                let mut cache = inner.cache.lock().expect("cache poisoned");
+                cache.insert(key, plan.clone());
+            }),
+        };
+        let plan_s = t_plan.elapsed().as_secs_f64();
+        let nanos = (plan_s * 1e9) as u64;
+        if cache_hit {
+            inner.counters.add(&inner.counters.plan_nanos_hit, nanos);
+        } else {
+            inner.counters.add(&inner.counters.plan_nanos_miss, nanos);
+        }
+
+        let mut plan = match plan {
+            Ok(plan) => plan,
+            Err(e) => {
+                // The plan is payoff-independent: a build failure fails
+                // every request of the group identically, exactly as
+                // per-request plans would have.
+                for job in jobs {
+                    let queue_seconds = (drained - job.enqueued).as_secs_f64();
+                    respond(inner, job, Err(e.clone()), queue_seconds, plan_s, n, false);
+                }
+                continue;
+            }
+        };
+
+        let products: Vec<_> = jobs.iter().map(|j| j.req.product.clone()).collect();
+        let t_exec = Instant::now();
+        match portfolio.execute_group(&mut plan, &products, plan_s) {
+            Ok((reports, fused)) => {
+                inner.counters.add(&inner.counters.fused, fused as u64);
+                let exec_share = t_exec.elapsed().as_secs_f64() / n as f64;
+                for (job, report) in jobs.into_iter().zip(reports) {
+                    let queue_seconds = (drained - job.enqueued).as_secs_f64();
+                    respond(
+                        inner,
+                        job,
+                        Ok(report),
+                        queue_seconds,
+                        plan_s + exec_share,
+                        n,
+                        cache_hit,
+                    );
+                }
+            }
+            Err(_) => {
+                // A poison product fails group execution; isolate it by
+                // falling back to per-request pricing so every innocent
+                // neighbour still gets its (bitwise-identical) answer.
+                for job in jobs {
+                    let queue_seconds = (drained - job.enqueued).as_secs_f64();
+                    let pricer = pricer_for(inner, &job);
+                    let t0 = Instant::now();
+                    let outcome = pricer.price(&job.req.market, &job.req.product);
+                    let service_seconds = t0.elapsed().as_secs_f64();
+                    respond(inner, job, outcome, queue_seconds, service_seconds, n, false);
+                }
+            }
+        }
+    }
+}
+
+fn pricer_for(inner: &Inner, job: &Job) -> Pricer {
+    match &job.req.method {
+        None => inner.base.clone(),
+        Some(m) => Pricer::new(m.clone()).backend(inner.base.backend_ref()),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn respond(
+    inner: &Inner,
+    job: Job,
+    outcome: Result<PriceReport, mdp_core::PriceError>,
+    queue_seconds: f64,
+    service_seconds: f64,
+    batch_size: usize,
+    cache_hit: bool,
+) {
+    if outcome.is_err() {
+        inner.counters.add(&inner.counters.errors, 1);
+    }
+    inner.counters.add(&inner.counters.completed, 1);
+    // A dropped ticket just means the caller stopped waiting.
+    let _ = job.tx.send(PriceResponse {
+        id: job.req.id,
+        outcome,
+        queue_seconds,
+        service_seconds,
+        batch_size,
+        cache_hit,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdp_core::prelude::*;
+    use mdp_model::Payoff;
+
+    fn market() -> Arc<GbmMarket> {
+        Arc::new(GbmMarket::single(100.0, 0.2, 0.0, 0.05).unwrap())
+    }
+
+    fn call(id: u64, strike: f64) -> PriceRequest {
+        PriceRequest::new(
+            id,
+            market(),
+            Product::european(
+                Payoff::BasketCall {
+                    weights: vec![1.0],
+                    strike,
+                },
+                1.0,
+            ),
+        )
+    }
+
+    #[test]
+    fn responses_match_direct_pricing_bitwise() {
+        let pricer = Pricer::new(Method::Fd1d(Fd1d::default()));
+        let service = PricingService::start(pricer.clone(), ServeConfig::default());
+        let tickets: Vec<_> = (0..16)
+            .map(|i| service.submit(call(i, 80.0 + 2.5 * i as f64)).unwrap())
+            .collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            let resp = t.wait().unwrap();
+            assert_eq!(resp.id, i as u64);
+            let direct = pricer
+                .price(&market(), &call(resp.id, 80.0 + 2.5 * i as f64).product)
+                .unwrap();
+            assert_eq!(
+                resp.outcome.unwrap().price.to_bits(),
+                direct.price.to_bits()
+            );
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 16);
+        assert_eq!(stats.shed, 0);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_with_typed_error() {
+        // No workers can drain while we hold submissions faster than
+        // pricing: capacity 2 with slow FD plans forces a shed.
+        let cfg = ServeConfig {
+            workers: 1,
+            queue_capacity: 2,
+            ..Default::default()
+        };
+        let service = PricingService::start(
+            Pricer::new(Method::Fd1d(Fd1d {
+                space_points: 2001,
+                time_steps: 2000,
+                ..Fd1d::default()
+            })),
+            cfg,
+        );
+        let mut shed = 0;
+        let mut tickets = Vec::new();
+        for i in 0..64 {
+            match service.submit(call(i, 100.0)) {
+                Ok(t) => tickets.push(t),
+                Err(ServeError::Overloaded { capacity }) => {
+                    assert_eq!(capacity, 2);
+                    shed += 1;
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(shed > 0, "queue of 2 must shed under a 64-burst");
+        for t in tickets {
+            assert!(t.wait().unwrap().outcome.is_ok());
+        }
+        assert_eq!(service.stats().shed, shed);
+    }
+
+    #[test]
+    fn cache_hits_after_first_group_and_plan_time_collapses() {
+        let service = PricingService::start(
+            Pricer::new(Method::Fd1d(Fd1d::default())),
+            ServeConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        // First burst builds the plan; the follow-ups hit the cache.
+        for round in 0..3 {
+            let tickets: Vec<_> = (0..8)
+                .map(|i| service.submit(call(round * 8 + i, 90.0 + i as f64)).unwrap())
+                .collect();
+            for t in tickets {
+                t.wait().unwrap();
+            }
+        }
+        let stats = service.shutdown();
+        assert!(stats.cache.hits >= 1, "repeat bursts must hit: {stats:?}");
+        assert_eq!(stats.cache.misses, 1);
+        // The hit path skips plan construction entirely.
+        assert!(
+            stats.cache.hits == 0
+                || stats.mean_plan_seconds_hit() < stats.mean_plan_seconds_miss(),
+            "hit plan time {} !< miss plan time {}",
+            stats.mean_plan_seconds_hit(),
+            stats.mean_plan_seconds_miss()
+        );
+    }
+
+    #[test]
+    fn poison_request_does_not_fail_neighbours() {
+        let service = PricingService::start(
+            Pricer::new(Method::Fd1d(Fd1d::default())),
+            ServeConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        // An Asian payoff is path-dependent: FD rejects it at execute.
+        let poison = PriceRequest::new(
+            99,
+            market(),
+            Product::european(Payoff::AsianCall { strike: 100.0 }, 1.0),
+        );
+        let good = call(1, 100.0);
+        let t_poison = service.submit(poison).unwrap();
+        let t_good = service.submit(good).unwrap();
+        assert!(t_poison.wait().unwrap().outcome.is_err());
+        let good_resp = t_good.wait().unwrap();
+        assert!(good_resp.outcome.is_ok(), "neighbour must still price");
+        let stats = service.shutdown();
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.completed, 2);
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_closed() {
+        let service = PricingService::start(
+            Pricer::new(Method::Analytic),
+            ServeConfig::default(),
+        );
+        {
+            let mut state = service.inner.state.lock().unwrap();
+            state.closed = true;
+        }
+        assert!(matches!(
+            service.submit(call(0, 100.0)),
+            Err(ServeError::Closed)
+        ));
+    }
+}

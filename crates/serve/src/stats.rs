@@ -1,0 +1,81 @@
+//! Service-level counters, kept as atomics on the hot path and read
+//! out as a consistent-enough snapshot for reports.
+
+use crate::cache::CacheStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal atomic counters (one instance shared by all workers).
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub submitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub shed: AtomicU64,
+    pub errors: AtomicU64,
+    pub groups: AtomicU64,
+    pub grouped_requests: AtomicU64,
+    pub fused: AtomicU64,
+    pub plan_nanos_hit: AtomicU64,
+    pub plan_nanos_miss: AtomicU64,
+}
+
+impl Counters {
+    pub fn add(&self, c: &AtomicU64, v: u64) {
+        c.fetch_add(v, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time snapshot of the service's counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Responses delivered (including per-request errors).
+    pub completed: u64,
+    /// Requests shed by admission control ([`crate::ServeError::Overloaded`]).
+    pub shed: u64,
+    /// Responses whose outcome was a pricing error.
+    pub errors: u64,
+    /// Coalesced groups executed.
+    pub groups: u64,
+    /// Requests that rode coalesced groups (group sizes summed).
+    pub grouped_requests: u64,
+    /// Requests priced through a fused multi-product kernel.
+    pub fused: u64,
+    /// Plan-cache counters.
+    pub cache: CacheStats,
+    /// Total seconds spent on the plan phase across cache **hits**
+    /// (lookup + clone — the `plan_seconds ≈ 0` path).
+    pub plan_seconds_hit: f64,
+    /// Total seconds spent on the plan phase across cache misses
+    /// (actual plan builds).
+    pub plan_seconds_miss: f64,
+}
+
+impl ServiceStats {
+    /// Mean requests per coalesced group (1.0 when nothing grouped).
+    pub fn mean_batch(&self) -> f64 {
+        if self.groups == 0 {
+            1.0
+        } else {
+            self.grouped_requests as f64 / self.groups as f64
+        }
+    }
+
+    /// Mean plan seconds on the cache-hit path.
+    pub fn mean_plan_seconds_hit(&self) -> f64 {
+        if self.cache.hits == 0 {
+            0.0
+        } else {
+            self.plan_seconds_hit / self.cache.hits as f64
+        }
+    }
+
+    /// Mean plan seconds on the build (miss) path.
+    pub fn mean_plan_seconds_miss(&self) -> f64 {
+        if self.cache.misses == 0 {
+            0.0
+        } else {
+            self.plan_seconds_miss / self.cache.misses as f64
+        }
+    }
+}

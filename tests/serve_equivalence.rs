@@ -1,0 +1,177 @@
+//! Property suite for the serving layer: whatever the coalescer, plan
+//! cache and admission control do to *schedule* a burst, every response
+//! must be bitwise-identical to pricing the same request directly with
+//! a sequential [`Pricer::price`] loop.
+
+use mdp_core::prelude::*;
+use mdp_serve::{PriceRequest, PricingService, ServeConfig, ServeError, Ticket};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Build the request burst one case draws: a mix of engine configs
+/// (two FD grids and an MC config — two of them sharing every maturity,
+/// so grouping by maturity alone would mix plans), strikes and two
+/// maturities on one market snapshot.
+fn burst(
+    spot: f64,
+    vol: f64,
+    rate: f64,
+    strikes: &[f64],
+) -> (Arc<GbmMarket>, Vec<PriceRequest>, Vec<Pricer>) {
+    let market = Arc::new(GbmMarket::single(spot, vol, 0.0, rate).unwrap());
+    let methods = [
+        Method::Fd1d(Fd1d::default()),
+        Method::Fd1d(Fd1d {
+            space_points: 201,
+            time_steps: 200,
+            ..Fd1d::default()
+        }),
+        Method::MonteCarlo(McConfig {
+            paths: 4_000,
+            block_size: 1_000,
+            ..Default::default()
+        }),
+    ];
+    let mut requests = Vec::new();
+    let mut pricers = Vec::new();
+    for (i, &strike) in strikes.iter().enumerate() {
+        let maturity = if i % 2 == 0 { 1.0 } else { 0.5 };
+        let product = Product::european(
+            Payoff::BasketCall {
+                weights: vec![1.0],
+                strike,
+            },
+            maturity,
+        );
+        let method = methods[i % methods.len()].clone();
+        requests.push(
+            PriceRequest::new(i as u64, Arc::clone(&market), product).with_method(method.clone()),
+        );
+        pricers.push(Pricer::new(method));
+    }
+    (market, requests, pricers)
+}
+
+/// Wait on every ticket and check each response against the direct
+/// sequential price, bit for bit.
+fn assert_bitwise(
+    tickets: Vec<(usize, Ticket)>,
+    market: &GbmMarket,
+    requests: &[PriceRequest],
+    pricers: &[Pricer],
+) -> Result<(), TestCaseError> {
+    for (i, t) in tickets {
+        let resp = t.wait().expect("service answered");
+        prop_assert_eq!(resp.id, i as u64);
+        let served = resp.outcome.expect("pricing succeeded");
+        let direct = pricers[i].price(market, &requests[i].product).unwrap();
+        prop_assert_eq!(
+            served.price.to_bits(),
+            direct.price.to_bits(),
+            "request {} diverged: served {} vs direct {}",
+            i,
+            served.price,
+            direct.price
+        );
+        match (served.std_error, direct.std_error) {
+            (Some(a), Some(b)) => prop_assert_eq!(a.to_bits(), b.to_bits()),
+            (None, None) => {}
+            (a, b) => prop_assert!(false, "std_error mismatch: {:?} vs {:?}", a, b),
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Coalesced service == sequential per-request loop, bitwise — for
+    /// random bursts mixing configs that share maturities (the grouping
+    /// key must keep them apart) across two workers.
+    #[test]
+    fn coalesced_burst_matches_sequential_pricing_bitwise(
+        spot in 60.0f64..160.0,
+        vol in 0.1f64..0.5,
+        rate in 0.0f64..0.1,
+        strikes in prop::collection::vec(70.0f64..130.0, 1..16),
+    ) {
+        let (market, requests, pricers) = burst(spot, vol, rate, &strikes);
+        let service = PricingService::start(
+            Pricer::new(Method::Fd1d(Fd1d::default())),
+            ServeConfig { workers: 2, ..Default::default() },
+        );
+        let tickets: Vec<_> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i, service.submit(r.clone()).unwrap()))
+            .collect();
+        assert_bitwise(tickets, &market, &requests, &pricers)?;
+        service.shutdown();
+    }
+
+    /// A repeated burst rides the plan cache; hits stay bitwise-equal
+    /// to direct pricing and the hit path skips plan construction.
+    #[test]
+    fn cache_hits_stay_bitwise_identical(
+        spot in 60.0f64..160.0,
+        vol in 0.1f64..0.5,
+        strikes in prop::collection::vec(70.0f64..130.0, 2..10),
+    ) {
+        let (market, requests, pricers) = burst(spot, vol, 0.03, &strikes);
+        let service = PricingService::start(
+            Pricer::new(Method::Fd1d(Fd1d::default())),
+            ServeConfig { workers: 1, ..Default::default() },
+        );
+        for round in 0..2 {
+            let tickets: Vec<_> = requests
+                .iter()
+                .enumerate()
+                .map(|(i, r)| (i, service.submit(r.clone()).unwrap()))
+                .collect();
+            assert_bitwise(tickets, &market, &requests, &pricers)?;
+            if round == 0 {
+                // Every plan the burst needs is now resident.
+                prop_assert!(service.stats().cache.misses >= 1);
+            }
+        }
+        let stats = service.shutdown();
+        prop_assert!(stats.cache.hits >= 1, "second round must hit: {:?}", stats.cache);
+    }
+
+    /// Under a tiny admission queue, submissions shed with the typed
+    /// Overloaded error; a retry loop converges and the eventual
+    /// responses are still bitwise-identical.
+    #[test]
+    fn shed_retry_stays_bitwise_identical(
+        spot in 60.0f64..160.0,
+        strikes in prop::collection::vec(70.0f64..130.0, 4..24),
+    ) {
+        let (market, requests, pricers) = burst(spot, 0.2, 0.05, &strikes);
+        let service = PricingService::start(
+            Pricer::new(Method::Fd1d(Fd1d::default())),
+            ServeConfig { workers: 1, queue_capacity: 2, ..Default::default() },
+        );
+        let mut sheds = 0u64;
+        let tickets: Vec<_> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                loop {
+                    match service.submit(r.clone()) {
+                        Ok(t) => break (i, t),
+                        Err(ServeError::Overloaded { capacity }) => {
+                            assert_eq!(capacity, 2);
+                            sheds += 1;
+                            std::thread::yield_now();
+                        }
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                }
+            })
+            .collect();
+        assert_bitwise(tickets, &market, &requests, &pricers)?;
+        let stats = service.shutdown();
+        prop_assert_eq!(stats.shed, sheds);
+        prop_assert_eq!(stats.completed, requests.len() as u64);
+    }
+}
