@@ -1453,3 +1453,332 @@ pub fn t11_serve(effort: Effort) {
     json.push_str("  ]\n}\n");
     let _ = std::fs::write(crate::out_dir().join("BENCH_serve.json"), json);
 }
+
+/// T12 — ticking-market incremental repricing and the scenario cube.
+///
+/// Part 1 replays a deterministic stream of one-field market ticks
+/// (spot and rate) against a live FD book. The incremental path patches
+/// the compiled group plan in place ([`GroupPlan::apply_tick`]) and
+/// re-executes the fused strike ladder; the naive path reprices the
+/// book product-by-product on every ticked market, rebuilding state
+/// from scratch each time — the pre-plan-cache serving behaviour. An
+/// untimed pass first asserts the patched plan reprices the whole book
+/// bitwise like a freshly compiled plan at every tick.
+///
+/// Part 2 reads whole-book risk off fused scenario cubes:
+///
+/// * **FD bump Greeks** — [`RiskCube::greeks`] (one plan, `4d + 2`
+///   scenario rows, spot rows fused into the multi-RHS panel) against
+///   the per-product [`Pricer::greeks`] loop, delta/gamma/vega/rho
+///   asserted bitwise-equal. (The loop also buys theta — one extra
+///   pricing in `4d + 4` — which the cube cannot express; its speedup
+///   carries that caveat.)
+/// * **MC scenario cube** — spot/vol/rate scenarios sharing one path
+///   sweep ([`RiskCube::price`]: normals drawn and correlated once,
+///   per-scenario re-walks) against the plan-per-scenario
+///   [`RiskCube::price_naive`] oracle, rows asserted bitwise-equal.
+/// * **FD spot panel** — [`RiskCube::price`] on pure spot scenarios vs
+///   the same oracle (reported unguarded: the naive loop already rides
+///   the fused ladder per scenario, so the panel's edge is only the
+///   amortised plan work).
+///
+/// Timings take the best of `TICK_BENCH_REPS` repetitions per side.
+/// Writes `BENCH_tick.json` so CI can gate the tick and cube speedups
+/// at ≥ 1.
+pub fn t12_tick_repricing(effort: Effort) {
+    let mut t = Table::new(
+        "T12: ticking-market repricing — patched plans and fused cubes vs naive loops",
+        &[
+            "workload",
+            "size",
+            "naive [s]",
+            "incremental [s]",
+            "speedup",
+            "rate",
+        ],
+    );
+
+    // Part 1: FD book under a tick stream. Same book shape as T10's
+    // strike ladder (mixed exercise styles, one maturity).
+    let n_fd = effort.scale(16, 64);
+    let maturity = 1.0;
+    let m1 = market(1);
+    let fd_book: Vec<Product> = (0..n_fd)
+        .map(|i| {
+            let payoff = Payoff::BasketPut {
+                weights: vec![1.0],
+                strike: 70.0 + 60.0 * i as f64 / n_fd as f64,
+            };
+            if i % 2 == 0 {
+                Product::european(payoff, maturity)
+            } else {
+                Product::american(payoff, maturity)
+            }
+        })
+        .collect();
+    let fd_pricer = Pricer::new(Method::Fd1d(Fd1d::default()));
+    let portfolio = Portfolio::new(fd_pricer.clone());
+
+    let n_ticks = effort.scale(24, 96);
+    let ticks: Vec<MarketDelta> = (0..n_ticks)
+        .map(|i| match i % 4 {
+            3 => MarketDelta::Rate {
+                rate: 0.045 + 0.001 * (i % 7) as f64,
+            },
+            _ => MarketDelta::Spot {
+                asset: 0,
+                spot: 96.0 + 0.5 * (i % 17) as f64,
+            },
+        })
+        .collect();
+
+    // Correctness pass (untimed): the patched plan must reprice the
+    // whole book bitwise like a fresh plan at every tick, and spot/rate
+    // ticks must actually patch (never fall back to a rebuild).
+    {
+        let mut live = portfolio.plan_group(&m1, maturity).expect("plan");
+        let mut mkt = m1.clone();
+        for delta in &ticks {
+            let outcome = live.apply_tick(delta).expect("tick");
+            assert!(
+                !outcome.rebuilt(),
+                "spot/rate ticks must patch the FD plan in place"
+            );
+            mkt = mkt.apply_delta(delta).expect("delta");
+            let (patched, _) = portfolio
+                .execute_group(&mut live, &fd_book, 0.0)
+                .expect("patched exec");
+            let mut fresh = portfolio.plan_group(&mkt, maturity).expect("fresh plan");
+            let (rebuilt, _) = portfolio
+                .execute_group(&mut fresh, &fd_book, 0.0)
+                .expect("fresh exec");
+            for (a, b) in patched.iter().zip(&rebuilt) {
+                assert_eq!(
+                    a.price.to_bits(),
+                    b.price.to_bits(),
+                    "ticked plan must reprice bitwise like a fresh plan"
+                );
+            }
+        }
+    }
+
+    let patched_run = || {
+        let mut live = portfolio.plan_group(&m1, maturity).expect("plan");
+        let mut sink = 0u64;
+        for delta in &ticks {
+            live.apply_tick(delta).expect("tick");
+            let (reports, _) = portfolio
+                .execute_group(&mut live, &fd_book, 0.0)
+                .expect("patched exec");
+            sink ^= reports[0].price.to_bits();
+        }
+        sink
+    };
+    let naive_run = || {
+        let mut mkt = m1.clone();
+        let mut sink = 0u64;
+        for delta in &ticks {
+            mkt = mkt.apply_delta(delta).expect("delta");
+            let first = fd_pricer.price(&mkt, &fd_book[0]).expect("naive loop");
+            sink ^= first.price.to_bits();
+            for p in &fd_book[1..] {
+                fd_pricer.price(&mkt, p).expect("naive loop");
+            }
+        }
+        sink
+    };
+    let (patched_sink, patched_s) = best_of(TICK_BENCH_REPS, &patched_run);
+    let (naive_sink, naive_s) = best_of(TICK_BENCH_REPS, &naive_run);
+    assert_eq!(
+        patched_sink, naive_sink,
+        "patched ladder repricing must match the naive loop bitwise"
+    );
+    let tick_speedup = naive_s / patched_s;
+    let ticks_per_s = n_ticks as f64 / patched_s;
+    t.push(&[
+        "fd tick stream".to_string(),
+        format!("{n_fd} prod × {n_ticks} ticks"),
+        fmt_sig(naive_s, 3),
+        fmt_sig(patched_s, 3),
+        format!("{tick_speedup:.2}"),
+        format!("{ticks_per_s:.1} ticks/s"),
+    ]);
+
+    // Part 2a: FD bump Greeks — the whole book's delta/gamma/vega/rho
+    // off one cube vs the per-product bump-and-reprice loop.
+    let fd_cube = RiskCube::new(fd_pricer.clone());
+    let bumps = BumpConfig::default();
+    let (loop_greeks, greeks_loop_s) = best_of(TICK_BENCH_REPS, &|| {
+        fd_book
+            .iter()
+            .map(|p| fd_pricer.greeks(&m1, p, bumps).expect("loop greeks"))
+            .collect::<Vec<_>>()
+    });
+    let (cube_greeks, greeks_cube_s) = best_of(TICK_BENCH_REPS, &|| {
+        fd_cube.greeks(&m1, &fd_book, bumps).expect("cube greeks")
+    });
+    for (lg, cg) in loop_greeks.iter().zip(&cube_greeks) {
+        assert_eq!(lg.price.to_bits(), cg.price.to_bits());
+        assert_eq!(lg.delta[0].to_bits(), cg.delta[0].to_bits());
+        assert_eq!(lg.gamma[0].to_bits(), cg.gamma[0].to_bits());
+        assert_eq!(lg.vega[0].to_bits(), cg.vega[0].to_bits());
+        assert_eq!(
+            lg.rho.to_bits(),
+            cg.rho.to_bits(),
+            "cube Greeks must match the bump loop bitwise"
+        );
+    }
+    let greeks_speedup = greeks_loop_s / greeks_cube_s;
+    t.push(&[
+        "fd bump greeks".to_string(),
+        format!("{n_fd} prod × 6 scen"),
+        fmt_sig(greeks_loop_s, 3),
+        fmt_sig(greeks_cube_s, 3),
+        format!("{greeks_speedup:.2}"),
+        "Δ Γ ν ρ".to_string(),
+    ]);
+
+    // Part 2b: MC scenario cube — spot/vol/rate bumps share one path
+    // sweep (normals drawn and correlated once, per-scenario re-walks).
+    let d = 3;
+    let md = market(d);
+    let paths = effort.scale64(100_000, 200_000);
+    let mc_cfg = McConfig {
+        paths,
+        ..Default::default()
+    };
+    let mut mc_book: Vec<Product> = [90.0, 100.0, 110.0]
+        .iter()
+        .map(|&k| Product::european(Payoff::MaxCall { strike: k }, maturity))
+        .collect();
+    mc_book.push(basket_call(d));
+    let mc_scens: Vec<MarketDelta> = vec![
+        MarketDelta::Spot {
+            asset: 0,
+            spot: 101.0,
+        },
+        MarketDelta::Spot {
+            asset: 1,
+            spot: 99.0,
+        },
+        MarketDelta::Spot {
+            asset: 2,
+            spot: 103.0,
+        },
+        MarketDelta::Vol {
+            asset: 0,
+            vol: 0.22,
+        },
+        MarketDelta::Vol {
+            asset: 2,
+            vol: 0.18,
+        },
+        MarketDelta::Rate { rate: 0.06 },
+        MarketDelta::Rate { rate: 0.04 },
+    ];
+    let mc_cube = RiskCube::new(Pricer::new(Method::MonteCarlo(mc_cfg)));
+    let (mc_cube_res, mc_cube_s) = best_of(TICK_BENCH_REPS, &|| {
+        mc_cube.price(&md, &mc_book, &mc_scens).expect("mc cube")
+    });
+    let (mc_naive_res, mc_naive_s) = best_of(TICK_BENCH_REPS, &|| {
+        mc_cube
+            .price_naive(&md, &mc_book, &mc_scens)
+            .expect("mc naive")
+    });
+    assert_eq!(mc_cube_res.fused_scenarios, mc_scens.len());
+    assert_cube_rows_bitwise(&mc_cube_res, &mc_naive_res, "MC cube");
+    let mc_cube_speedup = mc_naive_s / mc_cube_s;
+    t.push(&[
+        format!("mc d={d} scenario cube"),
+        format!("{} prod × {} scen", mc_book.len(), mc_scens.len()),
+        fmt_sig(mc_naive_s, 3),
+        fmt_sig(mc_cube_s, 3),
+        format!("{mc_cube_speedup:.2}"),
+        format!("{} fused", mc_cube_res.fused_scenarios),
+    ]);
+
+    // Part 2c: FD spot panel vs the naive oracle — reported but not
+    // gated: the oracle already rides the fused ladder per scenario, so
+    // only the plan work is amortised here.
+    let k_fd = effort.scale(8, 16);
+    let spot_scens: Vec<MarketDelta> = (0..k_fd)
+        .map(|k| MarketDelta::Spot {
+            asset: 0,
+            spot: 90.0 + 20.0 * k as f64 / k_fd as f64,
+        })
+        .collect();
+    let (fd_cube_res, fd_panel_s) = best_of(TICK_BENCH_REPS, &|| {
+        fd_cube.price(&m1, &fd_book, &spot_scens).expect("fd cube")
+    });
+    let (fd_naive_res, fd_panel_naive_s) = best_of(TICK_BENCH_REPS, &|| {
+        fd_cube
+            .price_naive(&m1, &fd_book, &spot_scens)
+            .expect("fd naive")
+    });
+    assert_eq!(fd_cube_res.fused_scenarios, k_fd);
+    assert_cube_rows_bitwise(&fd_cube_res, &fd_naive_res, "FD spot cube");
+    let fd_panel_ratio = fd_panel_naive_s / fd_panel_s;
+    t.push(&[
+        "fd spot panel".to_string(),
+        format!("{n_fd} prod × {k_fd} scen"),
+        fmt_sig(fd_panel_naive_s, 3),
+        fmt_sig(fd_panel_s, 3),
+        format!("{fd_panel_ratio:.2}"),
+        format!("{} fused", fd_cube_res.fused_scenarios),
+    ]);
+
+    save("t12_tick_repricing", &t);
+
+    let json = format!(
+        "{{\n  \"experiment\": \"t12\",\n  \"tick\": {{\"products\": {n_fd}, \"ticks\": {n_ticks}, \
+         \"naive_loop_s\": {naive_s:.6}, \"patched_s\": {patched_s:.6}, \
+         \"ticks_per_s\": {ticks_per_s:.3}, \"amortized_speedup\": {tick_speedup:.3}}},\n  \
+         \"cube\": [\n    \
+         {{\"book\": \"fd_bump_greeks\", \"products\": {n_fd}, \"scenarios\": 6, \
+         \"loop_s\": {greeks_loop_s:.6}, \"cube_s\": {greeks_cube_s:.6}, \
+         \"amortized_speedup\": {greeks_speedup:.3}}},\n    \
+         {{\"book\": \"mc_shared_paths\", \"products\": {}, \"scenarios\": {}, \
+         \"fused\": {}, \"loop_s\": {mc_naive_s:.6}, \"cube_s\": {mc_cube_s:.6}, \
+         \"amortized_speedup\": {mc_cube_speedup:.3}}}\n  ],\n  \
+         \"spot_panel\": {{\"products\": {n_fd}, \"scenarios\": {k_fd}, \"fused\": {}, \
+         \"naive_s\": {fd_panel_naive_s:.6}, \"panel_s\": {fd_panel_s:.6}, \
+         \"panel_vs_naive\": {fd_panel_ratio:.3}}}\n}}\n",
+        mc_book.len(),
+        mc_scens.len(),
+        mc_cube_res.fused_scenarios,
+        fd_cube_res.fused_scenarios,
+    );
+    let _ = std::fs::write(crate::out_dir().join("BENCH_tick.json"), json);
+}
+
+/// Repetitions per timed side in [`t12_tick_repricing`]; the best run
+/// counts, which screens out scheduler noise on loops this short.
+const TICK_BENCH_REPS: usize = 3;
+
+/// Best-of-`reps` wrapper over [`measure`]: returns the last result and
+/// the minimum wall time.
+fn best_of<T>(reps: usize, f: &dyn Fn() -> T) -> (T, f64) {
+    let (mut out, mut best) = measure(f);
+    for _ in 1..reps {
+        let (r, s) = measure(f);
+        out = r;
+        best = best.min(s);
+    }
+    (out, best)
+}
+
+/// Assert two cube results agree bitwise, row by row.
+fn assert_cube_rows_bitwise(a: &CubeResult, b: &CubeResult, what: &str) {
+    for (x, y) in a.base.iter().zip(&b.base) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: base row diverged");
+    }
+    for (ra, rb) in a.scenarios.iter().zip(&b.scenarios) {
+        for (x, y) in ra.iter().zip(rb) {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{what}: scenario rows must match the naive oracle bitwise"
+            );
+        }
+    }
+}

@@ -31,7 +31,7 @@
 use crate::pricer::PriceError;
 use mdp_lattice::{LatticePlan, LatticeScratch, MultiLattice};
 use mdp_mc::{McEngine, McPlan};
-use mdp_model::{GbmMarket, Product};
+use mdp_model::{GbmMarket, MarketDelta, Product, TickOutcome};
 use mdp_pde::{Adi2d, Adi2dPlan, Adi2dScratch, Fd1d, Fd1dPlan, Fd1dScratch};
 
 /// What one engine execution produced, engine-agnostically.
@@ -73,6 +73,15 @@ pub trait EnginePlan {
 
     /// Price one product over the planned state.
     fn execute(&mut self, product: &Product) -> Result<EngineOutcome, PriceError>;
+
+    /// Patch the plan in place for a one-field market tick, rebuilding
+    /// only the components the ticked field invalidates.
+    ///
+    /// Contract: after a tick the plan executes **bitwise-identically**
+    /// to a plan freshly built for the ticked market. Engines report
+    /// [`TickOutcome::Rebuilt`] when the cheapest sound patch was a full
+    /// rebuild (e.g. a 1-D FD vol tick, which moves every grid node).
+    fn apply_tick(&mut self, delta: &MarketDelta) -> Result<TickOutcome, PriceError>;
 }
 
 /// [`Fd1dPlan`] plus its reusable solve buffers.
@@ -111,6 +120,10 @@ impl EnginePlan for Fd1dEnginePlan {
             work: r.nodes_processed,
         })
     }
+
+    fn apply_tick(&mut self, delta: &MarketDelta) -> Result<TickOutcome, PriceError> {
+        Ok(self.plan.apply_tick(delta)?)
+    }
 }
 
 /// [`Adi2dPlan`] plus its reusable sweep buffers.
@@ -148,6 +161,10 @@ impl EnginePlan for Adi2dEnginePlan {
             std_error: None,
             work: r.nodes_processed,
         })
+    }
+
+    fn apply_tick(&mut self, delta: &MarketDelta) -> Result<TickOutcome, PriceError> {
+        Ok(self.plan.apply_tick(delta)?)
     }
 }
 
@@ -189,6 +206,10 @@ impl EnginePlan for LatticeEnginePlan {
             std_error: None,
             work: r.nodes_processed,
         })
+    }
+
+    fn apply_tick(&mut self, delta: &MarketDelta) -> Result<TickOutcome, PriceError> {
+        Ok(self.plan.apply_tick(delta)?)
     }
 }
 
@@ -232,6 +253,10 @@ impl EnginePlan for McEnginePlan {
             std_error: Some(r.std_error),
             work: r.paths,
         })
+    }
+
+    fn apply_tick(&mut self, delta: &MarketDelta) -> Result<TickOutcome, PriceError> {
+        Ok(self.plan.apply_tick(delta)?)
     }
 }
 

@@ -66,22 +66,32 @@ pub mod engine;
 pub mod greeks;
 pub mod portfolio;
 pub mod pricer;
+pub mod riskcube;
 
 pub use engine::{EngineOutcome, EnginePlan, PricingEngine};
 pub use greeks::BumpConfig;
 pub use portfolio::{BatchReport, GroupPlan, Portfolio};
 pub use pricer::{Backend, Method, PriceError, PriceReport, Pricer, PricerPlan};
+pub use riskcube::{CubeGreeks, CubeResult, RiskCube};
+
+/// The workspace-wide FNV-1a fingerprint helper behind every bit-exact
+/// cache key ([`mdp_model::GbmMarket::cache_key`], [`Method::cache_key`],
+/// [`Portfolio::group_key`] and the serve-layer `PlanKey`).
+pub use mdp_math::Fnv64;
 
 /// One-stop imports for applications.
 pub mod prelude {
     pub use crate::{
-        Backend, BatchReport, BumpConfig, EngineOutcome, EnginePlan, GroupPlan, Method, Portfolio,
-        PriceError, PriceReport, Pricer, PricerPlan, PricingEngine,
+        Backend, BatchReport, BumpConfig, CubeGreeks, CubeResult, EngineOutcome, EnginePlan,
+        GroupPlan, Method, Portfolio, PriceError, PriceReport, Pricer, PricerPlan, PricingEngine,
+        RiskCube,
     };
     pub use mdp_cluster::{FaultPlan, Machine, TimeModel};
     pub use mdp_lattice::{BinomialKind, BinomialLattice, MultiLattice, TrinomialLattice};
     pub use mdp_mc::{LsmcConfig, McConfig, McEngine, QmcConfig, VarianceReduction};
-    pub use mdp_model::{analytic, ExerciseStyle, GbmMarket, Greeks, Payoff, Product};
+    pub use mdp_model::{
+        analytic, ExerciseStyle, GbmMarket, Greeks, MarketDelta, Payoff, Product, TickOutcome,
+    };
     pub use mdp_pde::{Adi2d, Fd1d, Fd1dBarrier};
     pub use mdp_perf::{ScalingCurve, Table};
 }

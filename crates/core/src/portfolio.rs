@@ -30,7 +30,7 @@
 
 use crate::pricer::{Backend, Method, PriceError, PriceReport, Pricer};
 use mdp_mc::{McEngine, McPlan};
-use mdp_model::{ExerciseStyle, GbmMarket, Product};
+use mdp_model::{ExerciseStyle, GbmMarket, MarketDelta, Product, TickOutcome};
 use mdp_pde::{AmericanMethod, Fd1dLadderScratch, Fd1dPlan, Fd1dScratch};
 use rayon::prelude::*;
 use std::time::Instant;
@@ -91,6 +91,30 @@ pub enum GroupPlan {
     Generic(Box<crate::pricer::PricerPlan>),
 }
 
+impl GroupPlan {
+    /// The market the plan currently reflects (after any applied ticks).
+    pub fn market(&self) -> &GbmMarket {
+        match self {
+            GroupPlan::Fd1d(p) => p.market(),
+            GroupPlan::Mc(p) => p.market(),
+            GroupPlan::Generic(p) => p.market(),
+        }
+    }
+
+    /// Patch the plan in place for a one-field market tick, delegating
+    /// to the engine's own incremental repricer. After the patch the
+    /// plan executes **bitwise-identically** to one freshly compiled
+    /// for the ticked market, so a plan cache can patch its entries
+    /// instead of evicting them (see `mdp-serve`).
+    pub fn apply_tick(&mut self, delta: &MarketDelta) -> Result<TickOutcome, PriceError> {
+        match self {
+            GroupPlan::Fd1d(p) => Ok(p.apply_tick(delta)?),
+            GroupPlan::Mc(p) => Ok(p.apply_tick(delta)?),
+            GroupPlan::Generic(p) => p.apply_tick(delta),
+        }
+    }
+}
+
 impl Portfolio {
     /// A portfolio pricer wrapping the given method/backend pair.
     pub fn new(pricer: Pricer) -> Self {
@@ -114,14 +138,10 @@ impl Portfolio {
     /// *different* portfolios (different engine configurations sharing
     /// a maturity) can never collide into one plan.
     pub fn group_key(&self, product: &Product) -> u64 {
-        let mut h: u64 = 0xcbf29ce484222325;
-        for word in [product.maturity.to_bits(), self.pricer.method().cache_key()] {
-            for b in word.to_le_bytes() {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x100000001b3);
-            }
-        }
-        h
+        mdp_math::Fnv64::new()
+            .eat_f64(product.maturity)
+            .eat(self.pricer.method().cache_key())
+            .finish()
     }
 
     /// Compile the payoff-independent plan shared by every product of a
@@ -346,7 +366,7 @@ impl Portfolio {
 /// The ladder kernel covers every product of the group unless the
 /// config demands PSOR for an American product (PSOR iteration counts
 /// are payoff-dependent, so lanes would interact).
-fn ladder_eligible(cfg: &mdp_pde::Fd1d, products: &[Product]) -> bool {
+pub(crate) fn ladder_eligible(cfg: &mdp_pde::Fd1d, products: &[Product]) -> bool {
     let psor = matches!(cfg.american, AmericanMethod::Psor { .. });
     !psor
         || products

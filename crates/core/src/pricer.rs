@@ -22,7 +22,7 @@ use mdp_mc::{
     qmc::price_qmc,
     LsmcConfig, McConfig, McEngine, McError, McPlan, QmcConfig,
 };
-use mdp_model::{GbmMarket, ModelError, Product};
+use mdp_model::{GbmMarket, MarketDelta, ModelError, Product, TickOutcome};
 use mdp_pde::{
     Adi2d, Adi2dPlan, Adi2dScratch, ClusterFd1d, Fd1d, Fd1dBarrier, Fd1dPlan, Fd1dScratch,
     PdeError, Scheme,
@@ -94,12 +94,9 @@ impl Method {
     /// equal keys guarantee the compiled plans are interchangeable
     /// bit for bit, and differing configurations can never share a plan.
     pub fn cache_key(&self) -> u64 {
-        let mut h: u64 = 0xcbf29ce484222325;
+        let mut f = mdp_math::Fnv64::new();
         let mut eat = |word: u64| {
-            for b in word.to_le_bytes() {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x100000001b3);
-            }
+            f.eat(word);
         };
         match self {
             Method::Analytic => eat(0),
@@ -199,7 +196,7 @@ impl Method {
                 eat(cfg.width.to_bits());
             }
         }
-        h
+        f.finish()
     }
 
     /// Human-readable engine name.
@@ -710,6 +707,32 @@ impl PricerPlan {
     /// Seconds spent compiling the plan.
     pub fn plan_seconds(&self) -> f64 {
         self.plan_seconds
+    }
+
+    /// The market the plan currently reflects (after any applied ticks).
+    pub fn market(&self) -> &GbmMarket {
+        &self.market
+    }
+
+    /// Patch the plan in place for a one-field market tick.
+    ///
+    /// The planful kinds delegate to their engine's own `apply_tick`,
+    /// rebuilding only the components the ticked field invalidates (see
+    /// the dependency table in DESIGN.md); the one-shot kind has no
+    /// compiled state, so swapping the market is the whole patch. The
+    /// patched plan executes bitwise-identically to a plan freshly
+    /// compiled for the ticked market.
+    pub fn apply_tick(&mut self, delta: &MarketDelta) -> Result<TickOutcome, PriceError> {
+        let market = self.market.apply_delta(delta)?;
+        let outcome = match &mut self.kind {
+            PlanKind::Fd1d(plan, _) => plan.apply_tick(delta)?,
+            PlanKind::Adi2d(plan, _) => plan.apply_tick(delta)?,
+            PlanKind::Lattice(plan, _) => plan.apply_tick(delta)?,
+            PlanKind::Mc(plan) => plan.apply_tick(delta)?,
+            PlanKind::OneShot => TickOutcome::Patched,
+        };
+        self.market = market;
+        Ok(outcome)
     }
 
     /// Execute one product over the planned state. Bitwise-identical to

@@ -41,7 +41,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::LatticeError;
-use mdp_model::{ExerciseStyle, GbmMarket, Product};
+use mdp_model::{ExerciseStyle, GbmMarket, MarketDelta, Product, TickOutcome};
 use rayon::prelude::*;
 use std::cell::RefCell;
 
@@ -558,6 +558,55 @@ impl LatticePlan {
         self.lat.steps
     }
 
+    /// The market snapshot the plan currently prices on (kept in sync
+    /// by [`LatticePlan::apply_tick`]).
+    pub fn market(&self) -> &GbmMarket {
+        &self.market
+    }
+
+    /// Absorb one market tick, rebuilding only the invalidated tables:
+    ///
+    /// * **Spot** — the branch probabilities (drift/vol/correlation
+    ///   only) and the per-step discount survive; only the spot ladders
+    ///   are recomputed.
+    /// * **Vol** — probabilities and ladders are rebuilt; the discount
+    ///   survives.
+    /// * **Rate** — probabilities and the discount are rebuilt; the
+    ///   ladders survive.
+    /// * **Correlation** — only the probabilities are rebuilt.
+    ///
+    /// Each rebuilt table goes through the same arithmetic as
+    /// [`MultiLattice::plan`], so the patched plan is bitwise-equal to
+    /// a fresh plan on the ticked market. A tick that drives a branch
+    /// probability out of `[0, 1]` fails without modifying the plan.
+    pub fn apply_tick(&mut self, delta: &MarketDelta) -> Result<TickOutcome, LatticeError> {
+        let market = self.market.apply_delta(delta).map_err(LatticeError::Model)?;
+        let dt = self.maturity / self.lat.steps as f64;
+        match delta {
+            MarketDelta::Spot { .. } => {
+                self.ladders = (0..=self.lat.steps)
+                    .map(|step| spot_ladders(&market, self.maturity, self.lat.steps, step))
+                    .collect();
+            }
+            MarketDelta::Vol { .. } => {
+                let probs = branch_probabilities(&market, dt)?;
+                self.ladders = (0..=self.lat.steps)
+                    .map(|step| spot_ladders(&market, self.maturity, self.lat.steps, step))
+                    .collect();
+                self.probs = probs;
+            }
+            MarketDelta::Rate { .. } => {
+                self.probs = branch_probabilities(&market, dt)?;
+                self.disc = (-market.rate() * dt).exp();
+            }
+            MarketDelta::Correlation { .. } => {
+                self.probs = branch_probabilities(&market, dt)?;
+            }
+        }
+        self.market = market;
+        Ok(TickOutcome::Patched)
+    }
+
     /// Run planned backward induction for one product. Bitwise-identical
     /// to the corresponding one-shot price on the same inputs.
     pub fn execute(
@@ -678,6 +727,42 @@ mod tests {
             assert_eq!(probs.len(), 1 << d);
             let s: f64 = probs.iter().sum();
             assert!(approx_eq(s, 1.0, 1e-12), "d={d}: {s}");
+        }
+    }
+
+    #[test]
+    fn apply_tick_bitwise_equals_fresh_plan() {
+        let lat = MultiLattice::new(40);
+        let m0 = GbmMarket::symmetric(2, 100.0, 0.2, 0.0, 0.05, 0.3).unwrap();
+        let p = Product::american(Payoff::MaxCall { strike: 100.0 }, 1.0);
+        let mut corr = mdp_math::linalg::Matrix::identity(2);
+        corr[(0, 1)] = 0.1;
+        corr[(1, 0)] = 0.1;
+        let ticks = [
+            MarketDelta::Spot {
+                asset: 0,
+                spot: 102.5,
+            },
+            MarketDelta::Rate { rate: 0.04 },
+            MarketDelta::Vol {
+                asset: 1,
+                vol: 0.25,
+            },
+            MarketDelta::Correlation { correlation: corr },
+        ];
+        let mut ticked = lat.plan(&m0, 1.0).unwrap();
+        let mut mk = m0;
+        for delta in &ticks {
+            assert_eq!(ticked.apply_tick(delta).unwrap(), TickOutcome::Patched);
+            mk = mk.apply_delta(delta).unwrap();
+            let fresh = lat.plan(&mk, 1.0).unwrap();
+            let pt = ticked
+                .execute(&p, false, &mut LatticeScratch::default())
+                .unwrap();
+            let pf = fresh
+                .execute(&p, false, &mut LatticeScratch::default())
+                .unwrap();
+            assert_eq!(pt.price.to_bits(), pf.price.to_bits(), "{delta:?}");
         }
     }
 

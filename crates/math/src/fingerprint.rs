@@ -1,0 +1,144 @@
+//! Bit-exact 64-bit fingerprinting (FNV-1a) shared by every cache key
+//! in the workspace.
+//!
+//! Plan caches, request coalescing and portfolio grouping all key on
+//! "is this input *bitwise* the same as that one" — floats compared by
+//! IEEE-754 bit pattern, never by value, so `0.0` and `-0.0` are
+//! different inputs exactly as they could produce different downstream
+//! bits. [`Fnv64`] is the single implementation behind
+//! `GbmMarket::cache_key`, `Method::cache_key` and
+//! `Portfolio::group_key`; it hashes a stream of `u64` words with
+//! FNV-1a over their little-endian bytes, which is stable across runs,
+//! processes and platforms.
+
+/// Incremental FNV-1a 64-bit hasher over a stream of `u64` words.
+///
+/// Words are folded byte-by-byte (little-endian) with the standard
+/// FNV-1a offset basis and prime, so the digest of a sequence of words
+/// is identical to hashing their concatenated LE byte strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64 {
+    h: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// FNV-1a 64-bit offset basis.
+    const OFFSET_BASIS: u64 = 0xcbf29ce484222325;
+    /// FNV-1a 64-bit prime.
+    const PRIME: u64 = 0x100000001b3;
+
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64 {
+            h: Self::OFFSET_BASIS,
+        }
+    }
+
+    /// Fold one `u64` word into the digest, byte by byte (LE order).
+    pub fn eat(&mut self, word: u64) -> &mut Self {
+        for b in word.to_le_bytes() {
+            self.h ^= b as u64;
+            self.h = self.h.wrapping_mul(Self::PRIME);
+        }
+        self
+    }
+
+    /// Fold an `f64` by its IEEE-754 bit pattern (`0.0 != -0.0`).
+    pub fn eat_f64(&mut self, x: f64) -> &mut Self {
+        self.eat(x.to_bits())
+    }
+
+    /// Fold a `usize` (widened to `u64`).
+    pub fn eat_usize(&mut self, x: usize) -> &mut Self {
+        self.eat(x as u64)
+    }
+
+    /// Fold a slice of `f64`s in order, each by bit pattern.
+    pub fn eat_f64s(&mut self, xs: &[f64]) -> &mut Self {
+        for &x in xs {
+            self.eat_f64(x);
+        }
+        self
+    }
+
+    /// The digest of everything eaten so far.
+    pub fn finish(&self) -> u64 {
+        self.h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The hand-rolled loop this helper replaced, kept as the oracle:
+    /// digests must stay value-identical so existing cache keys and
+    /// golden pins survive the deduplication.
+    fn reference(words: &[u64]) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &word in words {
+            for b in word.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn matches_hand_rolled_reference() {
+        let cases: &[&[u64]] = &[
+            &[],
+            &[0],
+            &[1, 2, 3],
+            &[u64::MAX, 0x5EED, 42],
+            &[100.0f64.to_bits(), 0.2f64.to_bits(), 0.05f64.to_bits()],
+        ];
+        for words in cases {
+            let mut f = Fnv64::new();
+            for &w in *words {
+                f.eat(w);
+            }
+            assert_eq!(f.finish(), reference(words));
+        }
+    }
+
+    #[test]
+    fn empty_digest_is_offset_basis() {
+        assert_eq!(Fnv64::new().finish(), 0xcbf29ce484222325);
+    }
+
+    #[test]
+    fn order_sensitive() {
+        let ab = *Fnv64::new().eat(1).eat(2);
+        let ba = *Fnv64::new().eat(2).eat(1);
+        assert_ne!(ab.finish(), ba.finish());
+    }
+
+    #[test]
+    fn floats_hash_by_bit_pattern() {
+        let pos = *Fnv64::new().eat_f64(0.0);
+        let neg = *Fnv64::new().eat_f64(-0.0);
+        assert_ne!(pos.finish(), neg.finish(), "0.0 and -0.0 must differ");
+        let nan = *Fnv64::new().eat_f64(f64::NAN);
+        assert_eq!(nan.finish(), Fnv64::new().eat_f64(f64::NAN).finish());
+    }
+
+    #[test]
+    fn slice_equals_elementwise() {
+        let xs = [1.5, -2.25, 3.75];
+        let mut a = Fnv64::new();
+        a.eat_f64s(&xs);
+        let mut b = Fnv64::new();
+        for &x in &xs {
+            b.eat_f64(x);
+        }
+        assert_eq!(a.finish(), b.finish());
+    }
+}

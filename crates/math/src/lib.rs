@@ -32,6 +32,7 @@
 pub mod brownian;
 pub mod error;
 pub mod fastmath;
+pub mod fingerprint;
 pub mod halton;
 pub mod linalg;
 pub mod poly;
@@ -42,6 +43,7 @@ pub mod special;
 pub mod stats;
 
 pub use error::MathError;
+pub use fingerprint::Fnv64;
 
 /// Relative/absolute comparison helper used across the workspace tests.
 ///

@@ -13,7 +13,9 @@ use crate::path::{walk_path_with_normals, GbmStepper, SoaPanel, PANEL};
 use crate::variance::{merge_in_chunks, BlockAccum, MERGE_CHUNK};
 use crate::McError;
 use mdp_math::rng::{NormalPolar, NormalSampler, Substreams, Xoshiro256StarStar};
-use mdp_model::{analytic, ExerciseStyle, GbmMarket, PathDependence, Payoff, Product};
+use mdp_model::{
+    analytic, ExerciseStyle, GbmMarket, MarketDelta, PathDependence, Payoff, Product, TickOutcome,
+};
 use rayon::prelude::*;
 
 /// Variance-reduction technique for the European engine.
@@ -624,6 +626,204 @@ impl McPlan {
             })
             .collect())
     }
+
+    /// The market the plan was built for (after any applied ticks).
+    pub fn market(&self) -> &GbmMarket {
+        &self.market
+    }
+
+    /// Patch the plan in place for a one-field market tick.
+    ///
+    /// Every Monte Carlo plan component depends on at most one market
+    /// field, so each tick is a pure patch (never a rebuild):
+    ///
+    /// * spot — `log0[asset]` and the control-variate anchor `s0_first`;
+    /// * vol / rate — the stepper's drift/diffusion scalars (and, for
+    ///   rate, the discount factor), via [`GbmStepper::retune`];
+    /// * correlation — the packed Cholesky factor, via
+    ///   [`GbmStepper::repack_cholesky`].
+    ///
+    /// Each patch evaluates exactly the expressions of
+    /// [`McEngine::plan`], so the ticked plan is bitwise-identical to a
+    /// plan freshly built for the ticked market.
+    pub fn apply_tick(&mut self, delta: &MarketDelta) -> Result<TickOutcome, McError> {
+        let market = self.market.apply_delta(delta)?;
+        match delta {
+            MarketDelta::Spot { asset, .. } => {
+                self.log0[*asset] = market.spots()[*asset].ln();
+                self.s0_first = market.spots()[0];
+            }
+            MarketDelta::Vol { .. } => self.stepper.retune(&market, self.maturity),
+            MarketDelta::Rate { .. } => {
+                self.stepper.retune(&market, self.maturity);
+                self.disc = market.discount(self.maturity);
+            }
+            MarketDelta::Correlation { .. } => self.stepper.repack_cholesky(&market),
+        }
+        self.market = market;
+        Ok(TickOutcome::Patched)
+    }
+
+    /// Simulate one substream block once, correlate its normals once,
+    /// and walk the panel once **per scenario**, evaluating every payoff
+    /// on each walk. `accs` is scenario-major: `accs[s·k + p]` receives
+    /// payoff `p` under scenario `s`, in the exact lane order
+    /// [`McPlan::simulate_block_multi`] would produce for a plan ticked
+    /// to that scenario.
+    fn simulate_block_cube(
+        &self,
+        block: u64,
+        scens: &[CubeScenario],
+        payoffs: &[&Payoff],
+        accs: &mut [BlockAccum],
+    ) {
+        let base = Xoshiro256StarStar::seed_from(self.cfg.seed);
+        let mut rng = base.substream(block);
+        let mut sampler = NormalPolar::new();
+        let mut panel = SoaPanel::new(&self.stepper, PANEL);
+        let mut scratch = PanelScratch::new(self.stepper.dim, PANEL);
+        let mut tmp = Vec::new();
+        let d = self.stepper.dim;
+        let k = payoffs.len();
+        let total = self.cfg.block_paths(block);
+        let mut done = 0u64;
+        while done < total {
+            let n = (total - done).min(PANEL as u64) as usize;
+            panel.fill_normals(&mut sampler, &mut rng, n);
+            // Pay the triangular correlate once; every scenario walk
+            // below reuses the same w rows (sound because the scenario
+            // Cholesky factors were checked bitwise-equal to the base).
+            self.stepper.correlate_panel_in_place(&mut panel, n, &mut tmp);
+            for (si, scen) in scens.iter().enumerate() {
+                scen.stepper
+                    .walk_correlated_terminal(&scen.log0, &mut panel, n);
+                for (pi, payoff) in payoffs.iter().enumerate() {
+                    eval_terminal_walked(payoff, &panel, &mut scratch, d, n);
+                    let acc = &mut accs[si * k + pi];
+                    for lane in 0..n {
+                        acc.push(scen.disc * scratch.ys[lane]);
+                    }
+                }
+            }
+            done += n as u64;
+        }
+    }
+
+    /// Price a book of products under **K market scenarios over one
+    /// shared path sweep**: each block's normals are drawn and
+    /// correlated once, then every scenario re-walks the panel with its
+    /// own drift/diffusion scalars and log-spots and evaluates every
+    /// payoff on it.
+    ///
+    /// Results are scenario-major: `out[s][p]` is product `p` under
+    /// `scenarios[s]`, **bitwise-identical** to
+    /// [`McPlan::execute_multi`] on a plan built (or ticked) for that
+    /// scenario market, sequential or parallel.
+    ///
+    /// Scenario markets must share the base plan's dimension, and their
+    /// Cholesky factors must match the base factor bit for bit (spot,
+    /// vol and rate scenarios qualify; correlation scenarios need their
+    /// own sweep) — otherwise the shared correlate would not reproduce
+    /// the per-scenario walks and the call fails with
+    /// [`McError::Unsupported`].
+    pub fn execute_cube(
+        &self,
+        products: &[Product],
+        scenarios: &[GbmMarket],
+        parallel: bool,
+    ) -> Result<Vec<Vec<McResult>>, McError> {
+        for product in products {
+            self.check_fusable(product)?;
+        }
+        let k = products.len();
+        if k == 0 || scenarios.is_empty() {
+            return Ok(scenarios.iter().map(|_| Vec::new()).collect());
+        }
+        let scens: Vec<CubeScenario> = scenarios
+            .iter()
+            .map(|scen| {
+                if scen.dim() != self.market.dim() {
+                    return Err(McError::Unsupported(format!(
+                        "scenario dimension {} differs from plan dimension {}",
+                        scen.dim(),
+                        self.market.dim()
+                    )));
+                }
+                let stepper = GbmStepper::new(scen, self.maturity, self.cfg.steps);
+                if !stepper.chol_matches(&self.stepper) {
+                    return Err(McError::Unsupported(
+                        "scenario changes the correlation factor; \
+                         correlation scenarios cannot share the path sweep"
+                            .into(),
+                    ));
+                }
+                Ok(CubeScenario {
+                    stepper,
+                    log0: scen.spots().iter().map(|s| s.ln()).collect(),
+                    disc: scen.discount(self.maturity),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let payoffs: Vec<&Payoff> = products.iter().map(|p| &p.payoff).collect();
+        let m = scens.len() * k;
+        let blocks = self.cfg.num_blocks();
+        // Same canonical chunked merge as `execute_multi`, per
+        // (scenario, payoff) accumulator.
+        let chunks = blocks.div_ceil(MERGE_CHUNK as u64);
+        let run_chunk = |c: u64| -> Vec<BlockAccum> {
+            let lo = c * MERGE_CHUNK as u64;
+            let hi = (lo + MERGE_CHUNK as u64).min(blocks);
+            let mut chunk: Vec<BlockAccum> = (0..m).map(|_| BlockAccum::new()).collect();
+            let mut per_block: Vec<BlockAccum> = (0..m).map(|_| BlockAccum::new()).collect();
+            for b in lo..hi {
+                for a in per_block.iter_mut() {
+                    *a = BlockAccum::new();
+                }
+                self.simulate_block_cube(b, &scens, &payoffs, &mut per_block);
+                for (t, a) in chunk.iter_mut().zip(&per_block) {
+                    t.merge(a);
+                }
+            }
+            chunk
+        };
+        let chunk_accs: Vec<Vec<BlockAccum>> = if parallel {
+            (0..chunks).into_par_iter().map(run_chunk).collect()
+        } else {
+            (0..chunks).map(run_chunk).collect()
+        };
+        let mut totals: Vec<BlockAccum> = (0..m).map(|_| BlockAccum::new()).collect();
+        for chunk in &chunk_accs {
+            for (t, a) in totals.iter_mut().zip(chunk) {
+                t.merge(a);
+            }
+        }
+        Ok(totals
+            .chunks(k)
+            .map(|row| {
+                row.iter()
+                    .map(|acc| {
+                        let (price, std_error) = acc.plain_estimate();
+                        McResult {
+                            price,
+                            std_error,
+                            paths: acc.n as u64,
+                            variance_ratio: 1.0,
+                        }
+                    })
+                    .collect()
+            })
+            .collect())
+    }
+}
+
+/// Per-scenario planned state of one lane of a scenario cube: the
+/// retuned stepper (sharing the base Cholesky bits), log-spots and
+/// discount factor for one scenario market.
+#[derive(Debug, Clone)]
+struct CubeScenario {
+    stepper: GbmStepper,
+    log0: Vec<f64>,
+    disc: f64,
 }
 
 /// The chunk-parallel accumulator fold shared by [`McEngine::price_rayon`]
@@ -1230,5 +1430,107 @@ mod lookback_engine_tests {
             "{} vs {exact}",
             r.price
         );
+    }
+
+    #[test]
+    fn apply_tick_bitwise_equals_fresh_plan() {
+        let m = GbmMarket::symmetric(3, 100.0, 0.25, 0.01, 0.04, 0.3).unwrap();
+        let p = Product::european(Payoff::MaxCall { strike: 105.0 }, 1.0);
+        let eng = McEngine::new(McConfig {
+            paths: 8_000,
+            block_size: 1000,
+            ..Default::default()
+        });
+        let mut ticked = eng.plan(&m, 1.0).unwrap();
+        let mut corr = mdp_math::linalg::Matrix::identity(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                if i != j {
+                    corr[(i, j)] = 0.45;
+                }
+            }
+        }
+        let deltas = [
+            MarketDelta::Spot {
+                asset: 1,
+                spot: 112.0,
+            },
+            MarketDelta::Vol {
+                asset: 0,
+                vol: 0.32,
+            },
+            MarketDelta::Rate { rate: 0.055 },
+            MarketDelta::Correlation { correlation: corr },
+            MarketDelta::Spot {
+                asset: 0,
+                spot: 93.0,
+            },
+        ];
+        for delta in &deltas {
+            let outcome = ticked.apply_tick(delta).unwrap();
+            assert!(!outcome.rebuilt(), "MC ticks are always patches");
+            let fresh = eng.plan(ticked.market(), 1.0).unwrap();
+            let a = ticked.execute(&p).unwrap();
+            let b = fresh.execute(&p).unwrap();
+            assert_eq!(a.price.to_bits(), b.price.to_bits(), "{delta:?}");
+            assert_eq!(a.std_error.to_bits(), b.std_error.to_bits());
+        }
+    }
+
+    #[test]
+    fn cube_bitwise_equals_per_scenario_ticked_plans() {
+        let m = GbmMarket::symmetric(3, 100.0, 0.25, 0.01, 0.04, 0.3).unwrap();
+        let products = vec![
+            Product::european(Payoff::MaxCall { strike: 105.0 }, 1.0),
+            Product::european(
+                Payoff::BasketCall {
+                    weights: Product::equal_weights(3),
+                    strike: 100.0,
+                },
+                1.0,
+            ),
+            Product::european(Payoff::MinPut { strike: 95.0 }, 1.0),
+        ];
+        let eng = McEngine::new(McConfig {
+            paths: 8_000,
+            block_size: 1000,
+            ..Default::default()
+        });
+        let plan = eng.plan(&m, 1.0).unwrap();
+        let scenarios = vec![
+            m.with_spot(0, 101.0).unwrap(),
+            m.with_vol(1, 0.31).unwrap(),
+            m.with_rate(0.05).unwrap(),
+            m.clone(),
+        ];
+        for parallel in [false, true] {
+            let cube = plan.execute_cube(&products, &scenarios, parallel).unwrap();
+            assert_eq!(cube.len(), scenarios.len());
+            for (scen, row) in scenarios.iter().zip(&cube) {
+                let naive = eng.plan(scen, 1.0).unwrap().execute_multi(&products, false).unwrap();
+                for (a, b) in row.iter().zip(&naive) {
+                    assert_eq!(a.price.to_bits(), b.price.to_bits());
+                    assert_eq!(a.std_error.to_bits(), b.std_error.to_bits());
+                    assert_eq!(a.paths, b.paths);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cube_rejects_correlation_scenarios() {
+        let m = GbmMarket::symmetric(2, 100.0, 0.25, 0.0, 0.04, 0.3).unwrap();
+        let p = Product::european(Payoff::MaxCall { strike: 100.0 }, 1.0);
+        let plan = McEngine::new(McConfig {
+            paths: 2_000,
+            ..Default::default()
+        })
+        .plan(&m, 1.0)
+        .unwrap();
+        let twisted = GbmMarket::symmetric(2, 100.0, 0.25, 0.0, 0.04, 0.7).unwrap();
+        let err = plan
+            .execute_cube(std::slice::from_ref(&p), &[twisted], false)
+            .unwrap_err();
+        assert!(matches!(err, McError::Unsupported(_)), "{err}");
     }
 }

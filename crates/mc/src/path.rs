@@ -105,6 +105,119 @@ impl GbmStepper {
     pub fn normals_per_path(&self) -> usize {
         self.dim * self.steps
     }
+
+    /// Recompute the drift/diffusion scalars for a ticked market,
+    /// leaving the packed Cholesky factor untouched.
+    ///
+    /// Evaluates exactly the expressions of [`GbmStepper::new`]
+    /// (`drift_dt[i] = log_drift(i)·Δt`, `vol_sqdt[i] = σᵢ·√Δt`), so a
+    /// retuned stepper is bitwise-identical to one built from scratch
+    /// for the same market — the invariant `McPlan::apply_tick` relies
+    /// on for spot/vol/rate ticks.
+    pub fn retune(&mut self, market: &GbmMarket, maturity: f64) {
+        debug_assert_eq!(market.dim(), self.dim);
+        let dt = maturity / self.steps as f64;
+        let sqdt = dt.sqrt();
+        self.drift_dt = (0..self.dim).map(|i| market.log_drift(i) * dt).collect();
+        self.vol_sqdt = (0..self.dim)
+            .map(|i| market.vols()[i] * sqdt)
+            .collect();
+    }
+
+    /// Repack the Cholesky factor from the (re-factored) market after a
+    /// correlation tick, using the same row-major lower-triangular
+    /// packing as [`GbmStepper::new`]. Drift/diffusion scalars are
+    /// untouched.
+    pub fn repack_cholesky(&mut self, market: &GbmMarket) {
+        debug_assert_eq!(market.dim(), self.dim);
+        let l = market.cholesky().l();
+        self.chol.clear();
+        for i in 0..self.dim {
+            self.chol.extend_from_slice(&l.row(i)[..=i]);
+        }
+    }
+
+    /// Whether two steppers share a bitwise-identical Cholesky factor.
+    ///
+    /// The scenario-cube kernel shares one correlate pass across all
+    /// scenarios; that is only sound when every scenario's `L` matches
+    /// the base plan's bit for bit.
+    pub fn chol_matches(&self, other: &GbmStepper) -> bool {
+        self.chol.len() == other.chol.len()
+            && self
+                .chol
+                .iter()
+                .zip(&other.chol)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+
+    /// Replace the panel's normal rows with correlated increments
+    /// `w = L·z`, step by step, staging each step's `dim` output rows in
+    /// `tmp` (resized to `dim × lanes` here) before copying them back.
+    ///
+    /// Row `(step, i)` afterwards holds, bit for bit, the `w` values
+    /// [`GbmStepper::step_panel`] would compute for that row: the
+    /// accumulation starts from `0.0` and adds `Lᵢₖ·zₖ` for `k`
+    /// ascending, exactly as the fused kernel does. Pairing this with
+    /// [`GbmStepper::walk_correlated_terminal`] therefore reproduces
+    /// [`crate::panel::walk_panel_terminal`] exactly while paying the
+    /// triangular multiply once for any number of scenario walks.
+    pub fn correlate_panel_in_place(&self, panel: &mut SoaPanel, n: usize, tmp: &mut Vec<f64>) {
+        let d = self.dim;
+        let lanes = panel.lanes;
+        debug_assert_eq!(panel.dim, d);
+        debug_assert!(n <= lanes);
+        tmp.clear();
+        tmp.resize(d * lanes, 0.0);
+        for step in 0..self.steps {
+            let zbase = step * d * lanes;
+            let mut off = 0;
+            for i in 0..d {
+                let w = &mut tmp[i * lanes..i * lanes + n];
+                w.fill(0.0);
+                for (k, &l) in self.chol[off..off + i + 1].iter().enumerate() {
+                    let zrow = &panel.z[zbase + k * lanes..zbase + k * lanes + n];
+                    for (wl, &zv) in w.iter_mut().zip(zrow) {
+                        *wl += l * zv;
+                    }
+                }
+                off += i + 1;
+            }
+            for i in 0..d {
+                panel.z[zbase + i * lanes..zbase + i * lanes + n]
+                    .copy_from_slice(&tmp[i * lanes..i * lanes + n]);
+            }
+        }
+    }
+
+    /// Walk a panel whose normal rows were pre-correlated by
+    /// [`GbmStepper::correlate_panel_in_place`] to maturity and
+    /// exponentiate, using this stepper's drift/diffusion scalars.
+    ///
+    /// Per lane the update is `log += drift_dt[i] + vol_sqdt[i]·w` —
+    /// the same final expression, in the same order, as
+    /// [`GbmStepper::step_panel`] — so the terminal spots are bitwise
+    /// those of [`crate::panel::walk_panel_terminal`] over the original
+    /// normals with this stepper.
+    pub fn walk_correlated_terminal(&self, log0: &[f64], panel: &mut SoaPanel, n: usize) {
+        let d = self.dim;
+        let lanes = panel.lanes;
+        debug_assert_eq!(panel.dim, d);
+        debug_assert!(n <= lanes);
+        panel.reset_logs(log0, n);
+        for step in 0..self.steps {
+            let zbase = step * d * lanes;
+            for i in 0..d {
+                let (dd, vs) = (self.drift_dt[i], self.vol_sqdt[i]);
+                let wrow = &panel.z[zbase + i * lanes..zbase + i * lanes + n];
+                let lrow = &mut panel.log[i * lanes..i * lanes + n];
+                for (ll, &wl) in lrow.iter_mut().zip(wrow) {
+                    *ll += dd + vs * wl;
+                }
+            }
+        }
+        panel.exp_all(n);
+    }
 }
 
 /// Lanes per panel of the batched structure-of-arrays kernel: paths are

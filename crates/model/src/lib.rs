@@ -26,5 +26,5 @@ pub mod product;
 pub use error::ModelError;
 pub use greeks::Greeks;
 pub use implied::{implied_vol, OptionSide};
-pub use market::GbmMarket;
+pub use market::{GbmMarket, MarketDelta, TickOutcome};
 pub use product::{ExerciseStyle, PathDependence, Payoff, Product};

@@ -2,6 +2,67 @@
 
 use crate::ModelError;
 use mdp_math::linalg::{Cholesky, Matrix};
+use mdp_math::Fnv64;
+
+/// One market-data tick: a single field of a [`GbmMarket`] changing
+/// while everything else stays bitwise-identical.
+///
+/// The tick vocabulary drives incremental plan invalidation
+/// (`apply_tick` on the engine plans): each engine classifies its
+/// compiled components by which of these fields they depend on and
+/// rebuilds only the invalidated parts. A delta always carries the new
+/// *absolute* value, not an increment, so applying the same tick twice
+/// is idempotent.
+#[derive(Debug, Clone)]
+pub enum MarketDelta {
+    /// Asset `asset`'s spot moves to `spot`.
+    Spot {
+        /// Which asset ticked.
+        asset: usize,
+        /// The new spot level.
+        spot: f64,
+    },
+    /// Asset `asset`'s volatility moves to `vol`.
+    Vol {
+        /// Which asset ticked.
+        asset: usize,
+        /// The new volatility.
+        vol: f64,
+    },
+    /// The flat risk-free rate moves to `rate`.
+    Rate {
+        /// The new rate.
+        rate: f64,
+    },
+    /// The whole correlation matrix is replaced.
+    Correlation {
+        /// The new correlation matrix (validated on apply).
+        correlation: Matrix,
+    },
+}
+
+/// How an engine plan absorbed a [`MarketDelta`].
+///
+/// Returned by the per-engine `apply_tick` implementations so callers
+/// (cache statistics, benches) can tell incremental patches apart from
+/// the full-rebuild fallback. Either way the resulting plan is
+/// bitwise-equal to a freshly built one — the distinction is purely
+/// about how much work was spent getting there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickOutcome {
+    /// Only the components invalidated by the ticked field were rebuilt.
+    Patched,
+    /// The tick invalidated enough that the plan was rebuilt from
+    /// scratch.
+    Rebuilt,
+}
+
+impl TickOutcome {
+    /// Whether the plan fell back to a full rebuild.
+    pub fn rebuilt(self) -> bool {
+        matches!(self, TickOutcome::Rebuilt)
+    }
+}
 
 /// A market of `d` assets following correlated geometric Brownian motions
 /// under the risk-neutral measure:
@@ -234,6 +295,71 @@ impl GbmMarket {
         )
     }
 
+    /// The market after applying one tick.
+    ///
+    /// Only what the tick touches is re-validated, and for
+    /// non-correlation ticks the existing Cholesky factor is carried
+    /// over unchanged: the factor depends only on the correlation
+    /// matrix and [`Cholesky::factor`] is deterministic, so the carried
+    /// factor is bitwise-identical to what re-factoring would produce.
+    /// Correlation ticks re-validate the new matrix and re-factor.
+    pub fn apply_delta(&self, delta: &MarketDelta) -> Result<Self, ModelError> {
+        let check_asset = |asset: usize| {
+            if asset < self.dim() {
+                Ok(())
+            } else {
+                Err(ModelError::DimensionMismatch {
+                    product: asset + 1,
+                    market: self.dim(),
+                })
+            }
+        };
+        match delta {
+            MarketDelta::Spot { asset, spot } => {
+                check_asset(*asset)?;
+                if !(*spot > 0.0 && spot.is_finite()) {
+                    return Err(ModelError::InvalidParameter {
+                        what: "spot",
+                        value: *spot,
+                    });
+                }
+                let mut m = self.clone();
+                m.spots[*asset] = *spot;
+                Ok(m)
+            }
+            MarketDelta::Vol { asset, vol } => {
+                check_asset(*asset)?;
+                if !(*vol > 0.0 && vol.is_finite()) {
+                    return Err(ModelError::InvalidParameter {
+                        what: "volatility",
+                        value: *vol,
+                    });
+                }
+                let mut m = self.clone();
+                m.vols[*asset] = *vol;
+                Ok(m)
+            }
+            MarketDelta::Rate { rate } => {
+                if !rate.is_finite() {
+                    return Err(ModelError::InvalidParameter {
+                        what: "rate",
+                        value: *rate,
+                    });
+                }
+                let mut m = self.clone();
+                m.rate = *rate;
+                Ok(m)
+            }
+            MarketDelta::Correlation { correlation } => Self::new(
+                self.spots.clone(),
+                self.vols.clone(),
+                self.dividends.clone(),
+                self.rate,
+                correlation.clone(),
+            ),
+        }
+    }
+
     /// A bit-exact 64-bit fingerprint of the market snapshot.
     ///
     /// Two markets hash equal **iff** every parameter that can influence
@@ -249,31 +375,19 @@ impl GbmMarket {
     /// bitwise-identical market, so executing it is bitwise-identical to
     /// rebuilding.
     pub fn cache_key(&self) -> u64 {
-        let mut h: u64 = 0xcbf29ce484222325;
-        let mut eat = |word: u64| {
-            for b in word.to_le_bytes() {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x100000001b3);
-            }
-        };
+        let mut f = Fnv64::new();
         let d = self.dim();
-        eat(d as u64);
-        eat(self.rate.to_bits());
-        for &s in &self.spots {
-            eat(s.to_bits());
-        }
-        for &v in &self.vols {
-            eat(v.to_bits());
-        }
-        for &q in &self.dividends {
-            eat(q.to_bits());
-        }
+        f.eat_usize(d);
+        f.eat_f64(self.rate);
+        f.eat_f64s(&self.spots);
+        f.eat_f64s(&self.vols);
+        f.eat_f64s(&self.dividends);
         for i in 0..d {
             for j in 0..d {
-                eat(self.correlation[(i, j)].to_bits());
+                f.eat_f64(self.correlation[(i, j)]);
             }
         }
-        h
+        f.finish()
     }
 
     /// Covariance of log-returns over unit time: `Σᵢⱼ = σᵢσⱼρᵢⱼ`.
@@ -328,6 +442,97 @@ mod tests {
         corr[(0, 1)] = 0.5;
         let e = GbmMarket::new(vec![1.0; 2], vec![0.2; 2], vec![0.0; 2], 0.0, corr).unwrap_err();
         assert!(matches!(e, ModelError::BadCorrelation(_)));
+    }
+
+    #[test]
+    fn apply_delta_matches_rebuild_bitwise() {
+        let m = GbmMarket::symmetric(3, 100.0, 0.2, 0.01, 0.05, 0.4).unwrap();
+        let pairs: Vec<(GbmMarket, GbmMarket)> = vec![
+            (
+                m.apply_delta(&MarketDelta::Spot {
+                    asset: 1,
+                    spot: 101.5,
+                })
+                .unwrap(),
+                m.with_spot(1, 101.5).unwrap(),
+            ),
+            (
+                m.apply_delta(&MarketDelta::Vol {
+                    asset: 2,
+                    vol: 0.27,
+                })
+                .unwrap(),
+                m.with_vol(2, 0.27).unwrap(),
+            ),
+            (
+                m.apply_delta(&MarketDelta::Rate { rate: 0.03 }).unwrap(),
+                m.with_rate(0.03).unwrap(),
+            ),
+        ];
+        for (ticked, rebuilt) in &pairs {
+            assert_eq!(ticked.cache_key(), rebuilt.cache_key());
+            // The carried Cholesky is bitwise the re-factored one.
+            let (a, b) = (ticked.cholesky().l(), rebuilt.cholesky().l());
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn apply_delta_correlation_refactors() {
+        let m = GbmMarket::symmetric(2, 100.0, 0.2, 0.0, 0.05, 0.4).unwrap();
+        let mut corr = Matrix::identity(2);
+        corr[(0, 1)] = 0.7;
+        corr[(1, 0)] = 0.7;
+        let t = m
+            .apply_delta(&MarketDelta::Correlation {
+                correlation: corr.clone(),
+            })
+            .unwrap();
+        let r = GbmMarket::new(
+            m.spots().to_vec(),
+            m.vols().to_vec(),
+            m.dividends().to_vec(),
+            m.rate(),
+            corr,
+        )
+        .unwrap();
+        assert_eq!(t.cache_key(), r.cache_key());
+        assert_eq!(t.cholesky().l()[(1, 0)], r.cholesky().l()[(1, 0)]);
+    }
+
+    #[test]
+    fn apply_delta_validates() {
+        let m = GbmMarket::single(100.0, 0.2, 0.0, 0.05).unwrap();
+        assert!(m
+            .apply_delta(&MarketDelta::Spot {
+                asset: 0,
+                spot: -1.0
+            })
+            .is_err());
+        assert!(m
+            .apply_delta(&MarketDelta::Spot {
+                asset: 3,
+                spot: 100.0
+            })
+            .is_err());
+        assert!(m
+            .apply_delta(&MarketDelta::Vol {
+                asset: 0,
+                vol: f64::NAN
+            })
+            .is_err());
+        assert!(m
+            .apply_delta(&MarketDelta::Rate {
+                rate: f64::INFINITY
+            })
+            .is_err());
+        let mut bad = Matrix::identity(1);
+        bad[(0, 0)] = 0.5;
+        assert!(m
+            .apply_delta(&MarketDelta::Correlation { correlation: bad })
+            .is_err());
     }
 
     #[test]

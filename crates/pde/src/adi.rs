@@ -38,7 +38,7 @@
 use crate::grid::LogGrid;
 use crate::PdeError;
 use mdp_math::linalg::tridiag::{FactoredTridiag, ThomasScratch, Tridiag};
-use mdp_model::{ExerciseStyle, GbmMarket, Product};
+use mdp_model::{ExerciseStyle, GbmMarket, MarketDelta, Product, TickOutcome};
 use rayon::prelude::*;
 use std::cell::RefCell;
 
@@ -201,45 +201,19 @@ impl Adi2d {
         }
         let dt = maturity / n as f64;
         let r = market.rate();
-        let rho = market.correlation()[(0, 1)];
         let theta = 0.5;
 
         // Per-axis operators: L_k = ½σ²∂ₖₖ + μ∂ₖ − r/2.
-        let axis = |k: usize| {
-            let sigma = market.vols()[k];
-            let grid = LogGrid::new(market.spots()[k], sigma, maturity, self.width, m);
-            let dx = grid.dx;
-            let diff = 0.5 * sigma * sigma / (dx * dx);
-            let conv = 0.5 * market.log_drift(k) / dx;
-            Axis {
-                a: diff - conv,
-                b: -2.0 * diff - 0.5 * r,
-                c: diff + conv,
-                grid,
-            }
-        };
-        let ax1 = axis(0);
-        let ax2 = axis(1);
-        let mixed = rho * market.vols()[0] * market.vols()[1] / (4.0 * ax1.grid.dx * ax2.grid.dx);
+        let ax1 = build_axis(market, 0, maturity, self.width, m);
+        let ax2 = build_axis(market, 1, maturity, self.width, m);
+        let mixed = mixed_coefficient(market, &ax1, &ax2);
         let s1 = ax1.grid.spots();
         let s2 = ax2.grid.spots();
 
         // Implicit line systems (constant per run) and their Thomas
         // factors, derived once here instead of once per price call.
-        let interior = m - 2;
-        let sys1 = Tridiag::new(
-            vec![-theta * dt * ax1.a; interior],
-            vec![1.0 - theta * dt * ax1.b; interior],
-            vec![-theta * dt * ax1.c; interior],
-        );
-        let sys2 = Tridiag::new(
-            vec![-theta * dt * ax2.a; interior],
-            vec![1.0 - theta * dt * ax2.b; interior],
-            vec![-theta * dt * ax2.c; interior],
-        );
-        let grid_too_small = |_| PdeError::GridTooSmall { space: m, time: n };
-        let fac1 = sys1.factor().map_err(grid_too_small)?;
-        let fac2 = sys2.factor().map_err(grid_too_small)?;
+        let (sys1, fac1) = axis_system(theta, dt, &ax1, m, n)?;
+        let (sys2, fac2) = axis_system(theta, dt, &ax2, m, n)?;
         Ok(Adi2dPlan {
             cfg: *self,
             market: market.clone(),
@@ -268,10 +242,143 @@ impl Adi2d {
     }
 }
 
+/// Axis operator coefficients for an existing grid spacing:
+/// `L_k = ½σ²∂ₖₖ + μ∂ₖ − r/2` discretised with central differences.
+/// Shared by fresh plans and tick patches for bit-identical rebuilds.
+fn axis_coefficients(market: &GbmMarket, k: usize, dx: f64) -> (f64, f64, f64) {
+    let sigma = market.vols()[k];
+    let diff = 0.5 * sigma * sigma / (dx * dx);
+    let conv = 0.5 * market.log_drift(k) / dx;
+    (
+        diff - conv,
+        -2.0 * diff - 0.5 * market.rate(),
+        diff + conv,
+    )
+}
+
+/// Build one axis: the log-spot grid plus its operator coefficients.
+fn build_axis(market: &GbmMarket, k: usize, maturity: f64, width: f64, m: usize) -> Axis {
+    let grid = LogGrid::new(market.spots()[k], market.vols()[k], maturity, width, m);
+    let (a, b, c) = axis_coefficients(market, k, grid.dx);
+    Axis { a, b, c, grid }
+}
+
+/// The explicit mixed-derivative coefficient `ρσ₁σ₂/(4·dx₁·dx₂)`.
+fn mixed_coefficient(market: &GbmMarket, ax1: &Axis, ax2: &Axis) -> f64 {
+    market.correlation()[(0, 1)] * market.vols()[0] * market.vols()[1]
+        / (4.0 * ax1.grid.dx * ax2.grid.dx)
+}
+
+/// One stage system `(I − θΔt·A_k)` and its Thomas factors.
+fn axis_system(
+    theta: f64,
+    dt: f64,
+    ax: &Axis,
+    m: usize,
+    n: usize,
+) -> Result<(Tridiag, FactoredTridiag), PdeError> {
+    let interior = m - 2;
+    let sys = Tridiag::new(
+        vec![-theta * dt * ax.a; interior],
+        vec![1.0 - theta * dt * ax.b; interior],
+        vec![-theta * dt * ax.c; interior],
+    );
+    let fac = sys
+        .factor()
+        .map_err(|_| PdeError::GridTooSmall { space: m, time: n })?;
+    Ok((sys, fac))
+}
+
 impl Adi2dPlan {
     /// Horizon the plan was built for.
     pub fn maturity(&self) -> f64 {
         self.maturity
+    }
+
+    /// The market snapshot the plan currently prices on (kept in sync
+    /// by [`Adi2dPlan::apply_tick`]).
+    pub fn market(&self) -> &GbmMarket {
+        &self.market
+    }
+
+    /// Absorb one market tick, rebuilding only the invalidated plan
+    /// components:
+    ///
+    /// * **Spot** — grid spacing is spot-independent, so the ticked
+    ///   axis keeps its operator, stage system and Thomas factors; only
+    ///   its node placement (and spot ladder) is recentred. The other
+    ///   axis and the mixed coefficient are untouched.
+    /// * **Vol** — changes that axis's `dx`: its grid, operator, stage
+    ///   system and factors are rebuilt, plus the mixed coefficient.
+    ///   The *other* axis survives wholesale.
+    /// * **Rate** — both axes' operator coefficients and stage factors
+    ///   are rebuilt; both grids and the mixed coefficient survive.
+    /// * **Correlation** — only the mixed coefficient is recomputed.
+    ///
+    /// The patched plan is bitwise-equal to a fresh
+    /// `cfg.plan(&ticked market, maturity)`: rebuilt components go
+    /// through the same arithmetic as the fresh-plan path and surviving
+    /// components are provably independent of the ticked field.
+    pub fn apply_tick(&mut self, delta: &MarketDelta) -> Result<TickOutcome, PdeError> {
+        let market = self.market.apply_delta(delta).map_err(PdeError::Model)?;
+        let (m, n) = (self.cfg.space_points, self.cfg.time_steps);
+        match delta {
+            MarketDelta::Spot { asset, .. } => {
+                let (ax, s) = if *asset == 0 {
+                    (&mut self.ax1, &mut self.s1)
+                } else {
+                    (&mut self.ax2, &mut self.s2)
+                };
+                ax.grid = LogGrid::new(
+                    market.spots()[*asset],
+                    market.vols()[*asset],
+                    self.maturity,
+                    self.cfg.width,
+                    m,
+                );
+                *s = ax.grid.spots();
+                self.market = market;
+                Ok(TickOutcome::Patched)
+            }
+            MarketDelta::Vol { asset, .. } => {
+                let ax = build_axis(&market, *asset, self.maturity, self.cfg.width, m);
+                let (sys, fac) = axis_system(self.theta, self.dt, &ax, m, n)?;
+                if *asset == 0 {
+                    self.s1 = ax.grid.spots();
+                    self.ax1 = ax;
+                    self.sys1 = sys;
+                    self.fac1 = fac;
+                } else {
+                    self.s2 = ax.grid.spots();
+                    self.ax2 = ax;
+                    self.sys2 = sys;
+                    self.fac2 = fac;
+                }
+                self.mixed = mixed_coefficient(&market, &self.ax1, &self.ax2);
+                self.market = market;
+                Ok(TickOutcome::Patched)
+            }
+            MarketDelta::Rate { .. } => {
+                let (a1, b1, c1) = axis_coefficients(&market, 0, self.ax1.grid.dx);
+                let (a2, b2, c2) = axis_coefficients(&market, 1, self.ax2.grid.dx);
+                (self.ax1.a, self.ax1.b, self.ax1.c) = (a1, b1, c1);
+                (self.ax2.a, self.ax2.b, self.ax2.c) = (a2, b2, c2);
+                let (sys1, fac1) = axis_system(self.theta, self.dt, &self.ax1, m, n)?;
+                let (sys2, fac2) = axis_system(self.theta, self.dt, &self.ax2, m, n)?;
+                self.sys1 = sys1;
+                self.fac1 = fac1;
+                self.sys2 = sys2;
+                self.fac2 = fac2;
+                self.r = market.rate();
+                self.market = market;
+                Ok(TickOutcome::Patched)
+            }
+            MarketDelta::Correlation { .. } => {
+                self.mixed = mixed_coefficient(&market, &self.ax1, &self.ax2);
+                self.market = market;
+                Ok(TickOutcome::Patched)
+            }
+        }
     }
 
     /// Run the planned scheme for one product. Bitwise-identical to the
@@ -687,6 +794,46 @@ mod tests {
         };
         let r = cfg.price(&m, &p).unwrap();
         assert!(approx_eq(r.price, exact, 2e-2), "{} vs {exact}", r.price);
+    }
+
+    #[test]
+    fn apply_tick_bitwise_equals_fresh_plan() {
+        let cfg = Adi2d {
+            space_points: 61,
+            time_steps: 30,
+            ..Default::default()
+        };
+        let m0 = market(0.5);
+        let p = Product::european(Payoff::GeometricCall { strike: 100.0 }, 1.0);
+        let mut corr = mdp_math::linalg::Matrix::identity(2);
+        corr[(0, 1)] = 0.25;
+        corr[(1, 0)] = 0.25;
+        let ticks = [
+            MarketDelta::Spot {
+                asset: 0,
+                spot: 103.0,
+            },
+            MarketDelta::Vol {
+                asset: 1,
+                vol: 0.26,
+            },
+            MarketDelta::Rate { rate: 0.035 },
+            MarketDelta::Correlation { correlation: corr },
+            MarketDelta::Spot {
+                asset: 1,
+                spot: 97.5,
+            },
+        ];
+        let mut ticked = cfg.plan(&m0, 1.0).unwrap();
+        let mut mk = m0;
+        for delta in &ticks {
+            assert_eq!(ticked.apply_tick(delta).unwrap(), TickOutcome::Patched);
+            mk = mk.apply_delta(delta).unwrap();
+            let fresh = cfg.plan(&mk, 1.0).unwrap();
+            let pt = ticked.execute(&p, &mut Adi2dScratch::default()).unwrap();
+            let pf = fresh.execute(&p, &mut Adi2dScratch::default()).unwrap();
+            assert_eq!(pt.price.to_bits(), pf.price.to_bits(), "{delta:?}");
+        }
     }
 
     #[test]

@@ -23,7 +23,7 @@
 use crate::grid::LogGrid;
 use crate::PdeError;
 use mdp_math::linalg::tridiag::{FactoredTridiag, Tridiag};
-use mdp_model::{ExerciseStyle, GbmMarket, Product};
+use mdp_model::{ExerciseStyle, GbmMarket, MarketDelta, Product, TickOutcome};
 
 /// Time-stepping scheme.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -179,12 +179,7 @@ impl Fd1d {
         let dx = grid.dx;
         let dt = maturity / n as f64;
 
-        // Spatial operator coefficients: a·V_{i−1} + b·V_i + c·V_{i+1}.
-        let diff = 0.5 * sigma * sigma / (dx * dx);
-        let conv = 0.5 * mu / dx;
-        let a = diff - conv;
-        let b = -2.0 * diff - r;
-        let c = diff + conv;
+        let (a, b, c) = operator_coefficients(sigma, r, mu, dx);
 
         if self.scheme == Scheme::Explicit {
             let ratio = sigma * sigma * dt / (dx * dx);
@@ -201,20 +196,7 @@ impl Fd1d {
             Scheme::Explicit => 0.0,
             Scheme::CrankNicolson => 0.5,
         };
-        let interior = m - 2;
-        let lhs = Tridiag::new(
-            vec![-theta * dt * a; interior],
-            (0..interior).map(|_| 1.0 - theta * dt * b).collect(),
-            vec![-theta * dt * c; interior],
-        );
-        let factored = if theta != 0.0 {
-            Some(
-                lhs.factor()
-                    .map_err(|_| PdeError::GridTooSmall { space: m, time: n })?,
-            )
-        } else {
-            None
-        };
+        let (lhs, factored) = implicit_system(theta, dt, a, b, c, m, n)?;
         let spots = grid.spots();
         Ok(Fd1dPlan {
             cfg: *self,
@@ -242,10 +224,121 @@ impl Fd1d {
     }
 }
 
+/// Spatial operator coefficients `a·V_{i−1} + b·V_i + c·V_{i+1}`.
+///
+/// Shared by fresh plans and rate-tick patches so both paths produce
+/// bit-identical coefficients from equal inputs.
+fn operator_coefficients(sigma: f64, r: f64, mu: f64, dx: f64) -> (f64, f64, f64) {
+    let diff = 0.5 * sigma * sigma / (dx * dx);
+    let conv = 0.5 * mu / dx;
+    (diff - conv, -2.0 * diff - r, diff + conv)
+}
+
+/// The θ-scheme system `(I − θΔt·L)` on interior points and its Thomas
+/// factors (`None` for the explicit scheme, which never solves it).
+fn implicit_system(
+    theta: f64,
+    dt: f64,
+    a: f64,
+    b: f64,
+    c: f64,
+    m: usize,
+    n: usize,
+) -> Result<(Tridiag, Option<FactoredTridiag>), PdeError> {
+    let interior = m - 2;
+    let lhs = Tridiag::new(
+        vec![-theta * dt * a; interior],
+        (0..interior).map(|_| 1.0 - theta * dt * b).collect(),
+        vec![-theta * dt * c; interior],
+    );
+    let factored = if theta != 0.0 {
+        Some(
+            lhs.factor()
+                .map_err(|_| PdeError::GridTooSmall { space: m, time: n })?,
+        )
+    } else {
+        None
+    };
+    Ok((lhs, factored))
+}
+
 impl Fd1dPlan {
     /// The grid the plan solves on.
     pub fn grid(&self) -> &LogGrid {
         &self.grid
+    }
+
+    /// The market snapshot the plan currently prices on (kept in sync
+    /// by [`Fd1dPlan::apply_tick`]).
+    pub fn market(&self) -> &GbmMarket {
+        &self.market
+    }
+
+    /// Absorb one market tick, rebuilding only the plan components the
+    /// ticked field invalidates:
+    ///
+    /// * **Spot** — the log-grid spacing `dx` depends on σ, T, the
+    ///   domain width and the point count but *not* the spot, so the
+    ///   operator coefficients, the θ-scheme tridiagonal and its Thomas
+    ///   factors all survive; only the node placement (and thus the
+    ///   spot ladder) moves.
+    /// * **Rate** — the grid survives; the operator coefficients and
+    ///   the factored system are rebuilt.
+    /// * **Vol** — changes `dx` itself: full rebuild.
+    /// * **Correlation** — vacuous at d = 1: the snapshot is swapped,
+    ///   nothing rebuilt.
+    ///
+    /// The patched plan is **bitwise-equal** to `cfg.plan(&ticked
+    /// market, maturity)`: every rebuilt component goes through the
+    /// same arithmetic the fresh-plan path uses, and every surviving
+    /// component is provably independent of the ticked field.
+    pub fn apply_tick(&mut self, delta: &MarketDelta) -> Result<TickOutcome, PdeError> {
+        let market = self.market.apply_delta(delta).map_err(PdeError::Model)?;
+        match delta {
+            MarketDelta::Spot { .. } => {
+                self.grid = LogGrid::new(
+                    market.spots()[0],
+                    market.vols()[0],
+                    self.maturity,
+                    self.cfg.width,
+                    self.cfg.space_points,
+                );
+                self.spots = self.grid.spots();
+                self.market = market;
+                Ok(TickOutcome::Patched)
+            }
+            MarketDelta::Rate { .. } => {
+                let sigma = market.vols()[0];
+                let r = market.rate();
+                let mu = market.log_drift(0);
+                let (a, b, c) = operator_coefficients(sigma, r, mu, self.grid.dx);
+                let (lhs, factored) = implicit_system(
+                    self.theta,
+                    self.dt,
+                    a,
+                    b,
+                    c,
+                    self.cfg.space_points,
+                    self.cfg.time_steps,
+                )?;
+                self.r = r;
+                self.a = a;
+                self.b = b;
+                self.c = c;
+                self.lhs = lhs;
+                self.factored = factored;
+                self.market = market;
+                Ok(TickOutcome::Patched)
+            }
+            MarketDelta::Correlation { .. } => {
+                self.market = market;
+                Ok(TickOutcome::Patched)
+            }
+            MarketDelta::Vol { .. } => {
+                *self = self.cfg.plan(&market, self.maturity)?;
+                Ok(TickOutcome::Rebuilt)
+            }
+        }
     }
 
     /// Horizon the plan was built for.
@@ -403,9 +496,6 @@ impl Fd1dPlan {
             });
         }
         let m = self.cfg.space_points;
-        let (dt, r, theta) = (self.dt, self.r, self.theta);
-        let (a, b, c) = (self.a, self.b, self.c);
-        let interior = m - 2;
 
         scratch.american.clear();
         for product in products {
@@ -428,6 +518,104 @@ impl Fd1dPlan {
                 scratch.intrinsic[i * w + lane] = product.payoff.eval(&[s]);
             }
         }
+        let nodes = self.sweep_panel(w, scratch);
+        let prices = (0..w)
+            .map(|lane| scratch.values[self.grid.center * w + lane])
+            .collect();
+        Ok(Fd1dLadderResult {
+            prices,
+            nodes_processed: nodes,
+        })
+    }
+
+    /// Fused spot-scenario cube: price every product under every spot
+    /// scenario of the single asset in **one** backward sweep, with one
+    /// lane per `(scenario, product)` pair.
+    ///
+    /// A spot tick leaves the grid spacing, the operator coefficients
+    /// and the Thomas factors untouched ([`Fd1dPlan::apply_tick`]);
+    /// scenario lanes differ only through their shifted node placement
+    /// and hence their intrinsic panel — exactly like extra strikes in
+    /// a ladder. Every lane performs the per-element arithmetic of
+    /// [`Fd1dPlan::execute`] on a spot-ticked plan, so each price is
+    /// **bitwise-identical** to re-planning at that spot and executing,
+    /// while the factorisation and the sweep are paid once.
+    ///
+    /// Returns prices scenario-major: `prices[k * products.len() + j]`
+    /// is product `j` under `scenario_spots[k]`.
+    pub fn execute_spot_cube(
+        &self,
+        products: &[Product],
+        scenario_spots: &[f64],
+        scratch: &mut Fd1dLadderScratch,
+    ) -> Result<Fd1dLadderResult, PdeError> {
+        let np = products.len();
+        let w = np * scenario_spots.len();
+        if w == 0 {
+            return Ok(Fd1dLadderResult {
+                prices: Vec::new(),
+                nodes_processed: 0,
+            });
+        }
+        let m = self.cfg.space_points;
+        scratch.american.clear();
+        for _ in scenario_spots {
+            for product in products {
+                self.check_product(product)?;
+                let am = product.exercise == ExerciseStyle::American;
+                if am && matches!(self.cfg.american, AmericanMethod::Psor { .. }) {
+                    return Err(PdeError::Model(mdp_model::ModelError::Unsupported {
+                        engine: "1-D finite differences",
+                        why: "PSOR products cannot join a fused ladder".into(),
+                    }));
+                }
+                scratch.american.push(am);
+            }
+        }
+        scratch.intrinsic.resize(m * w, 0.0);
+        for (k, &spot) in scenario_spots.iter().enumerate() {
+            if !(spot > 0.0 && spot.is_finite()) {
+                return Err(PdeError::Model(mdp_model::ModelError::InvalidParameter {
+                    what: "spot",
+                    value: spot,
+                }));
+            }
+            // The scenario's node ladder: same dx (spot-independent),
+            // recentred on the scenario spot — what apply_tick rebuilds.
+            let grid = LogGrid::new(
+                spot,
+                self.market.vols()[0],
+                self.maturity,
+                self.cfg.width,
+                m,
+            );
+            let spots = grid.spots();
+            for (j, product) in products.iter().enumerate() {
+                let lane = k * np + j;
+                for (i, &s) in spots.iter().enumerate() {
+                    scratch.intrinsic[i * w + lane] = product.payoff.eval(&[s]);
+                }
+            }
+        }
+        let nodes = self.sweep_panel(w, scratch);
+        let prices = (0..w)
+            .map(|lane| scratch.values[self.grid.center * w + lane])
+            .collect();
+        Ok(Fd1dLadderResult {
+            prices,
+            nodes_processed: nodes,
+        })
+    }
+
+    /// The fused backward θ-sweep over a `w`-lane panel whose intrinsic
+    /// surface is already in `scratch.intrinsic` (lane-major, `m·w`)
+    /// and whose exercise flags are in `scratch.american`. Fills
+    /// `scratch.values` with the t=0 surface; returns nodes processed.
+    fn sweep_panel(&self, w: usize, scratch: &mut Fd1dLadderScratch) -> u64 {
+        let m = self.cfg.space_points;
+        let (dt, r, theta) = (self.dt, self.r, self.theta);
+        let (a, b, c) = (self.a, self.b, self.c);
+        let interior = m - 2;
         scratch.values.clear();
         scratch.values.extend_from_slice(&scratch.intrinsic);
         scratch.rhs.resize(interior * w, 0.0);
@@ -503,14 +691,7 @@ impl Fd1dPlan {
             }
             nodes += (m * w) as u64;
         }
-
-        let prices = (0..w)
-            .map(|lane| values[self.grid.center * w + lane])
-            .collect();
-        Ok(Fd1dLadderResult {
-            prices,
-            nodes_processed: nodes,
-        })
+        nodes
     }
 }
 
@@ -796,6 +977,89 @@ mod tests {
                 one_shot.price.to_bits(),
                 "lane {lane}"
             );
+        }
+    }
+
+    #[test]
+    fn apply_tick_bitwise_equals_fresh_plan() {
+        let cfg = Fd1d::default();
+        let m0 = market();
+        let product = call(100.0);
+        let ticks = [
+            MarketDelta::Spot {
+                asset: 0,
+                spot: 104.25,
+            },
+            MarketDelta::Rate { rate: 0.042 },
+            MarketDelta::Vol {
+                asset: 0,
+                vol: 0.23,
+            },
+            MarketDelta::Correlation {
+                correlation: mdp_math::linalg::Matrix::identity(1),
+            },
+        ];
+        let mut ticked = cfg.plan(&m0, 1.0).unwrap();
+        let mut market = m0;
+        for delta in &ticks {
+            ticked.apply_tick(delta).unwrap();
+            market = market.apply_delta(delta).unwrap();
+            let fresh = cfg.plan(&market, 1.0).unwrap();
+            let pt = ticked.execute(&product, &mut Fd1dScratch::default()).unwrap();
+            let pf = fresh.execute(&product, &mut Fd1dScratch::default()).unwrap();
+            assert_eq!(pt.price.to_bits(), pf.price.to_bits(), "{delta:?}");
+            for (x, y) in pt.values.iter().zip(&pf.values) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn spot_tick_is_patch_vol_tick_is_rebuild() {
+        let mut plan = Fd1d::default().plan(&market(), 1.0).unwrap();
+        assert_eq!(
+            plan.apply_tick(&MarketDelta::Spot {
+                asset: 0,
+                spot: 99.0
+            })
+            .unwrap(),
+            TickOutcome::Patched
+        );
+        assert_eq!(
+            plan.apply_tick(&MarketDelta::Rate { rate: 0.01 }).unwrap(),
+            TickOutcome::Patched
+        );
+        assert_eq!(
+            plan.apply_tick(&MarketDelta::Vol {
+                asset: 0,
+                vol: 0.3
+            })
+            .unwrap(),
+            TickOutcome::Rebuilt
+        );
+    }
+
+    #[test]
+    fn spot_cube_bitwise_equals_per_scenario_plans() {
+        let cfg = Fd1d::default();
+        let m0 = market();
+        let products = vec![call(95.0), call(105.0), put_am(100.0)];
+        let scenarios = [92.0, 100.0, 108.5];
+        let plan = cfg.plan(&m0, 1.0).unwrap();
+        let cube = plan
+            .execute_spot_cube(&products, &scenarios, &mut Fd1dLadderScratch::default())
+            .unwrap();
+        for (k, &spot) in scenarios.iter().enumerate() {
+            let mk = m0.with_spot(0, spot).unwrap();
+            let fresh = cfg.plan(&mk, 1.0).unwrap();
+            for (j, product) in products.iter().enumerate() {
+                let one = fresh.execute(product, &mut Fd1dScratch::default()).unwrap();
+                assert_eq!(
+                    cube.prices[k * products.len() + j].to_bits(),
+                    one.price.to_bits(),
+                    "scenario {k} product {j}"
+                );
+            }
         }
     }
 

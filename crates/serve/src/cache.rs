@@ -8,6 +8,7 @@
 
 use crate::coalesce::PlanKey;
 use mdp_core::GroupPlan;
+use mdp_model::MarketDelta;
 
 /// Hit/miss/eviction counters of a [`PlanCache`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -18,6 +19,11 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted by the LRU policy.
     pub evictions: u64,
+    /// Cached plans patched in place by a market tick
+    /// ([`PlanCache::retain_compatible`]).
+    pub ticks_applied: u64,
+    /// Cached plans a tick could not patch, evicted instead.
+    pub tick_evictions: u64,
 }
 
 impl CacheStats {
@@ -90,6 +96,36 @@ impl PlanCache {
             self.stats.evictions += 1;
         }
         self.entries.push((key, plan));
+    }
+
+    /// Apply a one-field market tick to every cached plan: each entry
+    /// is **patched in place** via [`GroupPlan::apply_tick`] and re-keyed
+    /// under its ticked market's fingerprint, so the next burst quoting
+    /// the ticked market hits a plan bitwise-identical to a fresh build
+    /// — instead of the cache silently serving stale pre-tick plans (or
+    /// dropping everything and repaying every plan build).
+    ///
+    /// Entries the tick cannot patch (e.g. the delta fails validation
+    /// against that entry's market) are evicted. Returns
+    /// `(patched, evicted)`; the same counts accumulate in
+    /// [`CacheStats::ticks_applied`] / [`CacheStats::tick_evictions`].
+    pub fn retain_compatible(&mut self, delta: &MarketDelta) -> (u64, u64) {
+        let mut patched = 0u64;
+        let mut evicted = 0u64;
+        self.entries.retain_mut(|(key, plan)| match plan.apply_tick(delta) {
+            Ok(_) => {
+                key.market = plan.market().cache_key();
+                patched += 1;
+                true
+            }
+            Err(_) => {
+                evicted += 1;
+                false
+            }
+        });
+        self.stats.ticks_applied += patched;
+        self.stats.tick_evictions += evicted;
+        (patched, evicted)
     }
 
     /// Counters so far.

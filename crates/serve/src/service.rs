@@ -143,6 +143,7 @@ impl PricingService {
     /// A snapshot of the service counters.
     pub fn stats(&self) -> ServiceStats {
         let c = &self.inner.counters;
+        let cache = self.inner.cache.lock().expect("cache poisoned").stats();
         ServiceStats {
             submitted: c.submitted.load(Ordering::Relaxed),
             completed: c.completed.load(Ordering::Relaxed),
@@ -151,10 +152,26 @@ impl PricingService {
             groups: c.groups.load(Ordering::Relaxed),
             grouped_requests: c.grouped_requests.load(Ordering::Relaxed),
             fused: c.fused.load(Ordering::Relaxed),
-            cache: self.inner.cache.lock().expect("cache poisoned").stats(),
+            cache,
+            ticks_applied: cache.ticks_applied,
+            tick_evictions: cache.tick_evictions,
             plan_seconds_hit: c.plan_nanos_hit.load(Ordering::Relaxed) as f64 * 1e-9,
             plan_seconds_miss: c.plan_nanos_miss.load(Ordering::Relaxed) as f64 * 1e-9,
         }
+    }
+
+    /// Apply a one-field market tick to every cached plan: entries are
+    /// **delta-patched** in place (and re-keyed under the ticked
+    /// market's fingerprint) instead of evicted, so the next burst
+    /// quoting the ticked market pays `plan_seconds ≈ 0` and still
+    /// prices bitwise-identically to a freshly built plan. Plans the
+    /// tick cannot patch are evicted. Returns `(patched, evicted)`.
+    pub fn apply_tick(&self, delta: &mdp_model::MarketDelta) -> (u64, u64) {
+        self.inner
+            .cache
+            .lock()
+            .expect("cache poisoned")
+            .retain_compatible(delta)
     }
 
     /// Close the queue, drain pending requests, join the workers and
@@ -492,6 +509,60 @@ mod tests {
         let stats = service.shutdown();
         assert_eq!(stats.errors, 1);
         assert_eq!(stats.completed, 2);
+    }
+
+    #[test]
+    fn tick_patches_cached_plans_and_keeps_them_hot() {
+        use mdp_model::MarketDelta;
+        let pricer = Pricer::new(Method::Fd1d(Fd1d::default()));
+        let service = PricingService::start(
+            pricer.clone(),
+            ServeConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        // Burst 1 builds and caches the group plan.
+        let tickets: Vec<_> = (0..8)
+            .map(|i| service.submit(call(i, 90.0 + i as f64)).unwrap())
+            .collect();
+        for t in tickets {
+            t.wait().unwrap().outcome.unwrap();
+        }
+        // The market ticks: patch the cached plan instead of evicting.
+        let delta = MarketDelta::Spot {
+            asset: 0,
+            spot: 103.5,
+        };
+        let (patched, evicted) = service.apply_tick(&delta);
+        assert_eq!((patched, evicted), (1, 0));
+        // Burst 2 quotes the ticked market: it must hit the patched
+        // plan and price bitwise like a direct fresh-plan pricer.
+        let ticked = Arc::new(market().apply_delta(&delta).unwrap());
+        let tickets: Vec<_> = (0..8)
+            .map(|i| {
+                let product = call(8 + i, 90.0 + i as f64).product;
+                service
+                    .submit(PriceRequest::new(8 + i, Arc::clone(&ticked), product))
+                    .unwrap()
+            })
+            .collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            let resp = t.wait().unwrap();
+            assert!(resp.cache_hit, "ticked plan must stay hot");
+            let direct = pricer
+                .price(&ticked, &call(0, 90.0 + i as f64).product)
+                .unwrap();
+            assert_eq!(
+                resp.outcome.unwrap().price.to_bits(),
+                direct.price.to_bits()
+            );
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.ticks_applied, 1);
+        assert_eq!(stats.tick_evictions, 0);
+        assert_eq!(stats.cache.ticks_applied, 1);
+        assert_eq!(stats.cache.misses, 1, "second burst must not rebuild");
     }
 
     #[test]

@@ -43,6 +43,13 @@ pub struct ServiceStats {
     pub fused: u64,
     /// Plan-cache counters.
     pub cache: CacheStats,
+    /// Cached plans patched in place by market ticks
+    /// ([`crate::PricingService::apply_tick`]); mirrors
+    /// [`CacheStats::ticks_applied`].
+    pub ticks_applied: u64,
+    /// Cached plans ticks could not patch, evicted instead; mirrors
+    /// [`CacheStats::tick_evictions`].
+    pub tick_evictions: u64,
     /// Total seconds spent on the plan phase across cache **hits**
     /// (lookup + clone — the `plan_seconds ≈ 0` path).
     pub plan_seconds_hit: f64,
