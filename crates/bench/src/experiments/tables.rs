@@ -389,6 +389,186 @@ pub fn t5b_pde_kernel_throughput(effort: Effort) {
     save("t5b_pde_kernel", &t);
 }
 
+/// T13 — the cache-oblivious trapezoid stencil vs the step-by-step
+/// oracle, and the 3-D ADI backend vs its Monte Carlo baseline.
+///
+/// Part (a) runs the full explicit FD time loop with the level-by-level
+/// sweep ([`StencilKernel::StepByStep`]) and the recursive trapezoid
+/// decomposition ([`StencilKernel::Trapezoid`]) on grids far past
+/// last-level-of-interest cache, checks the surfaces are bitwise
+/// identical, and records ns/node for both. The grid sizes use the
+/// tiny-maturity trick: with the `LogGrid` half-width clamped at 0.5,
+/// `Δx = 1/(M−1)`, and `T = N·12·Δx²` keeps the explicit stability
+/// ratio `σ²Δτ/Δx²` at 0.48 < ½ at any spatial resolution. Writes
+/// `BENCH_stencil.json` so CI can gate on `speedup ≥ 1` at every size.
+///
+/// Part (b) prices the correlated 3-asset basket call with the 3-D
+/// Douglas ADI grid and with Monte Carlo, asserting agreement within
+/// the simulation's own resolution and recording the wall cost of each.
+///
+/// [`StencilKernel::StepByStep`]: mdp_core::pde::StencilKernel::StepByStep
+/// [`StencilKernel::Trapezoid`]: mdp_core::pde::StencilKernel::Trapezoid
+pub fn t13_stencil_throughput(effort: Effort) {
+    use mdp_core::pde::Scheme;
+    use mdp_perf::timing::measure_best;
+
+    let mut t = Table::new(
+        "T13a: trapezoid explicit stencil vs step-by-step sweep — ns/node (1 asset)",
+        &[
+            "product",
+            "grid",
+            "N",
+            "step ns/node",
+            "trapezoid ns/node",
+            "speedup",
+        ],
+    );
+    let cases: &[(&str, usize, usize)] = match effort {
+        Effort::Quick => &[
+            ("eu put", (1 << 19) + 1, 96),
+            ("am put", (1 << 20) + 1, 128),
+        ],
+        Effort::Full => &[
+            ("eu put", (1 << 19) + 1, 96),
+            ("am put", (1 << 19) + 1, 96),
+            ("eu put", (1 << 20) + 1, 128),
+            ("am put", (1 << 21) + 1, 160),
+            ("eu put", (1 << 22) + 1, 192),
+        ],
+    };
+    // Best-of-k: both stencils are deterministic, so the minimum over
+    // repetitions strips scheduler noise symmetrically from both sides
+    // of the ratio.
+    let reps = effort.scale(2, 3);
+    let m1 = market(1);
+    let mut json = String::from(
+        "{\n  \"experiment\": \"t13\",\n  \"unit\": \"ns_per_node\",\n  \"results\": [\n",
+    );
+    for (i, &(name, mpts, n)) in cases.iter().enumerate() {
+        let dx = 1.0 / (mpts - 1) as f64;
+        let maturity = n as f64 * 12.0 * dx * dx;
+        let payoff = Payoff::BasketPut {
+            weights: vec![1.0],
+            strike: 100.0,
+        };
+        let p = if name.starts_with("am") {
+            Product::american(payoff, maturity)
+        } else {
+            Product::european(payoff, maturity)
+        };
+        let run = |stencil: StencilKernel| {
+            Fd1d {
+                space_points: mpts,
+                time_steps: n,
+                scheme: Scheme::Explicit,
+                stencil,
+                ..Default::default()
+            }
+            .price(&m1, &p)
+            .expect("fd1d")
+        };
+        let (res_step, secs_step) = measure_best(|| run(StencilKernel::StepByStep), reps);
+        let (res_trap, secs_trap) = measure_best(|| run(StencilKernel::Trapezoid), reps);
+        assert_eq!(
+            res_step.price.to_bits(),
+            res_trap.price.to_bits(),
+            "stencils disagree on {name} at m={mpts}"
+        );
+        assert_eq!(res_step.nodes_processed, res_trap.nodes_processed);
+        let nodes = res_step.nodes_processed as f64;
+        let ns_step = secs_step * 1e9 / nodes;
+        let ns_trap = secs_trap * 1e9 / nodes;
+        let speedup = ns_step / ns_trap;
+        assert!(
+            speedup >= 1.0,
+            "trapezoid stencil regressed on {name} at m={mpts}: {speedup:.2}x"
+        );
+        t.push(&[
+            name.to_string(),
+            format!("2^{}+1", (mpts - 1).trailing_zeros()),
+            n.to_string(),
+            fmt_sig(ns_step, 3),
+            fmt_sig(ns_trap, 3),
+            format!("{speedup:.2}"),
+        ]);
+        json.push_str(&format!(
+            "    {{\"product\": \"{name}\", \"grid\": {mpts}, \"steps\": {n}, \
+             \"step_ns_per_node\": {ns_step:.2}, \"trapezoid_ns_per_node\": {ns_trap:.2}, \
+             \"speedup\": {speedup:.2}}}{}\n",
+            if i + 1 < cases.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let _ = std::fs::write(crate::out_dir().join("BENCH_stencil.json"), json);
+    save("t13_stencil", &t);
+
+    // Part (b): the 3-D Douglas ADI grid against the Monte Carlo
+    // baseline on the correlated 3-asset basket call.
+    let mut t3d = Table::new(
+        "T13b: 3-D Douglas ADI vs Monte Carlo — 3-asset basket call",
+        &["engine", "config", "price", "seconds", "delta"],
+    );
+    let m3 = market(3);
+    let p3 = Product::european(
+        Payoff::BasketCall {
+            weights: Product::equal_weights(3),
+            strike: 100.0,
+        },
+        1.0,
+    );
+    let (grid, steps, paths) = match effort {
+        Effort::Quick => (31usize, 30usize, 100_000u64),
+        Effort::Full => (51, 50, 400_000),
+    };
+    let (mc_res, mc_secs) = measure_best(
+        || {
+            McEngine::new(McConfig {
+                paths,
+                seed: 0x13,
+                ..Default::default()
+            })
+            .price(&m3, &p3)
+            .expect("mc")
+        },
+        reps,
+    );
+    let (pde_res, pde_secs) = measure_best(
+        || {
+            Adi3d {
+                space_points: grid,
+                time_steps: steps,
+                ..Default::default()
+            }
+            .price(&m3, &p3)
+            .expect("adi3d")
+        },
+        reps,
+    );
+    let delta = (pde_res.price - mc_res.price).abs();
+    assert!(
+        delta < 4.0 * mc_res.std_error + 0.08,
+        "3-D ADI and MC disagree: {} vs {} ± {}",
+        pde_res.price,
+        mc_res.price,
+        mc_res.std_error
+    );
+    t3d.push(&[
+        "monte-carlo".into(),
+        format!("{paths} paths"),
+        fmt_sig(mc_res.price, 6),
+        fmt_sig(mc_secs, 3),
+        format!("se {}", fmt_sig(mc_res.std_error, 2)),
+    ]);
+    t3d.push(&[
+        "adi-3d".into(),
+        format!("{grid}^3 x {steps}"),
+        fmt_sig(pde_res.price, 6),
+        fmt_sig(pde_secs, 3),
+        format!("|d| {}", fmt_sig(delta, 2)),
+    ]);
+    save("t13_adi3d", &t3d);
+}
+
 /// T4 — accuracy of every engine against the closed forms.
 pub fn t4_accuracy_vs_closed_forms(effort: Effort) {
     let mut t = Table::new(

@@ -14,12 +14,13 @@
 //! [`PricingEngine`]/[`EnginePlan`] expose that shape as traits so
 //! generic code (greeks bumping, calibration sweeps, the portfolio
 //! batch pricer) can hold "an engine" without caring which family it
-//! is. The four planful engines implement it:
+//! is. The five planful engines implement it:
 //!
 //! | engine | plan state |
 //! |---|---|
 //! | [`Fd1d`] | log grid, θ-scheme coefficients, factored tridiagonal |
 //! | [`Adi2d`] | both axis operators, two factored line systems |
+//! | [`Adi3d`] | three axis operators, three factored line systems |
 //! | [`MultiLattice`] | branch probabilities, per-step spot ladders |
 //! | [`McEngine`] | correlated stepper (Cholesky), log-spots, discount |
 //!
@@ -32,7 +33,7 @@ use crate::pricer::PriceError;
 use mdp_lattice::{LatticePlan, LatticeScratch, MultiLattice};
 use mdp_mc::{McEngine, McPlan};
 use mdp_model::{GbmMarket, MarketDelta, Product, TickOutcome};
-use mdp_pde::{Adi2d, Adi2dPlan, Adi2dScratch, Fd1d, Fd1dPlan, Fd1dScratch};
+use mdp_pde::{Adi2d, Adi2dPlan, Adi2dScratch, Adi3d, Adi3dPlan, Adi3dScratch, Fd1d, Fd1dPlan, Fd1dScratch};
 
 /// What one engine execution produced, engine-agnostically.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -150,6 +151,48 @@ impl PricingEngine for Adi2d {
 }
 
 impl EnginePlan for Adi2dEnginePlan {
+    fn maturity(&self) -> f64 {
+        self.plan.maturity()
+    }
+
+    fn execute(&mut self, product: &Product) -> Result<EngineOutcome, PriceError> {
+        let r = self.plan.execute(product, &mut self.scratch)?;
+        Ok(EngineOutcome {
+            price: r.price,
+            std_error: None,
+            work: r.nodes_processed,
+        })
+    }
+
+    fn apply_tick(&mut self, delta: &MarketDelta) -> Result<TickOutcome, PriceError> {
+        Ok(self.plan.apply_tick(delta)?)
+    }
+}
+
+/// [`Adi3dPlan`] plus its reusable stage cubes and panel buffers.
+#[derive(Debug, Clone)]
+pub struct Adi3dEnginePlan {
+    /// The underlying plan (three axis operators, factored line systems).
+    pub plan: Adi3dPlan,
+    scratch: Adi3dScratch,
+}
+
+impl PricingEngine for Adi3d {
+    type Plan = Adi3dEnginePlan;
+
+    fn name(&self) -> &'static str {
+        "adi-3d"
+    }
+
+    fn build_plan(&self, market: &GbmMarket, maturity: f64) -> Result<Self::Plan, PriceError> {
+        Ok(Adi3dEnginePlan {
+            plan: self.plan(market, maturity)?,
+            scratch: Adi3dScratch::default(),
+        })
+    }
+}
+
+impl EnginePlan for Adi3dEnginePlan {
     fn maturity(&self) -> f64 {
         self.plan.maturity()
     }
@@ -294,6 +337,18 @@ mod tests {
         let (a, b) = run_twice(&Fd1d::default(), &m1, &p1);
         assert_eq!(a.price.to_bits(), b.price.to_bits());
         let (a, b) = run_twice(&Adi2d::default(), &m2, &p2);
+        assert_eq!(a.price.to_bits(), b.price.to_bits());
+        let m3 = GbmMarket::symmetric(3, 100.0, 0.2, 0.0, 0.05, 0.3).unwrap();
+        let p3 = Product::european(Payoff::MaxCall { strike: 100.0 }, 1.0);
+        let (a, b) = run_twice(
+            &Adi3d {
+                space_points: 15,
+                time_steps: 8,
+                ..Default::default()
+            },
+            &m3,
+            &p3,
+        );
         assert_eq!(a.price.to_bits(), b.price.to_bits());
         let (a, b) = run_twice(&MultiLattice::new(32), &m2, &p2);
         assert_eq!(a.price.to_bits(), b.price.to_bits());

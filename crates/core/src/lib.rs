@@ -61,6 +61,7 @@
 //! | [`Method::Lsmc`] | any | American | sequential, cluster |
 //! | [`Method::Fd1d`] | 1 | both | sequential, cluster (explicit scheme) |
 //! | [`Method::Adi2d`] | 2 | both | sequential, rayon |
+//! | [`Method::Adi3d`] | 3 | both | sequential |
 
 pub mod engine;
 pub mod greeks;
@@ -92,7 +93,7 @@ pub mod prelude {
     pub use mdp_model::{
         analytic, ExerciseStyle, GbmMarket, Greeks, MarketDelta, Payoff, Product, TickOutcome,
     };
-    pub use mdp_pde::{Adi2d, Fd1d, Fd1dBarrier};
+    pub use mdp_pde::{Adi2d, Adi3d, Fd1d, Fd1dBarrier, StencilKernel};
     pub use mdp_perf::{ScalingCurve, Table};
 }
 

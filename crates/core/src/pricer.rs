@@ -24,8 +24,8 @@ use mdp_mc::{
 };
 use mdp_model::{GbmMarket, MarketDelta, ModelError, Product, TickOutcome};
 use mdp_pde::{
-    Adi2d, Adi2dPlan, Adi2dScratch, ClusterFd1d, Fd1d, Fd1dBarrier, Fd1dPlan, Fd1dScratch,
-    PdeError, Scheme,
+    Adi2d, Adi2dPlan, Adi2dScratch, Adi3d, Adi3dPlan, Adi3dScratch, ClusterFd1d, Fd1d, Fd1dBarrier,
+    Fd1dPlan, Fd1dScratch, PdeError, Scheme, StencilKernel,
 };
 use std::fmt;
 
@@ -66,6 +66,8 @@ pub enum Method {
     Fd1d(Fd1d),
     /// 2-D ADI finite differences.
     Adi2d(Adi2d),
+    /// 3-D ADI finite differences.
+    Adi3d(Adi3d),
     /// 1-D knock-out barrier finite differences (continuous barrier).
     BarrierFd(Fd1dBarrier),
 }
@@ -177,6 +179,10 @@ impl Method {
                         eat(max_iter as u64);
                     }
                 }
+                eat(match cfg.stencil {
+                    StencilKernel::Trapezoid => 0,
+                    StencilKernel::StepByStep => 1,
+                });
             }
             Method::Adi2d(cfg) => {
                 eat(8);
@@ -188,6 +194,12 @@ impl Method {
                     mdp_pde::AdiKernel::Blocked => 0,
                     mdp_pde::AdiKernel::Scalar => 1,
                 });
+            }
+            Method::Adi3d(cfg) => {
+                eat(10);
+                eat(cfg.space_points as u64);
+                eat(cfg.time_steps as u64);
+                eat(cfg.width.to_bits());
             }
             Method::BarrierFd(cfg) => {
                 eat(9);
@@ -211,6 +223,7 @@ impl Method {
             Method::Lsmc(_) => "lsmc",
             Method::Fd1d(_) => "fd-1d",
             Method::Adi2d(_) => "adi-2d",
+            Method::Adi3d(_) => "adi-3d",
             Method::BarrierFd(_) => "barrier-fd",
         }
     }
@@ -351,6 +364,7 @@ pub struct PricerPlan {
 enum PlanKind {
     Fd1d(Box<Fd1dPlan>, Fd1dScratch),
     Adi2d(Box<Adi2dPlan>, Adi2dScratch),
+    Adi3d(Box<Adi3dPlan>, Adi3dScratch),
     Lattice(Box<LatticePlan>, LatticeScratch),
     Mc(Box<McPlan>),
     OneShot,
@@ -391,8 +405,9 @@ impl Pricer {
     }
 
     /// A sensible default method for a product/market pair:
-    /// closed form when available, CN finite differences in 1-D,
-    /// the BEG lattice in 2–3 dimensions, (LS)MC beyond.
+    /// closed form when available, CN finite differences in 1-D, the
+    /// BEG lattice in 2-D, the 3-D Douglas ADI grid in 3-D, (LS)MC
+    /// beyond.
     ///
     /// The full routing table, by `(dimension, exercise, payoff class)`:
     ///
@@ -401,7 +416,8 @@ impl Pricer {
     /// | any | any | closed form exists | `Analytic` |
     /// | any | any | path-dependent | `MonteCarlo` (200k paths, 50 steps) |
     /// | 1 | any | terminal | `Fd1d` (Crank–Nicolson) |
-    /// | 2–3 | any | terminal | `MultiLattice` (100 steps) |
+    /// | 2 | any | terminal | `MultiLattice` (100 steps) |
+    /// | 3 | any | terminal | `Adi3d` (41³ grid, 40 steps) |
     /// | ≥4 | European | terminal | `MonteCarlo` (200k paths) |
     /// | ≥4 | American | terminal | `Lsmc` |
     pub fn auto(market: &GbmMarket, product: &Product) -> Self {
@@ -417,7 +433,8 @@ impl Pricer {
                 ..Default::default()
             }),
             (1, _, _) => Method::Fd1d(Fd1d::default()),
-            (2..=3, _, _) => Method::MultiLattice { steps: 100 },
+            (2, _, _) => Method::MultiLattice { steps: 100 },
+            (3, _, _) => Method::Adi3d(Adi3d::default()),
             (_, ExerciseStyle::European, _) => Method::monte_carlo(200_000),
             (_, ExerciseStyle::American, _) => Method::Lsmc(LsmcConfig::default()),
         };
@@ -445,6 +462,10 @@ impl Pricer {
                 c.parallel = true;
                 PlanKind::Adi2d(Box::new(c.plan(market, maturity)?), Adi2dScratch::default())
             }
+            (Method::Adi3d(cfg), Backend::Sequential) => PlanKind::Adi3d(
+                Box::new(cfg.plan(market, maturity)?),
+                Adi3dScratch::default(),
+            ),
             (Method::MultiLattice { steps }, Backend::Sequential | Backend::Rayon) => {
                 PlanKind::Lattice(
                     Box::new(MultiLattice::new(*steps).plan(market, maturity)?),
@@ -690,6 +711,11 @@ impl Pricer {
             }
             (Method::Adi2d(_), _) => return unsupported_backend(),
 
+            (Method::Adi3d(cfg), Backend::Sequential) => {
+                (cfg.price(market, product)?.price, None, None)
+            }
+            (Method::Adi3d(_), _) => return unsupported_backend(),
+
             (Method::BarrierFd(cfg), Backend::Sequential) => {
                 (cfg.price(market, product)?.price, None, None)
             }
@@ -722,16 +748,24 @@ impl PricerPlan {
     /// compiled state, so swapping the market is the whole patch. The
     /// patched plan executes bitwise-identically to a plan freshly
     /// compiled for the ticked market.
+    ///
+    /// Patch time is plan-construction work, so it accrues to
+    /// [`PricerPlan::plan_seconds`]: reports executed off a patched plan
+    /// account for the full setup cost actually paid, exactly as
+    /// fresh-plan reports do.
     pub fn apply_tick(&mut self, delta: &MarketDelta) -> Result<TickOutcome, PriceError> {
+        let start = std::time::Instant::now();
         let market = self.market.apply_delta(delta)?;
         let outcome = match &mut self.kind {
             PlanKind::Fd1d(plan, _) => plan.apply_tick(delta)?,
             PlanKind::Adi2d(plan, _) => plan.apply_tick(delta)?,
+            PlanKind::Adi3d(plan, _) => plan.apply_tick(delta)?,
             PlanKind::Lattice(plan, _) => plan.apply_tick(delta)?,
             PlanKind::Mc(plan) => plan.apply_tick(delta)?,
             PlanKind::OneShot => TickOutcome::Patched,
         };
         self.market = market;
+        self.plan_seconds += start.elapsed().as_secs_f64();
         Ok(outcome)
     }
 
@@ -755,6 +789,7 @@ impl PricerPlan {
                 product.validate_for(&self.market)?;
                 (plan.execute(product, scratch)?.price, None, None)
             }
+            PlanKind::Adi3d(plan, scratch) => (plan.execute(product, scratch)?.price, None, None),
             PlanKind::Lattice(plan, scratch) => {
                 (plan.execute(product, parallel, scratch)?.price, None, None)
             }
@@ -875,7 +910,16 @@ mod tests {
             },
             1.0,
         );
-        assert_eq!(Pricer::auto(&m3, &basket).method.name(), "beg-lattice");
+        assert_eq!(Pricer::auto(&m3, &basket).method.name(), "adi-3d");
+        let m2 = GbmMarket::symmetric(2, 100.0, 0.2, 0.0, 0.05, 0.3).unwrap();
+        let basket2 = Product::european(
+            Payoff::BasketCall {
+                weights: Product::equal_weights(2),
+                strike: 100.0,
+            },
+            1.0,
+        );
+        assert_eq!(Pricer::auto(&m2, &basket2).method.name(), "beg-lattice");
         let m8 = GbmMarket::symmetric(8, 100.0, 0.2, 0.0, 0.05, 0.3).unwrap();
         let basket8 = Product::european(
             Payoff::BasketCall {
@@ -971,6 +1015,26 @@ mod tests {
             plan.execute(&p_wrong),
             Err(PriceError::Unsupported(_))
         ));
+    }
+
+    #[test]
+    fn apply_tick_accrues_to_plan_seconds() {
+        let (m, p) = call1();
+        let mut plan = Pricer::new(Method::Fd1d(Fd1d::default()))
+            .plan(&m, 1.0)
+            .unwrap();
+        let fresh_cost = plan.plan_seconds();
+        plan.apply_tick(&MarketDelta::Spot {
+            asset: 0,
+            spot: 101.0,
+        })
+        .unwrap();
+        // Patching is plan work: the accounted setup cost grows, and
+        // reports executed afterwards carry the full amount.
+        assert!(plan.plan_seconds() > fresh_cost);
+        let r = plan.execute(&p).unwrap();
+        assert_eq!(r.plan_seconds.to_bits(), plan.plan_seconds().to_bits());
+        assert!((r.wall_seconds - (r.plan_seconds + r.execute_seconds)).abs() < 1e-12);
     }
 
     #[test]

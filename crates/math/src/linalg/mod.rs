@@ -28,4 +28,4 @@ pub use eigen::{nearest_correlation, symmetric_eigen, SymmetricEigen};
 pub use lu::Lu;
 pub use matrix::Matrix;
 pub use qr::Qr;
-pub use tridiag::{FactoredTridiag, ThomasScratch, Tridiag};
+pub use tridiag::{factored_theta_system, theta_system, FactoredTridiag, ThomasScratch, Tridiag};

@@ -272,6 +272,36 @@ impl FactoredTridiag {
     }
 }
 
+/// The θ-scheme stage matrix `(I − θΔt·L)` for a constant-coefficient
+/// spatial operator `L = a·∂₋ + b·I + c·∂₊` on `interior` unknowns.
+///
+/// Every finite-difference stepper in the workspace (Crank–Nicolson,
+/// each ADI stage) builds exactly this system; sharing the construction
+/// guarantees fresh plans and tick patches produce bit-identical bands
+/// from equal inputs.
+pub fn theta_system(theta: f64, dt: f64, a: f64, b: f64, c: f64, interior: usize) -> Tridiag {
+    Tridiag::new(
+        vec![-theta * dt * a; interior],
+        vec![1.0 - theta * dt * b; interior],
+        vec![-theta * dt * c; interior],
+    )
+}
+
+/// [`theta_system`] plus its Thomas elimination factors, for steppers
+/// that solve the stage matrix against many right-hand sides.
+pub fn factored_theta_system(
+    theta: f64,
+    dt: f64,
+    a: f64,
+    b: f64,
+    c: f64,
+    interior: usize,
+) -> Result<(Tridiag, FactoredTridiag), MathError> {
+    let sys = theta_system(theta, dt, a, b, c, interior);
+    let fac = sys.factor()?;
+    Ok((sys, fac))
+}
+
 /// One recursive level of odd–even reduction.
 ///
 /// Keeps the even-indexed unknowns: row 2j is combined with rows 2j±1 to
@@ -493,6 +523,29 @@ mod tests {
         // Singular pivots are caught at factor time.
         let sing = Tridiag::new(vec![0.0, 0.0], vec![0.0, 1.0], vec![0.0, 0.0]);
         assert!(sing.factor().is_err());
+    }
+
+    #[test]
+    fn theta_system_builds_stage_matrix() {
+        let (theta, dt, a, b, c) = (0.5, 0.01, 1.2, -3.4, 2.1);
+        let sys = theta_system(theta, dt, a, b, c, 9);
+        assert_eq!(sys.n(), 9);
+        for i in 0..9 {
+            assert_eq!(sys.a[i].to_bits(), (-theta * dt * a).to_bits());
+            assert_eq!(sys.b[i].to_bits(), (1.0 - theta * dt * b).to_bits());
+            assert_eq!(sys.c[i].to_bits(), (-theta * dt * c).to_bits());
+        }
+        // θ = 0 degenerates to the identity.
+        let id = theta_system(0.0, dt, a, b, c, 4);
+        assert!(id.b.iter().all(|&x| x == 1.0));
+        let (sys2, fac) = factored_theta_system(theta, dt, a, b, c, 9).unwrap();
+        let d: Vec<f64> = (0..9).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut xf = vec![0.0; 9];
+        fac.solve_into(&d, &mut xf);
+        let xt = sys2.solve_thomas(&d).unwrap();
+        for (p, q) in xf.iter().zip(&xt) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
     }
 
     #[test]

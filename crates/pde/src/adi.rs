@@ -269,7 +269,8 @@ fn mixed_coefficient(market: &GbmMarket, ax1: &Axis, ax2: &Axis) -> f64 {
         / (4.0 * ax1.grid.dx * ax2.grid.dx)
 }
 
-/// One stage system `(I − θΔt·A_k)` and its Thomas factors.
+/// One stage system `(I − θΔt·A_k)` and its Thomas factors — the shared
+/// [`mdp_math::linalg::factored_theta_system`] construction.
 fn axis_system(
     theta: f64,
     dt: f64,
@@ -277,16 +278,8 @@ fn axis_system(
     m: usize,
     n: usize,
 ) -> Result<(Tridiag, FactoredTridiag), PdeError> {
-    let interior = m - 2;
-    let sys = Tridiag::new(
-        vec![-theta * dt * ax.a; interior],
-        vec![1.0 - theta * dt * ax.b; interior],
-        vec![-theta * dt * ax.c; interior],
-    );
-    let fac = sys
-        .factor()
-        .map_err(|_| PdeError::GridTooSmall { space: m, time: n })?;
-    Ok((sys, fac))
+    mdp_math::linalg::factored_theta_system(theta, dt, ax.a, ax.b, ax.c, m - 2)
+        .map_err(|_| PdeError::GridTooSmall { space: m, time: n })
 }
 
 impl Adi2dPlan {

@@ -18,6 +18,7 @@
 //! prices are bit-identical for every rank count.
 
 use crate::grid::LogGrid;
+use crate::stencil::explicit_point;
 use crate::PdeError;
 use mdp_cluster::checkpoint::broadcast_active;
 use mdp_cluster::{
@@ -189,10 +190,9 @@ impl ClusterFd1d {
                     } else if gidx == m - 1 {
                         new_v[k + 1] = df * intrinsic[m - 1];
                     } else {
-                        let vm = v[k];
-                        let v0 = v[k + 1];
-                        let vp = v[k + 2];
-                        new_v[k + 1] = v0 + dt * (a * vm + b * v0 + c * vp);
+                        // Same per-point kernel as the sequential
+                        // engine and the trapezoid base case.
+                        new_v[k + 1] = explicit_point(dt, a, b, c, v[k], v[k + 1], v[k + 2]);
                     }
                 };
                 // --- post the halo sends, then update the interior
@@ -338,10 +338,7 @@ impl ClusterFd1d {
                     } else if gidx == m - 1 {
                         new_v[kk + 1] = df * s.intrinsic[m - 1];
                     } else {
-                        let vm = v[kk];
-                        let v0 = v[kk + 1];
-                        let vp = v[kk + 2];
-                        new_v[kk + 1] = v0 + s.dt * (s.a * vm + s.b * v0 + s.c * vp);
+                        new_v[kk + 1] = explicit_point(s.dt, s.a, s.b, s.c, v[kk], v[kk + 1], v[kk + 2]);
                     }
                 };
                 if let Some(l) = left_owner {

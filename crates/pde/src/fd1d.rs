@@ -21,6 +21,7 @@
 //! biased) or **PSOR** (projected SOR, solves the LCP properly).
 
 use crate::grid::LogGrid;
+use crate::stencil::{StencilKernel, TrapezoidSweep};
 use crate::PdeError;
 use mdp_math::linalg::tridiag::{FactoredTridiag, Tridiag};
 use mdp_model::{ExerciseStyle, GbmMarket, MarketDelta, Product, TickOutcome};
@@ -64,6 +65,9 @@ pub struct Fd1d {
     pub scheme: Scheme,
     /// American treatment (ignored for European products).
     pub american: AmericanMethod,
+    /// Explicit-sweep driver (θ = 0 only; the implicit schemes always
+    /// step level by level through their line solves).
+    pub stencil: StencilKernel,
 }
 
 impl Default for Fd1d {
@@ -74,6 +78,7 @@ impl Default for Fd1d {
             width: 5.0,
             scheme: Scheme::CrankNicolson,
             american: AmericanMethod::Projection,
+            stencil: StencilKernel::Trapezoid,
         }
     }
 }
@@ -125,6 +130,10 @@ pub struct Fd1dScratch {
     intrinsic: Vec<f64>,
     rhs: Vec<f64>,
     sol: Vec<f64>,
+    /// Per-level Dirichlet discount table for the trapezoid driver.
+    df: Vec<f64>,
+    /// Second parity buffer of the trapezoid driver.
+    pong: Vec<f64>,
 }
 
 /// Reusable buffers for [`Fd1dPlan::execute_ladder`]: the lane-major
@@ -236,6 +245,8 @@ fn operator_coefficients(sigma: f64, r: f64, mu: f64, dx: f64) -> (f64, f64, f64
 
 /// The θ-scheme system `(I − θΔt·L)` on interior points and its Thomas
 /// factors (`None` for the explicit scheme, which never solves it).
+/// Band construction is shared with the ADI stages through
+/// [`mdp_math::linalg::theta_system`].
 fn implicit_system(
     theta: f64,
     dt: f64,
@@ -245,12 +256,7 @@ fn implicit_system(
     m: usize,
     n: usize,
 ) -> Result<(Tridiag, Option<FactoredTridiag>), PdeError> {
-    let interior = m - 2;
-    let lhs = Tridiag::new(
-        vec![-theta * dt * a; interior],
-        (0..interior).map(|_| 1.0 - theta * dt * b).collect(),
-        vec![-theta * dt * c; interior],
-    );
+    let lhs = mdp_math::linalg::theta_system(theta, dt, a, b, c, m - 2);
     let factored = if theta != 0.0 {
         Some(
             lhs.factor()
@@ -388,6 +394,43 @@ impl Fd1dPlan {
         let intrinsic = &scratch.intrinsic;
         let mut values = intrinsic.clone();
         let mut nodes = m as u64;
+        let n = self.cfg.time_steps;
+
+        if theta == 0.0 && self.cfg.stencil == StencilKernel::Trapezoid {
+            // Cache-oblivious trapezoid driver for the explicit scheme:
+            // same per-point arithmetic as the step-by-step loop below
+            // (see `crate::stencil`), so the result is bitwise-equal —
+            // only the traversal order over independent work differs.
+            scratch.df.clear();
+            scratch.df.reserve(n + 1);
+            scratch.df.push(1.0);
+            for step in 1..=n {
+                let tau = step as f64 * dt;
+                scratch.df.push((-r * tau).exp());
+            }
+            scratch.pong.resize(m, 0.0);
+            let sweep = TrapezoidSweep {
+                m,
+                dt,
+                a,
+                b,
+                c,
+                intrinsic,
+                df: &scratch.df,
+                american,
+            };
+            sweep.run(n, &mut values, &mut scratch.pong);
+            if n % 2 == 1 {
+                values.copy_from_slice(&scratch.pong);
+            }
+            nodes += (n * m) as u64;
+            return Ok(Fd1dResult {
+                price: values[self.grid.center],
+                values,
+                grid: self.grid.clone(),
+                nodes_processed: nodes,
+            });
+        }
 
         scratch.rhs.resize(interior, 0.0);
         scratch.sol.resize(interior, 0.0);

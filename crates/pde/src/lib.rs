@@ -9,19 +9,28 @@
 //! * [`fd1d`] — one-dimensional θ-schemes: explicit Euler,
 //!   Crank–Nicolson via the Thomas solver, American exercise via
 //!   projection or PSOR.
+//! * [`stencil`] — the cache-oblivious trapezoidal decomposition that
+//!   drives the explicit sweep (bitwise-equal to the retained
+//!   step-by-step oracle).
 //! * [`adi`] — the two-dimensional Douglas ADI splitting with an
 //!   explicit mixed-derivative term; line solves are independent and run
 //!   in parallel (rayon), which is also where a 2002-era distributed
 //!   code would split them.
+//! * [`adi3d`] — the three-dimensional Douglas splitting for correlated
+//!   three-asset baskets, built on the same factored multi-RHS
+//!   transposed-panel machinery per axis.
 
 pub mod adi;
+pub mod adi3d;
 pub mod barrier;
 pub mod cluster;
 pub mod error;
 pub mod fd1d;
 pub mod grid;
+pub mod stencil;
 
 pub use adi::{Adi2d, Adi2dPlan, Adi2dResult, Adi2dScratch, AdiKernel};
+pub use adi3d::{Adi3d, Adi3dPlan, Adi3dResult, Adi3dScratch};
 pub use barrier::{BarrierResult, Fd1dBarrier};
 pub use cluster::{ClusterFd1d, ClusterFdOutcome};
 pub use error::PdeError;
@@ -30,3 +39,4 @@ pub use fd1d::{
     Scheme,
 };
 pub use grid::LogGrid;
+pub use stencil::StencilKernel;

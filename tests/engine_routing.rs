@@ -74,7 +74,7 @@ fn auto_routes_every_documented_cell() {
         "fd-1d"
     );
 
-    // 2–3 dimensions, terminal payoff without a closed form → BEG
+    // 2 dimensions, terminal payoff without a closed form → BEG
     // lattice (both exercises). Note the 2-asset European max-call is
     // NOT such a cell: Stulz's formula catches it first.
     assert_eq!(
@@ -94,9 +94,24 @@ fn auto_routes_every_documented_cell() {
         ),
         "beg-lattice"
     );
+    // 3 dimensions, terminal payoff → the 3-D Douglas ADI grid (both
+    // exercises).
     assert_eq!(
         auto_engine(&m3, &Product::american(Payoff::MinPut { strike: 100.0 }, 1.0)),
-        "beg-lattice"
+        "adi-3d"
+    );
+    assert_eq!(
+        auto_engine(
+            &m3,
+            &Product::european(
+                Payoff::BasketCall {
+                    weights: Product::equal_weights(3),
+                    strike: 100.0,
+                },
+                1.0,
+            )
+        ),
+        "adi-3d"
     );
 
     // High dimension: European → Monte Carlo, American → LSMC.
@@ -135,6 +150,10 @@ fn auto_choice_actually_prices_each_cell() {
         (
             GbmMarket::symmetric(2, 100.0, 0.2, 0.0, 0.05, 0.3).unwrap(),
             Product::european(Payoff::MaxCall { strike: 100.0 }, 1.0),
+        ),
+        (
+            GbmMarket::symmetric(3, 100.0, 0.2, 0.0, 0.05, 0.3).unwrap(),
+            Product::american(Payoff::MinPut { strike: 100.0 }, 1.0),
         ),
         (
             GbmMarket::single(100.0, 0.2, 0.0, 0.05).unwrap(),
@@ -186,6 +205,11 @@ fn all_methods() -> Vec<Method> {
             time_steps: 40,
             ..Default::default()
         }),
+        Method::Adi3d(Adi3d {
+            space_points: 15,
+            time_steps: 8,
+            ..Default::default()
+        }),
         Method::BarrierFd(Fd1dBarrier {
             space_points: 101,
             time_steps: 100,
@@ -213,6 +237,7 @@ fn all_backends() -> Vec<Backend> {
 fn method_backend_matrix_never_panics() {
     let m1 = GbmMarket::single(100.0, 0.2, 0.0, 0.05).unwrap();
     let m2 = GbmMarket::symmetric(2, 100.0, 0.2, 0.0, 0.05, 0.3).unwrap();
+    let m3 = GbmMarket::symmetric(3, 100.0, 0.2, 0.0, 0.05, 0.3).unwrap();
     let products = [
         (m1.clone(), euro_call_1d(100.0)),
         (
@@ -228,6 +253,10 @@ fn method_backend_matrix_never_panics() {
         (
             m2,
             Product::european(Payoff::MaxCall { strike: 100.0 }, 1.0),
+        ),
+        (
+            m3,
+            Product::american(Payoff::MinPut { strike: 100.0 }, 1.0),
         ),
         (
             m1,
@@ -268,7 +297,7 @@ fn method_backend_matrix_never_panics() {
     }
     // The matrix has both supported and unsupported cells; both paths
     // must be exercised for the suite to mean anything.
-    assert_eq!(priced + rejected, 10 * 4 * 4);
+    assert_eq!(priced + rejected, 11 * 4 * 5);
     assert!(priced > 40, "only {priced} cells priced");
     assert!(rejected > 40, "only {rejected} cells rejected");
 }

@@ -117,6 +117,27 @@ fn golden_pde_prices() {
         16.430660610383924,
         "adi 2d",
     );
+    // The default 3-D ADI grid — the values Pricer::auto now returns for
+    // 3-asset terminal payoffs without a closed form.
+    let m3 = market(3);
+    let basket3 = Product::european(
+        Payoff::BasketCall {
+            weights: Product::equal_weights(3),
+            strike: 100.0,
+        },
+        1.0,
+    );
+    assert_pinned(
+        Adi3d::default().price(&m3, &basket3).unwrap().price,
+        8.461304469722755,
+        "adi 3d european basket",
+    );
+    let am3 = Product::american(Payoff::MinPut { strike: 110.0 }, 1.0);
+    assert_pinned(
+        Adi3d::default().price(&m3, &am3).unwrap().price,
+        19.928_066_480_480_28,
+        "adi 3d american min-put",
+    );
 }
 
 #[test]
