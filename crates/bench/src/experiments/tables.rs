@@ -1962,3 +1962,378 @@ fn assert_cube_rows_bitwise(a: &CubeResult, b: &CubeResult, what: &str) {
         }
     }
 }
+
+/// T14 — resilient serving under overload and worker faults.
+///
+/// Three phases, all on the T11 strike-ladder workload:
+///
+/// 1. **Overload ± degradation** — open-loop arrivals at 2.5× the
+///    calibrated service capacity, every request carrying a deadline.
+///    The baseline run (degradation off) either answers full-fidelity
+///    or misses its deadline; the degraded run may answer with the
+///    cheaper engine variant ([`Method::degrade`], tagged
+///    [`mdp_serve::Fidelity::Degraded`]) when the remaining budget is
+///    smaller than the engine's observed latency. The headline number
+///    is the shed rate (admission sheds + deadline misses over offered
+///    load): degradation must push it strictly down by converting
+///    would-be misses into explicit cheaper answers.
+/// 2. **Breaker timeline** — a seeded fault window of certain panics
+///    trips the engine's circuit breaker; the clean phase that follows
+///    drives it through half-open probes back to closed. The JSON pins
+///    the trip count, the recovery wall time and the legality of the
+///    transition history.
+/// 3. **Cancellation reclaim** — a wedged worker lets a burst of tiny
+///    deadlines expire in the queue (reclaimed with zero engine work),
+///    then a long MC run's token trips mid-execute. The reclaim ratio
+///    (queue expiries over all deadline failures) is pinned.
+///
+/// Writes `BENCH_resilience.json` for the CI gates.
+pub fn t14_resilience(effort: Effort) {
+    use mdp_serve::{
+        transitions_legal, BreakerConfig, Fidelity, PriceRequest, PricingService, RetryPolicy,
+        ServeConfig, ServeError, ServeFaultPlan,
+    };
+    use mdp_perf::latency_summary;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    const WORKERS: usize = 2;
+    const DISTINCT_STRIKES: usize = 32;
+    const OVERLOAD_MULT: f64 = 2.5;
+
+    let market = Arc::new(market(1));
+    let strikes: Vec<f64> = (0..DISTINCT_STRIKES)
+        .map(|i| 70.0 + 60.0 * i as f64 / DISTINCT_STRIKES as f64)
+        .collect();
+    let product_for = |i: usize| {
+        Product::european(
+            Payoff::BasketCall {
+                weights: vec![1.0],
+                strike: strikes[i % DISTINCT_STRIKES],
+            },
+            1.0,
+        )
+    };
+    let fd = Method::Fd1d(Fd1d::default());
+    let pricer = || Pricer::new(fd.clone());
+    // The overload phase prices per-request MC (no coalescing): each
+    // request costs a real path sweep, so the degraded variant (quarter
+    // paths) is a genuine 4x lever on service capacity.
+    let mc_method = Method::MonteCarlo(McConfig {
+        paths: 20_000,
+        steps: 20,
+        block_size: 2_000,
+        ..Default::default()
+    });
+    let mc_pricer = || Pricer::new(mc_method.clone());
+
+    // --- Phase 1: overload with and without graceful degradation. ---
+
+    // Calibrate per-request capacity with a closed-loop burst.
+    let calib_n = effort.scale(64, 256);
+    let calib = PricingService::start(
+        mc_pricer(),
+        ServeConfig {
+            workers: WORKERS,
+            coalesce: false,
+            queue_capacity: calib_n,
+            ..Default::default()
+        },
+    );
+    let t0 = Instant::now();
+    let tickets: Vec<_> = (0..calib_n)
+        .map(|i| {
+            calib
+                .submit(PriceRequest::new(i as u64, Arc::clone(&market), product_for(i)))
+                .expect("calibration queue sized to the burst")
+        })
+        .collect();
+    for t in tickets {
+        t.wait().expect("calibration response").outcome.expect("calibration price");
+    }
+    let capacity_rps = calib_n as f64 / t0.elapsed().as_secs_f64();
+    calib.shutdown();
+
+    // Per-request deadline: a handful of mean service times, so early
+    // arrivals finish full-fidelity and queue-delayed ones face the
+    // degrade-or-miss decision.
+    let deadline = Duration::from_secs_f64(8.0 / capacity_rps * WORKERS as f64);
+    let n_requests = effort.scale(300, 1200);
+    let offered_rps = capacity_rps * OVERLOAD_MULT;
+
+    struct OverloadStats {
+        shed_rate: f64,
+        p99_ms: f64,
+        ok_full: u64,
+        degraded: u64,
+        deadline_pre: u64,
+        deadline_mid: u64,
+        shed: u64,
+        completed: u64,
+    }
+
+    let next_u64 = |state: &mut u64| {
+        *state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    };
+
+    let overload_run = |degradation: bool| -> OverloadStats {
+        let service = PricingService::start(
+            mc_pricer(),
+            ServeConfig {
+                workers: WORKERS,
+                coalesce: false,
+                queue_capacity: 256,
+                degradation,
+                ..Default::default()
+            },
+        );
+        // Warm the plan cache and the per-engine latency EWMA inside
+        // this instance, so the budget-degradation decision has an
+        // estimate to compare against.
+        let warm: Vec<_> = (0..DISTINCT_STRIKES)
+            .map(|i| {
+                service
+                    .submit(PriceRequest::new(i as u64, Arc::clone(&market), product_for(i)))
+                    .expect("warmup fits")
+            })
+            .collect();
+        for t in warm {
+            t.wait().expect("warmup response").outcome.expect("warmup price");
+        }
+        // Open loop at 2.5x: identical seeded arrival schedule for both
+        // runs.
+        let mut state = 0x5eed14_u64;
+        let mut clock = 0.0f64;
+        let start = Instant::now();
+        let mut tickets = Vec::with_capacity(n_requests);
+        for i in 0..n_requests {
+            let u = (next_u64(&mut state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            clock += -(1.0 - u).ln() / offered_rps;
+            let due = Duration::from_secs_f64(clock);
+            loop {
+                let elapsed = start.elapsed();
+                if elapsed >= due {
+                    break;
+                }
+                let left = due - elapsed;
+                if left > Duration::from_micros(200) {
+                    std::thread::sleep(left - Duration::from_micros(100));
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            let req = PriceRequest::new(i as u64, Arc::clone(&market), product_for(i))
+                .with_deadline(deadline);
+            match service.submit(req) {
+                Ok(t) => tickets.push(t),
+                Err(ServeError::Overloaded { .. }) => {} // open loop: drop
+                Err(e) => panic!("unexpected submit error: {e}"),
+            }
+        }
+        let mut ok_latencies = Vec::new();
+        let mut ok_full = 0u64;
+        for t in tickets {
+            let resp = t.wait().expect("service response");
+            if resp.outcome.is_ok() {
+                if resp.fidelity == Fidelity::Full {
+                    ok_full += 1;
+                } else {
+                    assert!(
+                        matches!(resp.fidelity, Fidelity::Degraded { .. }),
+                        "overload may only degrade, never silently reroute"
+                    );
+                }
+                ok_latencies.push(resp.latency_seconds());
+            }
+        }
+        let stats = service.shutdown();
+        let summary = latency_summary(&mut ok_latencies);
+        OverloadStats {
+            shed_rate: stats.shed_rate(),
+            p99_ms: summary.p99 * 1e3,
+            ok_full,
+            degraded: stats.degraded,
+            deadline_pre: stats.deadline_pre,
+            deadline_mid: stats.deadline_mid,
+            shed: stats.shed,
+            completed: stats.completed,
+        }
+    };
+
+    let baseline = overload_run(false);
+    let with_degradation = overload_run(true);
+
+    // --- Phase 2: breaker trip and recovery timeline. ---
+
+    let cooldown = Duration::from_millis(100);
+    let fault = ServeFaultPlan::new(0x7141).with_panics(1.0).until(8);
+    let breaker_svc = PricingService::start(
+        pricer(),
+        ServeConfig {
+            workers: 1,
+            retry: RetryPolicy {
+                max_attempts: 1,
+                ..Default::default()
+            },
+            breaker: BreakerConfig {
+                window: 8,
+                min_samples: 4,
+                cooldown,
+                ..Default::default()
+            },
+            fault: Some(fault),
+            ..Default::default()
+        },
+    );
+    // The fault window: every execution of ids < 8 panics, tripping the
+    // requested engine's breaker.
+    for i in 0..8u64 {
+        let _ = breaker_svc.price(PriceRequest::new(i, Arc::clone(&market), product_for(0)));
+    }
+    let tripped = breaker_svc.breaker_state(&fd) == mdp_serve::BreakerState::Open;
+    // The clean phase: keep offering requests until half-open probes
+    // close the breaker again.
+    let t_recover = Instant::now();
+    let mut recovered = false;
+    for i in 0..400u64 {
+        let _ = breaker_svc.price(PriceRequest::new(
+            100 + i,
+            Arc::clone(&market),
+            product_for(i as usize),
+        ));
+        if breaker_svc.breaker_state(&fd) == mdp_serve::BreakerState::Closed {
+            recovered = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let recovery_ms = t_recover.elapsed().as_secs_f64() * 1e3;
+    let history = breaker_svc.breaker_history();
+    let history_legal = transitions_legal(&history);
+    let breaker_stats = breaker_svc.shutdown();
+
+    // --- Phase 3: cancellation reclaim ratio. ---
+
+    let cancel_svc = PricingService::start(
+        Pricer::new(Method::Fd1d(Fd1d {
+            space_points: 2001,
+            time_steps: 2000,
+            ..Fd1d::default()
+        })),
+        ServeConfig {
+            workers: 1,
+            ..Default::default()
+        },
+    );
+    // Wedge the single worker on a slow no-deadline request; a burst of
+    // 1 ms deadlines queued behind it must all expire unexecuted.
+    let t_wedge = cancel_svc
+        .submit(PriceRequest::new(0, Arc::clone(&market), product_for(0)))
+        .expect("wedge accepted");
+    std::thread::sleep(Duration::from_millis(20));
+    let doomed: Vec<_> = (1..17u64)
+        .map(|i| {
+            cancel_svc
+                .submit(
+                    PriceRequest::new(i, Arc::clone(&market), product_for(i as usize))
+                        .with_deadline(Duration::from_millis(1)),
+                )
+                .expect("burst accepted")
+        })
+        .collect();
+    t_wedge.wait().expect("wedge response").outcome.expect("wedge priced");
+    for t in doomed {
+        let resp = t.wait().expect("doomed response");
+        assert!(resp.outcome.is_err(), "expired queued request must miss");
+    }
+    // Mid-execute abort: a long MC run whose token trips between path
+    // blocks.
+    let mc = PriceRequest::new(
+        99,
+        Arc::clone(&market),
+        product_for(0),
+    )
+    .with_method(Method::MonteCarlo(McConfig {
+        paths: 4_000_000,
+        steps: 50,
+        block_size: 50_000,
+        ..Default::default()
+    }))
+    .with_deadline(Duration::from_millis(30));
+    let resp = cancel_svc.price(mc).expect("mc response");
+    assert!(resp.outcome.is_err(), "the token must abort the long run");
+    let cancel_stats = cancel_svc.shutdown();
+    let reclaim_ratio = cancel_stats.reclaim_ratio();
+
+    // --- Report. ---
+
+    let mut table = Table::new(
+        "T14: resilient serving — overload ± degradation, breaker timeline, reclaim",
+        &["metric", "baseline", "degraded"],
+    );
+    table.push(&[
+        "shed rate @2.5x".into(),
+        format!("{:.3}", baseline.shed_rate),
+        format!("{:.3}", with_degradation.shed_rate),
+    ]);
+    table.push(&[
+        "p99 (Ok) [ms]".into(),
+        format!("{:.2}", baseline.p99_ms),
+        format!("{:.2}", with_degradation.p99_ms),
+    ]);
+    table.push(&[
+        "Ok full / degraded".into(),
+        format!("{} / {}", baseline.ok_full, baseline.degraded),
+        format!("{} / {}", with_degradation.ok_full, with_degradation.degraded),
+    ]);
+    table.push(&[
+        "breaker trips / recovered".into(),
+        format!("{} / {}", breaker_stats.breaker_trips, recovered),
+        format!("{recovery_ms:.0} ms"),
+    ]);
+    table.push(&[
+        "cancel reclaim ratio".into(),
+        format!("{reclaim_ratio:.3}"),
+        format!(
+            "{} pre / {} mid",
+            cancel_stats.deadline_pre, cancel_stats.deadline_mid
+        ),
+    ]);
+    save("t14_resilience", &table);
+
+    let fmt_side = |s: &OverloadStats| {
+        format!(
+            "{{\"shed_rate\": {:.6}, \"p99_ms\": {:.4}, \"ok_full\": {}, \"degraded\": {}, \"deadline_pre\": {}, \"deadline_mid\": {}, \"shed\": {}, \"completed\": {}}}",
+            s.shed_rate,
+            s.p99_ms,
+            s.ok_full,
+            s.degraded,
+            s.deadline_pre,
+            s.deadline_mid,
+            s.shed,
+            s.completed,
+        )
+    };
+    let json = format!(
+        "{{\n  \"experiment\": \"t14\",\n  \"capacity_rps\": {:.3},\n  \"overload_mult\": {OVERLOAD_MULT},\n  \"deadline_ms\": {:.3},\n  \"requests\": {n_requests},\n  \"workers\": {WORKERS},\n  \"overload\": {{\n    \"baseline\": {},\n    \"degraded\": {}\n  }},\n  \"breaker\": {{\"trips\": {}, \"tripped_in_window\": {}, \"recovered\": {}, \"recovery_ms\": {:.2}, \"cooldown_ms\": {}, \"history_legal\": {}, \"transitions\": {}}},\n  \"cancellation\": {{\"deadline_pre\": {}, \"deadline_mid\": {}, \"reclaim_ratio\": {:.6}}}\n}}\n",
+        capacity_rps,
+        deadline.as_secs_f64() * 1e3,
+        fmt_side(&baseline),
+        fmt_side(&with_degradation),
+        breaker_stats.breaker_trips,
+        tripped,
+        recovered,
+        recovery_ms,
+        cooldown.as_millis(),
+        history_legal,
+        history.len(),
+        cancel_stats.deadline_pre,
+        cancel_stats.deadline_mid,
+        reclaim_ratio,
+    );
+    let _ = std::fs::write(crate::out_dir().join("BENCH_resilience.json"), json);
+}

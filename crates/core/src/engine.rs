@@ -83,6 +83,15 @@ pub trait EnginePlan {
     /// [`TickOutcome::Rebuilt`] when the cheapest sound patch was a full
     /// rebuild (e.g. a 1-D FD vol tick, which moves every grid node).
     fn apply_tick(&mut self, delta: &MarketDelta) -> Result<TickOutcome, PriceError>;
+
+    /// Install a cooperative cancel token, polled at the engine's
+    /// natural check granularity (path blocks, time steps, recursion
+    /// cuts). The default is a no-op for plans without an abort point;
+    /// the planful wrappers all override it. Polling never perturbs
+    /// numerical state: completed runs stay bitwise-identical.
+    fn set_cancel(&mut self, cancel: mdp_math::CancelToken) {
+        let _ = cancel;
+    }
 }
 
 /// [`Fd1dPlan`] plus its reusable solve buffers.
@@ -124,6 +133,10 @@ impl EnginePlan for Fd1dEnginePlan {
 
     fn apply_tick(&mut self, delta: &MarketDelta) -> Result<TickOutcome, PriceError> {
         Ok(self.plan.apply_tick(delta)?)
+    }
+
+    fn set_cancel(&mut self, cancel: mdp_math::CancelToken) {
+        self.plan.set_cancel(cancel);
     }
 }
 
@@ -167,6 +180,10 @@ impl EnginePlan for Adi2dEnginePlan {
     fn apply_tick(&mut self, delta: &MarketDelta) -> Result<TickOutcome, PriceError> {
         Ok(self.plan.apply_tick(delta)?)
     }
+
+    fn set_cancel(&mut self, cancel: mdp_math::CancelToken) {
+        self.plan.set_cancel(cancel);
+    }
 }
 
 /// [`Adi3dPlan`] plus its reusable stage cubes and panel buffers.
@@ -208,6 +225,10 @@ impl EnginePlan for Adi3dEnginePlan {
 
     fn apply_tick(&mut self, delta: &MarketDelta) -> Result<TickOutcome, PriceError> {
         Ok(self.plan.apply_tick(delta)?)
+    }
+
+    fn set_cancel(&mut self, cancel: mdp_math::CancelToken) {
+        self.plan.set_cancel(cancel);
     }
 }
 
@@ -253,6 +274,10 @@ impl EnginePlan for LatticeEnginePlan {
 
     fn apply_tick(&mut self, delta: &MarketDelta) -> Result<TickOutcome, PriceError> {
         Ok(self.plan.apply_tick(delta)?)
+    }
+
+    fn set_cancel(&mut self, cancel: mdp_math::CancelToken) {
+        self.plan.set_cancel(cancel);
     }
 }
 
@@ -300,6 +325,10 @@ impl EnginePlan for McEnginePlan {
 
     fn apply_tick(&mut self, delta: &MarketDelta) -> Result<TickOutcome, PriceError> {
         Ok(self.plan.apply_tick(delta)?)
+    }
+
+    fn set_cancel(&mut self, cancel: mdp_math::CancelToken) {
+        self.plan.set_cancel(cancel);
     }
 }
 

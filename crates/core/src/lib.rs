@@ -80,12 +80,17 @@ pub use riskcube::{CubeGreeks, CubeResult, RiskCube};
 /// [`Portfolio::group_key`] and the serve-layer `PlanKey`).
 pub use mdp_math::Fnv64;
 
+/// The cooperative cancellation token every engine plan polls (see
+/// [`PricerPlan::set_cancel`]); the serve layer derives one per request
+/// from its deadline.
+pub use mdp_math::CancelToken;
+
 /// One-stop imports for applications.
 pub mod prelude {
     pub use crate::{
-        Backend, BatchReport, BumpConfig, CubeGreeks, CubeResult, EngineOutcome, EnginePlan,
-        GroupPlan, Method, Portfolio, PriceError, PriceReport, Pricer, PricerPlan, PricingEngine,
-        RiskCube,
+        Backend, BatchReport, BumpConfig, CancelToken, CubeGreeks, CubeResult, EngineOutcome,
+        EnginePlan, GroupPlan, Method, Portfolio, PriceError, PriceReport, Pricer, PricerPlan,
+        PricingEngine, RiskCube,
     };
     pub use mdp_cluster::{FaultPlan, Machine, TimeModel};
     pub use mdp_lattice::{BinomialKind, BinomialLattice, MultiLattice, TrinomialLattice};

@@ -113,6 +113,19 @@ impl GroupPlan {
             GroupPlan::Generic(p) => p.apply_tick(delta),
         }
     }
+
+    /// Install a cooperative cancel token for subsequent executes,
+    /// delegating to the underlying engine plan (see
+    /// [`crate::PricerPlan::set_cancel`] for the polling contract).
+    /// A tripped token surfaces as [`PriceError::DeadlineExceeded`]
+    /// (engine `Cancelled` errors are mapped in the `From` impls).
+    pub fn set_cancel(&mut self, cancel: mdp_math::CancelToken) {
+        match self {
+            GroupPlan::Fd1d(p) => p.set_cancel(cancel),
+            GroupPlan::Mc(p) => p.set_cancel(cancel),
+            GroupPlan::Generic(p) => p.set_cancel(cancel),
+        }
+    }
 }
 
 impl Portfolio {

@@ -211,6 +211,82 @@ impl Method {
         f.finish()
     }
 
+    /// The next-cheaper variant of this method, for graceful
+    /// degradation under deadline pressure or a tripped breaker.
+    ///
+    /// Each step trades accuracy for a documented speedup:
+    ///
+    /// | family | cut | error bound |
+    /// |---|---|---|
+    /// | MC / QMC / LSMC | paths ÷ 4 | std. error ×2 (O(N^-1/2)) |
+    /// | FD / ADI | grid and steps ≈ halved | O(Δx²)+O(Δt) error ×≈4 |
+    /// | lattices | steps ÷ 2 | O(Δt) error ×2 |
+    /// | analytic | — | exact; nothing cheaper exists |
+    ///
+    /// Returns `None` when no cheaper variant exists (closed form, or
+    /// the configuration is already at the floor). The degraded method
+    /// has a different [`Method::cache_key`], so degraded plans never
+    /// alias full-fidelity cache entries.
+    pub fn degrade(&self) -> Option<Method> {
+        /// Smallest path/point budget degradation will go down to.
+        const MIN_PATHS: u64 = 1_000;
+        match self {
+            Method::Analytic => None,
+            Method::Binomial { steps, kind } => (*steps >= 64).then(|| Method::Binomial {
+                steps: steps / 2,
+                kind: *kind,
+            }),
+            Method::Trinomial { steps } => {
+                (*steps >= 64).then(|| Method::Trinomial { steps: steps / 2 })
+            }
+            Method::MultiLattice { steps } => {
+                (*steps >= 32).then(|| Method::MultiLattice { steps: steps / 2 })
+            }
+            Method::MonteCarlo(cfg) => (cfg.paths / 4 >= MIN_PATHS).then_some(Method::MonteCarlo(
+                McConfig {
+                    paths: cfg.paths / 4,
+                    ..*cfg
+                },
+            )),
+            Method::Qmc(cfg) => (cfg.points / 4 >= MIN_PATHS).then_some(Method::Qmc(QmcConfig {
+                points: cfg.points / 4,
+                ..*cfg
+            })),
+            Method::Lsmc(cfg) => (cfg.paths / 4 >= MIN_PATHS).then_some(Method::Lsmc(LsmcConfig {
+                paths: cfg.paths / 4,
+                ..*cfg
+            })),
+            Method::Fd1d(cfg) => {
+                (cfg.space_points >= 65 && cfg.time_steps >= 32).then_some(Method::Fd1d(Fd1d {
+                    space_points: (cfg.space_points / 2) | 1,
+                    time_steps: cfg.time_steps / 2,
+                    ..*cfg
+                }))
+            }
+            Method::Adi2d(cfg) => {
+                (cfg.space_points >= 33 && cfg.time_steps >= 16).then_some(Method::Adi2d(Adi2d {
+                    space_points: (cfg.space_points / 2) | 1,
+                    time_steps: cfg.time_steps / 2,
+                    ..*cfg
+                }))
+            }
+            Method::Adi3d(cfg) => {
+                (cfg.space_points >= 21 && cfg.time_steps >= 16).then_some(Method::Adi3d(Adi3d {
+                    space_points: (cfg.space_points / 2) | 1,
+                    time_steps: cfg.time_steps / 2,
+                    ..*cfg
+                }))
+            }
+            Method::BarrierFd(cfg) => (cfg.space_points >= 65 && cfg.time_steps >= 32).then_some(
+                Method::BarrierFd(Fd1dBarrier {
+                    space_points: (cfg.space_points / 2) | 1,
+                    time_steps: cfg.time_steps / 2,
+                    ..*cfg
+                }),
+            ),
+        }
+    }
+
     /// Human-readable engine name.
     pub fn name(&self) -> &'static str {
         match self {
@@ -296,6 +372,27 @@ pub enum PriceError {
     Mc(McError),
     /// PDE engine failed.
     Pde(PdeError),
+    /// The request's deadline expired (or its cancel token tripped)
+    /// before the engine finished; any partial work was discarded.
+    DeadlineExceeded,
+    /// An engine produced a non-finite price — the post-condition check
+    /// on every execute path. The offending value is preserved for
+    /// diagnostics; it was never returned as a price.
+    Numerical {
+        /// Which engine produced it.
+        engine: &'static str,
+        /// The non-finite value (NaN or ±∞), by IEEE bit pattern.
+        value: f64,
+    },
+    /// The worker executing the request panicked; the panic was caught
+    /// at the isolation boundary and the payload stringified.
+    Panicked(String),
+    /// The circuit breaker for this engine is open: recent failures
+    /// exceeded the trip threshold and the cooldown has not elapsed.
+    CircuitOpen {
+        /// Which engine the breaker guards.
+        engine: &'static str,
+    },
 }
 
 impl fmt::Display for PriceError {
@@ -306,6 +403,16 @@ impl fmt::Display for PriceError {
             PriceError::Lattice(e) => write!(f, "{e}"),
             PriceError::Mc(e) => write!(f, "{e}"),
             PriceError::Pde(e) => write!(f, "{e}"),
+            PriceError::DeadlineExceeded => {
+                write!(f, "deadline exceeded before the engine finished")
+            }
+            PriceError::Numerical { engine, value } => {
+                write!(f, "{engine} produced a non-finite price: {value}")
+            }
+            PriceError::Panicked(msg) => write!(f, "worker panicked: {msg}"),
+            PriceError::CircuitOpen { engine } => {
+                write!(f, "circuit breaker open for {engine}")
+            }
         }
     }
 }
@@ -317,19 +424,31 @@ impl From<ModelError> for PriceError {
         PriceError::Model(e)
     }
 }
+// Engine-level `Cancelled` means our cooperative token tripped, which
+// only happens on deadline expiry or caller abandonment: surface it as
+// the typed `DeadlineExceeded` rather than an engine-specific error.
 impl From<LatticeError> for PriceError {
     fn from(e: LatticeError) -> Self {
-        PriceError::Lattice(e)
+        match e {
+            LatticeError::Cancelled => PriceError::DeadlineExceeded,
+            e => PriceError::Lattice(e),
+        }
     }
 }
 impl From<McError> for PriceError {
     fn from(e: McError) -> Self {
-        PriceError::Mc(e)
+        match e {
+            McError::Cancelled => PriceError::DeadlineExceeded,
+            e => PriceError::Mc(e),
+        }
     }
 }
 impl From<PdeError> for PriceError {
     fn from(e: PdeError) -> Self {
-        PriceError::Pde(e)
+        match e {
+            PdeError::Cancelled => PriceError::DeadlineExceeded,
+            e => PriceError::Pde(e),
+        }
     }
 }
 
@@ -357,6 +476,7 @@ pub struct PricerPlan {
     maturity: f64,
     plan_seconds: f64,
     kind: PlanKind,
+    cancel: mdp_math::CancelToken,
 }
 
 /// Which compiled engine state a [`PricerPlan`] carries.
@@ -448,6 +568,12 @@ impl Pricer {
     /// number.
     pub fn plan(&self, market: &GbmMarket, maturity: f64) -> Result<PricerPlan, PriceError> {
         let start = std::time::Instant::now();
+        if !(maturity > 0.0 && maturity.is_finite()) {
+            return Err(PriceError::Model(ModelError::InvalidParameter {
+                what: "maturity",
+                value: maturity,
+            }));
+        }
         let kind = match (&self.method, self.backend) {
             (Method::Fd1d(cfg), Backend::Sequential) => {
                 PlanKind::Fd1d(Box::new(cfg.plan(market, maturity)?), Fd1dScratch::default())
@@ -486,6 +612,7 @@ impl Pricer {
             maturity,
             plan_seconds: start.elapsed().as_secs_f64(),
             kind,
+            cancel: mdp_math::CancelToken::never(),
         })
     }
 
@@ -740,6 +867,29 @@ impl PricerPlan {
         &self.market
     }
 
+    /// Install a cooperative cancel token for subsequent executes.
+    ///
+    /// The token is forwarded into the compiled engine plan, which
+    /// polls it at its natural check granularity (MC path blocks,
+    /// lattice/FD/ADI time steps, trapezoid recursion cuts); a tripped
+    /// token aborts the run with [`PriceError::DeadlineExceeded`] and
+    /// discards partial state. One-shot kinds check once before
+    /// dispatch. Polling never touches numerical state: a run that
+    /// completes despite a live token is bitwise-identical to a run
+    /// without one. Installing `CancelToken::never()` restores the
+    /// inert default (plan clones keep whatever token they carried).
+    pub fn set_cancel(&mut self, cancel: mdp_math::CancelToken) {
+        match &mut self.kind {
+            PlanKind::Fd1d(plan, _) => plan.set_cancel(cancel.clone()),
+            PlanKind::Adi2d(plan, _) => plan.set_cancel(cancel.clone()),
+            PlanKind::Adi3d(plan, _) => plan.set_cancel(cancel.clone()),
+            PlanKind::Lattice(plan, _) => plan.set_cancel(cancel.clone()),
+            PlanKind::Mc(plan) => plan.set_cancel(cancel.clone()),
+            PlanKind::OneShot => {}
+        }
+        self.cancel = cancel;
+    }
+
     /// Patch the plan in place for a one-field market tick.
     ///
     /// The planful kinds delegate to their engine's own `apply_tick`,
@@ -779,6 +929,12 @@ impl PricerPlan {
                 self.maturity, product.maturity
             )));
         }
+        // One check before dispatch: answers one-shot kinds (which
+        // have no in-loop polling) and saves planful kinds a doomed
+        // setup pass when the deadline already expired.
+        if self.cancel.is_cancelled() {
+            return Err(PriceError::DeadlineExceeded);
+        }
         let parallel = matches!(self.pricer.backend, Backend::Rayon);
         let (price, std_error, time) = match &mut self.kind {
             PlanKind::Fd1d(plan, scratch) => {
@@ -803,6 +959,15 @@ impl PricerPlan {
             }
             PlanKind::OneShot => self.pricer.price_one_shot(&self.market, product)?,
         };
+        // Post-condition: a price must be finite. A NaN or infinity
+        // here is an engine defect (or injected fault), and returning
+        // it would poison every downstream aggregate silently.
+        if !price.is_finite() {
+            return Err(PriceError::Numerical {
+                engine: self.pricer.method.name(),
+                value: price,
+            });
+        }
         let execute_seconds = start.elapsed().as_secs_f64();
         Ok(PriceReport {
             price,
@@ -1058,6 +1223,77 @@ mod tests {
             .backend(Backend::cluster(4, Machine::cluster2002()))
             .price(&m, &p);
         assert!(matches!(cn, Err(PriceError::Unsupported(_))));
+    }
+
+    #[test]
+    fn degrade_is_cheaper_keyed_distinctly_and_bottoms_out() {
+        // MC: quarter the paths, everything else untouched.
+        let m = Method::monte_carlo(200_000);
+        let d = m.degrade().unwrap();
+        match (&m, &d) {
+            (Method::MonteCarlo(a), Method::MonteCarlo(b)) => {
+                assert_eq!(b.paths, a.paths / 4);
+                assert_eq!(b.seed, a.seed);
+            }
+            _ => panic!("degrade changed the engine family"),
+        }
+        assert_ne!(m.cache_key(), d.cache_key());
+        // The chain terminates at the documented floor.
+        let mut cur = m;
+        let mut hops = 0;
+        while let Some(next) = cur.degrade() {
+            cur = next;
+            hops += 1;
+            assert!(hops < 64, "degrade chain did not terminate");
+        }
+        // Analytic has nothing cheaper.
+        assert!(Method::Analytic.degrade().is_none());
+        // FD keeps an odd point count (grid centring) and halves steps.
+        if let Some(Method::Fd1d(f)) = Method::Fd1d(Fd1d::default()).degrade() {
+            assert_eq!(f.space_points % 2, 1);
+        } else {
+            panic!("default FD should degrade");
+        }
+    }
+
+    #[test]
+    fn tripped_cancel_token_yields_deadline_exceeded_then_resets() {
+        let (m, p) = call1();
+        for method in [
+            Method::Fd1d(Fd1d::default()),
+            Method::monte_carlo(20_000),
+            Method::MultiLattice { steps: 64 },
+            Method::Analytic, // one-shot kind: pre-dispatch check
+        ] {
+            let pricer = Pricer::new(method);
+            let baseline = pricer.price(&m, &p).unwrap().price;
+            let mut plan = pricer.plan(&m, 1.0).unwrap();
+            let token = mdp_math::CancelToken::new();
+            token.cancel();
+            plan.set_cancel(token);
+            assert!(matches!(
+                plan.execute(&p),
+                Err(PriceError::DeadlineExceeded)
+            ));
+            // Restoring the inert token restores bitwise behaviour.
+            plan.set_cancel(mdp_math::CancelToken::never());
+            let again = plan.execute(&p).unwrap().price;
+            assert_eq!(again.to_bits(), baseline.to_bits());
+        }
+    }
+
+    #[test]
+    fn non_finite_or_non_positive_maturity_is_a_typed_model_error() {
+        let (m, _) = call1();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let e = Pricer::new(Method::Fd1d(Fd1d::default()))
+                .plan(&m, bad)
+                .unwrap_err();
+            assert!(matches!(
+                e,
+                PriceError::Model(ModelError::InvalidParameter { what: "maturity", .. })
+            ));
+        }
     }
 
     #[test]

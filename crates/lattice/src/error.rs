@@ -27,6 +27,10 @@ pub enum LatticeError {
     },
     /// Model-layer validation failed.
     Model(ModelError),
+    /// The run's cooperative cancel token tripped (deadline expired or
+    /// the caller abandoned the request) before backward induction
+    /// finished.
+    Cancelled,
 }
 
 impl fmt::Display for LatticeError {
@@ -44,6 +48,9 @@ impl fmt::Display for LatticeError {
                 )
             }
             LatticeError::Model(e) => write!(f, "{e}"),
+            LatticeError::Cancelled => {
+                write!(f, "lattice backward induction cancelled before completion")
+            }
         }
     }
 }

@@ -480,6 +480,7 @@ impl MultiLattice {
             probs,
             disc,
             ladders,
+            cancel: mdp_math::CancelToken::never(),
         })
     }
 
@@ -536,6 +537,9 @@ pub struct LatticePlan {
     disc: f64,
     /// `ladders[step][axis][jᵢ]` — per-step spot ladders.
     ladders: Vec<Vec<Vec<f64>>>,
+    /// Cooperative cancellation, polled once per time step. Inert by
+    /// default; the serving layer installs a live token per request.
+    cancel: mdp_math::CancelToken,
 }
 
 /// Reusable buffers for [`LatticePlan::execute`]: the two ping-pong grid
@@ -556,6 +560,14 @@ impl LatticePlan {
     /// Steps of the underlying lattice.
     pub fn steps(&self) -> usize {
         self.lat.steps
+    }
+
+    /// Install a cooperative cancel token, polled once per backward
+    /// time step; a tripped token aborts the run with
+    /// [`LatticeError::Cancelled`]. Runs that complete are
+    /// bitwise-identical to runs without a token.
+    pub fn set_cancel(&mut self, cancel: mdp_math::CancelToken) {
+        self.cancel = cancel;
     }
 
     /// The market snapshot the plan currently prices on (kept in sync
@@ -668,6 +680,9 @@ impl LatticePlan {
         let mut branches = 0u64;
 
         for step in (0..n).rev() {
+            if self.cancel.is_cancelled() {
+                return Err(LatticeError::Cancelled);
+            }
             let ctx =
                 StepCtx::with_tables(market, product, step, probs, disc, self.ladders[step].clone());
             let row_cur = ctx.row_cur();

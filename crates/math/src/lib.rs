@@ -30,6 +30,7 @@
 //! characteristics fully attributable to the algorithms in this workspace.
 
 pub mod brownian;
+pub mod cancel;
 pub mod error;
 pub mod fastmath;
 pub mod fingerprint;
@@ -42,6 +43,7 @@ pub mod sobol;
 pub mod special;
 pub mod stats;
 
+pub use cancel::CancelToken;
 pub use error::MathError;
 pub use fingerprint::Fnv64;
 

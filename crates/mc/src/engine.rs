@@ -10,9 +10,10 @@
 
 use crate::panel::{eval_panel, eval_terminal_walked, walk_panel_terminal, CvSpec, PanelScratch};
 use crate::path::{walk_path_with_normals, GbmStepper, SoaPanel, PANEL};
-use crate::variance::{merge_in_chunks, BlockAccum, MERGE_CHUNK};
+use crate::variance::{merge_in_chunks, try_merge_in_chunks, BlockAccum, MERGE_CHUNK};
 use crate::McError;
 use mdp_math::rng::{NormalPolar, NormalSampler, Substreams, Xoshiro256StarStar};
+use mdp_math::CancelToken;
 use mdp_model::{
     analytic, ExerciseStyle, GbmMarket, MarketDelta, PathDependence, Payoff, Product, TickOutcome,
 };
@@ -451,12 +452,33 @@ pub struct McPlan {
     log0: Vec<f64>,
     s0_first: f64,
     disc: f64,
+    /// Cooperative cancellation, polled once per path block. Inert by
+    /// default; the serving layer installs a live token per request.
+    cancel: CancelToken,
 }
 
 impl McPlan {
     /// Horizon the plan was built for.
     pub fn maturity(&self) -> f64 {
         self.maturity
+    }
+
+    /// Install a cooperative cancel token. The drivers poll it once per
+    /// path block; a tripped token aborts the run with
+    /// [`McError::Cancelled`]. Runs that complete are bitwise-identical
+    /// to runs without a token.
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = cancel;
+    }
+
+    /// Poll the plan's cancel token at a block boundary.
+    #[inline]
+    fn check_cancel(&self) -> Result<(), McError> {
+        if self.cancel.is_cancelled() {
+            Err(McError::Cancelled)
+        } else {
+            Ok(())
+        }
     }
 
     /// The run configuration.
@@ -495,7 +517,12 @@ impl McPlan {
     /// Bitwise-identical to [`McEngine::price`] on the same inputs.
     pub fn execute(&self, product: &Product) -> Result<McResult, McError> {
         let ctx = self.context(product)?;
-        let acc = merge_in_chunks((0..ctx.num_blocks()).map(|b| ctx.simulate_block(b)));
+        // `try_merge_in_chunks` folds exactly like `merge_in_chunks`, so
+        // an uncancelled run matches the one-shot path bit for bit.
+        let acc = try_merge_in_chunks((0..ctx.num_blocks()).map(|b| -> Result<_, McError> {
+            self.check_cancel()?;
+            Ok(ctx.simulate_block(b))
+        }))?;
         Ok(ctx.finish(&acc))
     }
 
@@ -504,7 +531,7 @@ impl McPlan {
     /// to [`McPlan::execute`]).
     pub fn execute_rayon(&self, product: &Product) -> Result<McResult, McError> {
         let ctx = self.context(product)?;
-        Ok(ctx.finish(&price_rayon_accum(&ctx)))
+        Ok(ctx.finish(&price_rayon_accum(&ctx, &self.cancel)?))
     }
 
     /// A product is fusable when the paths fully determine its payoff
@@ -586,12 +613,13 @@ impl McPlan {
         // `price_rayon` per payoff: blocks fold into MERGE_CHUNK-sized
         // chunk totals in block order, chunk totals fold in chunk order.
         let chunks = blocks.div_ceil(MERGE_CHUNK as u64);
-        let run_chunk = |c: u64| -> Vec<BlockAccum> {
+        let run_chunk = |c: u64| -> Result<Vec<BlockAccum>, McError> {
             let lo = c * MERGE_CHUNK as u64;
             let hi = (lo + MERGE_CHUNK as u64).min(blocks);
             let mut chunk: Vec<BlockAccum> = (0..k).map(|_| BlockAccum::new()).collect();
             let mut per_block: Vec<BlockAccum> = (0..k).map(|_| BlockAccum::new()).collect();
             for b in lo..hi {
+                self.check_cancel()?;
                 for a in per_block.iter_mut() {
                     *a = BlockAccum::new();
                 }
@@ -600,12 +628,15 @@ impl McPlan {
                     t.merge(a);
                 }
             }
-            chunk
+            Ok(chunk)
         };
         let chunk_accs: Vec<Vec<BlockAccum>> = if parallel {
-            (0..chunks).into_par_iter().map(run_chunk).collect()
+            (0..chunks)
+                .into_par_iter()
+                .map(run_chunk)
+                .collect::<Result<_, _>>()?
         } else {
-            (0..chunks).map(run_chunk).collect()
+            (0..chunks).map(run_chunk).collect::<Result<_, _>>()?
         };
         let mut totals: Vec<BlockAccum> = (0..k).map(|_| BlockAccum::new()).collect();
         for chunk in &chunk_accs {
@@ -763,19 +794,20 @@ impl McPlan {
                     disc: scen.discount(self.maturity),
                 })
             })
-            .collect::<Result<_, _>>()?;
+            .collect::<Result<Vec<_>, _>>()?;
         let payoffs: Vec<&Payoff> = products.iter().map(|p| &p.payoff).collect();
         let m = scens.len() * k;
         let blocks = self.cfg.num_blocks();
         // Same canonical chunked merge as `execute_multi`, per
         // (scenario, payoff) accumulator.
         let chunks = blocks.div_ceil(MERGE_CHUNK as u64);
-        let run_chunk = |c: u64| -> Vec<BlockAccum> {
+        let run_chunk = |c: u64| -> Result<Vec<BlockAccum>, McError> {
             let lo = c * MERGE_CHUNK as u64;
             let hi = (lo + MERGE_CHUNK as u64).min(blocks);
             let mut chunk: Vec<BlockAccum> = (0..m).map(|_| BlockAccum::new()).collect();
             let mut per_block: Vec<BlockAccum> = (0..m).map(|_| BlockAccum::new()).collect();
             for b in lo..hi {
+                self.check_cancel()?;
                 for a in per_block.iter_mut() {
                     *a = BlockAccum::new();
                 }
@@ -784,12 +816,15 @@ impl McPlan {
                     t.merge(a);
                 }
             }
-            chunk
+            Ok(chunk)
         };
         let chunk_accs: Vec<Vec<BlockAccum>> = if parallel {
-            (0..chunks).into_par_iter().map(run_chunk).collect()
+            (0..chunks)
+                .into_par_iter()
+                .map(run_chunk)
+                .collect::<Result<_, _>>()?
         } else {
-            (0..chunks).map(run_chunk).collect()
+            (0..chunks).map(run_chunk).collect::<Result<_, _>>()?
         };
         let mut totals: Vec<BlockAccum> = (0..m).map(|_| BlockAccum::new()).collect();
         for chunk in &chunk_accs {
@@ -828,7 +863,7 @@ struct CubeScenario {
 
 /// The chunk-parallel accumulator fold shared by [`McEngine::price_rayon`]
 /// and [`McPlan::execute_rayon`].
-fn price_rayon_accum(ctx: &RunContext<'_>) -> BlockAccum {
+fn price_rayon_accum(ctx: &RunContext<'_>, cancel: &CancelToken) -> Result<BlockAccum, McError> {
     // Parallelise over merge chunks, not blocks: each worker folds its
     // run of MERGE_CHUNK consecutive blocks into one accumulator, so
     // only ⌈blocks/64⌉ accumulators are materialised (the old driver
@@ -845,16 +880,19 @@ fn price_rayon_accum(ctx: &RunContext<'_>) -> BlockAccum {
             let hi = (lo + MERGE_CHUNK as u64).min(blocks);
             let mut chunk = BlockAccum::new();
             for b in lo..hi {
+                if cancel.is_cancelled() {
+                    return Err(McError::Cancelled);
+                }
                 chunk.merge(&ctx.simulate_block(b));
             }
-            chunk
+            Ok(chunk)
         })
-        .collect();
+        .collect::<Result<Vec<_>, _>>()?;
     let mut total = BlockAccum::new();
     for a in &chunk_accs {
         total.merge(a);
     }
-    total
+    Ok(total)
 }
 
 impl McEngine {
@@ -890,6 +928,7 @@ impl McEngine {
             log0: market.spots().iter().map(|s| s.ln()).collect(),
             s0_first: market.spots()[0],
             disc: market.discount(maturity),
+            cancel: CancelToken::never(),
         })
     }
 
@@ -918,7 +957,7 @@ impl McEngine {
     /// result to [`McEngine::price`].
     pub fn price_rayon(&self, market: &GbmMarket, product: &Product) -> Result<McResult, McError> {
         let ctx = RunContext::new(market, product, self.config)?;
-        Ok(ctx.finish(&price_rayon_accum(&ctx)))
+        Ok(ctx.finish(&price_rayon_accum(&ctx, &CancelToken::never())?))
     }
 }
 
@@ -1149,6 +1188,32 @@ mod tests {
         }
         let short = Product::european(Payoff::MaxCall { strike: 105.0 }, 0.5);
         assert!(plan.execute(&short).is_err());
+    }
+
+    #[test]
+    fn tripped_cancel_token_aborts_all_drivers() {
+        let m = GbmMarket::symmetric(3, 100.0, 0.25, 0.01, 0.04, 0.3).unwrap();
+        let p = Product::european(Payoff::MaxCall { strike: 105.0 }, 1.0);
+        let eng = McEngine::new(McConfig {
+            paths: 10_000,
+            block_size: 500,
+            ..Default::default()
+        });
+        let mut plan = eng.plan(&m, 1.0).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        plan.set_cancel(token);
+        assert!(matches!(plan.execute(&p), Err(McError::Cancelled)));
+        assert!(matches!(plan.execute_rayon(&p), Err(McError::Cancelled)));
+        assert!(matches!(
+            plan.execute_multi(std::slice::from_ref(&p), false),
+            Err(McError::Cancelled)
+        ));
+        // A fresh (inert) token restores normal, bitwise-stable pricing.
+        plan.set_cancel(CancelToken::never());
+        let a = plan.execute(&p).unwrap();
+        let b = eng.price(&m, &p).unwrap();
+        assert_eq!(a.price.to_bits(), b.price.to_bits());
     }
 
     #[test]

@@ -16,6 +16,9 @@ pub enum McError {
     Unsupported(String),
     /// Model-layer validation failed.
     Model(ModelError),
+    /// The run's cooperative cancel token tripped (deadline expired or
+    /// the caller abandoned the request) before all path blocks ran.
+    Cancelled,
 }
 
 impl fmt::Display for McError {
@@ -25,6 +28,7 @@ impl fmt::Display for McError {
             McError::ZeroSteps => write!(f, "Monte Carlo needs at least one monitoring step"),
             McError::Unsupported(why) => write!(f, "unsupported configuration: {why}"),
             McError::Model(e) => write!(f, "{e}"),
+            McError::Cancelled => write!(f, "Monte Carlo run cancelled before completion"),
         }
     }
 }

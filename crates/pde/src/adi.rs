@@ -156,6 +156,9 @@ pub struct Adi2dPlan {
     sys2: Tridiag,
     fac1: FactoredTridiag,
     fac2: FactoredTridiag,
+    /// Cooperative cancellation, polled once per time step. Inert by
+    /// default; the serving layer installs a live token per request.
+    cancel: mdp_math::CancelToken,
 }
 
 /// Reusable buffers for [`Adi2dPlan::execute`]: the intrinsic surface,
@@ -230,6 +233,7 @@ impl Adi2d {
             sys2,
             fac1,
             fac2,
+            cancel: mdp_math::CancelToken::never(),
         })
     }
 
@@ -374,6 +378,13 @@ impl Adi2dPlan {
         }
     }
 
+    /// Install a cooperative cancel token, polled once per time step; a
+    /// tripped token aborts the run with [`PdeError::Cancelled`]. Runs
+    /// that complete are bitwise-identical to runs without a token.
+    pub fn set_cancel(&mut self, cancel: mdp_math::CancelToken) {
+        self.cancel = cancel;
+    }
+
     /// Run the planned scheme for one product. Bitwise-identical to the
     /// one-shot [`Adi2d::price`] on the same inputs.
     pub fn execute(
@@ -427,8 +438,8 @@ impl Adi2dPlan {
             intrinsic,
         };
         let swept = match self.cfg.kernel {
-            AdiKernel::Scalar => self.sweep_scalar(&env, v, sweep),
-            AdiKernel::Blocked => self.sweep_blocked(&env, v, sweep),
+            AdiKernel::Scalar => self.sweep_scalar(&env, v, sweep)?,
+            AdiKernel::Blocked => self.sweep_blocked(&env, v, sweep)?,
         };
         let nodes = (m * m) as u64 + swept;
 
@@ -440,7 +451,12 @@ impl Adi2dPlan {
 
     /// Per-line oracle: one Thomas solve per grid line, stage 1 gathered
     /// column-wise, stage 2 in place on the rows.
-    fn sweep_scalar(&self, env: &Env, v: &mut [f64], sc: &mut SweepScratch) -> u64 {
+    fn sweep_scalar(
+        &self,
+        env: &Env,
+        v: &mut [f64],
+        sc: &mut SweepScratch,
+    ) -> Result<u64, PdeError> {
         let (sys1, sys2) = (&self.sys1, &self.sys2);
         let (m, n) = (env.m, env.n);
         let (dt, theta, mixed) = (env.dt, env.theta, env.mixed);
@@ -460,6 +476,9 @@ impl Adi2dPlan {
 
         let mut nodes = 0u64;
         for step in 1..=n {
+            if self.cancel.is_cancelled() {
+                return Err(PdeError::Cancelled);
+            }
             let tau = step as f64 * dt;
             let df = (-env.r * tau).exp();
             let boundary = |i: usize, j: usize| {
@@ -557,7 +576,7 @@ impl Adi2dPlan {
             finish_step(env, v, &boundary);
             nodes += (m * m) as u64;
         }
-        nodes
+        Ok(nodes)
     }
 
     /// Blocked fast path: factor-once stage operators, tile-major panels
@@ -565,7 +584,12 @@ impl Adi2dPlan {
     /// build. Bitwise-equal to [`Self::sweep_scalar`] because every
     /// per-element expression is identical and only independent lines
     /// are regrouped.
-    fn sweep_blocked(&self, env: &Env, v: &mut [f64], sc: &mut SweepScratch) -> u64 {
+    fn sweep_blocked(
+        &self,
+        env: &Env,
+        v: &mut [f64],
+        sc: &mut SweepScratch,
+    ) -> Result<u64, PdeError> {
         let (fac1, fac2) = (&self.fac1, &self.fac2);
         let (m, n) = (env.m, env.n);
         let (dt, theta, mixed) = (env.dt, env.theta, env.mixed);
@@ -587,6 +611,9 @@ impl Adi2dPlan {
 
         let mut nodes = 0u64;
         for step in 1..=n {
+            if self.cancel.is_cancelled() {
+                return Err(PdeError::Cancelled);
+            }
             let tau = step as f64 * dt;
             let df = (-env.r * tau).exp();
             let boundary = |i: usize, j: usize| {
@@ -717,7 +744,7 @@ impl Adi2dPlan {
             finish_step(env, v, &boundary);
             nodes += (m * m) as u64;
         }
-        nodes
+        Ok(nodes)
     }
 }
 

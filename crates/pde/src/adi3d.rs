@@ -95,6 +95,9 @@ pub struct Adi3dPlan {
     spots: [Vec<f64>; 3],
     sys: [Tridiag; 3],
     fac: [FactoredTridiag; 3],
+    /// Cooperative cancellation, polled once per time step. Inert by
+    /// default; the serving layer installs a live token per request.
+    cancel: mdp_math::CancelToken,
 }
 
 /// Reusable buffers for [`Adi3dPlan::execute`]: the intrinsic cube, the
@@ -160,6 +163,7 @@ impl Adi3d {
             spots,
             sys: [sys0, sys1, sys2],
             fac: [fac0, fac1, fac2],
+            cancel: mdp_math::CancelToken::never(),
         })
     }
 
@@ -293,6 +297,13 @@ impl Adi3dPlan {
         }
     }
 
+    /// Install a cooperative cancel token, polled once per time step; a
+    /// tripped token aborts the run with [`PdeError::Cancelled`]. Runs
+    /// that complete are bitwise-identical to runs without a token.
+    pub fn set_cancel(&mut self, cancel: mdp_math::CancelToken) {
+        self.cancel = cancel;
+    }
+
     /// Run the planned scheme for one product. Bitwise-identical to the
     /// one-shot [`Adi3d::price`] on the same inputs.
     pub fn execute(
@@ -350,6 +361,9 @@ impl Adi3dPlan {
 
         let mut nodes = (m * m * m) as u64;
         for step in 1..=n {
+            if self.cancel.is_cancelled() {
+                return Err(PdeError::Cancelled);
+            }
             let tau = step as f64 * dt;
             let df = (-self.r * tau).exp();
             let boundary = |lin: usize| {

@@ -17,6 +17,9 @@ pub enum PdeError {
     NoConvergence { iterations: usize },
     /// Model-layer validation failed.
     Model(ModelError),
+    /// The run's cooperative cancel token tripped (deadline expired or
+    /// the caller abandoned the request) before the sweep finished.
+    Cancelled,
 }
 
 impl fmt::Display for PdeError {
@@ -33,6 +36,7 @@ impl fmt::Display for PdeError {
                 write!(f, "PSOR did not converge in {iterations} iterations")
             }
             PdeError::Model(e) => write!(f, "{e}"),
+            PdeError::Cancelled => write!(f, "finite-difference sweep cancelled before completion"),
         }
     }
 }

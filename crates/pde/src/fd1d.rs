@@ -121,6 +121,10 @@ pub struct Fd1dPlan {
     c: f64,
     lhs: Tridiag,
     factored: Option<FactoredTridiag>,
+    /// Cooperative cancellation, polled once per time step (and at
+    /// trapezoid recursion cuts). Inert by default; the serving layer
+    /// installs a live token per request.
+    cancel: mdp_math::CancelToken,
 }
 
 /// Reusable per-run buffers for [`Fd1dPlan::execute`]: right-hand side,
@@ -221,6 +225,7 @@ impl Fd1d {
             c,
             lhs,
             factored,
+            cancel: mdp_math::CancelToken::never(),
         })
     }
 
@@ -269,6 +274,14 @@ fn implicit_system(
 }
 
 impl Fd1dPlan {
+    /// Install a cooperative cancel token, polled once per time step
+    /// (and at trapezoid recursion cuts); a tripped token aborts the
+    /// run with [`PdeError::Cancelled`]. Runs that complete are
+    /// bitwise-identical to runs without a token.
+    pub fn set_cancel(&mut self, cancel: mdp_math::CancelToken) {
+        self.cancel = cancel;
+    }
+
     /// The grid the plan solves on.
     pub fn grid(&self) -> &LogGrid {
         &self.grid
@@ -418,8 +431,11 @@ impl Fd1dPlan {
                 intrinsic,
                 df: &scratch.df,
                 american,
+                cancel: &self.cancel,
             };
-            sweep.run(n, &mut values, &mut scratch.pong);
+            if !sweep.run(n, &mut values, &mut scratch.pong) {
+                return Err(PdeError::Cancelled);
+            }
             if n % 2 == 1 {
                 values.copy_from_slice(&scratch.pong);
             }
@@ -436,6 +452,9 @@ impl Fd1dPlan {
         scratch.sol.resize(interior, 0.0);
         let (rhs, sol) = (&mut scratch.rhs, &mut scratch.sol);
         for step in 1..=self.cfg.time_steps {
+            if self.cancel.is_cancelled() {
+                return Err(PdeError::Cancelled);
+            }
             let tau = step as f64 * dt;
             // Dirichlet boundaries: discounted intrinsic.
             let df = (-r * tau).exp();
@@ -561,7 +580,7 @@ impl Fd1dPlan {
                 scratch.intrinsic[i * w + lane] = product.payoff.eval(&[s]);
             }
         }
-        let nodes = self.sweep_panel(w, scratch);
+        let nodes = self.sweep_panel(w, scratch)?;
         let prices = (0..w)
             .map(|lane| scratch.values[self.grid.center * w + lane])
             .collect();
@@ -640,7 +659,7 @@ impl Fd1dPlan {
                 }
             }
         }
-        let nodes = self.sweep_panel(w, scratch);
+        let nodes = self.sweep_panel(w, scratch)?;
         let prices = (0..w)
             .map(|lane| scratch.values[self.grid.center * w + lane])
             .collect();
@@ -654,7 +673,7 @@ impl Fd1dPlan {
     /// surface is already in `scratch.intrinsic` (lane-major, `m·w`)
     /// and whose exercise flags are in `scratch.american`. Fills
     /// `scratch.values` with the t=0 surface; returns nodes processed.
-    fn sweep_panel(&self, w: usize, scratch: &mut Fd1dLadderScratch) -> u64 {
+    fn sweep_panel(&self, w: usize, scratch: &mut Fd1dLadderScratch) -> Result<u64, PdeError> {
         let m = self.cfg.space_points;
         let (dt, r, theta) = (self.dt, self.r, self.theta);
         let (a, b, c) = (self.a, self.b, self.c);
@@ -672,6 +691,9 @@ impl Fd1dPlan {
 
         let mut nodes = (m * w) as u64;
         for step in 1..=self.cfg.time_steps {
+            if self.cancel.is_cancelled() {
+                return Err(PdeError::Cancelled);
+            }
             let tau = step as f64 * dt;
             let df = (-r * tau).exp();
             for lane in 0..w {
@@ -734,7 +756,7 @@ impl Fd1dPlan {
             }
             nodes += (m * w) as u64;
         }
-        nodes
+        Ok(nodes)
     }
 }
 

@@ -94,22 +94,29 @@ pub(crate) struct TrapezoidSweep<'a> {
     pub df: &'a [f64],
     /// Apply the early-exercise projection after each point update.
     pub american: bool,
+    /// Cooperative cancellation, polled at recursion cuts (never in the
+    /// L1-resident base case). Partial buffers are discarded on abort,
+    /// so completed sweeps stay bitwise-identical.
+    pub cancel: &'a mdp_math::CancelToken,
 }
 
 impl TrapezoidSweep<'_> {
     /// Advance `n` time levels. `even` holds level 0 on entry; on exit
     /// the level-`n` surface is in `even` when `n` is even, else in
-    /// `odd`.
-    pub fn run(&self, n: usize, even: &mut [f64], odd: &mut [f64]) {
+    /// `odd`. Returns `false` when the cancel token tripped mid-sweep
+    /// (the buffers then hold a partial, unusable surface).
+    #[must_use]
+    pub fn run(&self, n: usize, even: &mut [f64], odd: &mut [f64]) -> bool {
         debug_assert_eq!(even.len(), self.m);
         debug_assert_eq!(odd.len(), self.m);
         debug_assert!(self.df.len() > n);
-        self.walk(0, n as isize, 0, 0, self.m as isize, 0, even, odd);
+        self.walk(0, n as isize, 0, 0, self.m as isize, 0, even, odd)
     }
 
     /// Frigo–Strumpen walk over the trapezoid with bottom row
     /// `[x0, x1)` at level `t0`, top at level `t1`, and edge slopes
     /// `dx0`/`dx1` (grid cells per time level, always 0 or −1 here).
+    /// Returns `false` when the walk was aborted by the cancel token.
     #[allow(clippy::too_many_arguments)]
     fn walk(
         &self,
@@ -121,10 +128,10 @@ impl TrapezoidSweep<'_> {
         dx1: isize,
         even: &mut [f64],
         odd: &mut [f64],
-    ) {
+    ) -> bool {
         let h = t1 - t0;
         if h <= 0 {
-            return;
+            return true;
         }
         if h <= BASE_HEIGHT {
             // Base case: level-by-level over the (small) trapezoid —
@@ -134,29 +141,34 @@ impl TrapezoidSweep<'_> {
                 let y = t - t0;
                 self.row(t, x0 + dx0 * y, x1 + dx1 * y, even, odd);
             }
-            return;
+            return true;
+        }
+        // Poll only at cut nodes: the hot base case stays check-free,
+        // and the abort granularity is at most BASE_HEIGHT rows.
+        if self.cancel.is_cancelled() {
+            return false;
         }
         if 2 * (x1 - x0) + (dx1 - dx0) * h >= 4 * h {
             // Wide: space cut through the midpoint with slope −1. The
             // left piece is closed under the stencil's dependencies, so
             // it runs to completion first.
             let xm = (2 * (x0 + x1) + (2 + dx0 + dx1) * h) / 4;
-            self.walk(t0, t1, x0, dx0, xm, -1, even, odd);
-            self.walk(t0, t1, xm, -1, x1, dx1, even, odd);
+            self.walk(t0, t1, x0, dx0, xm, -1, even, odd)
+                && self.walk(t0, t1, xm, -1, x1, dx1, even, odd)
         } else {
             // Tall: time cut, bottom half first.
             let s = h / 2;
-            self.walk(t0, t0 + s, x0, dx0, x1, dx1, even, odd);
-            self.walk(
-                t0 + s,
-                t1,
-                x0 + dx0 * s,
-                dx0,
-                x1 + dx1 * s,
-                dx1,
-                even,
-                odd,
-            );
+            self.walk(t0, t0 + s, x0, dx0, x1, dx1, even, odd)
+                && self.walk(
+                    t0 + s,
+                    t1,
+                    x0 + dx0 * s,
+                    dx0,
+                    x1 + dx1 * s,
+                    dx1,
+                    even,
+                    odd,
+                )
         }
     }
 
@@ -251,6 +263,36 @@ mod tests {
     }
 
     #[test]
+    fn tripped_token_aborts_recursive_sweeps() {
+        let m = 128usize;
+        let intrinsic: Vec<f64> = (0..m).map(|i| (i as f64 - 40.0).max(0.0)).collect();
+        let token = mdp_math::CancelToken::new();
+        token.cancel();
+        let n = 100usize;
+        let dt = 0.4 / n as f64;
+        let df: Vec<f64> = (0..=n).map(|t| (-0.05 * t as f64 * dt).exp()).collect();
+        let sweep = TrapezoidSweep {
+            m,
+            dt,
+            a: 0.23,
+            b: -0.58,
+            c: 0.31,
+            intrinsic: &intrinsic,
+            df: &df,
+            american: false,
+            cancel: &token,
+        };
+        let mut even = intrinsic.clone();
+        let mut odd = vec![0.0; m];
+        // Tall enough to recurse ⇒ the cut-node poll sees the trip.
+        assert!(!sweep.run(n, &mut even, &mut odd));
+        // At or below BASE_HEIGHT there are no cut nodes: the sweep is
+        // one L1-resident base case and runs to completion unchecked.
+        let mut even = intrinsic.clone();
+        assert!(sweep.run(super::BASE_HEIGHT as usize, &mut even, &mut odd));
+    }
+
+    #[test]
     fn trapezoid_matches_level_sweep_bitwise() {
         // Sizes chosen to exercise both cut rules and both final
         // parities, including heights well past BASE_HEIGHT.
@@ -260,6 +302,7 @@ mod tests {
                     (0..m).map(|i| ((i as f64) - m as f64 / 3.0).max(0.0)).collect();
                 let dt = 0.4 / n as f64;
                 let df: Vec<f64> = (0..=n).map(|t| (-0.05 * t as f64 * dt).exp()).collect();
+                let never = mdp_math::CancelToken::never();
                 let sweep = TrapezoidSweep {
                     m,
                     dt,
@@ -269,11 +312,12 @@ mod tests {
                     intrinsic: &intrinsic,
                     df: &df,
                     american,
+                    cancel: &never,
                 };
                 let expected = step_by_step(&sweep, n, &intrinsic);
                 let mut even = intrinsic.clone();
                 let mut odd = vec![0.0; m];
-                sweep.run(n, &mut even, &mut odd);
+                assert!(sweep.run(n, &mut even, &mut odd));
                 let got = if n % 2 == 0 { &even } else { &odd };
                 for (x, (g, e)) in got.iter().zip(&expected).enumerate() {
                     assert_eq!(

@@ -1,0 +1,316 @@
+//! Per-engine circuit breakers.
+//!
+//! One `Breaker` guards each `(method, backend)` engine identity
+//! (keyed by [`mdp_core::Method::cache_key`]): when an engine starts
+//! failing — worker panics, non-finite outputs — the breaker **trips
+//! open** and the router stops sending it work, answering from a
+//! rerouted or degraded engine (or a typed
+//! [`mdp_core::PriceError::CircuitOpen`]) instead of queueing requests
+//! behind a broken engine. After a cooldown the breaker goes
+//! **half-open** and admits a bounded number of probe requests; probes
+//! succeeding closes it, a probe failing re-opens it.
+//!
+//! ```text
+//!            failure ratio ≥ threshold
+//!            over the sliding window
+//!   Closed ──────────────────────────▶ Open
+//!     ▲                                 │ cooldown elapsed
+//!     │  probes succeed                 ▼
+//!     └────────────────────────────  HalfOpen
+//!                    probe fails ──────▶ Open
+//! ```
+//!
+//! Only *engine* failures count toward the window: deadline expiries
+//! and per-request validation errors (unsupported payoffs, bad
+//! parameters) say nothing about the engine's health and never trip it.
+
+use crate::request::BreakerConfig;
+use std::collections::HashMap;
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+/// The three breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow, outcomes feed the sliding window.
+    Closed,
+    /// Tripped: requests are rejected until the cooldown elapses.
+    Open,
+    /// Cooling down: a bounded number of probes are admitted to test
+    /// whether the engine recovered.
+    HalfOpen,
+}
+
+/// The router's verdict for one request against one engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    /// Breaker closed: proceed normally.
+    Allow,
+    /// Breaker half-open: proceed, and this request's outcome decides
+    /// whether the breaker closes or re-opens.
+    Probe,
+    /// Breaker open (or half-open with its probe budget spent): do not
+    /// run this engine.
+    Reject,
+}
+
+/// One recorded state transition, for trip/recovery timelines and the
+/// chaos suite's legality check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// [`mdp_core::Method::cache_key`] of the guarded engine.
+    pub key: u64,
+    /// State before.
+    pub from: BreakerState,
+    /// State after.
+    pub to: BreakerState,
+}
+
+/// Per-engine breaker bookkeeping.
+#[derive(Debug)]
+struct Breaker {
+    state: BreakerState,
+    /// Ring of recent outcomes (`true` = success), newest last.
+    window: Vec<bool>,
+    /// When the breaker last opened (drives the cooldown).
+    opened_at: Instant,
+    /// Probes admitted since entering half-open.
+    probes_admitted: u32,
+    /// Probe successes since entering half-open.
+    probes_succeeded: u32,
+}
+
+impl Breaker {
+    fn new() -> Self {
+        Breaker {
+            state: BreakerState::Closed,
+            window: Vec::new(),
+            opened_at: Instant::now(),
+            probes_admitted: 0,
+            probes_succeeded: 0,
+        }
+    }
+}
+
+/// The service's breaker registry: one `Breaker` per engine key,
+/// created on first use, plus the full transition history.
+#[derive(Debug)]
+pub struct BreakerRegistry {
+    cfg: BreakerConfig,
+    inner: Mutex<Registry>,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    breakers: HashMap<u64, Breaker>,
+    history: Vec<Transition>,
+}
+
+impl BreakerRegistry {
+    /// Registry with the given trip/recovery tuning.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        BreakerRegistry {
+            cfg,
+            inner: Mutex::new(Registry::default()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Registry> {
+        // A worker panicking while holding this lock poisons it; the
+        // bookkeeping is simple counters, always in a consistent state
+        // between calls, so recover the guard rather than propagate.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Route one request against engine `key`: may transition
+    /// `Open → HalfOpen` when the cooldown has elapsed.
+    pub fn admit(&self, key: u64) -> Admit {
+        let mut reg = self.lock();
+        let cooldown = self.cfg.cooldown;
+        let half_open_probes = self.cfg.half_open_probes;
+        let entry = reg.breakers.entry(key).or_insert_with(Breaker::new);
+        match entry.state {
+            BreakerState::Closed => Admit::Allow,
+            BreakerState::Open => {
+                if entry.opened_at.elapsed() >= cooldown {
+                    entry.state = BreakerState::HalfOpen;
+                    entry.probes_admitted = 1;
+                    entry.probes_succeeded = 0;
+                    reg.history.push(Transition {
+                        key,
+                        from: BreakerState::Open,
+                        to: BreakerState::HalfOpen,
+                    });
+                    Admit::Probe
+                } else {
+                    Admit::Reject
+                }
+            }
+            BreakerState::HalfOpen => {
+                if entry.probes_admitted < half_open_probes {
+                    entry.probes_admitted += 1;
+                    Admit::Probe
+                } else {
+                    Admit::Reject
+                }
+            }
+        }
+    }
+
+    /// Record one engine outcome. Only call for outcomes that speak to
+    /// engine health (success, panic, non-finite output) — deadline
+    /// expiries and request-validation errors must not be recorded.
+    pub fn record(&self, key: u64, success: bool) {
+        let mut reg = self.lock();
+        let cfg = self.cfg;
+        let entry = reg.breakers.entry(key).or_insert_with(Breaker::new);
+        let transition = match entry.state {
+            BreakerState::Closed => {
+                entry.window.push(success);
+                let excess = entry.window.len().saturating_sub(cfg.window.max(1));
+                if excess > 0 {
+                    entry.window.drain(..excess);
+                }
+                let failures = entry.window.iter().filter(|ok| !**ok).count();
+                let tripped = entry.window.len() >= cfg.min_samples.max(1)
+                    && failures as f64 >= cfg.failure_threshold * entry.window.len() as f64;
+                if tripped {
+                    entry.state = BreakerState::Open;
+                    entry.opened_at = Instant::now();
+                    entry.window.clear();
+                    Some((BreakerState::Closed, BreakerState::Open))
+                } else {
+                    None
+                }
+            }
+            BreakerState::HalfOpen => {
+                if success {
+                    entry.probes_succeeded += 1;
+                    if entry.probes_succeeded >= cfg.half_open_probes.max(1) {
+                        entry.state = BreakerState::Closed;
+                        entry.window.clear();
+                        Some((BreakerState::HalfOpen, BreakerState::Closed))
+                    } else {
+                        None
+                    }
+                } else {
+                    entry.state = BreakerState::Open;
+                    entry.opened_at = Instant::now();
+                    Some((BreakerState::HalfOpen, BreakerState::Open))
+                }
+            }
+            // Late results from requests admitted before the trip: the
+            // open breaker has already decided, ignore them.
+            BreakerState::Open => None,
+        };
+        if let Some((from, to)) = transition {
+            reg.history.push(Transition { key, from, to });
+        }
+    }
+
+    /// Current state for engine `key` (Closed if never seen).
+    pub fn state(&self, key: u64) -> BreakerState {
+        self.lock()
+            .breakers
+            .get(&key)
+            .map_or(BreakerState::Closed, |b| b.state)
+    }
+
+    /// The full transition history, in order.
+    pub fn history(&self) -> Vec<Transition> {
+        self.lock().history.clone()
+    }
+
+    /// How many times any breaker tripped (`* → Open`).
+    pub fn trips(&self) -> u64 {
+        self.lock()
+            .history
+            .iter()
+            .filter(|t| t.to == BreakerState::Open)
+            .count() as u64
+    }
+}
+
+/// Check that a transition sequence only contains legal moves:
+/// `Closed→Open`, `Open→HalfOpen`, `HalfOpen→Closed`, `HalfOpen→Open`.
+pub fn transitions_legal(history: &[Transition]) -> bool {
+    use BreakerState::*;
+    history.iter().all(|t| {
+        matches!(
+            (t.from, t.to),
+            (Closed, Open) | (Open, HalfOpen) | (HalfOpen, Closed) | (HalfOpen, Open)
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            window: 8,
+            failure_threshold: 0.5,
+            min_samples: 4,
+            cooldown: Duration::from_millis(10),
+            half_open_probes: 2,
+        }
+    }
+
+    #[test]
+    fn trips_after_failure_ratio_and_recovers_through_half_open() {
+        let reg = BreakerRegistry::new(cfg());
+        let key = 7;
+        assert_eq!(reg.admit(key), Admit::Allow);
+        // Below min_samples nothing trips.
+        for _ in 0..3 {
+            reg.record(key, false);
+        }
+        assert_eq!(reg.state(key), BreakerState::Closed);
+        reg.record(key, false);
+        assert_eq!(reg.state(key), BreakerState::Open);
+        assert_eq!(reg.admit(key), Admit::Reject);
+        // Cooldown → half-open, bounded probes.
+        std::thread::sleep(Duration::from_millis(12));
+        assert_eq!(reg.admit(key), Admit::Probe);
+        assert_eq!(reg.admit(key), Admit::Probe);
+        assert_eq!(reg.admit(key), Admit::Reject);
+        reg.record(key, true);
+        reg.record(key, true);
+        assert_eq!(reg.state(key), BreakerState::Closed);
+        assert_eq!(reg.trips(), 1);
+        assert!(transitions_legal(&reg.history()));
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let reg = BreakerRegistry::new(cfg());
+        let key = 9;
+        for _ in 0..4 {
+            reg.record(key, false);
+        }
+        std::thread::sleep(Duration::from_millis(12));
+        assert_eq!(reg.admit(key), Admit::Probe);
+        reg.record(key, false);
+        assert_eq!(reg.state(key), BreakerState::Open);
+        assert_eq!(reg.trips(), 2);
+        assert!(transitions_legal(&reg.history()));
+    }
+
+    #[test]
+    fn successes_keep_it_closed_and_window_slides() {
+        let reg = BreakerRegistry::new(cfg());
+        let key = 3;
+        // Old failures age out of the window: an early failure followed
+        // by a run of successes must not trip on a later single failure
+        // (the early one has slid out of the 8-wide window by then).
+        reg.record(key, false);
+        for _ in 0..8 {
+            reg.record(key, true);
+        }
+        reg.record(key, false);
+        assert_eq!(reg.state(key), BreakerState::Closed);
+        assert_eq!(reg.trips(), 0);
+    }
+}

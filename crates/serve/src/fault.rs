@@ -1,0 +1,160 @@
+//! Deterministic worker-fault injection for the serving layer.
+//!
+//! [`ServeFaultPlan`] is the serve-side sibling of
+//! `mdp_cluster::FaultPlan`: a *seeded schedule* of worker panics,
+//! stalls and poisoned (non-finite) results. Every decision is a pure
+//! function of `(seed, request id, attempt)` — no host randomness — so
+//! a chaos run can be replayed bit-for-bit and the recovery behaviour
+//! (retry counts, breaker trips, degradation decisions) asserted
+//! exactly. Faults are injected inside the worker's `catch_unwind`
+//! isolation boundary, so an injected panic is indistinguishable from a
+//! real engine defect to everything above it.
+
+use mdp_math::rng::SplitMix64;
+use std::time::Duration;
+
+/// What the plan injects into one `(request, attempt)` execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The worker panics mid-execute (caught at the isolation
+    /// boundary, surfaced as [`mdp_core::PriceError::Panicked`]).
+    Panic,
+    /// The worker stalls for the plan's stall duration before pricing
+    /// (models a wedged thread; deadlines keep ticking).
+    Stall,
+    /// The engine's result is replaced with NaN (caught by the
+    /// post-condition check, surfaced as
+    /// [`mdp_core::PriceError::Numerical`]).
+    Poison,
+}
+
+/// A deterministic, replayable schedule of serve-layer worker faults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeFaultPlan {
+    /// Seed for every fault coin flip.
+    pub seed: u64,
+    /// Probability one `(request, attempt)` execution panics.
+    pub panic_prob: f64,
+    /// Probability one execution stalls for [`ServeFaultPlan::stall`].
+    pub stall_prob: f64,
+    /// Injected stall duration.
+    pub stall: Duration,
+    /// Probability one execution's result is poisoned to NaN.
+    pub poison_prob: f64,
+    /// Faults fire only for request ids below this bound
+    /// (`u64::MAX` = always). Setting a finite bound creates a fault
+    /// window followed by a clean phase — exactly what a breaker
+    /// recovery timeline needs.
+    pub until_id: u64,
+}
+
+impl ServeFaultPlan {
+    /// A plan that injects nothing.
+    pub fn new(seed: u64) -> Self {
+        ServeFaultPlan {
+            seed,
+            panic_prob: 0.0,
+            stall_prob: 0.0,
+            stall: Duration::from_millis(1),
+            poison_prob: 0.0,
+            until_id: u64::MAX,
+        }
+    }
+
+    /// Enable injected panics with the given per-execution probability.
+    pub fn with_panics(mut self, prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "panic probability in [0,1]");
+        self.panic_prob = prob;
+        self
+    }
+
+    /// Enable injected stalls of duration `stall`.
+    pub fn with_stalls(mut self, prob: f64, stall: Duration) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "stall probability in [0,1]");
+        self.stall_prob = prob;
+        self.stall = stall;
+        self
+    }
+
+    /// Enable poisoned (NaN) results.
+    pub fn with_poison(mut self, prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "poison probability in [0,1]");
+        self.poison_prob = prob;
+        self
+    }
+
+    /// Restrict faults to request ids below `id` (the fault window).
+    pub fn until(mut self, id: u64) -> Self {
+        self.until_id = id;
+        self
+    }
+
+    /// Does this plan inject anything at all?
+    pub fn has_chaos(&self) -> bool {
+        self.panic_prob > 0.0 || self.stall_prob > 0.0 || self.poison_prob > 0.0
+    }
+
+    /// A uniform in `[0, 1)` from the plan's seed, the request id, the
+    /// attempt and a per-fault-kind salt.
+    fn coin(&self, id: u64, attempt: u32, salt: u64) -> f64 {
+        let word = SplitMix64::mix(
+            self.seed
+                ^ SplitMix64::mix(id)
+                ^ SplitMix64::mix(salt.wrapping_add(u64::from(attempt))),
+        );
+        // 53 high bits → the standard f64-in-[0,1) construction.
+        (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// The fault, if any, for one `(request, attempt)` execution. Pure:
+    /// the same triple always rolls the same outcome. Panic wins over
+    /// stall wins over poison when several coins fire.
+    pub fn roll(&self, id: u64, attempt: u32) -> Option<Fault> {
+        if id >= self.until_id {
+            return None;
+        }
+        if self.coin(id, attempt, 0x9A11C) < self.panic_prob {
+            return Some(Fault::Panic);
+        }
+        if self.coin(id, attempt, 0x57A11) < self.stall_prob {
+            return Some(Fault::Stall);
+        }
+        if self.coin(id, attempt, 0x9015) < self.poison_prob {
+            return Some(Fault::Poison);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_plan_rolls_nothing() {
+        let plan = ServeFaultPlan::new(42);
+        assert!(!plan.has_chaos());
+        assert!((0..1000).all(|id| plan.roll(id, 1).is_none()));
+    }
+
+    #[test]
+    fn rolls_are_deterministic_and_attempt_sensitive() {
+        let plan = ServeFaultPlan::new(7).with_panics(0.3);
+        let a: Vec<_> = (0..256).map(|id| plan.roll(id, 1)).collect();
+        let b: Vec<_> = (0..256).map(|id| plan.roll(id, 1)).collect();
+        assert_eq!(a, b, "same (seed, id, attempt) must roll identically");
+        let hits = a.iter().filter(|f| f.is_some()).count();
+        assert!(hits > 0, "p=0.3 over 256 ids must fire");
+        // A faulted first attempt does not doom the retry.
+        let faulted = (0..256).find(|id| plan.roll(*id, 1).is_some()).unwrap();
+        assert!((2..16).any(|att| plan.roll(faulted, att).is_none()));
+    }
+
+    #[test]
+    fn until_bounds_the_fault_window() {
+        let plan = ServeFaultPlan::new(7).with_panics(1.0).until(100);
+        assert!(plan.roll(99, 1).is_some());
+        assert!(plan.roll(100, 1).is_none());
+        assert!(plan.roll(5000, 3).is_none());
+    }
+}

@@ -19,10 +19,32 @@
 //!   submissions shed with a typed [`ServeError::Overloaded`] instead
 //!   of collapsing into unbounded latency.
 //!
-//! All three are *scheduling* decisions: every response is
-//! bitwise-identical to a direct [`mdp_core::Pricer::price`] of the
-//! same request, whatever grouping, caching or shedding happened on the
-//! way.
+//! On top of the throughput machinery sits a **resilience layer**:
+//!
+//! * **Deadlines + cancellation** — a per-request latency budget
+//!   ([`PriceRequest::with_deadline`]) arms a cooperative cancel token
+//!   threaded into every engine's hot loop; expired queued work is
+//!   reclaimed with zero engine cost, in-flight work aborts at the
+//!   engine's next poll, both typed
+//!   [`mdp_core::PriceError::DeadlineExceeded`].
+//! * **Retries + circuit breakers** — engine faults (worker panics,
+//!   non-finite outputs) are retried under a budget with exponential
+//!   backoff and deterministic jitter ([`RetryPolicy`]); per-engine
+//!   [breakers](breaker) trip on sustained failure and the router
+//!   answers from the `auto()` table's alternative engine instead.
+//! * **Graceful degradation** — when no healthy engine fits (breaker
+//!   open, or the deadline budget is smaller than the engine's observed
+//!   latency), the service prices a cheaper variant
+//!   ([`mdp_core::Method::degrade`]) and tags the response
+//!   [`Fidelity::Degraded`] — never silently.
+//! * **Fault injection** — a seeded, replayable [`ServeFaultPlan`]
+//!   injects worker panics, stalls and poisoned results inside the
+//!   `catch_unwind` isolation boundary, for chaos testing.
+//!
+//! All the throughput machinery is *scheduling* decisions: every `Ok`
+//! response tagged [`Fidelity::Full`] is bitwise-identical to a direct
+//! [`mdp_core::Pricer::price`] of the same request, whatever grouping,
+//! caching, shedding or retrying happened on the way.
 //!
 //! ```
 //! use mdp_serve::{PriceRequest, PricingService, ServeConfig};
@@ -52,16 +74,23 @@
 //! assert_eq!(stats.completed, 32);
 //! ```
 
+pub mod breaker;
 pub mod cache;
 pub mod coalesce;
 pub mod error;
+pub mod fault;
 pub mod request;
 pub mod service;
 pub mod stats;
 
+pub use breaker::{transitions_legal, Admit, BreakerState, Transition};
 pub use cache::{CacheStats, PlanCache};
 pub use coalesce::PlanKey;
 pub use error::ServeError;
-pub use request::{PriceRequest, PriceResponse, ServeConfig, Ticket};
+pub use fault::{Fault, ServeFaultPlan};
+pub use request::{
+    BreakerConfig, Fidelity, PriceRequest, PriceResponse, Priority, RetryPolicy, ServeConfig,
+    Ticket,
+};
 pub use service::PricingService;
 pub use stats::ServiceStats;

@@ -1,49 +1,82 @@
 //! The service: a bounded admission queue drained by a worker pool,
-//! with coalesced batch execution and plan caching.
+//! with coalesced batch execution, plan caching, and a resilience
+//! layer — deadlines with cooperative cancellation, budgeted retries,
+//! per-engine circuit breakers, and explicit graceful degradation.
 //!
 //! ```text
-//! submit ──▶ [bounded queue] ──▶ worker: drain in-flight ─▶ coalesce by PlanKey
-//!    │                                   │                        │
-//!    └─ Overloaded (shed)                │                 ┌──────┴──────┐
-//!                                        │              cache hit    cache miss
-//!                                        │              (≈0 s)       (build+insert)
-//!                                        │                 └──────┬──────┘
-//!                                        ▼                        ▼
-//!                              naive: price per request   execute_group (fused
-//!                                                          multi-RHS / shared-path)
+//! submit ──▶ [priority lanes] ──▶ worker: drain ─▶ reclaim expired (0 work)
+//!    │                                  │
+//!    └─ Overloaded (shed)               ▼
+//!                             route: breaker open? ──▶ reroute (auto table)
+//!                                    budget < EWMA? ──▶ degrade (tagged)
+//!                                        │
+//!                                        ▼
+//!                         coalesce by PlanKey ─▶ execute under catch_unwind
+//!                                        │            │ cancel token polls
+//!                                        ▼            ▼
+//!                                  respond        panic/NaN → retry w/ backoff
 //! ```
 //!
-//! Every response is bitwise-identical to a direct
-//! [`Pricer::price`] of the same request: coalescing, caching and
-//! shedding are purely scheduling decisions.
+//! Every `Ok` response tagged [`Fidelity::Full`] is bitwise-identical
+//! to a direct [`Pricer::price`] of the same request: coalescing,
+//! caching, shedding, cancellation polling and retries are purely
+//! scheduling decisions. Responses the resilience layer repriced are
+//! tagged [`Fidelity::Rerouted`] or [`Fidelity::Degraded`] — never
+//! silently substituted.
 
+use crate::breaker::{Admit, BreakerRegistry, BreakerState, Transition};
 use crate::cache::PlanCache;
 use crate::coalesce::{group_jobs, PlanKey};
-use crate::request::{PriceRequest, PriceResponse, ServeConfig, Ticket};
+use crate::fault::Fault;
+use crate::request::{Fidelity, PriceRequest, PriceResponse, ServeConfig, Ticket};
 use crate::stats::{Counters, ServiceStats};
 use crate::ServeError;
-use mdp_core::{Method, Portfolio, PriceReport, Pricer};
-use std::collections::VecDeque;
+use mdp_core::{CancelToken, Method, Portfolio, PriceError, PriceReport, Pricer};
+use mdp_math::rng::SplitMix64;
+use mdp_model::{GbmMarket, Product};
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// One queued request with its routing key and response channel.
+/// One queued request with its routing key, absolute deadline and
+/// response channel.
 #[derive(Debug)]
 pub(crate) struct Job {
     pub req: PriceRequest,
     pub key: PlanKey,
     pub enqueued: Instant,
+    /// The request's relative budget resolved against submission time.
+    pub deadline: Option<Instant>,
     pub tx: Sender<PriceResponse>,
 }
 
-/// Queue state behind the mutex.
+/// Queue state behind the mutex: one FIFO lane per priority class.
 #[derive(Debug)]
 struct QueueState {
-    jobs: VecDeque<Job>,
+    lanes: [VecDeque<Job>; 3],
+    len: usize,
     closed: bool,
+}
+
+impl QueueState {
+    /// Drain up to `take` jobs, high lane first, FIFO within a lane.
+    fn drain(&mut self, take: usize) -> Vec<Job> {
+        let mut out = Vec::with_capacity(take.min(self.len));
+        for lane in &mut self.lanes {
+            while out.len() < take {
+                match lane.pop_front() {
+                    Some(job) => out.push(job),
+                    None => break,
+                }
+            }
+        }
+        self.len -= out.len();
+        out
+    }
 }
 
 /// Shared state between the handle and the workers.
@@ -54,9 +87,18 @@ struct Inner {
     base: Pricer,
     cache: Mutex<PlanCache>,
     counters: Counters,
-    /// Accumulated plan seconds, split by hit/miss, stored as nanos in
-    /// the atomic counters (f64 totals derived at snapshot time).
-    _priv: (),
+    breakers: BreakerRegistry,
+    /// Per-engine EWMA of observed execute seconds (`e ← 0.8e + 0.2x`),
+    /// the latency estimate behind deadline-budget degradation.
+    ewma: Mutex<HashMap<u64, f64>>,
+}
+
+/// Recover a mutex guard even if a panicking worker poisoned the lock:
+/// all serve-layer critical sections leave their data consistent at
+/// every await-free step, and pricing itself never runs under a lock,
+/// so a poisoned mutex carries no torn state worth dying over.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// The pricing service handle: submit requests, read stats, shut down.
@@ -83,7 +125,8 @@ impl PricingService {
     pub fn start(pricer: Pricer, cfg: ServeConfig) -> Self {
         let inner = Arc::new(Inner {
             state: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
+                lanes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+                len: 0,
                 closed: false,
             }),
             cv: Condvar::new(),
@@ -91,7 +134,8 @@ impl PricingService {
             base: pricer,
             cache: Mutex::new(PlanCache::new(if cfg.coalesce { cfg.plan_cache } else { 0 })),
             counters: Counters::default(),
-            _priv: (),
+            breakers: BreakerRegistry::new(cfg.breaker),
+            ewma: Mutex::new(HashMap::new()),
         });
         let workers = (0..cfg.workers.max(1))
             .map(|_| {
@@ -105,29 +149,32 @@ impl PricingService {
     /// Submit a request. Returns a [`Ticket`] to wait on, or sheds with
     /// [`ServeError::Overloaded`] when the bounded queue is full.
     pub fn submit(&self, req: PriceRequest) -> Result<Ticket, ServeError> {
-        let method = self.method_of(&req);
+        let method = method_of(&self.inner, &req);
         let key = PlanKey::of(&req.market, &req.product, &method);
         let (tx, rx) = channel();
         let id = req.id;
+        let now = Instant::now();
+        let deadline = req.deadline.map(|budget| now + budget);
+        let lane = req.priority.lane();
         {
-            let mut state = self.inner.state.lock().expect("queue poisoned");
+            let mut state = relock(&self.inner.state);
             if state.closed {
                 return Err(ServeError::Closed);
             }
-            if state.jobs.len() >= self.inner.cfg.queue_capacity {
-                self.inner
-                    .counters
-                    .add(&self.inner.counters.shed, 1);
+            if state.len >= self.inner.cfg.queue_capacity {
+                self.inner.counters.add(&self.inner.counters.shed, 1);
                 return Err(ServeError::Overloaded {
                     capacity: self.inner.cfg.queue_capacity,
                 });
             }
-            state.jobs.push_back(Job {
+            state.lanes[lane].push_back(Job {
                 req,
                 key,
-                enqueued: Instant::now(),
+                enqueued: now,
+                deadline,
                 tx,
             });
+            state.len += 1;
         }
         self.inner.counters.add(&self.inner.counters.submitted, 1);
         self.inner.cv.notify_one();
@@ -143,7 +190,7 @@ impl PricingService {
     /// A snapshot of the service counters.
     pub fn stats(&self) -> ServiceStats {
         let c = &self.inner.counters;
-        let cache = self.inner.cache.lock().expect("cache poisoned").stats();
+        let cache = relock(&self.inner.cache).stats();
         ServiceStats {
             submitted: c.submitted.load(Ordering::Relaxed),
             completed: c.completed.load(Ordering::Relaxed),
@@ -157,7 +204,28 @@ impl PricingService {
             tick_evictions: cache.tick_evictions,
             plan_seconds_hit: c.plan_nanos_hit.load(Ordering::Relaxed) as f64 * 1e-9,
             plan_seconds_miss: c.plan_nanos_miss.load(Ordering::Relaxed) as f64 * 1e-9,
+            deadline_pre: c.deadline_pre.load(Ordering::Relaxed),
+            deadline_mid: c.deadline_mid.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
+            panics_caught: c.panics_caught.load(Ordering::Relaxed),
+            numerical: c.numerical.load(Ordering::Relaxed),
+            degraded: c.degraded.load(Ordering::Relaxed),
+            rerouted: c.rerouted.load(Ordering::Relaxed),
+            breaker_rejections: c.breaker_rejections.load(Ordering::Relaxed),
+            breaker_trips: self.inner.breakers.trips(),
+            faults_injected: c.faults_injected.load(Ordering::Relaxed),
         }
+    }
+
+    /// The breaker's current state for a method (Closed if never used).
+    pub fn breaker_state(&self, method: &Method) -> BreakerState {
+        self.inner.breakers.state(method.cache_key())
+    }
+
+    /// Every breaker transition so far, in order — the trip/recovery
+    /// timeline.
+    pub fn breaker_history(&self) -> Vec<Transition> {
+        self.inner.breakers.history()
     }
 
     /// Apply a one-field market tick to every cached plan: entries are
@@ -167,11 +235,7 @@ impl PricingService {
     /// prices bitwise-identically to a freshly built plan. Plans the
     /// tick cannot patch are evicted. Returns `(patched, evicted)`.
     pub fn apply_tick(&self, delta: &mdp_model::MarketDelta) -> (u64, u64) {
-        self.inner
-            .cache
-            .lock()
-            .expect("cache poisoned")
-            .retain_compatible(delta)
+        relock(&self.inner.cache).retain_compatible(delta)
     }
 
     /// Close the queue, drain pending requests, join the workers and
@@ -183,19 +247,13 @@ impl PricingService {
 
     fn close_and_join(&mut self) {
         {
-            let mut state = self.inner.state.lock().expect("queue poisoned");
+            let mut state = relock(&self.inner.state);
             state.closed = true;
         }
         self.inner.cv.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
-    }
-
-    fn method_of(&self, req: &PriceRequest) -> Method {
-        req.method
-            .clone()
-            .unwrap_or_else(|| self.inner.base.method().clone())
     }
 }
 
@@ -205,144 +263,581 @@ impl Drop for PricingService {
     }
 }
 
+fn method_of(inner: &Inner, req: &PriceRequest) -> Method {
+    req.method
+        .clone()
+        .unwrap_or_else(|| inner.base.method().clone())
+}
+
 fn worker_loop(inner: Arc<Inner>) {
     loop {
         let batch: Vec<Job> = {
-            let mut state = inner.state.lock().expect("queue poisoned");
+            let mut state = relock(&inner.state);
             loop {
-                if !state.jobs.is_empty() {
+                if state.len > 0 {
                     break;
                 }
                 if state.closed {
                     return;
                 }
-                state = inner.cv.wait(state).expect("queue poisoned");
+                state = inner
+                    .cv
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
             let take = if inner.cfg.coalesce {
-                inner.cfg.max_batch.max(1).min(state.jobs.len())
+                inner.cfg.max_batch.max(1).min(state.len)
             } else {
                 1
             };
-            state.jobs.drain(..take).collect()
+            state.drain(take)
         };
         // More work may remain; wake a sibling before pricing.
         inner.cv.notify_one();
         let drained = Instant::now();
+        // Reclaim: jobs whose deadline expired in the queue are
+        // answered typed with zero engine work.
+        let (live, expired): (Vec<Job>, Vec<Job>) = batch
+            .into_iter()
+            .partition(|j| j.deadline.is_none_or(|d| drained < d));
+        for job in expired {
+            inner.counters.add(&inner.counters.deadline_pre, 1);
+            let queue_seconds = (drained - job.enqueued).as_secs_f64();
+            respond(
+                &inner,
+                job,
+                Err(PriceError::DeadlineExceeded),
+                queue_seconds,
+                0.0,
+                1,
+                false,
+                Fidelity::Full,
+                0,
+            );
+        }
+        if live.is_empty() {
+            continue;
+        }
         if inner.cfg.coalesce {
-            serve_coalesced(&inner, batch, drained);
+            serve_coalesced(&inner, live, drained);
         } else {
-            serve_naive(&inner, batch, drained);
+            for job in live {
+                price_resilient(&inner, job, drained, 1);
+            }
         }
     }
 }
 
-/// The pool-of-pricers baseline: each request pays its own plan build,
-/// exactly as a per-request `Pricer::price` loop would.
-fn serve_naive(inner: &Inner, batch: Vec<Job>, drained: Instant) {
-    for job in batch {
-        let queue_seconds = (drained - job.enqueued).as_secs_f64();
-        let pricer = pricer_for(inner, &job);
-        let t0 = Instant::now();
-        let outcome = pricer.price(&job.req.market, &job.req.product);
-        let service_seconds = t0.elapsed().as_secs_f64();
-        respond(
-            inner,
-            job,
-            outcome,
-            queue_seconds,
-            service_seconds,
-            1,
-            false,
-        );
-    }
-}
-
-/// The coalesced path: group by plan key, fetch or build the group
-/// plan, execute the group through the fused kernels.
+/// The coalesced path: peel off fault-targeted jobs (so injected
+/// chaos cannot fail innocent neighbours), group the rest by plan key,
+/// and execute each group through the fused kernels.
 fn serve_coalesced(inner: &Inner, batch: Vec<Job>, drained: Instant) {
-    for (key, jobs) in group_jobs(batch) {
-        let n = jobs.len();
-        inner.counters.add(&inner.counters.groups, 1);
-        inner
-            .counters
-            .add(&inner.counters.grouped_requests, n as u64);
-        let portfolio = Portfolio::new(pricer_for(inner, &jobs[0]));
-        let market = Arc::clone(&jobs[0].req.market);
-        let maturity = jobs[0].req.product.maturity;
+    let (faulted, clean): (Vec<Job>, Vec<Job>) = match inner.cfg.fault {
+        Some(fp) if fp.has_chaos() => batch
+            .into_iter()
+            .partition(|j| fp.roll(j.req.id, 1).is_some()),
+        _ => (Vec::new(), batch),
+    };
+    for job in faulted {
+        price_resilient(inner, job, drained, 1);
+    }
+    for (key, jobs) in group_jobs(clean) {
+        serve_group(inner, key, jobs, drained);
+    }
+}
 
-        // Plan phase: cache hit (≈ 0 s) or build-and-insert.
-        let t_plan = Instant::now();
-        let cached = inner.cache.lock().expect("cache poisoned").get(&key);
-        let cache_hit = cached.is_some();
-        let plan = match cached {
-            Some(plan) => Ok(plan),
-            None => portfolio.plan_group(&market, maturity).inspect(|plan| {
-                let mut cache = inner.cache.lock().expect("cache poisoned");
-                cache.insert(key, plan.clone());
-            }),
-        };
-        let plan_s = t_plan.elapsed().as_secs_f64();
-        let nanos = (plan_s * 1e9) as u64;
-        if cache_hit {
-            inner.counters.add(&inner.counters.plan_nanos_hit, nanos);
-        } else {
-            inner.counters.add(&inner.counters.plan_nanos_miss, nanos);
+/// Execute one same-key group: route (breaker / budget), plan (cache
+/// hit or build), execute fused under panic isolation, respond.
+fn serve_group(inner: &Inner, key: PlanKey, jobs: Vec<Job>, drained: Instant) {
+    let n = jobs.len();
+    inner.counters.add(&inner.counters.groups, 1);
+    inner
+        .counters
+        .add(&inner.counters.grouped_requests, n as u64);
+
+    let requested = method_of(inner, &jobs[0].req);
+    let remaining = group_budget(&jobs, drained);
+    let route = decide_route(
+        inner,
+        &jobs[0].req.market,
+        &jobs[0].req.product,
+        &requested,
+        remaining,
+        n as u64,
+    );
+    let (method, fidelity) = match route {
+        Ok(r) => r,
+        Err(e) => {
+            for job in jobs {
+                let queue_seconds = (drained - job.enqueued).as_secs_f64();
+                respond(
+                    inner,
+                    job,
+                    Err(e.clone()),
+                    queue_seconds,
+                    0.0,
+                    n,
+                    false,
+                    Fidelity::Full,
+                    1,
+                );
+            }
+            return;
         }
+    };
+    // A rerouted/degraded method is a different engine identity: its
+    // plans live under their own cache key and can never alias the
+    // full-fidelity entries.
+    let key = if fidelity == Fidelity::Full {
+        key
+    } else {
+        PlanKey::of(&jobs[0].req.market, &jobs[0].req.product, &method)
+    };
+    let mkey = method.cache_key();
+    let pricer = Pricer::new(method).backend(inner.base.backend_ref());
+    let portfolio = Portfolio::new(pricer);
+    let market = Arc::clone(&jobs[0].req.market);
+    let maturity = jobs[0].req.product.maturity;
 
-        let mut plan = match plan {
-            Ok(plan) => plan,
-            Err(e) => {
-                // The plan is payoff-independent: a build failure fails
-                // every request of the group identically, exactly as
-                // per-request plans would have.
-                for job in jobs {
-                    let queue_seconds = (drained - job.enqueued).as_secs_f64();
-                    respond(inner, job, Err(e.clone()), queue_seconds, plan_s, n, false);
-                }
-                continue;
-            }
-        };
+    // Plan phase: cache hit (≈ 0 s) or build-and-insert.
+    let t_plan = Instant::now();
+    let cached = relock(&inner.cache).get(&key);
+    let cache_hit = cached.is_some();
+    let plan = match cached {
+        Some(plan) => Ok(plan),
+        None => portfolio.plan_group(&market, maturity).inspect(|plan| {
+            relock(&inner.cache).insert(key, plan.clone());
+        }),
+    };
+    let plan_s = t_plan.elapsed().as_secs_f64();
+    let nanos = (plan_s * 1e9) as u64;
+    if cache_hit {
+        inner.counters.add(&inner.counters.plan_nanos_hit, nanos);
+    } else {
+        inner.counters.add(&inner.counters.plan_nanos_miss, nanos);
+    }
 
-        let products: Vec<_> = jobs.iter().map(|j| j.req.product.clone()).collect();
-        let t_exec = Instant::now();
-        match portfolio.execute_group(&mut plan, &products, plan_s) {
-            Ok((reports, fused)) => {
-                inner.counters.add(&inner.counters.fused, fused as u64);
-                let exec_share = t_exec.elapsed().as_secs_f64() / n as f64;
-                for (job, report) in jobs.into_iter().zip(reports) {
-                    let queue_seconds = (drained - job.enqueued).as_secs_f64();
-                    respond(
-                        inner,
-                        job,
-                        Ok(report),
-                        queue_seconds,
-                        plan_s + exec_share,
-                        n,
-                        cache_hit,
-                    );
-                }
+    let mut plan = match plan {
+        Ok(plan) => plan,
+        Err(e) => {
+            // The plan is payoff-independent: a build failure fails
+            // every request of the group identically, exactly as
+            // per-request plans would have.
+            for job in jobs {
+                let queue_seconds = (drained - job.enqueued).as_secs_f64();
+                respond(
+                    inner,
+                    job,
+                    Err(e.clone()),
+                    queue_seconds,
+                    plan_s,
+                    n,
+                    false,
+                    Fidelity::Full,
+                    1,
+                );
             }
-            Err(_) => {
-                // A poison product fails group execution; isolate it by
-                // falling back to per-request pricing so every innocent
-                // neighbour still gets its (bitwise-identical) answer.
-                for job in jobs {
-                    let queue_seconds = (drained - job.enqueued).as_secs_f64();
-                    let pricer = pricer_for(inner, &job);
-                    let t0 = Instant::now();
-                    let outcome = pricer.price(&job.req.market, &job.req.product);
-                    let service_seconds = t0.elapsed().as_secs_f64();
-                    respond(inner, job, outcome, queue_seconds, service_seconds, n, false);
-                }
+            return;
+        }
+    };
+
+    // The group's cancel token: the latest member deadline, so the run
+    // aborts only once no member can still use the result. Mixed
+    // groups (any member without a deadline) run uncancelled.
+    plan.set_cancel(group_token(&jobs));
+
+    let products: Vec<_> = jobs.iter().map(|j| j.req.product.clone()).collect();
+    let t_exec = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        portfolio.execute_group(&mut plan, &products, plan_s)
+    }));
+    let exec_elapsed = t_exec.elapsed().as_secs_f64();
+    match result {
+        Ok(Ok((reports, fused))) => {
+            inner.counters.add(&inner.counters.fused, fused as u64);
+            inner.breakers.record(mkey, true);
+            update_ewma(inner, mkey, exec_elapsed / n as f64);
+            let exec_share = exec_elapsed / n as f64;
+            for (job, report) in jobs.into_iter().zip(reports) {
+                let queue_seconds = (drained - job.enqueued).as_secs_f64();
+                respond(
+                    inner,
+                    job,
+                    Ok(report),
+                    queue_seconds,
+                    plan_s + exec_share,
+                    n,
+                    cache_hit,
+                    fidelity,
+                    1,
+                );
+            }
+        }
+        Ok(Err(PriceError::DeadlineExceeded)) => {
+            // The group token tripped: it carries the *latest* member
+            // deadline, so every member's budget is gone. Partial
+            // engine state was discarded by the abort.
+            inner
+                .counters
+                .add(&inner.counters.deadline_mid, n as u64);
+            for job in jobs {
+                let queue_seconds = (drained - job.enqueued).as_secs_f64();
+                respond(
+                    inner,
+                    job,
+                    Err(PriceError::DeadlineExceeded),
+                    queue_seconds,
+                    plan_s + exec_elapsed / n as f64,
+                    n,
+                    cache_hit,
+                    fidelity,
+                    1,
+                );
+            }
+        }
+        Ok(Err(_)) | Err(_) => {
+            // A panic is an engine-health signal; a per-request error
+            // (e.g. one poison payoff in the group) is not.
+            if let Err(payload) = result {
+                inner.counters.add(&inner.counters.panics_caught, 1);
+                inner.breakers.record(mkey, false);
+                drop(payload);
+            }
+            // Isolate the failure: per-request resilient pricing gives
+            // every innocent neighbour its (bitwise-identical) answer.
+            for job in jobs {
+                price_resilient(inner, job, drained, n);
             }
         }
     }
 }
 
-fn pricer_for(inner: &Inner, job: &Job) -> Pricer {
-    match &job.req.method {
-        None => inner.base.clone(),
-        Some(m) => Pricer::new(m.clone()).backend(inner.base.backend_ref()),
+/// Price one job with the full resilience loop: deadline checks,
+/// breaker routing, fault injection, panic isolation, budgeted retries
+/// with deterministic backoff.
+fn price_resilient(inner: &Inner, job: Job, drained: Instant, batch_size: usize) {
+    let queue_seconds = (drained - job.enqueued).as_secs_f64();
+    let requested = method_of(inner, &job.req);
+    let t0 = Instant::now();
+    let max_attempts = inner.cfg.retry.max_attempts.max(1);
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        // Budget gone? Answer typed without spending engine work.
+        if let Some(d) = job.deadline {
+            if Instant::now() >= d {
+                let c = if attempt == 1 {
+                    &inner.counters.deadline_pre
+                } else {
+                    &inner.counters.deadline_mid
+                };
+                inner.counters.add(c, 1);
+                respond(
+                    inner,
+                    job,
+                    Err(PriceError::DeadlineExceeded),
+                    queue_seconds,
+                    t0.elapsed().as_secs_f64(),
+                    batch_size,
+                    false,
+                    Fidelity::Full,
+                    attempt - 1,
+                );
+                return;
+            }
+        }
+        let remaining = job.deadline.map(|d| d - Instant::now());
+        let route = decide_route(
+            inner,
+            &job.req.market,
+            &job.req.product,
+            &requested,
+            remaining,
+            1,
+        );
+        let (method, fidelity) = match route {
+            Ok(r) => r,
+            Err(e) => {
+                respond(
+                    inner,
+                    job,
+                    Err(e),
+                    queue_seconds,
+                    t0.elapsed().as_secs_f64(),
+                    batch_size,
+                    false,
+                    Fidelity::Full,
+                    attempt,
+                );
+                return;
+            }
+        };
+        let mkey = method.cache_key();
+        let engine = method.name();
+        let fault = inner
+            .cfg
+            .fault
+            .and_then(|fp| fp.roll(job.req.id, attempt));
+        if fault.is_some() {
+            inner.counters.add(&inner.counters.faults_injected, 1);
+        }
+        let pricer = Pricer::new(method).backend(inner.base.backend_ref());
+        let token = job
+            .deadline
+            .map_or_else(CancelToken::never, CancelToken::with_deadline);
+        let market = Arc::clone(&job.req.market);
+        let product = job.req.product.clone();
+        let stall = inner.cfg.fault.map(|fp| fp.stall);
+        // The isolation boundary: anything the engine (or an injected
+        // fault) throws is caught here and classified below; the
+        // worker thread itself never dies.
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            match fault {
+                Some(Fault::Stall) => {
+                    std::thread::sleep(stall.unwrap_or(Duration::ZERO));
+                }
+                Some(Fault::Panic) => panic!("injected worker panic"),
+                _ => {}
+            }
+            let mut plan = pricer.plan(&market, product.maturity)?;
+            plan.set_cancel(token.clone());
+            let mut report = plan.execute(&product)?;
+            if matches!(fault, Some(Fault::Poison)) {
+                report.price = f64::NAN;
+            }
+            // Core's own post-condition can't see the poison (it flips
+            // the price after execute returned), so re-check here.
+            if !report.price.is_finite() {
+                return Err(PriceError::Numerical {
+                    engine,
+                    value: report.price,
+                });
+            }
+            Ok(report)
+        }));
+        let outcome: Result<PriceReport, PriceError> = match caught {
+            Ok(r) => r,
+            Err(payload) => {
+                inner.counters.add(&inner.counters.panics_caught, 1);
+                Err(PriceError::Panicked(panic_message(payload)))
+            }
+        };
+        match outcome {
+            Ok(report) => {
+                inner.breakers.record(mkey, true);
+                update_ewma(inner, mkey, report.execute_seconds);
+                respond(
+                    inner,
+                    job,
+                    Ok(report),
+                    queue_seconds,
+                    t0.elapsed().as_secs_f64(),
+                    batch_size,
+                    false,
+                    fidelity,
+                    attempt,
+                );
+                return;
+            }
+            Err(PriceError::DeadlineExceeded) => {
+                // The token tripped mid-execute; the budget is gone, so
+                // a retry could only fail the same way.
+                inner.counters.add(&inner.counters.deadline_mid, 1);
+                respond(
+                    inner,
+                    job,
+                    Err(PriceError::DeadlineExceeded),
+                    queue_seconds,
+                    t0.elapsed().as_secs_f64(),
+                    batch_size,
+                    false,
+                    fidelity,
+                    attempt,
+                );
+                return;
+            }
+            Err(e @ (PriceError::Panicked(_) | PriceError::Numerical { .. })) => {
+                // Engine faults: health signal + retryable.
+                inner.breakers.record(mkey, false);
+                if matches!(e, PriceError::Numerical { .. }) {
+                    inner.counters.add(&inner.counters.numerical, 1);
+                }
+                if attempt < max_attempts {
+                    inner.counters.add(&inner.counters.retries, 1);
+                    backoff_sleep(inner, job.req.id, attempt, job.deadline);
+                    continue;
+                }
+                respond(
+                    inner,
+                    job,
+                    Err(e),
+                    queue_seconds,
+                    t0.elapsed().as_secs_f64(),
+                    batch_size,
+                    false,
+                    fidelity,
+                    attempt,
+                );
+                return;
+            }
+            Err(e) => {
+                // Deterministic request errors (validation, unsupported
+                // combinations): retrying cannot change the answer, and
+                // they say nothing about engine health.
+                respond(
+                    inner,
+                    job,
+                    Err(e),
+                    queue_seconds,
+                    t0.elapsed().as_secs_f64(),
+                    batch_size,
+                    false,
+                    fidelity,
+                    attempt,
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// Pick the engine for a request (or same-key group): the requested
+/// method when its breaker admits and the budget suffices; otherwise
+/// reroute via the `auto()` table, then degrade, then fail typed.
+fn decide_route(
+    inner: &Inner,
+    market: &GbmMarket,
+    product: &Product,
+    requested: &Method,
+    remaining: Option<Duration>,
+    count: u64,
+) -> Result<(Method, Fidelity), PriceError> {
+    let rkey = requested.cache_key();
+    match inner.breakers.admit(rkey) {
+        Admit::Allow | Admit::Probe => {
+            // Healthy engine — but if the remaining budget is smaller
+            // than its observed latency, a full-fidelity run would only
+            // burn the budget and miss. Walk down the degradation
+            // ladder until the estimate fits (or the ladder ends).
+            if inner.cfg.degradation {
+                if let (Some(budget), Some(est)) = (remaining, ewma_of(inner, rkey)) {
+                    if est > budget.as_secs_f64() {
+                        let mut m = requested.clone();
+                        let mut levels = 0u32;
+                        while let Some(next) = m.degrade() {
+                            levels += 1;
+                            let fits = ewma_of(inner, next.cache_key())
+                                .is_none_or(|e| e <= budget.as_secs_f64());
+                            m = next;
+                            if fits {
+                                break;
+                            }
+                        }
+                        if levels > 0 {
+                            return Ok((m, Fidelity::Degraded { levels }));
+                        }
+                    }
+                }
+            }
+            Ok((requested.clone(), Fidelity::Full))
+        }
+        Admit::Reject => {
+            inner
+                .counters
+                .add(&inner.counters.breaker_rejections, count);
+            // Route around the tripped engine: the auto() table's
+            // choice for this product, if it is a *different* engine
+            // whose breaker admits.
+            let alt = Pricer::auto(market, product).method().clone();
+            let alt_name = alt.name();
+            if alt.cache_key() != rkey
+                && !matches!(inner.breakers.admit(alt.cache_key()), Admit::Reject)
+            {
+                return Ok((alt, Fidelity::Rerouted { engine: alt_name }));
+            }
+            // No healthy reroute: degrade the requested method (the
+            // degraded variant is a distinct breaker identity).
+            if inner.cfg.degradation {
+                if let Some(d) = requested.degrade() {
+                    if !matches!(inner.breakers.admit(d.cache_key()), Admit::Reject) {
+                        return Ok((d, Fidelity::Degraded { levels: 1 }));
+                    }
+                }
+            }
+            Err(PriceError::CircuitOpen {
+                engine: requested.name(),
+            })
+        }
+    }
+}
+
+/// The group's shared cancel token: the latest member deadline when
+/// every member has one, inert otherwise (a member without a deadline
+/// must never have its result aborted).
+fn group_token(jobs: &[Job]) -> CancelToken {
+    let mut latest: Option<Instant> = None;
+    for j in jobs {
+        match j.deadline {
+            None => return CancelToken::never(),
+            Some(d) => latest = Some(latest.map_or(d, |l| l.max(d))),
+        }
+    }
+    latest.map_or_else(CancelToken::never, CancelToken::with_deadline)
+}
+
+/// The tightest remaining budget across the group, for the routing
+/// decision — only meaningful when every member carries a deadline.
+fn group_budget(jobs: &[Job], now: Instant) -> Option<Duration> {
+    let mut min: Option<Instant> = None;
+    for j in jobs {
+        match j.deadline {
+            None => return None,
+            Some(d) => min = Some(min.map_or(d, |m| m.min(d))),
+        }
+    }
+    min.map(|m| m.saturating_duration_since(now))
+}
+
+fn update_ewma(inner: &Inner, key: u64, x: f64) {
+    let mut map = relock(&inner.ewma);
+    match map.get_mut(&key) {
+        Some(e) => *e = 0.8 * *e + 0.2 * x,
+        None => {
+            map.insert(key, x);
+        }
+    }
+}
+
+fn ewma_of(inner: &Inner, key: u64) -> Option<f64> {
+    relock(&inner.ewma).get(&key).copied()
+}
+
+/// Exponential backoff with deterministic jitter: attempt `a` sleeps
+/// `base · 2^(a-1) · j`, `j ∈ [0.5, 1.5)` a pure hash of
+/// `(seed, id, a)`, capped by the remaining deadline budget.
+fn backoff_sleep(inner: &Inner, id: u64, attempt: u32, deadline: Option<Instant>) {
+    let retry = inner.cfg.retry;
+    let word = SplitMix64::mix(retry.jitter_seed ^ SplitMix64::mix(id) ^ u64::from(attempt));
+    let jitter = 0.5 + (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    let scale = f64::from(1u32 << (attempt - 1).min(16));
+    let mut dur = Duration::from_secs_f64(retry.base_backoff.as_secs_f64() * scale * jitter);
+    if let Some(d) = deadline {
+        let now = Instant::now();
+        if now >= d {
+            return;
+        }
+        dur = dur.min(d - now);
+    }
+    std::thread::sleep(dur);
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
@@ -355,9 +850,17 @@ fn respond(
     service_seconds: f64,
     batch_size: usize,
     cache_hit: bool,
+    fidelity: Fidelity,
+    attempts: u32,
 ) {
     if outcome.is_err() {
         inner.counters.add(&inner.counters.errors, 1);
+    } else {
+        match fidelity {
+            Fidelity::Full => {}
+            Fidelity::Rerouted { .. } => inner.counters.add(&inner.counters.rerouted, 1),
+            Fidelity::Degraded { .. } => inner.counters.add(&inner.counters.degraded, 1),
+        }
     }
     inner.counters.add(&inner.counters.completed, 1);
     // A dropped ticket just means the caller stopped waiting.
@@ -368,12 +871,16 @@ fn respond(
         service_seconds,
         batch_size,
         cache_hit,
+        fidelity,
+        attempts,
     });
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::ServeFaultPlan;
+    use crate::request::Priority;
     use mdp_core::prelude::*;
     use mdp_model::Payoff;
 
@@ -395,6 +902,14 @@ mod tests {
         )
     }
 
+    fn slow_fd() -> Method {
+        Method::Fd1d(Fd1d {
+            space_points: 2001,
+            time_steps: 2000,
+            ..Fd1d::default()
+        })
+    }
+
     #[test]
     fn responses_match_direct_pricing_bitwise() {
         let pricer = Pricer::new(Method::Fd1d(Fd1d::default()));
@@ -405,6 +920,8 @@ mod tests {
         for (i, t) in tickets.into_iter().enumerate() {
             let resp = t.wait().unwrap();
             assert_eq!(resp.id, i as u64);
+            assert_eq!(resp.fidelity, Fidelity::Full);
+            assert_eq!(resp.attempts, 1);
             let direct = pricer
                 .price(&market(), &call(resp.id, 80.0 + 2.5 * i as f64).product)
                 .unwrap();
@@ -416,6 +933,7 @@ mod tests {
         let stats = service.shutdown();
         assert_eq!(stats.completed, 16);
         assert_eq!(stats.shed, 0);
+        assert_eq!(stats.degraded + stats.rerouted, 0);
     }
 
     #[test]
@@ -427,14 +945,7 @@ mod tests {
             queue_capacity: 2,
             ..Default::default()
         };
-        let service = PricingService::start(
-            Pricer::new(Method::Fd1d(Fd1d {
-                space_points: 2001,
-                time_steps: 2000,
-                ..Fd1d::default()
-            })),
-            cfg,
-        );
+        let service = PricingService::start(Pricer::new(slow_fd()), cfg);
         let mut shed = 0;
         let mut tickets = Vec::new();
         for i in 0..64 {
@@ -567,10 +1078,7 @@ mod tests {
 
     #[test]
     fn submit_after_shutdown_is_closed() {
-        let service = PricingService::start(
-            Pricer::new(Method::Analytic),
-            ServeConfig::default(),
-        );
+        let service = PricingService::start(Pricer::new(Method::Analytic), ServeConfig::default());
         {
             let mut state = service.inner.state.lock().unwrap();
             state.closed = true;
@@ -579,5 +1087,218 @@ mod tests {
             service.submit(call(0, 100.0)),
             Err(ServeError::Closed)
         ));
+    }
+
+    #[test]
+    fn expired_queued_requests_are_reclaimed_without_engine_work() {
+        // One worker, wedged on a slow no-deadline request; everything
+        // queued behind it with a 1 ms budget must come back typed
+        // DeadlineExceeded via the zero-work reclaim path.
+        let service = PricingService::start(
+            Pricer::new(slow_fd()),
+            ServeConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        let t_slow = service.submit(call(0, 100.0)).unwrap();
+        // Let the worker drain (and wedge on) the slow job before the
+        // deadline burst goes in, so the burst waits behind it.
+        std::thread::sleep(Duration::from_millis(30));
+        let tickets: Vec<_> = (1..9)
+            .map(|i| {
+                service
+                    .submit(call(i, 100.0).with_deadline(Duration::from_millis(1)))
+                    .unwrap()
+            })
+            .collect();
+        assert!(t_slow.wait().unwrap().outcome.is_ok());
+        for t in tickets {
+            let resp = t.wait().unwrap();
+            assert!(matches!(
+                resp.outcome,
+                Err(PriceError::DeadlineExceeded)
+            ));
+        }
+        let stats = service.shutdown();
+        assert!(
+            stats.deadline_pre >= 1,
+            "queued expiries must reclaim: {stats:?}"
+        );
+        assert!(stats.reclaim_ratio() > 0.0);
+    }
+
+    #[test]
+    fn injected_panics_are_caught_retried_and_typed() {
+        // Every attempt of every request panics: the retry budget is
+        // spent, the error is typed Panicked, and the worker survives
+        // to answer the next (fault-free) request.
+        let fault = ServeFaultPlan::new(11).with_panics(1.0).until(1);
+        let service = PricingService::start(
+            Pricer::new(Method::Fd1d(Fd1d::default())),
+            ServeConfig {
+                workers: 1,
+                fault: Some(fault),
+                ..Default::default()
+            },
+        );
+        let doomed = service.submit(call(0, 100.0)).unwrap();
+        let resp = doomed.wait().unwrap();
+        assert!(matches!(resp.outcome, Err(PriceError::Panicked(_))));
+        assert_eq!(resp.attempts, 3, "default retry budget is 3 attempts");
+        // The worker must still be alive for clean ids (>= until).
+        let clean = service.submit(call(1, 100.0)).unwrap();
+        assert!(clean.wait().unwrap().outcome.is_ok());
+        let stats = service.shutdown();
+        assert_eq!(stats.panics_caught, 3);
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.faults_injected, 3);
+        assert_eq!(stats.completed, 2);
+    }
+
+    #[test]
+    fn poisoned_results_surface_as_numerical_never_as_nan_prices() {
+        let fault = ServeFaultPlan::new(5).with_poison(1.0).until(1);
+        let service = PricingService::start(
+            Pricer::new(Method::Fd1d(Fd1d::default())),
+            ServeConfig {
+                workers: 1,
+                retry: crate::request::RetryPolicy {
+                    max_attempts: 1,
+                    ..Default::default()
+                },
+                fault: Some(fault),
+                ..Default::default()
+            },
+        );
+        let resp = service.price(call(0, 100.0)).unwrap();
+        assert!(matches!(
+            resp.outcome,
+            Err(PriceError::Numerical { .. })
+        ));
+        let stats = service.shutdown();
+        assert_eq!(stats.numerical, 1);
+    }
+
+    #[test]
+    fn tripped_breaker_reroutes_with_explicit_fidelity() {
+        // Panic every execution of ids < 5: four failures trip the FD
+        // breaker (min_samples 4). A later clean request must be
+        // rerouted via the auto() table (vanilla call → analytic) and
+        // tagged, never silently.
+        let fault = ServeFaultPlan::new(3).with_panics(1.0).until(5);
+        let cfg = ServeConfig {
+            workers: 1,
+            retry: crate::request::RetryPolicy {
+                max_attempts: 1,
+                ..Default::default()
+            },
+            breaker: crate::request::BreakerConfig {
+                window: 8,
+                min_samples: 4,
+                // Long cooldown: the breaker must still be Open (not
+                // probing) when the clean request arrives.
+                cooldown: Duration::from_secs(30),
+                ..Default::default()
+            },
+            fault: Some(fault),
+            ..Default::default()
+        };
+        let fd = Method::Fd1d(Fd1d::default());
+        let service = PricingService::start(Pricer::new(fd.clone()), cfg);
+        for i in 0..5 {
+            let _ = service.price(call(i, 100.0));
+        }
+        assert_eq!(service.breaker_state(&fd), BreakerState::Open);
+        let resp = service.price(call(100, 100.0)).unwrap();
+        assert!(resp.outcome.is_ok());
+        assert_eq!(resp.fidelity, Fidelity::Rerouted { engine: "analytic" });
+        let history = service.breaker_history();
+        let stats = service.shutdown();
+        assert!(stats.breaker_trips >= 1);
+        assert!(stats.rerouted >= 1);
+        assert!(stats.breaker_rejections >= 1);
+        assert!(crate::breaker::transitions_legal(&history));
+    }
+
+    #[test]
+    fn tripped_breaker_degrades_when_no_alternative_engine() {
+        // A path-dependent product routes to MC in the auto() table; if
+        // the requested method *is* that MC configuration, a tripped
+        // breaker has no reroute and must fall back to the degraded
+        // variant (quarter paths) with an explicit tag.
+        let mc = Method::MonteCarlo(McConfig {
+            paths: 200_000,
+            steps: 50,
+            ..Default::default()
+        });
+        let asian = |id: u64| {
+            PriceRequest::new(
+                id,
+                market(),
+                Product::european(Payoff::AsianCall { strike: 100.0 }, 1.0),
+            )
+        };
+        let fault = ServeFaultPlan::new(3).with_panics(1.0).until(5);
+        let cfg = ServeConfig {
+            workers: 1,
+            retry: crate::request::RetryPolicy {
+                max_attempts: 1,
+                ..Default::default()
+            },
+            breaker: crate::request::BreakerConfig {
+                window: 8,
+                min_samples: 4,
+                cooldown: Duration::from_secs(30),
+                ..Default::default()
+            },
+            fault: Some(fault),
+            ..Default::default()
+        };
+        let service = PricingService::start(Pricer::new(mc.clone()), cfg);
+        for i in 0..5 {
+            let _ = service.price(asian(i));
+        }
+        assert_eq!(service.breaker_state(&mc), BreakerState::Open);
+        let resp = service.price(asian(100)).unwrap();
+        assert!(resp.outcome.is_ok());
+        assert_eq!(resp.fidelity, Fidelity::Degraded { levels: 1 });
+        let stats = service.shutdown();
+        assert!(stats.degraded >= 1);
+    }
+
+    #[test]
+    fn priority_lanes_drain_high_before_low() {
+        // Wedge the single worker, then enqueue low before high; the
+        // high-priority job must be answered first.
+        let service = PricingService::start(
+            Pricer::new(slow_fd()),
+            ServeConfig {
+                workers: 1,
+                coalesce: false,
+                ..Default::default()
+            },
+        );
+        let t_wedge = service.submit(call(0, 100.0)).unwrap();
+        let t_low = service
+            .submit(call(1, 100.0).with_priority(Priority::Low))
+            .unwrap();
+        let t_high = service
+            .submit(call(2, 100.0).with_priority(Priority::High))
+            .unwrap();
+        t_wedge.wait().unwrap();
+        // Wait for high; low must still be pending or just answered —
+        // order is asserted via completion sequence.
+        let high = t_high.wait().unwrap();
+        let low = t_low.wait().unwrap();
+        assert!(high.outcome.is_ok() && low.outcome.is_ok());
+        // The high job spent strictly less time queued: it overtook a
+        // low job that was submitted first.
+        assert!(
+            high.queue_seconds < low.queue_seconds,
+            "high {} !< low {}",
+            high.queue_seconds,
+            low.queue_seconds
+        );
     }
 }

@@ -16,6 +16,15 @@ pub(crate) struct Counters {
     pub fused: AtomicU64,
     pub plan_nanos_hit: AtomicU64,
     pub plan_nanos_miss: AtomicU64,
+    pub deadline_pre: AtomicU64,
+    pub deadline_mid: AtomicU64,
+    pub retries: AtomicU64,
+    pub panics_caught: AtomicU64,
+    pub numerical: AtomicU64,
+    pub degraded: AtomicU64,
+    pub rerouted: AtomicU64,
+    pub breaker_rejections: AtomicU64,
+    pub faults_injected: AtomicU64,
 }
 
 impl Counters {
@@ -56,6 +65,29 @@ pub struct ServiceStats {
     /// Total seconds spent on the plan phase across cache misses
     /// (actual plan builds).
     pub plan_seconds_miss: f64,
+    /// Requests whose deadline had already expired when a worker
+    /// drained them: answered `DeadlineExceeded` with **zero** engine
+    /// work (the cancellation reclaim path).
+    pub deadline_pre: u64,
+    /// Requests whose cancel token tripped mid-execute: the engine
+    /// aborted at its next poll and partial work was discarded.
+    pub deadline_mid: u64,
+    /// Retry attempts spent (attempts beyond each request's first).
+    pub retries: u64,
+    /// Worker panics caught at the isolation boundary.
+    pub panics_caught: u64,
+    /// Non-finite engine outputs caught by the post-condition check.
+    pub numerical: u64,
+    /// Responses priced at [`crate::Fidelity::Degraded`].
+    pub degraded: u64,
+    /// Responses priced at [`crate::Fidelity::Rerouted`].
+    pub rerouted: u64,
+    /// Executions refused because the engine's breaker was open.
+    pub breaker_rejections: u64,
+    /// Breaker trips (`* → Open` transitions) across all engines.
+    pub breaker_trips: u64,
+    /// Faults the configured [`crate::ServeFaultPlan`] injected.
+    pub faults_injected: u64,
 }
 
 impl ServiceStats {
@@ -83,6 +115,31 @@ impl ServiceStats {
             0.0
         } else {
             self.plan_seconds_miss / self.cache.misses as f64
+        }
+    }
+
+    /// Fraction of accepted requests that were not answered with a
+    /// full-service response: admission sheds plus deadline failures,
+    /// over submissions plus sheds. The overload experiment's headline
+    /// number — degradation lowers it by converting would-be deadline
+    /// misses into explicit cheaper answers.
+    pub fn shed_rate(&self) -> f64 {
+        let offered = self.submitted + self.shed;
+        if offered == 0 {
+            0.0
+        } else {
+            (self.shed + self.deadline_pre + self.deadline_mid) as f64 / offered as f64
+        }
+    }
+
+    /// Of all deadline failures, the fraction reclaimed before any
+    /// engine work was spent (higher = cancellation doing its job).
+    pub fn reclaim_ratio(&self) -> f64 {
+        let total = self.deadline_pre + self.deadline_mid;
+        if total == 0 {
+            0.0
+        } else {
+            self.deadline_pre as f64 / total as f64
         }
     }
 }

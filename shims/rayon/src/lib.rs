@@ -164,6 +164,13 @@ impl<R> FromParVec for Vec<R> {
     }
 }
 
+impl<R, E> FromParVec for Result<Vec<R>, E> {
+    type Item = Result<R, E>;
+    fn from_par_vec(v: Vec<Result<R, E>>) -> Self {
+        v.into_iter().collect()
+    }
+}
+
 /// Parallel mutable chunking of slices (`par_chunks_mut`).
 pub trait ParallelSliceMut<T: Send> {
     /// Split into mutable chunks of `size`, processed in parallel.

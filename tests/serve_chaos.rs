@@ -1,0 +1,218 @@
+//! Chaos suite for the resilient serving layer: random seeded fault
+//! plans (worker panics, stalls, poisoned results) crossed with random
+//! request mixes, deadlines and overload.
+//!
+//! Invariants, whatever the chaos:
+//!
+//! * **No deadlock** — every accepted ticket resolves in bounded time.
+//! * **Bitwise honesty** — every `Ok` response tagged
+//!   [`Fidelity::Full`] equals the direct sequential price bit for bit,
+//!   even when it was produced by a retry after injected faults.
+//! * **Legal breakers** — the breaker history only ever contains
+//!   `Closed→Open`, `Open→HalfOpen`, `HalfOpen→Closed`,
+//!   `HalfOpen→Open`.
+//! * **Deterministic drain** — shutdown under injected crashes still
+//!   answers every pending request before the workers exit.
+
+use mdp_core::prelude::*;
+use mdp_serve::{
+    transitions_legal, Fidelity, PriceRequest, PriceResponse, PricingService, Priority,
+    ServeConfig, ServeError, ServeFaultPlan, Ticket,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Resolve a ticket with a deadlock bound: a chaos bug that loses a
+/// response must fail the test, not hang it.
+fn wait_bounded(t: Ticket) -> PriceResponse {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Some(resp) = t.try_wait() {
+            return resp;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "ticket {} unresolved after 60s: deadlock or lost response",
+            t.id
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// A burst mixing engine families (two FD grids and an MC config) over
+/// the drawn strikes, with the matching direct pricers for the bitwise
+/// check.
+fn mixed_burst(spot: f64, strikes: &[f64]) -> (Arc<GbmMarket>, Vec<PriceRequest>, Vec<Pricer>) {
+    let market = Arc::new(GbmMarket::single(spot, 0.2, 0.0, 0.05).unwrap());
+    let methods = [
+        Method::Fd1d(Fd1d::default()),
+        Method::Fd1d(Fd1d {
+            space_points: 201,
+            time_steps: 200,
+            ..Fd1d::default()
+        }),
+        Method::MonteCarlo(McConfig {
+            paths: 4_000,
+            block_size: 1_000,
+            ..Default::default()
+        }),
+    ];
+    let mut requests = Vec::new();
+    let mut pricers = Vec::new();
+    for (i, &strike) in strikes.iter().enumerate() {
+        let maturity = if i % 2 == 0 { 1.0 } else { 0.5 };
+        let product = Product::european(
+            Payoff::BasketCall {
+                weights: vec![1.0],
+                strike,
+            },
+            maturity,
+        );
+        let method = methods[i % methods.len()].clone();
+        requests.push(
+            PriceRequest::new(i as u64, Arc::clone(&market), product).with_method(method.clone()),
+        );
+        pricers.push(Pricer::new(method));
+    }
+    (market, requests, pricers)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random panic/stall/poison schedules over a mixed burst: every
+    /// ticket resolves, every Full-fidelity success is bitwise equal to
+    /// the fault-free direct price (retries included), the breaker
+    /// history stays legal, and the books balance.
+    #[test]
+    fn chaos_resolves_every_ticket_and_full_fidelity_stays_bitwise(
+        seed in 0u64..1_000_000_000,
+        panic_prob in 0.0f64..0.4,
+        stall_prob in 0.0f64..0.3,
+        poison_prob in 0.0f64..0.4,
+        workers in 1usize..4,
+        strikes in prop::collection::vec(70.0f64..130.0, 4..20),
+    ) {
+        let fault = ServeFaultPlan::new(seed)
+            .with_panics(panic_prob)
+            .with_stalls(stall_prob, Duration::from_millis(1))
+            .with_poison(poison_prob);
+        let (market, requests, pricers) = mixed_burst(100.0, &strikes);
+        let service = PricingService::start(
+            Pricer::new(Method::Fd1d(Fd1d::default())),
+            ServeConfig { workers, fault: Some(fault), ..Default::default() },
+        );
+        let tickets: Vec<_> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i, service.submit(r.clone()).unwrap()))
+            .collect();
+        let n = tickets.len() as u64;
+        for (i, t) in tickets {
+            let resp = wait_bounded(t);
+            prop_assert_eq!(resp.id, i as u64);
+            if let (Ok(report), Fidelity::Full) = (&resp.outcome, resp.fidelity) {
+                let direct = pricers[i].price(&market, &requests[i].product).unwrap();
+                prop_assert_eq!(
+                    report.price.to_bits(),
+                    direct.price.to_bits(),
+                    "request {} (attempts {}) diverged under chaos",
+                    i,
+                    resp.attempts
+                );
+            }
+        }
+        let history = service.breaker_history();
+        prop_assert!(transitions_legal(&history), "illegal breaker move: {:?}", history);
+        let stats = service.shutdown();
+        prop_assert_eq!(stats.completed, n, "every accepted request must be answered");
+    }
+
+    /// Chaos plus deadlines, priorities and a small queue (overload):
+    /// accepted tickets all resolve with either a price or a typed
+    /// error, and the counters account for every request exactly once.
+    #[test]
+    fn overloaded_deadline_chaos_leaves_no_ticket_behind(
+        seed in 0u64..1_000_000_000,
+        panic_prob in 0.0f64..0.4,
+        budget_ms in 1u64..40,
+        strikes in prop::collection::vec(70.0f64..130.0, 8..32),
+    ) {
+        let fault = ServeFaultPlan::new(seed).with_panics(panic_prob);
+        let (_market, requests, _pricers) = mixed_burst(100.0, &strikes);
+        let service = PricingService::start(
+            Pricer::new(Method::Fd1d(Fd1d::default())),
+            ServeConfig {
+                workers: 2,
+                queue_capacity: 8,
+                fault: Some(fault),
+                ..Default::default()
+            },
+        );
+        let mut accepted = Vec::new();
+        let mut sheds = 0u64;
+        for (i, r) in requests.iter().enumerate() {
+            let req = r
+                .clone()
+                .with_deadline(Duration::from_millis(if i % 3 == 0 { budget_ms } else { 200 }))
+                .with_priority(match i % 3 {
+                    0 => Priority::High,
+                    1 => Priority::Normal,
+                    _ => Priority::Low,
+                });
+            match service.submit(req) {
+                Ok(t) => accepted.push(t),
+                Err(ServeError::Overloaded { .. }) => sheds += 1,
+                Err(e) => panic!("unexpected submit error: {e}"),
+            }
+        }
+        let n = accepted.len() as u64;
+        for t in accepted {
+            let resp = wait_bounded(t);
+            // Either a real price or a typed failure — never a NaN
+            // smuggled through as success.
+            if let Ok(report) = &resp.outcome {
+                prop_assert!(report.price.is_finite());
+            }
+        }
+        prop_assert!(transitions_legal(&service.breaker_history()));
+        let stats = service.shutdown();
+        prop_assert_eq!(stats.completed, n);
+        prop_assert_eq!(stats.shed, sheds);
+        // Deadline failures split exactly into reclaimed-in-queue and
+        // aborted-mid-execute.
+        prop_assert!(stats.deadline_pre + stats.deadline_mid <= n);
+    }
+
+    /// Shutdown fired immediately after a chaotic burst: the drain must
+    /// still answer every accepted request before the workers exit.
+    #[test]
+    fn shutdown_under_chaos_drains_every_pending_request(
+        seed in 0u64..1_000_000_000,
+        panic_prob in 0.0f64..0.5,
+        strikes in prop::collection::vec(70.0f64..130.0, 4..16),
+    ) {
+        let fault = ServeFaultPlan::new(seed).with_panics(panic_prob);
+        let (_market, requests, _pricers) = mixed_burst(100.0, &strikes);
+        let service = PricingService::start(
+            Pricer::new(Method::Fd1d(Fd1d::default())),
+            ServeConfig { workers: 1, fault: Some(fault), ..Default::default() },
+        );
+        let tickets: Vec<_> = requests
+            .iter()
+            .map(|r| service.submit(r.clone()).unwrap())
+            .collect();
+        let n = tickets.len() as u64;
+        // Close the queue while most of the burst is still pending.
+        let stats = service.shutdown();
+        prop_assert_eq!(stats.completed, n, "drain must answer the whole backlog");
+        for t in tickets {
+            // Responses were sent before the workers exited.
+            let resp = wait_bounded(t);
+            if let Ok(report) = &resp.outcome {
+                prop_assert!(report.price.is_finite());
+            }
+        }
+    }
+}
