@@ -9,7 +9,7 @@ use crate::Effort;
 /// All experiment ids in canonical order.
 pub const ALL: &[&str] = &[
     "t1", "t2", "t3", "t3b", "t4", "t4b", "t5", "t5b", "t6", "t6b", "t7", "t8", "t9", "t10", "t11",
-    "t12", "t13", "t14", "f1", "f2", "f3", "f4", "f5", "f6", "a1", "a2", "a3", "a4", "a5",
+    "t12", "t13", "t14", "t15", "f1", "f2", "f3", "f4", "f5", "f6", "a1", "a2", "a3", "a4", "a5",
 ];
 
 /// Run one experiment by id. Returns false for unknown ids.
@@ -33,6 +33,7 @@ pub fn run(id: &str, effort: Effort) -> bool {
         "t12" => tables::t12_tick_repricing(effort),
         "t13" => tables::t13_stencil_throughput(effort),
         "t14" => tables::t14_resilience(effort),
+        "t15" => tables::t15_cluster_scale(effort),
         "f1" => figures::f1_lattice_speedup(effort),
         "f2" => figures::f2_lattice_efficiency(effort),
         "f3" => figures::f3_mc_speedup(effort),
@@ -60,7 +61,13 @@ mod tests {
 
     #[test]
     fn registry_covers_design_doc() {
-        assert_eq!(ALL.len(), 29);
-        assert!(ALL.contains(&"t1") && ALL.contains(&"t6b") && ALL.contains(&"t14") && ALL.contains(&"a4"));
+        assert_eq!(ALL.len(), 30);
+        assert!(
+            ALL.contains(&"t1")
+                && ALL.contains(&"t6b")
+                && ALL.contains(&"t14")
+                && ALL.contains(&"t15")
+                && ALL.contains(&"a4")
+        );
     }
 }

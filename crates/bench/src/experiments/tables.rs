@@ -2337,3 +2337,245 @@ pub fn t14_resilience(effort: Effort) {
     );
     let _ = std::fs::write(crate::out_dir().join("BENCH_resilience.json"), json);
 }
+
+/// T15 — 1024-rank scalability: the topology-aware collective engine
+/// against the flat algorithms on an SMP-cluster fabric.
+///
+/// Three parts. **Sweep**: prices the d=5 Monte Carlo basket and the
+/// d=2 lattice at P up to 1024 on `smp_cluster2002(8)` twice — once
+/// with the engine pinned to the flat algorithms
+/// (`CollectiveChoice::FlatOnly`) and once with the topology-aware
+/// selection — asserting bit-identical prices and reporting the
+/// makespan ratio plus far-fabric traffic. **Isoefficiency**:
+/// calibrates an affine `T(n, p) = α_p + β_p·n` model per engine from
+/// two measured runs at each P and reports the work needed to hold 50%
+/// efficiency through `mdp_perf::isoefficiency`. **Checkpointing**:
+/// compares the synchronous and asynchronous-incremental checkpoint
+/// modes of the fault-tolerant LSMC driver against an effectively
+/// checkpoint-free run. Writes `BENCH_cluster_scale.json` so CI can
+/// gate on the hierarchical/flat ratio at P ≥ 256 and on the async
+/// checkpoint overhead staying under the 6.5% T6b budget.
+pub fn t15_cluster_scale(effort: Effort) {
+    use mdp_core::cluster::{CheckpointMode, CollectiveAlgo, CollectiveChoice, CollectiveEngine};
+    use mdp_core::mc::cluster_driver::price_lsmc_cluster_ft;
+    use mdp_core::mc::LsmcConfig;
+    use mdp_perf::isoefficiency::isoefficiency_point;
+
+    let node = 8usize;
+    let mut t = Table::new(
+        "T15: topology-aware vs flat collectives on the modelled SMP cluster (8 ranks/node)",
+        &[
+            "engine",
+            "p",
+            "algo",
+            "flat T [ms]",
+            "hier T [ms]",
+            "ratio",
+            "flat far msgs",
+            "hier far msgs",
+        ],
+    );
+    let mc_procs: &[usize] = match effort {
+        Effort::Quick => &[4, 16, 64, 256],
+        Effort::Full => &[4, 16, 64, 256, 1024],
+    };
+    let lat_procs: &[usize] = match effort {
+        Effort::Quick => &[4, 16, 64],
+        Effort::Full => &[4, 16, 64, 256],
+    };
+    let flat_machine = Machine::smp_cluster2002(node).with_collectives(CollectiveChoice::FlatOnly);
+    let auto_machine = Machine::smp_cluster2002(node);
+    let algo_name = |p: usize| match CollectiveEngine::for_machine(&auto_machine, p).algo() {
+        CollectiveAlgo::Flat => "flat".to_string(),
+        CollectiveAlgo::TwoLevel { group } => format!("two-level(g={group})"),
+    };
+    let mut sweep_rows: Vec<String> = Vec::new();
+
+    // Part 1a: MC sweep, flat vs topology-aware, bit-identical prices.
+    let m5 = market_vol(5, 0.3);
+    let prod5 = basket_call(5);
+    let paths = effort.scale64(16_384, 262_144);
+    let mc_cfg = McConfig {
+        paths,
+        block_size: (paths / 2048).max(1),
+        ..Default::default()
+    };
+    for &p in mc_procs {
+        let flat = price_mc_cluster(&m5, &prod5, mc_cfg, p, flat_machine).unwrap();
+        let hier = price_mc_cluster(&m5, &prod5, mc_cfg, p, auto_machine).unwrap();
+        assert_eq!(
+            flat.result.price.to_bits(),
+            hier.result.price.to_bits(),
+            "engine selection must never move the price (mc, p={p})"
+        );
+        let (tf, th) = (flat.time.makespan * 1e3, hier.time.makespan * 1e3);
+        let ratio = tf / th;
+        t.push(&[
+            format!("mc d=5 {paths} paths"),
+            p.to_string(),
+            algo_name(p),
+            fmt_sig(tf, 4),
+            fmt_sig(th, 4),
+            format!("{ratio:.3}"),
+            flat.time.total_far_msgs.to_string(),
+            hier.time.total_far_msgs.to_string(),
+        ]);
+        sweep_rows.push(format!(
+            "    {{\"engine\": \"mc\", \"p\": {p}, \"algo\": \"{}\", \
+             \"flat_makespan_ms\": {tf:.6}, \"hier_makespan_ms\": {th:.6}, \
+             \"ratio\": {ratio:.4}, \"flat_far_msgs\": {}, \"hier_far_msgs\": {}, \
+             \"flat_link_stall_ms\": {:.6}, \"hier_link_stall_ms\": {:.6}}}",
+            algo_name(p),
+            flat.time.total_far_msgs,
+            hier.time.total_far_msgs,
+            flat.time.total_link_stall * 1e3,
+            hier.time.total_link_stall * 1e3,
+        ));
+    }
+
+    // Part 1b: lattice sweep (end-of-run broadcast is the collective).
+    let m2 = market(2);
+    let prod2 = max_call();
+    let n_lat = effort.scale(128, 512);
+    for &p in lat_procs {
+        let flat = price_cluster(&m2, &prod2, n_lat, p, flat_machine, Decomposition::Block).unwrap();
+        let hier = price_cluster(&m2, &prod2, n_lat, p, auto_machine, Decomposition::Block).unwrap();
+        assert_eq!(
+            flat.price.to_bits(),
+            hier.price.to_bits(),
+            "engine selection must never move the price (lattice, p={p})"
+        );
+        let (tf, th) = (flat.time.makespan * 1e3, hier.time.makespan * 1e3);
+        let ratio = tf / th;
+        t.push(&[
+            format!("lattice d=2 N={n_lat}"),
+            p.to_string(),
+            algo_name(p),
+            fmt_sig(tf, 4),
+            fmt_sig(th, 4),
+            format!("{ratio:.3}"),
+            flat.time.total_far_msgs.to_string(),
+            hier.time.total_far_msgs.to_string(),
+        ]);
+        sweep_rows.push(format!(
+            "    {{\"engine\": \"lattice\", \"p\": {p}, \"algo\": \"{}\", \
+             \"flat_makespan_ms\": {tf:.6}, \"hier_makespan_ms\": {th:.6}, \
+             \"ratio\": {ratio:.4}, \"flat_far_msgs\": {}, \"hier_far_msgs\": {}, \
+             \"flat_link_stall_ms\": {:.6}, \"hier_link_stall_ms\": {:.6}}}",
+            algo_name(p),
+            flat.time.total_far_msgs,
+            hier.time.total_far_msgs,
+            flat.time.total_link_stall * 1e3,
+            hier.time.total_link_stall * 1e3,
+        ));
+    }
+    save("t15_cluster_scale", &t);
+
+    // Part 2: calibrated isoefficiency. Two MC runs per (engine, p) fit
+    // T(n, p) = α_p + β_p·n (n = paths); the sequential leg is shared.
+    let mut iso = Table::new(
+        "T15b: calibrated isoefficiency at 50% efficiency (mc d=5, paths to hold E)",
+        &["p", "flat W(p)", "hier W(p)"],
+    );
+    let mut iso_rows: Vec<String> = Vec::new();
+    let n0 = effort.scale64(8_192, 65_536);
+    let affine = |machine: Machine, p: usize| {
+        let run = |paths: u64| {
+            let cfg = McConfig {
+                paths,
+                block_size: (paths / 2048).max(1),
+                ..Default::default()
+            };
+            price_mc_cluster(&m5, &prod5, cfg, p, machine)
+                .unwrap()
+                .time
+                .makespan
+        };
+        let (t1, t2) = (run(n0), run(2 * n0));
+        let beta = (t2 - t1) / n0 as f64;
+        (t1 - beta * n0 as f64, beta)
+    };
+    let (a1, b1) = affine(auto_machine, 1);
+    for &p in mc_procs {
+        if p < 16 {
+            continue; // the small-p points carry no scalability signal
+        }
+        let w_of = |machine: Machine| {
+            let (ap, bp) = affine(machine, p);
+            let time = move |n: u64, q: usize| {
+                if q == 1 {
+                    a1 + b1 * n as f64
+                } else {
+                    ap + bp * n as f64
+                }
+            };
+            isoefficiency_point(time, |n| n as f64, p, 0.5, 64, 1 << 34, 1e-3)
+        };
+        let flat_w = w_of(flat_machine);
+        let hier_w = w_of(auto_machine);
+        let fmt_w = |w: Option<(u64, f64)>| match w {
+            Some((_, work)) => fmt_sig(work, 3),
+            None => "unreached".to_string(),
+        };
+        iso.push(&[p.to_string(), fmt_w(flat_w), fmt_w(hier_w)]);
+        iso_rows.push(format!(
+            "    {{\"p\": {p}, \"flat_work\": {}, \"hier_work\": {}}}",
+            flat_w.map_or("null".to_string(), |w| format!("{:.1}", w.1)),
+            hier_w.map_or("null".to_string(), |w| format!("{:.1}", w.1)),
+        ));
+    }
+    save("t15b_isoefficiency", &iso);
+
+    // Part 3: checkpoint modes on the fault-tolerant LSMC driver. The
+    // baseline checkpoints once (interval ≥ date count); sync and async
+    // checkpoint every other date. All three prices are bit-identical.
+    let m1 = market(1);
+    let am = american_min_put();
+    let lsmc_cfg = LsmcConfig {
+        paths: effort.scale64(4_000, 16_000),
+        steps: 16,
+        block_size: effort.scale64(250, 1_000),
+        ..Default::default()
+    };
+    let ranks = 8usize;
+    let ckpt_run = |interval: usize, mode: CheckpointMode| {
+        price_lsmc_cluster_ft(
+            &m1,
+            &am,
+            lsmc_cfg,
+            ranks,
+            Machine::cluster2002(),
+            FaultPlan::new(0),
+            interval,
+            mode,
+        )
+        .unwrap()
+    };
+    let base = ckpt_run(lsmc_cfg.steps, CheckpointMode::Sync);
+    let sync = ckpt_run(2, CheckpointMode::Sync);
+    let async_inc = ckpt_run(2, CheckpointMode::AsyncIncremental);
+    assert_eq!(base.result.price.to_bits(), sync.result.price.to_bits());
+    assert_eq!(base.result.price.to_bits(), async_inc.result.price.to_bits());
+    let base_ms = base.time.makespan * 1e3;
+    let over = |ms: f64| (ms - base_ms) / base_ms * 100.0;
+    let (sync_ms, async_ms) = (sync.time.makespan * 1e3, async_inc.time.makespan * 1e3);
+    let (sync_over, async_over) = (over(sync_ms), over(async_ms));
+    println!(
+        "t15 checkpoint overhead (lsmc d=1, p={ranks}, interval 2): \
+         sync {sync_over:.2}% async {async_over:.2}% (baseline {base_ms:.4} ms)"
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"t15\",\n  \"node_size\": {node},\n  \"sweep\": [\n{}\n  ],\n  \
+         \"isoefficiency\": [\n{}\n  ],\n  \"checkpoint\": {{\"budget_pct\": 6.5, \
+         \"baseline_makespan_ms\": {base_ms:.6}, \"sync_makespan_ms\": {sync_ms:.6}, \
+         \"async_makespan_ms\": {async_ms:.6}, \"sync_overhead_pct\": {sync_over:.4}, \
+         \"async_overhead_pct\": {async_over:.4}, \"sync_ckpt_ms\": {:.6}, \
+         \"async_ckpt_ms\": {:.6}}}\n}}\n",
+        sweep_rows.join(",\n"),
+        iso_rows.join(",\n"),
+        sync.time.total_ckpt_time * 1e3,
+        async_inc.time.total_ckpt_time * 1e3,
+    );
+    let _ = std::fs::write(crate::out_dir().join("BENCH_cluster_scale.json"), json);
+}

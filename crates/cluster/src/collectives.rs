@@ -20,9 +20,46 @@
 //! (standard collective semantics); tags are drawn from the reserved
 //! collective range so they never collide with user traffic, and FIFO
 //! matching per `(src, tag)` keeps back-to-back collectives separate.
+//!
+//! # The canonical reduction order
+//!
+//! Floating-point addition is commutative but not associative, so the
+//! *shape* of the association tree decides the bits of a reduction.
+//! Every reduction variant here (and every hierarchical algorithm in
+//! [`crate::engine`]) commits to one **canonical association**: the one
+//! recursive doubling produces. For `p` ranks with `p2` the largest
+//! power of two ≤ `p` and `rem = p − p2`:
+//!
+//! 1. remainder pre-fold — leaf `r` (for `r < rem`) becomes
+//!    `x_r ⊕ x_{r+p2}`;
+//! 2. a perfect balanced binary tree over the `p2` folded leaves,
+//!    combining adjacent blocks of doubling width (`(l ⊕ r)` with the
+//!    lower-rank block on the left).
+//!
+//! IEEE-754 `+`, `max` and `min` are commutative *bitwise*, so an
+//! algorithm may evaluate `r ⊕ l` where the canonical tree says
+//! `l ⊕ r` and still produce identical bits — which is exactly why the
+//! butterfly (where the two partners apply operands in opposite
+//! orders) and the hierarchical group-leader schedules all land on the
+//! same result. [`canonical_fold`] is the executable definition.
+//!
+//! # Uplink contention
+//!
+//! On [`crate::TopologyKind::SmpCluster`] machines, several ranks of
+//! one node injecting far messages in the same schedule stage share
+//! one uplink. Each collective knows its own stage structure, so
+//! before a far send it charges a deterministic serialisation stall of
+//! `pos × far_message_time` virtual seconds, where `pos` is the
+//! rank's position among its node's far senders of that stage (see
+//! [`Communicator::link_stall`]). On `Uniform` machines no message is
+//! far and nothing changes; flat collectives at large P on SMP
+//! clusters pay heavily, which is what the topology-aware engine
+//! avoids.
 
 use crate::comm::Communicator;
-use crate::message::{Tag, COLL_TAG_BASE};
+use crate::machine::Machine;
+use crate::message::{Message, Tag, COLL_TAG_BASE};
+use crate::topology::TopologyKind;
 
 const T_BCAST: Tag = COLL_TAG_BASE;
 const T_REDUCE: Tag = COLL_TAG_BASE + 1;
@@ -33,6 +70,66 @@ const T_ALLTOALL: Tag = COLL_TAG_BASE + 5;
 const T_RING: Tag = COLL_TAG_BASE + 6;
 const T_FOLD: Tag = COLL_TAG_BASE + 7;
 const T_SCAN: Tag = COLL_TAG_BASE + 8;
+const T_RING_CANON: Tag = COLL_TAG_BASE + 9;
+
+/// Charge the deterministic uplink-serialisation stall for a far send
+/// of `payload_len` doubles to `dest` in a schedule stage whose far
+/// senders are characterised by `sends_far` (must be evaluable by
+/// every rank from shared knowledge — the stage structure).
+///
+/// Only ranks on multi-rank nodes ([`TopologyKind::SmpCluster`]) can
+/// share an uplink; everywhere else this is free.
+pub(crate) fn charge_uplink_stall<C, F>(comm: &mut C, payload_len: usize, dest: usize, sends_far: F)
+where
+    C: Communicator + ?Sized,
+    F: Fn(&Machine, usize) -> bool,
+{
+    let m = *comm.machine();
+    let rank = comm.rank();
+    if !m.is_far(rank, dest) {
+        return;
+    }
+    let node_start = match m.topology {
+        TopologyKind::SmpCluster { node_size } => (rank / node_size) * node_size,
+        _ => return,
+    };
+    let pos = (node_start..rank).filter(|&r| sends_far(&m, r)).count();
+    if pos > 0 {
+        let stall = pos as f64 * m.far_message_time(Message::wire_bytes(payload_len));
+        comm.link_stall(stall);
+    }
+}
+
+/// Fold `parts` (one buffer per rank, in rank order) with the canonical
+/// association described in the module docs: remainder pre-fold, then a
+/// balanced binary tree over the power-of-two core. This is the
+/// executable definition of the order every reduction variant and
+/// every hierarchical schedule reproduces; reworked linear reductions
+/// call it directly, tests use it as the bitwise oracle.
+///
+/// # Panics
+/// Panics if `parts` is empty or lengths differ.
+pub fn canonical_fold(parts: &[Vec<f64>], op: ReduceOp) -> Vec<f64> {
+    assert!(!parts.is_empty(), "canonical_fold needs at least one part");
+    let p = parts.len();
+    let p2 = 1usize << (usize::BITS - 1 - p.leading_zeros());
+    let rem = p - p2;
+    let mut level: Vec<Vec<f64>> = parts[..p2].to_vec();
+    for r in 0..rem {
+        let extra = &parts[r + p2];
+        op.apply(&mut level[r], extra);
+    }
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len() / 2);
+        for pair in level.chunks_exact(2) {
+            let mut acc = pair[0].clone();
+            op.apply(&mut acc, &pair[1]);
+            next.push(acc);
+        }
+        level = next;
+    }
+    level.pop().expect("non-empty")
+}
 
 /// Element-wise binary operations for reductions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,6 +200,10 @@ pub fn broadcast_tree<C: Communicator + ?Sized>(comm: &mut C, root: usize, data:
             let vdest = vr + mask;
             if vdest < p {
                 let dest = (vdest + root) % p;
+                charge_uplink_stall(comm, data.len(), dest, |m, r| {
+                    let v = (r + p - root) % p;
+                    v < mask && v + mask < p && m.is_far(r, (v + mask + root) % p)
+                });
                 comm.send(dest, T_BCAST, data);
             }
         } else if vr < 2 * mask {
@@ -132,8 +233,14 @@ pub fn broadcast_linear<C: Communicator + ?Sized>(comm: &mut C, root: usize, dat
     }
 }
 
-/// Binomial-tree reduction to `root`. Returns `Some(result)` on the root,
-/// `None` elsewhere.
+/// Binomial-tree reduction to `root` in the canonical association:
+/// remainder ranks fold into the power-of-two core first, a binomial
+/// tree reduces the core onto rank 0 with adjacent-block combining,
+/// and rank 0 forwards the result to `root` when they differ. Same
+/// ⌈log₂p⌉ depth and `p−1` tree messages as the classic rotated
+/// binomial (plus one forward hop for non-zero roots), but the result
+/// is bitwise-identical to [`allreduce_doubling`] for every `p` and
+/// `root`. Returns `Some(result)` on the root, `None` elsewhere.
 pub fn reduce_tree<C: Communicator + ?Sized>(
     comm: &mut C,
     root: usize,
@@ -142,29 +249,58 @@ pub fn reduce_tree<C: Communicator + ?Sized>(
 ) -> Option<Vec<f64>> {
     let p = comm.size();
     let rank = comm.rank();
+    let n = data.len();
     assert!(root < p);
-    let vr = (rank + p - root) % p;
     let mut acc = data.to_vec();
+    if p == 1 {
+        return Some(acc);
+    }
+    let p2 = 1usize << (usize::BITS - 1 - p.leading_zeros());
+    let rem = p - p2;
+    // Remainder pre-fold, exactly as in the doubling allreduce.
+    if rank >= p2 {
+        charge_uplink_stall(comm, n, rank - p2, |m, r| r >= p2 && m.is_far(r, r - p2));
+        comm.send(rank - p2, T_FOLD, &acc);
+        return (rank == root).then(|| comm.recv(0, T_REDUCE));
+    }
+    if rank < rem {
+        let part = comm.recv(rank + p2, T_FOLD);
+        op.apply(&mut acc, &part);
+    }
+    // Binomial reduce of the core onto rank 0: at round `mask` the odd
+    // multiples of `mask` send to their even-block sibling, so rank 0
+    // accumulates the canonical adjacent-block tree.
     let mut mask = 1usize;
-    while mask < p {
-        if vr & mask != 0 {
-            let vdest = vr - mask;
-            let dest = (vdest + root) % p;
+    while mask < p2 {
+        if rank & mask != 0 {
+            let dest = rank - mask;
+            charge_uplink_stall(comm, n, dest, |m, r| {
+                r < p2 && r & mask != 0 && r & (mask - 1) == 0 && m.is_far(r, r - mask)
+            });
             comm.send(dest, T_REDUCE, &acc);
-            return None;
+            break;
         }
-        let vsrc = vr + mask;
-        if vsrc < p {
-            let src = (vsrc + root) % p;
-            let part = comm.recv(src, T_REDUCE);
+        if rank + mask < p2 {
+            let part = comm.recv(rank + mask, T_REDUCE);
             op.apply(&mut acc, &part);
         }
         mask <<= 1;
     }
-    Some(acc)
+    // Rank 0 now holds the canonical result; ship it to a non-zero root.
+    if root == 0 {
+        return (rank == 0).then_some(acc);
+    }
+    if rank == 0 {
+        comm.send(root, T_REDUCE, &acc);
+        return None;
+    }
+    (rank == root).then(|| comm.recv(0, T_REDUCE))
 }
 
-/// Linear reduction to `root` (root receives from everyone in rank order).
+/// Linear reduction to `root`: root receives from everyone in rank
+/// order and folds the collected parts with [`canonical_fold`] — the
+/// same (p−1) messages and incast cost as the classic running-sum
+/// linear reduce, but bitwise-identical to [`allreduce_doubling`].
 pub fn reduce_linear<C: Communicator + ?Sized>(
     comm: &mut C,
     root: usize,
@@ -175,15 +311,19 @@ pub fn reduce_linear<C: Communicator + ?Sized>(
     let rank = comm.rank();
     assert!(root < p);
     if rank == root {
-        let mut acc = data.to_vec();
+        let mut parts: Vec<Vec<f64>> = Vec::with_capacity(p);
         for src in 0..p {
-            if src != root {
-                let part = comm.recv(src, T_REDUCE);
-                op.apply(&mut acc, &part);
+            if src == root {
+                parts.push(data.to_vec());
+            } else {
+                parts.push(comm.recv(src, T_REDUCE));
             }
         }
-        Some(acc)
+        Some(canonical_fold(&parts, op))
     } else {
+        charge_uplink_stall(comm, data.len(), root, |m, r| {
+            r != root && m.is_far(r, root)
+        });
         comm.send(root, T_REDUCE, data);
         None
     }
@@ -207,7 +347,9 @@ pub fn allreduce_doubling<C: Communicator + ?Sized>(
     let p2 = 1usize << (usize::BITS - 1 - p.leading_zeros());
     let rem = p - p2;
     // Phase 1: ranks ≥ p2 fold into rank − p2.
+    let n = data.len();
     if rank >= p2 {
+        charge_uplink_stall(comm, n, rank - p2, |m, r| r >= p2 && m.is_far(r, r - p2));
         comm.send(rank - p2, T_FOLD, &acc);
         // Wait for the final result in phase 3.
         acc = comm.recv(rank - p2, T_FOLD);
@@ -217,10 +359,13 @@ pub fn allreduce_doubling<C: Communicator + ?Sized>(
         let part = comm.recv(rank + p2, T_FOLD);
         op.apply(&mut acc, &part);
     }
-    // Phase 2: recursive doubling among the p2 core ranks.
+    // Phase 2: recursive doubling among the p2 core ranks. Every core
+    // rank sends each round, so on an SMP cluster the high-mask rounds
+    // put a whole node's worth of senders on one uplink at once.
     let mut mask = 1usize;
     while mask < p2 {
         let partner = rank ^ mask;
+        charge_uplink_stall(comm, n, partner, |m, r| r < p2 && m.is_far(r, r ^ mask));
         comm.send(partner, T_REDUCE + mask as Tag * 16, &acc);
         let part = comm.recv(partner, T_REDUCE + mask as Tag * 16);
         op.apply(&mut acc, &part);
@@ -228,6 +373,7 @@ pub fn allreduce_doubling<C: Communicator + ?Sized>(
     }
     // Phase 3: return results to the folded ranks.
     if rank < rem {
+        charge_uplink_stall(comm, n, rank + p2, |m, r| r < rem && m.is_far(r, r + p2));
         comm.send(rank + p2, T_FOLD, &acc);
     }
     acc
@@ -252,10 +398,13 @@ pub fn allreduce_ring<C: Communicator + ?Sized>(
     let next = (rank + 1) % p;
     let prev = (rank + p - 1) % p;
     // Reduce-scatter: after p−1 steps, rank r owns the full reduction of
-    // chunk (r+1) mod p.
+    // chunk (r+1) mod p. Ring steps are neighbour sends: on an SMP
+    // cluster only the last rank of each node crosses the fabric, so
+    // the uplink never has more than one sender per step.
     for step in 0..p - 1 {
         let (slo, shi) = chunk(rank + p - step);
         let (rlo, rhi) = chunk(rank + p - step - 1);
+        charge_uplink_stall(comm, shi - slo, next, |m, r| m.is_far(r, (r + 1) % p));
         comm.send(next, T_RING + step as Tag, &acc[slo..shi]);
         let part = comm.recv(prev, T_RING + step as Tag);
         op.apply(&mut acc[rlo..rhi], &part);
@@ -264,11 +413,47 @@ pub fn allreduce_ring<C: Communicator + ?Sized>(
     for step in 0..p - 1 {
         let (slo, shi) = chunk(rank + 1 + p - step);
         let (rlo, rhi) = chunk(rank + p - step);
+        charge_uplink_stall(comm, shi - slo, next, |m, r| m.is_far(r, (r + 1) % p));
         comm.send(next, T_RING + (p + step) as Tag, &acc[slo..shi]);
         let part = comm.recv(prev, T_RING + (p + step) as Tag);
         acc[rlo..rhi].copy_from_slice(&part);
     }
     acc
+}
+
+/// Ring allreduce in the canonical association: a neighbour-ring
+/// allgather circulates every rank's *unreduced* contribution for
+/// `p−1` steps, then each rank folds the collected parts with
+/// [`canonical_fold`]. Bitwise-identical to [`allreduce_doubling`]
+/// (unlike [`allreduce_ring`], whose streaming reduce-scatter is
+/// forced into a sequential left-fold association), at the price of
+/// moving whole buffers instead of `n/p` chunks — the natural
+/// small-payload algorithm on ring/mesh topologies, where every hop is
+/// a direct link.
+pub fn allreduce_ring_canonical<C: Communicator + ?Sized>(
+    comm: &mut C,
+    data: &[f64],
+    op: ReduceOp,
+) -> Vec<f64> {
+    let p = comm.size();
+    let rank = comm.rank();
+    if p == 1 {
+        return data.to_vec();
+    }
+    let next = (rank + 1) % p;
+    let prev = (rank + p - 1) % p;
+    let mut parts: Vec<Vec<f64>> = vec![Vec::new(); p];
+    parts[rank] = data.to_vec();
+    for step in 0..p - 1 {
+        let send_idx = (rank + p - step) % p;
+        let recv_idx = (rank + p - step - 1) % p;
+        charge_uplink_stall(comm, parts[send_idx].len(), next, |m, r| {
+            m.is_far(r, (r + 1) % p)
+        });
+        comm.send(next, T_RING_CANON + step as Tag, &parts[send_idx]);
+        parts[recv_idx] = comm.recv(prev, T_RING_CANON + step as Tag);
+    }
+    canonical_fold(&parts, op)
 }
 
 /// Allreduce as tree-reduce to rank 0 followed by tree-broadcast —
@@ -307,6 +492,9 @@ pub fn gather<C: Communicator + ?Sized>(
         }
         Some(out)
     } else {
+        charge_uplink_stall(comm, data.len(), root, |m, r| {
+            r != root && m.is_far(r, root)
+        });
         comm.send(root, T_GATHER, data);
         None
     }
@@ -333,6 +521,9 @@ pub fn gather_varied<C: Communicator + ?Sized>(
         }
         Some(out)
     } else {
+        charge_uplink_stall(comm, data.len(), root, |m, r| {
+            r != root && m.is_far(r, root)
+        });
         comm.send(root, T_GATHER, data);
         None
     }
@@ -536,6 +727,146 @@ mod tests {
             let (a, b, c) = &res.value;
             assert_eq!(a, b);
             assert_eq!(a, c);
+        }
+    }
+
+    /// Deterministic "random-looking" payload: values whose sums depend
+    /// on association order, so bitwise agreement is meaningful.
+    fn awkward_payload(rank: usize, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let x = ((rank * 2654435761 + i * 40503) % 8191) as f64;
+                (x - 4095.0) * (1.0 + 1e-13 * rank as f64) / 3.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn canonical_fold_matches_doubling_bitwise() {
+        // The executable canonical order and the distributed butterfly
+        // must agree bit for bit, including non-powers-of-two.
+        for &p in &[1usize, 2, 3, 5, 6, 7, 12, 16] {
+            let parts: Vec<Vec<f64>> = (0..p).map(|r| awkward_payload(r, 9)).collect();
+            let oracle = canonical_fold(&parts, ReduceOp::Sum);
+            let r = run_spmd(p, Machine::ideal(), |comm| {
+                let data = awkward_payload(comm.rank(), 9);
+                allreduce_doubling(comm, &data, ReduceOp::Sum)
+            })
+            .unwrap();
+            for res in &r {
+                for (a, b) in res.value.iter().zip(&oracle) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "p={p} rank={}", res.rank);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_doubling_non_power_of_two_regression() {
+        // Satellite regression: the remainder fold must be deterministic
+        // and canonical at every awkward rank count. P = 257 exercises a
+        // one-rank remainder above a 256 core.
+        for &p in &[3usize, 5, 6, 7, 12, 257] {
+            let parts: Vec<Vec<f64>> = (0..p).map(|r| awkward_payload(r, 3)).collect();
+            let oracle = canonical_fold(&parts, ReduceOp::Sum);
+            let r = run_spmd(p, Machine::ideal(), |comm| {
+                let data = awkward_payload(comm.rank(), 3);
+                allreduce_doubling(comm, &data, ReduceOp::Sum)
+            })
+            .unwrap();
+            assert_eq!(r.len(), p);
+            for res in &r {
+                for (a, b) in res.value.iter().zip(&oracle) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "p={p} rank={}", res.rank);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_variants_bitwise_match_doubling() {
+        // After the canonical rework, both rooted reductions agree with
+        // the doubling allreduce bit for bit, for every root.
+        for &p in &[2usize, 3, 5, 7, 8, 12] {
+            for root in [0, p / 2, p - 1] {
+                let r = run_spmd(p, Machine::ideal(), move |comm| {
+                    let data = awkward_payload(comm.rank(), 5);
+                    let dbl = allreduce_doubling(comm, &data, ReduceOp::Sum);
+                    let tree = reduce_tree(comm, root, &data, ReduceOp::Sum);
+                    let lin = reduce_linear(comm, root, &data, ReduceOp::Sum);
+                    (dbl, tree, lin)
+                })
+                .unwrap();
+                for res in &r {
+                    let (dbl, tree, lin) = &res.value;
+                    assert_eq!(tree.is_some(), res.rank == root, "p={p} root={root}");
+                    assert_eq!(lin.is_some(), res.rank == root);
+                    if let (Some(t), Some(l)) = (tree, lin) {
+                        for ((a, b), c) in dbl.iter().zip(t).zip(l) {
+                            assert_eq!(a.to_bits(), b.to_bits(), "tree p={p} root={root}");
+                            assert_eq!(a.to_bits(), c.to_bits(), "linear p={p} root={root}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_canonical_bitwise_matches_doubling() {
+        for &p in &[1usize, 2, 3, 5, 8, 13] {
+            let r = run_spmd(p, Machine::ideal(), |comm| {
+                let data = awkward_payload(comm.rank(), 7);
+                let a = allreduce_doubling(comm, &data, ReduceOp::Sum);
+                let b = allreduce_ring_canonical(comm, &data, ReduceOp::Sum);
+                (a, b)
+            })
+            .unwrap();
+            for res in &r {
+                let (a, b) = &res.value;
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "p={p} rank={}", res.rank);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_machines_never_stall_on_uplinks() {
+        let r = run_spmd(8, Machine::cluster2002(), |comm| {
+            let data = awkward_payload(comm.rank(), 64);
+            let _ = allreduce_doubling(comm, &data, ReduceOp::Sum);
+            let mut b = data.clone();
+            broadcast_tree(comm, 0, &mut b);
+            comm.stats()
+        })
+        .unwrap();
+        for res in &r {
+            assert_eq!(res.value.link_stall_time, 0.0);
+            assert_eq!(res.value.far_msgs, 0);
+        }
+    }
+
+    #[test]
+    fn smp_cluster_flat_doubling_pays_uplink_stalls() {
+        // On a 2-node SMP cluster, the high-mask butterfly round puts
+        // all four ranks of a node on one uplink: ranks with a higher
+        // intra-node position must stall longer.
+        let r = run_spmd(8, Machine::smp_cluster2002(4), |comm| {
+            let data = awkward_payload(comm.rank(), 16);
+            let _ = allreduce_doubling(comm, &data, ReduceOp::Sum);
+            comm.stats()
+        })
+        .unwrap();
+        // Intra-node position r%4 = 0 never stalls; position 3 stalls 3
+        // message-times.
+        assert_eq!(r[0].value.link_stall_time, 0.0);
+        assert!(r[3].value.link_stall_time > r[1].value.link_stall_time);
+        assert!(r[1].value.link_stall_time > 0.0);
+        // Only the cross-node butterfly round is far: one far message
+        // per core rank.
+        for res in &r {
+            assert_eq!(res.value.far_msgs, 1, "rank {}", res.rank);
         }
     }
 

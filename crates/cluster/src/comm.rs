@@ -55,6 +55,18 @@ pub trait Communicator {
         self.compute(t);
     }
 
+    /// Stall this rank's virtual clock for `seconds` behind co-node
+    /// senders sharing one uplink. The collectives charge this *before*
+    /// a far send whenever several ranks of one SMP node inject into
+    /// the fabric in the same schedule stage; a flat butterfly at large
+    /// P pays it heavily, a hierarchical collective (one leader per
+    /// node) barely at all. The default books it as plain computation
+    /// delay; [`crate::ThreadComm`] attributes it to wait time and the
+    /// `link_stall_time` counter instead.
+    fn link_stall(&mut self, seconds: f64) {
+        self.compute(seconds);
+    }
+
     /// Current virtual time of this rank.
     fn now(&self) -> f64;
 

@@ -47,6 +47,7 @@
 pub mod checkpoint;
 pub mod collectives;
 pub mod comm;
+pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod machine;
@@ -57,11 +58,14 @@ pub mod thread_comm;
 pub mod topology;
 pub mod trace;
 
-pub use checkpoint::{CheckpointRecord, CheckpointStore, Recovery, Supervisor};
+pub use checkpoint::{CheckpointMode, CheckpointRecord, CheckpointStore, Recovery, Supervisor};
+pub use collectives::{canonical_fold, ReduceOp};
 pub use comm::Communicator;
+pub use engine::{CollectiveAlgo, CollectiveEngine};
 pub use error::ClusterError;
 pub use fault::{FaultPlan, InjectedCrash};
-pub use machine::Machine;
+pub use machine::{CollectiveChoice, Machine};
 pub use message::Tag;
+pub use topology::TopologyKind;
 pub use stats::{CommStats, SpmdResult, TimeModel};
 pub use thread_comm::{run_spmd, run_spmd_ft, run_spmd_traced, CrashInfo, FtRunOutcome, ThreadComm};

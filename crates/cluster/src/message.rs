@@ -18,6 +18,10 @@ pub const COLL_TAG_BASE: Tag = RESERVED_TAG_BASE + 0x100;
 /// exchange, recovery collectives).
 pub const FT_TAG_BASE: Tag = RESERVED_TAG_BASE + 0x200;
 
+/// Tags used internally by the topology-aware collective engine's
+/// hierarchical schedules.
+pub const ENGINE_TAG_BASE: Tag = RESERVED_TAG_BASE + 0x300;
+
 /// A point-to-point message.
 ///
 /// The payload is a boxed `f64` slice — every quantity the pricing

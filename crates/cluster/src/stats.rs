@@ -25,6 +25,14 @@ pub struct CommStats {
     pub backoff_time: f64,
     /// Virtual seconds spent writing coordinated checkpoints.
     pub ckpt_time: f64,
+    /// Messages that crossed the fabric (far links); a subset of
+    /// `msgs_sent`. Zero on [`crate::TopologyKind::Uniform`] machines.
+    pub far_msgs: u64,
+    /// Wire bytes of the far messages; a subset of `bytes_sent`.
+    pub far_bytes: u64,
+    /// Virtual seconds stalled behind co-node senders sharing one
+    /// uplink (charged by the collectives' contention model).
+    pub link_stall_time: f64,
 }
 
 impl CommStats {
@@ -81,6 +89,12 @@ pub struct TimeModel {
     pub total_acks: u64,
     /// Total virtual seconds spent writing checkpoints across ranks.
     pub total_ckpt_time: f64,
+    /// Total far (fabric-crossing) messages across ranks.
+    pub total_far_msgs: u64,
+    /// Total far wire bytes across ranks.
+    pub total_far_bytes: u64,
+    /// Total virtual seconds stalled on shared uplinks across ranks.
+    pub total_link_stall: f64,
     /// Number of ranks.
     pub ranks: usize,
 }
@@ -104,6 +118,9 @@ impl TimeModel {
         let total_retransmits = results.iter().map(|r| r.stats.retransmits).sum();
         let total_acks = results.iter().map(|r| r.stats.ack_msgs).sum();
         let total_ckpt_time = results.iter().map(|r| r.stats.ckpt_time).sum();
+        let total_far_msgs = results.iter().map(|r| r.stats.far_msgs).sum();
+        let total_far_bytes = results.iter().map(|r| r.stats.far_bytes).sum();
+        let total_link_stall = results.iter().map(|r| r.stats.link_stall_time).sum();
         TimeModel {
             makespan,
             mean_comm,
@@ -115,6 +132,9 @@ impl TimeModel {
             total_retransmits,
             total_acks,
             total_ckpt_time,
+            total_far_msgs,
+            total_far_bytes,
+            total_link_stall,
             ranks,
         }
     }
@@ -132,6 +152,9 @@ impl TimeModel {
         self.total_retransmits += stats.retransmits;
         self.total_acks += stats.ack_msgs;
         self.total_ckpt_time += stats.ckpt_time;
+        self.total_far_msgs += stats.far_msgs;
+        self.total_far_bytes += stats.far_bytes;
+        self.total_link_stall += stats.link_stall_time;
     }
 
     /// Communication share of the makespan-weighted busy time:

@@ -233,8 +233,10 @@ impl ThreadComm {
         let seq = fs.send_seq[dest];
         fs.send_seq[dest] += 1;
         let bytes = Message::wire_bytes(data.len());
-        let cost = self.machine.message_time(bytes);
-        let ack_cost = self.machine.message_time(Message::wire_bytes(0));
+        let cost = self.machine.message_time_between(self.rank, dest, bytes);
+        let ack_cost = self
+            .machine
+            .message_time_between(dest, self.rank, Message::wire_bytes(0));
         let mut attempt = 0u32;
         loop {
             let start = self.clock;
@@ -252,6 +254,10 @@ impl ThreadComm {
             }
             if attempt > 0 {
                 self.stats.retransmits += 1;
+            }
+            if self.machine.is_far(self.rank, dest) {
+                self.stats.far_msgs += 1;
+                self.stats.far_bytes += bytes as u64;
             }
             if !plan.drops(self.rank, dest, seq, attempt) {
                 // Delivered: pay for the ack round-trip, then inject.
@@ -333,13 +339,22 @@ impl Communicator for ThreadComm {
         &self.machine
     }
 
+    fn link_stall(&mut self, seconds: f64) {
+        debug_assert!(seconds >= 0.0);
+        if seconds > 0.0 {
+            self.clock += seconds;
+            self.stats.wait_time += seconds;
+            self.stats.link_stall_time += seconds;
+        }
+    }
+
     fn send(&mut self, dest: usize, tag: Tag, data: &[f64]) {
         assert!(dest < self.size, "send to rank {dest} of {}", self.size);
         if self.fault.as_ref().is_some_and(|f| f.plan.has_chaos()) {
             return self.reliable_send(dest, tag, data);
         }
         let bytes = Message::wire_bytes(data.len());
-        let cost = self.machine.message_time(bytes);
+        let cost = self.machine.message_time_between(self.rank, dest, bytes);
         let start = self.clock;
         self.clock += cost;
         self.stats.send_time += cost;
@@ -353,6 +368,10 @@ impl Communicator for ThreadComm {
         }
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += bytes as u64;
+        if self.machine.is_far(self.rank, dest) {
+            self.stats.far_msgs += 1;
+            self.stats.far_bytes += bytes as u64;
+        }
         let msg = Message {
             src: self.rank,
             tag,
@@ -456,8 +475,9 @@ enum Failure {
     Panic { msg: String, cascade: bool },
     /// A `recv` deadline fired — the typed error to surface.
     Deadline(ClusterError),
-    /// A crash scheduled by the fault plan.
-    Injected(CrashInfo),
+    /// A crash scheduled by the fault plan (boxed: `CommStats` makes it
+    /// the dominant variant size).
+    Injected(Box<CrashInfo>),
 }
 
 /// Run `f` on `p` ranks under the given machine model and collect every
@@ -584,12 +604,12 @@ where
                             let failure = if let Some(c) =
                                 payload.downcast_ref::<InjectedCrash>()
                             {
-                                Failure::Injected(CrashInfo {
+                                Failure::Injected(Box::new(CrashInfo {
                                     rank,
                                     step: c.step,
                                     time: comm.clock,
                                     stats: comm.stats,
-                                })
+                                }))
                             } else if let Some(e) = payload.downcast_ref::<ClusterError>() {
                                 Failure::Deadline(e.clone())
                             } else {
@@ -623,7 +643,7 @@ where
                     deadline = Some(e);
                 }
             }
-            Err((_, Failure::Injected(ci))) => crashes.push(ci),
+            Err((_, Failure::Injected(ci))) => crashes.push(*ci),
         }
     }
     if !originators.is_empty() {

@@ -6,6 +6,79 @@
 //! use the hypercube arithmetic internally, and the PDE/lattice
 //! decompositions are ring/mesh neighbourhoods.
 
+/// Interconnect topology of a virtual machine, as seen by the cost
+/// model and the collective engine.
+///
+/// The model is deliberately binary — a message is either **near**
+/// (same SMP node / direct link) or **far** (crosses the interconnect
+/// fabric). Wormhole routing on the 2002-era networks made latency
+/// nearly distance-insensitive, so hop counts beyond the first switch
+/// crossing add little; what matters is *whether* a message leaves the
+/// node and how many concurrent senders share its uplink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// Fully uniform fabric: every pair of ranks is equally close.
+    /// This is the legacy model — all presets that predate the
+    /// collective engine use it, and on it every algorithm costs
+    /// exactly what it did before the engine existed.
+    Uniform,
+    /// Binary hypercube: ranks differing in exactly one bit are wired
+    /// directly (near); all other pairs route through intermediate
+    /// nodes (far). Recursive doubling maps perfectly onto this — each
+    /// butterfly partner `rank ^ mask` is a direct neighbour.
+    Hypercube,
+    /// Cluster of SMP nodes: `node_size` consecutive ranks share one
+    /// node (near: shared memory) and each node has a single uplink
+    /// into the fabric (far). Concurrent far senders on one node
+    /// serialise on the uplink — the effect hierarchical collectives
+    /// exist to avoid.
+    SmpCluster {
+        /// Ranks per node; must be a power of two.
+        node_size: usize,
+    },
+    /// 2-D torus, row-major ranks: Manhattan-distance-1 pairs
+    /// (with wraparound) are near, everything else is far.
+    Torus2d {
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+    },
+}
+
+impl TopologyKind {
+    /// Node index of `rank` — the unit that shares a single uplink.
+    /// Uniform and hypercube machines place every rank on its own
+    /// node (no uplink sharing); an SMP cluster groups `node_size`
+    /// consecutive ranks; a torus has one rank per node.
+    pub fn node_of(&self, rank: usize) -> usize {
+        match *self {
+            TopologyKind::SmpCluster { node_size } => rank / node_size,
+            _ => rank,
+        }
+    }
+
+    /// Whether a message from `from` to `to` crosses the fabric (far)
+    /// rather than staying on a node or direct link (near).
+    pub fn is_far(&self, from: usize, to: usize) -> bool {
+        if from == to {
+            return false;
+        }
+        match *self {
+            TopologyKind::Uniform => false,
+            TopologyKind::Hypercube => !(from ^ to).is_power_of_two(),
+            TopologyKind::SmpCluster { node_size } => from / node_size != to / node_size,
+            TopologyKind::Torus2d { rows, cols } => {
+                let (ar, ac) = (from / cols, from % cols);
+                let (br, bc) = (to / cols, to % cols);
+                let dr = ar.abs_diff(br).min(rows - ar.abs_diff(br));
+                let dc = ac.abs_diff(bc).min(cols - ac.abs_diff(bc));
+                dr + dc > 1
+            }
+        }
+    }
+}
+
 /// A ring of `p` ranks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Ring {
@@ -184,6 +257,49 @@ mod tests {
         for n in m.neighbors(5) {
             assert_eq!(m.distance(5, n), 1);
         }
+    }
+
+    #[test]
+    fn uniform_topology_is_never_far() {
+        let t = TopologyKind::Uniform;
+        for a in 0..16 {
+            for b in 0..16 {
+                assert!(!t.is_far(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_topology_far_iff_not_a_neighbor() {
+        let t = TopologyKind::Hypercube;
+        let h = Hypercube::for_size(16);
+        for a in 0..16 {
+            for b in 0..16 {
+                assert_eq!(t.is_far(a, b), h.distance(a, b) > 1, "{a}->{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn smp_cluster_topology_groups_consecutive_ranks() {
+        let t = TopologyKind::SmpCluster { node_size: 4 };
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(3), 0);
+        assert_eq!(t.node_of(4), 1);
+        assert!(!t.is_far(0, 3));
+        assert!(t.is_far(3, 4));
+        assert!(!t.is_far(5, 5));
+    }
+
+    #[test]
+    fn torus_topology_wraps_and_is_near_only_for_neighbors() {
+        let t = TopologyKind::Torus2d { rows: 4, cols: 4 };
+        // (0,0) and (0,3) are wraparound neighbours.
+        assert!(!t.is_far(0, 3));
+        // (0,0) and (3,0) likewise.
+        assert!(!t.is_far(0, 12));
+        // (0,0) and (1,1) are two hops.
+        assert!(t.is_far(0, 5));
     }
 
     #[test]

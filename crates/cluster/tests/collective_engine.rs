@@ -1,0 +1,247 @@
+//! Cross-variant collective equivalence suite.
+//!
+//! Every reduction variant in the workspace — flat recursive doubling,
+//! the canonical ring, the rooted trees, and the engine's two-level
+//! group-leader schedules — must produce **bitwise-identical** vectors:
+//! the canonical fold of the per-rank contributions. This is the
+//! invariant that lets the engine swap algorithms by topology without
+//! ever moving a price. The suite sweeps every rank count 1..=64 plus
+//! awkward large counts (257, 1024) with seeded pseudo-random payloads,
+//! and separately checks the scalability contract: at P ≥ 256 on an
+//! SMP-cluster fabric the hierarchical schedules must cross the
+//! inter-node fabric strictly less than the flat ones.
+
+use mdp_cluster::{
+    canonical_fold, collectives, run_spmd, CollectiveEngine, Communicator, Machine, ReduceOp,
+    TimeModel,
+};
+
+/// Deterministic splitmix64-style payload: full-magnitude doubles whose
+/// sum is association-sensitive, so any ordering slip shows up in bits.
+fn payload(rank: usize, len: usize, salt: u64) -> Vec<f64> {
+    let mut state = salt
+        .wrapping_add(rank as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            // Mantissa-rich values in (−8, 8) with mixed exponents.
+            let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+            (u - 0.5) * 16.0 * (1.0 + (z & 0xF) as f64)
+        })
+        .collect()
+}
+
+fn expected(p: usize, len: usize, salt: u64, op: ReduceOp) -> Vec<f64> {
+    let parts: Vec<Vec<f64>> = (0..p).map(|r| payload(r, len, salt)).collect();
+    canonical_fold(&parts, op)
+}
+
+/// A collective body run identically on every rank: `(comm, local data)`
+/// in, that rank's result out.
+type CollectiveFn<'a, R> = dyn Fn(&mut dyn Communicator, &[f64]) -> R + Sync + 'a;
+
+fn assert_bits(got: &[f64], want: &[f64], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(g.to_bits(), w.to_bits(), "{what}: element {i}: {g} vs {w}");
+    }
+}
+
+/// Every allreduce variant at rank count `p` returns the canonical fold.
+fn check_allreduce_variants(p: usize, len: usize, salt: u64) {
+    for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min] {
+        let want = expected(p, len, salt, op);
+        let run = |name: &str, f: &CollectiveFn<'_, Vec<f64>>| {
+            let results = run_spmd(p, Machine::ideal(), |comm| {
+                let data = payload(comm.rank(), len, salt);
+                f(comm, &data)
+            })
+            .unwrap();
+            for r in &results {
+                assert_bits(&r.value, &want, &format!("{name} p={p} rank={}", r.rank));
+            }
+        };
+        run("doubling", &|c, d| collectives::allreduce_doubling(c, d, op));
+        run("ring-canonical", &|c, d| {
+            collectives::allreduce_ring_canonical(c, d, op)
+        });
+        run("reduce-bcast", &|c, d| {
+            collectives::allreduce_reduce_bcast(c, d, op)
+        });
+        for g in [2usize, 4, 16] {
+            if g <= p {
+                run(&format!("two-level g={g}"), &|c, d| {
+                    CollectiveEngine::two_level(g).allreduce(c, d, op)
+                });
+            }
+        }
+    }
+}
+
+/// Every rooted reduce variant delivers the canonical fold at the root.
+fn check_reduce_variants(p: usize, len: usize, salt: u64, root: usize) {
+    let op = ReduceOp::Sum;
+    let want = expected(p, len, salt, op);
+    let run = |name: &str, f: &CollectiveFn<'_, Option<Vec<f64>>>| {
+        let results = run_spmd(p, Machine::ideal(), |comm| {
+            let data = payload(comm.rank(), len, salt);
+            f(comm, &data)
+        })
+        .unwrap();
+        for r in &results {
+            if r.rank == root {
+                let got = r.value.as_ref().expect("root must hold the result");
+                assert_bits(got, &want, &format!("{name} p={p} root={root}"));
+            } else {
+                assert!(r.value.is_none(), "{name}: non-root rank {} got data", r.rank);
+            }
+        }
+    };
+    run("reduce-tree", &|c, d| {
+        collectives::reduce_tree(c, root, d, op)
+    });
+    run("reduce-linear", &|c, d| {
+        collectives::reduce_linear(c, root, d, op)
+    });
+    for g in [2usize, 8] {
+        if g <= p {
+            run(&format!("two-level reduce g={g}"), &|c, d| {
+                CollectiveEngine::two_level(g).reduce(c, root, d, op)
+            });
+        }
+    }
+}
+
+/// Every broadcast variant delivers the root's exact bits everywhere.
+fn check_broadcast_variants(p: usize, len: usize, salt: u64, root: usize) {
+    let want = payload(root, len, salt);
+    let run = |name: &str, f: &(dyn Fn(&mut dyn Communicator, &mut [f64]) + Sync)| {
+        let results = run_spmd(p, Machine::ideal(), |comm| {
+            let mut data = if comm.rank() == root {
+                payload(root, len, salt)
+            } else {
+                vec![0.0; len]
+            };
+            f(comm, &mut data);
+            data
+        })
+        .unwrap();
+        for r in &results {
+            assert_bits(&r.value, &want, &format!("{name} p={p} rank={}", r.rank));
+        }
+    };
+    run("bcast-tree", &|c, d| collectives::broadcast_tree(c, root, d));
+    run("bcast-linear", &|c, d| {
+        collectives::broadcast_linear(c, root, d)
+    });
+    for g in [2usize, 8] {
+        if g <= p {
+            run(&format!("two-level bcast g={g}"), &|c, d| {
+                CollectiveEngine::two_level(g).broadcast(c, root, d)
+            });
+        }
+    }
+}
+
+#[test]
+fn all_variants_agree_bitwise_across_every_small_rank_count() {
+    for p in 1..=64 {
+        let salt = 0xC0FFEE ^ p as u64;
+        check_allreduce_variants(p, 5, salt);
+        check_reduce_variants(p, 4, salt, p / 3);
+        check_broadcast_variants(p, 6, salt, p / 2);
+    }
+}
+
+#[test]
+fn all_variants_agree_bitwise_at_awkward_large_rank_counts() {
+    // 257 = 2^8 + 1 (maximal remainder pain), 1024 = the target scale.
+    check_allreduce_variants(257, 3, 0xDEAD);
+    check_reduce_variants(257, 3, 0xDEAD, 17);
+    check_broadcast_variants(257, 3, 0xDEAD, 256);
+    check_allreduce_variants(1024, 2, 0xBEEF);
+}
+
+#[test]
+fn gather_varied_two_level_matches_flat_exactly() {
+    for (p, g) in [(12usize, 4usize), (33, 8), (257, 16)] {
+        let run = |engine: CollectiveEngine| {
+            run_spmd(p, Machine::ideal(), move |comm| {
+                let data = payload(comm.rank(), 1 + comm.rank() % 5, 7);
+                engine.gather_varied(comm, 3, &data)
+            })
+            .unwrap()
+        };
+        let flat = run(CollectiveEngine::flat());
+        let hier = run(CollectiveEngine::two_level(g));
+        let f = flat[3].value.as_ref().unwrap();
+        let h = hier[3].value.as_ref().unwrap();
+        assert_eq!(f.len(), p);
+        for (r, (a, b)) in f.iter().zip(h).enumerate() {
+            assert_bits(b, a, &format!("gather p={p} g={g} part {r}"));
+        }
+    }
+}
+
+/// The scalability contract: at P ≥ 256 on the SMP-cluster fabric the
+/// hierarchical schedules must send strictly fewer messages across the
+/// inter-node fabric — total and far — than the flat algorithms.
+#[test]
+fn hierarchical_collectives_cross_the_fabric_less_at_scale() {
+    let p = 256usize;
+    let machine = Machine::smp_cluster2002(8);
+    let totals = |engine: CollectiveEngine| {
+        let results = run_spmd(p, machine, move |comm| {
+            let data = payload(comm.rank(), 4, 11);
+            let s = engine.allreduce_sum(comm, &data);
+            let mut b = s.clone();
+            engine.broadcast(comm, 0, &mut b);
+            engine.reduce(comm, 0, &b, ReduceOp::Sum);
+            s
+        })
+        .unwrap();
+        let want = expected(p, 4, 11, ReduceOp::Sum);
+        for r in &results {
+            assert_bits(&r.value, &want, "allreduce at scale");
+        }
+        TimeModel::from_results(&results)
+    };
+    let flat = totals(CollectiveEngine::flat());
+    let hier = totals(CollectiveEngine::for_machine(&machine, p));
+    assert!(
+        matches!(
+            CollectiveEngine::for_machine(&machine, p).algo(),
+            mdp_cluster::CollectiveAlgo::TwoLevel { group: 8 }
+        ),
+        "selection must pick the node-sized group"
+    );
+    assert!(
+        hier.total_far_msgs < flat.total_far_msgs,
+        "far msgs: hier {} vs flat {}",
+        hier.total_far_msgs,
+        flat.total_far_msgs
+    );
+    assert!(
+        hier.total_far_bytes < flat.total_far_bytes,
+        "far bytes: hier {} vs flat {}",
+        hier.total_far_bytes,
+        flat.total_far_bytes
+    );
+    assert!(
+        hier.total_msgs < flat.total_msgs,
+        "total msgs: hier {} vs flat {}",
+        hier.total_msgs,
+        flat.total_msgs
+    );
+    assert!(
+        hier.makespan < flat.makespan,
+        "makespan: hier {} vs flat {}",
+        hier.makespan,
+        flat.makespan
+    );
+}

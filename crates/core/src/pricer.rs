@@ -10,14 +10,16 @@
 //! per product, paying the setup once — with results bitwise-identical
 //! to one-shot calls. [`crate::Portfolio`] builds on the same split.
 
-use mdp_cluster::{FaultPlan, Machine, TimeModel};
+use mdp_cluster::{CheckpointMode, FaultPlan, Machine, TimeModel};
 use mdp_lattice::{
     cluster::{price_cluster, price_cluster_ft, Decomposition},
     BinomialKind, BinomialLattice, LatticeError, LatticePlan, LatticeScratch, MultiLattice,
     TrinomialLattice,
 };
 use mdp_mc::{
-    cluster_driver::{price_lsmc_cluster, price_mc_cluster, price_mc_cluster_ft},
+    cluster_driver::{
+        price_lsmc_cluster, price_lsmc_cluster_ft, price_mc_cluster, price_mc_cluster_ft,
+    },
     lsmc::{price_lsmc, price_lsmc_rayon},
     qmc::price_qmc,
     LsmcConfig, McConfig, McEngine, McError, McPlan, QmcConfig,
@@ -775,15 +777,25 @@ impl Pricer {
                     machine,
                     checkpoint_interval,
                 },
-            ) => {
-                if checkpoint_interval.is_some() {
-                    return Err(PriceError::Unsupported(
-                        "the distributed LSMC driver has no checkpoint/restart path".into(),
-                    ));
+            ) => match checkpoint_interval {
+                None => {
+                    let out = price_lsmc_cluster(market, product, *cfg, ranks, machine)?;
+                    (out.result.price, Some(out.result.std_error), Some(out.time))
                 }
-                let out = price_lsmc_cluster(market, product, *cfg, ranks, machine)?;
-                (out.result.price, Some(out.result.std_error), Some(out.time))
-            }
+                Some(k) => {
+                    let out = price_lsmc_cluster_ft(
+                        market,
+                        product,
+                        *cfg,
+                        ranks,
+                        machine,
+                        fault(),
+                        check_interval(k)?,
+                        CheckpointMode::AsyncIncremental,
+                    )?;
+                    (out.result.price, Some(out.result.std_error), Some(out.time))
+                }
+            },
 
             (Method::Fd1d(cfg), Backend::Sequential) => {
                 (cfg.price(market, product)?.price, None, None)
@@ -1061,6 +1073,40 @@ mod tests {
         let tm = par.time.unwrap();
         assert_eq!(tm.ranks, 4);
         assert!(tm.makespan > 0.0);
+    }
+
+    #[test]
+    fn lsmc_cluster_checkpoint_routing_recovers_from_crashes() {
+        let m = GbmMarket::single(100.0, 0.2, 0.0, 0.05).unwrap();
+        let p = Product::american(
+            Payoff::BasketPut {
+                weights: vec![1.0],
+                strike: 110.0,
+            },
+            1.0,
+        );
+        let backend = Backend::Cluster {
+            ranks: 4,
+            machine: Machine::cluster2002(),
+            checkpoint_interval: Some(3),
+        };
+        let method = Method::Lsmc(LsmcConfig {
+            paths: 4_000,
+            steps: 10,
+            block_size: 250,
+            ..Default::default()
+        });
+        let clean = Pricer::new(method.clone())
+            .backend(backend)
+            .price(&m, &p)
+            .unwrap();
+        let faulted = Pricer::new(method)
+            .backend(backend)
+            .fault_plan(FaultPlan::new(9).with_crash(1, 4))
+            .price(&m, &p)
+            .unwrap();
+        assert_eq!(clean.price.to_bits(), faulted.price.to_bits());
+        assert!(faulted.time.unwrap().total_ckpt_time > 0.0);
     }
 
     #[test]

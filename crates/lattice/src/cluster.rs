@@ -33,7 +33,7 @@ use crate::multidim::{branch_probabilities, StepCtx, StepScratch};
 use crate::LatticeError;
 use mdp_cluster::checkpoint::broadcast_active;
 use mdp_cluster::{
-    collectives, partition, run_spmd_ft, CheckpointStore, Communicator, FaultPlan, Machine,
+    partition, run_spmd_ft, CheckpointStore, CollectiveEngine, Communicator, FaultPlan, Machine,
     Supervisor, ThreadComm, TimeModel,
 };
 use mdp_model::{GbmMarket, Product};
@@ -178,10 +178,20 @@ fn run_rank<C: Communicator>(
         let needed = needed_rows(&owned_cur, next_rows_total);
 
         // --- Post the halo sends -------------------------------------------
-        // For every other rank, the intersection of their needs with my
-        // owned rows. Sends are asynchronous: they are in flight while
-        // the interior sweep below runs.
-        for r in 0..p {
+        // For each candidate peer, the intersection of their needs with
+        // my owned rows. Under Block decomposition the candidates are an
+        // O(1) arithmetic range; Cyclic scans all peers. Sends are
+        // asynchronous: they are in flight while the interior sweep
+        // below runs.
+        let send_peers = match decomp {
+            Decomposition::Block => {
+                let lo_n = owned_next.first().copied().unwrap_or(0);
+                let hi_n = owned_next.last().map_or(0, |&x| x + 1);
+                send_candidates(lo_n, hi_n, step + 1, p)
+            }
+            Decomposition::Cyclic(_) => 0..p,
+        };
+        for r in send_peers {
             if r == rank {
                 continue;
             }
@@ -249,7 +259,11 @@ fn run_rank<C: Communicator>(
         comm.compute_units(interior_nodes as f64 * node_work(d));
 
         // --- Complete the halo exchange ------------------------------------
-        for r in 0..p {
+        let recv_peers = match decomp {
+            Decomposition::Block => recv_candidates(&needed, step + 2, p),
+            Decomposition::Cyclic(_) => 0..p,
+        };
+        for r in recv_peers {
             if r == rank {
                 continue;
             }
@@ -282,10 +296,13 @@ fn run_rank<C: Communicator>(
         row_len_next = row_cur;
     }
 
-    // Step 0 has one row, one node; its owner broadcasts the price.
+    // Step 0 has one row, one node; its owner broadcasts the price
+    // through the topology-aware engine (bitwise-identical to the flat
+    // broadcast — only the schedule depends on the machine).
     let root = owner_of_row0(decomp, p);
+    let engine = CollectiveEngine::for_machine(comm.machine(), p);
     let mut price = [if rank == root { values[0] } else { 0.0 }];
-    collectives::broadcast(comm, root, &mut price);
+    engine.broadcast(comm, root, &mut price);
     price[0]
 }
 
@@ -455,7 +472,15 @@ fn run_rank_ft(
         let needed = needed_rows(&owned_cur, next_rows_total);
 
         // --- Post the halo sends (peers drawn from the active list) --------
-        for (j, &r) in active.iter().enumerate() {
+        // The active set always uses Block decomposition, so the
+        // candidate dense indices are an O(1) arithmetic range.
+        let send_peers = {
+            let lo_n = owned_next.first().copied().unwrap_or(0);
+            let hi_n = owned_next.last().map_or(0, |&x| x + 1);
+            send_candidates(lo_n, hi_n, step + 1, a)
+        };
+        for j in send_peers {
+            let r = active[j];
             if r == rank {
                 continue;
             }
@@ -517,7 +542,8 @@ fn run_rank_ft(
         comm.compute_units(interior_nodes as f64 * node_work(d));
 
         // --- Complete the halo exchange ------------------------------------
-        for (j, &r) in active.iter().enumerate() {
+        for j in recv_candidates(&needed, step + 2, a) {
+            let r = active[j];
             if r == rank {
                 continue;
             }
@@ -564,9 +590,43 @@ fn run_rank_ft(
 
 /// The rank owning row 0 of a 1-row grid under the decomposition.
 fn owner_of_row0(decomp: Decomposition, p: usize) -> usize {
-    (0..p)
-        .find(|&r| decomp.owned(1, p, r).first() == Some(&0))
-        .expect("some rank owns row 0")
+    match decomp {
+        // Block ownership is pure arithmetic — no O(p) scan.
+        Decomposition::Block => partition::block_owner(1, p, 0),
+        Decomposition::Cyclic(_) => (0..p)
+            .find(|&r| decomp.owned(1, p, r).first() == Some(&0))
+            .expect("some rank owns row 0"),
+    }
+}
+
+/// Candidate peer range for the halo *send* scan: under Block
+/// decomposition the peers whose current-step rows have children inside
+/// my `[lo_n, hi_n)` slice of the next grid are exactly the owners of
+/// current rows `[lo_n-1, hi_n-1]` — an O(1) contiguous rank range
+/// instead of the O(p) all-peers scan (which made each step O(p²·rows)
+/// across ranks at P = 1024).
+fn send_candidates(lo_n: usize, hi_n: usize, rows_cur: usize, p: usize) -> std::ops::Range<usize> {
+    if lo_n >= hi_n || rows_cur == 0 {
+        return 0..0;
+    }
+    let first = lo_n.saturating_sub(1).min(rows_cur - 1);
+    let last = (hi_n - 1).min(rows_cur - 1);
+    let d_min = partition::block_owner(rows_cur, p, first);
+    let d_max = partition::block_owner(rows_cur, p, last);
+    d_min..d_max + 1
+}
+
+/// Candidate peer range for the halo *recv* scan: the owners of the
+/// next-grid rows `[needed_first, needed_last]` this rank must read.
+fn recv_candidates(needed: &[usize], rows_next: usize, p: usize) -> std::ops::Range<usize> {
+    match (needed.first(), needed.last()) {
+        (Some(&first), Some(&last)) => {
+            let d_min = partition::block_owner(rows_next, p, first);
+            let d_max = partition::block_owner(rows_next, p, last);
+            d_min..d_max + 1
+        }
+        _ => 0..0,
+    }
 }
 
 /// Sorted unique child rows `{j, j+1}` of the owned rows, clipped.
@@ -880,5 +940,44 @@ mod tests {
         assert_eq!(needed_rows(&[0, 2], 5), vec![0, 1, 2, 3]);
         assert_eq!(intersect(&[1, 3, 5], &[2, 3, 5, 7]), vec![3, 5]);
         assert_eq!(owner_of_row0(Decomposition::Block, 4), 0);
+        assert_eq!(owner_of_row0(Decomposition::Cyclic(2), 4), 0);
+    }
+
+    #[test]
+    fn halo_candidate_ranges_cover_every_real_peer() {
+        // The arithmetic candidate ranges must contain every peer the
+        // exhaustive O(p) scan would have talked to (missing one would
+        // deadlock a halo exchange).
+        for p in [1usize, 2, 3, 5, 8, 13] {
+            for step in 0..16usize {
+                let rows_cur = step + 1;
+                let rows_next = step + 2;
+                for rank in 0..p {
+                    let (lo_n, hi_n) = partition::block_range(rows_next, p, rank);
+                    let owned_next: Vec<usize> = (lo_n..hi_n).collect();
+                    let sc = send_candidates(lo_n, hi_n, rows_cur, p);
+                    let (cl, ch) = partition::block_range(rows_cur, p, rank);
+                    let owned_cur: Vec<usize> = (cl..ch).collect();
+                    let needed = needed_rows(&owned_cur, rows_next);
+                    let rc = recv_candidates(&needed, rows_next, p);
+                    for r in 0..p {
+                        if r == rank {
+                            continue;
+                        }
+                        let (tl, th) = partition::block_range(rows_cur, p, r);
+                        let their_cur: Vec<usize> = (tl..th).collect();
+                        let their_needed = needed_rows(&their_cur, rows_next);
+                        if !intersect(&their_needed, &owned_next).is_empty() {
+                            assert!(sc.contains(&r), "send p={p} step={step} {rank}->{r}");
+                        }
+                        let (nl, nh) = partition::block_range(rows_next, p, r);
+                        let theirs_next: Vec<usize> = (nl..nh).collect();
+                        if !intersect(&needed, &theirs_next).is_empty() {
+                            assert!(rc.contains(&r), "recv p={p} step={step} {rank}<-{r}");
+                        }
+                    }
+                }
+            }
+        }
     }
 }

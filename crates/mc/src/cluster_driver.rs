@@ -16,13 +16,13 @@
 //! (experiment T7).
 
 use crate::engine::{McConfig, McResult, RunContext};
-use crate::lsmc::{self, LsmcConfig, LsmcResult};
+use crate::lsmc::{self, LsmcConfig, LsmcResult, RegressionSums};
 use crate::variance::{merge_in_chunks, BlockAccum, ACCUM_WIDTH};
 use crate::McError;
 use mdp_cluster::checkpoint::{broadcast_active, gather_active};
 use mdp_cluster::{
-    collectives, partition, run_spmd_ft, CheckpointStore, Communicator, FaultPlan, Machine,
-    Supervisor, TimeModel,
+    partition, run_spmd_ft, CheckpointMode, CheckpointStore, CollectiveEngine, Communicator,
+    FaultPlan, Machine, Supervisor, TimeModel,
 };
 use mdp_model::{GbmMarket, Product};
 
@@ -45,6 +45,7 @@ pub fn price_mc_cluster(
 ) -> Result<McClusterOutcome, McError> {
     let ctx = RunContext::new(market, product, cfg)?;
     let work_per_path = cfg.path_work_units(market.dim());
+    let engine = CollectiveEngine::for_machine(&machine, p);
     let results = mdp_cluster::run_spmd(p, machine, |comm| {
         let blocks = ctx.num_blocks() as usize;
         let (lo, hi) = partition::block_range(blocks, comm.size(), comm.rank());
@@ -60,7 +61,7 @@ pub fn price_mc_cluster(
             paths += ctx.config().block_paths(b as u64);
         }
         comm.compute_units(paths as f64 * work_per_path);
-        let gathered = collectives::gather_varied(comm, 0, &local);
+        let gathered = engine.gather_varied(comm, 0, &local);
         let mut merged = [0.0; ACCUM_WIDTH];
         if let Some(parts) = gathered {
             // Rank ranges are contiguous and ascending, so flattening the
@@ -74,7 +75,7 @@ pub fn price_mc_cluster(
             );
             merged = total.to_vec();
         }
-        collectives::broadcast(comm, 0, &mut merged);
+        engine.broadcast(comm, 0, &mut merged);
         BlockAccum::from_slice(&merged)
     })
     .map_err(|e| McError::Unsupported(e.to_string()))?;
@@ -232,6 +233,7 @@ pub fn price_lsmc_cluster(
     let sim_work = cfg.steps as f64 * ((d * d) as f64 / 2.0 + 8.0 * d as f64 + 6.0);
     let date_work = 2.0 * (d as f64 + (k * k) as f64);
 
+    let engine = CollectiveEngine::for_machine(&machine, p);
     let results = mdp_cluster::run_spmd(p, machine, |comm| {
         let blocks = lsmc::num_blocks(&cfg) as usize;
         let (lo, hi) = partition::block_range(blocks, comm.size(), comm.rank());
@@ -244,7 +246,7 @@ pub fn price_lsmc_cluster(
         let discounted = lsmc::backward_sweep(market, product, &cfg, &panel, |_, sums| {
             let mut c = comm_cell.borrow_mut();
             c.compute_units(panel.paths as f64 * date_work);
-            let merged = collectives::allreduce_sum(&mut **c, &sums.to_vec());
+            let merged = engine.allreduce_sum(&mut **c, &sums.to_vec());
             lsmc::RegressionSums::from_slice(k, &merged).solve(cfg.ridge)
         });
         // Global mean/SE via one final reduction of [n, Σ, Σ²].
@@ -254,7 +256,7 @@ pub fn price_lsmc_cluster(
             discounted.iter().map(|c| c * c).sum(),
         ];
         let comm = comm_cell.into_inner();
-        collectives::allreduce_sum(comm, &local)
+        engine.allreduce_sum(comm, &local)
     })
     .map_err(|e| McError::Unsupported(e.to_string()))?;
 
@@ -270,6 +272,277 @@ pub fn price_lsmc_cluster(
     };
     let time = TimeModel::from_results(&results);
     Ok(LsmcClusterOutcome { result, time })
+}
+
+/// Outcome of a fault-tolerant distributed LSMC run.
+#[derive(Debug, Clone)]
+pub struct LsmcClusterFtOutcome {
+    /// The estimate — bit-identical to the fault-free run of the same
+    /// driver (see [`price_lsmc_cluster_ft`] on why it is *not* bitwise
+    /// against [`price_lsmc_cluster`]).
+    pub result: LsmcResult,
+    /// Virtual-time model, crashed ranks' time included.
+    pub time: TimeModel,
+    /// Injected crashes that fired, as `(rank, boundary)` pairs.
+    pub crashed: Vec<(usize, usize)>,
+}
+
+/// Fault-tolerant distributed LSMC: the backward sweep runs one
+/// exercise date per [`Supervisor::boundary`], checkpointing every
+/// rank's per-block `(cashflow, cf_time)` state each `ckpt_interval`
+/// dates. On a crash, survivors restore the sweep state of every block
+/// from the pooled era-keyed records, repartition the substream blocks
+/// over the shrunken active set, re-simulate their newly owned path
+/// panels (deterministic block substreams) and replay from the last
+/// checkpoint.
+///
+/// To make the price independent of *which* ranks own which blocks,
+/// all cross-rank reductions run over **per-block** partial results
+/// folded in global block order at the first active rank: the per-date
+/// normal-equation sums and the final `[n, Σ, Σ²]` statistics. A
+/// faulted run is therefore bit-identical to a fault-free run of this
+/// driver at any rank count. (It is *not* bitwise against
+/// [`price_lsmc_cluster`], which reduces rank-local sums via the
+/// canonical allreduce — a different, partition-dependent association.)
+#[allow(clippy::too_many_arguments)]
+pub fn price_lsmc_cluster_ft(
+    market: &GbmMarket,
+    product: &Product,
+    cfg: LsmcConfig,
+    p: usize,
+    machine: Machine,
+    plan: FaultPlan,
+    ckpt_interval: usize,
+    mode: CheckpointMode,
+) -> Result<LsmcClusterFtOutcome, McError> {
+    lsmc::validate(market, product, &cfg)?;
+    let d = market.dim();
+    let basis = mdp_math::poly::TensorBasis::new(d, cfg.degree, cfg.basis);
+    let k = basis.size();
+    let sums_width = k * k + k + 1;
+    let sim_work = cfg.steps as f64 * ((d * d) as f64 / 2.0 + 8.0 * d as f64 + 6.0);
+    let date_work = 2.0 * (d as f64 + (k * k) as f64);
+    let store = CheckpointStore::new();
+
+    let outcome = run_spmd_ft(p, machine, plan, |comm| {
+        let blocks = lsmc::num_blocks(&cfg) as usize;
+        let rank = comm.rank();
+        let mut sup = Supervisor::new_with_mode(comm, ckpt_interval, &store, mode);
+        let dt = product.maturity / cfg.steps as f64;
+        let disc_dt = (-market.rate() * dt).exp();
+        let payoff = &product.payoff;
+        let spots0 = market.spots();
+
+        // Initial partition: contiguous block range over the full set.
+        let (lo0, hi0) =
+            partition::block_range(blocks, sup.active().len(), sup.dense_index(rank));
+        let (mut blo, mut bhi) = (lo0 as u64, hi0 as u64);
+        let mut panel = lsmc::simulate_panel(market, product, &cfg, blo..bhi);
+        comm.compute_units(panel.paths as f64 * sim_work);
+
+        // Terminal sweep state (identical math to `lsmc::backward_sweep`).
+        let mut cashflow: Vec<f64> = (0..panel.paths)
+            .map(|q| payoff.eval(&panel.spots[cfg.steps - 1][q * d..(q + 1) * d]))
+            .collect();
+        let mut cf_time: Vec<u32> = vec![cfg.steps as u32; panel.paths];
+
+        let mut phi = vec![0.0; k];
+        let mut x = vec![0.0; d];
+        let mut j = 0usize; // processed dates == boundary index
+        while j < cfg.steps - 1 {
+            if let Some(rec) = sup.boundary(comm, j, || {
+                (blo as usize, encode_sweep_state(&cfg, blo, bhi, &cashflow, &cf_time))
+            }) {
+                // Roll back: restore every block's sweep state from the
+                // pooled records, repartition over the survivors and
+                // re-simulate the newly owned panels.
+                let j0 = rec.from_step.expect("boundary 0 always checkpoints");
+                let mut pool: std::collections::HashMap<u64, (Vec<f64>, Vec<u32>)> =
+                    std::collections::HashMap::new();
+                for (_, r) in &rec.records {
+                    decode_sweep_state(&r.data, &mut pool);
+                }
+                let (nlo, nhi) =
+                    partition::block_range(blocks, sup.active().len(), sup.dense_index(rank));
+                (blo, bhi) = (nlo as u64, nhi as u64);
+                panel = lsmc::simulate_panel(market, product, &cfg, blo..bhi);
+                comm.compute_units(panel.paths as f64 * sim_work);
+                cashflow.clear();
+                cf_time.clear();
+                for b in blo..bhi {
+                    let (cf, ct) = pool.get(&b).expect("pool covers every block");
+                    cashflow.extend_from_slice(cf);
+                    cf_time.extend_from_slice(ct);
+                }
+                j = j0;
+                continue; // re-enter boundary j0: fresh-era checkpoint
+            }
+
+            let t = cfg.steps - 1 - j; // exercise date, steps−1 .. 1
+            let layer = &panel.spots[t - 1];
+            // Per-block normal-equation sums (block-local path order is
+            // fixed, so each block's sums are owner-independent).
+            let mut payload: Vec<f64> = Vec::new();
+            let mut off = 0usize;
+            for b in blo..bhi {
+                let nb = lsmc::block_paths(&cfg, b) as usize;
+                let mut sums = RegressionSums::new(k);
+                for q in off..off + nb {
+                    let s = &layer[q * d..(q + 1) * d];
+                    let intrinsic = payoff.eval(s);
+                    if intrinsic > 0.0 {
+                        for (xi, (si, s0)) in x.iter_mut().zip(s.iter().zip(spots0)) {
+                            *xi = si / s0;
+                        }
+                        basis.eval(&x, &mut phi);
+                        let y = cashflow[q] * disc_dt.powi((cf_time[q] - t as u32) as i32);
+                        sums.push(&phi, y);
+                    }
+                }
+                payload.push(b as f64);
+                payload.extend(sums.to_vec());
+                off += nb;
+            }
+            comm.compute_units(panel.paths as f64 * date_work);
+
+            // Fold the per-block sums in global block order at the
+            // first active rank — a partition-independent association.
+            let active = sup.active().to_vec();
+            let root = active[0];
+            let gathered = gather_active(comm, &active, root, &payload);
+            let mut merged = vec![0.0; sums_width];
+            if rank == root {
+                let mut entries: Vec<&[f64]> = gathered
+                    .iter()
+                    .flat_map(|part| part.chunks_exact(1 + sums_width))
+                    .collect();
+                entries.sort_by_key(|e| e[0] as u64);
+                debug_assert_eq!(entries.len(), blocks, "every block exactly once");
+                for e in &entries {
+                    for (m, v) in merged.iter_mut().zip(&e[1..]) {
+                        *m += v;
+                    }
+                }
+            }
+            let merged = broadcast_active(comm, &active, root, &merged);
+
+            if let Some(beta) = RegressionSums::from_slice(k, &merged).solve(cfg.ridge) {
+                // Exercise where intrinsic beats the fitted continuation.
+                for q in 0..panel.paths {
+                    let s = &layer[q * d..(q + 1) * d];
+                    let intrinsic = payoff.eval(s);
+                    if intrinsic > 0.0 {
+                        for (xi, (si, s0)) in x.iter_mut().zip(s.iter().zip(spots0)) {
+                            *xi = si / s0;
+                        }
+                        basis.eval(&x, &mut phi);
+                        let continuation: f64 =
+                            beta.iter().zip(&phi).map(|(b, f)| b * f).sum();
+                        if intrinsic >= continuation {
+                            cashflow[q] = intrinsic;
+                            cf_time[q] = t as u32;
+                        }
+                    }
+                }
+            }
+            j += 1;
+        }
+        sup.flush(comm);
+
+        // Final per-block [count, Σ, Σ²] over time-0 discounted
+        // cashflows, folded in block order — partition-independent.
+        let discounted: Vec<f64> = cashflow
+            .iter()
+            .zip(&cf_time)
+            .map(|(cf, tt)| cf * disc_dt.powi(*tt as i32))
+            .collect();
+        let mut payload: Vec<f64> = Vec::new();
+        let mut off = 0usize;
+        for b in blo..bhi {
+            let nb = lsmc::block_paths(&cfg, b) as usize;
+            let slice = &discounted[off..off + nb];
+            payload.push(b as f64);
+            payload.push(nb as f64);
+            payload.push(slice.iter().sum());
+            payload.push(slice.iter().map(|c| c * c).sum());
+            off += nb;
+        }
+        let active = sup.active().to_vec();
+        let root = active[0];
+        let gathered = gather_active(comm, &active, root, &payload);
+        let mut stats = vec![0.0; 3];
+        if rank == root {
+            let mut entries: Vec<&[f64]> = gathered
+                .iter()
+                .flat_map(|part| part.chunks_exact(4))
+                .collect();
+            entries.sort_by_key(|e| e[0] as u64);
+            for e in &entries {
+                stats[0] += e[1];
+                stats[1] += e[2];
+                stats[2] += e[3];
+            }
+        }
+        broadcast_active(comm, &active, root, &stats)
+    })
+    .map_err(|e| McError::Unsupported(e.to_string()))?;
+
+    let g = &outcome.survivors[0].value;
+    let n = g[0];
+    let mean = g[1] / n;
+    let var = (g[2] - n * mean * mean) / (n - 1.0);
+    let intrinsic = product.payoff.eval(market.spots());
+    let result = LsmcResult {
+        price: mean.max(intrinsic),
+        std_error: (var.max(0.0) / n).sqrt(),
+        paths: n as u64,
+    };
+    let mut time = TimeModel::from_results(&outcome.survivors);
+    for c in &outcome.crashed {
+        time.absorb_crashed(c.time, &c.stats);
+    }
+    Ok(LsmcClusterFtOutcome {
+        result,
+        time,
+        crashed: outcome.crashed.iter().map(|c| (c.rank, c.step)).collect(),
+    })
+}
+
+/// Flatten per-block `(id, paths, cashflow, cf_time)` sweep state for a
+/// checkpoint record.
+fn encode_sweep_state(
+    cfg: &LsmcConfig,
+    blo: u64,
+    bhi: u64,
+    cashflow: &[f64],
+    cf_time: &[u32],
+) -> Vec<f64> {
+    let mut out = Vec::with_capacity(2 * cashflow.len() + 2 * (bhi - blo) as usize);
+    let mut off = 0usize;
+    for b in blo..bhi {
+        let nb = lsmc::block_paths(cfg, b) as usize;
+        out.push(b as f64);
+        out.push(nb as f64);
+        out.extend_from_slice(&cashflow[off..off + nb]);
+        out.extend(cf_time[off..off + nb].iter().map(|&t| t as f64));
+        off += nb;
+    }
+    out
+}
+
+/// Inverse of [`encode_sweep_state`], merging into a per-block pool.
+fn decode_sweep_state(data: &[f64], pool: &mut std::collections::HashMap<u64, (Vec<f64>, Vec<u32>)>) {
+    let mut i = 0usize;
+    while i < data.len() {
+        let b = data[i] as u64;
+        let nb = data[i + 1] as usize;
+        i += 2;
+        let cf = data[i..i + nb].to_vec();
+        i += nb;
+        let ct = data[i..i + nb].iter().map(|&t| t as u32).collect();
+        i += nb;
+        pool.insert(b, (cf, ct));
+    }
 }
 
 #[cfg(test)]
@@ -532,6 +805,141 @@ mod tests {
         let ft = price_mc_cluster_ft(&m, &p, cfg, 4, Machine::cluster2002(), plan, 6, 1).unwrap();
         assert_eq!(ft.result.price.to_bits(), seq.price.to_bits());
         assert_eq!(ft.crashed.len(), 3);
+    }
+
+    fn lsmc_ft_case() -> (GbmMarket, Product, LsmcConfig) {
+        let m = GbmMarket::single(100.0, 0.2, 0.0, 0.05).unwrap();
+        let p = Product::american(
+            Payoff::BasketPut {
+                weights: vec![1.0],
+                strike: 110.0,
+            },
+            1.0,
+        );
+        let cfg = LsmcConfig {
+            paths: 4_000,
+            steps: 10,
+            block_size: 250,
+            ..Default::default()
+        };
+        (m, p, cfg)
+    }
+
+    #[test]
+    fn lsmc_ft_matches_sequential_within_tolerance() {
+        let (m, p, cfg) = lsmc_ft_case();
+        let seq = lsmc::price_lsmc(&m, &p, cfg).unwrap();
+        let ft = price_lsmc_cluster_ft(
+            &m,
+            &p,
+            cfg,
+            4,
+            Machine::cluster2002(),
+            mdp_cluster::FaultPlan::new(5),
+            4,
+            CheckpointMode::Sync,
+        )
+        .unwrap();
+        // Per-block regression sums fold in a different order than the
+        // sequential path-order accumulation, so this is tolerance, not
+        // bitwise (the fitted betas differ in the last ulps).
+        assert!(
+            (ft.result.price - seq.price).abs() < 1e-6,
+            "{} vs {}",
+            ft.result.price,
+            seq.price
+        );
+        assert_eq!(ft.result.paths, seq.paths);
+        assert!(ft.crashed.is_empty());
+        assert!(ft.time.total_ckpt_time > 0.0);
+    }
+
+    #[test]
+    fn lsmc_ft_recovers_bit_identically_from_mid_sweep_crashes() {
+        let (m, p, cfg) = lsmc_ft_case();
+        for mode in [CheckpointMode::Sync, CheckpointMode::AsyncIncremental] {
+            let clean = price_lsmc_cluster_ft(
+                &m,
+                &p,
+                cfg,
+                4,
+                Machine::cluster2002(),
+                mdp_cluster::FaultPlan::new(7),
+                3,
+                mode,
+            )
+            .unwrap();
+            assert!(clean.crashed.is_empty());
+            for crash_at in [1usize, 4, 8] {
+                let plan = mdp_cluster::FaultPlan::new(13).with_crash(2, crash_at);
+                let ft = price_lsmc_cluster_ft(
+                    &m,
+                    &p,
+                    cfg,
+                    4,
+                    Machine::cluster2002(),
+                    plan,
+                    3,
+                    mode,
+                )
+                .unwrap();
+                assert_eq!(
+                    ft.result.price.to_bits(),
+                    clean.result.price.to_bits(),
+                    "crash at date boundary {crash_at} ({mode:?})"
+                );
+                assert_eq!(ft.result.paths, clean.result.paths);
+                assert_eq!(ft.crashed, vec![(2, crash_at)]);
+            }
+        }
+    }
+
+    #[test]
+    fn lsmc_ft_async_checkpoints_cost_less_than_sync() {
+        let (m, p, cfg) = lsmc_ft_case();
+        let run = |mode| {
+            price_lsmc_cluster_ft(
+                &m,
+                &p,
+                cfg,
+                4,
+                Machine::cluster2002(),
+                mdp_cluster::FaultPlan::new(3),
+                2,
+                mode,
+            )
+            .unwrap()
+        };
+        let sync = run(CheckpointMode::Sync);
+        let async_inc = run(CheckpointMode::AsyncIncremental);
+        // Same estimate either way — the mode moves cost, never data.
+        assert_eq!(
+            sync.result.price.to_bits(),
+            async_inc.result.price.to_bits()
+        );
+        assert!(
+            async_inc.time.total_ckpt_time < sync.time.total_ckpt_time,
+            "async {} should undercut sync {}",
+            async_inc.time.total_ckpt_time,
+            sync.time.total_ckpt_time
+        );
+    }
+
+    #[test]
+    fn lsmc_ft_rejects_european_products() {
+        let (m, _, cfg) = lsmc_ft_case();
+        let eu = Product::european(Payoff::MaxCall { strike: 100.0 }, 1.0);
+        assert!(price_lsmc_cluster_ft(
+            &m,
+            &eu,
+            cfg,
+            2,
+            Machine::ideal(),
+            mdp_cluster::FaultPlan::new(1),
+            2,
+            CheckpointMode::Sync,
+        )
+        .is_err());
     }
 
     #[test]

@@ -22,8 +22,8 @@ use crate::stencil::explicit_point;
 use crate::PdeError;
 use mdp_cluster::checkpoint::broadcast_active;
 use mdp_cluster::{
-    collectives, partition, run_spmd_ft, CheckpointStore, Communicator, FaultPlan, Machine,
-    Supervisor, TimeModel,
+    partition, run_spmd_ft, CheckpointStore, Communicator, FaultPlan, Machine, Supervisor,
+    TimeModel,
 };
 use mdp_model::{ExerciseStyle, GbmMarket, Product};
 
@@ -234,13 +234,16 @@ impl ClusterFd1d {
                 std::mem::swap(&mut v, &mut new_v);
             }
 
-            // Owner of the centre point broadcasts the price.
+            // Owner of the centre point broadcasts the price through
+            // the topology-aware engine (bitwise-identical to the flat
+            // broadcast on every machine).
             let owner = partition::block_owner(m, size, center);
+            let engine = mdp_cluster::CollectiveEngine::for_machine(comm.machine(), size);
             let mut price = [0.0];
             if rank == owner {
                 price[0] = v[center - lo + 1];
             }
-            collectives::broadcast(comm, owner, &mut price);
+            engine.broadcast(comm, owner, &mut price);
             price[0]
         })
         .map_err(|e| {
